@@ -1,0 +1,54 @@
+"""Benchmarks E14/E15: the Section 6.1 counting explosion and its rewrite.
+
+Series: bag-semantics totals per clique size and star depth (the paper's
+"more answers than protons"), against set-semantics evaluation and the
+automata-compatible rewrite — who wins and by how much.
+"""
+
+import pytest
+
+from repro.graph.generators import clique
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+from repro.rpq.bag_semantics import total_bag_answers
+from repro.rpq.evaluation import evaluate_rpq
+
+
+def _nested(depth: int) -> str:
+    text = "a*"
+    for _ in range(depth - 1):
+        text = f"({text})*"
+    return text
+
+
+@pytest.mark.parametrize("size", [4, 5, 6])
+def test_e14_bag_counting_depth4(benchmark, size):
+    graph = clique(size, loops=False)
+    total = benchmark(lambda: total_bag_answers(_nested(4), graph))
+    if size == 6:
+        assert total > 10**80  # the protons claim
+    assert total > 0
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_e14_depth_series_on_5clique(benchmark, depth):
+    graph = clique(5, loops=False)
+    total = benchmark(lambda: total_bag_answers(_nested(depth), graph))
+    assert total > 0
+
+
+def test_e15_set_semantics_is_cheap(benchmark):
+    graph = clique(6, loops=False)
+    result = benchmark(lambda: evaluate_rpq(_nested(4), graph))
+    assert len(result) == 36
+
+
+def test_e15_rewrite_then_bag_count(benchmark):
+    graph = clique(6, loops=False)
+
+    def run():
+        rewritten = simplify(parse_regex(_nested(4), normalize=False))
+        return total_bag_answers(rewritten, graph)
+
+    total = benchmark(run)
+    assert total < 10**10  # the bomb is defused

@@ -1,0 +1,37 @@
+"""Benchmarks E25/E26: CoreGQL evaluation (Figure 4 + algebra layer)."""
+
+from repro.coregql.language import section_413_example_query
+from repro.coregql.parser import parse_coregql_pattern
+from repro.coregql.semantics import pattern_triples
+from repro.experiments.coregql_experiments import (
+    e25_information_flow,
+    e26_coregql_worked_example,
+)
+
+
+def test_e26_worked_query_fig3(benchmark, fig3):
+    query = section_413_example_query(shared_prop="isBlocked", output_prop="owner")
+    result = benchmark(lambda: query.evaluate(fig3))
+    assert ("a3", "Mike") in result
+
+
+def test_e26_worked_query_at_scale(benchmark, transfer_net):
+    query = section_413_example_query(shared_prop="isBlocked", output_prop="owner")
+    result = benchmark(lambda: query.evaluate(transfer_net))
+    assert result.attributes == ("x", "x.owner")
+
+
+def test_e26_pattern_reachability(benchmark, transfer_net):
+    pattern = parse_coregql_pattern("(x) ->* (y)")
+    triples = benchmark(lambda: pattern_triples(pattern, transfer_net))
+    assert triples
+
+
+def test_e26_report(benchmark):
+    result = benchmark(e26_coregql_worked_example)
+    assert all(row["contains_mike"] for row in result.rows)
+
+
+def test_e25_report(benchmark):
+    result = benchmark(e25_information_flow)
+    assert result.rows[0]["v0_to_v3"] is False

@@ -1,0 +1,24 @@
+"""Benchmarks E10: the Proposition 22 exhaustive refutation."""
+
+import pytest
+
+from repro.cypher.expressivity import search_for_even_length_pattern
+from repro.cypher.fragment import cypher_pairs, parse_cypher_pattern
+from repro.graph.generators import label_path
+
+
+@pytest.mark.parametrize("max_offset,max_atoms", [(4, 3), (6, 4)])
+def test_e10_exhaustive_search(benchmark, max_offset, max_atoms):
+    report = benchmark(
+        lambda: search_for_even_length_pattern(
+            max_offset=max_offset, max_atoms=max_atoms
+        )
+    )
+    assert report["expressible"] is False
+
+
+def test_e10_fragment_evaluation(benchmark):
+    graph = label_path(50, "l")
+    pattern = parse_cypher_pattern("(x)-[:l*]->(y)")
+    pairs = benchmark(lambda: cypher_pairs(pattern, graph))
+    assert len(pairs) == 51 * 52 // 2

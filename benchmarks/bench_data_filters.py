@@ -1,0 +1,44 @@
+"""Benchmarks E21: data filters + shortest on Figure 3 and at scale."""
+
+import pytest
+
+from repro.datatests.dlrpq import dlrpq_pairs, evaluate_dlrpq
+from repro.experiments.evaluation_section6 import e21_data_filters
+
+ONE_CHEAP = (
+    "(_) ([Transfer](_))* [Transfer][amount < 4500000](_) ([Transfer](_))*"
+)
+
+
+def test_e21_fig3_walkthrough(benchmark, fig3):
+    results = benchmark(
+        lambda: list(evaluate_dlrpq(ONE_CHEAP, fig3, "a3", "a5", mode="shortest"))
+    )
+    assert {len(binding.path) for binding in results} == {3}
+
+
+def test_e21_report(benchmark):
+    result = benchmark(e21_data_filters)
+    assert [row["shortest_length"] for row in result.rows] == [1, 3, 6]
+
+
+def test_e21_pairs_on_network(benchmark, transfer_net):
+    sources = [f"a{i}" for i in range(10)]
+    pairs = benchmark(
+        lambda: dlrpq_pairs(ONE_CHEAP, transfer_net, sources=sources)
+    )
+    assert isinstance(pairs, set)
+
+
+@pytest.mark.parametrize("threshold", [2_000_000, 8_000_000])
+def test_e21_threshold_series(benchmark, transfer_net, threshold):
+    query = (
+        f"(_) ([Transfer](_))* [Transfer][amount < {threshold}](_) "
+        "([Transfer](_))*"
+    )
+    results = benchmark(
+        lambda: list(
+            evaluate_dlrpq(query, transfer_net, "a0", "a1", mode="shortest")
+        )
+    )
+    assert isinstance(results, list)

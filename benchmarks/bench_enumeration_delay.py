@@ -1,0 +1,52 @@
+"""Benchmarks E23: output-linear-delay enumeration from PMRs.
+
+Measures both total throughput and the worst observed inter-output delay
+relative to output length (the Section 6.4 delay guarantee).
+"""
+
+import time
+
+import pytest
+
+from repro.graph.generators import diamond_chain
+from repro.pmr.build import pmr_for_rpq
+from repro.pmr.enumerate import enumerate_spaths
+
+
+@pytest.mark.parametrize("diamonds", [8, 10])
+def test_e23_dfs_throughput(benchmark, diamonds):
+    graph = diamond_chain(diamonds)
+    pmr = pmr_for_rpq("a*", graph, "j0", f"j{diamonds}")
+    paths = benchmark(lambda: list(enumerate_spaths(pmr, order="dfs")))
+    assert len(paths) == 2**diamonds
+
+
+def test_e23_delay_profile(benchmark):
+    """The delay shape: worst gap between outputs stays near the mean, i.e.
+    proportional to the (constant) output length — no super-linear stalls."""
+    graph = diamond_chain(10)
+    pmr = pmr_for_rpq("a*", graph, "j0", "j10")
+
+    def profile():
+        delays = []
+        last = time.perf_counter()
+        for _path in enumerate_spaths(pmr, order="dfs"):
+            now = time.perf_counter()
+            delays.append(now - last)
+            last = now
+        return delays
+
+    delays = benchmark(profile)
+    mean = sum(delays) / len(delays)
+    # the max delay may include cache effects; it must stay within a small
+    # constant factor of the mean for an output-linear algorithm
+    assert max(delays) < max(200 * mean, 0.05)
+
+
+@pytest.mark.parametrize("limit", [100, 1000])
+def test_e23_bfs_prefix(benchmark, fig3, limit):
+    pmr = pmr_for_rpq("Transfer+", fig3, "a3", "a3")
+    paths = benchmark(
+        lambda: list(enumerate_spaths(pmr, limit=limit, order="bfs"))
+    )
+    assert len(paths) == limit

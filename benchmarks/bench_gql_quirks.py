@@ -1,0 +1,43 @@
+"""Benchmarks E6/E7: the Example 1-2 group-variable quirks."""
+
+from repro.experiments.gql_quirks import (
+    e6_example1_inequivalence,
+    e7_example2_group_roles,
+)
+from repro.gql.semantics import match_gql_pattern
+from repro.graph.property_graph import PropertyGraph
+
+
+def _example1_graph():
+    graph = PropertyGraph()
+    graph.add_edge("e0", "v0", "v1", "a")
+    graph.add_edge("e1", "v1", "v2", "a")
+    graph.add_edge("loop", "s", "s", "a")
+    return graph
+
+
+def test_e6_iterated_pattern(benchmark):
+    graph = _example1_graph()
+    matches = benchmark(
+        lambda: match_gql_pattern("(x) (()-[z:a]->()){2} (y)", graph)
+    )
+    assert any(m.kind_of("z") == "group" for m in matches)
+
+
+def test_e6_report(benchmark):
+    result = benchmark(e6_example1_inequivalence)
+    assert "iterated != joined: True" in result.finding
+
+
+def test_e7_report(benchmark):
+    result = benchmark(e7_example2_group_roles)
+    assert result.rows
+
+
+def test_gql_matching_on_larger_graph(benchmark, transfer_net):
+    matches = benchmark(
+        lambda: match_gql_pattern(
+            "(x) (()-[z:Transfer]->()){2} (y)", transfer_net
+        )
+    )
+    assert isinstance(matches, set)

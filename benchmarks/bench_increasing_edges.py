@@ -1,0 +1,58 @@
+"""Benchmarks E8/E9/E11: the increasing-edge-values query, three ways.
+
+The paper's Section 5.2 point, measured: the direct dl-RPQ evaluation
+(register automaton) versus the EXCEPT workaround (materialize two path
+sets, subtract) versus the reduce-based list query.  The dl-RPQ should win,
+increasingly so as paths grow.
+"""
+
+import pytest
+
+from repro.datatests.dlrpq import evaluate_dlrpq
+from repro.experiments.gql_quirks import e8_example3_naive_where, e9_example21_symmetry
+from repro.gql.listfuncs import increasing_edges_via_reduce
+from repro.gql.pathsets import increasing_edges_via_except
+from repro.graph.generators import dated_path
+
+DLRPQ = "(_)[a][x := k] ( (_)[a][k > x][x := k] )* (_)"
+
+
+@pytest.mark.parametrize("length", [4, 6, 8])
+def test_e11_dlrpq_register_automaton(benchmark, length):
+    graph = dated_path(list(range(length)), on="edges", prop="k")
+    results = benchmark(
+        lambda: list(
+            evaluate_dlrpq(DLRPQ, graph, "v0", f"v{length}", mode="all")
+        )
+    )
+    assert len(results) == 1
+
+
+@pytest.mark.parametrize("length", [4, 6, 8])
+def test_e11_except_workaround(benchmark, length):
+    graph = dated_path(list(range(length)), on="edges", prop="k")
+    results = benchmark(
+        lambda: increasing_edges_via_except(graph, "v0", f"v{length}", prop="k")
+    )
+    assert len(results) == 1
+
+
+@pytest.mark.parametrize("length", [4, 6, 8])
+def test_e11_reduce_workaround(benchmark, length):
+    graph = dated_path(list(range(length)), on="edges", prop="k")
+    results = benchmark(
+        lambda: increasing_edges_via_reduce(
+            graph, "v0", f"v{length}", prop="k", mode="trail"
+        )
+    )
+    assert len(results) == 1
+
+
+def test_e8_report(benchmark):
+    result = benchmark(e8_example3_naive_where)
+    assert result.rows[0]["accepts_bad_witness"] is True
+
+
+def test_e9_report(benchmark):
+    result = benchmark(e9_example21_symmetry)
+    assert all(row["agree"] for row in result.rows)

@@ -1,0 +1,24 @@
+"""Benchmarks E27: k-shortest matching path enumeration."""
+
+import pytest
+
+from repro.rpq.kshortest import k_shortest_matching_paths
+
+
+@pytest.mark.parametrize("k", [3, 7])
+def test_e27_fig3(benchmark, fig3, k):
+    paths = benchmark(
+        lambda: list(k_shortest_matching_paths("Transfer+", fig3, "a3", "a5", k=k))
+    )
+    lengths = [len(p) for p in paths]
+    assert lengths == sorted(lengths)
+
+
+@pytest.mark.parametrize("k", [5, 20])
+def test_e27_network(benchmark, transfer_net, k):
+    paths = benchmark(
+        lambda: list(
+            k_shortest_matching_paths("Transfer+", transfer_net, "a0", "a1", k=k)
+        )
+    )
+    assert len(set(paths)) == len(paths)

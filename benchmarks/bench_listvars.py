@@ -1,0 +1,45 @@
+"""Benchmarks E4/E5: l-RPQs and l-CRPQs (Examples 16-17)."""
+
+from repro.experiments.examples_section3 import e4_lrpq_bindings, e5_shortest_grouping
+from repro.listvars.enumerate import evaluate_lrpq
+from repro.listvars.lcrpq import evaluate_lcrpq, parse_lcrpq
+
+EXAMPLE17 = (
+    "q(x1, x2, z) :- owner(y1, x1), owner(y2, x2), "
+    "shortest (Transfer^z)+(y1, y2)"
+)
+
+
+def test_e4_example16_bindings(benchmark, fig2):
+    def run():
+        return list(
+            evaluate_lrpq(
+                "(Transfer^z)* . isBlocked", fig2, "a3", "yes", mode="all", limit=40
+            )
+        )
+
+    bindings = benchmark(run)
+    assert ("t2", "t3") in {binding.mu["z"] for binding in bindings}
+
+
+def test_e4_report(benchmark):
+    result = benchmark(e4_lrpq_bindings)
+    assert all(row["found"] for row in result.rows)
+
+
+def test_e5_example17_shortest_grouping(benchmark, fig2):
+    query = parse_lcrpq(EXAMPLE17)
+    result = benchmark(lambda: evaluate_lcrpq(query, fig2))
+    assert ("Jay", "Rebecca", ("t10",)) in result
+
+
+def test_e5_report(benchmark):
+    result = benchmark(e5_shortest_grouping)
+    assert all(row["found"] for row in result.rows)
+
+
+def test_lcrpq_on_larger_network(benchmark, transfer_net):
+    base = transfer_net.to_edge_labeled()
+    query = parse_lcrpq("q(z) :- shortest (Transfer^z)+('a0', 'a1')")
+    result = benchmark(lambda: evaluate_lcrpq(query, base))
+    assert isinstance(result, set)

@@ -1,0 +1,48 @@
+"""Benchmarks E16/E17/E22: exponential outputs vs succinct representations.
+
+The crossover the paper implies: explicit enumeration of the Figure 5
+paths costs 2^Theta(n), while building the O(n) PMR stays linear.
+"""
+
+import pytest
+
+from repro.graph.generators import diamond_chain, label_path
+from repro.listvars.enumerate import evaluate_lrpq
+from repro.pmr.build import pmr_for_rpq, pmr_for_unblocked_cycles
+from repro.pmr.ops import count_paths_of_length, is_finite, pmr_size
+from repro.rpq.path_modes import matching_paths
+
+
+@pytest.mark.parametrize("diamonds", [6, 8, 10])
+def test_e16_explicit_enumeration(benchmark, diamonds):
+    graph = diamond_chain(diamonds)
+    paths = benchmark(
+        lambda: list(
+            matching_paths("a*", graph, "j0", f"j{diamonds}", mode="all")
+        )
+    )
+    assert len(paths) == 2**diamonds
+
+
+@pytest.mark.parametrize("diamonds", [6, 8, 10, 40])
+def test_e16_pmr_construction(benchmark, diamonds):
+    graph = diamond_chain(diamonds)
+    pmr = benchmark(lambda: pmr_for_rpq("a*", graph, "j0", f"j{diamonds}"))
+    assert pmr_size(pmr) <= 8 * diamonds + 4
+    assert count_paths_of_length(pmr, 2 * diamonds) == 2**diamonds
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_e17_exponential_list_bindings(benchmark, n):
+    graph = label_path(2 * n)
+    bindings = benchmark(
+        lambda: list(
+            evaluate_lrpq("(a.a^z + a^z.a)*", graph, "v0", f"v{2 * n}", mode="all")
+        )
+    )
+    assert len(bindings) == 2**n
+
+
+def test_e22_unblocked_cycles_pmr(benchmark, fig3):
+    pmr = benchmark(lambda: pmr_for_unblocked_cycles(fig3, "a3"))
+    assert not is_finite(pmr)

@@ -1,0 +1,60 @@
+"""Benchmarks E20: path modes — polynomial shortest vs NP-hard simple/trail.
+
+The series shows the paper's Section 6.3 shape: shortest stays cheap
+everywhere; simple/trail stay feasible on sparse "well-behaved" graphs and
+blow up on dense ones.
+"""
+
+import pytest
+
+from repro.graph.generators import clique, random_graph
+from repro.rpq.path_modes import matching_paths
+
+
+@pytest.mark.parametrize("size", [30, 60])
+def test_e20_shortest_on_sparse(benchmark, size):
+    graph = random_graph(size, 2 * size, labels=("a",), seed=size)
+    paths = benchmark(
+        lambda: list(matching_paths("a+", graph, "v0", "v1", mode="shortest"))
+    )
+    assert isinstance(paths, list)
+
+
+@pytest.mark.parametrize("size", [30, 60])
+def test_e20_simple_on_sparse(benchmark, size):
+    graph = random_graph(size, 2 * size, labels=("a",), seed=size)
+    paths = benchmark(
+        lambda: list(matching_paths("a+", graph, "v0", "v1", mode="simple"))
+    )
+    assert isinstance(paths, list)
+
+
+@pytest.mark.parametrize("size", [6, 7, 8])
+def test_e20_simple_on_clique(benchmark, size):
+    graph = clique(size, loops=False)
+    paths = benchmark(
+        lambda: list(matching_paths("a+", graph, "v0", "v1", mode="simple"))
+    )
+    # sum over k of P(size-2, k) simple paths: factorial growth
+    assert len(paths) > 2 ** (size - 2)
+
+
+def test_e20_trail_on_k4_exhaustive(benchmark):
+    """Trails explode much faster than simple paths (K5 already has far too
+    many to enumerate) — K4's 1085 trails are the largest exhaustive case."""
+    graph = clique(4, loops=False)
+    paths = benchmark(
+        lambda: list(matching_paths("a+", graph, "v0", "v1", mode="trail"))
+    )
+    assert len(paths) == 1085
+
+
+@pytest.mark.parametrize("size", [5, 6])
+def test_e20_trail_on_clique_limited(benchmark, size):
+    graph = clique(size, loops=False)
+    paths = benchmark(
+        lambda: list(
+            matching_paths("a+", graph, "v0", "v1", mode="trail", limit=500)
+        )
+    )
+    assert len(paths) == 500

@@ -1,0 +1,21 @@
+"""Benchmarks E19: the synthetic query-log ambiguity study."""
+
+import pytest
+
+from repro.workloads.querylog import analyze_query_log, generate_query_log
+
+LABELS = ("p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7")
+
+
+@pytest.mark.parametrize("count", [500, 2000])
+def test_e19_generate(benchmark, count):
+    log = benchmark(lambda: generate_query_log(count, labels=LABELS, seed=62))
+    assert len(log) == count
+
+
+@pytest.mark.parametrize("count", [500, 2000])
+def test_e19_analyze(benchmark, count):
+    log = generate_query_log(count, labels=LABELS, seed=62)
+    report = benchmark(lambda: analyze_query_log(log, LABELS))
+    assert report["total"] == count
+    assert report["blowups"] == []  # the paper's finding, preserved

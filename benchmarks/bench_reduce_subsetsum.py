@@ -1,0 +1,37 @@
+"""Benchmarks E12/E13: list-function pitfalls.
+
+E12's series: subset-sum query time doubles per extra number (NP-hardness
+on tiny graphs, as Section 5.2 warns).  E13 runs the Diophantine
+two-semantics demo.
+"""
+
+import pytest
+
+from repro.experiments.pitfalls import e13_diophantine
+from repro.gql.listfuncs import subset_sum_paths
+from repro.graph.generators import subset_sum_graph
+
+
+@pytest.mark.parametrize("numbers", [6, 8, 10])
+def test_e12_subset_sum_blowup(benchmark, numbers):
+    values = [2**i for i in range(numbers)]
+    graph = subset_sum_graph(values)
+    target = sum(values) + 1  # unreachable: forces full exploration
+
+    hits = benchmark(
+        lambda: subset_sum_paths(graph, "v0", f"v{numbers}", target_sum=target)
+    )
+    assert hits == set()
+
+
+def test_e12_satisfiable_instance(benchmark):
+    graph = subset_sum_graph([3, 5, 7, 11, 13])
+    hits = benchmark(
+        lambda: subset_sum_paths(graph, "v0", "v5", target_sum=18)
+    )
+    assert hits  # 3 + 15? no: 5 + 13 = 18, 7 + 11 = 18
+
+
+def test_e13_report(benchmark):
+    result = benchmark(e13_diophantine)
+    assert any(not row["semantics_agree"] for row in result.rows)

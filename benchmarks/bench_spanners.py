@@ -1,0 +1,21 @@
+"""Benchmarks E24: spanner mapping evaluation and enumeration."""
+
+import pytest
+
+from repro.spanners.evaluate import count_mappings, evaluate_spanner
+
+EXPONENTIAL = "(x{a}a + ax{a})*"
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e24_exponential_mappings(benchmark, n):
+    document = "a" * (2 * n)
+    count = benchmark(lambda: count_mappings(EXPONENTIAL, document))
+    assert count == 2**n
+
+
+@pytest.mark.parametrize("length", [20, 40])
+def test_e24_linear_extraction(benchmark, length):
+    document = "ab" * (length // 2)
+    mappings = benchmark(lambda: evaluate_spanner("(x{ab})*", document))
+    assert len(mappings) == 1

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures (paper graphs, scaled workloads)."""
+
+import pytest
+
+from repro.graph.datasets import figure2_graph, figure3_graph
+from repro.graph.generators import random_graph, random_transfer_network
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return figure2_graph()
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figure3_graph()
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    return random_graph(200, 800, labels=("a", "b", "c"), seed=42)
+
+
+@pytest.fixture(scope="session")
+def transfer_net():
+    return random_transfer_network(accounts=60, transfers=240, seed=7)

@@ -1,0 +1,90 @@
+"""Static analysis and language tooling (Section 7.1's roadmap, executable).
+
+Shows the analysis toolkit on concrete queries: RPQ containment and
+equivalence, the rewrite engine, CRPQ structure (acyclicity, treewidth),
+the sound CRPQ containment test, and regular queries in Datalog syntax.
+
+Run with::
+
+    python examples/static_analysis.py
+"""
+
+from repro.analysis.containment import (
+    crpq_contained_sound,
+    rpq_contained,
+    rpq_equivalent,
+)
+from repro.analysis.structure import is_acyclic_crpq, treewidth_exact
+from repro.crpq.ast import parse_crpq
+from repro.crpq.regular_queries import evaluate_regular_query
+from repro.graph.datasets import figure2_graph
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+from repro.regex.ast import to_string
+
+
+def containment_demo() -> None:
+    print("== RPQ containment (automata inclusion) ==")
+    checks = [
+        ("Transfer.Transfer", "Transfer*"),
+        ("Transfer*", "Transfer.Transfer"),
+        ("(Transfer.Transfer)*", "Transfer*"),
+    ]
+    for left, right in checks:
+        verdict = rpq_contained(left, right)
+        print(f"  {left}  ⊆  {right} :  {verdict}")
+    print(
+        "  (((a*)*)*)* ≡ a* :",
+        rpq_equivalent("(((a*)*)*)*", "a*"),
+        " — and simplify() rewrites it to",
+        to_string(simplify(parse_regex("(((a*)*)*)*", normalize=False))),
+    )
+
+
+def structure_demo() -> None:
+    print("\n== Query structure: acyclicity and treewidth ==")
+    queries = {
+        "Example 13 q1": (
+            "q1(x1, x2, x3) :- Transfer(x1, x2), Transfer(x1, x3), "
+            "Transfer(x2, x3)"
+        ),
+        "Example 13 q2": (
+            "q2(x, x1, x2) :- owner(y, x1), isBlocked(y, x2), "
+            "(Transfer.Transfer?)(x, y)"
+        ),
+    }
+    for name, text in queries.items():
+        query = parse_crpq(text)
+        print(
+            f"  {name}: acyclic={is_acyclic_crpq(query)}, "
+            f"treewidth={treewidth_exact(query)}"
+        )
+    print(
+        "  sound containment:",
+        crpq_contained_sound(
+            "q(x, y) :- Transfer*(x, y)", "q(x, y) :- Transfer(x, y)"
+        ),
+        "(Transfer ⊆ Transfer*, atom-mapped)",
+    )
+
+
+def regular_query_demo() -> None:
+    print("\n== Regular queries (Datalog syntax, Example 15) ==")
+    graph = figure2_graph()
+    graph.add_edge("back1", "a3", "a1", "Transfer")  # make a1 <-> a3 mutual
+    program = """
+    Mutual(x, y) :- Transfer(x, y), Transfer(y, x)
+    Answer(u, v) :- Mutual+(u, v)
+    """
+    result = evaluate_regular_query(program, graph)
+    print(f"  Mutual+ closure over the extended bank graph: {sorted(result)}")
+
+
+def main() -> None:
+    containment_demo()
+    structure_demo()
+    regular_query_demo()
+
+
+if __name__ == "__main__":
+    main()

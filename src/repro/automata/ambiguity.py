@@ -1,0 +1,107 @@
+"""Ambiguity analysis of NFAs (Section 6.2).
+
+"If we want to count the number of matching paths, it is important that the
+automaton is unambiguous; that is, it has at most one accepting run per
+word."  This module provides the classical polynomial-time ambiguity test
+(via the self-product) and a constructor for an unambiguous automaton:
+the Glushkov automaton when it already is unambiguous, otherwise the
+determinized automaton (a DFA is trivially unambiguous).
+
+The query-log study of [62] — simulated in :mod:`repro.workloads.querylog`
+— found that real-life RPQs never needed an unambiguous automaton larger
+than the expression; :func:`unambiguous_nfa` records which construction was
+used so the experiment can measure exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.dfa import determinize
+from repro.automata.glushkov import glushkov
+from repro.automata.nfa import NFA
+from repro.regex.ast import Regex, SymbolType
+
+
+def is_ambiguous(nfa: NFA) -> bool:
+    """Whether some word has two distinct accepting runs.
+
+    Standard criterion: trim the automaton, then build the reachable part of
+    the self-product starting from all pairs of initial states; the automaton
+    is ambiguous iff a *useful* product state ``(p, q)`` with ``p != q``
+    exists (useful: reachable, and co-reachable from a pair of final states).
+    """
+    trimmed = nfa.trim()
+    if not trimmed.initial:
+        return False
+    by_source: dict = {}
+    for source, symbol, target in trimmed.transitions():
+        by_source.setdefault((source, symbol), []).append(target)
+    symbols_by_source: dict = {}
+    for source, symbol, _target in trimmed.transitions():
+        symbols_by_source.setdefault(source, set()).add(symbol)
+
+    start_pairs = {(p, q) for p in trimmed.initial for q in trimmed.initial}
+    seen = set(start_pairs)
+    frontier = list(start_pairs)
+    edges: dict[tuple, set[tuple]] = {}
+    while frontier:
+        p, q = frontier.pop()
+        for symbol in symbols_by_source.get(p, ()):  # symbols leaving p
+            for p2 in by_source.get((p, symbol), ()):
+                for q2 in by_source.get((q, symbol), ()):
+                    pair = (p2, q2)
+                    edges.setdefault((p, q), set()).add(pair)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+
+    final_pairs = {
+        pair for pair in seen if pair[0] in trimmed.finals and pair[1] in trimmed.finals
+    }
+    # Co-reachability within the product.
+    backward: dict[tuple, set[tuple]] = {}
+    for source_pair, targets in edges.items():
+        for target_pair in targets:
+            backward.setdefault(target_pair, set()).add(source_pair)
+    useful = set(final_pairs)
+    frontier = list(final_pairs)
+    while frontier:
+        pair = frontier.pop()
+        for source_pair in backward.get(pair, ()):
+            if source_pair not in useful:
+                useful.add(source_pair)
+                frontier.append(source_pair)
+
+    return any(p != q for (p, q) in useful)
+
+
+def unambiguous_nfa(
+    regex: Regex, alphabet: Iterable[SymbolType]
+) -> tuple[NFA, str]:
+    """An unambiguous NFA for ``regex`` plus the construction used.
+
+    Returns ``(nfa, how)`` where ``how`` is ``"glushkov"`` when the position
+    automaton was already unambiguous and ``"determinized"`` otherwise.
+    """
+    position_automaton = glushkov(regex, alphabet).trim()
+    if not is_ambiguous(position_automaton):
+        return position_automaton, "glushkov"
+    deterministic = determinize(position_automaton, position_automaton.alphabet)
+    return deterministic.to_nfa(), "determinized"
+
+
+def ambiguity_degree_bounded(nfa: NFA, word) -> int:
+    """The number of distinct accepting runs of ``nfa`` on ``word``.
+
+    A dynamic program over run prefixes; exact (not just a bound), used by
+    tests to validate :func:`is_ambiguous` and path counting.
+    """
+    counts = {state: 1 for state in nfa.initial}
+    for symbol in word:
+        next_counts: dict = {}
+        for state, count in counts.items():
+            for target in nfa.successors(state, symbol):
+                next_counts[target] = next_counts.get(target, 0) + count
+        counts = next_counts
+    return sum(count for state, count in counts.items() if state in nfa.finals)

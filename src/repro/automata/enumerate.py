@@ -1,0 +1,97 @@
+"""Enumerating the words of a regular language.
+
+The paper connects path enumeration to "enumerating words in regular
+languages [1, 4]".  We provide cross-sections (all words of one length) and
+a length-lexicographic enumerator with bounded delay per word, plus counting
+per length (which for unambiguous automata equals the number of accepting
+runs — the bridge to path counting in Section 6.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from repro.automata.nfa import NFA
+
+SymbolType = Hashable
+
+
+def words_of_length(nfa: NFA, length: int) -> Iterator[tuple[SymbolType, ...]]:
+    """Yield each word of exactly ``length`` in ``L(nfa)`` once.
+
+    Works on the subset-construction lattice so duplicates never appear,
+    without determinizing the whole automaton up front.
+    """
+    trimmed = nfa.trim()
+    if not trimmed.initial:
+        return
+    symbols_ordered = sorted(trimmed.alphabet, key=repr)
+
+    def extend(
+        subset: frozenset, remaining: int, prefix: tuple[SymbolType, ...]
+    ) -> Iterator[tuple[SymbolType, ...]]:
+        if remaining == 0:
+            if subset & trimmed.finals:
+                yield prefix
+            return
+        for symbol in symbols_ordered:
+            successor = trimmed.step(subset, symbol)
+            if successor:
+                yield from extend(successor, remaining - 1, prefix + (symbol,))
+
+    yield from extend(trimmed.initial, length, ())
+
+
+def enumerate_words(
+    nfa: NFA, max_length: int | None = None, limit: int | None = None
+) -> Iterator[tuple[SymbolType, ...]]:
+    """Yield words of ``L(nfa)`` in length-lexicographic order.
+
+    Stops after ``limit`` words or length ``max_length`` (whichever comes
+    first); at least one bound must be given for infinite languages —
+    callers can check :meth:`NFA.is_infinite` first.
+    """
+    if max_length is None and limit is None and nfa.is_infinite():
+        raise ValueError("unbounded enumeration of an infinite language")
+    produced = 0
+    length = 0
+    consecutive_empty = 0
+    while max_length is None or length <= max_length:
+        emitted_at_length = False
+        for word in words_of_length(nfa, length):
+            yield word
+            emitted_at_length = True
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        length += 1
+        consecutive_empty = 0 if emitted_at_length else consecutive_empty + 1
+        if max_length is None and consecutive_empty > nfa.num_states:
+            # Pumping bound: a word of length n >= |Q| pumps down to one at
+            # most |Q| shorter, so |Q|+1 consecutive empty lengths imply the
+            # language has no longer words.  Safe termination for finite
+            # languages enumerated without an explicit max_length.
+            return
+
+
+def count_words_of_length(nfa: NFA, length: int) -> int:
+    """The number of distinct words of the given length in ``L(nfa)``.
+
+    Computed by dynamic programming over determinization subsets, so it is
+    exact even for ambiguous automata.
+    """
+    trimmed = nfa.trim()
+    if not trimmed.initial:
+        return 0
+    counts: dict[frozenset, int] = {trimmed.initial: 1}
+    for _ in range(length):
+        next_counts: dict[frozenset, int] = {}
+        for subset, count in counts.items():
+            for symbol in trimmed.alphabet:
+                successor = trimmed.step(subset, symbol)
+                if successor:
+                    next_counts[successor] = next_counts.get(successor, 0) + count
+        counts = next_counts
+    return sum(
+        count for subset, count in counts.items() if subset & trimmed.finals
+    )

@@ -1,0 +1,155 @@
+"""The Glushkov (position) construction: regex -> epsilon-free NFA.
+
+Given a regular expression with ``n`` symbol occurrences, the Glushkov
+automaton has ``n + 1`` states and no epsilon transitions — this is the
+construction the paper refers to in Section 6.2 ("given an RPQ R, an
+equivalent NFA (without epsilon-transitions) can be constructed
+efficiently").
+
+A useful extra property exploited by :mod:`repro.automata.ambiguity` and the
+query-log study (Section 6.2, [62]): the Glushkov automaton of a *one-
+unambiguous* expression is deterministic, and more generally its ambiguity
+reflects the ambiguity of the expression itself.
+
+Wildcards ``!S`` are supported by instantiating them over a concrete finite
+alphabet supplied by the caller (typically the edge labels of the graph
+being queried plus the labels of the expression).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    SymbolType,
+    Union,
+    has_wildcard,
+    nullable,
+    symbols,
+)
+from repro.automata.nfa import NFA
+
+#: The Glushkov initial state; positions are numbered from 1.
+INITIAL_STATE = 0
+
+
+@dataclass
+class _Linearized:
+    """Position bookkeeping: which concrete symbols each position matches."""
+
+    matches: dict[int, frozenset[SymbolType]]
+
+    def new_position(self, allowed: frozenset[SymbolType]) -> int:
+        position = len(self.matches) + 1
+        self.matches[position] = allowed
+        return position
+
+
+def _position_sets(
+    regex: Regex, alphabet: frozenset[SymbolType], lin: _Linearized
+) -> tuple[set[int], set[int], set[tuple[int, int]], bool]:
+    """Compute (first, last, follow, nullable) with positions allocated in
+    ``lin`` in left-to-right order."""
+    if isinstance(regex, Empty):
+        return set(), set(), set(), False
+    if isinstance(regex, Epsilon):
+        return set(), set(), set(), True
+    if isinstance(regex, Symbol):
+        allowed = frozenset({regex.symbol}) & alphabet
+        position = lin.new_position(allowed)
+        return {position}, {position}, set(), False
+    if isinstance(regex, NotSymbols):
+        allowed = alphabet - regex.excluded
+        position = lin.new_position(allowed)
+        return {position}, {position}, set(), False
+    if isinstance(regex, Union):
+        first: set[int] = set()
+        last: set[int] = set()
+        follow: set[tuple[int, int]] = set()
+        is_nullable = False
+        for part in regex.parts:
+            p_first, p_last, p_follow, p_nullable = _position_sets(
+                part, alphabet, lin
+            )
+            first |= p_first
+            last |= p_last
+            follow |= p_follow
+            is_nullable = is_nullable or p_nullable
+        return first, last, follow, is_nullable
+    if isinstance(regex, Concat):
+        first: set[int] = set()
+        last: set[int] = set()
+        follow: set[tuple[int, int]] = set()
+        is_nullable = True
+        for part in regex.parts:
+            p_first, p_last, p_follow, p_nullable = _position_sets(
+                part, alphabet, lin
+            )
+            follow |= p_follow
+            follow |= {(l, f) for l in last for f in p_first}
+            if is_nullable:
+                first |= p_first
+            if p_nullable:
+                last |= p_last
+            else:
+                last = set(p_last)
+            is_nullable = is_nullable and p_nullable
+        return first, last, follow, is_nullable
+    if isinstance(regex, Star):
+        p_first, p_last, p_follow, _ = _position_sets(regex.inner, alphabet, lin)
+        follow = set(p_follow)
+        follow |= {(l, f) for l in p_last for f in p_first}
+        return p_first, p_last, follow, True
+    raise TypeError(f"not a regex node: {regex!r}")
+
+
+def glushkov(regex: Regex, alphabet: Iterable[SymbolType]) -> NFA:
+    """Build the Glushkov NFA of ``regex`` over the given finite alphabet.
+
+    Transitions into a position ``q`` are labeled by every concrete symbol
+    that position matches (a single label for ``Symbol``, the co-finite set
+    instantiated over ``alphabet`` for ``NotSymbols``).
+    """
+    sigma = frozenset(alphabet)
+    lin = _Linearized(matches={})
+    first, last, follow, is_nullable = _position_sets(regex, sigma, lin)
+    transitions: list[tuple[int, SymbolType, int]] = []
+    for position in first:
+        for symbol in lin.matches[position]:
+            transitions.append((INITIAL_STATE, symbol, position))
+    for source, target in follow:
+        for symbol in lin.matches[target]:
+            transitions.append((source, symbol, target))
+    finals = set(last)
+    if is_nullable:
+        finals.add(INITIAL_STATE)
+    states = range(len(lin.matches) + 1)
+    return NFA(states, sigma, transitions, {INITIAL_STATE}, finals)
+
+
+def compile_regex(
+    regex: Regex, alphabet: Iterable[SymbolType] | None = None
+) -> NFA:
+    """Compile a regex to a trimmed epsilon-free NFA.
+
+    When ``alphabet`` is omitted it defaults to the symbols occurring in the
+    expression; expressions with wildcards then have no well-defined finite
+    alphabet and are rejected (callers must supply the graph's label set, as
+    Remark 11 intends).
+    """
+    if alphabet is None:
+        if has_wildcard(regex):
+            raise QueryError(
+                "an expression with !S / _ wildcards needs an explicit alphabet"
+            )
+        alphabet = symbols(regex)
+    return glushkov(regex, alphabet).trim()

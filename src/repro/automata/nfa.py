@@ -1,0 +1,241 @@
+"""Epsilon-free nondeterministic finite automata.
+
+We follow the paper's convention ``(Q, Sigma, delta, q0, F)`` but allow a
+*set* of initial states — the product construction of Section 6.2 turns
+graph nodes into initial states, and there may be many.  An NFA with a
+single initial state is of course a special case.
+
+States and symbols are arbitrary hashable objects; every engine in the
+library that needs fresh state names uses :meth:`NFA.renumbered`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+StateType = Hashable
+SymbolType = Hashable
+
+
+class NFA:
+    """An immutable epsilon-free NFA.
+
+    ``transitions`` maps ``(state, symbol)`` pairs to sets of successor
+    states.  Missing entries mean "no transition"; the automaton is not
+    required to be complete.
+    """
+
+    __slots__ = ("states", "alphabet", "initial", "finals", "_delta")
+
+    def __init__(
+        self,
+        states: Iterable[StateType],
+        alphabet: Iterable[SymbolType],
+        transitions: Mapping[tuple[StateType, SymbolType], Iterable[StateType]]
+        | Iterable[tuple[StateType, SymbolType, StateType]],
+        initial: Iterable[StateType],
+        finals: Iterable[StateType],
+    ):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.initial = frozenset(initial)
+        self.finals = frozenset(finals)
+        delta: dict[tuple[StateType, SymbolType], frozenset[StateType]] = {}
+        if isinstance(transitions, Mapping):
+            for key, successors in transitions.items():
+                delta[key] = frozenset(successors)
+        else:
+            staged: dict[tuple[StateType, SymbolType], set[StateType]] = {}
+            for source, symbol, target in transitions:
+                staged.setdefault((source, symbol), set()).add(target)
+            delta = {key: frozenset(value) for key, value in staged.items()}
+        self._delta = delta
+        undefined = (self.initial | self.finals) - self.states
+        if undefined:
+            raise ValueError(f"initial/final states not in state set: {undefined!r}")
+        for (source, symbol), targets in delta.items():
+            if source not in self.states or not targets <= self.states:
+                raise ValueError(f"transition on unknown state: {(source, symbol)!r}")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(targets) for targets in self._delta.values())
+
+    def successors(self, state: StateType, symbol: SymbolType) -> frozenset[StateType]:
+        """``delta(state, symbol)`` as a (possibly empty) set."""
+        return self._delta.get((state, symbol), frozenset())
+
+    def transitions(self) -> Iterator[tuple[StateType, SymbolType, StateType]]:
+        """Iterate over all transition triples."""
+        for (source, symbol), targets in self._delta.items():
+            for target in targets:
+                yield (source, symbol, target)
+
+    def out_transitions(
+        self, state: StateType
+    ) -> Iterator[tuple[SymbolType, StateType]]:
+        """Iterate over ``(symbol, target)`` pairs leaving ``state``."""
+        for (source, symbol), targets in self._delta.items():
+            if source == state:
+                for target in targets:
+                    yield (symbol, target)
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def step(
+        self, states: frozenset[StateType], symbol: SymbolType
+    ) -> frozenset[StateType]:
+        """The set of states reachable from ``states`` by one ``symbol``."""
+        result: set[StateType] = set()
+        for state in states:
+            result.update(self._delta.get((state, symbol), ()))
+        return frozenset(result)
+
+    def accepts(self, word: Iterable[SymbolType]) -> bool:
+        """Standard subset-simulation membership test."""
+        current = self.initial
+        for symbol in word:
+            if not current:
+                return False
+            current = self.step(current, symbol)
+        return bool(current & self.finals)
+
+    # ------------------------------------------------------------------
+    # trimming
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> frozenset[StateType]:
+        """States reachable from some initial state."""
+        seen = set(self.initial)
+        frontier = list(self.initial)
+        forward: dict[StateType, set[StateType]] = {}
+        for source, _symbol, target in self.transitions():
+            forward.setdefault(source, set()).add(target)
+        while frontier:
+            state = frontier.pop()
+            for target in forward.get(state, ()):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[StateType]:
+        """States from which some final state is reachable."""
+        seen = set(self.finals)
+        frontier = list(self.finals)
+        backward: dict[StateType, set[StateType]] = {}
+        for source, _symbol, target in self.transitions():
+            backward.setdefault(target, set()).add(source)
+        while frontier:
+            state = frontier.pop()
+            for source in backward.get(state, ()):
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Restrict to useful states (reachable and co-reachable)."""
+        useful = self.reachable_states() & self.coreachable_states()
+        return NFA(
+            useful,
+            self.alphabet,
+            {
+                (source, symbol): targets & useful
+                for (source, symbol), targets in self._delta.items()
+                if source in useful and targets & useful
+            },
+            self.initial & useful,
+            self.finals & useful,
+        )
+
+    def is_empty(self) -> bool:
+        """Whether ``L(A)`` is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    def is_infinite(self) -> bool:
+        """Whether ``L(A)`` is infinite (a useful cycle exists).
+
+        Used by engines to detect the Section 6.3 situation where the set of
+        matching paths is infinite.
+        """
+        trimmed = self.trim()
+        # DFS cycle detection on useful states.
+        color: dict[StateType, int] = {}
+        forward: dict[StateType, set[StateType]] = {}
+        for source, _symbol, target in trimmed.transitions():
+            forward.setdefault(source, set()).add(target)
+
+        def has_cycle(state: StateType) -> bool:
+            color[state] = 1
+            for target in forward.get(state, ()):
+                mark = color.get(target, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and has_cycle(target):
+                    return True
+            color[state] = 2
+            return False
+
+        return any(
+            color.get(state, 0) == 0 and has_cycle(state) for state in trimmed.states
+        )
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def reversed(self) -> "NFA":
+        """The mirror automaton accepting reversed words."""
+        return NFA(
+            self.states,
+            self.alphabet,
+            [(target, symbol, source) for source, symbol, target in self.transitions()],
+            self.finals,
+            self.initial,
+        )
+
+    def renumbered(self) -> "NFA":
+        """An isomorphic NFA with states 0..n-1 (stable, deterministic)."""
+        ordering = sorted(self.states, key=repr)
+        index = {state: number for number, state in enumerate(ordering)}
+        return NFA(
+            range(len(ordering)),
+            self.alphabet,
+            [
+                (index[source], symbol, index[target])
+                for source, symbol, target in self.transitions()
+            ],
+            [index[state] for state in self.initial],
+            [index[state] for state in self.finals],
+        )
+
+    def map_symbols(self, mapping) -> "NFA":
+        """Relabel every transition symbol through ``mapping``.
+
+        Used to erase capture-variable annotations from l-RPQ automata
+        (projecting ``(label, vars)`` atoms back to plain labels).
+        """
+        return NFA(
+            self.states,
+            {mapping(symbol) for symbol in self.alphabet},
+            [
+                (source, mapping(symbol), target)
+                for source, symbol, target in self.transitions()
+            ],
+            self.initial,
+            self.finals,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NFA states={len(self.states)} alphabet={len(self.alphabet)} "
+            f"transitions={self.num_transitions} initial={len(self.initial)} "
+            f"finals={len(self.finals)}>"
+        )

@@ -1,0 +1,163 @@
+"""Command-line interface: run the paper's query languages on JSON graphs.
+
+Examples (``fig2`` / ``fig3`` name the paper's built-in bank graphs; any
+other value is read as a graph JSON file in the
+:mod:`repro.graph.serialize` format)::
+
+    python -m repro rpq fig2 "Transfer*"
+    python -m repro rpq mygraph.json "a.(a+b)*" --source v0
+    python -m repro crpq fig2 "q(x,y) :- Transfer(x,y), Transfer(y,x)"
+    python -m repro paths fig3 "Transfer+" a3 a5 --mode simple
+    python -m repro dlrpq fig3 "(_)[Transfer][amount < 4500000](_)" a3 a4
+    python -m repro experiment E14
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graph.edge_labeled import EdgeLabeledGraph
+
+
+def _load_graph(spec: str) -> EdgeLabeledGraph:
+    if spec == "fig2":
+        from repro.graph.datasets import figure2_graph
+
+        return figure2_graph()
+    if spec == "fig3":
+        from repro.graph.datasets import figure3_graph
+
+        return figure3_graph()
+    from repro.graph.serialize import loads
+
+    with open(spec, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _cmd_rpq(args: argparse.Namespace) -> int:
+    from repro.rpq.evaluation import evaluate_rpq
+
+    graph = _load_graph(args.graph)
+    sources = [args.source] if args.source else None
+    pairs = evaluate_rpq(args.query, graph, sources=sources)
+    for source, target in sorted(pairs, key=repr):
+        print(f"{source}\t{target}")
+    print(f"# {len(pairs)} pairs", file=sys.stderr)
+    return 0
+
+
+def _cmd_crpq(args: argparse.Namespace) -> int:
+    from repro.crpq.evaluation import evaluate_crpq
+
+    graph = _load_graph(args.graph)
+    rows = evaluate_crpq(args.query, graph)
+    for row in sorted(rows, key=repr):
+        print("\t".join(str(value) for value in row))
+    print(f"# {len(rows)} rows", file=sys.stderr)
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    from repro.rpq.path_modes import matching_paths
+
+    graph = _load_graph(args.graph)
+    count = 0
+    for path in matching_paths(
+        args.query, graph, args.source, args.target, mode=args.mode,
+        limit=args.limit,
+    ):
+        print(" -> ".join(str(obj) for obj in path.objects))
+        count += 1
+    print(f"# {count} paths ({args.mode})", file=sys.stderr)
+    return 0
+
+
+def _cmd_dlrpq(args: argparse.Namespace) -> int:
+    from repro.datatests.dlrpq import evaluate_dlrpq
+
+    graph = _load_graph(args.graph)
+    count = 0
+    for binding in evaluate_dlrpq(
+        args.query, graph, args.source, args.target, mode=args.mode,
+        limit=args.limit,
+    ):
+        lists = dict(binding.mu.items())
+        suffix = f"   lists: {lists}" if lists else ""
+        print(" -> ".join(str(obj) for obj in binding.path.objects) + suffix)
+        count += 1
+    print(f"# {count} path bindings ({args.mode})", file=sys.stderr)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all, run_experiment
+
+    if args.id.lower() == "all":
+        for result in run_all():
+            print(result.render())
+            print()
+        return 0
+    print(run_experiment(args.id).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph query engines from 'Querying Graph Data: Where "
+        "We Are and Where To Go' (PODS Companion 2025).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    rpq = commands.add_parser("rpq", help="evaluate an RPQ ([[R]]_G pairs)")
+    rpq.add_argument("graph", help="fig2, fig3, or a graph JSON file")
+    rpq.add_argument("query", help="regular path query, e.g. 'Transfer*'")
+    rpq.add_argument("--source", help="restrict to one source node")
+    rpq.set_defaults(handler=_cmd_rpq)
+
+    crpq = commands.add_parser("crpq", help="evaluate a CRPQ (Datalog syntax)")
+    crpq.add_argument("graph")
+    crpq.add_argument("query", help="e.g. 'q(x,y) :- Transfer(x,y), owner(y,z)'")
+    crpq.set_defaults(handler=_cmd_crpq)
+
+    paths = commands.add_parser("paths", help="enumerate matching paths")
+    paths.add_argument("graph")
+    paths.add_argument("query")
+    paths.add_argument("source")
+    paths.add_argument("target")
+    paths.add_argument(
+        "--mode", default="shortest", choices=("all", "shortest", "simple", "trail")
+    )
+    paths.add_argument("--limit", type=int, default=None)
+    paths.set_defaults(handler=_cmd_paths)
+
+    dlrpq = commands.add_parser(
+        "dlrpq", help="evaluate a dl-RPQ with data tests (Section 3.2.1)"
+    )
+    dlrpq.add_argument("graph")
+    dlrpq.add_argument("query", help="e.g. '(_)[Transfer][amount < 4500000](_)'")
+    dlrpq.add_argument("source")
+    dlrpq.add_argument("target")
+    dlrpq.add_argument(
+        "--mode", default="shortest", choices=("all", "shortest", "simple", "trail")
+    )
+    dlrpq.add_argument("--limit", type=int, default=None)
+    dlrpq.set_defaults(handler=_cmd_dlrpq)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a DESIGN.md experiment (E1..E27 or 'all')"
+    )
+    experiment.add_argument("id")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.__main__
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""CoreGQL (Section 4): a pattern calculus plus relational algebra.
+
+The three components of the abstraction:
+
+1. patterns (:mod:`~repro.coregql.patterns`) with the Figure 4 semantics
+   (:mod:`~repro.coregql.semantics`) and conditions
+   (:mod:`~repro.coregql.conditions`);
+2. pattern outputs ``pi_Omega`` turning matches into first-normal-form
+   relations (:mod:`~repro.coregql.outputs`);
+3. relational algebra over those relations (:mod:`~repro.coregql.language`,
+   built on :mod:`repro.relalg`).
+
+The free-variable rules make the 1NF guarantee structural: repetition
+erases free variables (no lists) and both union branches must bind the same
+variables (no nulls).
+"""
+
+from repro.coregql.patterns import (
+    EdgePattern,
+    NodePattern,
+    PatternConcat,
+    PatternCondition,
+    PatternRepeat,
+    PatternUnion,
+    free_variables,
+)
+from repro.coregql.conditions import (
+    CondAnd,
+    CondNot,
+    CondOr,
+    LabelIs,
+    PropCompare,
+    PropConstCompare,
+)
+from repro.coregql.semantics import pattern_paths, pattern_triples
+from repro.coregql.outputs import Omega, pattern_relation
+from repro.coregql.language import CoreGQLQuery
+from repro.coregql.parser import parse_coregql_pattern
+
+__all__ = [
+    "NodePattern",
+    "EdgePattern",
+    "PatternConcat",
+    "PatternUnion",
+    "PatternRepeat",
+    "PatternCondition",
+    "free_variables",
+    "LabelIs",
+    "PropCompare",
+    "PropConstCompare",
+    "CondAnd",
+    "CondOr",
+    "CondNot",
+    "pattern_paths",
+    "pattern_triples",
+    "Omega",
+    "pattern_relation",
+    "CoreGQLQuery",
+    "parse_coregql_pattern",
+]

@@ -1,0 +1,134 @@
+"""CoreGQL conditions theta (Section 4.1.1, Figure 4).
+
+``theta := x.k = x'.k' | x.k < x'.k' | l(x) | theta or theta
+         | theta and theta | not theta``
+
+plus the obvious derived comparisons.  Satisfaction ``mu |= theta`` needs
+the graph (for rho and lambda) and the binding mu; following Figure 4, a
+comparison whose property is undefined is simply false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+
+
+class CoreCondition:
+    """Base class; instances are callable as ``cond(graph, mu)``."""
+
+    __slots__ = ()
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "CoreCondition") -> "CoreCondition":
+        return CondAnd(self, other)
+
+    def __or__(self, other: "CoreCondition") -> "CoreCondition":
+        return CondOr(self, other)
+
+    def __invert__(self) -> "CoreCondition":
+        return CondNot(self)
+
+
+def _compare(op: str, left, right) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ValueError(f"unknown operator {op!r}")
+
+
+@dataclass(frozen=True)
+class PropCompare(CoreCondition):
+    """``x.k op y.k'`` — compare two bound elements' property values."""
+
+    left_var: object
+    left_prop: object
+    op: str
+    right_var: object
+    right_prop: object
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        if self.left_var not in mu or self.right_var not in mu:
+            return False
+        left_obj, right_obj = mu[self.left_var], mu[self.right_var]
+        if not graph.has_property(left_obj, self.left_prop):
+            return False
+        if not graph.has_property(right_obj, self.right_prop):
+            return False
+        return _compare(
+            self.op,
+            graph.get_property(left_obj, self.left_prop),
+            graph.get_property(right_obj, self.right_prop),
+        )
+
+
+@dataclass(frozen=True)
+class PropConstCompare(CoreCondition):
+    """``x.k op c`` — compare a property against a constant."""
+
+    var: object
+    prop: object
+    op: str
+    value: object
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        if self.var not in mu:
+            return False
+        obj = mu[self.var]
+        if not graph.has_property(obj, self.prop):
+            return False
+        return _compare(self.op, graph.get_property(obj, self.prop), self.value)
+
+
+@dataclass(frozen=True)
+class LabelIs(CoreCondition):
+    """``l(x)`` — the bound element carries label ``l``."""
+
+    var: object
+    label: object
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        if self.var not in mu:
+            return False
+        return graph.object_label(mu[self.var]) == self.label
+
+
+@dataclass(frozen=True)
+class CondAnd(CoreCondition):
+    left: CoreCondition
+    right: CoreCondition
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        return self.left(graph, mu) and self.right(graph, mu)
+
+
+@dataclass(frozen=True)
+class CondOr(CoreCondition):
+    left: CoreCondition
+    right: CoreCondition
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        return self.left(graph, mu) or self.right(graph, mu)
+
+
+@dataclass(frozen=True)
+class CondNot(CoreCondition):
+    inner: CoreCondition
+
+    def __call__(self, graph: PropertyGraph, mu: dict) -> bool:
+        return not self.inner(graph, mu)

@@ -1,0 +1,99 @@
+"""CoreGQL queries: relational algebra over pattern relations (Section 4.1.3).
+
+A :class:`CoreGQLQuery` pairs a relational algebra expression with a mapping
+from relation names to ``(pattern, Omega)`` definitions — the symbols
+``R^pi_Omega`` of the paper.  Pattern relations are materialized lazily when
+the algebra evaluator first references them.
+
+The worked example of Section 4.1.3 — nodes ``u`` with two distinct
+neighbours sharing a property value — appears in
+:func:`section_413_example_query` and is exercised by the tests and by
+experiment E26.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.coregql.outputs import Omega, pattern_relation
+from repro.coregql.patterns import EdgePattern, NodePattern, Pattern, PatternConcat
+from repro.graph.property_graph import PropertyGraph
+from repro.relalg.algebra import (
+    AlgebraExpr,
+    AttrCompare,
+    And,
+    Join,
+    Projection,
+    RelRef,
+    Selection,
+    evaluate_algebra,
+)
+from repro.relalg.relation import Relation
+
+
+@dataclass
+class CoreGQLQuery:
+    """An algebra expression over named ``R^pi_Omega`` pattern relations."""
+
+    expression: AlgebraExpr
+    pattern_relations: Mapping[object, tuple[Pattern, Omega]] = field(
+        default_factory=dict
+    )
+
+    def evaluate(self, graph: PropertyGraph) -> Relation:
+        catalog = _LazyCatalog(self.pattern_relations, graph)
+        return evaluate_algebra(self.expression, catalog)
+
+
+class _LazyCatalog:
+    """Materializes pattern relations on first access."""
+
+    def __init__(self, definitions, graph):
+        self._definitions = definitions
+        self._graph = graph
+        self._cache: dict = {}
+
+    def __getitem__(self, name):
+        if name not in self._cache:
+            pattern, omega = self._definitions[name]
+            self._cache[name] = pattern_relation(pattern, omega, self._graph)
+        return self._cache[name]
+
+
+def section_413_example_query(
+    shared_prop: str = "p", output_prop: str = "s"
+) -> CoreGQLQuery:
+    """The paper's worked CoreGQL query.
+
+    "return nodes u and values of their property s such that u is connected
+    to two different nodes u1, u2 with the same value of property p":
+
+    .. math::
+        \\pi_{x, x.s}(\\sigma_{x1 != x2 \\wedge x1.p = x2.p}
+                      (R^{\\pi_1}_{\\Omega_1} \\bowtie R^{\\pi_2}_{\\Omega_2}))
+
+    with patterns ``pi_i = (x) -> (x_i)`` and
+    ``Omega_i = (x, x.s, x_i, x_i.p)``.
+    """
+    patterns = {}
+    for index in (1, 2):
+        pattern = PatternConcat(
+            (NodePattern("x"), EdgePattern(None), NodePattern(f"x{index}"))
+        )
+        omega = Omega.of(
+            "x", ("x", output_prop), f"x{index}", (f"x{index}", shared_prop)
+        )
+        patterns[f"R{index}"] = (pattern, omega)
+
+    expression = Projection(
+        Selection(
+            Join(RelRef("R1"), RelRef("R2")),
+            And(
+                AttrCompare("x1", "!=", "x2"),
+                AttrCompare(f"x1.{shared_prop}", "=", f"x2.{shared_prop}"),
+            ),
+        ),
+        ("x", f"x.{output_prop}"),
+    )
+    return CoreGQLQuery(expression=expression, pattern_relations=patterns)

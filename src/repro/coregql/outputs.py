@@ -1,0 +1,98 @@
+"""Pattern outputs ``pi_Omega`` (Section 4.1.2).
+
+``Omega`` is a sequence whose entries are variables ``x`` or property
+accesses ``x.k``.  A binding ``mu`` is *compatible* with Omega when every
+referenced variable is bound and every referenced property is defined —
+incompatible matches simply contribute no row, which is how CoreGQL stays
+null-free.  The result is a first-normal-form relation over the attributes
+of Omega.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coregql.patterns import Pattern, free_variables
+from repro.coregql.semantics import pattern_triples
+from repro.errors import QueryError
+from repro.graph.property_graph import PropertyGraph
+from repro.relalg.relation import Relation
+
+
+@dataclass(frozen=True)
+class Omega:
+    """An output sequence; entries are ``"x"`` or ``("x", "k")`` pairs."""
+
+    entries: tuple
+
+    @classmethod
+    def of(cls, *entries) -> "Omega":
+        """``Omega.of("x", ("x", "s"), "y")`` — strings are variables,
+        2-tuples are ``x.k`` property accesses.
+
+        A string containing a dot is split into a property access, so
+        ``Omega.of("x.s")`` equals ``Omega.of(("x", "s"))``.
+        """
+        normalized = []
+        for entry in entries:
+            if isinstance(entry, str) and "." in entry:
+                var, prop = entry.split(".", 1)
+                normalized.append((var, prop))
+            else:
+                normalized.append(entry)
+        return cls(tuple(normalized))
+
+    def attributes(self) -> tuple:
+        """Attribute names of the produced relation: ``x`` or ``x.k``."""
+        names = []
+        for entry in self.entries:
+            if isinstance(entry, tuple):
+                names.append(f"{entry[0]}.{entry[1]}")
+            else:
+                names.append(str(entry))
+        return tuple(names)
+
+    def variables(self) -> frozenset:
+        found = set()
+        for entry in self.entries:
+            found.add(entry[0] if isinstance(entry, tuple) else entry)
+        return frozenset(found)
+
+
+def pattern_relation(
+    pattern: Pattern, omega: Omega, graph: PropertyGraph
+) -> Relation:
+    """``[[pi_Omega]]_G`` — the 1NF relation over Omega's attributes.
+
+    Omega may only reference free variables of the pattern (anything else
+    could never be bound, which we surface as an error rather than an empty
+    relation).
+    """
+    unknown = omega.variables() - free_variables(pattern)
+    if unknown:
+        raise QueryError(
+            f"Omega references non-free variables {sorted(map(str, unknown))!r}"
+        )
+    attributes = omega.attributes()
+    rows = set()
+    for _src, _tgt, mu in pattern_triples(pattern, graph):
+        binding = dict(mu)
+        row = []
+        compatible = True
+        for entry in omega.entries:
+            if isinstance(entry, tuple):
+                var, prop = entry
+                if var not in binding or not graph.has_property(
+                    binding[var], prop
+                ):
+                    compatible = False
+                    break
+                row.append(graph.get_property(binding[var], prop))
+            else:
+                if entry not in binding:
+                    compatible = False
+                    break
+                row.append(binding[entry])
+        if compatible:
+            rows.add(tuple(row))
+    return Relation(attributes, rows)

@@ -1,0 +1,114 @@
+"""ASCII-art syntax for CoreGQL patterns.
+
+CoreGQL shares the surface syntax of the GQL layer
+(:mod:`repro.gql.parser`); this module translates the shared AST into the
+Section 4.1.1 pattern calculus:
+
+* node/edge labels become ``l(x)`` conditions (CoreGQL keeps labels in the
+  condition language, Figure 4) — anonymous labeled elements get a fresh
+  internal variable to hang the condition on;
+* ``WHERE`` conditions become ``pi<theta>``;
+* quantifiers become ``pi^{n..m}`` (erasing free variables, per the FV
+  rules);
+* disjunction requires both branches to bind the same variables, as
+  CoreGQL's null-freedom demands.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.coregql.conditions import (
+    CondAnd,
+    CondNot,
+    CondOr,
+    CoreCondition,
+    LabelIs,
+    PropCompare,
+    PropConstCompare,
+)
+from repro.coregql.patterns import (
+    EdgePattern,
+    NodePattern,
+    Pattern,
+    PatternConcat,
+    PatternCondition,
+    PatternRepeat,
+    PatternUnion,
+)
+from repro.gql.ast import (
+    Alt,
+    BAnd,
+    BNot,
+    BOr,
+    BoolExpr,
+    Cmp,
+    EdgePat,
+    GPattern,
+    NodePat,
+    Quant,
+    Seq,
+    Where,
+)
+from repro.gql.parser import parse_gql_pattern
+
+
+def _convert_condition(expr: BoolExpr) -> CoreCondition:
+    if isinstance(expr, BAnd):
+        return CondAnd(_convert_condition(expr.left), _convert_condition(expr.right))
+    if isinstance(expr, BOr):
+        return CondOr(_convert_condition(expr.left), _convert_condition(expr.right))
+    if isinstance(expr, BNot):
+        return CondNot(_convert_condition(expr.inner))
+    if isinstance(expr, Cmp):
+        if expr.rhs_is_const:
+            return PropConstCompare(expr.var, expr.prop, expr.op, expr.const)
+        return PropCompare(expr.var, expr.prop, expr.op, expr.rhs_var, expr.rhs_prop)
+    raise TypeError(f"not a condition: {expr!r}")
+
+
+class _Converter:
+    def __init__(self) -> None:
+        self._fresh = itertools.count()
+
+    def _fresh_var(self) -> str:
+        return f"__anon{next(self._fresh)}"
+
+    def convert(self, pattern: GPattern) -> Pattern:
+        if isinstance(pattern, NodePat):
+            return self._element(pattern.var, pattern.label, NodePattern)
+        if isinstance(pattern, EdgePat):
+            return self._element(pattern.var, pattern.label, EdgePattern)
+        if isinstance(pattern, Seq):
+            return PatternConcat(tuple(self.convert(part) for part in pattern.parts))
+        if isinstance(pattern, Alt):
+            parts = [self.convert(part) for part in pattern.parts]
+            result = parts[0]
+            for part in parts[1:]:
+                result = PatternUnion(result, part)
+            return result
+        if isinstance(pattern, Quant):
+            return PatternRepeat(self.convert(pattern.inner), pattern.low, pattern.high)
+        if isinstance(pattern, Where):
+            return PatternCondition(
+                self.convert(pattern.inner), _convert_condition(pattern.condition)
+            )
+        raise TypeError(f"not an ASCII pattern: {pattern!r}")
+
+    def _element(self, var, label, constructor) -> Pattern:
+        if label is None:
+            return constructor(var)
+        effective_var = var if var is not None else self._fresh_var()
+        return PatternCondition(
+            constructor(effective_var), LabelIs(effective_var, label)
+        )
+
+
+def parse_coregql_pattern(text: str) -> Pattern:
+    """Parse an ASCII-art pattern into the CoreGQL calculus.
+
+    Note: a labeled anonymous element introduces an internal fresh variable
+    (``__anonN``); it is free in the pattern, so projections via Omega
+    should simply not mention it.
+    """
+    return _Converter().convert(parse_gql_pattern(text))

@@ -1,0 +1,135 @@
+"""CoreGQL patterns (Section 4.1.1).
+
+The grammar::
+
+    pi := (x) | -x-> | pi1 pi2 | pi1 + pi2 | pi^{n..m} | pi<theta>
+
+with optional variables.  Free variables implement the paper's rules
+exactly — in particular ``FV(pi^{n..m}) = {}`` (repetition erases bindings,
+keeping relations atomic-valued) and both branches of a union must agree on
+free variables (keeping relations null-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+class Pattern:
+    """Base class for CoreGQL pattern nodes."""
+
+    __slots__ = ()
+
+    def concat(self, other: "Pattern") -> "Pattern":
+        return PatternConcat((self, other))
+
+    def union(self, other: "Pattern") -> "Pattern":
+        return PatternUnion(self, other)
+
+    def repeat(self, low: int, high: "int | None") -> "Pattern":
+        return PatternRepeat(self, low, high)
+
+    def star(self) -> "Pattern":
+        return PatternRepeat(self, 0, None)
+
+    def where(self, condition) -> "Pattern":
+        return PatternCondition(self, condition)
+
+
+@dataclass(frozen=True)
+class NodePattern(Pattern):
+    """``(x)`` — matches any node; ``var=None`` is the anonymous ``()``."""
+
+    var: object = None
+
+
+@dataclass(frozen=True)
+class EdgePattern(Pattern):
+    """``-x->`` — matches any edge; the produced path is node-to-node
+    (``path(n1, e, n2)``), per Figure 4."""
+
+    var: object = None
+
+
+@dataclass(frozen=True)
+class PatternConcat(Pattern):
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise QueryError("concatenation needs at least two parts")
+
+
+@dataclass(frozen=True)
+class PatternUnion(Pattern):
+    """``pi1 + pi2`` — CoreGQL requires FV(pi1) = FV(pi2) (no nulls)."""
+
+    left: Pattern
+    right: Pattern
+
+    def __post_init__(self) -> None:
+        if free_variables(self.left) != free_variables(self.right):
+            raise QueryError(
+                "union branches must have identical free variables "
+                f"({sorted(map(str, free_variables(self.left)))} vs "
+                f"{sorted(map(str, free_variables(self.right)))}); "
+                "real GQL allows this and pays with nulls (Section 4.2)"
+            )
+
+
+@dataclass(frozen=True)
+class PatternRepeat(Pattern):
+    """``pi^{n..m}``; ``high=None`` encodes m = infinity (``pi*``)."""
+
+    inner: Pattern
+    low: int
+    high: "int | None"
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or (self.high is not None and self.high < self.low):
+            raise QueryError(f"invalid repetition bounds {self.low}..{self.high}")
+
+
+@dataclass(frozen=True)
+class PatternCondition(Pattern):
+    """``pi<theta>`` — keep matches whose binding satisfies the condition."""
+
+    inner: Pattern
+    condition: object
+
+
+def free_variables(pattern: Pattern) -> frozenset:
+    """``FV(pi)`` per Section 4.1.1.
+
+    Note the two deliberate erasures: repetition has no free variables, and
+    conditions add none.
+    """
+    if isinstance(pattern, (NodePattern, EdgePattern)):
+        return frozenset() if pattern.var is None else frozenset({pattern.var})
+    if isinstance(pattern, PatternConcat):
+        result: frozenset = frozenset()
+        for part in pattern.parts:
+            result |= free_variables(part)
+        return result
+    if isinstance(pattern, PatternUnion):
+        return free_variables(pattern.left)
+    if isinstance(pattern, PatternRepeat):
+        return frozenset()
+    if isinstance(pattern, PatternCondition):
+        return free_variables(pattern.inner)
+    raise TypeError(f"not a CoreGQL pattern: {pattern!r}")
+
+
+def pattern_size(pattern: Pattern) -> int:
+    """AST size, used by planners and tests."""
+    if isinstance(pattern, (NodePattern, EdgePattern)):
+        return 1
+    if isinstance(pattern, PatternConcat):
+        return 1 + sum(pattern_size(part) for part in pattern.parts)
+    if isinstance(pattern, PatternUnion):
+        return 1 + pattern_size(pattern.left) + pattern_size(pattern.right)
+    if isinstance(pattern, (PatternRepeat, PatternCondition)):
+        return 1 + pattern_size(pattern.inner)
+    raise TypeError(f"not a CoreGQL pattern: {pattern!r}")

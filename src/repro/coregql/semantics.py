@@ -1,0 +1,247 @@
+"""The Figure 4 semantics of CoreGQL patterns.
+
+Two evaluators are provided:
+
+* :func:`pattern_paths` — the literal semantics: the set of pairs
+  ``(p, mu)`` of a path and a binding of the free variables.  This set can
+  be infinite under unbounded repetition on cyclic graphs, so the evaluator
+  either takes a ``max_length`` bound or raises
+  :class:`~repro.errors.InfiniteResultError`.
+
+* :func:`pattern_triples` — the *endpoint* semantics: the set of
+  ``(src(p), tgt(p), mu)`` triples.  Because repetition erases bindings
+  (``FV(pi^{n..m}) = {}``), this set is always finite and is exactly what
+  the relational layer of CoreGQL needs; unbounded repetition becomes a
+  transitive closure.
+
+The test suite checks that on acyclic graphs the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfiniteResultError
+from repro.coregql.patterns import (
+    EdgePattern,
+    NodePattern,
+    Pattern,
+    PatternConcat,
+    PatternCondition,
+    PatternRepeat,
+    PatternUnion,
+)
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+
+Binding = tuple  # sorted tuple of (var, element) pairs
+
+
+def _freeze(mu: dict) -> Binding:
+    return tuple(sorted(mu.items(), key=repr))
+
+
+def _compatible(mu1: Binding, mu2: Binding) -> "Binding | None":
+    """``mu1 ~ mu2`` and their merge ``mu1 |><| mu2`` (None if incompatible)."""
+    left = dict(mu1)
+    for var, value in mu2:
+        if var in left:
+            if left[var] != value:
+                return None
+        else:
+            left[var] = value
+    return _freeze(left)
+
+
+# ----------------------------------------------------------------------
+# path-level semantics
+# ----------------------------------------------------------------------
+def pattern_paths(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    max_length: "int | None" = None,
+) -> set[tuple[Path, Binding]]:
+    """``[[pi]]_G`` as (path, binding) pairs; see module docstring."""
+    return _paths(pattern, graph, max_length)
+
+
+def _paths(pattern, graph, bound) -> set[tuple[Path, Binding]]:
+    if isinstance(pattern, NodePattern):
+        return {
+            (
+                Path.trivial(graph, node),
+                _freeze({pattern.var: node}) if pattern.var is not None else (),
+            )
+            for node in graph.iter_nodes()
+        }
+    if isinstance(pattern, EdgePattern):
+        results = set()
+        if bound is not None and bound < 1:
+            return results
+        for edge in graph.iter_edges():
+            src, tgt = graph.endpoints(edge)
+            mu = _freeze({pattern.var: edge}) if pattern.var is not None else ()
+            results.add((Path.of(graph, (src, edge, tgt)), mu))
+        return results
+    if isinstance(pattern, PatternConcat):
+        current = _paths(pattern.parts[0], graph, bound)
+        for part in pattern.parts[1:]:
+            step = _paths(part, graph, bound)
+            combined = set()
+            for path1, mu1 in current:
+                for path2, mu2 in step:
+                    if path1.tgt != path2.src:
+                        continue
+                    merged = _compatible(mu1, mu2)
+                    if merged is None:
+                        continue
+                    joined = path1.concat(path2)
+                    if bound is not None and len(joined) > bound:
+                        continue
+                    combined.add((joined, merged))
+            current = combined
+        return current
+    if isinstance(pattern, PatternUnion):
+        return _paths(pattern.left, graph, bound) | _paths(
+            pattern.right, graph, bound
+        )
+    if isinstance(pattern, PatternCondition):
+        return {
+            (path, mu)
+            for path, mu in _paths(pattern.inner, graph, bound)
+            if pattern.condition(graph, dict(mu))
+        }
+    if isinstance(pattern, PatternRepeat):
+        return _repeat_paths(pattern, graph, bound)
+    raise TypeError(f"not a CoreGQL pattern: {pattern!r}")
+
+
+def _repeat_paths(pattern: PatternRepeat, graph, bound):
+    inner = _paths(pattern.inner, graph, bound)
+    inner_paths = {path for path, _mu in inner}  # bindings are erased
+
+    # current = [[pi]]^j as a set of paths; j starts at 0 (trivial paths).
+    current = {Path.trivial(graph, node) for node in graph.iter_nodes()}
+    accumulated: set[Path] = set()
+    iteration = 0
+    safety_cap = graph.num_nodes + graph.num_edges + 1
+    seen_levels: set[frozenset] = set()
+    while True:
+        in_window = iteration >= pattern.low and (
+            pattern.high is None or iteration <= pattern.high
+        )
+        if in_window:
+            accumulated |= current
+            if pattern.high is None:
+                level = frozenset(current)
+                if level in seen_levels:
+                    break  # the level sets cycle; nothing new can appear
+                seen_levels.add(level)
+        if pattern.high is not None and iteration >= pattern.high:
+            break
+        extended = set()
+        for path1 in current:
+            for path2 in inner_paths:
+                if path1.tgt != path2.src:
+                    continue
+                joined = path1.concat(path2)
+                if bound is not None and len(joined) > bound:
+                    continue
+                extended.add(joined)
+        current = extended
+        iteration += 1
+        if not current:
+            break
+        if (
+            pattern.high is None
+            and bound is None
+            and any(len(path) > safety_cap for path in current)
+        ):
+            raise InfiniteResultError(
+                "unbounded repetition over a cyclic graph yields "
+                "infinitely many paths; pass max_length"
+            )
+    return {(path, ()) for path in accumulated}
+
+
+# ----------------------------------------------------------------------
+# endpoint (triple) semantics
+# ----------------------------------------------------------------------
+def pattern_triples(
+    pattern: Pattern, graph: PropertyGraph
+) -> set[tuple]:
+    """``{(src(p), tgt(p), mu) | (p, mu) in [[pi]]_G}`` — always finite."""
+    if isinstance(pattern, NodePattern):
+        return {
+            (
+                node,
+                node,
+                _freeze({pattern.var: node}) if pattern.var is not None else (),
+            )
+            for node in graph.iter_nodes()
+        }
+    if isinstance(pattern, EdgePattern):
+        results = set()
+        for edge in graph.iter_edges():
+            src, tgt = graph.endpoints(edge)
+            mu = _freeze({pattern.var: edge}) if pattern.var is not None else ()
+            results.add((src, tgt, mu))
+        return results
+    if isinstance(pattern, PatternConcat):
+        current = pattern_triples(pattern.parts[0], graph)
+        for part in pattern.parts[1:]:
+            step = pattern_triples(part, graph)
+            by_src: dict = {}
+            for src, tgt, mu in step:
+                by_src.setdefault(src, []).append((tgt, mu))
+            combined = set()
+            for src1, tgt1, mu1 in current:
+                for tgt2, mu2 in by_src.get(tgt1, ()):
+                    merged = _compatible(mu1, mu2)
+                    if merged is not None:
+                        combined.add((src1, tgt2, merged))
+            current = combined
+        return current
+    if isinstance(pattern, PatternUnion):
+        return pattern_triples(pattern.left, graph) | pattern_triples(
+            pattern.right, graph
+        )
+    if isinstance(pattern, PatternCondition):
+        return {
+            (src, tgt, mu)
+            for src, tgt, mu in pattern_triples(pattern.inner, graph)
+            if pattern.condition(graph, dict(mu))
+        }
+    if isinstance(pattern, PatternRepeat):
+        inner_pairs = {
+            (src, tgt) for src, tgt, _mu in pattern_triples(pattern.inner, graph)
+        }
+        by_src: dict = {}
+        for src, tgt in inner_pairs:
+            by_src.setdefault(src, set()).add(tgt)
+        # current = the pairs of [[pi]]^j; j starts at 0 (identity pairs).
+        current = {(node, node) for node in graph.iter_nodes()}
+        answer: set[tuple] = set()
+        iteration = 0
+        seen_levels: set[frozenset] = set()
+        while True:
+            in_window = iteration >= pattern.low and (
+                pattern.high is None or iteration <= pattern.high
+            )
+            if in_window:
+                answer |= current
+                if pattern.high is None:
+                    level = frozenset(current)
+                    if level in seen_levels:
+                        break  # the level sets cycle: closure reached
+                    seen_levels.add(level)
+            if pattern.high is not None and iteration >= pattern.high:
+                break
+            current = {
+                (src1, tgt2)
+                for src1, tgt1 in current
+                for tgt2 in by_src.get(tgt1, ())
+            }
+            iteration += 1
+            if not current:
+                break
+        return {(src, tgt, ()) for src, tgt in answer}
+    raise TypeError(f"not a CoreGQL pattern: {pattern!r}")

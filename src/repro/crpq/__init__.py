@@ -1,0 +1,38 @@
+"""Conjunctive regular path queries (Sections 3.1.2–3.1.3).
+
+* :mod:`~repro.crpq.ast` — CRPQ syntax (atoms, variables, constants) and a
+  Datalog-ish parser;
+* :mod:`~repro.crpq.evaluation` — node-homomorphism semantics via joins of
+  RPQ relations, with sideways information passing;
+* :mod:`~repro.crpq.planning` — cardinality estimation and greedy join
+  ordering (the Section 7.1 "relational algebra over pattern matching"
+  optimization surface);
+* :mod:`~repro.crpq.nested` — nested CRPQs / regular queries [97]
+  (Examples 14–15): binary CRPQs used as virtual edge labels, closable
+  under Kleene star.
+"""
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var, parse_crpq
+from repro.crpq.evaluation import evaluate_crpq
+from repro.crpq.planning import estimate_atom_cardinality, greedy_plan
+from repro.crpq.nested import VirtualLabel, evaluate_nested_crpq
+from repro.crpq.regular_queries import (
+    RegularQuery,
+    evaluate_regular_query,
+    parse_regular_query,
+)
+
+__all__ = [
+    "CRPQ",
+    "RPQAtom",
+    "Var",
+    "parse_crpq",
+    "evaluate_crpq",
+    "greedy_plan",
+    "estimate_atom_cardinality",
+    "VirtualLabel",
+    "evaluate_nested_crpq",
+    "RegularQuery",
+    "parse_regular_query",
+    "evaluate_regular_query",
+]

@@ -1,0 +1,197 @@
+"""CRPQ abstract syntax (Section 3.1.2).
+
+A CRPQ is ``q(x1, ..., xk) :- R1(y1, y1'), ..., Rn(yn, yn')`` where each
+``Ri`` is an RPQ and every head variable occurs in some atom.  Following
+footnote 3 of the paper we generalize atom terms to be either variables or
+graph-node constants.
+
+The textual syntax accepted by :func:`parse_crpq` mirrors the paper::
+
+    q(x1, x2, x3) :- Transfer(x1, x2), Transfer(x1, x3), Transfer(x2, x3)
+    q(x, x1, x2) :- owner(y, x1), isBlocked(y, x2), (Transfer.Transfer?)(x, y)
+
+Terms starting with a letter are variables; quoted terms (``"a3"``) are node
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TypingUnion
+
+from repro.errors import ParseError, QueryError
+from repro.regex.ast import Regex
+from repro.regex.parser import parse_regex
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable, distinct from any node constant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = TypingUnion[Var, object]
+
+
+@dataclass(frozen=True, slots=True)
+class RPQAtom:
+    """An atom ``R(left, right)``: an RPQ between two terms."""
+
+    regex: Regex
+    left: Term
+    right: Term
+
+    def variables(self) -> frozenset[Var]:
+        found = set()
+        if isinstance(self.left, Var):
+            found.add(self.left)
+        if isinstance(self.right, Var):
+            found.add(self.right)
+        return frozenset(found)
+
+
+@dataclass(frozen=True, slots=True)
+class CRPQ:
+    """A conjunctive regular path query with head and body."""
+
+    head: tuple[Var, ...]
+    atoms: tuple[RPQAtom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        body_vars: set[Var] = set()
+        for atom in self.atoms:
+            body_vars |= atom.variables()
+        missing = [var for var in self.head if var not in body_vars]
+        if missing:
+            raise QueryError(
+                f"head variables {missing!r} do not occur in the body "
+                "(condition 3 of the CRPQ definition)"
+            )
+
+    def variables(self) -> frozenset[Var]:
+        found: set[Var] = set()
+        for atom in self.atoms:
+            found |= atom.variables()
+        return frozenset(found)
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on ``separator`` outside (), {} and quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_quote = False
+    current: list[str] = []
+    for char in text:
+        if in_quote:
+            current.append(char)
+            if char == "'" or char == '"':
+                in_quote = False
+            continue
+        if char in "'\"":
+            in_quote = True
+            current.append(char)
+        elif char in "({":
+            depth += 1
+            current.append(char)
+        elif char in ")}":
+            depth -= 1
+            current.append(char)
+        elif char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_term(text: str) -> Term:
+    text = text.strip()
+    if not text:
+        raise ParseError("empty term")
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise ParseError(f"unterminated constant {text!r}")
+        return text[1:-1]
+    return Var(text)
+
+
+def parse_atom(text: str) -> RPQAtom:
+    """Parse one atom ``REGEX(term, term)``.
+
+    The term pair is the final parenthesized group; everything before it is
+    the regular expression.
+    """
+    text = text.strip()
+    if not text.endswith(")"):
+        raise ParseError(f"atom {text!r} does not end with a term list")
+    depth = 0
+    open_index = None
+    for index in range(len(text) - 1, -1, -1):
+        char = text[index]
+        if char == ")":
+            depth += 1
+        elif char == "(":
+            depth -= 1
+            if depth == 0:
+                open_index = index
+                break
+    if open_index is None:
+        raise ParseError(f"unbalanced parentheses in atom {text!r}")
+    regex_text = text[:open_index].strip()
+    terms_text = text[open_index + 1 : -1]
+    terms = _split_top_level(terms_text, ",")
+    if len(terms) != 2:
+        raise ParseError(f"atom {text!r} must have exactly two terms")
+    if not regex_text:
+        raise ParseError(f"atom {text!r} is missing its regular expression")
+    return RPQAtom(
+        regex=parse_regex(regex_text),
+        left=_parse_term(terms[0]),
+        right=_parse_term(terms[1]),
+    )
+
+
+def parse_crpq(text: str) -> CRPQ:
+    """Parse a Datalog-style CRPQ (see module docstring for the syntax)."""
+    if ":-" not in text:
+        raise ParseError("a CRPQ needs a ':-' between head and body")
+    head_text, body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    if not head_text.endswith(")") or "(" not in head_text:
+        raise ParseError(f"malformed head {head_text!r}")
+    name, args_text = head_text.split("(", 1)
+    name = name.strip() or "q"
+    args_text = args_text[:-1].strip()
+    if args_text:
+        head_vars = []
+        for part in _split_top_level(args_text, ","):
+            term = _parse_term(part)
+            if not isinstance(term, Var):
+                raise ParseError("head terms must be variables")
+            head_vars.append(term)
+    else:
+        head_vars = []
+    atoms = [
+        parse_atom(part)
+        for part in _split_top_level(body_text.strip(), ",")
+        if part.strip()
+    ]
+    if not atoms:
+        raise ParseError("a CRPQ needs at least one atom")
+    return CRPQ(head=tuple(head_vars), atoms=tuple(atoms), name=name)

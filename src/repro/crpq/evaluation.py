@@ -1,0 +1,168 @@
+"""CRPQ evaluation: joins of RPQ relations (Section 3.1.2).
+
+``q(G) = { h(x1, ..., xk) | h is a node homomorphism from q to G }``.
+
+The evaluator processes atoms in the order chosen by
+:mod:`repro.crpq.planning`, maintaining a set of partial bindings (a
+relation over the variables seen so far).  Per atom it picks the cheapest
+access path:
+
+* left term bound  -> forward reachability from the bound node;
+* right term bound -> reachability of the *reversed* expression over the
+  reversed graph (Section 6.2's product construction runs equally well
+  backwards);
+* neither bound    -> the full ``[[R]]_G`` relation.
+
+Reachability calls are memoized per (expression, start), so star-shaped
+joins do not recompute the same BFS.
+"""
+
+from __future__ import annotations
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var
+from repro.crpq.planning import greedy_plan
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
+from repro.regex.ast import reverse as regex_reverse
+from repro.rpq.evaluation import compile_for_graph, evaluate_rpq, reachable_by_rpq
+
+
+class _AtomAccess:
+    """Memoized access paths for one evaluation run."""
+
+    def __init__(self, graph: EdgeLabeledGraph):
+        self.graph = graph
+        self.reversed_graph = None
+        self._forward: dict = {}
+        self._backward: dict = {}
+        self._full: dict = {}
+        self._nfa_cache: dict = {}
+
+    def _nfa(self, regex, graph):
+        key = (regex, id(graph))
+        if key not in self._nfa_cache:
+            self._nfa_cache[key] = compile_for_graph(regex, graph)
+        return self._nfa_cache[key]
+
+    def forward(self, regex, source: ObjectId) -> set[ObjectId]:
+        key = (regex, source)
+        if key not in self._forward:
+            self._forward[key] = reachable_by_rpq(
+                self._nfa(regex, self.graph), self.graph, source
+            )
+        return self._forward[key]
+
+    def backward(self, regex, target: ObjectId) -> set[ObjectId]:
+        key = (regex, target)
+        if key not in self._backward:
+            if self.reversed_graph is None:
+                self.reversed_graph = self.graph.reversed_copy()
+            reversed_regex = regex_reverse(regex)
+            self._backward[key] = reachable_by_rpq(
+                self._nfa(reversed_regex, self.reversed_graph),
+                self.reversed_graph,
+                target,
+            )
+        return self._backward[key]
+
+    def full(self, regex) -> set[tuple[ObjectId, ObjectId]]:
+        if regex not in self._full:
+            self._full[regex] = evaluate_rpq(regex, self.graph)
+        return self._full[regex]
+
+
+def _resolve(term, binding: dict) -> "ObjectId | None":
+    """The node a term denotes under the binding, or None if still free."""
+    if isinstance(term, Var):
+        return binding.get(term)
+    return term
+
+
+def _extend(
+    binding: dict, term, node: ObjectId
+) -> "dict | None":
+    """Bind ``term`` to ``node`` if consistent; constants must match."""
+    if isinstance(term, Var):
+        bound = binding.get(term)
+        if bound is None:
+            extended = dict(binding)
+            extended[term] = node
+            return extended
+        return binding if bound == node else None
+    return binding if term == node else None
+
+
+def evaluate_crpq_bindings(
+    query: "CRPQ | str",
+    graph: EdgeLabeledGraph,
+    plan: "list[RPQAtom] | None" = None,
+) -> list[dict]:
+    """All node homomorphisms from ``query`` to ``graph`` as variable->node
+    dictionaries (before head projection).
+
+    This is the engine behind :func:`evaluate_crpq`; the l-CRPQ evaluator of
+    Section 3.1.5 also starts from these homomorphisms before attaching list
+    bindings per atom.
+    """
+    if isinstance(query, str):
+        from repro.crpq.ast import parse_crpq
+
+        query = parse_crpq(query)
+    ordered = plan if plan is not None else greedy_plan(query, graph)
+    access = _AtomAccess(graph)
+
+    bindings: list[dict] = [{}]
+    for atom in ordered:
+        next_bindings: list[dict] = []
+        for binding in bindings:
+            left = _resolve(atom.left, binding)
+            right = _resolve(atom.right, binding)
+            if left is not None and graph.has_node(left):
+                targets = access.forward(atom.regex, left)
+                if right is not None:
+                    if right in targets:
+                        next_bindings.append(binding)
+                else:
+                    for node in targets:
+                        extended = _extend(binding, atom.right, node)
+                        if extended is not None:
+                            next_bindings.append(extended)
+            elif right is not None and graph.has_node(right):
+                sources = access.backward(atom.regex, right)
+                for node in sources:
+                    extended = _extend(binding, atom.left, node)
+                    if extended is not None:
+                        next_bindings.append(extended)
+            elif left is None and right is None:
+                for source, target in access.full(atom.regex):
+                    extended = _extend(binding, atom.left, source)
+                    if extended is None:
+                        continue
+                    extended = _extend(extended, atom.right, target)
+                    if extended is not None:
+                        next_bindings.append(extended)
+            # else: a bound term is not even a node of the graph -> no match
+        bindings = next_bindings
+        if not bindings:
+            break
+    return bindings
+
+
+def evaluate_crpq(
+    query: "CRPQ | str",
+    graph: EdgeLabeledGraph,
+    plan: "list[RPQAtom] | None" = None,
+) -> set[tuple]:
+    """The output ``q(G)`` as a set of head-variable tuples.
+
+    A boolean query (empty head) returns ``{()}`` when satisfiable and
+    ``set()`` otherwise.  A custom atom order can be injected via ``plan``
+    (the benchmarks use this to compare against the greedy planner).
+    """
+    if isinstance(query, str):
+        from repro.crpq.ast import parse_crpq
+
+        query = parse_crpq(query)
+    results: set[tuple] = set()
+    for binding in evaluate_crpq_bindings(query, graph, plan=plan):
+        results.add(tuple(binding[var] for var in query.head))
+    return results

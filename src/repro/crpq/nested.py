@@ -1,0 +1,93 @@
+"""Nested CRPQs / regular queries (Section 3.1.3, Examples 14-15, [97]).
+
+CRPQs are not compositional: a binary CRPQ defines *virtual edges*, but a
+plain CRPQ cannot take the Kleene closure of those.  Nested CRPQs fix this
+by allowing binary CRPQs wherever an edge label may appear in an RPQ.
+
+Implementation: a :class:`VirtualLabel` wraps a binary CRPQ (which may
+itself use virtual labels, to any nesting depth).  Evaluation proceeds
+bottom-up — each virtual label's pair relation is materialized and added to
+(a copy of) the graph as fresh edges carrying the virtual label, after
+which the outer query is an ordinary CRPQ.  This is exactly the semantics
+of Example 15::
+
+    q2(u, v) :- ((Transfer(x, y), Transfer(y, x))[x, y])* (u, v)
+
+where the starred subexpression ranges over the virtual edges defined by q1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crpq.ast import CRPQ
+from repro.crpq.evaluation import evaluate_crpq
+from repro.errors import QueryError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Regex, symbols
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualLabel:
+    """A virtual edge label defined by a binary CRPQ.
+
+    ``query`` must have exactly two head variables; the virtual edges are
+    the pairs it returns.  Instances are used as ``Symbol`` payloads inside
+    RPQ expressions of an outer (nested) CRPQ.
+    """
+
+    name: str
+    query: CRPQ
+
+    def __post_init__(self) -> None:
+        if len(self.query.head) != 2:
+            raise QueryError(
+                f"virtual label {self.name!r} needs a binary query, "
+                f"got arity {len(self.query.head)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<virtual {self.name}>"
+
+
+def _virtual_labels_in(regex: Regex) -> list[VirtualLabel]:
+    return [symbol for symbol in symbols(regex) if isinstance(symbol, VirtualLabel)]
+
+
+def expand_virtual_labels(
+    query: CRPQ, graph: EdgeLabeledGraph
+) -> EdgeLabeledGraph:
+    """Materialize every virtual label used by ``query`` into a graph copy.
+
+    Inner queries are evaluated recursively (they may use virtual labels
+    themselves), their pair relations become fresh edges labeled by the
+    :class:`VirtualLabel` object itself — object identity keeps virtual
+    labels disjoint from ordinary ones.
+    """
+    virtuals: dict[VirtualLabel, None] = {}
+    for atom in query.atoms:
+        for virtual in _virtual_labels_in(atom.regex):
+            virtuals.setdefault(virtual)
+    if not virtuals:
+        return graph
+
+    extended = EdgeLabeledGraph()
+    for node in graph.iter_nodes():
+        extended.add_node(node)
+    for edge in graph.iter_edges():
+        src, tgt = graph.endpoints(edge)
+        extended.add_edge(edge, src, tgt, graph.label(edge))
+    for virtual in virtuals:
+        pairs = evaluate_nested_crpq(virtual.query, graph)
+        for index, (source, target) in enumerate(sorted(pairs, key=repr)):
+            extended.add_edge(
+                ("__virtual__", virtual.name, index), source, target, virtual
+            )
+    return extended
+
+
+def evaluate_nested_crpq(query: CRPQ, graph: EdgeLabeledGraph) -> set[tuple]:
+    """Evaluate a nested CRPQ (a CRPQ whose expressions may mention
+    :class:`VirtualLabel` symbols) bottom-up."""
+    extended = expand_virtual_labels(query, graph)
+    return evaluate_crpq(query, extended)

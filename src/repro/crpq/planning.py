@@ -1,0 +1,121 @@
+"""Join planning for CRPQs.
+
+Section 7.1 of the paper singles out cardinality estimation for (C)RPQs as
+an open practical problem.  We implement a deliberately simple, documented
+estimator over per-label statistics plus a greedy bound-variables-first
+ordering — enough to make the evaluator's sideways information passing
+effective, and a natural ablation target for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    nullable,
+)
+
+
+def label_statistics(graph: EdgeLabeledGraph) -> dict:
+    """Per-label edge counts (the only statistics the estimator uses)."""
+    counts: dict = {}
+    for edge in graph.iter_edges():
+        label = graph.label(edge)
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def estimate_atom_cardinality(
+    atom: RPQAtom, graph: EdgeLabeledGraph, stats: dict | None = None
+) -> float:
+    """A rough estimate of ``|[[R]]_G|`` for the atom's expression.
+
+    Heuristics (all capped at ``n^2``):
+
+    * a label contributes its edge count;
+    * a wildcard contributes the count of all non-excluded labels;
+    * union adds, concatenation multiplies scaled by ``1/n`` (midpoint
+      join), star behaves like reachability and is charged ``n * avg_deg``;
+    * a nullable expression adds the ``n`` identity pairs.
+
+    Constants in the atom divide the estimate by ``n`` per bound side.
+    """
+    if stats is None:
+        stats = label_statistics(graph)
+    n = max(graph.num_nodes, 1)
+    total_edges = max(graph.num_edges, 1)
+
+    def estimate(regex: Regex) -> float:
+        if isinstance(regex, Empty):
+            return 0.0
+        if isinstance(regex, Epsilon):
+            return float(n)
+        if isinstance(regex, Symbol):
+            return float(stats.get(regex.symbol, 0))
+        if isinstance(regex, NotSymbols):
+            return float(
+                sum(
+                    count
+                    for label, count in stats.items()
+                    if label not in regex.excluded
+                )
+            )
+        if isinstance(regex, Union):
+            return min(float(n) * n, sum(estimate(part) for part in regex.parts))
+        if isinstance(regex, Concat):
+            result = estimate(regex.parts[0])
+            for part in regex.parts[1:]:
+                result = result * estimate(part) / n
+            return min(float(n) * n, result)
+        if isinstance(regex, Star):
+            average_degree = total_edges / n
+            reach = n * min(float(n), max(average_degree, 1.0) ** 2)
+            return min(float(n) * n, reach)
+        raise TypeError(f"not a regex node: {regex!r}")
+
+    size = estimate(atom.regex)
+    if nullable(atom.regex):
+        size += n
+    size = min(size, float(n) * n)
+    for term in (atom.left, atom.right):
+        if not isinstance(term, Var):
+            size /= n
+    return max(size, 0.0)
+
+
+def greedy_plan(
+    query: CRPQ, graph: EdgeLabeledGraph
+) -> list[RPQAtom]:
+    """Order atoms so that each one shares variables with what came before.
+
+    Greedy: start with the atom of smallest estimated cardinality, then
+    repeatedly pick the connected atom (sharing a bound variable) with the
+    smallest estimate, falling back to the globally smallest when the query
+    is disconnected (a cartesian product is then unavoidable).
+    """
+    stats = label_statistics(graph)
+    remaining = list(query.atoms)
+    estimates = {
+        id(atom): estimate_atom_cardinality(atom, graph, stats)
+        for atom in remaining
+    }
+    plan: list[RPQAtom] = []
+    bound: set[Var] = set()
+    while remaining:
+        connected = [
+            atom for atom in remaining if atom.variables() & bound
+        ]
+        candidates = connected or remaining
+        best = min(candidates, key=lambda atom: (estimates[id(atom)], repr(atom)))
+        plan.append(best)
+        remaining.remove(best)
+        bound |= best.variables()
+    return plan

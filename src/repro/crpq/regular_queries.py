@@ -1,0 +1,157 @@
+"""Regular queries in Datalog-like syntax (Section 3.1.3, [97]).
+
+"Reutter et al. introduced an elegant Datalog-like syntax for nested CRPQs
+and coined the term regular queries."  A regular query is a non-recursive
+Datalog program over binary predicates in which rule bodies may apply
+regular expressions — including Kleene star — to *defined* predicates as
+well as base edge labels.
+
+Syntax accepted by :func:`parse_regular_query` (``;`` or newlines separate
+rules; the last rule's head is the answer predicate unless ``answer=`` is
+given)::
+
+    Mutual(x, y)  :- Transfer(x, y), Transfer(y, x)
+    Answer(u, v)  :- Mutual*(u, v)
+
+Predicate names may appear anywhere a label may appear inside the regular
+expressions of later rules; dependencies must be acyclic (that is what
+keeps regular queries decidable and, as the paper notes, exactly captures
+binary nested CRPQs).
+
+Evaluation is bottom-up: each defined predicate becomes a
+:class:`~repro.crpq.nested.VirtualLabel` whose pairs are materialized in
+dependency order, so the whole apparatus reduces to the nested-CRPQ engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crpq.ast import CRPQ, RPQAtom, parse_atom, _split_top_level
+from repro.crpq.nested import VirtualLabel, evaluate_nested_crpq
+from repro.errors import ParseError, QueryError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Regex, map_symbols, symbols
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule: a binary head predicate defined by a CRPQ body."""
+
+    head: str
+    query: CRPQ
+
+
+@dataclass(frozen=True)
+class RegularQuery:
+    """An ordered, acyclicity-checked program of binary rules."""
+
+    rules: tuple[Rule, ...]
+    answer: str
+
+    def __post_init__(self) -> None:
+        defined: set[str] = set()
+        names = [rule.head for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise QueryError("each predicate may be defined only once")
+        for rule in self.rules:
+            for atom in rule.query.atoms:
+                for symbol in symbols(atom.regex):
+                    if isinstance(symbol, str) and symbol in names:
+                        if symbol not in defined:
+                            raise QueryError(
+                                f"rule {rule.head!r} uses {symbol!r} before "
+                                "its definition (regular queries are "
+                                "non-recursive)"
+                            )
+            defined.add(rule.head)
+        if self.answer not in defined:
+            raise QueryError(f"answer predicate {self.answer!r} is not defined")
+
+
+def parse_regular_query(text: str, answer: "str | None" = None) -> RegularQuery:
+    """Parse a regular-query program (see module docstring)."""
+    rule_texts = [
+        part.strip()
+        for chunk in text.split("\n")
+        for part in _split_top_level(chunk, ";")
+        if part.strip()
+    ]
+    rules: list[Rule] = []
+    for rule_text in rule_texts:
+        if ":-" not in rule_text:
+            raise ParseError(f"rule {rule_text!r} is missing ':-'")
+        head_text, body_text = rule_text.split(":-", 1)
+        head_text = head_text.strip()
+        if "(" not in head_text or not head_text.endswith(")"):
+            raise ParseError(f"malformed rule head {head_text!r}")
+        name, args_text = head_text.split("(", 1)
+        name = name.strip()
+        head_vars = [
+            part.strip() for part in args_text[:-1].split(",") if part.strip()
+        ]
+        if len(head_vars) != 2:
+            raise ParseError(
+                f"regular-query predicates are binary; {name!r} has "
+                f"{len(head_vars)} arguments"
+            )
+        atoms = [
+            parse_atom(part)
+            for part in _split_top_level(body_text.strip(), ",")
+            if part.strip()
+        ]
+        from repro.crpq.ast import Var
+
+        rules.append(
+            Rule(
+                head=name,
+                query=CRPQ(
+                    head=(Var(head_vars[0]), Var(head_vars[1])),
+                    atoms=tuple(atoms),
+                    name=name,
+                ),
+            )
+        )
+    if not rules:
+        raise ParseError("a regular query needs at least one rule")
+    return RegularQuery(
+        rules=tuple(rules), answer=answer if answer is not None else rules[-1].head
+    )
+
+
+def _resolve_regex(regex: Regex, virtuals: dict) -> Regex:
+    """Replace defined-predicate labels by their VirtualLabel payloads."""
+
+    def resolve(symbol):
+        return virtuals.get(symbol, symbol)
+
+    return map_symbols(regex, resolve)
+
+
+def evaluate_regular_query(
+    query: "RegularQuery | str", graph: EdgeLabeledGraph
+) -> set[tuple]:
+    """Evaluate the answer predicate bottom-up.
+
+    Each rule's regexes have earlier predicates replaced by virtual labels
+    and the resulting nested CRPQ is evaluated; its pair relation feeds the
+    later rules.
+    """
+    if isinstance(query, str):
+        query = parse_regular_query(query)
+    virtuals: dict[str, VirtualLabel] = {}
+    answers: dict[str, set[tuple]] = {}
+    for rule in query.rules:
+        resolved = CRPQ(
+            head=rule.query.head,
+            atoms=tuple(
+                RPQAtom(
+                    _resolve_regex(atom.regex, virtuals), atom.left, atom.right
+                )
+                for atom in rule.query.atoms
+            ),
+            name=rule.head,
+        )
+        answers[rule.head] = evaluate_nested_crpq(resolved, graph)
+        virtuals[rule.head] = VirtualLabel(rule.head, resolved)
+    return answers[query.answer]

@@ -1,0 +1,40 @@
+"""The Cypher pattern fragment and its expressivity limits (Section 5.1).
+
+Cypher (unlike GQL/SQL-PGQ) only allows repetition on edge labels or their
+disjunctions — ``-[:L*]->`` — never on larger subpatterns.
+:mod:`~repro.cypher.fragment` models exactly that fragment;
+:mod:`~repro.cypher.expressivity` provides the Proposition 22 apparatus
+showing that the RPQ ``(ll)*`` is not expressible in it: a symbolic
+distance-set analysis plus a bounded exhaustive search over all fragment
+patterns.
+"""
+
+from repro.cypher.fragment import (
+    CypherEdge,
+    CypherNode,
+    CypherSeq,
+    CypherStar,
+    CypherUnion,
+    cypher_pairs,
+    parse_cypher_pattern,
+)
+from repro.cypher.expressivity import (
+    distance_set,
+    enumerate_fragment_shapes,
+    even_distance_counterexample,
+    search_for_even_length_pattern,
+)
+
+__all__ = [
+    "CypherNode",
+    "CypherEdge",
+    "CypherStar",
+    "CypherSeq",
+    "CypherUnion",
+    "parse_cypher_pattern",
+    "cypher_pairs",
+    "distance_set",
+    "enumerate_fragment_shapes",
+    "search_for_even_length_pattern",
+    "even_distance_counterexample",
+]

@@ -1,0 +1,160 @@
+"""The Proposition 22 apparatus: ``(ll)*`` is not a Cypher-fragment pattern.
+
+Over a single-label alphabet, the endpoint-pair relation of any fragment
+pattern on a simple path graph depends only on the *distance* between the
+endpoints, and the set of matched distances is easy to characterize
+symbolically:
+
+* a node atom matches distance 0; an edge atom distance 1;
+* a star matches any distance >= 0;
+* a sequence adds distances; a union unites distance sets.
+
+Hence every fragment pattern's distance set is a **finite union of
+singletons {c} and upward-closed sets {c, c+1, ...}** — we call these
+*semilinear-with-period-one* sets and represent them as ``(offset, open)``
+atoms.  The even numbers {0, 2, 4, ...} are not of this shape: any
+upward-closed member would include odd distances, and finitely many
+singletons cannot cover infinitely many evens.
+
+:func:`search_for_even_length_pattern` turns this into an *empirical*
+demonstration: it enumerates every distance-set shape realizable by
+fragment patterns up to a size bound and reports the disagreement witness
+(a distance) for each, so the inexpressibility can be checked mechanically
+rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+from repro.cypher.fragment import (
+    CypherEdge,
+    CypherNode,
+    CypherPattern,
+    CypherSeq,
+    CypherStar,
+    CypherUnion,
+)
+
+#: A distance-set atom: (offset, open_ended).  (3, False) is {3};
+#: (3, True) is {3, 4, 5, ...}.
+DistanceAtom = tuple
+
+
+def distance_set(pattern: CypherPattern) -> frozenset[DistanceAtom]:
+    """The symbolic distance set of a fragment pattern over one label.
+
+    Returns a set of ``(offset, open)`` atoms whose union is the set of
+    endpoint distances the pattern matches on single-label path graphs.
+    """
+    if isinstance(pattern, CypherNode):
+        return frozenset({(0, False)})
+    if isinstance(pattern, CypherEdge):
+        return frozenset({(1, False)})
+    if isinstance(pattern, CypherStar):
+        return frozenset({(0, True)})
+    if isinstance(pattern, CypherSeq):
+        current: frozenset = frozenset({(0, False)})
+        for part in pattern.parts:
+            step = distance_set(part)
+            current = frozenset(
+                (offset1 + offset2, open1 or open2)
+                for (offset1, open1) in current
+                for (offset2, open2) in step
+            )
+        return _normalize(current)
+    if isinstance(pattern, CypherUnion):
+        atoms: set = set()
+        for part in pattern.parts:
+            atoms |= distance_set(part)
+        return _normalize(atoms)
+    raise TypeError(f"not a Cypher fragment pattern: {pattern!r}")
+
+
+def _normalize(atoms) -> frozenset[DistanceAtom]:
+    """Drop atoms subsumed by an open atom with smaller offset."""
+    open_offsets = [offset for offset, is_open in atoms if is_open]
+    if not open_offsets:
+        return frozenset(atoms)
+    threshold = min(open_offsets)
+    kept = {(threshold, True)}
+    for offset, is_open in atoms:
+        if not is_open and offset < threshold:
+            kept.add((offset, False))
+    return frozenset(kept)
+
+
+def atoms_match(atoms, distance: int) -> bool:
+    """Whether a distance belongs to the union of the atoms."""
+    for offset, is_open in atoms:
+        if distance == offset or (is_open and distance >= offset):
+            return True
+    return False
+
+
+def enumerate_fragment_shapes(max_offset: int, max_atoms: int):
+    """Every distance-set shape a fragment pattern can denote, up to bounds.
+
+    A shape is a set of at most ``max_atoms`` atoms with offsets up to
+    ``max_offset``.  By the :func:`distance_set` characterization this
+    covers *all* fragment patterns whose sequences are at most
+    ``max_offset`` atoms long and whose unions have at most ``max_atoms``
+    branches — in particular all patterns of size <= min(max_offset,
+    max_atoms).
+    """
+    atom_pool = [
+        (offset, is_open)
+        for offset in range(max_offset + 1)
+        for is_open in (False, True)
+    ]
+    seen = set()
+    for count in range(1, max_atoms + 1):
+        for combo in combinations_with_replacement(atom_pool, count):
+            shape = _normalize(frozenset(combo))
+            if shape not in seen:
+                seen.add(shape)
+                yield shape
+
+
+def even_distance_counterexample(atoms, horizon: int) -> "int | None":
+    """The smallest distance <= horizon on which the atoms disagree with
+    the even-length language of ``(ll)*`` (None if they agree up to it)."""
+    for distance in range(horizon + 1):
+        expected = distance % 2 == 0
+        if atoms_match(atoms, distance) != expected:
+            return distance
+    return None
+
+
+def search_for_even_length_pattern(
+    max_offset: int = 6, max_atoms: int = 4
+) -> dict:
+    """Exhaustively refute ``(ll)*`` against all bounded fragment shapes.
+
+    Returns a report with the number of shapes tried and, for each, the
+    smallest disagreeing distance.  ``report["expressible"]`` is True iff
+    some shape matched the even distances on the whole test horizon —
+    Proposition 22 predicts it never is.
+    """
+    horizon = 2 * max_offset + 3
+    tried = 0
+    witnesses: dict = {}
+    for shape in enumerate_fragment_shapes(max_offset, max_atoms):
+        tried += 1
+        witness = even_distance_counterexample(shape, horizon)
+        if witness is None:
+            return {"expressible": True, "tried": tried, "shape": shape}
+        witnesses[shape] = witness
+    return {
+        "expressible": False,
+        "tried": tried,
+        "horizon": horizon,
+        "witnesses": witnesses,
+    }
+
+
+def star_distance_sanity() -> bool:
+    """Sanity check used by tests: ``l*`` IS expressible (shape {(0, True)})
+    and indeed matches every distance."""
+    atoms = distance_set(CypherStar(frozenset({"l"})))
+    return all(atoms_match(atoms, d) for d in range(20))

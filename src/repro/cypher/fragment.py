@@ -1,0 +1,193 @@
+"""The Cypher pattern fragment of Section 5.1.
+
+Adapting the Section 4 pattern language as the paper does::
+
+    pi := (x:L) | -x:L-> | -:L*-> | pi1 pi2 | pi1 + pi2
+
+where every ``L`` is a disjunction of labels ``l1|l2|...|ln`` (an absent
+label list means the wildcard).  Crucially, the star applies *only* to
+label disjunctions, not to arbitrary subpatterns — that is Cypher's
+historic restriction, and the reason ``(ll)*`` escapes the fragment
+(Proposition 22).
+
+Since Proposition 22 is about pure reachability, the semantics we expose is
+the endpoint-pair relation (conditions and data play no role here).
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
+
+
+class CypherPattern:
+    """Base class for fragment patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CypherNode(CypherPattern):
+    """``(x:L)`` — matches any node (labels on nodes are ignored in the
+    edge-labeled setting of Proposition 22; the variable is optional)."""
+
+    var: object = None
+
+
+@dataclass(frozen=True)
+class CypherEdge(CypherPattern):
+    """``-x:L->`` — one edge whose label is in ``labels`` (None = any)."""
+
+    labels: "frozenset | None" = None
+    var: object = None
+
+
+@dataclass(frozen=True)
+class CypherStar(CypherPattern):
+    """``-:L*->`` — a path of zero or more edges with labels in ``labels``.
+
+    This is the *only* repetition the fragment allows.
+    """
+
+    labels: "frozenset | None" = None
+
+
+@dataclass(frozen=True)
+class CypherSeq(CypherPattern):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class CypherUnion(CypherPattern):
+    parts: tuple
+
+
+# ----------------------------------------------------------------------
+# semantics: endpoint pairs
+# ----------------------------------------------------------------------
+def _label_ok(graph: EdgeLabeledGraph, edge, labels) -> bool:
+    return labels is None or graph.label(edge) in labels
+
+
+def cypher_pairs(
+    pattern: CypherPattern, graph: EdgeLabeledGraph
+) -> set[tuple[ObjectId, ObjectId]]:
+    """The endpoint-pair relation of a fragment pattern."""
+    if isinstance(pattern, CypherNode):
+        return {(node, node) for node in graph.iter_nodes()}
+    if isinstance(pattern, CypherEdge):
+        return {
+            graph.endpoints(edge)
+            for edge in graph.iter_edges()
+            if _label_ok(graph, edge, pattern.labels)
+        }
+    if isinstance(pattern, CypherStar):
+        pairs = set()
+        for source in graph.iter_nodes():
+            seen = {source}
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                for edge in graph.out_edges(node):
+                    if not _label_ok(graph, edge, pattern.labels):
+                        continue
+                    target = graph.tgt(edge)
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+            pairs.update((source, node) for node in seen)
+        return pairs
+    if isinstance(pattern, CypherSeq):
+        current = cypher_pairs(pattern.parts[0], graph)
+        for part in pattern.parts[1:]:
+            step = cypher_pairs(part, graph)
+            by_src: dict = {}
+            for src, tgt in step:
+                by_src.setdefault(src, set()).add(tgt)
+            current = {
+                (src1, tgt2)
+                for src1, tgt1 in current
+                for tgt2 in by_src.get(tgt1, ())
+            }
+        return current
+    if isinstance(pattern, CypherUnion):
+        pairs = set()
+        for part in pattern.parts:
+            pairs |= cypher_pairs(part, graph)
+        return pairs
+    raise TypeError(f"not a Cypher fragment pattern: {pattern!r}")
+
+
+# ----------------------------------------------------------------------
+# a small parser:  (x)-[:a|b]->()-[:a*]->(y)  and  pi + pi
+# ----------------------------------------------------------------------
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_TOKEN = _stdlib_re.compile(
+    rf"""
+    (?P<WS>\s+)
+  | (?P<NODE>\(\s*(?:{_IDENT})?\s*\))
+  | (?P<STAR_EDGE>-\[\s*:\s*{_IDENT}(?:\s*\|\s*{_IDENT})*\s*\*\s*\]->)
+  | (?P<EDGE>-\[\s*(?:{_IDENT})?\s*(?::\s*{_IDENT}(?:\s*\|\s*{_IDENT})*)?\s*\]->)
+  | (?P<ARROW>->)
+  | (?P<PLUS>\+)
+""",
+    _stdlib_re.VERBOSE,
+)
+_LABELS = _stdlib_re.compile(rf"{_IDENT}")
+
+
+def parse_cypher_pattern(text: str) -> CypherPattern:
+    """Parse fragment patterns like ``(x)-[:a*]->(y)`` or
+    ``(x)-[:a]->(y) + (x)-[:b]->(y)``.
+
+    Only the fragment is accepted: stars occur inside edge brackets, never
+    around subpatterns.
+    """
+    alternatives: list[CypherPattern] = []
+    parts: list[CypherPattern] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at {position} "
+                "in Cypher fragment pattern"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind == "WS":
+            continue
+        if kind == "NODE":
+            var = value.strip("() \t") or None
+            parts.append(CypherNode(var))
+        elif kind == "STAR_EDGE":
+            labels = frozenset(_LABELS.findall(value))
+            parts.append(CypherStar(labels))
+        elif kind == "EDGE":
+            inner = value[2:-3]
+            if ":" in inner:
+                var_text, label_text = inner.split(":", 1)
+                labels = frozenset(_LABELS.findall(label_text)) or None
+            else:
+                var_text, labels = inner, None
+            parts.append(CypherEdge(labels, var_text.strip() or None))
+        elif kind == "ARROW":
+            parts.append(CypherEdge(None, None))
+        elif kind == "PLUS":
+            if not parts:
+                raise ParseError("empty alternative in Cypher fragment pattern")
+            alternatives.append(
+                parts[0] if len(parts) == 1 else CypherSeq(tuple(parts))
+            )
+            parts = []
+    if not parts:
+        raise ParseError("empty Cypher fragment pattern")
+    alternatives.append(parts[0] if len(parts) == 1 else CypherSeq(tuple(parts)))
+    if len(alternatives) == 1:
+        return alternatives[0]
+    return CypherUnion(tuple(alternatives))

@@ -1,0 +1,194 @@
+"""Atoms of dl-RPQs (Section 3.2.1).
+
+A regular expression with data tests and list variables is built from atoms
+of six shapes, three per object kind::
+
+    (a)   (a^z)   (et)        — node atoms
+    [a]   [a^z]   [et]        — edge atoms
+
+where ``et`` follows the ETest grammar::
+
+    ETest := x := pname | pname op c | pname op x     op ∈ {=, ≠, <, >}
+
+All atoms are plain hashable dataclasses used as ``Symbol`` payloads in the
+generic regex AST, so the whole regex/automata machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.bindings import ValueAssignment
+from repro.regex.ast import Regex, Symbol
+
+
+class Kind(enum.Enum):
+    """Whether an atom matches a node ``(...)`` or an edge ``[...]``."""
+
+    NODE = "node"
+    EDGE = "edge"
+
+
+@dataclass(frozen=True, slots=True)
+class LabelMatch:
+    """Match the current object's label; ``label=None`` is the wildcard.
+
+    ``capture`` (a list-variable name or ``None``) makes this the ``a^z``
+    form: the matched object is appended to the variable's list.
+    """
+
+    label: object = None
+    capture: object = None
+
+    def __repr__(self) -> str:
+        text = "_" if self.label is None else str(self.label)
+        if self.capture is not None:
+            text += f"^{self.capture}"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class AssignTest:
+    """``x := pname`` — store the object's property value in ``x``.
+
+    Fails (no transition) when the property is undefined on the object,
+    since there is no value to store.
+    """
+
+    var: object
+    prop: object
+
+    def __repr__(self) -> str:
+        return f"{self.var} := {self.prop}"
+
+
+#: The comparison operators of the ETest grammar.
+OPERATORS = ("=", "!=", "<", ">")
+
+
+def _compare(left, op: str, right) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+    except TypeError:
+        return False
+    raise ValueError(f"unknown operator {op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ConstTest:
+    """``pname op c`` — compare the object's property against a constant."""
+
+    prop: object
+    op: str
+    value: object
+
+    def __repr__(self) -> str:
+        return f"{self.prop} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class VarTest:
+    """``pname op x`` — compare the object's property against a stored value."""
+
+    prop: object
+    op: str
+    var: object
+
+    def __repr__(self) -> str:
+        return f"{self.prop} {self.op} {self.var}"
+
+
+Action = object  # LabelMatch | AssignTest | ConstTest | VarTest
+
+
+@dataclass(frozen=True, slots=True)
+class DLAtom:
+    """One atom: an object-kind plus an action."""
+
+    kind: Kind
+    action: Action
+
+    def __repr__(self) -> str:
+        if self.kind is Kind.NODE:
+            return f"({self.action!r})"
+        return f"[{self.action!r}]"
+
+    def matches(
+        self, graph: PropertyGraph, obj, nu: ValueAssignment
+    ) -> "tuple[bool, ValueAssignment, object]":
+        """Test the atom against an object.
+
+        Returns ``(ok, nu', capture_var)``: whether the action succeeds, the
+        (possibly updated) value assignment, and the list variable to append
+        the object to (or ``None``).
+        """
+        action = self.action
+        if isinstance(action, LabelMatch):
+            if action.label is not None and graph.object_label(obj) != action.label:
+                return (False, nu, None)
+            return (True, nu, action.capture)
+        if isinstance(action, AssignTest):
+            if not graph.has_property(obj, action.prop):
+                return (False, nu, None)
+            return (True, nu.set(action.var, graph.get_property(obj, action.prop)), None)
+        if isinstance(action, ConstTest):
+            if not graph.has_property(obj, action.prop):
+                return (False, nu, None)
+            ok = _compare(graph.get_property(obj, action.prop), action.op, action.value)
+            return (ok, nu, None)
+        if isinstance(action, VarTest):
+            if action.var not in nu or not graph.has_property(obj, action.prop):
+                return (False, nu, None)
+            ok = _compare(
+                graph.get_property(obj, action.prop), action.op, nu[action.var]
+            )
+            return (ok, nu, None)
+        raise TypeError(f"unknown atom action {action!r}")
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+def node_atom(action: Action) -> Regex:
+    """A node atom ``( action )`` as a regex symbol."""
+    return Symbol(DLAtom(Kind.NODE, action))
+
+
+def edge_atom(action: Action) -> Regex:
+    """An edge atom ``[ action ]`` as a regex symbol."""
+    return Symbol(DLAtom(Kind.EDGE, action))
+
+
+def dl_list_variables(regex: Regex) -> frozenset:
+    """All list variables captured anywhere in a dl-RPQ."""
+    from repro.regex.ast import symbols
+
+    found = set()
+    for payload in symbols(regex):
+        if isinstance(payload, DLAtom) and isinstance(payload.action, LabelMatch):
+            if payload.action.capture is not None:
+                found.add(payload.action.capture)
+    return frozenset(found)
+
+
+def dl_data_variables(regex: Regex) -> frozenset:
+    """All data variables (assigned or compared) in a dl-RPQ."""
+    from repro.regex.ast import symbols
+
+    found = set()
+    for payload in symbols(regex):
+        if isinstance(payload, DLAtom):
+            if isinstance(payload.action, AssignTest):
+                found.add(payload.action.var)
+            elif isinstance(payload.action, VarTest):
+                found.add(payload.action.var)
+    return frozenset(found)

@@ -1,0 +1,256 @@
+"""Surface syntax for dl-RPQs (the paper's notation, ASCII-adapted).
+
+Example 21's expressions parse verbatim (modulo ``^`` instead of
+superscripts)::
+
+    (a^z)(x := date) ( [_](a^z)(date > x)(x := date) )*
+    [a^z][x := date] ( (_)[a^z][date > x][x := date] )*
+
+Atom grammar (inside ``(...)`` for nodes, ``[...]`` for edges)::
+
+    content :=  '_' | ''                      -- wildcard (any label)
+             |  LABEL ('^' VAR)?              -- label match, optional capture
+             |  '_' '^' VAR                   -- wildcard with capture
+             |  VAR ':=' PNAME                -- assignment test
+             |  PNAME OP value                -- comparison test
+
+    OP      :=  '=' | '!=' | '≠' | '<' | '>'
+    value   :=  NUMBER | 'quoted string' | VAR   -- bare identifier = data var
+
+The regex operators around atoms are the usual ones: juxtaposition or ``.``
+for concatenation, ``+`` for union (postfix ``+`` for Kleene plus, same
+lookahead rule as the RPQ parser), ``*``, ``?``, ``{n,m}``.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+
+from repro.errors import ParseError
+from repro.datatests.ast import (
+    AssignTest,
+    ConstTest,
+    DLAtom,
+    Kind,
+    LabelMatch,
+    VarTest,
+)
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    optional,
+    plus,
+    repeat,
+    star,
+    union,
+)
+
+_TOKEN_PATTERN = _stdlib_re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NODEATOM>\(\s*[^()\[\]]*?\s*\))
+  | (?P<EDGEATOM>\[\s*[^()\[\]]*?\s*\])
+  | (?P<REPEAT>\{\s*\d+\s*(?:,\s*\d*\s*)?\})
+  | (?P<OP>[().+|*?])
+""",
+    _stdlib_re.VERBOSE,
+)
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_LABEL_CAPTURE = _stdlib_re.compile(
+    rf"^(?P<label>{_IDENT})?\s*(?:\^\s*(?P<var>{_IDENT}))?$"
+)
+_ASSIGN = _stdlib_re.compile(rf"^(?P<var>{_IDENT})\s*:=\s*(?P<prop>{_IDENT})$")
+_COMPARE = _stdlib_re.compile(
+    rf"^(?P<prop>{_IDENT})\s*(?P<op>!=|≠|=|<|>)\s*(?P<value>.+)$"
+)
+_NUMBER = _stdlib_re.compile(r"^-?\d+(\.\d+)?$")
+
+
+def _parse_value(text: str):
+    """A comparison RHS: number / quoted constant / bare data variable."""
+    text = text.strip()
+    if _NUMBER.match(text):
+        return ("const", float(text) if "." in text else int(text))
+    if len(text) >= 2 and text[0] in "'\"" and text[-1] == text[0]:
+        return ("const", text[1:-1])
+    if _stdlib_re.match(rf"^{_IDENT}$", text):
+        return ("var", text)
+    raise ParseError(f"cannot parse comparison value {text!r}")
+
+
+def _parse_atom_content(content: str, kind: Kind) -> DLAtom:
+    content = content.strip()
+    if content in ("", "_"):
+        return DLAtom(kind, LabelMatch(None, None))
+    match = _ASSIGN.match(content)
+    if match:
+        return DLAtom(kind, AssignTest(match.group("var"), match.group("prop")))
+    match = _COMPARE.match(content)
+    if match:
+        op = match.group("op")
+        if op == "≠":
+            op = "!="
+        value_kind, value = _parse_value(match.group("value"))
+        if value_kind == "const":
+            return DLAtom(kind, ConstTest(match.group("prop"), op, value))
+        return DLAtom(kind, VarTest(match.group("prop"), op, value))
+    match = _LABEL_CAPTURE.match(content)
+    if match and (match.group("label") or match.group("var")):
+        label = match.group("label")
+        if label == "_":
+            label = None
+        return DLAtom(kind, LabelMatch(label, match.group("var")))
+    raise ParseError(f"cannot parse atom content {content!r}")
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at {position} in dl-RPQ"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind != "WS":
+            tokens.append((kind, value))
+    return tokens
+
+
+class _DLParser:
+    """Recursive descent mirroring the RPQ parser, with atom tokens.
+
+    A ``(`` only opens a *group* when it cannot be read as a node atom —
+    the tokenizer prefers atoms, so grouping requires the group to contain
+    operators, which is always the case in practice (``((a))`` is therefore
+    read as a group around the node atom ``(a)``).
+    """
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self):
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of dl-RPQ")
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token[1] != value:
+            found = token[1] if token else "end of input"
+            raise ParseError(f"expected {value!r}, found {found!r}")
+        self._index += 1
+
+    def _atom_follows(self) -> bool:
+        token = self._peek()
+        return token is not None and (
+            token[0] in ("NODEATOM", "EDGEATOM") or token[1] == "("
+        )
+
+    def parse(self) -> Regex:
+        result = self.union()
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"trailing input starting at {token[1]!r}")
+        return result
+
+    def union(self) -> Regex:
+        parts = [self.concatenation()]
+        while True:
+            token = self._peek()
+            if token is None or token[1] not in ("+", "|"):
+                break
+            self._index += 1
+            parts.append(self.concatenation())
+        return union(*parts)
+
+    def concatenation(self) -> Regex:
+        parts = [self.postfix()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token[1] == ".":
+                self._index += 1
+                parts.append(self.postfix())
+            elif self._atom_follows():
+                parts.append(self.postfix())
+            else:
+                break
+        return concat(*parts)
+
+    def postfix(self) -> Regex:
+        result = self.atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            kind, value = token
+            if value == "*":
+                self._index += 1
+                result = star(result)
+            elif value == "?":
+                self._index += 1
+                result = optional(result)
+            elif value == "+" and not self._atom_follows_after_plus():
+                self._index += 1
+                result = plus(result)
+            elif kind == "REPEAT":
+                self._index += 1
+                result = self._apply_repeat(result, value)
+            else:
+                break
+        return result
+
+    def _atom_follows_after_plus(self) -> bool:
+        if self._index + 1 < len(self._tokens):
+            kind, value = self._tokens[self._index + 1]
+            return kind in ("NODEATOM", "EDGEATOM") or value == "("
+        return False
+
+    def _apply_repeat(self, inner: Regex, text: str) -> Regex:
+        body = text.strip("{} \t")
+        if "," in body:
+            low_text, high_text = body.split(",", 1)
+            low = int(low_text)
+            high = int(high_text) if high_text.strip() else None
+        else:
+            low = high = int(body)
+        try:
+            return repeat(inner, low, high)
+        except ValueError as error:
+            raise ParseError(str(error)) from None
+
+    def atom(self) -> Regex:
+        kind, value = self._next()
+        if kind == "NODEATOM":
+            return Symbol(_parse_atom_content(value[1:-1], Kind.NODE))
+        if kind == "EDGEATOM":
+            return Symbol(_parse_atom_content(value[1:-1], Kind.EDGE))
+        if value == "(":
+            inner = self.union()
+            self._expect(")")
+            return inner
+        raise ParseError(f"unexpected token {value!r} in dl-RPQ")
+
+
+def parse_dlrpq(text: str) -> Regex:
+    """Parse a dl-RPQ from the paper's surface syntax (see module docstring)."""
+    return _DLParser(_tokenize(text)).parse()

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything coming out of the engine with a single except clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph construction or lookup problem (unknown ids, id clashes)."""
+
+
+class UnknownObjectError(GraphError):
+    """An object id was used that is neither a node nor an edge of the graph."""
+
+
+class DuplicateObjectError(GraphError):
+    """An object id was added twice, or reused across the node/edge namespaces."""
+
+
+class PathError(ReproError):
+    """An invalid path was constructed (bad alternation or incidence)."""
+
+
+class PathConcatenationError(PathError):
+    """Two paths were concatenated whose junction objects are incompatible.
+
+    Following Section 2 of the paper, ``p . q`` is only defined when the last
+    object of ``p`` and the first object of ``q`` fit together (edge followed
+    by its target node, node followed by an outgoing edge, or an identical
+    shared object which is collapsed).
+    """
+
+
+class ParseError(ReproError):
+    """A query or expression string could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """A query is well-formed but cannot be evaluated as requested."""
+
+
+class InfiniteResultError(EvaluationError):
+    """A query under mode ``all`` has infinitely many matching paths.
+
+    The paper discusses this in Sections 3.1.4 and 6.3: without a path mode
+    the result of an RPQ with list variables can be infinite on cyclic graphs.
+    Engines raise this error rather than looping forever; callers can either
+    pick a restrictive path mode or use a limit-bounded enumeration.
+    """
+
+
+class QueryError(ReproError):
+    """A query violates a well-formedness condition of its language."""
+
+
+class VariableError(QueryError):
+    """A query uses variables inconsistently (e.g. list/node variable clash,
+    or an output variable that does not occur in the body)."""

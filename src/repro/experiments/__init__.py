@@ -1,0 +1,130 @@
+"""The experiment registry: every figure/example/claim the paper offers.
+
+Each entry is a zero-argument callable returning an
+:class:`~repro.experiments.runner.ExperimentResult`; ``run_experiment``
+executes one by id, ``run_all`` the full battery.  The mapping from ids to
+paper artifacts is DESIGN.md's per-experiment index; EXPERIMENTS.md records
+the paper-vs-measured outcomes.
+
+Command line::
+
+    python -m repro.experiments E14      # one experiment
+    python -m repro.experiments all      # everything (a few minutes)
+    python -m repro.experiments --list   # what exists
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.runner import ExperimentResult, render_table
+from repro.experiments.examples_section3 import (
+    e1_transfer_star,
+    e2_crpqs,
+    e3_nested_crpqs,
+    e4_lrpq_bindings,
+    e5_shortest_grouping,
+)
+from repro.experiments.gql_quirks import (
+    e6_example1_inequivalence,
+    e7_example2_group_roles,
+    e8_example3_naive_where,
+    e9_example21_symmetry,
+)
+from repro.experiments.pitfalls import (
+    e10_proposition22,
+    e11_except_vs_dlrpq,
+    e12_subset_sum,
+    e13_diophantine,
+)
+from repro.experiments.evaluation_section6 import (
+    e14_bag_semantics_boom,
+    e15_rewrite_defuses,
+    e16_e22_path_explosion_and_pmr,
+    e17_exponential_lists,
+    e18_product_construction,
+    e19_query_log,
+    e20_path_modes,
+    e21_data_filters,
+    e23_enumeration_delay,
+    e24_spanners,
+    e27_k_shortest,
+)
+from repro.experiments.coregql_experiments import (
+    e25_information_flow,
+    e26_coregql_worked_example,
+)
+from repro.experiments.extensions import (
+    e28_naming_quirk,
+    e29_containment_toolkit,
+    e30_structure_analysis,
+    e31_two_way_and_deltas,
+    e32_forall_on_matched_paths,
+)
+
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "E1": e1_transfer_star,
+    "E2": e2_crpqs,
+    "E3": e3_nested_crpqs,
+    "E4": e4_lrpq_bindings,
+    "E5": e5_shortest_grouping,
+    "E6": e6_example1_inequivalence,
+    "E7": e7_example2_group_roles,
+    "E8": e8_example3_naive_where,
+    "E9": e9_example21_symmetry,
+    "E10": e10_proposition22,
+    "E11": e11_except_vs_dlrpq,
+    "E12": e12_subset_sum,
+    "E13": e13_diophantine,
+    "E14": e14_bag_semantics_boom,
+    "E15": e15_rewrite_defuses,
+    "E16": e16_e22_path_explosion_and_pmr,
+    "E17": e17_exponential_lists,
+    "E18": e18_product_construction,
+    "E19": e19_query_log,
+    "E20": e20_path_modes,
+    "E21": e21_data_filters,
+    "E22": e16_e22_path_explosion_and_pmr,  # shared with E16 by design
+    "E23": e23_enumeration_delay,
+    "E24": e24_spanners,
+    "E25": e25_information_flow,
+    "E26": e26_coregql_worked_example,
+    "E27": e27_k_shortest,
+    "E28": e28_naming_quirk,
+    "E29": e29_containment_toolkit,
+    "E30": e30_structure_analysis,
+    "E31": e31_two_way_and_deltas,
+    "E32": e32_forall_on_matched_paths,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md id (e.g. ``"E14"``)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[key]()
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run the full battery (E22 is reported with E16, so it runs once)."""
+    results = []
+    seen_callables = set()
+    for experiment_id in sorted(REGISTRY, key=lambda k: int(k[1:])):
+        function = REGISTRY[experiment_id]
+        if function in seen_callables:
+            continue
+        seen_callables.add(function)
+        results.append(function())
+    return results
+
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "render_table",
+    "run_experiment",
+    "run_all",
+]

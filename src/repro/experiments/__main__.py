@@ -1,0 +1,34 @@
+"""Command-line entry point: ``python -m repro.experiments <id>|all|--list``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import REGISTRY, run_all, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:", ", ".join(sorted(REGISTRY, key=lambda k: int(k[1:]))))
+        return 0
+    if argv[0] == "--list":
+        for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+            print(key, "-", REGISTRY[key].__doc__.strip().splitlines()[0])
+        return 0
+    if argv[0].lower() == "all":
+        for result in run_all():
+            print(result.render())
+            print()
+        return 0
+    try:
+        result = run_experiment(argv[0])
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

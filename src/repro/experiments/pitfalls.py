@@ -1,0 +1,145 @@
+"""Experiments E10–E13: Section 5's inexpressibility results and ad-hoc
+solution pitfalls."""
+
+from __future__ import annotations
+
+import time
+
+from repro.cypher.expressivity import search_for_even_length_pattern
+from repro.datatests.dlrpq import evaluate_dlrpq
+from repro.experiments.runner import ExperimentResult
+from repro.gql.listfuncs import diophantine_two_semantics, subset_sum_paths
+from repro.gql.pathsets import increasing_edges_via_except
+from repro.graph.generators import dated_path, self_loop_graph, subset_sum_graph
+
+
+def e10_proposition22() -> ExperimentResult:
+    """E10 / Proposition 22: no Cypher-fragment pattern expresses (ll)*."""
+    report = search_for_even_length_pattern(max_offset=6, max_atoms=4)
+    witness_histogram: dict = {}
+    for witness in report["witnesses"].values():
+        witness_histogram[witness] = witness_histogram.get(witness, 0) + 1
+    rows = [
+        {"disagrees_at_distance": distance, "shapes": count}
+        for distance, count in sorted(witness_histogram.items())
+    ]
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Proposition 22 — (ll)* is not expressible in the Cypher fragment",
+        claim="Cypher's repetition applies only to label disjunctions, so "
+        "the even-length RPQ (ll)* escapes it",
+        rows=rows,
+        finding=(
+            f"exhaustively checked {report['tried']} distance-set shapes up "
+            f"to horizon {report['horizon']}; expressible: "
+            f"{report['expressible']}"
+        ),
+    )
+
+
+def e11_except_vs_dlrpq(sizes=(3, 4, 5, 6)) -> ExperimentResult:
+    """E11 / Section 5.2: EXCEPT workaround vs direct dl-RPQ evaluation."""
+    rows = []
+    for n in sizes:
+        graph = dated_path(list(range(1, n + 1)), on="edges", prop="k")
+        target = f"v{n}"
+
+        start = time.perf_counter()
+        via_except = increasing_edges_via_except(graph, "v0", target, prop="k")
+        except_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        via_dlrpq = {
+            binding.path
+            for binding in evaluate_dlrpq(
+                "(_)[a][x := k] ( (_)[a][k > x][x := k] )* (_)",
+                graph,
+                "v0",
+                target,
+                mode="all",
+            )
+        }
+        dlrpq_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "path_length": n,
+                "except_seconds": except_seconds,
+                "dlrpq_seconds": dlrpq_seconds,
+                "same_answer": via_except == via_dlrpq,
+                "answers": len(via_dlrpq),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Section 5.2 — increasing edges: EXCEPT vs dl-RPQ",
+        claim="the complement workaround evaluates two full path sets and a "
+        "difference; compositional evaluation performs poorly",
+        rows=rows,
+        finding="answers agree on every instance; EXCEPT pays for "
+        "materializing both path sets",
+    )
+
+
+def e12_subset_sum(sizes=(4, 6, 8, 10)) -> ExperimentResult:
+    """E12 / Section 5.2: the reduce-based subset-sum query blows up."""
+    rows = []
+    for n in sizes:
+        numbers = [2**i for i in range(n)]
+        graph = subset_sum_graph(numbers)
+        unreachable_target = sum(numbers) + 1
+        start = time.perf_counter()
+        hits = subset_sum_paths(
+            graph, "v0", f"v{n}", target_sum=unreachable_target
+        )
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "numbers": n,
+                "candidate_paths": 2**n,
+                "hits": len(hits),
+                "seconds": seconds,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Section 5.2 — reduce makes subset sum 'deceptively easy to write'",
+        claim="the reduce-equality query is NP-complete in data complexity "
+        "(even restricted to shortest / simple / trail paths)",
+        rows=rows,
+        finding="running time doubles with every extra number: the 2^n "
+        "candidate trails are all enumerated",
+    )
+
+
+def e13_diophantine() -> ExperimentResult:
+    """E13 / Section 5.2: two semantics for shortest + Sigma_p condition."""
+    rows = []
+    for a, b, c, label in [
+        (1, -5, 6, "x^2-5x+6 (roots 2, 3)"),
+        (0, 1, -1, "x-1 (root 1)"),
+        (1, 0, 1, "x^2+1 (no real root)"),
+    ]:
+        graph = self_loop_graph(a, b, c)
+        report = diophantine_two_semantics(graph)
+        rows.append(
+            {
+                "polynomial": label,
+                "condition_after_shortest": sorted(
+                    report["condition_after_shortest"]
+                ),
+                "shortest_satisfying": sorted(report["shortest_satisfying"]),
+                "semantics_agree": report["condition_after_shortest"]
+                == report["shortest_satisfying"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E13",
+        title="Section 5.2 — the Diophantine ambiguity of shortest+condition",
+        claim="if shortest applies to satisfying paths, answering amounts to "
+        "finding positive integer roots — 'uncomfortably close to solving "
+        "Diophantine equations'",
+        rows=rows,
+        finding="the two candidate semantics disagree exactly when the "
+        "polynomial has a positive root different from 1",
+    )

@@ -1,0 +1,61 @@
+"""Experiment result container and plain-text report rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment (one figure/example/claim of the paper).
+
+    ``rows`` is a list of dicts sharing keys — the "same rows/series the
+    paper reports"; ``claim`` quotes or paraphrases what the paper says;
+    ``finding`` states what we measured.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    rows: list = field(default_factory=list)
+    finding: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper: {self.claim}",
+        ]
+        if self.rows:
+            lines.append(render_table(self.rows))
+        if self.finding:
+            lines.append(f"measured: {self.finding}")
+        return "\n".join(lines)
+
+
+def render_table(rows: list) -> str:
+    """Align a list of dicts into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(_cell(row, column)) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(_cell(row, column).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _cell(row: dict, column) -> str:
+    value = row.get(column, "")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

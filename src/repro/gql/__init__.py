@@ -1,0 +1,63 @@
+"""A GQL-flavored pattern engine (Sections 1 and 5).
+
+Where :mod:`repro.coregql` is the paper's clean theoretical distillation,
+this package deliberately reproduces the *practice* side, including the
+behaviours the paper criticizes:
+
+* the ASCII-art pattern syntax ``(x)-[z:a]->(y)`` with quantifiers and
+  ``WHERE`` conditions (:mod:`~repro.gql.parser`);
+* the syntax-driven variable semantics in which the same variable is a
+  *join* (singleton) inside an unrepeated subpattern but a *group variable*
+  (list collector) under repetition — so ``pi{2}`` is **not** ``pi pi``
+  (Examples 1 and 2, :mod:`~repro.gql.semantics`);
+* path variables, path-set outputs and ``EXCEPT`` (Section 5.2 "Turning to
+  Complement for Help", :mod:`~repro.gql.pathsets`);
+* Cypher-style list functions ``N(p)``, ``E(p)`` and ``reduce`` with the
+  subset-sum and Diophantine pitfalls (Section 5.2 "Turning to Lists for
+  Help", :mod:`~repro.gql.listfuncs`).
+"""
+
+from repro.gql.ast import Alt, Cmp, EdgePat, NodePat, Quant, Seq, Where
+from repro.gql.parser import parse_gql_pattern
+from repro.gql.semantics import GQLMatch, match_gql_pattern
+from repro.gql.pathsets import except_paths, match_path_set
+from repro.gql.listfuncs import (
+    diophantine_two_semantics,
+    edges_of,
+    increasing_edges_via_reduce,
+    nodes_of,
+    reduce_list,
+    subset_sum_paths,
+)
+from repro.gql.forall import (
+    all_values_distinct_via_forall,
+    increasing_edges_via_forall,
+    match_with_forall,
+)
+from repro.gql.rows import naming_sensitivity, result_rows
+
+__all__ = [
+    "NodePat",
+    "EdgePat",
+    "Seq",
+    "Alt",
+    "Quant",
+    "Where",
+    "Cmp",
+    "parse_gql_pattern",
+    "match_gql_pattern",
+    "GQLMatch",
+    "match_path_set",
+    "except_paths",
+    "nodes_of",
+    "edges_of",
+    "reduce_list",
+    "increasing_edges_via_reduce",
+    "subset_sum_paths",
+    "diophantine_two_semantics",
+    "match_with_forall",
+    "increasing_edges_via_forall",
+    "all_values_distinct_via_forall",
+    "result_rows",
+    "naming_sensitivity",
+]

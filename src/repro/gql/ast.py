@@ -1,0 +1,141 @@
+"""AST for ASCII-art graph patterns (shared by the GQL and CoreGQL layers).
+
+The surface syntax is the familiar one from Cypher/GQL/SQL-PGQ::
+
+    (x)         (x:Account)      ()              -- node patterns
+    -[z]->      -[:Transfer]->   ->              -- edge patterns
+    (x) (()-[z:a]->()){2} (y)                    -- concatenation, quantifier
+    ((u)-[:a]->(v) WHERE u.date < v.date)*       -- condition, star
+    pi1 | pi2                                    -- disjunction
+
+The same AST is interpreted twice: with GQL's syntax-driven group-variable
+semantics (:mod:`repro.gql.semantics`) and, after translation, with the
+CoreGQL semantics (:mod:`repro.coregql.parser`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+class GPattern:
+    """Base class for ASCII-art pattern nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NodePat(GPattern):
+    """``(x:L)`` — both the variable and the label are optional."""
+
+    var: object = None
+    label: object = None
+
+
+@dataclass(frozen=True)
+class EdgePat(GPattern):
+    """``-[z:L]->`` — a forward edge; variable and label optional."""
+
+    var: object = None
+    label: object = None
+
+
+@dataclass(frozen=True)
+class Seq(GPattern):
+    """Juxtaposition of subpatterns."""
+
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise QueryError("a sequence needs at least two parts")
+
+
+@dataclass(frozen=True)
+class Alt(GPattern):
+    """Disjunction ``pi1 | pi2`` (n-ary)."""
+
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Quant(GPattern):
+    """Quantified subpattern: ``{n}``, ``{n,m}``, ``*`` (0..inf), ``+`` (1..inf),
+    ``?`` (0..1).  ``high=None`` means unbounded."""
+
+    inner: GPattern
+    low: int
+    high: "int | None"
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or (self.high is not None and self.high < self.low):
+            raise QueryError(f"invalid quantifier bounds {self.low}..{self.high}")
+
+
+@dataclass(frozen=True)
+class Where(GPattern):
+    """``(pi WHERE theta)`` — a filtered subpattern."""
+
+    inner: GPattern
+    condition: "BoolExpr"
+
+
+# ----------------------------------------------------------------------
+# WHERE conditions
+# ----------------------------------------------------------------------
+class BoolExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Cmp(BoolExpr):
+    """``x.prop op rhs`` where rhs is ``(var, prop)`` or a constant.
+
+    ``op`` ranges over =, !=, <, >, <=, >=.
+    """
+
+    var: object
+    prop: object
+    op: str
+    rhs_var: object = None
+    rhs_prop: object = None
+    const: object = None
+    rhs_is_const: bool = False
+
+
+@dataclass(frozen=True)
+class BAnd(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+
+@dataclass(frozen=True)
+class BOr(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+
+@dataclass(frozen=True)
+class BNot(BoolExpr):
+    inner: BoolExpr
+
+
+def pattern_variables(pattern: GPattern) -> frozenset:
+    """All (node and edge) variables syntactically present in the pattern."""
+    if isinstance(pattern, (NodePat, EdgePat)):
+        return frozenset() if pattern.var is None else frozenset({pattern.var})
+    if isinstance(pattern, Seq):
+        result: frozenset = frozenset()
+        for part in pattern.parts:
+            result |= pattern_variables(part)
+        return result
+    if isinstance(pattern, Alt):
+        result = frozenset()
+        for part in pattern.parts:
+            result |= pattern_variables(part)
+        return result
+    if isinstance(pattern, (Quant, Where)):
+        return pattern_variables(pattern.inner)
+    raise TypeError(f"not an ASCII pattern: {pattern!r}")

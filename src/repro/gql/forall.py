@@ -1,0 +1,186 @@
+"""Matching on matched paths: the ``<∀ pi' => theta>`` condition (Section 5.2).
+
+The GQL committee's proposed fix for the increasing-edge-values query
+([80, 116]): extend conditions with ``∀ pi' => theta`` — once a path ``p``
+matches the outer pattern, the subpattern ``pi'`` is matched *on p only*,
+and every such match must satisfy ``theta``.
+
+Matching "on the path" means matching against the path's object *sequence*:
+a repeated graph object occupies several positions and each position counts
+separately.  We realize this by building a linear *path-view graph* whose
+objects are ``(position, object)`` pairs carrying the underlying object's
+label and properties, and running the ordinary GQL matcher on it.
+
+The paper's warning comes with the feature: the universal condition
+``∀ (u) ->* (v) => u.k != v.k`` ("all property values on the path differ")
+is expressible and NP-hard in data complexity — experiment E32 measures the
+blow-up.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PathError
+from repro.gql.ast import GPattern
+from repro.gql.semantics import SINGLE, match_gql_pattern
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+
+
+def path_view_graph(path: Path) -> PropertyGraph:
+    """The linear property graph of a path's positions.
+
+    Position i of the path becomes object ``(i, obj)`` with ``obj``'s label
+    and properties; consecutive positions are wired so that the only paths
+    of the view are the contiguous subsequences of ``p``.
+    """
+    if path.starts_with_edge or path.ends_with_edge:
+        raise PathError("path views are defined for node-to-node paths")
+    graph = path.graph
+    view = PropertyGraph()
+    objects = path.objects
+    # first pass: nodes
+    for index, obj in enumerate(objects):
+        if graph.has_node(obj):
+            label = (
+                graph.object_label(obj)
+                if isinstance(graph, PropertyGraph)
+                else ""
+            )
+            properties = (
+                graph.properties(obj) if isinstance(graph, PropertyGraph) else {}
+            )
+            view.add_node((index, obj), label=label, properties=properties)
+    # second pass: edges between neighbouring positions
+    for index, obj in enumerate(objects):
+        if graph.has_edge(obj):
+            label = graph.label(obj)
+            properties = (
+                graph.properties(obj) if isinstance(graph, PropertyGraph) else {}
+            )
+            view.add_edge(
+                (index, obj),
+                (index - 1, objects[index - 1]),
+                (index + 1, objects[index + 1]),
+                label,
+                properties=properties,
+            )
+    return view
+
+
+def holds_on_path(
+    path: Path,
+    subpattern: "GPattern | str",
+    condition,
+    max_length: "int | None" = None,
+) -> bool:
+    """``p |= <∀ subpattern => condition>``.
+
+    Every match of ``subpattern`` on the path-view of ``p`` must satisfy
+    ``condition(graph, binding)``, where the binding maps the subpattern's
+    variables to ``(position, object)`` pairs (positions matter: a repeated
+    object occupies several positions of the path).
+    """
+    view = path_view_graph(path)
+    for match in match_gql_pattern(subpattern, view, max_length=max_length):
+        binding = {}
+        for var, (kind, value) in match.binding:
+            # values are (position, object) pairs: conditions get to see the
+            # position, because a repeated object occupies several positions
+            binding[var] = value if kind == SINGLE else tuple(value)
+        if not condition(path.graph, binding):
+            return False
+    return True
+
+
+def match_with_forall(
+    outer_pattern,
+    graph: PropertyGraph,
+    subpattern,
+    condition,
+    source=None,
+    target=None,
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """``(outer < ∀ subpattern => condition >)`` — the paths of the outer
+    pattern on which every subpattern match satisfies the condition.
+
+    ``condition(graph, binding)`` receives bindings over the *original*
+    graph objects.
+    """
+    kept: set[Path] = set()
+    for match in match_gql_pattern(outer_pattern, graph, max_length=max_length):
+        path = match.path
+        if source is not None and path.src != source:
+            continue
+        if target is not None and path.tgt != target:
+            continue
+        if holds_on_path(path, subpattern, condition, max_length=max_length):
+            kept.add(path)
+    return kept
+
+
+def increasing_edges_via_forall(
+    graph: PropertyGraph,
+    source,
+    target,
+    prop: str = "k",
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """The paper's showcase: ``((x) ->* (y)) <∀ (-[u]-> () -[v]->) => u.k < v.k>``.
+
+    Matching the two-consecutive-edges subpattern *on the matched path*
+    fixes Example 3's window-slipping problem without dl-RPQs.
+    """
+
+    def condition(base_graph, binding) -> bool:
+        (_pos_u, u), (_pos_v, v) = binding["u"], binding["v"]
+        left = base_graph.get_property(u, prop)
+        right = base_graph.get_property(v, prop)
+        if left is None or right is None:
+            return False
+        try:
+            return left < right
+        except TypeError:
+            return False
+
+    return match_with_forall(
+        "(x) ->* (y)",
+        graph,
+        "-[u]-> () -[v]->",
+        condition,
+        source=source,
+        target=target,
+        max_length=max_length,
+    )
+
+
+def all_values_distinct_via_forall(
+    graph: PropertyGraph,
+    source,
+    target,
+    prop: str = "k",
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """The paper's warning: ``((x) ->* (y)) <∀ ((u) ->* (v)) => u.k != v.k>``
+    asks for paths where all node property values differ — NP-hard in data
+    complexity [78].  Expressible here in one line; see E32 for the cost."""
+
+    def condition(base_graph, binding) -> bool:
+        (pos_u, u), (pos_v, v) = binding["u"], binding["v"]
+        if pos_u == pos_v:
+            return True  # the reflexive sub-match at one position
+        # distinct positions must carry distinct values — a node revisited
+        # by the path trivially violates this (its value equals itself)
+        left = base_graph.get_property(u, prop)
+        right = base_graph.get_property(v, prop)
+        return left != right
+
+    return match_with_forall(
+        "(x) ->* (y)",
+        graph,
+        "(u) ->* (v)",
+        condition,
+        source=source,
+        target=target,
+        max_length=max_length,
+    )

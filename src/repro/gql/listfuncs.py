@@ -1,0 +1,200 @@
+"""Cypher-style list functions and their pitfalls (Section 5.2,
+"Turning to Lists for Help").
+
+``N(p)`` and ``E(p)`` extract the node and edge lists of a path; ``reduce``
+folds over a list.  The paper shows that this recovers the increasing-edge
+query but also makes NP-complete (subset sum) and even undecidable
+(Diophantine) queries "deceptively easy to write"; the functions here are
+used by experiments E12 and E13 to measure exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.errors import EvaluationError
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+from repro.rpq.path_modes import matching_paths
+
+
+def nodes_of(path: Path) -> tuple:
+    """Cypher's ``nodes(p)`` — the paper's ``N(p)``."""
+    return path.nodes()
+
+
+def edges_of(path: Path) -> tuple:
+    """Cypher's ``relationships(p)`` — the paper's ``E(p)``."""
+    return path.edges()
+
+
+def reduce_list(
+    epsilon, iota: Callable, combine: Callable, items: Sequence
+):
+    """The paper's ``reduce_{eps, iota, f}``.
+
+    Returns ``epsilon`` on the empty list, ``iota(x)`` on a singleton, and
+    ``f(x, reduce(tail))`` otherwise (a right fold whose base case maps the
+    last element through ``iota``).
+    """
+    items = list(items)
+    if not items:
+        return epsilon
+    if len(items) == 1:
+        return iota(items[0])
+    return combine(items[0], reduce_list(epsilon, iota, combine, items[1:]))
+
+
+def _walks(
+    graph: PropertyGraph,
+    source,
+    target,
+    mode: str,
+    max_length: "int | None",
+    label=None,
+) -> Iterator[Path]:
+    """All label-matching walks under a mode (the ``p = (x) ->* (y)`` part)."""
+    query = f"{label}*" if label is not None else "_*"
+    limit = None
+    if mode == "all" and max_length is None:
+        raise EvaluationError("mode 'all' needs max_length for walk queries")
+    if mode == "all":
+        # enumerate in length order and stop beyond the bound
+        for path in matching_paths(query, graph, source, target, mode="all", limit=10**9):
+            if len(path) > max_length:
+                return
+            yield path
+    else:
+        yield from matching_paths(query, graph, source, target, mode=mode)
+
+
+def increasing_edges_via_reduce(
+    graph: PropertyGraph,
+    source,
+    target,
+    prop: str = "k",
+    mode: str = "trail",
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """Section 5.2's reduce-based increasing-edge query.
+
+    ``iota`` maps an edge to its (assumed non-negative) property value;
+    ``f(e, v)`` propagates the value while the sequence increases and
+    collapses to ``-1`` otherwise; a path qualifies iff the fold is >= 0.
+    """
+
+    def iota(edge):
+        value = graph.get_property(edge, prop)
+        return value if isinstance(value, (int, float)) else -1
+
+    def combine(edge, value):
+        edge_value = graph.get_property(edge, prop)
+        if not isinstance(edge_value, (int, float)):
+            return -1
+        if value >= 0 and edge_value < value:
+            # the suffix is increasing and this edge continues it downward-
+            # free: edge must be strictly below the suffix head; reduce folds
+            # right-to-left so "increasing" means edge.k < value.
+            return edge_value
+        return -1
+
+    answers = set()
+    for path in _walks(graph, source, target, mode, max_length):
+        if len(path) == 0:
+            continue
+        if reduce_list(0, iota, combine, edges_of(path)) >= 0:
+            answers.add(path)
+    return answers
+
+
+def subset_sum_paths(
+    graph: PropertyGraph,
+    source,
+    target,
+    prop: str = "k",
+    target_sum: int = 0,
+    mode: str = "trail",
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """``p = ((x) ->* (y)) < reduce_{0, iota, +}(E(p)) = target_sum >``.
+
+    On :func:`repro.graph.generators.subset_sum_graph` this enumerates all
+    edge choices, so its running time grows exponentially with the number
+    of stages — the query is NP-complete in data complexity even under the
+    restrictive path modes (Section 5.2).
+    """
+
+    def iota(edge):
+        return graph.get_property(edge, prop, default=0)
+
+    def combine(edge, value):
+        return iota(edge) + value
+
+    answers = set()
+    for path in _walks(graph, source, target, mode, max_length):
+        if reduce_list(0, iota, combine, edges_of(path)) == target_sum:
+            answers.add(path)
+    return answers
+
+
+def path_property_sum(graph: PropertyGraph, path: Path, prop: str = "k"):
+    """``Sigma_p`` — the sum of an edge property along a path (via reduce)."""
+    return reduce_list(
+        0,
+        lambda edge: graph.get_property(edge, prop, default=0),
+        lambda edge, value: graph.get_property(edge, prop, default=0) + value,
+        edges_of(path),
+    )
+
+
+def diophantine_two_semantics(
+    graph: PropertyGraph,
+    label: str = "l",
+    prop_a: str = "a",
+    prop_b: str = "b",
+    prop_c: str = "c",
+    k_prop: str = "k",
+    max_iterations: int = 50,
+) -> dict:
+    """The Section 5.2 ambiguity: ``shortest`` + a condition on ``Sigma_p``.
+
+    Two candidate semantics for
+    ``p = ((:l) ->+ (x:l)) < x.a * Sigma_p^2 + x.b * Sigma_p + x.c = 0 >``:
+
+    * ``condition_after_shortest`` — compute the shortest path first, then
+      test the condition on it (on the self-loop graph: test a+b+c = 0 on
+      the one-step path);
+    * ``shortest_satisfying`` — search for the shortest path satisfying the
+      condition; on the self-loop graph the path length is a positive root
+      of ``a x^2 + b x + c``, so this amounts to solving the equation
+      (bounded here by ``max_iterations``, since in general it is
+      undecidable).
+
+    Returns a dict with both answers so callers can exhibit the divergence.
+    """
+    loops = [
+        node
+        for node in graph.iter_nodes()
+        if graph.node_label(node) == label
+        and any(graph.tgt(e) == node for e in graph.out_edges(node))
+    ]
+    report: dict = {"condition_after_shortest": set(), "shortest_satisfying": set()}
+    for node in loops:
+        a = graph.get_property(node, prop_a, 0)
+        b = graph.get_property(node, prop_b, 0)
+        c = graph.get_property(node, prop_c, 0)
+        loop_edges = [e for e in graph.out_edges(node) if graph.tgt(e) == node]
+        k = graph.get_property(loop_edges[0], k_prop, 0)
+
+        # Semantics 1: shortest first (the one-loop path), condition after.
+        sigma = k
+        if a * sigma * sigma + b * sigma + c == 0:
+            report["condition_after_shortest"].add((node, 1))
+
+        # Semantics 2: shortest path whose Sigma_p satisfies the condition.
+        for length in range(1, max_iterations + 1):
+            sigma = k * length
+            if a * sigma * sigma + b * sigma + c == 0:
+                report["shortest_satisfying"].add((node, length))
+                break
+    return report

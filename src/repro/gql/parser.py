@@ -1,0 +1,260 @@
+"""Parser for the ASCII-art pattern syntax.
+
+Grammar::
+
+    alt     := seq ('|' seq)*
+    seq     := quant+
+    quant   := element ('*' | '+' | '?' | '{n}' | '{n,m}')*
+    element := NODE | EDGE | '(' alt [WHERE cond] ')'
+    NODE    := '(' [IDENT] [':' IDENT] ')'
+    EDGE    := '-[' [IDENT] [':' IDENT] ']->'  |  '->'
+
+    cond    := disj; disj := conj ('OR' conj)*; conj := atom ('AND' atom)*
+    atom    := 'NOT' atom | '(' cond ')' | IDENT '.' IDENT OP rhs
+    rhs     := IDENT '.' IDENT | NUMBER | 'quoted'
+    OP      := '=' | '<>' | '!=' | '<' | '>' | '<=' | '>='
+
+Grouping parentheses are distinguished from node patterns by content: a
+``(...)`` that parses as a node pattern *is* one; anything else is a group.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+
+from repro.errors import ParseError
+from repro.gql.ast import (
+    Alt,
+    BAnd,
+    BNot,
+    BOr,
+    BoolExpr,
+    Cmp,
+    EdgePat,
+    GPattern,
+    NodePat,
+    Quant,
+    Seq,
+    Where,
+)
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+
+_TOKEN_PATTERN = _stdlib_re.compile(
+    rf"""
+    (?P<WS>\s+)
+  | (?P<NODE>\(\s*(?:{_IDENT})?\s*(?::\s*{_IDENT})?\s*\))
+  | (?P<EDGE>-\[\s*(?:{_IDENT})?\s*(?::\s*{_IDENT})?\s*\]->)
+  | (?P<ARROW>->|-->)
+  | (?P<REPEAT>\{{\s*\d+\s*(?:,\s*\d*\s*)?\}})
+  | (?P<WHERE>\bWHERE\b)
+  | (?P<AND>\bAND\b)
+  | (?P<OR>\bOR\b)
+  | (?P<NOT>\bNOT\b)
+  | (?P<NUMBER>-?\d+(?:\.\d+)?)
+  | (?P<QUOTED>'(?:[^'\\]|\\.)*')
+  | (?P<IDENT>{_IDENT})
+  | (?P<OP><>|!=|<=|>=|[()|*+?.<>=])
+""",
+    _stdlib_re.VERBOSE,
+)
+
+_NODE_CONTENT = _stdlib_re.compile(
+    rf"^\(\s*(?P<var>{_IDENT})?\s*(?::\s*(?P<label>{_IDENT}))?\s*\)$"
+)
+_EDGE_CONTENT = _stdlib_re.compile(
+    rf"^-\[\s*(?P<var>{_IDENT})?\s*(?::\s*(?P<label>{_IDENT}))?\s*\]->$"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at {position} in pattern"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind != "WS":
+            tokens.append((kind, value))
+    return tokens
+
+
+class _GQLParser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self):
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of pattern")
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token[1] != value:
+            found = token[1] if token else "end of input"
+            raise ParseError(f"expected {value!r}, found {found!r}")
+        self._index += 1
+
+    # -- patterns --------------------------------------------------------
+    def parse(self) -> GPattern:
+        result = self.alt()
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"trailing input starting at {token[1]!r}")
+        return result
+
+    def alt(self) -> GPattern:
+        parts = [self.seq()]
+        while True:
+            token = self._peek()
+            if token is None or token[1] != "|":
+                break
+            self._index += 1
+            parts.append(self.seq())
+        if len(parts) == 1:
+            return parts[0]
+        return Alt(tuple(parts))
+
+    def _element_follows(self) -> bool:
+        token = self._peek()
+        return token is not None and token[0] in ("NODE", "EDGE", "ARROW") or (
+            token is not None and token[1] == "("
+        )
+
+    def seq(self) -> GPattern:
+        parts = [self.quant()]
+        while self._element_follows():
+            parts.append(self.quant())
+        if len(parts) == 1:
+            return parts[0]
+        return Seq(tuple(parts))
+
+    def quant(self) -> GPattern:
+        result = self.element()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            kind, value = token
+            if value == "*":
+                self._index += 1
+                result = Quant(result, 0, None)
+            elif value == "+":
+                self._index += 1
+                result = Quant(result, 1, None)
+            elif value == "?":
+                self._index += 1
+                result = Quant(result, 0, 1)
+            elif kind == "REPEAT":
+                self._index += 1
+                body = value.strip("{} \t")
+                if "," in body:
+                    low_text, high_text = body.split(",", 1)
+                    low = int(low_text)
+                    high = int(high_text) if high_text.strip() else None
+                else:
+                    low = high = int(body)
+                result = Quant(result, low, high)
+            else:
+                break
+        return result
+
+    def element(self) -> GPattern:
+        kind, value = self._next()
+        if kind == "NODE":
+            match = _NODE_CONTENT.match(value)
+            assert match is not None
+            return NodePat(match.group("var"), match.group("label"))
+        if kind == "EDGE":
+            match = _EDGE_CONTENT.match(value)
+            assert match is not None
+            return EdgePat(match.group("var"), match.group("label"))
+        if kind == "ARROW":
+            return EdgePat(None, None)
+        if value == "(":
+            inner = self.alt()
+            token = self._peek()
+            if token is not None and token[0] == "WHERE":
+                self._index += 1
+                condition = self.condition()
+                inner = Where(inner, condition)
+            self._expect(")")
+            return inner
+        raise ParseError(f"unexpected token {value!r} in pattern")
+
+    # -- conditions --------------------------------------------------------
+    def condition(self) -> BoolExpr:
+        left = self.conjunction()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "OR":
+                return left
+            self._index += 1
+            left = BOr(left, self.conjunction())
+
+    def conjunction(self) -> BoolExpr:
+        left = self.comparison()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "AND":
+                return left
+            self._index += 1
+            left = BAnd(left, self.comparison())
+
+    def comparison(self) -> BoolExpr:
+        token = self._peek()
+        if token is not None and token[0] == "NOT":
+            self._index += 1
+            return BNot(self.comparison())
+        if token is not None and token[1] == "(":
+            self._index += 1
+            inner = self.condition()
+            self._expect(")")
+            return inner
+        kind, value = self._next()
+        if kind != "IDENT":
+            raise ParseError(f"expected a variable in condition, found {value!r}")
+        var = value
+        self._expect(".")
+        kind, prop = self._next()
+        if kind != "IDENT":
+            raise ParseError(f"expected a property name, found {prop!r}")
+        kind, op = self._next()
+        if op not in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            raise ParseError(f"expected a comparison operator, found {op!r}")
+        if op == "<>":
+            op = "!="
+        kind, rhs = self._next()
+        if kind == "IDENT":
+            self._expect(".")
+            rhs_kind, rhs_prop = self._next()
+            if rhs_kind != "IDENT":
+                raise ParseError(f"expected a property name, found {rhs_prop!r}")
+            return Cmp(var, prop, op, rhs_var=rhs, rhs_prop=rhs_prop)
+        if kind == "NUMBER":
+            number = float(rhs) if "." in rhs else int(rhs)
+            return Cmp(var, prop, op, const=number, rhs_is_const=True)
+        if kind == "QUOTED":
+            return Cmp(var, prop, op, const=rhs[1:-1], rhs_is_const=True)
+        raise ParseError(f"cannot parse comparison right-hand side {rhs!r}")
+
+
+def parse_gql_pattern(text: str) -> GPattern:
+    """Parse an ASCII-art pattern; Example 1's pattern reads::
+
+        parse_gql_pattern("(x) (()-[z:a]->()){2} (y)")
+    """
+    return _GQLParser(_tokenize(text)).parse()

@@ -1,0 +1,67 @@
+"""Path variables and path-set EXCEPT (Section 5.2, "Turning to Complement").
+
+Cypher, GQL and SQL/PGQ allow naming the matched path (``p = pi``) and
+returning it, so query results can be *sets of paths*; combined with
+``EXCEPT`` this expresses the increasing-edge-values query by subtracting
+the paths that violate the condition somewhere.  The paper's point — which
+benchmark E11 measures — is that this detour materializes the full path
+sets, so it performs poorly compared to the direct dl-RPQ evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.gql.semantics import match_gql_pattern
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+
+
+def match_path_set(
+    pattern,
+    graph: PropertyGraph,
+    source=None,
+    target=None,
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """``(p = pi)_p`` — the set of paths matched by the pattern, optionally
+    filtered to given endpoints."""
+    paths = set()
+    for match in match_gql_pattern(pattern, graph, max_length=max_length):
+        if source is not None and match.path.src != source:
+            continue
+        if target is not None and match.path.tgt != target:
+            continue
+        paths.add(match.path)
+    return paths
+
+
+def except_paths(left: set[Path], right: set[Path]) -> set[Path]:
+    """``pi'_p - pi''_p`` — path-set difference (GQL's EXCEPT)."""
+    return left - right
+
+
+def increasing_edges_via_except(
+    graph: PropertyGraph,
+    source,
+    target,
+    prop: str = "k",
+    max_length: "int | None" = None,
+) -> set[Path]:
+    """The Section 5.2 workaround, verbatim.
+
+    ``pi' = p = ((x) ->* (y))`` collects **all** paths; ``pi''`` matches the
+    paths containing two consecutive edges whose property does not increase
+    (the negation of the condition); the answer is the difference.  Note how
+    this evaluates both patterns completely before subtracting — the
+    compositional cost the paper highlights.
+    """
+    all_paths = match_path_set(
+        "(x) ->* (y)", graph, source=source, target=target, max_length=max_length
+    )
+    violating = match_path_set(
+        f"((x) ->* () -[u]-> () -[v]-> () ->* (y) WHERE u.{prop} >= v.{prop})",
+        graph,
+        source=source,
+        target=target,
+        max_length=max_length,
+    )
+    return except_paths(all_paths, violating)

@@ -1,0 +1,79 @@
+"""Result rows and the naming/deduplication quirk (Section 4.2).
+
+"The interplay between deduplication and pattern matching in GQL leads to
+some counter-intuitive results, such as query results depending on whether
+a variable was given a name or not [35, Section 6]."
+
+The mechanism: result rows expose only the *named* variables.  Under
+GQL-style deduplication, two matches that differ only in anonymous elements
+collapse into one row — so adding a name to an otherwise-irrelevant element
+can multiply the row count.  Under pure bag semantics every match keeps its
+own row and naming changes nothing.  Both readings are provided so the
+divergence can be measured (experiment E28).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.gql.semantics import match_gql_pattern
+from repro.graph.property_graph import PropertyGraph
+
+
+def result_rows(
+    pattern,
+    graph: PropertyGraph,
+    distinct: bool = True,
+    max_length: "int | None" = None,
+):
+    """The rows a GQL query returns for the pattern.
+
+    A row is the binding restricted to the pattern's named variables (as a
+    sorted tuple of ``(var, value)`` pairs).  ``distinct=True`` deduplicates
+    rows (GQL's set-flavored reading); ``distinct=False`` returns a
+    :class:`collections.Counter` giving each row its match multiplicity
+    (bag semantics — one entry per distinct (path, binding) match).
+    """
+    matches = match_gql_pattern(pattern, graph, max_length=max_length)
+    if distinct:
+        return {match.binding for match in matches}
+    counts: Counter = Counter()
+    for match in matches:
+        counts[match.binding] += 1
+    return counts
+
+
+def naming_sensitivity(
+    anonymous_pattern,
+    named_pattern,
+    graph: PropertyGraph,
+    max_length: "int | None" = None,
+) -> dict:
+    """Measure the Section 4.2 quirk on a pattern pair.
+
+    The two patterns should match the same paths and differ only in whether
+    some element carries a variable.  Returns the distinct-row counts for
+    both, plus whether bag-semantics totals agree (they should — the quirk
+    is purely a deduplication artifact).
+    """
+    anonymous_distinct = result_rows(
+        anonymous_pattern, graph, distinct=True, max_length=max_length
+    )
+    named_distinct = result_rows(
+        named_pattern, graph, distinct=True, max_length=max_length
+    )
+    anonymous_bag = result_rows(
+        anonymous_pattern, graph, distinct=False, max_length=max_length
+    )
+    named_bag = result_rows(
+        named_pattern, graph, distinct=False, max_length=max_length
+    )
+    return {
+        "anonymous_rows": len(anonymous_distinct),
+        "named_rows": len(named_distinct),
+        "rows_differ": len(anonymous_distinct) != len(named_distinct),
+        "anonymous_matches": sum(anonymous_bag.values()),
+        "named_matches": sum(named_bag.values()),
+        "bag_totals_agree": sum(anonymous_bag.values())
+        == sum(named_bag.values()),
+    }

@@ -1,0 +1,38 @@
+"""Graph data model substrate (Section 2 of the paper).
+
+This package implements the two data models the paper builds on:
+
+* :class:`~repro.graph.edge_labeled.EdgeLabeledGraph` — Definition 4,
+  edge-labeled graphs with first-class edge identifiers;
+* :class:`~repro.graph.property_graph.PropertyGraph` — Definition 6,
+  labeled property graphs with labels on nodes *and* edges and a partial
+  property function rho;
+
+together with the path machinery of Section 2 ("Paths and Lists"):
+
+* :class:`~repro.graph.paths.Path` — paths that may start and end with either
+  a node or an edge, with the paper's *collapsing* concatenation;
+* :mod:`~repro.graph.bindings` — list-valued bindings mu and value
+  assignments nu used by the semantics in Section 3.
+
+Concrete graphs from the paper (Figures 2 and 3) live in
+:mod:`~repro.graph.datasets`, synthetic families (Figure 5, cliques, ...) in
+:mod:`~repro.graph.generators`.
+"""
+
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectKind
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.paths import Path
+from repro.graph.bindings import ListBinding, ValueAssignment
+from repro.graph import datasets, generators
+
+__all__ = [
+    "EdgeLabeledGraph",
+    "PropertyGraph",
+    "ObjectKind",
+    "Path",
+    "ListBinding",
+    "ValueAssignment",
+    "datasets",
+    "generators",
+]

@@ -1,0 +1,191 @@
+"""Bindings used by the semantics of Section 3.
+
+Two kinds of partial mappings appear in the paper:
+
+* *list bindings* ``mu`` (Section 3.1.4) map variables to **lists of graph
+  objects**; they are total on Var but map all except finitely many
+  variables to the empty list, which makes their pointwise concatenation
+  ``mu1 . mu2`` well-defined;
+* *value assignments* ``nu`` (Section 3.2.1) are partial mappings from data
+  variables to property values, updated functionally via ``nu[x -> c]``.
+
+Both are immutable value objects here, so they are safely shareable across
+search states in the engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+
+Var = Hashable
+Value = Hashable
+ObjectId = Hashable
+
+
+class ListBinding:
+    """A total mapping from variables to lists, almost everywhere empty.
+
+    Only the finitely many variables with non-empty lists are stored;
+    ``binding[z]`` returns ``()`` for every other variable, matching the
+    paper's convention that ``mu0(z) = list()`` for all ``z``.
+    """
+
+    __slots__ = ("_lists", "_hash")
+
+    def __init__(self, lists: Mapping[Var, tuple[ObjectId, ...]] | None = None):
+        stored = {}
+        if lists:
+            for var, values in lists.items():
+                values = tuple(values)
+                if values:
+                    stored[var] = values
+        self._lists: dict[Var, tuple[ObjectId, ...]] = stored
+        self._hash = hash(frozenset(stored.items()))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ListBinding":
+        """``mu0`` — every variable maps to the empty list."""
+        return _EMPTY_BINDING
+
+    @classmethod
+    def singleton(cls, var: Var, obj: ObjectId) -> "ListBinding":
+        """``mu_{z -> o}`` — ``var`` maps to ``list(obj)``, all others to ``list()``."""
+        return cls({var: (obj,)})
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __getitem__(self, var: Var) -> tuple[ObjectId, ...]:
+        return self._lists.get(var, ())
+
+    def get(self, var: Var) -> tuple[ObjectId, ...]:
+        return self._lists.get(var, ())
+
+    @property
+    def support(self) -> frozenset[Var]:
+        """The variables bound to a non-empty list."""
+        return frozenset(self._lists)
+
+    def items(self) -> Iterator[tuple[Var, tuple[ObjectId, ...]]]:
+        """Iterate over the (variable, list) pairs with non-empty lists."""
+        return iter(self._lists.items())
+
+    def as_dict(self) -> dict[Var, tuple[ObjectId, ...]]:
+        """A plain-dict copy of the non-empty part of the binding."""
+        return dict(self._lists)
+
+    def restrict(self, variables) -> "ListBinding":
+        """The binding with all variables outside ``variables`` zeroed out."""
+        keep = set(variables)
+        return ListBinding(
+            {var: values for var, values in self._lists.items() if var in keep}
+        )
+
+    # ------------------------------------------------------------------
+    # concatenation
+    # ------------------------------------------------------------------
+    def concat(self, other: "ListBinding") -> "ListBinding":
+        """Pointwise list concatenation ``(mu1 . mu2)(z) = mu1(z) . mu2(z)``."""
+        if not other._lists:
+            return self
+        if not self._lists:
+            return other
+        merged = dict(self._lists)
+        for var, values in other._lists.items():
+            merged[var] = merged.get(var, ()) + values
+        return ListBinding(merged)
+
+    def __mul__(self, other: "ListBinding") -> "ListBinding":
+        return self.concat(other)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ListBinding):
+            return NotImplemented
+        return self._lists == other._lists
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        """Truthy iff some variable is bound to a non-empty list."""
+        return bool(self._lists)
+
+    def __repr__(self) -> str:
+        if not self._lists:
+            return "mu0"
+        inner = ", ".join(
+            f"{var!r}: list({', '.join(repr(o) for o in values)})"
+            for var, values in sorted(self._lists.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+
+
+_EMPTY_BINDING = ListBinding()
+
+
+class ValueAssignment:
+    """An immutable partial mapping from data variables to values (``nu``).
+
+    ``assignment.set(x, c)`` returns the updated assignment ``nu[x -> c]``
+    without mutating the original, which is how the dl-RPQ semantics of
+    Section 3.2.1 threads assignments through a match.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[Var, Value] | None = None):
+        self._values: dict[Var, Value] = dict(values) if values else {}
+        self._hash = hash(frozenset(self._values.items()))
+
+    @classmethod
+    def empty(cls) -> "ValueAssignment":
+        """``nu0`` — the assignment with empty domain."""
+        return _EMPTY_ASSIGNMENT
+
+    def set(self, var: Var, value: Value) -> "ValueAssignment":
+        """The functional update ``nu[var -> value]``."""
+        updated = dict(self._values)
+        updated[var] = value
+        return ValueAssignment(updated)
+
+    def __getitem__(self, var: Var) -> Value:
+        return self._values[var]
+
+    def get(self, var: Var, default: Value | None = None) -> Value | None:
+        return self._values.get(var, default)
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self._values
+
+    @property
+    def domain(self) -> frozenset[Var]:
+        return frozenset(self._values)
+
+    def as_dict(self) -> dict[Var, Value]:
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueAssignment):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._values:
+            return "nu0"
+        inner = ", ".join(
+            f"{var!r}={value!r}"
+            for var, value in sorted(self._values.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"nu({inner})"
+
+
+_EMPTY_ASSIGNMENT = ValueAssignment()

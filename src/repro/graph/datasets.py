@@ -1,0 +1,170 @@
+"""The concrete graphs used throughout the paper (Figures 2 and 3).
+
+The paper shows both figures only partially; the full edge map used here is
+reverse-engineered from every example that mentions them, and each assignment
+below is forced by at least one of those examples:
+
+========  ===========  =========================================================
+edge      endpoints    forced by
+========  ===========  =========================================================
+t1        a1 -> a3     Example 10 (``path(a1, t1, a3, t2)``), PMR cycle example
+t2        a3 -> a2     Examples 5, 10, 16 (parallel to t5)
+t3        a2 -> a4     Example 16 (``list(t2, t3)``)
+t4        a5 -> a1     Example 17 (shortest Mike->Megan is ``list(t7, t4)``)
+t5        a3 -> a2     Example 5 ("t2 and t5 are both from a3 to a2")
+t6        a3 -> a4     Section 6.3 data-filter path ``(a3, t6, a4, t9, a6, t10, a5)``
+t7        a3 -> a5     Example 17, Section 6.3 ("direct path path(a3, t7, a5)")
+t8        a6 -> a3     Example 13 (``(a6, a3, a5)`` needs Transfer(a6, a3))
+t9        a4 -> a6     Section 6.3 data-filter path
+t10       a6 -> a5     Example 17 (shortest Jay->Rebecca is ``list(t10)``)
+========  ===========  =========================================================
+
+With these edges the Transfer-subgraph is strongly connected (Example 12),
+CRPQ q1 of Example 13 returns exactly {(a3,a2,a4), (a6,a3,a5)}, and the only
+unblocked Mike->Mike cycles loop through t7, t4, t1 (Section 6.4's PMR
+example).
+"""
+
+from __future__ import annotations
+
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.property_graph import PropertyGraph
+
+#: ``(edge, src, tgt)`` for the ten Transfer edges shared by both figures.
+TRANSFER_EDGES: tuple[tuple[str, str, str], ...] = (
+    ("t1", "a1", "a3"),
+    ("t2", "a3", "a2"),
+    ("t3", "a2", "a4"),
+    ("t4", "a5", "a1"),
+    ("t5", "a3", "a2"),
+    ("t6", "a3", "a4"),
+    ("t7", "a3", "a5"),
+    ("t8", "a6", "a3"),
+    ("t9", "a4", "a6"),
+    ("t10", "a6", "a5"),
+)
+
+#: Account owners.  a1/a3/a5 are stated in the paper; a6 -> Jay is the
+#: assumption Example 17 makes explicitly; a2/a4 are free and filled in with
+#: fresh names so every account has an owner.
+OWNERS: dict[str, str] = {
+    "a1": "Megan",
+    "a2": "Kate",
+    "a3": "Mike",
+    "a4": "Chris",
+    "a5": "Rebecca",
+    "a6": "Jay",
+}
+
+#: Blocked status.  a4 blocked and a3/a5 unblocked are forced by Examples 13
+#: (result (a4, Rebecca, no) via account a5) and 16 (r9/r10 targets) and by
+#: the Section 6.4 PMR example (the t7-t4-t1 cycle avoids blocked accounts,
+#: so a1 and a5 must be unblocked while every other cycle from a3 passes the
+#: blocked a4).
+BLOCKED: dict[str, str] = {
+    "a1": "no",
+    "a2": "no",
+    "a3": "no",
+    "a4": "yes",
+    "a5": "no",
+    "a6": "no",
+}
+
+#: Transfer amounts (in currency units) for Figure 3.  Chosen so that the
+#: Section 6.3 data-filter walkthrough holds verbatim: the direct transfer t7
+#: is large, the cheapest Mike->Rebecca path with one amount < 4_500_000 is
+#: (t6, t9, t10), and finding *two* cheap transfers forces a cycle because
+#: the only cheap edges are t6 and t1.
+AMOUNTS: dict[str, int] = {
+    "t1": 4_000_000,  # cheap
+    "t2": 6_100_000,
+    "t3": 5_500_000,
+    "t4": 7_200_000,
+    "t5": 8_300_000,
+    "t6": 3_000_000,  # cheap
+    "t7": 10_000_000,
+    "t8": 9_400_000,
+    "t9": 7_000_000,
+    "t10": 9_000_000,
+}
+
+#: Transfer dates (ISO strings, lexicographically ordered = chronologically
+#: ordered) used by the date-filter examples.
+DATES: dict[str, str] = {
+    "t1": "2025-01-03",
+    "t2": "2025-01-05",
+    "t3": "2025-01-08",
+    "t4": "2025-01-11",
+    "t5": "2025-01-14",
+    "t6": "2025-01-17",
+    "t7": "2025-01-20",
+    "t8": "2025-01-23",
+    "t9": "2025-01-26",
+    "t10": "2025-01-29",
+}
+
+ACCOUNTS: tuple[str, ...] = ("a1", "a2", "a3", "a4", "a5", "a6")
+
+
+def figure2_graph() -> EdgeLabeledGraph:
+    """The edge-labeled graph of Figure 2.
+
+    Accounts are connected by ``Transfer`` edges; each account has an
+    ``owner`` edge to a person node, an ``isBlocked`` edge to ``yes``/``no``,
+    and a ``type`` edge to the ``Account`` node (the figure shows nodes
+    ``Account``, ``Megan``, ``Mike``, ``Rebecca``, ``no``, ...).
+    """
+    graph = EdgeLabeledGraph()
+    for account in ACCOUNTS:
+        graph.add_node(account)
+    for edge, src, tgt in TRANSFER_EDGES:
+        graph.add_edge(edge, src, tgt, "Transfer")
+    for index, account in enumerate(ACCOUNTS, start=1):
+        graph.add_edge(f"r{index}", account, OWNERS[account], "owner")
+    # r9 (a3 -> no) and r10 (a4 -> yes) appear verbatim in Example 16.
+    blocked_edge_ids = {
+        "a1": "r11",
+        "a2": "r12",
+        "a3": "r9",
+        "a4": "r10",
+        "a5": "r13",
+        "a6": "r14",
+    }
+    for account in ACCOUNTS:
+        graph.add_edge(blocked_edge_ids[account], account, BLOCKED[account], "isBlocked")
+    for index, account in enumerate(ACCOUNTS, start=1):
+        graph.add_edge(f"ty{index}", account, "Account", "type")
+    return graph
+
+
+def figure3_graph() -> PropertyGraph:
+    """The property graph of Figure 3.
+
+    Accounts are ``Account``-labeled nodes with ``owner`` and ``isBlocked``
+    properties; transfers are ``Transfer``-labeled edges with ``amount`` and
+    ``date`` properties (Example 8: ``rho(a1, owner) = Megan``).
+    """
+    graph = PropertyGraph()
+    for account in ACCOUNTS:
+        graph.add_node(
+            account,
+            label="Account",
+            properties={"owner": OWNERS[account], "isBlocked": BLOCKED[account]},
+        )
+    for edge, src, tgt in TRANSFER_EDGES:
+        graph.add_edge(
+            edge,
+            src,
+            tgt,
+            "Transfer",
+            properties={"amount": AMOUNTS[edge], "date": DATES[edge]},
+        )
+    return graph
+
+
+def account_of(owner: str) -> str:
+    """The account id owned by ``owner`` (inverse of :data:`OWNERS`)."""
+    for account, name in OWNERS.items():
+        if name == owner:
+            return account
+    raise KeyError(owner)

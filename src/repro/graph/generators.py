@@ -1,0 +1,234 @@
+"""Synthetic graph families used by the paper's examples and our benchmarks.
+
+Every generator is deterministic given its arguments (random families take an
+explicit ``seed``), so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graph.edge_labeled import EdgeLabeledGraph, Label
+from repro.graph.property_graph import PropertyGraph
+
+
+def label_path(length: int, label: Label = "a") -> EdgeLabeledGraph:
+    """A simple directed path ``v0 -> v1 -> ... -> v<length>`` of same-labeled edges."""
+    graph = EdgeLabeledGraph()
+    graph.add_node("v0")
+    for index in range(length):
+        graph.add_edge(f"e{index}", f"v{index}", f"v{index + 1}", label)
+    return graph
+
+
+def label_cycle(length: int, label: Label = "a") -> EdgeLabeledGraph:
+    """A directed cycle of ``length`` same-labeled edges."""
+    if length <= 0:
+        raise ValueError("cycle length must be positive")
+    graph = EdgeLabeledGraph()
+    for index in range(length):
+        graph.add_edge(
+            f"e{index}", f"v{index}", f"v{(index + 1) % length}", label
+        )
+    return graph
+
+
+def clique(size: int, label: Label = "a", loops: bool = True) -> EdgeLabeledGraph:
+    """The complete directed graph on ``size`` nodes with one label.
+
+    Section 6.1 evaluates ``(((a*)*)*)*`` on a 6-clique; ``loops`` controls
+    whether self-loops are included (the classical K_n has none, but the
+    counting explosion happens either way).
+    """
+    graph = EdgeLabeledGraph()
+    for index in range(size):
+        graph.add_node(f"v{index}")
+    edge = 0
+    for i in range(size):
+        for j in range(size):
+            if i == j and not loops:
+                continue
+            graph.add_edge(f"e{edge}", f"v{i}", f"v{j}", label)
+            edge += 1
+    return graph
+
+
+def diamond_chain(diamonds: int, label: Label = "a") -> EdgeLabeledGraph:
+    """The Figure 5 graph: ``2**diamonds`` distinct s-to-t paths in O(diamonds) size.
+
+    Each stage offers a top and a bottom 2-edge route between consecutive
+    junction nodes; the junctions are named ``j0`` (= ``s``) through
+    ``j<diamonds>`` (= ``t``).
+    """
+    graph = EdgeLabeledGraph()
+    graph.add_node("j0")
+    for stage in range(diamonds):
+        here, there = f"j{stage}", f"j{stage + 1}"
+        graph.add_edge(f"up{stage}a", here, f"top{stage}", label)
+        graph.add_edge(f"up{stage}b", f"top{stage}", there, label)
+        graph.add_edge(f"dn{stage}a", here, f"bot{stage}", label)
+        graph.add_edge(f"dn{stage}b", f"bot{stage}", there, label)
+    return graph
+
+
+def parallel_chain(stages: int, width: int = 2, label: Label = "a") -> EdgeLabeledGraph:
+    """A chain of ``stages`` node pairs joined by ``width`` parallel edges.
+
+    Like :func:`diamond_chain` this has ``width**stages`` paths from ``v0``
+    to ``v<stages>``, but through *parallel edges* rather than disjoint
+    routes — useful to exercise edge identity (all paths visit the same
+    nodes and differ only in which parallel edge they take).
+    """
+    graph = EdgeLabeledGraph()
+    graph.add_node("v0")
+    for stage in range(stages):
+        for lane in range(width):
+            graph.add_edge(
+                f"e{stage}_{lane}", f"v{stage}", f"v{stage + 1}", label
+            )
+    return graph
+
+
+def dated_path(
+    dates: Sequence[object],
+    on: str = "edges",
+    label: Label = "a",
+    prop: str = "date",
+) -> PropertyGraph:
+    """A property-graph path whose ``date`` properties follow ``dates``.
+
+    With ``on="edges"`` the i-th edge carries ``dates[i]`` — this builds the
+    Example 3 witness (dates ``03-01, 04-01, 01-01, 02-01``) on which the
+    naive two-edge-window GQL pattern wrongly accepts.  With ``on="nodes"``
+    the i-th node carries ``dates[i]`` instead, for the node-side queries of
+    Example 21.
+    """
+    if on not in ("edges", "nodes"):
+        raise ValueError("on must be 'edges' or 'nodes'")
+    graph = PropertyGraph()
+    if on == "edges":
+        graph.add_node("v0", label="N")
+        for index, date in enumerate(dates):
+            graph.add_node(f"v{index + 1}", label="N")
+            graph.add_edge(
+                f"e{index}",
+                f"v{index}",
+                f"v{index + 1}",
+                label,
+                properties={prop: date},
+            )
+    else:
+        for index, date in enumerate(dates):
+            graph.add_node(f"v{index}", label=label, properties={prop: date})
+        for index in range(len(dates) - 1):
+            graph.add_edge(f"e{index}", f"v{index}", f"v{index + 1}", label)
+    return graph
+
+
+def subset_sum_graph(numbers: Sequence[int], prop: str = "k") -> PropertyGraph:
+    """The Section 5.2 subset-sum gadget.
+
+    A path of nodes with *two* parallel edges between each consecutive pair:
+    one carrying ``rho(e, k) = numbers[i]`` and one carrying ``0``.  A path
+    from the first to the last node picks one edge per position, so the sums
+    of ``k`` along paths are exactly the subset sums of ``numbers`` — which
+    is why the innocuous-looking ``reduce``-equality query is NP-complete in
+    data complexity.
+    """
+    graph = PropertyGraph()
+    graph.add_node("v0", label="N")
+    for index, number in enumerate(numbers):
+        graph.add_node(f"v{index + 1}", label="N")
+        graph.add_edge(
+            f"pick{index}",
+            f"v{index}",
+            f"v{index + 1}",
+            "a",
+            properties={prop: number},
+        )
+        graph.add_edge(
+            f"skip{index}",
+            f"v{index}",
+            f"v{index + 1}",
+            "a",
+            properties={prop: 0},
+        )
+    return graph
+
+
+def self_loop_graph(
+    a: int, b: int, c: int, loop_k: int = 1
+) -> PropertyGraph:
+    """The single-node graph of Section 5.2's Diophantine example.
+
+    One node ``u`` labeled ``l`` with properties ``a``, ``b``, ``c`` and a
+    self-loop ``e`` whose property ``k`` is ``loop_k``.  The two candidate
+    semantics for ``shortest`` + condition disagree on this graph whenever
+    ``u.a + u.b + u.c != 0`` but ``a*x^2 + b*x + c = 0`` has a positive
+    integer root.
+    """
+    graph = PropertyGraph()
+    graph.add_node("u", label="l", properties={"a": a, "b": b, "c": c})
+    graph.add_edge("e", "u", "u", "a", properties={"k": loop_k})
+    return graph
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[Label] = ("a", "b"),
+    seed: int = 0,
+) -> EdgeLabeledGraph:
+    """A uniform random multigraph, deterministic for a given seed."""
+    rng = random.Random(seed)
+    graph = EdgeLabeledGraph()
+    for index in range(num_nodes):
+        graph.add_node(f"v{index}")
+    for index in range(num_edges):
+        src = f"v{rng.randrange(num_nodes)}"
+        tgt = f"v{rng.randrange(num_nodes)}"
+        graph.add_edge(f"e{index}", src, tgt, rng.choice(list(labels)))
+    return graph
+
+
+def random_transfer_network(
+    accounts: int,
+    transfers: int,
+    seed: int = 0,
+    blocked_fraction: float = 0.2,
+    max_amount: int = 10_000_000,
+) -> PropertyGraph:
+    """A scaled-up random version of Figure 3 for benchmarking.
+
+    Accounts carry ``owner`` and ``isBlocked`` properties; transfers carry
+    ``amount`` and ``date``.  Dates are drawn from a 2025 calendar so that
+    lexicographic order equals chronological order.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for index in range(accounts):
+        graph.add_node(
+            f"a{index}",
+            label="Account",
+            properties={
+                "owner": f"person{index}",
+                "isBlocked": "yes" if rng.random() < blocked_fraction else "no",
+            },
+        )
+    for index in range(transfers):
+        src = f"a{rng.randrange(accounts)}"
+        tgt = f"a{rng.randrange(accounts)}"
+        month = rng.randrange(1, 13)
+        day = rng.randrange(1, 29)
+        graph.add_edge(
+            f"t{index}",
+            src,
+            tgt,
+            "Transfer",
+            properties={
+                "amount": rng.randrange(1, max_amount),
+                "date": f"2025-{month:02d}-{day:02d}",
+            },
+        )
+    return graph

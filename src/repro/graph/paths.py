@@ -1,0 +1,260 @@
+"""Paths in graphs (Section 2 of the paper, "Paths and Lists").
+
+A path is an alternating sequence of nodes and edges in which every edge is
+flanked by its source (before) and target (after).  Crucially — and unlike
+Cypher/GQL — a path may *start or end with an edge*, giving four path types
+(node-to-node, node-to-edge, edge-to-node, edge-to-edge).  This symmetric
+treatment of nodes and edges is one of the paper's central design choices.
+
+Concatenation follows the paper exactly (including the *collapsing* rule):
+``p . q`` is defined iff one of
+
+* the last object of ``p`` is an edge ``e`` and ``q`` starts with the node
+  ``tgt(e)``,
+* the first object of ``q`` is an edge ``e`` and ``p`` ends with the node
+  ``src(e)``, or
+* the last object of ``p`` equals the first object of ``q``, in which case
+  the shared object appears only once in the result.
+
+Consequently ``path(o) . path(o) = path(o)`` for nodes *and* edges, and the
+length of a concatenation can be smaller than the sum of the lengths
+(Example 10: ``path(a1,t1) . path(t1,a3,t2,a2)`` has length 2, not 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
+
+from repro.errors import PathConcatenationError, PathError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.graph.edge_labeled import EdgeLabeledGraph, Label, ObjectId
+
+
+class Path:
+    """An immutable, validated path in a fixed graph.
+
+    Instances are hashable and compare equal iff their object sequences are
+    equal; the owning graph participates in neither equality nor hashing, so
+    paths are intended to be compared within one graph (which is how every
+    engine in the library uses them).
+    """
+
+    __slots__ = ("graph", "objects", "_is_edge", "_length", "_hash")
+
+    def __init__(self, graph: "EdgeLabeledGraph", objects: tuple["ObjectId", ...]):
+        self.graph = graph
+        self.objects = objects
+        is_edge = tuple(graph.has_edge(obj) for obj in objects)
+        self._is_edge = is_edge
+        self._hash = hash(objects)
+        length = 0
+        previous_was_edge: bool | None = None
+        for index, obj in enumerate(objects):
+            if is_edge[index]:
+                length += 1
+                if previous_was_edge:
+                    raise PathError(
+                        f"consecutive edges {objects[index - 1]!r}, {obj!r} "
+                        "without an interleaving node"
+                    )
+                src, tgt = graph.endpoints(obj)
+                if index > 0 and objects[index - 1] != src:
+                    raise PathError(
+                        f"edge {obj!r} has source {src!r}, not {objects[index - 1]!r}"
+                    )
+                if index + 1 < len(objects) and objects[index + 1] != tgt:
+                    raise PathError(
+                        f"edge {obj!r} has target {tgt!r}, not {objects[index + 1]!r}"
+                    )
+                previous_was_edge = True
+            else:
+                if not graph.has_node(obj):
+                    raise PathError(f"{obj!r} is not an object of the graph")
+                if previous_was_edge is False:
+                    raise PathError(
+                        f"consecutive nodes {objects[index - 1]!r}, {obj!r} "
+                        "in an alternating sequence"
+                    )
+                previous_was_edge = False
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, graph: "EdgeLabeledGraph") -> "Path":
+        """The empty path ``path()`` — the identity of concatenation."""
+        return cls(graph, ())
+
+    @classmethod
+    def of(cls, graph: "EdgeLabeledGraph", objects: Sequence["ObjectId"]) -> "Path":
+        """Build a path from any sequence of object ids."""
+        return cls(graph, tuple(objects))
+
+    @classmethod
+    def from_edges(
+        cls, graph: "EdgeLabeledGraph", edges: Sequence["ObjectId"]
+    ) -> "Path":
+        """The node-to-node path traversing ``edges`` in order.
+
+        Interior and boundary nodes are filled in from the edge endpoints;
+        an empty edge sequence is rejected because the start node would be
+        ambiguous (use :meth:`trivial` or :meth:`empty` instead).
+        """
+        if not edges:
+            raise PathError("from_edges needs at least one edge")
+        objects: list[ObjectId] = [graph.src(edges[0])]
+        for edge in edges:
+            if graph.src(edge) != objects[-1]:
+                raise PathError(
+                    f"edge {edge!r} does not continue from node {objects[-1]!r}"
+                )
+            objects.append(edge)
+            objects.append(graph.tgt(edge))
+        return cls(graph, tuple(objects))
+
+    @classmethod
+    def trivial(cls, graph: "EdgeLabeledGraph", node: "ObjectId") -> "Path":
+        """The single-node path ``path(u)``."""
+        return cls(graph, (node,))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """``len(p)`` — the number of edge *occurrences* on the path.
+
+        Edges appearing multiple times count multiple times, as the paper
+        specifies.
+        """
+        return self._length
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.objects
+
+    @property
+    def src(self) -> "ObjectId | None":
+        """The start node: the first object, or its source if it is an edge."""
+        if not self.objects:
+            return None
+        first = self.objects[0]
+        if self._is_edge[0]:
+            return self.graph.src(first)
+        return first
+
+    @property
+    def tgt(self) -> "ObjectId | None":
+        """The end node: the last object, or its target if it is an edge."""
+        if not self.objects:
+            return None
+        last = self.objects[-1]
+        if self._is_edge[-1]:
+            return self.graph.tgt(last)
+        return last
+
+    @property
+    def starts_with_edge(self) -> bool:
+        return bool(self.objects) and self._is_edge[0]
+
+    @property
+    def ends_with_edge(self) -> bool:
+        return bool(self.objects) and self._is_edge[-1]
+
+    def edges(self) -> tuple["ObjectId", ...]:
+        """The sequence of edge occurrences along the path."""
+        return tuple(
+            obj for obj, is_edge in zip(self.objects, self._is_edge) if is_edge
+        )
+
+    def nodes(self) -> tuple["ObjectId", ...]:
+        """The sequence of node occurrences along the path."""
+        return tuple(
+            obj for obj, is_edge in zip(self.objects, self._is_edge) if not is_edge
+        )
+
+    def elab(self) -> tuple["Label", ...]:
+        """The edge-label word of the path (the paper's ``elab``).
+
+        Nodes contribute epsilon, so the result is the tuple of edge labels
+        in order.
+        """
+        return tuple(self.graph.label(edge) for edge in self.edges())
+
+    def is_simple(self) -> bool:
+        """No node occurs twice on the path.
+
+        (This is the classical notion used by the paper's ``simple`` mode.)
+        """
+        nodes = self.nodes()
+        return len(nodes) == len(set(nodes))
+
+    def is_trail(self) -> bool:
+        """No edge occurs twice on the path (the paper's ``trail`` mode)."""
+        edges = self.edges()
+        return len(edges) == len(set(edges))
+
+    # ------------------------------------------------------------------
+    # concatenation
+    # ------------------------------------------------------------------
+    def can_concat(self, other: "Path") -> bool:
+        """Whether ``self . other`` is defined (see module docstring)."""
+        if self.is_empty or other.is_empty:
+            return True
+        last, first = self.objects[-1], other.objects[0]
+        if last == first:
+            return True
+        if self._is_edge[-1] and not other._is_edge[0]:
+            return self.graph.tgt(last) == first
+        if other._is_edge[0] and not self._is_edge[-1]:
+            return self.graph.src(first) == last
+        return False
+
+    def concat(self, other: "Path") -> "Path":
+        """The paper's path concatenation ``p . q``.
+
+        Raises :class:`PathConcatenationError` when undefined.  When the
+        junction objects coincide they are collapsed into one occurrence,
+        which is what makes the node/edge treatment symmetric (and makes
+        ``len`` non-additive, Example 10).
+        """
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        last, first = self.objects[-1], other.objects[0]
+        if last == first:
+            return Path(self.graph, self.objects + other.objects[1:])
+        if self._is_edge[-1] and not other._is_edge[0]:
+            if self.graph.tgt(last) == first:
+                return Path(self.graph, self.objects + other.objects)
+        elif other._is_edge[0] and not self._is_edge[-1]:
+            if self.graph.src(first) == last:
+                return Path(self.graph, self.objects + other.objects)
+        raise PathConcatenationError(
+            f"cannot concatenate ...{last!r} with {first!r}..."
+        )
+
+    def __mul__(self, other: "Path") -> "Path":
+        """``p * q`` is shorthand for :meth:`concat`."""
+        return self.concat(other)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator["ObjectId"]:
+        return iter(self.objects)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.objects == other.objects
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(obj) for obj in self.objects)
+        return f"path({inner})"

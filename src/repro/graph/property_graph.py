@@ -1,0 +1,185 @@
+"""Labeled property graphs (Definition 6 of the paper).
+
+A labeled property graph extends an edge-labeled graph with
+
+* a total label function ``lambda`` on nodes *and* edges, and
+* a partial property function ``rho : (N ∪ E) × Properties → Values``.
+
+Example 8 of the paper: in Figure 3, ``lambda(a1) = Account``,
+``lambda(t1) = Transfer``, ``rho(a1, owner) = Megan``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+
+from repro.errors import UnknownObjectError
+from repro.graph.edge_labeled import EdgeLabeledGraph, Label, ObjectId
+
+PropertyName = Hashable
+Value = Hashable
+
+#: Sentinel distinguishing "property absent" from "property set to None".
+_MISSING = object()
+
+
+class PropertyGraph(EdgeLabeledGraph):
+    """A property graph per Definition 6.
+
+    Nodes carry a label too (``add_node`` takes one; it defaults to the
+    conventional empty label ``""`` so that lambda stays total, matching
+    Remark 7's single-label simplification).  Properties are set either at
+    construction time (``properties=`` keyword) or later via
+    :meth:`set_property`.
+    """
+
+    __slots__ = ("_node_labels", "_properties")
+
+    #: Label used when a node is created without an explicit one (for
+    #: instance implicitly through ``add_edge``).  Keeping lambda total is
+    #: what Definition 6 requires.
+    DEFAULT_NODE_LABEL: Label = ""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._node_labels: dict[ObjectId, Label] = {}
+        self._properties: dict[ObjectId, dict[PropertyName, Value]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node: ObjectId,
+        label: Label | None = None,
+        properties: Mapping[PropertyName, Value] | None = None,
+    ) -> ObjectId:
+        """Add a node with an optional label and properties.
+
+        Re-adding an existing node may *refine* it: a non-``None`` label
+        overwrites the default label, and new properties are merged in.
+        """
+        super().add_node(node)
+        if label is not None:
+            self._node_labels[node] = label
+        else:
+            self._node_labels.setdefault(node, self.DEFAULT_NODE_LABEL)
+        if properties:
+            self._properties.setdefault(node, {}).update(properties)
+        return node
+
+    def add_edge(
+        self,
+        edge: ObjectId,
+        src: ObjectId,
+        tgt: ObjectId,
+        label: Label,
+        properties: Mapping[PropertyName, Value] | None = None,
+    ) -> ObjectId:
+        """Add a labeled edge with optional properties."""
+        super().add_edge(edge, src, tgt, label)
+        if properties:
+            self._properties.setdefault(edge, {}).update(properties)
+        return edge
+
+    def set_property(self, obj: ObjectId, name: PropertyName, value: Value) -> None:
+        """Set ``rho(obj, name) = value`` for an existing node or edge."""
+        if not self.has_object(obj):
+            raise UnknownObjectError(f"{obj!r} is not an object of this graph")
+        self._properties.setdefault(obj, {})[name] = value
+
+    # ------------------------------------------------------------------
+    # lambda and rho
+    # ------------------------------------------------------------------
+    def object_label(self, obj: ObjectId) -> Label:
+        """The total label function lambda on nodes and edges."""
+        if self.has_edge(obj):
+            return self.label(obj)
+        if self.has_node(obj):
+            return self._node_labels[obj]
+        raise UnknownObjectError(f"{obj!r} is not an object of this graph")
+
+    def node_label(self, node: ObjectId) -> Label:
+        """The label of a node (raises for edges and foreign ids)."""
+        if node not in self._node_labels:
+            raise UnknownObjectError(f"{node!r} is not a node of this graph")
+        return self._node_labels[node]
+
+    def get_property(
+        self, obj: ObjectId, name: PropertyName, default: Value | None = None
+    ) -> Value | None:
+        """``rho(obj, name)``, or ``default`` when the property is undefined.
+
+        ``rho`` is a partial function: nodes and edges need not define every
+        property, and engines treat an undefined property as a failed test
+        (never as an error).
+        """
+        if not self.has_object(obj):
+            raise UnknownObjectError(f"{obj!r} is not an object of this graph")
+        props = self._properties.get(obj)
+        if props is None:
+            return default
+        value = props.get(name, _MISSING)
+        if value is _MISSING:
+            return default
+        return value
+
+    def has_property(self, obj: ObjectId, name: PropertyName) -> bool:
+        """Whether ``rho(obj, name)`` is defined."""
+        if not self.has_object(obj):
+            raise UnknownObjectError(f"{obj!r} is not an object of this graph")
+        return name in self._properties.get(obj, {})
+
+    def properties(self, obj: ObjectId) -> dict[PropertyName, Value]:
+        """A copy of all defined properties of an object."""
+        if not self.has_object(obj):
+            raise UnknownObjectError(f"{obj!r} is not an object of this graph")
+        return dict(self._properties.get(obj, {}))
+
+    def property_names(self) -> frozenset[PropertyName]:
+        """All property names defined anywhere in the graph."""
+        names: set[PropertyName] = set()
+        for props in self._properties.values():
+            names.update(props)
+        return frozenset(names)
+
+    def property_values(self, name: PropertyName) -> frozenset[Value]:
+        """All values that property ``name`` takes in the graph.
+
+        Register-automaton evaluation (Section 6.4) relies on the *active
+        domain* being finite; this is how engines obtain it.
+        """
+        values: set[Value] = set()
+        for props in self._properties.values():
+            if name in props:
+                values.add(props[name])
+        return frozenset(values)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: Label) -> Iterator[ObjectId]:
+        """Iterate over nodes carrying the given label."""
+        for node, node_label in self._node_labels.items():
+            if node_label == label:
+                yield node
+
+    def to_edge_labeled(self) -> EdgeLabeledGraph:
+        """The underlying edge-labeled graph ``(N, E, src, tgt, lambda|_E)``.
+
+        This is the projection noted after Definition 6 in the paper: drop
+        node labels and all properties.
+        """
+        plain = EdgeLabeledGraph()
+        for node in self.iter_nodes():
+            plain.add_node(node)
+        for edge in self.iter_edges():
+            src, tgt = self.endpoints(edge)
+            plain.add_edge(edge, src, tgt, self.label(edge))
+        return plain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PropertyGraph nodes={self.num_nodes} edges={self.num_edges} "
+            f"properties={len(self.property_names())}>"
+        )

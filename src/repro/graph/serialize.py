@@ -1,0 +1,91 @@
+"""JSON (de)serialization for graphs.
+
+The format is a straightforward document::
+
+    {
+      "kind": "property",              # or "edge_labeled"
+      "nodes": [{"id": ..., "label": ..., "properties": {...}}, ...],
+      "edges": [{"id": ..., "src": ..., "tgt": ..., "label": ...,
+                 "properties": {...}}, ...]
+    }
+
+Only JSON-representable ids, labels and values survive a round-trip; that is
+all the datasets and generators in this library produce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.property_graph import PropertyGraph
+
+
+def graph_to_dict(graph: EdgeLabeledGraph) -> dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dictionary."""
+    is_property = isinstance(graph, PropertyGraph)
+    nodes = []
+    for node in sorted(graph.iter_nodes(), key=repr):
+        record: dict[str, Any] = {"id": node}
+        if is_property:
+            record["label"] = graph.node_label(node)
+            props = graph.properties(node)
+            if props:
+                record["properties"] = props
+        nodes.append(record)
+    edges = []
+    for edge in sorted(graph.iter_edges(), key=repr):
+        src, tgt = graph.endpoints(edge)
+        record = {"id": edge, "src": src, "tgt": tgt, "label": graph.label(edge)}
+        if is_property:
+            props = graph.properties(edge)
+            if props:
+                record["properties"] = props
+        edges.append(record)
+    return {
+        "kind": "property" if is_property else "edge_labeled",
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(document: dict[str, Any]) -> EdgeLabeledGraph:
+    """Deserialize a graph from the dictionary format of :func:`graph_to_dict`."""
+    kind = document.get("kind", "edge_labeled")
+    if kind == "property":
+        graph: EdgeLabeledGraph = PropertyGraph()
+        for record in document.get("nodes", ()):
+            graph.add_node(
+                record["id"],
+                label=record.get("label"),
+                properties=record.get("properties"),
+            )
+        for record in document.get("edges", ()):
+            graph.add_edge(
+                record["id"],
+                record["src"],
+                record["tgt"],
+                record["label"],
+                properties=record.get("properties"),
+            )
+    elif kind == "edge_labeled":
+        graph = EdgeLabeledGraph()
+        for record in document.get("nodes", ()):
+            graph.add_node(record["id"])
+        for record in document.get("edges", ()):
+            graph.add_edge(record["id"], record["src"], record["tgt"], record["label"])
+    else:
+        raise GraphError(f"unknown graph kind {kind!r}")
+    return graph
+
+
+def dumps(graph: EdgeLabeledGraph, **json_kwargs: Any) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), **json_kwargs)
+
+
+def loads(text: str) -> EdgeLabeledGraph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

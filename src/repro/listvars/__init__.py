@@ -1,0 +1,36 @@
+"""RPQs and CRPQs with list variables (Sections 3.1.4–3.1.5).
+
+List variables (``a^z``) collect the edges they match into lists — they are
+the paper's clean abstraction of GQL/SQL-PGQ *group variables*.  Crucially,
+and unlike GQL, they satisfy ``[[R]]^2_G = [[R . R]]_G`` by definition
+(no Example 1 surprises) and they never perform joins: joins belong to the
+CRPQ level.
+
+* :mod:`~repro.listvars.lrpq` — l-RPQ syntax (``LAtom`` capture atoms), the
+  path-binding semantics, a naive denotational evaluator (test oracle);
+* :mod:`~repro.listvars.compile` — compilation to an NFA over capture
+  atoms, in the style of document-spanner variable-set automata;
+* :mod:`~repro.listvars.enumerate` — product-based enumeration of
+  ``(path, mu)`` results under the four path modes;
+* :mod:`~repro.listvars.lcrpq` — l-CRPQs: joins of l-RPQ atoms with modes,
+  including the Example 17 grouping-by-endpoint-pair behaviour of
+  ``shortest``.
+"""
+
+from repro.listvars.lrpq import LAtom, PathBinding, parse_lrpq, erase_list_variables
+from repro.listvars.compile import compile_lrpq
+from repro.listvars.enumerate import evaluate_lrpq
+from repro.listvars.lcrpq import LCRPQ, LCRPQAtom, evaluate_lcrpq, parse_lcrpq
+
+__all__ = [
+    "LAtom",
+    "PathBinding",
+    "parse_lrpq",
+    "erase_list_variables",
+    "compile_lrpq",
+    "evaluate_lrpq",
+    "LCRPQ",
+    "LCRPQAtom",
+    "parse_lcrpq",
+    "evaluate_lcrpq",
+]

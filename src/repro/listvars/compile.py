@@ -1,0 +1,65 @@
+"""Compiling l-RPQs to automata over capture atoms.
+
+This is design goal (1) of the paper's l-RPQs: "designed to allow a
+translation into finite automata using routine methods (similar to those
+used in the research on document spanners)".  The automaton's alphabet is
+the set of :class:`LAtom` values occurring in the expression (wildcards are
+instantiated over the graph's labels as capture-free atoms); a transition on
+``LAtom(a, {z})`` means "traverse an a-edge and append it to z's list".
+"""
+
+from __future__ import annotations
+
+from repro.automata.glushkov import glushkov
+from repro.automata.nfa import NFA
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.listvars.lrpq import LAtom, lift_plain_regex
+from repro.regex.ast import (
+    Concat,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    symbols,
+)
+
+
+def _instantiate_wildcards(regex: Regex, labels: frozenset) -> Regex:
+    """Replace every ``!S`` by the finite union of capture-free atoms over
+    the graph's labels (minus the excluded ones)."""
+    from repro.regex.ast import concat as mk_concat
+    from repro.regex.ast import star as mk_star
+    from repro.regex.ast import union as mk_union
+
+    if isinstance(regex, NotSymbols):
+        excluded = {
+            atom.label if isinstance(atom, LAtom) else atom
+            for atom in regex.excluded
+        }
+        allowed = [
+            Symbol(LAtom(label, frozenset()))
+            for label in sorted(labels - frozenset(excluded), key=repr)
+        ]
+        return mk_union(*allowed)
+    if isinstance(regex, Concat):
+        return mk_concat(*(_instantiate_wildcards(p, labels) for p in regex.parts))
+    if isinstance(regex, Union):
+        return mk_union(*(_instantiate_wildcards(p, labels) for p in regex.parts))
+    if isinstance(regex, Star):
+        return mk_star(_instantiate_wildcards(regex.inner, labels))
+    return regex
+
+
+def compile_lrpq(regex: Regex, graph: EdgeLabeledGraph) -> NFA:
+    """Compile an l-RPQ into a trimmed NFA over :class:`LAtom` symbols.
+
+    Plain-label symbols are lifted to capture-free atoms first, so callers
+    may mix plain RPQs and l-RPQs freely.
+    """
+    lifted = lift_plain_regex(regex)
+    instantiated = _instantiate_wildcards(lifted, graph.labels)
+    alphabet = {
+        atom for atom in symbols(instantiated) if isinstance(atom, LAtom)
+    }
+    return glushkov(instantiated, alphabet).trim()

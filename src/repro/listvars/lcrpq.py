@@ -1,0 +1,269 @@
+"""CRPQs with list variables (Section 3.1.5).
+
+An l-CRPQ ``q(x1,...,xk) :- m1 R1(y1,y1'), ..., mn Rn(yn,yn')`` combines
+
+* node variables (joined, as in plain CRPQs),
+* list variables inside the ``Ri`` (collected, never joined), and
+* a path mode ``mi ∈ {shortest, simple, trail, all}`` per atom.
+
+The semantics follows the paper's *restricted path homomorphisms*: first a
+node homomorphism ``h`` is fixed, then for every atom the mode is applied to
+``sigma_{h(yi), h(yi')}([[Ri]]_G)`` — endpoint selection happens *before*
+the mode, which is exactly what makes ``shortest`` group by endpoint pairs
+(Example 17).
+
+Well-formedness (conditions 3-5): list variables are disjoint from node
+variables, disjoint across atoms, and head entries are node or list
+variables of the body.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var, _parse_term, _split_top_level
+from repro.crpq.evaluation import evaluate_crpq_bindings
+from repro.errors import ParseError, QueryError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.listvars.enumerate import evaluate_lrpq
+from repro.listvars.lrpq import erase_list_variables, list_variables, parse_lrpq
+from repro.regex.ast import Regex
+from repro.rpq.path_modes import PATH_MODES
+
+
+@dataclass(frozen=True, slots=True)
+class ListVar:
+    """A list variable of an l-CRPQ head (bound to a list of edges)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"!{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class LCRPQAtom:
+    """``m R(y, y')`` — a moded l-RPQ atom between two terms."""
+
+    mode: str
+    regex: Regex
+    left: object
+    right: object
+
+    def __post_init__(self) -> None:
+        if self.mode not in PATH_MODES:
+            raise QueryError(f"unknown mode {self.mode!r}; use one of {PATH_MODES}")
+
+    def node_variables(self) -> frozenset:
+        found = set()
+        if isinstance(self.left, Var):
+            found.add(self.left)
+        if isinstance(self.right, Var):
+            found.add(self.right)
+        return frozenset(found)
+
+    def list_variables(self) -> frozenset:
+        return list_variables(self.regex)
+
+
+@dataclass(frozen=True, slots=True)
+class LCRPQ:
+    """An l-CRPQ: head of node/list variables, body of moded atoms."""
+
+    head: tuple
+    atoms: tuple[LCRPQAtom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        node_vars: set[Var] = set()
+        seen_list_vars: set = set()
+        for atom in self.atoms:
+            node_vars |= atom.node_variables()
+            atom_lists = atom.list_variables()
+            overlap = seen_list_vars & atom_lists
+            if overlap:
+                raise QueryError(
+                    f"list variables {sorted(overlap)!r} shared across atoms "
+                    "(condition 4)"
+                )
+            seen_list_vars |= atom_lists
+        name_clash = {var.name for var in node_vars} & set(seen_list_vars)
+        if name_clash:
+            raise QueryError(
+                f"variables {sorted(name_clash)!r} used both as node and list "
+                "variables (condition 3)"
+            )
+        for entry in self.head:
+            if isinstance(entry, Var):
+                if entry not in node_vars:
+                    raise QueryError(f"head variable {entry!r} not in the body")
+            elif isinstance(entry, ListVar):
+                if entry.name not in seen_list_vars:
+                    raise QueryError(f"head list variable {entry!r} not in the body")
+            else:
+                raise QueryError(f"head entries must be variables, got {entry!r}")
+
+
+_MODE_PREFIX = _stdlib_re.compile(r"^\s*(shortest|simple|trail|all)\b")
+
+
+def parse_lcrpq(text: str) -> LCRPQ:
+    """Parse an l-CRPQ; Example 17 reads::
+
+        q(x1, x2, z) :- owner(y1, x1), owner(y2, x2),
+                        shortest (Transfer^z)+(y1, y2)
+
+    Atoms without a mode keyword default to ``all`` (the paper omits the
+    ``all`` modifiers "to simplify notation").  Head names that occur as
+    list variables in the body become list entries of the output.
+    """
+    if ":-" not in text:
+        raise ParseError("an l-CRPQ needs a ':-' between head and body")
+    head_text, body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    if not head_text.endswith(")") or "(" not in head_text:
+        raise ParseError(f"malformed head {head_text!r}")
+    name, args_text = head_text.split("(", 1)
+    head_names = [
+        part.strip()
+        for part in _split_top_level(args_text[:-1].strip(), ",")
+        if part.strip()
+    ]
+
+    atoms: list[LCRPQAtom] = []
+    for part in _split_top_level(body_text.strip(), ","):
+        part = part.strip()
+        if not part:
+            continue
+        mode = "all"
+        match = _MODE_PREFIX.match(part)
+        if match:
+            mode = match.group(1)
+            part = part[match.end() :].strip()
+        atoms.append(_parse_lcrpq_atom(mode, part))
+
+    list_vars: set = set()
+    for atom in atoms:
+        list_vars |= atom.list_variables()
+    head: list = []
+    for entry in head_names:
+        if entry in list_vars:
+            head.append(ListVar(entry))
+        else:
+            head.append(Var(entry))
+    return LCRPQ(head=tuple(head), atoms=tuple(atoms), name=name.strip() or "q")
+
+
+def _parse_lcrpq_atom(mode: str, text: str) -> LCRPQAtom:
+    if not text.endswith(")"):
+        raise ParseError(f"atom {text!r} does not end with a term list")
+    depth = 0
+    open_index = None
+    for index in range(len(text) - 1, -1, -1):
+        char = text[index]
+        if char == ")":
+            depth += 1
+        elif char == "(":
+            depth -= 1
+            if depth == 0:
+                open_index = index
+                break
+    if open_index is None:
+        raise ParseError(f"unbalanced parentheses in atom {text!r}")
+    regex_text = text[:open_index].strip()
+    if not regex_text:
+        raise ParseError(f"atom {text!r} is missing its expression")
+    terms = _split_top_level(text[open_index + 1 : -1], ",")
+    if len(terms) != 2:
+        raise ParseError(f"atom {text!r} must have exactly two terms")
+    return LCRPQAtom(
+        mode=mode,
+        regex=parse_lrpq(regex_text),
+        left=_parse_term(terms[0]),
+        right=_parse_term(terms[1]),
+    )
+
+
+def evaluate_lcrpq(
+    query: "LCRPQ | str", graph: EdgeLabeledGraph, limit: int | None = None
+) -> set[tuple]:
+    """The output of an l-CRPQ: tuples over nodes and edge lists (as tuples).
+
+    For every node homomorphism of the erased CRPQ and every atom, the
+    moded path-binding set is computed between the homomorphism's endpoint
+    images; the atom results are combined by cartesian product, as each
+    choice of ``(p, mu)`` per atom yields its own path homomorphism.
+
+    ``limit`` bounds the per-atom enumeration for mode ``all`` on cyclic
+    matches (without it, such queries raise
+    :class:`~repro.errors.InfiniteResultError`, mirroring Section 3.1.4's
+    discussion of infinite outputs).
+    """
+    if isinstance(query, str):
+        query = parse_lcrpq(query)
+
+    erased = CRPQ(
+        head=(),
+        atoms=tuple(
+            RPQAtom(erase_list_variables(atom.regex), atom.left, atom.right)
+            for atom in query.atoms
+        ),
+        name=query.name,
+    )
+    homomorphisms = evaluate_crpq_bindings(erased, graph)
+
+    mu_cache: dict = {}
+
+    def atom_bindings(atom: LCRPQAtom, source, target) -> list:
+        key = (id(atom), source, target)
+        if key not in mu_cache:
+            seen = set()
+            ordered = []
+            for binding in evaluate_lrpq(
+                atom.regex, graph, source, target, mode=atom.mode, limit=limit
+            ):
+                mu = binding.mu.restrict(atom.list_variables())
+                if mu not in seen:
+                    seen.add(mu)
+                    ordered.append(mu)
+            mu_cache[key] = ordered
+        return mu_cache[key]
+
+    results: set[tuple] = set()
+    for h in homomorphisms:
+        choices: list[list] = []
+        feasible = True
+        for atom in query.atoms:
+            source = h[atom.left] if isinstance(atom.left, Var) else atom.left
+            target = h[atom.right] if isinstance(atom.right, Var) else atom.right
+            mus = atom_bindings(atom, source, target)
+            if not mus:
+                feasible = False
+                break
+            choices.append(mus)
+        if not feasible:
+            continue
+        for combination in _product(choices):
+            merged: dict = {}
+            for mu in combination:
+                for variable, values in mu.items():
+                    merged[variable] = values
+            row = []
+            for entry in query.head:
+                if isinstance(entry, Var):
+                    row.append(h[entry])
+                else:
+                    row.append(merged.get(entry.name, ()))
+            results.add(tuple(row))
+    return results
+
+
+def _product(choices: list[list]):
+    if not choices:
+        yield ()
+        return
+    head, *tail = choices
+    for item in head:
+        for rest in _product(tail):
+            yield (item,) + rest

@@ -1,0 +1,267 @@
+"""l-RPQs: regular path queries with list variables (Section 3.1.4).
+
+An l-RPQ is a regular expression over ``Labels ∪ {a^z | a ∈ Labels, z ∈ Var}``.
+An atom ``a^z`` matches an ``a``-labeled edge and appends that edge's id to
+the list bound to ``z``.  Semantically the query denotes a set of *path
+bindings* ``(p, mu)``.
+
+We uniformly represent every atom as an :class:`LAtom` (a label plus a —
+possibly empty — set of variables to capture into), so plain RPQs embed as
+l-RPQs whose atoms capture nothing.
+
+The module also contains a small textual syntax (``a^z``) and a naive
+denotational evaluator that follows the paper's inductive definition
+verbatim; the production engine (:mod:`repro.listvars.enumerate`) is
+automata-based, and the test suite checks the two against each other.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.graph.bindings import ListBinding
+from repro.graph.edge_labeled import EdgeLabeledGraph, Label
+from repro.graph.paths import Path
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    map_symbols,
+    optional,
+    plus,
+    star,
+    union,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LAtom:
+    """One position of an l-RPQ: match label ``label``, capture the matched
+    edge into every variable in ``variables``."""
+
+    label: Label
+    variables: frozenset = frozenset()
+
+    def __repr__(self) -> str:
+        if not self.variables:
+            return f"{self.label}"
+        vars_text = ",".join(sorted(map(str, self.variables)))
+        return f"{self.label}^{vars_text}"
+
+
+@dataclass(frozen=True, slots=True)
+class PathBinding:
+    """A result of an l-RPQ: a path together with a list binding ``mu``."""
+
+    path: Path
+    mu: ListBinding
+
+    def __repr__(self) -> str:
+        return f"({self.path!r}, {self.mu!r})"
+
+
+def capture(label: Label, *variables) -> Regex:
+    """The atom ``label^z1,...,zk`` as a regex symbol."""
+    return Symbol(LAtom(label, frozenset(variables)))
+
+
+def label_atom(label: Label) -> Regex:
+    """A plain label atom (captures nothing)."""
+    return Symbol(LAtom(label, frozenset()))
+
+
+def list_variables(regex: Regex) -> frozenset:
+    """``Var(R)`` — all list variables occurring in the expression."""
+    found: set = set()
+
+    def walk(node: Regex) -> None:
+        if isinstance(node, Symbol) and isinstance(node.symbol, LAtom):
+            found.update(node.symbol.variables)
+        elif isinstance(node, (Concat, Union)):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, Star):
+            walk(node.inner)
+
+    walk(regex)
+    return frozenset(found)
+
+
+def erase_list_variables(regex: Regex) -> Regex:
+    """Project an l-RPQ to the plain RPQ over labels (drop all captures)."""
+
+    def erase(symbol):
+        if isinstance(symbol, LAtom):
+            return symbol.label
+        return symbol
+
+    return map_symbols(regex, erase)
+
+
+def lift_plain_regex(regex: Regex) -> Regex:
+    """Embed a plain RPQ as an l-RPQ (wrap labels in capture-free atoms)."""
+
+    def lift(symbol):
+        if isinstance(symbol, LAtom):
+            return symbol
+        return LAtom(symbol, frozenset())
+
+    return map_symbols(regex, lift)
+
+
+# ----------------------------------------------------------------------
+# parsing: the regex grammar plus LABEL^var atoms
+# ----------------------------------------------------------------------
+_ATOM_PATTERN = _stdlib_re.compile(
+    r"(?P<label>[A-Za-z][A-Za-z0-9_]*)\s*\^\s*(?P<var>[A-Za-z][A-Za-z0-9_]*)"
+)
+
+
+def parse_lrpq(text: str) -> Regex:
+    """Parse an l-RPQ such as ``(Transfer^z)* . isBlocked`` (Example 16).
+
+    Implemented by rewriting each ``label^var`` occurrence to a placeholder
+    label, parsing with the plain regex parser, and mapping placeholders
+    back to :class:`LAtom` symbols.  Plain labels become capture-free atoms.
+    """
+    placeholders: dict[str, LAtom] = {}
+
+    def substitute(match: "_stdlib_re.Match[str]") -> str:
+        token = f"CAPTUREATOM{len(placeholders)}X"
+        placeholders[token] = LAtom(
+            match.group("label"), frozenset({match.group("var")})
+        )
+        return token
+
+    rewritten = _ATOM_PATTERN.sub(substitute, text)
+    if "^" in rewritten:
+        raise ParseError(f"stray '^' in l-RPQ {text!r}")
+    from repro.regex.parser import parse_regex
+
+    plain = parse_regex(rewritten)
+
+    def restore(symbol):
+        if symbol in placeholders:
+            return placeholders[symbol]
+        if isinstance(symbol, LAtom):
+            return symbol
+        return LAtom(symbol, frozenset())
+
+    return map_symbols(plain, restore)
+
+
+# ----------------------------------------------------------------------
+# naive denotational semantics (the paper's definition, verbatim)
+# ----------------------------------------------------------------------
+def denotational_lrpq(
+    regex: Regex,
+    graph: EdgeLabeledGraph,
+    max_length: int,
+) -> set[PathBinding]:
+    """``[[R]]_G`` restricted to paths of length <= max_length.
+
+    A direct transcription of the inductive definition in Section 3.1.4 —
+    exponential, only meant as a test oracle for the automata-based engine.
+    """
+    return _denote(regex, graph, max_length)
+
+
+def _denote(regex: Regex, graph: EdgeLabeledGraph, bound: int) -> set[PathBinding]:
+    if isinstance(regex, Empty):
+        return set()
+    if isinstance(regex, Epsilon):
+        return {
+            PathBinding(Path.trivial(graph, node), ListBinding.empty())
+            for node in graph.iter_nodes()
+        }
+    if isinstance(regex, Symbol):
+        atom = regex.symbol
+        if not isinstance(atom, LAtom):
+            atom = LAtom(atom, frozenset())
+        results = set()
+        if bound < 1:
+            return results
+        for edge in graph.iter_edges():
+            if graph.label(edge) != atom.label:
+                continue
+            src, tgt = graph.endpoints(edge)
+            mu = ListBinding.empty()
+            for variable in atom.variables:
+                mu = mu.concat(ListBinding.singleton(variable, edge))
+            results.add(PathBinding(Path.of(graph, (src, edge, tgt)), mu))
+        return results
+    if isinstance(regex, NotSymbols):
+        results = set()
+        if bound < 1:
+            return results
+        excluded = {
+            atom.label if isinstance(atom, LAtom) else atom
+            for atom in regex.excluded
+        }
+        for edge in graph.iter_edges():
+            if graph.label(edge) in excluded:
+                continue
+            src, tgt = graph.endpoints(edge)
+            results.add(
+                PathBinding(Path.of(graph, (src, edge, tgt)), ListBinding.empty())
+            )
+        return results
+    if isinstance(regex, Union):
+        results = set()
+        for part in regex.parts:
+            results |= _denote(part, graph, bound)
+        return results
+    if isinstance(regex, Concat):
+        head, *tail = regex.parts
+        rest: Regex = Concat(tuple(tail)) if len(tail) > 1 else tail[0]
+        left = _denote(head, graph, bound)
+        results = set()
+        for left_binding in left:
+            remaining = bound - len(left_binding.path)
+            for right_binding in _denote(rest, graph, remaining):
+                if left_binding.path.tgt == right_binding.path.src and (
+                    left_binding.path.can_concat(right_binding.path)
+                ):
+                    results.add(
+                        PathBinding(
+                            left_binding.path.concat(right_binding.path),
+                            left_binding.mu.concat(right_binding.mu),
+                        )
+                    )
+        return results
+    if isinstance(regex, Star):
+        results = {
+            PathBinding(Path.trivial(graph, node), ListBinding.empty())
+            for node in graph.iter_nodes()
+        }
+        frontier = set(results)
+        while frontier:
+            extended: set[PathBinding] = set()
+            for binding in frontier:
+                remaining = bound - len(binding.path)
+                if remaining <= 0:
+                    continue
+                for step in _denote(regex.inner, graph, remaining):
+                    if len(step.path) == 0:
+                        continue  # epsilon iterations add nothing new
+                    if binding.path.tgt == step.path.src and binding.path.can_concat(
+                        step.path
+                    ):
+                        candidate = PathBinding(
+                            binding.path.concat(step.path),
+                            binding.mu.concat(step.mu),
+                        )
+                        if candidate not in results:
+                            extended.add(candidate)
+            results |= extended
+            frontier = extended
+        return results
+    raise TypeError(f"not a regex node: {regex!r}")

@@ -1,0 +1,39 @@
+"""Path multiset representations — PMRs (Section 6.4, [84]).
+
+A PMR represents a (possibly infinite) set of paths of a graph ``G``
+succinctly: it is a graph of its own, a homomorphism ``gamma`` into ``G``,
+and source/target node sets; the represented paths are the images of its
+source-to-target paths.  The paper's two showcase facts, reproduced by
+experiments E16/E22:
+
+* the 2^n paths of the Figure 5 graph have a PMR of size O(n);
+* the *infinitely many* unblocked Mike-to-Mike transfer cycles of Figure 3
+  have a finite PMR (one loop).
+
+Following the paper, we use the set-semantics reading of PMRs
+(``SPaths``).
+"""
+
+from repro.pmr.representation import PMR
+from repro.pmr.build import pmr_for_rpq, pmr_from_product
+from repro.pmr.ops import (
+    contains_path,
+    count_paths_of_length,
+    is_finite,
+    pmr_size,
+    trim,
+)
+from repro.pmr.enumerate import enumerate_spaths, enumerate_spaths_delta
+
+__all__ = [
+    "PMR",
+    "pmr_from_product",
+    "pmr_for_rpq",
+    "trim",
+    "is_finite",
+    "pmr_size",
+    "contains_path",
+    "count_paths_of_length",
+    "enumerate_spaths",
+    "enumerate_spaths_delta",
+]

@@ -1,0 +1,59 @@
+"""Regular expressions over edge labels (Section 3.1.1 and Remark 11).
+
+The AST is generic over its symbol type: RPQs use plain labels, RPQs with
+list variables use ``(label, variables)`` atoms, and dl-RPQs use the richer
+atoms of Section 3.2.1.  Wildcards ``!S`` (match any label outside the finite
+set ``S``) and ``_`` (match everything) follow Remark 11 — they are chosen
+precisely because they keep the language compilable to finite automata once
+a concrete finite alphabet is fixed.
+"""
+
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    ANY,
+    concat,
+    nullable,
+    optional,
+    plus,
+    regex_size,
+    repeat,
+    star,
+    symbols,
+    to_string,
+    union,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+from repro.regex.derivatives import derivative_matches
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Symbol",
+    "NotSymbols",
+    "Concat",
+    "Union",
+    "Star",
+    "ANY",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "optional",
+    "repeat",
+    "nullable",
+    "symbols",
+    "regex_size",
+    "to_string",
+    "parse_regex",
+    "simplify",
+    "derivative_matches",
+]

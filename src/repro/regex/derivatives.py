@@ -1,0 +1,62 @@
+"""Brzozowski-derivative matching.
+
+An automaton-free regular expression matcher used throughout the test suite
+as an *independent oracle* against the Glushkov/NFA pipeline: the derivative
+of ``R`` by a symbol ``a`` is an expression matching exactly the words ``w``
+with ``aw`` in ``L(R)``, so ``w ∈ L(R)`` iff the derivative by every symbol
+of ``w`` in turn yields a nullable expression.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from functools import lru_cache
+
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    SymbolType,
+    Union,
+    concat,
+    nullable,
+    star,
+    union,
+)
+
+
+@lru_cache(maxsize=None)
+def derivative(regex: Regex, symbol: SymbolType) -> Regex:
+    """The Brzozowski derivative of ``regex`` with respect to ``symbol``."""
+    if isinstance(regex, (Empty, Epsilon)):
+        return Empty()
+    if isinstance(regex, Symbol):
+        return Epsilon() if regex.symbol == symbol else Empty()
+    if isinstance(regex, NotSymbols):
+        return Empty() if symbol in regex.excluded else Epsilon()
+    if isinstance(regex, Union):
+        return union(*(derivative(part, symbol) for part in regex.parts))
+    if isinstance(regex, Concat):
+        head, *tail = regex.parts
+        rest = concat(*tail)
+        with_head = concat(derivative(head, symbol), rest)
+        if nullable(head):
+            return union(with_head, derivative(rest, symbol))
+        return with_head
+    if isinstance(regex, Star):
+        return concat(derivative(regex.inner, symbol), star(regex.inner))
+    raise TypeError(f"not a regex node: {regex!r}")
+
+
+def derivative_matches(regex: Regex, word: Iterable[SymbolType]) -> bool:
+    """Whether ``word`` (an iterable of symbols) belongs to ``L(regex)``."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)

@@ -1,0 +1,125 @@
+"""Automata-compatible rewriting of regular expressions.
+
+Section 6.1 of the paper argues that a language design compatible with
+automata techniques avoids the SPARQL counting explosion "for one thing,
+``(((a*)*)*)*`` can be equivalently rewritten to ``a*``".  This module
+implements exactly that kind of language-preserving simplification.
+
+The rules are purely syntactic and each preserves ``L(R)``:
+
+* star collapsing: ``(R*)* -> R*``, ``eps* -> eps``, ``empty* -> eps``;
+* star of a union absorbs nullable noise: ``(R + eps)* -> R*``;
+* star absorption in unions: ``R + R* -> R*`` and ``eps + R* -> R*``;
+* unit and absorbing elements of concatenation and union;
+* duplicate removal in unions;
+* ``R* . R* -> R*`` (idempotent star concatenation);
+* ``(R*)? -> R*`` (via the union rules, since ``?`` desugars to ``+ eps``).
+
+:func:`simplify` applies the rules bottom-up to a fixpoint.  It is *not* a
+canonizer — deciding regex equivalence is PSPACE-complete — but it covers
+the patterns that occur in query logs (nested stars, duplicated branches).
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Union,
+    concat,
+    nullable,
+    star,
+    union,
+)
+
+
+def simplify(regex: Regex) -> Regex:
+    """Return a language-equivalent, usually smaller, expression."""
+    previous = None
+    current = regex
+    while current != previous:
+        previous = current
+        current = _simplify_once(current)
+    return current
+
+
+def _simplify_once(regex: Regex) -> Regex:
+    if isinstance(regex, Concat):
+        parts = [_simplify_once(part) for part in regex.parts]
+        parts = _merge_adjacent_stars(parts)
+        return concat(*parts)
+    if isinstance(regex, Union):
+        parts = [_simplify_once(part) for part in regex.parts]
+        return union(*_absorb_into_stars(parts))
+    if isinstance(regex, Star):
+        inner = _simplify_once(regex.inner)
+        inner = _strip_nullable_noise(inner)
+        return star(inner)
+    return regex
+
+
+def _merge_adjacent_stars(parts: list[Regex]) -> list[Regex]:
+    """``R* . R* -> R*`` and ``R* . R -> R . R*`` normalization is not
+    attempted; only the directly language-preserving adjacent-star merge."""
+    merged: list[Regex] = []
+    for part in parts:
+        if (
+            merged
+            and isinstance(part, Star)
+            and isinstance(merged[-1], Star)
+            and merged[-1].inner == part.inner
+        ):
+            continue
+        merged.append(part)
+    return merged
+
+
+def _absorb_into_stars(parts: list[Regex]) -> list[Regex]:
+    """Drop union branches that are subsumed by a sibling star.
+
+    ``R`` and ``eps`` are both contained in ``L(R*)``, so in a union that
+    also contains ``R*`` they are redundant.
+    """
+    star_inners = {part.inner for part in parts if isinstance(part, Star)}
+    if not star_inners:
+        return parts
+    kept: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Epsilon) or (
+            not isinstance(part, Star) and part in star_inners
+        ):
+            continue
+        kept.append(part)
+    return kept or [Epsilon()]
+
+
+def _strip_nullable_noise(inner: Regex) -> Regex:
+    """Inside a star, drop union branches that only contribute epsilon.
+
+    ``(R + eps)* = R*`` and more generally any nullable branch whose other
+    content is already a branch can be reduced; we implement the epsilon
+    case plus unwrapping ``(R*)`` branches: ``(R* + S)* = (R + S)*``.
+    """
+    if isinstance(inner, Union):
+        branches: list[Regex] = []
+        for part in inner.parts:
+            if isinstance(part, Epsilon):
+                continue
+            if isinstance(part, Star):
+                branches.append(part.inner)
+            else:
+                branches.append(part)
+        if not branches:
+            return Epsilon()
+        return union(*branches)
+    if isinstance(inner, Star):
+        return inner.inner
+    if isinstance(inner, Concat) and all(nullable(part) for part in inner.parts):
+        # (R1 . R2)* with all Ri nullable equals (R1 + R2)*.
+        return union(*inner.parts)
+    if isinstance(inner, Empty):
+        return Epsilon()
+    return inner

@@ -1,0 +1,42 @@
+"""First-normal-form relations and relational algebra (Section 4.1).
+
+CoreGQL's third component is "relational algebra as such a language" over
+the relations extracted from graphs by pattern matching.  Relations here are
+first-normal-form by construction: named attributes, atomic values, no
+nulls, set semantics (no duplicates) — matching the paper's requirement that
+pattern outputs be 1NF relations [28].
+"""
+
+from repro.relalg.relation import Relation
+from repro.relalg.algebra import (
+    AttrCompare,
+    AttrConst,
+    And,
+    Difference,
+    Join,
+    Not,
+    Or,
+    Projection,
+    RelRef,
+    Rename,
+    Selection,
+    UnionExpr,
+    evaluate_algebra,
+)
+
+__all__ = [
+    "Relation",
+    "RelRef",
+    "Projection",
+    "Selection",
+    "Join",
+    "UnionExpr",
+    "Difference",
+    "Rename",
+    "AttrCompare",
+    "AttrConst",
+    "And",
+    "Or",
+    "Not",
+    "evaluate_algebra",
+]

@@ -1,0 +1,204 @@
+"""A relational algebra expression language with an evaluator.
+
+CoreGQL is "the set of relational algebra queries over all relations
+R^pi_Omega" (Section 4.1.3); this module supplies the algebra as a small
+expression AST evaluated against a catalog of named relations.  Selection
+conditions compare attributes with attributes or constants and close under
+and/or/not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.relalg.relation import Relation
+
+
+class Condition:
+    """Base class for selection conditions."""
+
+    __slots__ = ()
+
+    def __call__(self, row: dict) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+def _apply(op: str, left, right) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+@dataclass(frozen=True)
+class AttrCompare(Condition):
+    """``left op right`` where both sides are attribute names."""
+
+    left: object
+    op: str
+    right: object
+
+    def __call__(self, row: dict) -> bool:
+        if self.left not in row or self.right not in row:
+            raise QueryError(f"attribute missing for {self!r} in {sorted(row)!r}")
+        return _apply(self.op, row[self.left], row[self.right])
+
+
+@dataclass(frozen=True)
+class AttrConst(Condition):
+    """``attr op constant``."""
+
+    attr: object
+    op: str
+    value: object
+
+    def __call__(self, row: dict) -> bool:
+        if self.attr not in row:
+            raise QueryError(f"attribute missing for {self!r} in {sorted(row)!r}")
+        return _apply(self.op, row[self.attr], self.value)
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+    def __call__(self, row: dict) -> bool:
+        return self.left(row) and self.right(row)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+    def __call__(self, row: dict) -> bool:
+        return self.left(row) or self.right(row)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    inner: Condition
+
+    def __call__(self, row: dict) -> bool:
+        return not self.inner(row)
+
+
+# ----------------------------------------------------------------------
+# algebra expressions
+# ----------------------------------------------------------------------
+class AlgebraExpr:
+    """Base class for relational algebra expressions."""
+
+    __slots__ = ()
+
+    def join(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        return Join(self, other)
+
+    def project(self, *attributes) -> "AlgebraExpr":
+        return Projection(self, tuple(attributes))
+
+    def where(self, condition: Condition) -> "AlgebraExpr":
+        return Selection(self, condition)
+
+
+@dataclass(frozen=True)
+class RelRef(AlgebraExpr):
+    """A reference to a named relation in the catalog."""
+
+    name: object
+
+
+@dataclass(frozen=True)
+class Projection(AlgebraExpr):
+    inner: AlgebraExpr
+    attributes: tuple
+
+
+@dataclass(frozen=True)
+class Selection(AlgebraExpr):
+    inner: AlgebraExpr
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class Join(AlgebraExpr):
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+
+@dataclass(frozen=True)
+class UnionExpr(AlgebraExpr):
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+
+@dataclass(frozen=True)
+class Difference(AlgebraExpr):
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraExpr):
+    inner: AlgebraExpr
+    mapping: tuple  # tuple of (old, new) pairs, hashable
+
+
+def evaluate_algebra(
+    expr: AlgebraExpr, catalog: Mapping[object, Relation]
+) -> Relation:
+    """Evaluate an algebra expression against named relations.
+
+    The catalog may also map names lazily (anything with ``__getitem__``),
+    which is how CoreGQL materializes pattern relations on demand.
+    """
+    if isinstance(expr, RelRef):
+        try:
+            return catalog[expr.name]
+        except KeyError:
+            raise QueryError(f"unknown relation {expr.name!r}") from None
+    if isinstance(expr, Projection):
+        return evaluate_algebra(expr.inner, catalog).project(expr.attributes)
+    if isinstance(expr, Selection):
+        return evaluate_algebra(expr.inner, catalog).select(expr.condition)
+    if isinstance(expr, Join):
+        return evaluate_algebra(expr.left, catalog).natural_join(
+            evaluate_algebra(expr.right, catalog)
+        )
+    if isinstance(expr, UnionExpr):
+        return evaluate_algebra(expr.left, catalog).union(
+            evaluate_algebra(expr.right, catalog)
+        )
+    if isinstance(expr, Difference):
+        return evaluate_algebra(expr.left, catalog).difference(
+            evaluate_algebra(expr.right, catalog)
+        )
+    if isinstance(expr, Rename):
+        return evaluate_algebra(expr.inner, catalog).rename(dict(expr.mapping))
+    if isinstance(expr, Relation):  # allow inlining literal relations
+        return expr
+    raise TypeError(f"not an algebra expression: {expr!r}")

@@ -1,0 +1,176 @@
+"""First-normal-form relations with set semantics.
+
+A :class:`Relation` is an ordered tuple of attribute names plus a frozen set
+of equally-long value tuples.  All operations return new relations; nothing
+is mutated.  Attributes are compared by name for natural joins, exactly as
+in the classical relational algebra the paper takes as CoreGQL's outer
+layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import QueryError
+
+Attribute = Hashable
+Row = tuple
+
+
+class Relation:
+    """An immutable 1NF relation."""
+
+    __slots__ = ("attributes", "rows")
+
+    def __init__(
+        self, attributes: Iterable[Attribute], rows: Iterable[Row] = ()
+    ):
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise QueryError(f"duplicate attributes in {self.attributes!r}")
+        frozen = set()
+        width = len(self.attributes)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise QueryError(
+                    f"row {row!r} does not match attributes {self.attributes!r}"
+                )
+            frozen.add(row)
+        self.rows = frozenset(frozen)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self.rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attributes == other.attributes:
+            return self.rows == other.rows
+        if set(self.attributes) != set(other.attributes):
+            return False
+        # same attributes in a different order: compare reordered
+        return self.rows == other.project(self.attributes).rows
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.attributes), self.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.attributes)!r}, {len(self.rows)} rows)"
+
+    def _index_of(self, attribute: Attribute) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise QueryError(
+                f"unknown attribute {attribute!r} (have {self.attributes!r})"
+            ) from None
+
+    def column(self, attribute: Attribute) -> set:
+        """The set of values in one column."""
+        index = self._index_of(attribute)
+        return {row[index] for row in self.rows}
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as attribute->value dictionaries (sorted for determinism)."""
+        return [
+            dict(zip(self.attributes, row))
+            for row in sorted(self.rows, key=repr)
+        ]
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def project(self, attributes: Iterable[Attribute]) -> "Relation":
+        """pi_{attributes} — duplicates collapse under set semantics."""
+        attributes = tuple(attributes)
+        indices = [self._index_of(attribute) for attribute in attributes]
+        return Relation(
+            attributes, {tuple(row[i] for i in indices) for row in self.rows}
+        )
+
+    def select(self, predicate: Callable[[dict], bool]) -> "Relation":
+        """sigma_{predicate} — the predicate sees a dict view of each row."""
+        kept = []
+        for row in self.rows:
+            if predicate(dict(zip(self.attributes, row))):
+                kept.append(row)
+        return Relation(self.attributes, kept)
+
+    def rename(self, mapping: Mapping[Attribute, Attribute]) -> "Relation":
+        """rho — rename attributes (unmentioned ones stay)."""
+        new_attributes = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(new_attributes, self.rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """The natural join on shared attribute names.
+
+        With no shared attributes this degenerates to the cartesian product,
+        as usual.
+        """
+        shared = [a for a in self.attributes if a in other.attributes]
+        other_only = [a for a in other.attributes if a not in shared]
+        result_attributes = self.attributes + tuple(other_only)
+
+        self_shared_idx = [self._index_of(a) for a in shared]
+        other_shared_idx = [other._index_of(a) for a in shared]
+        other_only_idx = [other._index_of(a) for a in other_only]
+
+        by_key: dict = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in other_shared_idx)
+            by_key.setdefault(key, []).append(row)
+
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in self_shared_idx)
+            for other_row in by_key.get(key, ()):
+                rows.append(row + tuple(other_row[i] for i in other_only_idx))
+        return Relation(result_attributes, rows)
+
+    def _check_union_compatible(self, other: "Relation") -> "Relation":
+        if self.attributes == other.attributes:
+            return other
+        if set(self.attributes) == set(other.attributes):
+            return other.project(self.attributes)
+        raise QueryError(
+            f"incompatible schemas {self.attributes!r} vs {other.attributes!r}"
+        )
+
+    def union(self, other: "Relation") -> "Relation":
+        other = self._check_union_compatible(other)
+        return Relation(self.attributes, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        other = self._check_union_compatible(other)
+        return Relation(self.attributes, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        other = self._check_union_compatible(other)
+        return Relation(self.attributes, self.rows & other.rows)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, attributes: Iterable[Attribute], dict_rows: Iterable[Mapping]
+    ) -> "Relation":
+        attributes = tuple(attributes)
+        return cls(
+            attributes,
+            [tuple(row[a] for a in attributes) for row in dict_rows],
+        )
+
+    @classmethod
+    def empty(cls, attributes: Iterable[Attribute]) -> "Relation":
+        return cls(attributes, ())

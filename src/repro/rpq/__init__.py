@@ -1,0 +1,45 @@
+"""Regular path queries and their automata-based evaluation (Sections 3.1.1, 6.2).
+
+* :mod:`~repro.rpq.product_graph` — the product graph ``G x A`` of Section 6.2;
+* :mod:`~repro.rpq.evaluation` — ``[[R]]_G`` as reachability in the product;
+* :mod:`~repro.rpq.path_modes` — enumerating matching paths under the
+  ``shortest`` / ``simple`` / ``trail`` / ``all`` modes of Section 3.1.5;
+* :mod:`~repro.rpq.counting` — counting matching paths with unambiguous
+  automata (Section 6.2);
+* :mod:`~repro.rpq.bag_semantics` — the SPARQL-1.1-draft counting semantics
+  whose blow-up Section 6.1 recounts;
+* :mod:`~repro.rpq.kshortest` — k-shortest matching paths (Section 7.1).
+"""
+
+from repro.rpq.product_graph import ProductGraph, build_product
+from repro.rpq.evaluation import (
+    evaluate_rpq,
+    reachable_by_rpq,
+    rpq_holds,
+)
+from repro.rpq.path_modes import PATH_MODES, matching_paths
+from repro.rpq.counting import count_matching_paths
+from repro.rpq.bag_semantics import bag_count, bag_count_all_pairs
+from repro.rpq.kshortest import k_shortest_matching_paths
+from repro.rpq.twoway import (
+    evaluate_two_way_rpq,
+    parse_two_way_regex,
+    two_way_rpq_holds,
+)
+
+__all__ = [
+    "ProductGraph",
+    "build_product",
+    "evaluate_rpq",
+    "rpq_holds",
+    "reachable_by_rpq",
+    "matching_paths",
+    "PATH_MODES",
+    "count_matching_paths",
+    "bag_count",
+    "bag_count_all_pairs",
+    "k_shortest_matching_paths",
+    "parse_two_way_regex",
+    "evaluate_two_way_rpq",
+    "two_way_rpq_holds",
+]

@@ -1,0 +1,40 @@
+"""Document spanners (Sections 3.1.4 and 6.4, [38, 40, 98]).
+
+The paper designs l-RPQs so that "their evaluation resembles how an RPQ
+with list variables operates on a single path" — the reference model being
+*document spanners*: functions extracting variable-to-span mappings from
+strings, defined by regex formulas with capture variables.
+
+This package implements regex formulas with capture variables, their
+compilation to variable-set automata (reusing the generic NFA machinery),
+and mapping enumeration — including the exponentially-many-mappings
+situation that motivates enumeration algorithms ([2]).
+"""
+
+from repro.spanners.formulas import (
+    SpanCapture,
+    SpanChar,
+    SpanConcat,
+    SpanEpsilon,
+    SpanStar,
+    SpanUnion,
+    parse_span_formula,
+)
+from repro.spanners.evaluate import (
+    count_mappings,
+    enumerate_mappings,
+    evaluate_spanner,
+)
+
+__all__ = [
+    "SpanChar",
+    "SpanEpsilon",
+    "SpanCapture",
+    "SpanConcat",
+    "SpanUnion",
+    "SpanStar",
+    "parse_span_formula",
+    "evaluate_spanner",
+    "enumerate_mappings",
+    "count_mappings",
+]

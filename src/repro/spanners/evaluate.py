@@ -1,0 +1,130 @@
+"""Evaluating spanner formulas over documents.
+
+``evaluate_spanner`` computes the set of mappings of a formula over a
+document, where a mapping assigns each captured variable the *list* of
+spans it captured (the list-variable reading that mirrors Section 3.1.4's
+l-RPQs on a single path).
+
+Star iterations skip empty-span matches — otherwise ``x{ε}*`` would have
+infinitely many mappings, the string analogue of the capturing-stay-cycle
+infinity in dl-RPQs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.spanners.formulas import (
+    SpanCapture,
+    SpanChar,
+    SpanConcat,
+    SpanEpsilon,
+    SpanFormula,
+    SpanStar,
+    SpanUnion,
+    parse_span_formula,
+)
+
+#: A mapping is a sorted tuple of (var, tuple-of-spans) pairs.
+Mapping = tuple
+
+
+def _freeze(mapping: dict) -> Mapping:
+    return tuple(sorted(mapping.items()))
+
+
+def _merge(left: Mapping, right: Mapping) -> Mapping:
+    """Concatenate the span lists variable-wise (left part first)."""
+    merged = dict(left)
+    for var, spans in right:
+        merged[var] = merged.get(var, ()) + spans
+    return _freeze(merged)
+
+
+class _Evaluator:
+    def __init__(self, document: str):
+        self.document = document
+        self._memo: dict = {}
+
+    def spans(self, formula: SpanFormula, start: int, end: int) -> frozenset:
+        key = (formula, start, end)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = frozenset(self._compute(formula, start, end))
+            self._memo[key] = cached
+        return cached
+
+    def _compute(self, formula, start, end):
+        if isinstance(formula, SpanEpsilon):
+            return {()} if start == end else set()
+        if isinstance(formula, SpanChar):
+            if end == start + 1 and self.document[start] == formula.char:
+                return {()}
+            return set()
+        if isinstance(formula, SpanCapture):
+            results = set()
+            for mapping in self.spans(formula.inner, start, end):
+                results.add(_merge(mapping, ((formula.var, ((start, end),)),)))
+            return results
+        if isinstance(formula, SpanUnion):
+            results = set()
+            for part in formula.parts:
+                results |= self.spans(part, start, end)
+            return results
+        if isinstance(formula, SpanConcat):
+            head, *tail = formula.parts
+            rest = SpanConcat(tuple(tail)) if len(tail) > 1 else tail[0]
+            results = set()
+            for split in range(start, end + 1):
+                left_mappings = self.spans(head, start, split)
+                if not left_mappings:
+                    continue
+                right_mappings = self.spans(rest, split, end)
+                for left in left_mappings:
+                    for right in right_mappings:
+                        results.add(_merge(left, right))
+            return results
+        if isinstance(formula, SpanStar):
+            # iterate over non-empty segments only (see module docstring)
+            results = {()} if start == end else set()
+            frontier: dict[int, set] = {start: {()}}
+            while frontier:
+                next_frontier: dict[int, set] = {}
+                for position, mappings in frontier.items():
+                    for split in range(position + 1, end + 1):
+                        step_mappings = self.spans(formula.inner, position, split)
+                        if not step_mappings:
+                            continue
+                        for acc in mappings:
+                            for step in step_mappings:
+                                combined = _merge(acc, step)
+                                if split == end:
+                                    results.add(combined)
+                                else:
+                                    bucket = next_frontier.setdefault(split, set())
+                                    bucket.add(combined)
+                frontier = next_frontier
+            return results
+        raise TypeError(f"not a spanner formula: {formula!r}")
+
+
+def evaluate_spanner(
+    formula: "SpanFormula | str", document: str
+) -> set[Mapping]:
+    """All mappings of the formula over the whole document."""
+    if isinstance(formula, str):
+        formula = parse_span_formula(formula)
+    return set(_Evaluator(document).spans(formula, 0, len(document)))
+
+
+def enumerate_mappings(
+    formula: "SpanFormula | str", document: str
+) -> Iterator[Mapping]:
+    """Yield mappings one at a time in a deterministic order."""
+    yield from sorted(evaluate_spanner(formula, document))
+
+
+def count_mappings(formula: "SpanFormula | str", document: str) -> int:
+    """The number of distinct mappings — exponential counts are routine
+    (the [2] motivation): ``(x{a}a + ax{a})*`` on ``a^(2n)`` has 2^n."""
+    return len(evaluate_spanner(formula, document))

@@ -1,0 +1,174 @@
+"""Regex formulas with capture variables.
+
+Syntax (Fagin et al.'s regex formulas, with the *list-variable* reading
+that matches Section 3.1.4: a variable captured several times collects a
+list of spans, exactly like ``a^z`` collects edges)::
+
+    gamma := ε | a | x{gamma} | gamma gamma | gamma + gamma | gamma*
+
+Spans are half-open index pairs ``(i, j)`` into the document.  Capture
+variables are single letters (so that ``ax{a}`` reads as the character
+``a`` followed by the capture ``x{a}``, matching the usual spanner
+notation).
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class SpanFormula:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SpanEpsilon(SpanFormula):
+    pass
+
+
+@dataclass(frozen=True)
+class SpanChar(SpanFormula):
+    char: str
+
+
+@dataclass(frozen=True)
+class SpanCapture(SpanFormula):
+    """``x{gamma}`` — bind the span matched by gamma to x (appending to
+    x's list of spans)."""
+
+    var: str
+    inner: SpanFormula
+
+
+@dataclass(frozen=True)
+class SpanConcat(SpanFormula):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class SpanUnion(SpanFormula):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class SpanStar(SpanFormula):
+    inner: SpanFormula
+
+
+def formula_variables(formula: SpanFormula) -> frozenset:
+    if isinstance(formula, SpanCapture):
+        return frozenset({formula.var}) | formula_variables(formula.inner)
+    if isinstance(formula, (SpanConcat, SpanUnion)):
+        result: frozenset = frozenset()
+        for part in formula.parts:
+            result |= formula_variables(part)
+        return result
+    if isinstance(formula, SpanStar):
+        return formula_variables(formula.inner)
+    return frozenset()
+
+
+_TOKEN = _stdlib_re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<CAPTURE>[A-Za-z]\{)
+  | (?P<EPS>ε|<eps>)
+  | (?P<CHAR>[A-Za-z0-9])
+  | (?P<OP>[(){}|+*])
+""",
+    _stdlib_re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at {position}")
+        if match.lastgroup != "WS":
+            tokens.append((match.lastgroup, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _SpanParser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self):
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        self._index += 1
+        return token
+
+    def parse(self) -> SpanFormula:
+        result = self.union()
+        if self._peek() is not None:
+            raise ParseError(f"trailing input at {self._peek()[1]!r}")
+        return result
+
+    def union(self) -> SpanFormula:
+        parts = [self.concat()]
+        while True:
+            token = self._peek()
+            if token is None or token[1] not in ("+", "|"):
+                break
+            self._index += 1
+            parts.append(self.concat())
+        return parts[0] if len(parts) == 1 else SpanUnion(tuple(parts))
+
+    def concat(self) -> SpanFormula:
+        parts = [self.postfix()]
+        while True:
+            token = self._peek()
+            if token is None or token[0] not in ("CAPTURE", "CHAR", "EPS") and (
+                token[1] != "("
+            ):
+                break
+            parts.append(self.postfix())
+        return parts[0] if len(parts) == 1 else SpanConcat(tuple(parts))
+
+    def postfix(self) -> SpanFormula:
+        result = self.atom()
+        while True:
+            token = self._peek()
+            if token is not None and token[1] == "*":
+                self._index += 1
+                result = SpanStar(result)
+            else:
+                return result
+
+    def atom(self) -> SpanFormula:
+        kind, value = self._next()
+        if kind == "CHAR":
+            return SpanChar(value)
+        if kind == "EPS":
+            return SpanEpsilon()
+        if kind == "CAPTURE":
+            inner = self.union()
+            token = self._next()
+            if token[1] != "}":
+                raise ParseError(f"expected '}}', found {token[1]!r}")
+            return SpanCapture(value[:-1], inner)
+        if value == "(":
+            inner = self.union()
+            token = self._next()
+            if token[1] != ")":
+                raise ParseError(f"expected ')', found {token[1]!r}")
+            return inner
+        raise ParseError(f"unexpected token {value!r}")
+
+
+def parse_span_formula(text: str) -> SpanFormula:
+    """Parse a regex formula, e.g. ``(x{a}a + ax{a})*``."""
+    return _SpanParser(_tokenize(text)).parse()

@@ -1,0 +1,149 @@
+"""A synthetic RPQ query log in the style of the SPARQL-log studies.
+
+The paper cites a study of 150M+ RPQs from SPARQL logs [62] with the
+finding that "while ambiguous RPQs did occur, none of them required an
+unambiguous (or even deterministic) automaton that is larger than the
+regular expression".  The corpus is not public, so this module generates a
+query population following the *shape taxonomy* such studies report:
+overwhelmingly single labels and short chains, some disjunctions and
+starred labels, rare nested/complex expressions.  Frequencies below are the
+tunable stand-in distribution (see DESIGN.md, "Substitutions").
+
+:func:`analyze_query_log` then reproduces the study's measurement: for each
+expression, is the Glushkov automaton ambiguous, which construction does
+:func:`~repro.automata.ambiguity.unambiguous_nfa` need, and how does the
+unambiguous automaton's size compare to the expression's.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.automata.ambiguity import is_ambiguous, unambiguous_nfa
+from repro.automata.glushkov import glushkov
+from repro.regex.ast import (
+    Regex,
+    Symbol,
+    concat,
+    optional,
+    plus,
+    regex_size,
+    star,
+    union,
+)
+
+#: shape name -> relative frequency (renormalized at generation time).
+SHAPE_DISTRIBUTION: dict[str, float] = {
+    "single_label": 0.55,
+    "chain": 0.18,
+    "star_of_label": 0.09,
+    "plus_of_label": 0.05,
+    "disjunction": 0.06,
+    "star_of_disjunction": 0.03,
+    "optional_chain": 0.02,
+    "chain_with_star_tail": 0.015,
+    "nested": 0.005,
+}
+
+
+def _zipf_label(rng: random.Random, labels: Sequence[str]) -> Symbol:
+    """Labels follow a Zipf-like popularity curve, as in real logs."""
+    weights = [1.0 / (rank + 1) for rank in range(len(labels))]
+    return Symbol(rng.choices(labels, weights=weights, k=1)[0])
+
+
+def _make_shape(shape: str, rng: random.Random, labels: Sequence[str]) -> Regex:
+    if shape == "single_label":
+        return _zipf_label(rng, labels)
+    if shape == "chain":
+        length = rng.randint(2, 4)
+        return concat(*(_zipf_label(rng, labels) for _ in range(length)))
+    if shape == "star_of_label":
+        return star(_zipf_label(rng, labels))
+    if shape == "plus_of_label":
+        return plus(_zipf_label(rng, labels))
+    if shape == "disjunction":
+        width = rng.randint(2, 3)
+        return union(*(_zipf_label(rng, labels) for _ in range(width)))
+    if shape == "star_of_disjunction":
+        width = rng.randint(2, 3)
+        return star(union(*(_zipf_label(rng, labels) for _ in range(width))))
+    if shape == "optional_chain":
+        return concat(
+            _zipf_label(rng, labels), optional(_zipf_label(rng, labels))
+        )
+    if shape == "chain_with_star_tail":
+        return concat(
+            _zipf_label(rng, labels), star(_zipf_label(rng, labels))
+        )
+    if shape == "nested":
+        # the rare complex shapes, including ambiguity-prone ones
+        inner = union(
+            _zipf_label(rng, labels),
+            concat(_zipf_label(rng, labels), star(_zipf_label(rng, labels))),
+        )
+        return star(inner)
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def generate_query_log(
+    count: int,
+    labels: Sequence[str] = ("p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"),
+    seed: int = 0,
+    distribution: "dict[str, float] | None" = None,
+) -> list[tuple[str, Regex]]:
+    """Generate ``count`` (shape, expression) pairs, deterministically."""
+    rng = random.Random(seed)
+    dist = distribution if distribution is not None else SHAPE_DISTRIBUTION
+    shapes = list(dist)
+    weights = [dist[shape] for shape in shapes]
+    log = []
+    for _ in range(count):
+        shape = rng.choices(shapes, weights=weights, k=1)[0]
+        log.append((shape, _make_shape(shape, rng, labels)))
+    return log
+
+
+def analyze_query_log(
+    log: list[tuple[str, Regex]], alphabet: Sequence[str]
+) -> dict:
+    """Reproduce the [62]-style measurement over a generated log.
+
+    Returns aggregate statistics:
+
+    * ``total``, ``ambiguous`` — how many Glushkov automata are ambiguous;
+    * ``determinized`` — how many needed determinization to become
+      unambiguous;
+    * ``blowups`` — expressions whose unambiguous automaton is larger than
+      the expression, i.e. has more states than the Glushkov budget of
+      ``size(expression) + 1`` (the study found none);
+    * ``by_shape`` — ambiguity counts per shape.
+    """
+    sigma = frozenset(alphabet)
+    total = 0
+    ambiguous = 0
+    determinized = 0
+    blowups: list[tuple[Regex, int, int]] = []
+    by_shape: dict[str, dict[str, int]] = {}
+    for shape, regex in log:
+        total += 1
+        bucket = by_shape.setdefault(shape, {"total": 0, "ambiguous": 0})
+        bucket["total"] += 1
+        position_nfa = glushkov(regex, sigma).trim()
+        if is_ambiguous(position_nfa):
+            ambiguous += 1
+            bucket["ambiguous"] += 1
+        nfa, how = unambiguous_nfa(regex, sigma)
+        if how == "determinized":
+            determinized += 1
+        expression_budget = regex_size(regex) + 1
+        if nfa.num_states > expression_budget:
+            blowups.append((regex, nfa.num_states, expression_budget))
+    return {
+        "total": total,
+        "ambiguous": ambiguous,
+        "determinized": determinized,
+        "blowups": blowups,
+        "by_shape": by_shape,
+    }

@@ -1,0 +1,96 @@
+"""Tests for query-structure analysis (acyclicity, treewidth)."""
+
+import pytest
+
+from repro.analysis.structure import (
+    is_acyclic_crpq,
+    query_graph,
+    treewidth_exact,
+    treewidth_greedy,
+)
+from repro.crpq.ast import Var, parse_crpq
+
+
+class TestQueryGraph:
+    def test_edges_and_isolated_vars(self):
+        q = parse_crpq("q(x) :- a(x, y), b(z, z)")
+        graph = query_graph(q)
+        assert graph[Var("x")] == {Var("y")}
+        assert graph[Var("z")] == set()  # self-loop atom adds no edge
+
+    def test_constants_excluded(self):
+        q = parse_crpq("q(x) :- a(x, 'c')")
+        graph = query_graph(q)
+        assert set(graph) == {Var("x")}
+
+
+class TestAcyclicity:
+    def test_path_query(self):
+        assert is_acyclic_crpq(parse_crpq("q(x, z) :- a(x, y), b(y, z)"))
+
+    def test_star_query(self):
+        assert is_acyclic_crpq(
+            parse_crpq("q(c) :- a(c, x), a(c, y), a(c, z)")
+        )
+
+    def test_triangle(self):
+        assert not is_acyclic_crpq(
+            parse_crpq("q(x) :- a(x, y), a(y, z), a(z, x)")
+        )
+
+    def test_example13_q1_is_cyclic(self):
+        q = parse_crpq(
+            "q1(x1, x2, x3) :- Transfer(x1, x2), Transfer(x1, x3), "
+            "Transfer(x2, x3)"
+        )
+        assert not is_acyclic_crpq(q)
+
+
+class TestTreewidth:
+    def test_tree_has_width_one(self):
+        q = parse_crpq("q(x) :- a(x, y), b(y, z), c(y, w)")
+        assert treewidth_exact(q) == 1
+        assert treewidth_greedy(q) == 1
+
+    def test_triangle_width_two(self):
+        q = parse_crpq("q(x) :- a(x, y), a(y, z), a(z, x)")
+        assert treewidth_exact(q) == 2
+
+    def test_single_variable(self):
+        q = parse_crpq("q(x) :- a(x, x)")
+        assert treewidth_exact(q) == 0
+
+    def test_empty_graph(self):
+        q = parse_crpq("q(x) :- a(x, 'c')")
+        assert treewidth_exact(q) == 0
+
+    def test_cycle4_width_two(self):
+        q = parse_crpq("q(x) :- a(x, y), a(y, z), a(z, w), a(w, x)")
+        assert treewidth_exact(q) == 2
+
+    def test_clique_width(self):
+        # K4 query graph: treewidth 3
+        atoms = []
+        variables = ["x", "y", "z", "w"]
+        for i, u in enumerate(variables):
+            for v in variables[i + 1 :]:
+                atoms.append(f"a({u}, {v})")
+        q = parse_crpq("q(x) :- " + ", ".join(atoms))
+        assert treewidth_exact(q) == 3
+
+    def test_greedy_upper_bounds_exact(self):
+        queries = [
+            "q(x) :- a(x, y), a(y, z), a(z, x)",
+            "q(x) :- a(x, y), a(y, z), a(z, w), a(w, x), a(x, z)",
+            "q(x, w) :- a(x, y), b(y, z), c(z, w)",
+        ]
+        for text in queries:
+            q = parse_crpq(text)
+            assert treewidth_greedy(q) >= treewidth_exact(q)
+
+    def test_exact_refuses_large(self):
+        atoms = ", ".join(f"a(v{i}, v{i + 1})" for i in range(20))
+        q = parse_crpq(f"q(v0) :- {atoms}")
+        with pytest.raises(ValueError):
+            treewidth_exact(q)
+        assert treewidth_greedy(q) == 1

@@ -1,0 +1,116 @@
+"""Tests for ambiguity analysis (Section 6.2's counting prerequisite)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.ambiguity import (
+    ambiguity_degree_bounded,
+    is_ambiguous,
+    unambiguous_nfa,
+)
+from repro.automata.glushkov import compile_regex
+from repro.automata.nfa import NFA
+from repro.regex.ast import Concat, Epsilon, Regex, Star, Symbol, Union
+from repro.regex.parser import parse_regex
+
+A, B = Symbol("a"), Symbol("b")
+
+
+class TestIsAmbiguous:
+    def test_deterministic_is_unambiguous(self):
+        assert not is_ambiguous(compile_regex(parse_regex("a.b*")))
+
+    def test_a_plus_a_is_ambiguous(self):
+        nfa = compile_regex(parse_regex("a + a.b*"), alphabet={"a", "b"})
+        # 'a' matches through both branches.
+        assert is_ambiguous(nfa)
+
+    def test_union_of_overlapping_stars(self):
+        nfa = compile_regex(parse_regex("(a)* + (a.a)*"), alphabet={"a"})
+        assert is_ambiguous(nfa)
+
+    def test_disjoint_union_is_unambiguous(self):
+        nfa = compile_regex(parse_regex("a + b"), alphabet={"a", "b"})
+        assert not is_ambiguous(nfa)
+
+    def test_two_initials_accepting_same_word(self):
+        nfa = NFA(
+            states=[0, 1, 2],
+            alphabet=["a"],
+            transitions=[(0, "a", 2), (1, "a", 2)],
+            initial=[0, 1],
+            finals=[2],
+        )
+        assert is_ambiguous(nfa)
+
+    def test_empty_language(self):
+        nfa = NFA([0], ["a"], [], [], [0])
+        assert not is_ambiguous(nfa)
+
+    def test_useless_overlap_not_counted(self):
+        # Branch through state 2 never reaches a final state: unambiguous.
+        nfa = NFA(
+            states=[0, 1, 2],
+            alphabet=["a"],
+            transitions=[(0, "a", 1), (0, "a", 2)],
+            initial=[0],
+            finals=[1],
+        )
+        assert not is_ambiguous(nfa)
+
+
+class TestDegree:
+    def test_counts_runs(self):
+        nfa = compile_regex(parse_regex("a + a.b*"), alphabet={"a", "b"})
+        assert ambiguity_degree_bounded(nfa, ["a"]) == 2
+        assert ambiguity_degree_bounded(nfa, ["a", "b"]) == 1
+        assert ambiguity_degree_bounded(nfa, ["b"]) == 0
+
+    def test_nested_star_blowup(self):
+        """The (((a*)*)*)* automaton has many runs per word — the root cause
+        of the Section 6.1 counting explosion."""
+        nfa = compile_regex(parse_regex("a*.a*"), alphabet={"a"})
+        degrees = [ambiguity_degree_bounded(nfa, ["a"] * n) for n in range(1, 6)]
+        assert all(d >= 1 for d in degrees)
+        assert degrees[-1] > degrees[0]  # strictly growing ambiguity
+
+
+class TestUnambiguousNFA:
+    def test_keeps_glushkov_when_possible(self):
+        nfa, how = unambiguous_nfa(parse_regex("a.b*"), {"a", "b"})
+        assert how == "glushkov"
+        assert not is_ambiguous(nfa)
+
+    def test_determinizes_when_needed(self):
+        nfa, how = unambiguous_nfa(parse_regex("a + a.b*"), {"a", "b"})
+        assert how == "determinized"
+        assert not is_ambiguous(nfa)
+        assert nfa.accepts(["a"]) and nfa.accepts(["a", "b"])
+
+
+def regexes() -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+class TestAmbiguityProperties:
+    @given(regexes(), st.lists(st.sampled_from("ab"), max_size=5))
+    @settings(max_examples=200, deadline=None)
+    def test_unambiguous_means_at_most_one_run(self, regex, word):
+        nfa = compile_regex(regex, alphabet={"a", "b"})
+        if not is_ambiguous(nfa):
+            assert ambiguity_degree_bounded(nfa, word) <= 1
+
+    @given(regexes())
+    @settings(max_examples=100, deadline=None)
+    def test_unambiguous_nfa_is_unambiguous(self, regex):
+        nfa, _how = unambiguous_nfa(regex, {"a", "b"})
+        assert not is_ambiguous(nfa)

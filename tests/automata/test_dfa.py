@@ -1,0 +1,147 @@
+"""Tests for determinization, minimization and Boolean operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import (
+    DFA,
+    complement,
+    determinize,
+    difference,
+    equivalent,
+    intersect,
+    is_empty_dfa,
+    minimize,
+    union_dfa,
+)
+from repro.automata.glushkov import compile_regex
+from repro.regex.ast import Concat, Epsilon, Regex, Star, Symbol, Union
+from repro.regex.derivatives import derivative_matches
+from repro.regex.parser import parse_regex
+
+A, B = Symbol("a"), Symbol("b")
+
+
+def compile_dfa(text: str, alphabet={"a", "b"}) -> DFA:
+    return determinize(compile_regex(parse_regex(text), alphabet=alphabet))
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        dfa = compile_dfa("a.b* + b.a")
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "b", "b"])
+        assert dfa.accepts(["b", "a"])
+        assert not dfa.accepts(["b"])
+        assert not dfa.accepts(["c"])  # symbol outside alphabet
+
+    def test_is_deterministic_and_total(self):
+        dfa = compile_dfa("(a+b)*a")
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                dfa.step(state, symbol)  # must not raise
+
+
+class TestMinimize:
+    def test_minimal_size_even_as(self):
+        dfa = minimize(compile_dfa("(a.a)*", alphabet={"a"}))
+        assert dfa.num_states == 2  # even / odd parity states
+
+    def test_language_preserved(self):
+        dfa = compile_dfa("a.b + a.b.a*")
+        small = minimize(dfa)
+        assert small.num_states <= dfa.num_states
+        for word in (["a", "b"], ["a", "b", "a"], ["a"], ["b"]):
+            assert small.accepts(word) == dfa.accepts(word)
+
+    def test_equivalent_expressions_same_minimal_size(self):
+        left = minimize(compile_dfa("(((a*)*)*)*", alphabet={"a"}))
+        right = minimize(compile_dfa("a*", alphabet={"a"}))
+        assert left.num_states == right.num_states
+        assert equivalent(left, right)
+
+
+class TestBooleanOps:
+    def test_complement(self):
+        dfa = complement(compile_dfa("a*", alphabet={"a", "b"}))
+        assert not dfa.accepts(["a"])
+        assert dfa.accepts(["b"])
+        assert not dfa.accepts([])
+
+    def test_intersect(self):
+        even = compile_dfa("(a.a)*", alphabet={"a"})
+        nonempty = compile_dfa("a.a*", alphabet={"a"})
+        both = intersect(even, nonempty)
+        assert both.accepts(["a", "a"])
+        assert not both.accepts([])
+        assert not both.accepts(["a"])
+
+    def test_union(self):
+        dfa = union_dfa(compile_dfa("a"), compile_dfa("b"))
+        assert dfa.accepts(["a"]) and dfa.accepts(["b"])
+        assert not dfa.accepts(["a", "b"])
+
+    def test_difference_and_emptiness(self):
+        star_a = compile_dfa("a*", alphabet={"a"})
+        plus_a = compile_dfa("a.a*", alphabet={"a"})
+        diff = difference(star_a, plus_a)
+        assert diff.accepts([])
+        assert not diff.accepts(["a"])
+        assert is_empty_dfa(difference(plus_a, star_a))
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            intersect(compile_dfa("a", alphabet={"a"}), compile_dfa("a"))
+
+    def test_equivalent(self):
+        assert equivalent(compile_dfa("a+b"), compile_dfa("b+a"))
+        assert not equivalent(compile_dfa("a"), compile_dfa("b"))
+
+    def test_to_nfa_round_trip(self):
+        dfa = compile_dfa("a.b*")
+        nfa = dfa.to_nfa()
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["b"])
+
+
+class TestDFAValidation:
+    def test_partial_delta_rejected(self):
+        with pytest.raises(ValueError):
+            DFA([0], ["a"], {}, 0, [0])
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            DFA([0], [], {}, 1, [])
+
+    def test_bad_final_rejected(self):
+        with pytest.raises(ValueError):
+            DFA([0], [], {}, 0, [1])
+
+
+def regexes() -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=7)
+
+
+class TestDeterminizationProperty:
+    @given(regexes(), st.lists(st.sampled_from("ab"), max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_determinize_preserves_language(self, regex, word):
+        nfa = compile_regex(regex, alphabet={"a", "b"})
+        dfa = determinize(nfa)
+        assert dfa.accepts(word) == derivative_matches(regex, word)
+
+    @given(regexes(), st.lists(st.sampled_from("ab"), max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_minimize_preserves_language(self, regex, word):
+        dfa = minimize(determinize(compile_regex(regex, alphabet={"a", "b"})))
+        assert dfa.accepts(word) == derivative_matches(regex, word)

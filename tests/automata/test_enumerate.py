@@ -1,0 +1,89 @@
+"""Tests for word enumeration and per-length counting."""
+
+import pytest
+
+from repro.automata.enumerate import (
+    count_words_of_length,
+    enumerate_words,
+    words_of_length,
+)
+from repro.automata.glushkov import compile_regex
+from repro.regex.parser import parse_regex
+
+
+def nfa_for(text: str, alphabet={"a", "b"}):
+    return compile_regex(parse_regex(text), alphabet=alphabet)
+
+
+class TestWordsOfLength:
+    def test_cross_section(self):
+        nfa = nfa_for("(a+b)*a")
+        words = set(words_of_length(nfa, 2))
+        assert words == {("a", "a"), ("b", "a")}
+
+    def test_no_duplicates_from_ambiguity(self):
+        nfa = nfa_for("a + a.b*")
+        assert list(words_of_length(nfa, 1)) == [("a",)]
+
+    def test_empty_cross_section(self):
+        nfa = nfa_for("(a.a)*", alphabet={"a"})
+        assert list(words_of_length(nfa, 3)) == []
+        assert len(list(words_of_length(nfa, 4))) == 1
+
+    def test_zero_length(self):
+        assert list(words_of_length(nfa_for("a*"), 0)) == [()]
+        assert list(words_of_length(nfa_for("a"), 0)) == []
+
+
+class TestEnumerateWords:
+    def test_length_lex_order(self):
+        nfa = nfa_for("(a+b)*")
+        first = list(enumerate_words(nfa, limit=7))
+        assert first == [
+            (),
+            ("a",),
+            ("b",),
+            ("a", "a"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "b"),
+        ]
+
+    def test_finite_language_terminates_without_bounds(self):
+        nfa = nfa_for("a.b + a")
+        assert sorted(enumerate_words(nfa)) == [("a",), ("a", "b")]
+
+    def test_finite_language_with_gaps(self):
+        nfa = nfa_for("a + a.a.a")
+        assert list(enumerate_words(nfa)) == [("a",), ("a", "a", "a")]
+
+    def test_infinite_language_with_gaps_and_limit(self):
+        nfa = nfa_for("(a.a)*", alphabet={"a"})
+        words = list(enumerate_words(nfa, limit=4))
+        assert [len(w) for w in words] == [0, 2, 4, 6]
+
+    def test_infinite_needs_bound(self):
+        with pytest.raises(ValueError):
+            list(enumerate_words(nfa_for("a*")))
+
+    def test_max_length(self):
+        nfa = nfa_for("a*", alphabet={"a"})
+        assert list(enumerate_words(nfa, max_length=2)) == [(), ("a",), ("a", "a")]
+
+
+class TestCounting:
+    def test_count_matches_enumeration(self):
+        nfa = nfa_for("(a+b)*.a.(a+b)")
+        for length in range(5):
+            assert count_words_of_length(nfa, length) == len(
+                list(words_of_length(nfa, length))
+            )
+
+    def test_ambiguity_does_not_inflate_counts(self):
+        nfa = nfa_for("(((a*)*)*)*", alphabet={"a"})
+        for length in range(5):
+            assert count_words_of_length(nfa, length) == 1
+
+    def test_empty_language(self):
+        nfa = nfa_for("a.b", alphabet={"a"})  # 'b' outside alphabet: empty
+        assert count_words_of_length(nfa, 2) == 0

@@ -1,0 +1,107 @@
+"""Tests for the Glushkov construction, with the derivative matcher as oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import compile_regex, glushkov
+from repro.errors import QueryError
+from repro.regex.ast import (
+    ANY,
+    Concat,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    plus,
+    star,
+    symbols,
+    union,
+)
+from repro.regex.derivatives import derivative_matches
+from repro.regex.parser import parse_regex
+
+A, B = Symbol("a"), Symbol("b")
+
+
+class TestBasics:
+    def test_single_symbol(self):
+        nfa = compile_regex(A)
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_epsilon(self):
+        nfa = compile_regex(Epsilon())
+        assert nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+    def test_star(self):
+        nfa = compile_regex(star(A))
+        for n in range(5):
+            assert nfa.accepts(["a"] * n)
+
+    def test_size_is_positions_plus_one(self):
+        """Glushkov has n+1 states for n symbol occurrences (before trim)."""
+        r = parse_regex("a.b + a.c")
+        raw = glushkov(r, symbols(r))
+        assert raw.num_states == 5
+
+    def test_no_epsilon_transitions_by_construction(self):
+        # The NFA type cannot even represent epsilon transitions; check that
+        # acceptance of the empty word is handled via initial-final overlap.
+        nfa = compile_regex(star(A))
+        assert nfa.initial & nfa.finals
+
+    def test_wildcard_requires_alphabet(self):
+        with pytest.raises(QueryError):
+            compile_regex(concat(A, ANY))
+
+    def test_wildcard_instantiation(self):
+        nfa = compile_regex(concat(A, ANY), alphabet={"a", "b", "c"})
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["a", "a"])
+        assert not nfa.accepts(["a"])
+
+    def test_not_symbols(self):
+        nfa = compile_regex(
+            NotSymbols(frozenset({"a"})), alphabet={"a", "b", "c"}
+        )
+        assert nfa.accepts(["b"]) and nfa.accepts(["c"])
+        assert not nfa.accepts(["a"])
+
+    def test_paper_rpqs(self):
+        transfer = compile_regex(parse_regex("Transfer*"))
+        assert transfer.accepts(["Transfer"] * 3)
+        even = compile_regex(parse_regex("(l.l)*"))
+        for n in range(7):
+            assert even.accepts(["l"] * n) == (n % 2 == 0)
+
+    def test_plus(self):
+        nfa = compile_regex(plus(A))
+        assert not nfa.accepts([])
+        assert nfa.accepts(["a"])
+
+
+def regexes() -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestAgainstDerivativeOracle:
+    @given(regexes(), st.lists(st.sampled_from("ab"), max_size=7))
+    @settings(max_examples=400, deadline=None)
+    def test_glushkov_equals_derivatives(self, regex, word):
+        nfa = compile_regex(regex, alphabet={"a", "b"})
+        assert nfa.accepts(word) == derivative_matches(regex, word)

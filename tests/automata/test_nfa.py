@@ -1,0 +1,130 @@
+"""Tests for the NFA class."""
+
+import pytest
+
+from repro.automata.nfa import NFA
+
+
+def even_as():
+    """DFA-shaped NFA for (aa)*."""
+    return NFA(
+        states=[0, 1],
+        alphabet=["a"],
+        transitions=[(0, "a", 1), (1, "a", 0)],
+        initial=[0],
+        finals=[0],
+    )
+
+
+def a_or_ab():
+    """NFA for a + ab, deliberately nondeterministic."""
+    return NFA(
+        states=[0, 1, 2, 3],
+        alphabet=["a", "b"],
+        transitions=[(0, "a", 1), (0, "a", 2), (2, "b", 3)],
+        initial=[0],
+        finals=[1, 3],
+    )
+
+
+class TestConstruction:
+    def test_mapping_form(self):
+        nfa = NFA([0, 1], ["a"], {(0, "a"): [1]}, [0], [1])
+        assert nfa.successors(0, "a") == {1}
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], [], [7], [0])
+
+    def test_unknown_transition_state_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], [(0, "a", 7)], [0], [0])
+
+    def test_counts(self):
+        nfa = a_or_ab()
+        assert nfa.num_states == 4
+        assert nfa.num_transitions == 3
+
+
+class TestRuns:
+    def test_accepts(self):
+        nfa = even_as()
+        for n in range(6):
+            assert nfa.accepts(["a"] * n) == (n % 2 == 0)
+
+    def test_accepts_nondeterministic(self):
+        nfa = a_or_ab()
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts([])
+
+    def test_step(self):
+        nfa = a_or_ab()
+        assert nfa.step(frozenset([0]), "a") == {1, 2}
+        assert nfa.step(frozenset([1, 2]), "b") == {3}
+
+    def test_dead_symbol(self):
+        assert not even_as().accepts(["b"])
+
+
+class TestTrim:
+    def test_removes_useless_states(self):
+        nfa = NFA(
+            states=[0, 1, 2, 3],
+            alphabet=["a"],
+            transitions=[(0, "a", 1), (2, "a", 1), (1, "a", 3)],
+            initial=[0],
+            finals=[1],
+        )
+        trimmed = nfa.trim()
+        # 2 is unreachable, 3 is a dead end.
+        assert trimmed.states == {0, 1}
+        assert trimmed.accepts(["a"]) and not trimmed.accepts(["a", "a"])
+
+    def test_is_empty(self):
+        assert NFA([0, 1], ["a"], [(0, "a", 0)], [0], [1]).is_empty()
+        assert not even_as().is_empty()
+
+    def test_is_infinite(self):
+        assert even_as().is_infinite()
+        assert not a_or_ab().is_infinite()
+        # A cycle on a useless state does not make the language infinite.
+        nfa = NFA(
+            [0, 1, 2],
+            ["a"],
+            [(0, "a", 1), (2, "a", 2)],
+            [0],
+            [1],
+        )
+        assert not nfa.is_infinite()
+
+
+class TestTransformations:
+    def test_reversed(self):
+        nfa = a_or_ab()
+        rev = nfa.reversed()
+        assert rev.accepts(["a"])
+        assert rev.accepts(["b", "a"])
+        assert not rev.accepts(["a", "b"])
+
+    def test_renumbered_preserves_language(self):
+        nfa = NFA(
+            ["start", "end"],
+            ["a"],
+            [("start", "a", "end")],
+            ["start"],
+            ["end"],
+        )
+        renumbered = nfa.renumbered()
+        assert renumbered.states == {0, 1}
+        assert renumbered.accepts(["a"]) and not renumbered.accepts([])
+
+    def test_map_symbols(self):
+        nfa = even_as().map_symbols(str.upper)
+        assert nfa.accepts(["A", "A"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_out_transitions(self):
+        nfa = a_or_ab()
+        assert set(nfa.out_transitions(0)) == {("a", 1), ("a", 2)}

@@ -1,0 +1,31 @@
+"""Shared fixtures: the paper's two bank graphs and small synthetic graphs."""
+
+import pytest
+
+from repro.graph.datasets import figure2_graph, figure3_graph
+from repro.graph.generators import diamond_chain, label_cycle, label_path
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return figure2_graph()
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figure3_graph()
+
+
+@pytest.fixture()
+def path4():
+    return label_path(4)
+
+
+@pytest.fixture()
+def cycle3():
+    return label_cycle(3)
+
+
+@pytest.fixture()
+def fig5():
+    return diamond_chain(4)

@@ -1,0 +1,96 @@
+"""Tests for pattern outputs (Omega) and full CoreGQL queries."""
+
+import pytest
+
+from repro.coregql.language import CoreGQLQuery, section_413_example_query
+from repro.coregql.outputs import Omega, pattern_relation
+from repro.coregql.parser import parse_coregql_pattern
+from repro.errors import QueryError
+from repro.graph.property_graph import PropertyGraph
+from repro.relalg.algebra import Projection, RelRef
+from repro.relalg.relation import Relation
+
+
+def shared_prop_graph():
+    """u has two neighbours with equal p; w has two with different p."""
+    g = PropertyGraph()
+    g.add_node("u", label="N", properties={"s": "hub"})
+    g.add_node("u1", label="N", properties={"p": 7})
+    g.add_node("u2", label="N", properties={"p": 7})
+    g.add_node("w", label="N", properties={"s": "miss"})
+    g.add_node("w1", label="N", properties={"p": 1})
+    g.add_node("w2", label="N", properties={"p": 2})
+    for index, (src, tgt) in enumerate(
+        [("u", "u1"), ("u", "u2"), ("w", "w1"), ("w", "w2")]
+    ):
+        g.add_edge(f"e{index}", src, tgt, "rel")
+    return g
+
+
+class TestOutputs:
+    def test_variables_and_properties(self, fig3):
+        pattern = parse_coregql_pattern("(x)-[t:Transfer]->(y)")
+        relation = pattern_relation(
+            pattern, Omega.of("x", ("t", "amount"), "y"), fig3
+        )
+        assert relation.attributes == ("x", "t.amount", "y")
+        assert ("a3", 10_000_000, "a5") in relation  # t7
+
+    def test_dotted_string_entries(self, fig3):
+        pattern = parse_coregql_pattern("(x:Account)")
+        relation = pattern_relation(pattern, Omega.of("x", "x.owner"), fig3)
+        assert ("a3", "Mike") in relation
+
+    def test_undefined_property_drops_row(self):
+        g = shared_prop_graph()
+        pattern = parse_coregql_pattern("(x)")
+        relation = pattern_relation(pattern, Omega.of("x", "x.p"), g)
+        # only nodes with p defined appear: no nulls, ever
+        assert relation.column("x") == {"u1", "u2", "w1", "w2"}
+
+    def test_unknown_variable_rejected(self, fig3):
+        pattern = parse_coregql_pattern("(x)")
+        with pytest.raises(QueryError):
+            pattern_relation(pattern, Omega.of("nope"), fig3)
+
+    def test_repeated_pattern_has_no_bindable_vars(self, fig3):
+        pattern = parse_coregql_pattern("((x)-[t:Transfer]->(y)){2}")
+        with pytest.raises(QueryError):
+            pattern_relation(pattern, Omega.of("x"), fig3)
+        # but the empty Omega is fine and yields the 0-ary relation
+        relation = pattern_relation(pattern, Omega.of(), fig3)
+        assert relation.attributes == ()
+        assert len(relation) == 1  # nonempty match set => one empty row
+
+
+class TestCoreGQLQuery:
+    def test_section_413_worked_example(self):
+        """pi_{x, x.s}(sigma_{x1 != x2 and x1.p = x2.p}(R1 |><| R2))."""
+        g = shared_prop_graph()
+        query = section_413_example_query(shared_prop="p", output_prop="s")
+        result = query.evaluate(g)
+        assert result == Relation(("x", "x.s"), [("u", "hub")])
+
+    def test_example_on_fig3_owners(self, fig3):
+        """Accounts transferring to two different accounts with the same
+        blocked status — same query shape over Figure 3."""
+        query = section_413_example_query(
+            shared_prop="isBlocked", output_prop="owner"
+        )
+        result = query.evaluate(fig3)
+        # a3 transfers to a2 (no) and a5 (no): qualifies
+        assert ("a3", "Mike") in result
+
+    def test_custom_query(self, fig3):
+        pattern = parse_coregql_pattern("(x:Account)-[t:Transfer]->(y)")
+        query = CoreGQLQuery(
+            expression=Projection(RelRef("R"), ("x",)),
+            pattern_relations={"R": (pattern, Omega.of("x", "y"))},
+        )
+        result = query.evaluate(fig3)
+        assert result.column("x") == {"a1", "a2", "a3", "a4", "a5", "a6"}
+
+    def test_lazy_catalog_unknown_name(self, fig3):
+        query = CoreGQLQuery(expression=RelRef("missing"), pattern_relations={})
+        with pytest.raises((QueryError, KeyError)):
+            query.evaluate(fig3)

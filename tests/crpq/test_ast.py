@@ -1,0 +1,101 @@
+"""Tests for CRPQ syntax and the Datalog-style parser."""
+
+import pytest
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var, parse_atom, parse_crpq
+from repro.errors import ParseError, QueryError
+from repro.regex.ast import Symbol, concat, optional
+from repro.regex.parser import parse_regex
+
+
+class TestVarAndAtom:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert repr(Var("x")) == "?x"
+
+    def test_atom_variables(self):
+        atom = RPQAtom(Symbol("a"), Var("x"), "a3")
+        assert atom.variables() == {Var("x")}
+        atom2 = RPQAtom(Symbol("a"), Var("x"), Var("x"))
+        assert atom2.variables() == {Var("x")}
+
+
+class TestCRPQValidation:
+    def test_head_var_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            CRPQ(
+                head=(Var("z"),),
+                atoms=(RPQAtom(Symbol("a"), Var("x"), Var("y")),),
+            )
+
+    def test_boolean_query(self):
+        q = CRPQ(head=(), atoms=(RPQAtom(Symbol("a"), Var("x"), Var("y")),))
+        assert q.is_boolean()
+        assert q.arity == 0
+
+    def test_variables(self):
+        q = parse_crpq("q(x, y) :- a(x, z), b(z, y)")
+        assert q.variables() == {Var("x"), Var("y"), Var("z")}
+
+
+class TestParser:
+    def test_example13_q1(self):
+        q = parse_crpq(
+            "q1(x1, x2, x3) :- Transfer(x1, x2), Transfer(x1, x3), Transfer(x2, x3)"
+        )
+        assert q.name == "q1"
+        assert q.head == (Var("x1"), Var("x2"), Var("x3"))
+        assert len(q.atoms) == 3
+        assert q.atoms[0].regex == Symbol("Transfer")
+
+    def test_example13_q2(self):
+        q = parse_crpq(
+            "q2(x, x1, x2) :- owner(y, x1), isBlocked(y, x2), "
+            "(Transfer.Transfer?)(x, y)"
+        )
+        assert q.atoms[2].regex == concat(
+            Symbol("Transfer"), optional(Symbol("Transfer"))
+        )
+        assert q.atoms[2].left == Var("x")
+
+    def test_constants(self):
+        q = parse_crpq("q(x) :- Transfer('a3', x)")
+        assert q.atoms[0].left == "a3"
+        assert q.atoms[0].right == Var("x")
+
+    def test_complex_regex_atom(self):
+        q = parse_crpq("q(x, y) :- (a + b)*{2}(x, y)")
+        assert q.atoms[0].regex == parse_regex("(a + b)*{2}")
+
+    def test_regex_with_braces_and_commas(self):
+        q = parse_crpq("q(x, y) :- a{1,2}(x, y), !{b,c}(y, x)")
+        assert len(q.atoms) == 2
+
+    def test_boolean_head(self):
+        q = parse_crpq("q() :- a(x, y)")
+        assert q.head == ()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q(x) a(x, y)",  # missing :-
+            "q(x) :- ",  # no atoms
+            "q x :- a(x, y)",  # malformed head
+            "q(x) :- a(x)",  # unary atom
+            "q(x) :- a(x, y, z)",  # ternary atom
+            "q(x) :- (x, y)",  # missing regex
+            "q('c') :- a(x, y)",  # constant in head
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_crpq(text)
+
+    def test_parse_atom_balanced(self):
+        atom = parse_atom("(Transfer.Transfer?)(x, y)")
+        assert atom.left == Var("x") and atom.right == Var("y")
+
+    def test_parse_atom_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_atom("a(x, y")

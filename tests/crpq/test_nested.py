@@ -1,0 +1,113 @@
+"""Tests for nested CRPQs / regular queries (Examples 14-15)."""
+
+import pytest
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var, parse_crpq
+from repro.crpq.evaluation import evaluate_crpq
+from repro.crpq.nested import VirtualLabel, evaluate_nested_crpq
+from repro.errors import QueryError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Symbol, plus, star
+
+
+def mutual_transfer_label() -> VirtualLabel:
+    """q1(x,y) :- Transfer(x,y), Transfer(y,x) as a virtual edge label."""
+    q1 = parse_crpq("q1(x, y) :- Transfer(x, y), Transfer(y, x)")
+    return VirtualLabel("mutual", q1)
+
+
+class TestVirtualLabel:
+    def test_requires_binary_query(self):
+        with pytest.raises(QueryError):
+            VirtualLabel("bad", parse_crpq("q(x) :- a(x, y)"))
+
+    def test_repr(self):
+        assert "mutual" in repr(mutual_transfer_label())
+
+
+class TestExample15:
+    def make_graph(self) -> EdgeLabeledGraph:
+        """A chain of mutual-transfer pairs: v0 <-> v1 <-> v2, v3 isolated-ish."""
+        g = EdgeLabeledGraph()
+        g.add_edge("t1", "v0", "v1", "Transfer")
+        g.add_edge("t2", "v1", "v0", "Transfer")
+        g.add_edge("t3", "v1", "v2", "Transfer")
+        g.add_edge("t4", "v2", "v1", "Transfer")
+        g.add_edge("t5", "v2", "v3", "Transfer")  # one-way only
+        return g
+
+    def test_closure_of_virtual_edges(self):
+        """q2(u,v) :- (q1[x,y])*(u,v): pairs connected by mutual-transfer chains."""
+        g = self.make_graph()
+        virtual = mutual_transfer_label()
+        q2 = CRPQ(
+            head=(Var("u"), Var("v")),
+            atoms=(RPQAtom(star(Symbol(virtual)), Var("u"), Var("v")),),
+        )
+        result = evaluate_nested_crpq(q2, g)
+        chain = {"v0", "v1", "v2"}
+        assert {(u, v) for u in chain for v in chain} <= result
+        assert ("v0", "v3") not in result  # t5 is one-way
+        assert ("v3", "v3") in result  # epsilon closure
+
+    def test_plain_crpq_sees_only_direct_edges(self):
+        """Contrast (Section 3.1.3): without nesting, only one hop of the
+        virtual relation is expressible."""
+        g = self.make_graph()
+        q1 = parse_crpq("q1(x, y) :- Transfer(x, y), Transfer(y, x)")
+        direct = evaluate_crpq(q1, g)
+        assert ("v0", "v1") in direct
+        assert ("v0", "v2") not in direct  # needs the closure
+
+    def test_nonreflexive_closure(self):
+        g = self.make_graph()
+        virtual = mutual_transfer_label()
+        q = CRPQ(
+            head=(Var("u"), Var("v")),
+            atoms=(RPQAtom(plus(Symbol(virtual)), Var("u"), Var("v")),),
+        )
+        result = evaluate_nested_crpq(q, g)
+        assert ("v0", "v2") in result
+        assert ("v3", "v3") not in result
+
+    def test_two_levels_of_nesting(self):
+        """A virtual label whose defining query itself uses a virtual label."""
+        g = self.make_graph()
+        inner = mutual_transfer_label()
+        middle_query = CRPQ(
+            head=(Var("x"), Var("y")),
+            atoms=(
+                RPQAtom(Symbol(inner), Var("x"), Var("m")),
+                RPQAtom(Symbol(inner), Var("m"), Var("y")),
+            ),
+        )
+        two_hop = VirtualLabel("two_mutual_hops", middle_query)
+        outer = CRPQ(
+            head=(Var("u"), Var("v")),
+            atoms=(RPQAtom(star(Symbol(two_hop)), Var("u"), Var("v")),),
+        )
+        result = evaluate_nested_crpq(outer, g)
+        assert ("v0", "v2") in result
+        assert ("v0", "v0") in result
+
+    def test_mix_virtual_and_plain_labels(self):
+        g = self.make_graph()
+        virtual = mutual_transfer_label()
+        from repro.regex.ast import concat
+
+        q = CRPQ(
+            head=(Var("u"), Var("v")),
+            atoms=(
+                RPQAtom(
+                    concat(star(Symbol(virtual)), Symbol("Transfer")),
+                    Var("u"),
+                    Var("v"),
+                ),
+            ),
+        )
+        result = evaluate_nested_crpq(q, g)
+        assert ("v0", "v3") in result  # mutual chain to v2, then t5
+
+    def test_no_virtuals_passthrough(self, fig2):
+        q = parse_crpq("q(x, y) :- Transfer(x, y)")
+        assert evaluate_nested_crpq(q, fig2) == evaluate_crpq(q, fig2)

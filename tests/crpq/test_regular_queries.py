@@ -1,0 +1,127 @@
+"""Tests for regular queries (the Datalog syntax of Section 3.1.3)."""
+
+import pytest
+
+from repro.crpq.regular_queries import (
+    evaluate_regular_query,
+    parse_regular_query,
+)
+from repro.errors import ParseError, QueryError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+
+
+def mutual_chain():
+    g = EdgeLabeledGraph()
+    g.add_edge("t1", "v0", "v1", "Transfer")
+    g.add_edge("t2", "v1", "v0", "Transfer")
+    g.add_edge("t3", "v1", "v2", "Transfer")
+    g.add_edge("t4", "v2", "v1", "Transfer")
+    g.add_edge("t5", "v2", "v3", "Transfer")
+    return g
+
+
+EXAMPLE15 = """
+Mutual(x, y) :- Transfer(x, y), Transfer(y, x)
+Answer(u, v) :- Mutual*(u, v)
+"""
+
+
+class TestParsing:
+    def test_two_rules(self):
+        program = parse_regular_query(EXAMPLE15)
+        assert [rule.head for rule in program.rules] == ["Mutual", "Answer"]
+        assert program.answer == "Answer"
+
+    def test_semicolon_separator(self):
+        program = parse_regular_query(
+            "P(x, y) :- a(x, y); Q(u, v) :- P*(u, v)"
+        )
+        assert program.answer == "Q"
+
+    def test_explicit_answer(self):
+        program = parse_regular_query(EXAMPLE15, answer="Mutual")
+        assert program.answer == "Mutual"
+
+    def test_rejects_recursion(self):
+        with pytest.raises(QueryError):
+            parse_regular_query("P(x, y) :- P(x, y)")
+
+    def test_rejects_forward_reference(self):
+        with pytest.raises(QueryError):
+            parse_regular_query(
+                "P(x, y) :- Q(x, y); Q(x, y) :- a(x, y)"
+            )
+
+    def test_rejects_redefinition(self):
+        with pytest.raises(QueryError):
+            parse_regular_query("P(x, y) :- a(x, y); P(x, y) :- b(x, y)")
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ParseError):
+            parse_regular_query("P(x, y, z) :- a(x, y)")
+
+    def test_rejects_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_regular_query("P(x, y) a(x, y)")
+
+    def test_unknown_answer(self):
+        with pytest.raises(QueryError):
+            parse_regular_query(EXAMPLE15, answer="Nope")
+
+
+class TestEvaluation:
+    def test_example15(self):
+        g = mutual_chain()
+        result = evaluate_regular_query(EXAMPLE15, g)
+        chain = {"v0", "v1", "v2"}
+        assert {(u, v) for u in chain for v in chain} <= result
+        assert ("v0", "v3") not in result
+
+    def test_answer_predicate_selection(self):
+        g = mutual_chain()
+        one_hop = evaluate_regular_query(
+            parse_regular_query(EXAMPLE15, answer="Mutual"), g
+        )
+        assert ("v0", "v1") in one_hop
+        assert ("v0", "v2") not in one_hop
+
+    def test_three_levels(self):
+        """A predicate defined over a predicate defined over a predicate."""
+        g = mutual_chain()
+        program = """
+        Mutual(x, y)  :- Transfer(x, y), Transfer(y, x)
+        TwoHop(x, y)  :- Mutual(x, m), Mutual(m, y)
+        Answer(u, v)  :- TwoHop*(u, v), Transfer(v, w)
+        """
+        result = evaluate_regular_query(program, g)
+        assert ("v0", "v2") in result  # two mutual hops, v2 has an out-edge
+
+    def test_mixing_base_and_defined_labels(self):
+        g = mutual_chain()
+        program = """
+        Mutual(x, y) :- Transfer(x, y), Transfer(y, x)
+        Answer(u, v) :- (Mutual* . Transfer)(u, v)
+        """
+        result = evaluate_regular_query(program, g)
+        assert ("v0", "v3") in result  # mutual chain to v2, then t5
+
+    def test_matches_nested_crpq_engine(self):
+        """Regular queries are nested CRPQs in other clothes."""
+        from repro.crpq.ast import CRPQ, RPQAtom, Var, parse_crpq
+        from repro.crpq.nested import VirtualLabel, evaluate_nested_crpq
+        from repro.regex.ast import Symbol, star
+
+        g = mutual_chain()
+        q1 = parse_crpq("q1(x, y) :- Transfer(x, y), Transfer(y, x)")
+        direct = evaluate_nested_crpq(
+            CRPQ(
+                head=(Var("u"), Var("v")),
+                atoms=(
+                    RPQAtom(
+                        star(Symbol(VirtualLabel("m", q1))), Var("u"), Var("v")
+                    ),
+                ),
+            ),
+            g,
+        )
+        assert evaluate_regular_query(EXAMPLE15, g) == direct

@@ -1,0 +1,138 @@
+"""Tests for the Cypher fragment and Proposition 22."""
+
+import pytest
+
+from repro.cypher.expressivity import (
+    atoms_match,
+    distance_set,
+    enumerate_fragment_shapes,
+    even_distance_counterexample,
+    search_for_even_length_pattern,
+    star_distance_sanity,
+)
+from repro.cypher.fragment import (
+    CypherEdge,
+    CypherNode,
+    CypherSeq,
+    CypherStar,
+    CypherUnion,
+    cypher_pairs,
+    parse_cypher_pattern,
+)
+from repro.errors import ParseError
+from repro.graph.generators import label_path
+from repro.rpq.evaluation import evaluate_rpq
+
+
+class TestFragmentSemantics:
+    def test_node(self, fig2):
+        pairs = cypher_pairs(CypherNode("x"), fig2)
+        assert all(u == v for u, v in pairs)
+
+    def test_edge_with_labels(self, fig2):
+        pattern = CypherEdge(frozenset({"Transfer"}), "t")
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq("Transfer", fig2)
+
+    def test_edge_wildcard(self, fig2):
+        assert cypher_pairs(CypherEdge(None), fig2) == evaluate_rpq("_", fig2)
+
+    def test_star(self, fig2):
+        pattern = CypherStar(frozenset({"Transfer"}))
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq("Transfer*", fig2)
+
+    def test_label_disjunction_star(self, fig2):
+        pattern = CypherStar(frozenset({"Transfer", "owner"}))
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq(
+            "(Transfer + owner)*", fig2
+        )
+
+    def test_seq_and_union(self, fig2):
+        seq = CypherSeq(
+            (CypherEdge(frozenset({"Transfer"})), CypherEdge(frozenset({"owner"})))
+        )
+        assert cypher_pairs(seq, fig2) == evaluate_rpq("Transfer.owner", fig2)
+        union = CypherUnion(
+            (CypherEdge(frozenset({"owner"})), CypherEdge(frozenset({"isBlocked"})))
+        )
+        assert cypher_pairs(union, fig2) == evaluate_rpq("owner + isBlocked", fig2)
+
+
+class TestFragmentParser:
+    def test_basic(self, fig2):
+        pattern = parse_cypher_pattern("(x)-[:Transfer*]->(y)")
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq("Transfer*", fig2)
+
+    def test_label_disjunction(self):
+        pattern = parse_cypher_pattern("-[:a|b*]->")
+        assert pattern == CypherStar(frozenset({"a", "b"}))
+
+    def test_union(self, fig2):
+        pattern = parse_cypher_pattern("(x)-[:owner]->(y) + (x)-[:isBlocked]->(y)")
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq(
+            "owner + isBlocked", fig2
+        )
+
+    def test_anonymous_arrow(self, fig2):
+        pattern = parse_cypher_pattern("(x)->(y)")
+        assert cypher_pairs(pattern, fig2) == evaluate_rpq("_", fig2)
+
+    @pytest.mark.parametrize("text", ["", "(x", "((x))*", "(x)-[:a]->(y) +"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_cypher_pattern(text)
+
+
+class TestProposition22:
+    def test_distance_sets(self):
+        assert distance_set(CypherNode()) == {(0, False)}
+        assert distance_set(CypherEdge(None)) == {(1, False)}
+        assert distance_set(CypherStar(None)) == {(0, True)}
+        seq = CypherSeq((CypherEdge(None), CypherStar(None), CypherEdge(None)))
+        assert distance_set(seq) == {(2, True)}
+
+    def test_distance_set_predicts_path_graph_behaviour(self):
+        """The symbolic analysis agrees with actual evaluation on paths."""
+        patterns = [
+            parse_cypher_pattern("(x)-[:a]->()-[:a]->(y)"),
+            parse_cypher_pattern("(x)-[:a*]->(y)"),
+            parse_cypher_pattern("(x)-[:a]->()-[:a*]->(y) + (x)"),
+        ]
+        g = label_path(7)
+        for pattern in patterns:
+            atoms = distance_set(pattern)
+            pairs = cypher_pairs(pattern, g)
+            for distance in range(8):
+                holds = ("v0", f"v{distance}") in pairs
+                assert holds == atoms_match(atoms, distance)
+
+    def test_normalization_subsumption(self):
+        union = CypherUnion(
+            (
+                CypherStar(None),
+                CypherSeq((CypherEdge(None), CypherEdge(None))),
+            )
+        )
+        assert distance_set(union) == {(0, True)}
+
+    def test_even_counterexamples(self):
+        assert even_distance_counterexample(frozenset({(0, True)}), 10) == 1
+        assert even_distance_counterexample(frozenset({(0, False)}), 10) == 2
+        evens_up_to_10 = frozenset({(d, False) for d in range(0, 11, 2)})
+        assert even_distance_counterexample(evens_up_to_10, 10) is None
+        assert even_distance_counterexample(evens_up_to_10, 12) == 12
+
+    def test_exhaustive_search_refutes(self):
+        """No bounded fragment shape expresses (ll)* — the empirical
+        Proposition 22."""
+        report = search_for_even_length_pattern(max_offset=5, max_atoms=3)
+        assert report["expressible"] is False
+        assert report["tried"] > 50
+        # every shape has a concrete disagreeing distance
+        assert all(w <= report["horizon"] for w in report["witnesses"].values())
+
+    def test_l_star_is_expressible(self):
+        assert star_distance_sanity()
+
+    def test_shape_enumeration_is_deduplicated(self):
+        shapes = list(enumerate_fragment_shapes(2, 2))
+        assert len(shapes) == len(set(shapes))

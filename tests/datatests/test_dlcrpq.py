@@ -1,0 +1,114 @@
+"""Tests for dl-CRPQs (Section 3.2.2)."""
+
+import pytest
+
+from repro.crpq.ast import Var
+from repro.datatests.dlcrpq import DLCRPQ, DLCRPQAtom, evaluate_dlcrpq, parse_dlcrpq
+from repro.errors import ParseError, QueryError
+from repro.listvars.lcrpq import ListVar
+
+#: A Transfer walk of length >= 1, collecting edges in z.
+TRANSFER_WALK_Z = "(_) ([Transfer^z](_))+"
+
+
+class TestParsing:
+    def test_basic(self):
+        q = parse_dlcrpq(
+            f"q(x, y, z) :- shortest {TRANSFER_WALK_Z}(x, y)"
+        )
+        assert q.head == (Var("x"), Var("y"), ListVar("z"))
+        assert q.atoms[0].mode == "shortest"
+
+    def test_default_mode(self):
+        q = parse_dlcrpq("q(x) :- (_)[Transfer](_)(x, y)")
+        assert q.atoms[0].mode == "all"
+
+    def test_validation_shared_list_vars(self):
+        with pytest.raises(QueryError):
+            parse_dlcrpq("q(z) :- [a^z](x, y), [b^z](u, v)")
+
+    def test_validation_head(self):
+        with pytest.raises(QueryError):
+            parse_dlcrpq("q(w) :- [a^z](x, y)")
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_dlcrpq("q(x) [a](x, y)")
+        with pytest.raises(ParseError):
+            parse_dlcrpq("q(x) :- (x, y)")
+
+
+class TestEvaluation:
+    def test_shortest_transfers_between_constants(self, fig3):
+        q = parse_dlcrpq(f"q(z) :- shortest {TRANSFER_WALK_Z}('a6', 'a5')")
+        assert evaluate_dlcrpq(q, fig3) == {(("t10",),)}
+
+    def test_join_on_blocked_status(self, fig3):
+        """Transfers x -> y where y is a blocked account."""
+        q = parse_dlcrpq(
+            "q(x, y) :- (_)[Transfer](isBlocked = 'yes')(x, y)"
+        )
+        result = evaluate_dlcrpq(q, fig3)
+        assert result == {("a2", "a4"), ("a3", "a4")}
+
+    def test_data_filter_with_shortest(self, fig3):
+        """Section 6.3 as a dl-CRPQ: shortest Mike->Rebecca transfer walk
+        containing a transfer under 4.5M has length 3."""
+        q = parse_dlcrpq(
+            "q(z) :- shortest (_) ([Transfer^z](_))* "
+            "[Transfer^z][amount < 4500000](_) ([Transfer^z](_))*('a3', 'a5')"
+        )
+        result = evaluate_dlcrpq(q, fig3)
+        assert (("t6", "t9", "t10"),) in result
+        assert all(len(z) == 3 for (z,) in result)
+
+    def test_multi_atom_join(self, fig3):
+        """Owners of unblocked accounts reachable from a3 in one transfer."""
+        q = parse_dlcrpq(
+            "q(y) :- (_)[Transfer](_)('a3', y), (isBlocked = 'no')(y, y)"
+        )
+        result = evaluate_dlcrpq(q, fig3)
+        assert result == {("a2",), ("a5",)}
+
+    def test_cartesian_of_list_bindings(self, fig3):
+        """Two independent capturing atoms multiply their binding sets."""
+        q = parse_dlcrpq(
+            "q(z, w) :- shortest (_)[Transfer^z](_)('a3', 'a2'), "
+            "shortest (_)[Transfer^w](_)('a3', 'a2')"
+        )
+        result = evaluate_dlcrpq(q, fig3)
+        assert len(result) == 4  # {t2,t5} x {t2,t5}
+
+    def test_empty_when_filter_unsatisfiable(self, fig3):
+        q = parse_dlcrpq(
+            "q(z) :- (_)[Transfer^z][amount > 999999999](_)('a3', 'a2')"
+        )
+        assert evaluate_dlcrpq(q, fig3) == set()
+
+    def test_increasing_dates_atom(self, fig3):
+        """Example 21 inside a dl-CRPQ: increasing-date transfer chains."""
+        q = parse_dlcrpq(
+            "q(x, y, z) :- simple (_) [Transfer^z][x1 := date] "
+            "( (_)[Transfer^z][date > x1][x1 := date] )* (_)(x, y)"
+        )
+        result = evaluate_dlcrpq(q, fig3)
+        # t1 (01-03) then t2 (01-05): increasing dates a1 -> a2
+        assert ("a1", "a2", ("t1", "t2")) in result
+        # every returned list must have increasing dates
+        for _x, _y, z in result:
+            dates = [fig3.get_property(t, "date") for t in z]
+            assert dates == sorted(dates)
+
+    def test_programmatic_construction(self, fig3):
+        from repro.datatests.parser import parse_dlrpq
+
+        atom = DLCRPQAtom(
+            mode="shortest",
+            regex=parse_dlrpq("(_)[Transfer^z](_)"),
+            left="a6",
+            right=Var("y"),
+        )
+        q = DLCRPQ(head=(Var("y"), ListVar("z")), atoms=(atom,))
+        result = evaluate_dlcrpq(q, fig3)
+        assert ("a5", ("t10",)) in result
+        assert ("a3", ("t8",)) in result

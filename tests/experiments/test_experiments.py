@@ -1,0 +1,211 @@
+"""Tests for the experiment registry: every experiment runs and its key
+claim holds (these double as the paper-vs-measured integration tests)."""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments.runner import ExperimentResult, render_table
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert {f"E{i}" for i in range(1, 33)} == set(REGISTRY)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E999")
+
+    def test_case_insensitive(self):
+        assert run_experiment("e1").experiment_id == "E1"
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        assert "a " in text and "22" in text
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_result_render(self):
+        result = ExperimentResult("E0", "t", "c", [{"k": 1}], "f")
+        text = result.render()
+        assert "E0" in text and "measured" in text
+
+
+class TestKeyClaims:
+    """One semantic assertion per experiment (fast parameters)."""
+
+    def test_e1(self):
+        result = run_experiment("E1")
+        assert result.rows[0]["all_pairs_covered"] is True
+
+    def test_e2(self):
+        result = run_experiment("E2")
+        assert all(row["matches_paper"] for row in result.rows)
+
+    def test_e3(self):
+        result = run_experiment("E3")
+        by_name = {row["relation"]: row["pairs"] for row in result.rows}
+        assert by_name["q2 = (q1[x,y])*"] > by_name["q1 (one virtual hop)"]
+
+    def test_e4(self):
+        result = run_experiment("E4")
+        assert all(row["found"] for row in result.rows)
+
+    def test_e5(self):
+        result = run_experiment("E5")
+        assert all(row["found"] for row in result.rows)
+
+    def test_e6(self):
+        result = run_experiment("E6")
+        kinds = {row["pattern"]: row["z_kind"] for row in result.rows}
+        assert "group" in kinds.values() and "single" in kinds.values()
+
+    def test_e7(self):
+        result = run_experiment("E7")
+        assert "True" in result.finding
+
+    def test_e8(self):
+        result = run_experiment("E8")
+        by_engine = {row["engine"]: row["accepts_bad_witness"] for row in result.rows}
+        assert by_engine["GQL naive window-of-two"] is True
+        assert by_engine["dl-RPQ (Example 21)"] is False
+
+    def test_e9(self):
+        result = run_experiment("E9")
+        assert all(row["agree"] for row in result.rows)
+
+    def test_e10(self):
+        result = run_experiment("E10")
+        assert "expressible: False" in result.finding
+
+    def test_e11(self):
+        from repro.experiments.pitfalls import e11_except_vs_dlrpq
+
+        result = e11_except_vs_dlrpq(sizes=(3, 4))
+        assert all(row["same_answer"] for row in result.rows)
+
+    def test_e12(self):
+        from repro.experiments.pitfalls import e12_subset_sum
+
+        result = e12_subset_sum(sizes=(4, 6))
+        assert all(row["hits"] == 0 for row in result.rows)
+        assert result.rows[1]["candidate_paths"] == 4 * result.rows[0]["candidate_paths"]
+
+    def test_e13(self):
+        result = run_experiment("E13")
+        agreements = [row["semantics_agree"] for row in result.rows]
+        assert False in agreements and True in agreements
+
+    def test_e14(self):
+        from repro.experiments.evaluation_section6 import e14_bag_semantics_boom
+
+        result = e14_bag_semantics_boom(max_clique=5, star_depth=4)
+        assert any(row["exceeds_protons_1e80"] for row in result.rows)
+
+    def test_e15(self):
+        result = run_experiment("E15")
+        sizes = [row["set_semantics_answers"] for row in result.rows]
+        assert sizes[0] == sizes[1] == 36
+
+    def test_e16_e22(self):
+        from repro.experiments.evaluation_section6 import (
+            e16_e22_path_explosion_and_pmr,
+        )
+
+        result = e16_e22_path_explosion_and_pmr(max_n=8)
+        for row in result.rows:
+            assert row["paths"] == 2 ** row["diamonds"]
+            assert row["pmr_size"] <= 8 * row["diamonds"] + 4
+        assert "infinite=True" in result.finding
+
+    def test_e17(self):
+        from repro.experiments.evaluation_section6 import e17_exponential_lists
+
+        result = e17_exponential_lists(max_n=5)
+        for row in result.rows:
+            assert row["distinct_paths"] == 1
+            assert row["distinct_lists"] == row["expected_lists"]
+
+    def test_e18(self):
+        from repro.experiments.evaluation_section6 import e18_product_construction
+
+        result = e18_product_construction(sizes=(10, 20))
+        assert "equal: True" in result.finding
+
+    def test_e19(self):
+        from repro.experiments.evaluation_section6 import e19_query_log
+
+        result = e19_query_log(count=400)
+        assert "0 size blow-ups" in result.finding
+
+    def test_e20(self):
+        from repro.experiments.evaluation_section6 import e20_path_modes
+
+        result = e20_path_modes(sizes=(4, 5))
+        assert len(result.rows) == 4
+
+    def test_e21(self):
+        result = run_experiment("E21")
+        lengths = [row["shortest_length"] for row in result.rows]
+        assert lengths == [1, 3, 6]
+        assert result.rows[2]["simple"] is False
+
+    def test_e23(self):
+        from repro.experiments.evaluation_section6 import e23_enumeration_delay
+
+        result = e23_enumeration_delay(n=6)
+        assert result.rows[0]["outputs"] == 64
+
+    def test_e24(self):
+        from repro.experiments.evaluation_section6 import e24_spanners
+
+        result = e24_spanners(max_n=5)
+        assert all(row["mappings"] == row["expected"] for row in result.rows)
+
+    def test_e25(self):
+        result = run_experiment("E25")
+        nested_row = result.rows[0]
+        assert nested_row["v0_to_v2"] is True and nested_row["v0_to_v3"] is False
+
+    def test_e26(self):
+        result = run_experiment("E26")
+        assert all(row["contains_mike"] for row in result.rows)
+
+    def test_e27(self):
+        result = run_experiment("E27")
+        assert result.rows[0]["length"] == 1
+        assert "non-decreasing: True" in result.finding
+
+    def test_e28(self):
+        result = run_experiment("E28")
+        for row in result.rows:
+            assert row["rows_with_anonymous_edge"] == 1
+            assert row["rows_with_named_edge"] == row["parallel_edges"]
+            assert row["bag_totals_agree"] is True
+
+    def test_e29(self):
+        result = run_experiment("E29")
+        assert all(row["result"] == row["expected"] for row in result.rows)
+
+    def test_e30(self):
+        result = run_experiment("E30")
+        by_query = {row["query"]: row for row in result.rows}
+        assert by_query["Example 13 q1 (transfer triangle)"]["treewidth"] == 2
+        assert by_query["Example 13 q2 (star join)"]["acyclic"] is True
+
+    def test_e31(self):
+        result = run_experiment("E31")
+        by_feature = {row["feature"]: row["value"] for row in result.rows}
+        whole = by_feature[
+            "delta enumeration over 256 Figure-5 paths: objects sent whole"
+        ]
+        suffix = by_feature["delta enumeration: suffix objects actually needed"]
+        assert suffix < whole / 2
+
+    def test_e32(self):
+        result = run_experiment("E32")
+        assert "correctly rejected" in result.rows[0]["result"]
+        timings = [row["seconds"] for row in result.rows[1:]]
+        assert timings == sorted(timings)  # cost grows with size

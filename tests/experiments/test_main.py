@@ -1,0 +1,22 @@
+"""Tests for the experiments command-line entry point."""
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsCLI:
+    def test_single(self, capsys):
+        assert main(["E1"]) == 0
+        assert "Example 12" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E14" in out and "E32" in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["E999"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Tests for the <∀ pi' => theta> condition (Section 5.2)."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.gql.forall import (
+    all_values_distinct_via_forall,
+    holds_on_path,
+    increasing_edges_via_forall,
+    match_with_forall,
+    path_view_graph,
+)
+from repro.graph.generators import dated_path, label_cycle
+from repro.graph.property_graph import PropertyGraph
+
+
+class TestPathView:
+    def test_positions_and_properties(self, fig3):
+        path = fig3.path("a3", "t7", "a5", "t4", "a1")
+        view = path_view_graph(path)
+        assert view.num_nodes == 3 and view.num_edges == 2
+        assert view.get_property((1, "t7"), "amount") == 10_000_000
+        assert view.node_label((0, "a3")) == "Account"
+
+    def test_repeated_object_gets_distinct_positions(self, fig3):
+        path = fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3")
+        view = path_view_graph(path)
+        assert view.has_node((0, "a3")) and view.has_node((6, "a3"))
+
+    def test_rejects_edge_delimited(self, fig3):
+        with pytest.raises(PathError):
+            path_view_graph(fig3.path("t7", "a5"))
+
+
+class TestIncreasingEdges:
+    def test_fixes_example3(self):
+        """The forall version does NOT fall for the 03,04,01,02 witness."""
+        witness = dated_path([3, 4, 1, 2], on="edges", prop="k")
+        assert (
+            increasing_edges_via_forall(witness, "v0", "v4", prop="k") == set()
+        )
+        good = dated_path([1, 2, 3], on="edges", prop="k")
+        result = increasing_edges_via_forall(good, "v0", "v3", prop="k")
+        assert {path.edges() for path in result} == {("e0", "e1", "e2")}
+
+    def test_agrees_with_dlrpq(self):
+        from repro.datatests.dlrpq import evaluate_dlrpq
+
+        for ks in ([1, 2, 3], [2, 1], [1, 3, 2], [5]):
+            graph = dated_path(ks, on="edges", prop="k")
+            target = f"v{len(ks)}"
+            via_forall = increasing_edges_via_forall(graph, "v0", target, prop="k")
+            via_dlrpq = {
+                binding.path
+                for binding in evaluate_dlrpq(
+                    "(_)[a][x := k] ( (_)[a][k > x][x := k] )* (_)",
+                    graph,
+                    "v0",
+                    target,
+                    mode="all",
+                )
+            }
+            assert via_forall == via_dlrpq
+
+
+class TestAllValuesDistinct:
+    def make_graph(self, values):
+        graph = PropertyGraph()
+        for index, value in enumerate(values):
+            graph.add_node(f"v{index}", label="N", properties={"k": value})
+        for index in range(len(values) - 1):
+            graph.add_edge(f"e{index}", f"v{index}", f"v{index + 1}", "a")
+        return graph
+
+    def test_accepts_distinct(self):
+        graph = self.make_graph([1, 2, 3])
+        result = all_values_distinct_via_forall(graph, "v0", "v2", prop="k")
+        assert len(result) == 1
+
+    def test_rejects_duplicates(self):
+        graph = self.make_graph([1, 2, 1])
+        assert (
+            all_values_distinct_via_forall(graph, "v0", "v2", prop="k") == set()
+        )
+
+    def test_revisited_node_rejected(self):
+        """A cycle revisits a node: its value equals itself, so no path
+        through the cycle can satisfy the all-distinct condition."""
+        graph = label_cycle(3)
+        property_graph = PropertyGraph()
+        for index in range(3):
+            property_graph.add_node(f"v{index}", label="N", properties={"k": index})
+        for edge in graph.iter_edges():
+            src, tgt = graph.endpoints(edge)
+            property_graph.add_edge(edge, src, tgt, "a")
+        result = all_values_distinct_via_forall(
+            property_graph, "v0", "v0", prop="k", max_length=6
+        )
+        # only the trivial path survives (longer ones revisit v0)
+        assert {len(path) for path in result} == {0}
+
+
+class TestGenericForall:
+    def test_custom_condition(self, fig3):
+        def no_expensive_transfer(graph, binding):
+            (_pos, edge) = binding["t"]
+            return graph.get_property(edge, "amount", 0) < 9_500_000
+
+        paths = match_with_forall(
+            "(x) ->* (y)",
+            fig3,
+            "-[t]->",
+            no_expensive_transfer,
+            source="a3",
+            target="a5",
+            max_length=3,
+        )
+        # the direct t7 (10M) is excluded; the t6,t9,t10 detour passes (max 9M)
+        assert all("t7" not in path.edges() for path in paths)
+        assert any(path.edges() == ("t6", "t9", "t10") for path in paths)
+
+    def test_holds_on_path_direct(self, fig3):
+        path = fig3.path("a3", "t6", "a4", "t9", "a6")
+
+        def amounts_increase(graph, binding):
+            (_pu, u), (_pv, v) = binding["u"], binding["v"]
+            return graph.get_property(u, "amount") < graph.get_property(v, "amount")
+
+        assert holds_on_path(path, "-[u]-> () -[v]->", amounts_increase)
+        back = fig3.path("a4", "t9", "a6", "t10", "a5", "t4", "a1")
+
+        def amounts_decrease(graph, binding):
+            (_pu, u), (_pv, v) = binding["u"], binding["v"]
+            return graph.get_property(u, "amount") > graph.get_property(v, "amount")
+
+        assert not holds_on_path(back, "-[u]-> () -[v]->", amounts_decrease)

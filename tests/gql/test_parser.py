@@ -1,0 +1,92 @@
+"""Tests for the ASCII-art pattern parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gql.ast import Alt, BAnd, Cmp, EdgePat, NodePat, Quant, Seq, Where
+from repro.gql.parser import parse_gql_pattern
+
+
+class TestElements:
+    def test_nodes(self):
+        assert parse_gql_pattern("(x)") == NodePat("x", None)
+        assert parse_gql_pattern("()") == NodePat(None, None)
+        assert parse_gql_pattern("(x:Account)") == NodePat("x", "Account")
+        assert parse_gql_pattern("(:Account)") == NodePat(None, "Account")
+
+    def test_edges(self):
+        assert parse_gql_pattern("-[z]->") == EdgePat("z", None)
+        assert parse_gql_pattern("-[z:a]->") == EdgePat("z", "a")
+        assert parse_gql_pattern("-[:a]->") == EdgePat(None, "a")
+        assert parse_gql_pattern("-[]->") == EdgePat(None, None)
+        assert parse_gql_pattern("->") == EdgePat(None, None)
+
+    def test_sequence(self):
+        pattern = parse_gql_pattern("(x)-[z:a]->(y)")
+        assert pattern == Seq((NodePat("x", None), EdgePat("z", "a"), NodePat("y", None)))
+
+    def test_example1_pattern(self):
+        pattern = parse_gql_pattern("(x) (()-[z:a]->()){2} (y)")
+        assert isinstance(pattern, Seq)
+        middle = pattern.parts[1]
+        assert isinstance(middle, Quant)
+        assert middle.low == middle.high == 2
+        assert isinstance(middle.inner, Seq)
+
+    def test_quantifiers(self):
+        assert parse_gql_pattern("(()->())*").low == 0
+        assert parse_gql_pattern("(()->())*").high is None
+        assert parse_gql_pattern("(()->())+").low == 1
+        assert parse_gql_pattern("(()->())?").high == 1
+        q = parse_gql_pattern("(()->()){2,5}")
+        assert (q.low, q.high) == (2, 5)
+        q = parse_gql_pattern("(()->()){3,}")
+        assert (q.low, q.high) == (3, None)
+
+    def test_alternation(self):
+        pattern = parse_gql_pattern("(x) | (x)")
+        assert isinstance(pattern, Alt)
+
+
+class TestWhere:
+    def test_simple_where(self):
+        pattern = parse_gql_pattern("((u)-[:a]->(v) WHERE u.date < v.date)")
+        assert isinstance(pattern, Where)
+        assert pattern.condition == Cmp("u", "date", "<", rhs_var="v", rhs_prop="date")
+
+    def test_const_comparisons(self):
+        pattern = parse_gql_pattern("((x) WHERE x.amount >= 100)")
+        assert pattern.condition == Cmp("x", "amount", ">=", const=100, rhs_is_const=True)
+        pattern = parse_gql_pattern("((x) WHERE x.owner = 'Mike')")
+        assert pattern.condition.const == "Mike"
+
+    def test_boolean_structure(self):
+        pattern = parse_gql_pattern(
+            "((x) WHERE x.a = 1 AND x.b = 2 OR NOT x.c = 3)"
+        )
+        assert isinstance(pattern, Where)
+
+    def test_example3_naive(self):
+        pattern = parse_gql_pattern(
+            "(x) ( ()-[u:a]->()-[v:a]->() WHERE u.date < v.date)* (y)"
+        )
+        assert isinstance(pattern, Seq)
+        assert isinstance(pattern.parts[1], Quant)
+        assert isinstance(pattern.parts[1].inner, Where)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(x",
+            "-[z]>",
+            "(x) |",
+            "((x) WHERE )",
+            "((x) WHERE x < 1)",  # missing property access
+            "((x) WHERE x.a ~ 1)",
+            "{2}",
+            "(x)(y) extra",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_gql_pattern(text)

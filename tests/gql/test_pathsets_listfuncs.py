@@ -1,0 +1,159 @@
+"""Tests for path sets / EXCEPT and the list-function pitfalls (Section 5.2)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.gql.listfuncs import (
+    diophantine_two_semantics,
+    edges_of,
+    increasing_edges_via_reduce,
+    nodes_of,
+    path_property_sum,
+    reduce_list,
+    subset_sum_paths,
+)
+from repro.gql.pathsets import (
+    except_paths,
+    increasing_edges_via_except,
+    match_path_set,
+)
+from repro.graph.generators import dated_path, label_path, self_loop_graph, subset_sum_graph
+
+
+class TestPathSets:
+    def test_match_path_set(self):
+        g = label_path(2)
+        paths = match_path_set("(x)->(y)", g)
+        assert {p.objects for p in paths} == {
+            ("v0", "e0", "v1"),
+            ("v1", "e1", "v2"),
+        }
+
+    def test_endpoint_filter(self):
+        g = label_path(2)
+        paths = match_path_set("(x) ->* (y)", g, source="v0", target="v2")
+        assert {len(p) for p in paths} == {2}
+
+    def test_except(self):
+        g = label_path(2)
+        all_paths = match_path_set("(x) ->* (y)", g, source="v0")
+        short = {p for p in all_paths if len(p) < 2}
+        remaining = except_paths(all_paths, short)
+        assert all(len(p) >= 2 for p in remaining)
+
+    def test_increasing_edges_via_except(self):
+        g = dated_path([1, 2, 3], on="edges", prop="k")
+        good = increasing_edges_via_except(g, "v0", "v3", prop="k")
+        assert {p.objects for p in good} == {
+            ("v0", "e0", "v1", "e1", "v2", "e2", "v3")
+        }
+        g_bad = dated_path([3, 4, 1, 2], on="edges", prop="k")
+        bad = increasing_edges_via_except(g_bad, "v0", "v4", prop="k")
+        assert bad == set()  # 4 >= 1 in the middle: subtracted
+
+    def test_except_agrees_with_dlrpq(self):
+        """E11's correctness cross-check: EXCEPT and the register-automaton
+        dl-RPQ compute the same increasing-edge paths on DAGs."""
+        from repro.datatests.dlrpq import evaluate_dlrpq
+
+        for ks in ([1, 2, 3], [2, 1, 3], [1, 3, 2], [5, 5, 5]):
+            g = dated_path(ks, on="edges", prop="k")
+            via_except = increasing_edges_via_except(
+                g, "v0", f"v{len(ks)}", prop="k"
+            )
+            via_dlrpq = {
+                binding.path
+                for binding in evaluate_dlrpq(
+                    "(_)[a][x := k] ( (_)[a][k > x][x := k] )* (_)",
+                    g,
+                    "v0",
+                    f"v{len(ks)}",
+                    mode="all",
+                )
+            }
+            assert via_except == via_dlrpq
+
+
+class TestListFunctions:
+    def test_nodes_and_edges_of(self, fig2):
+        p = fig2.path("a1", "t1", "a3", "t2", "a2")
+        assert nodes_of(p) == ("a1", "a3", "a2")
+        assert edges_of(p) == ("t1", "t2")
+
+    def test_reduce_base_cases(self):
+        assert reduce_list("eps", str, lambda x, v: x + v, []) == "eps"
+        assert reduce_list("eps", str.upper, lambda x, v: x + v, ["a"]) == "A"
+        # f(head, reduce(tail)); iota applies to the last element
+        assert reduce_list(0, lambda x: x, lambda x, v: x + v, [1, 2, 3]) == 6
+
+    def test_increasing_edges_via_reduce(self):
+        g = dated_path([1, 2, 3], on="edges", prop="k")
+        good = increasing_edges_via_reduce(g, "v0", "v3", prop="k", mode="trail")
+        assert len(good) == 1
+        g_bad = dated_path([3, 4, 1, 2], on="edges", prop="k")
+        assert (
+            increasing_edges_via_reduce(g_bad, "v0", "v4", prop="k", mode="trail")
+            == set()
+        )
+
+    def test_path_property_sum(self, fig3):
+        p = fig3.path("a3", "t6", "a4", "t9", "a6")
+        assert path_property_sum(fig3, p, "amount") == 10_000_000
+
+    def test_walks_all_mode_requires_bound(self):
+        g = label_path(2)
+        with pytest.raises(EvaluationError):
+            increasing_edges_via_reduce(g, "v0", "v2", mode="all")
+
+
+class TestSubsetSum:
+    def test_encodes_subset_sum(self):
+        """Paths of the gadget with Sigma_p = target exist iff a subset of
+        the numbers sums to the target (Section 5.2)."""
+        g = subset_sum_graph([3, 5, 7])
+        hits = subset_sum_paths(g, "v0", "v3", target_sum=8)
+        assert hits  # 3 + 5
+        picks = {
+            tuple(edge.startswith("pick") for edge in edges_of(p)) for p in hits
+        }
+        assert (True, True, False) in picks
+        assert subset_sum_paths(g, "v0", "v3", target_sum=4) == set()
+
+    def test_zero_target_counts_empty_subset(self):
+        g = subset_sum_graph([3, 5])
+        hits = subset_sum_paths(g, "v0", "v2", target_sum=0)
+        assert any(all(e.startswith("skip") for e in edges_of(p)) for p in hits)
+
+    def test_exponential_candidate_space(self):
+        """All 2^n trails are enumerated — the NP-hardness in action."""
+        g = subset_sum_graph([1, 2, 4, 8])
+        all_sums = {
+            path_property_sum(g, p)
+            for p in subset_sum_paths(g, "v0", "v4", target_sum=0) | {
+                p
+                for s in range(16)
+                for p in subset_sum_paths(g, "v0", "v4", target_sum=s)
+            }
+        }
+        assert all_sums == set(range(16))  # every subset sum realized
+
+
+class TestDiophantine:
+    def test_two_semantics_disagree(self):
+        """u.a + u.b + u.c != 0 but x = 2 solves x^2 - 5x + 6 = 0: the two
+        candidate semantics of shortest+condition give different answers."""
+        g = self_loop_graph(a=1, b=-5, c=6)
+        report = diophantine_two_semantics(g)
+        assert report["condition_after_shortest"] == set()
+        assert ("u", 2) in report["shortest_satisfying"]
+
+    def test_two_semantics_agree_when_one_step_solves(self):
+        g = self_loop_graph(a=0, b=1, c=-1)  # x - 1 = 0 -> x = 1
+        report = diophantine_two_semantics(g)
+        assert ("u", 1) in report["condition_after_shortest"]
+        assert ("u", 1) in report["shortest_satisfying"]
+
+    def test_unsolvable_is_bounded(self):
+        g = self_loop_graph(a=1, b=0, c=1)  # x^2 + 1 = 0: no real root
+        report = diophantine_two_semantics(g, max_iterations=10)
+        assert report["shortest_satisfying"] == set()

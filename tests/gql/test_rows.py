@@ -1,0 +1,55 @@
+"""Tests for result rows and the naming/deduplication quirk (Section 4.2)."""
+
+from collections import Counter
+
+from repro.gql.rows import naming_sensitivity, result_rows
+from repro.graph.generators import parallel_chain
+
+
+class TestResultRows:
+    def test_distinct_rows(self):
+        g = parallel_chain(1, width=2)  # two parallel edges v0 -> v1
+        rows = result_rows("(x)-[:a]->(y)", g)
+        assert len(rows) == 1  # x, y named: one distinct (v0, v1) row
+
+    def test_edge_variable_splits_rows(self):
+        g = parallel_chain(1, width=2)
+        rows = result_rows("(x)-[e:a]->(y)", g)
+        assert len(rows) == 2  # e distinguishes the parallel edges
+
+    def test_bag_mode_counts_matches(self):
+        g = parallel_chain(1, width=2)
+        counts = result_rows("(x)-[:a]->(y)", g, distinct=False)
+        assert isinstance(counts, Counter)
+        assert sum(counts.values()) == 2
+        assert len(counts) == 1  # one row, multiplicity 2
+
+
+class TestNamingSensitivity:
+    def test_quirk_on_parallel_edges(self):
+        """Naming the edge changes the distinct-row count but not the bag
+        total — the Section 4.2 counter-intuitive behaviour."""
+        g = parallel_chain(1, width=3)
+        report = naming_sensitivity("(x)-[:a]->(y)", "(x)-[e:a]->(y)", g)
+        assert report["anonymous_rows"] == 1
+        assert report["named_rows"] == 3
+        assert report["rows_differ"] is True
+        assert report["bag_totals_agree"] is True
+
+    def test_no_quirk_without_multiplicity(self):
+        from repro.graph.generators import label_path
+
+        g = label_path(1)
+        report = naming_sensitivity("(x)-[:a]->(y)", "(x)-[e:a]->(y)", g)
+        assert report["rows_differ"] is False
+
+    def test_quirk_under_quantifier(self):
+        """Anonymous intermediate nodes under a star collapse rows too."""
+        g = parallel_chain(2, width=2)
+        report = naming_sensitivity(
+            "(x) (()-[:a]->()){2} (y)",
+            "(x) (()-[e:a]->()){2} (y)",
+            g,
+        )
+        assert report["named_rows"] == 4  # 2 x 2 edge-list combinations
+        assert report["anonymous_rows"] == 1

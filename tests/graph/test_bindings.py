@@ -1,0 +1,113 @@
+"""Tests for ListBinding (mu) and ValueAssignment (nu)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import ListBinding, ValueAssignment
+
+
+class TestListBinding:
+    def test_empty_maps_everything_to_empty_list(self):
+        mu0 = ListBinding.empty()
+        assert mu0["z"] == ()
+        assert mu0["anything"] == ()
+        assert not mu0
+        assert mu0.support == frozenset()
+
+    def test_singleton(self):
+        mu = ListBinding.singleton("z", "t1")
+        assert mu["z"] == ("t1",)
+        assert mu["other"] == ()
+        assert mu.support == {"z"}
+        assert bool(mu)
+
+    def test_concat_pointwise(self):
+        mu1 = ListBinding({"z": ("t1",), "w": ("t2",)})
+        mu2 = ListBinding({"z": ("t3",)})
+        combined = mu1.concat(mu2)
+        assert combined["z"] == ("t1", "t3")
+        assert combined["w"] == ("t2",)
+
+    def test_concat_with_empty_is_identity(self):
+        mu = ListBinding({"z": ("t1", "t2")})
+        assert mu.concat(ListBinding.empty()) == mu
+        assert ListBinding.empty().concat(mu) == mu
+
+    def test_empty_lists_are_normalized_away(self):
+        mu = ListBinding({"z": (), "w": ("t1",)})
+        assert mu.support == {"w"}
+        assert mu == ListBinding({"w": ("t1",)})
+
+    def test_equality_and_hash(self):
+        mu1 = ListBinding({"z": ("t1",)})
+        mu2 = ListBinding.singleton("z", "t1")
+        assert mu1 == mu2 and hash(mu1) == hash(mu2)
+        assert mu1 != ListBinding.singleton("z", "t2")
+        assert mu1 != "not a binding"
+
+    def test_restrict(self):
+        mu = ListBinding({"z": ("t1",), "w": ("t2",)})
+        assert mu.restrict(["z"]) == ListBinding.singleton("z", "t1")
+        assert mu.restrict([]) == ListBinding.empty()
+
+    def test_items_and_as_dict(self):
+        mu = ListBinding({"z": ("t1",)})
+        assert dict(mu.items()) == {"z": ("t1",)}
+        assert mu.as_dict() == {"z": ("t1",)}
+
+    def test_mul_operator(self):
+        mu = ListBinding.singleton("z", "t1") * ListBinding.singleton("z", "t2")
+        assert mu["z"] == ("t1", "t2")
+
+    def test_repr(self):
+        assert repr(ListBinding.empty()) == "mu0"
+        assert "t1" in repr(ListBinding.singleton("z", "t1"))
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("zwx"), st.text("abc", max_size=2)), max_size=6),
+        st.lists(st.tuples(st.sampled_from("zwx"), st.text("abc", max_size=2)), max_size=6),
+        st.lists(st.tuples(st.sampled_from("zwx"), st.text("abc", max_size=2)), max_size=6),
+    )
+    def test_concat_is_associative(self, items1, items2, items3):
+        def build(items):
+            lists = {}
+            for var, obj in items:
+                lists[var] = lists.get(var, ()) + (obj,)
+            return ListBinding(lists)
+
+        mu1, mu2, mu3 = build(items1), build(items2), build(items3)
+        assert mu1.concat(mu2).concat(mu3) == mu1.concat(mu2.concat(mu3))
+
+
+class TestValueAssignment:
+    def test_empty(self):
+        nu0 = ValueAssignment.empty()
+        assert nu0.domain == frozenset()
+        assert "x" not in nu0
+        assert nu0.get("x") is None
+        assert nu0.get("x", 7) == 7
+
+    def test_functional_update(self):
+        nu0 = ValueAssignment.empty()
+        nu1 = nu0.set("x", 5)
+        assert nu1["x"] == 5
+        assert "x" not in nu0  # original untouched
+        nu2 = nu1.set("x", 9)
+        assert nu2["x"] == 9 and nu1["x"] == 5
+
+    def test_equality_and_hash(self):
+        nu1 = ValueAssignment.empty().set("x", 5).set("y", 6)
+        nu2 = ValueAssignment({"y": 6, "x": 5})
+        assert nu1 == nu2 and hash(nu1) == hash(nu2)
+        assert nu1 != ValueAssignment({"x": 5})
+        assert nu1 != 42
+
+    def test_as_dict_copy(self):
+        nu = ValueAssignment({"x": 1})
+        d = nu.as_dict()
+        d["x"] = 2
+        assert nu["x"] == 1
+
+    def test_repr(self):
+        assert repr(ValueAssignment.empty()) == "nu0"
+        assert "x" in repr(ValueAssignment({"x": 1}))

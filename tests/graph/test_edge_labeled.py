@@ -1,0 +1,154 @@
+"""Unit tests for EdgeLabeledGraph (Definition 4)."""
+
+import pytest
+
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.graph import EdgeLabeledGraph, ObjectKind
+
+
+def small_graph():
+    g = EdgeLabeledGraph()
+    g.add_edge("e1", "u", "v", "a")
+    g.add_edge("e2", "v", "w", "b")
+    g.add_edge("e3", "u", "v", "a")  # parallel to e1
+    return g
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        g = EdgeLabeledGraph()
+        g.add_node("u")
+        g.add_node("u")
+        assert g.nodes == {"u"}
+
+    def test_add_edge_creates_endpoints(self):
+        g = small_graph()
+        assert g.nodes == {"u", "v", "w"}
+        assert g.edges == {"e1", "e2", "e3"}
+
+    def test_duplicate_edge_id_rejected(self):
+        g = small_graph()
+        with pytest.raises(DuplicateObjectError):
+            g.add_edge("e1", "u", "w", "c")
+
+    def test_edge_id_cannot_be_node_id(self):
+        g = small_graph()
+        with pytest.raises(DuplicateObjectError):
+            g.add_edge("u", "v", "w", "c")
+
+    def test_node_id_cannot_be_edge_id(self):
+        g = small_graph()
+        with pytest.raises(DuplicateObjectError):
+            g.add_node("e1")
+
+    def test_parallel_edges_are_distinct(self):
+        """The paper's key point about edge identity (t2 vs t5 in Figure 2)."""
+        g = small_graph()
+        between = set(g.edges_between("u", "v"))
+        assert between == {"e1", "e3"}
+        assert g.label("e1") == g.label("e3") == "a"
+
+
+class TestAccessors:
+    def test_src_tgt_label(self):
+        g = small_graph()
+        assert g.src("e2") == "v"
+        assert g.tgt("e2") == "w"
+        assert g.label("e2") == "b"
+        assert g.endpoints("e2") == ("v", "w")
+
+    def test_kind(self):
+        g = small_graph()
+        assert g.kind("u") is ObjectKind.NODE
+        assert g.kind("e1") is ObjectKind.EDGE
+        with pytest.raises(UnknownObjectError):
+            g.kind("nope")
+
+    def test_unknown_edge_raises(self):
+        g = small_graph()
+        with pytest.raises(UnknownObjectError):
+            g.src("nope")
+
+    def test_labels(self):
+        assert small_graph().labels == {"a", "b"}
+
+    def test_contains(self):
+        g = small_graph()
+        assert "u" in g
+        assert "e1" in g
+        assert "zzz" not in g
+
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+
+class TestNavigation:
+    def test_out_edges_with_label_filter(self):
+        g = small_graph()
+        assert set(g.out_edges("u")) == {"e1", "e3"}
+        assert set(g.out_edges("u", "a")) == {"e1", "e3"}
+        assert set(g.out_edges("u", "b")) == set()
+
+    def test_in_edges(self):
+        g = small_graph()
+        assert set(g.in_edges("v")) == {"e1", "e3"}
+        assert set(g.in_edges("w", "b")) == {"e2"}
+
+    def test_successors_predecessors(self):
+        g = small_graph()
+        assert g.successors("u") == {"v"}
+        assert g.predecessors("w") == {"v"}
+        assert g.successors("w") == set()
+
+    def test_degrees(self):
+        g = small_graph()
+        assert g.out_degree("u") == 2
+        assert g.in_degree("v") == 2
+        assert g.in_degree("u") == 0
+
+    def test_navigation_unknown_node(self):
+        g = small_graph()
+        with pytest.raises(UnknownObjectError):
+            list(g.out_edges("nope"))
+        with pytest.raises(UnknownObjectError):
+            list(g.in_edges("nope"))
+
+
+class TestViews:
+    def test_triples_lose_parallel_edge_identity(self):
+        g = small_graph()
+        triples = list(g.triples())
+        assert triples.count(("u", "a", "v")) == 2
+        assert set(triples) == {("u", "a", "v"), ("v", "b", "w")}
+
+    def test_subgraph_by_labels(self):
+        g = small_graph()
+        sub = g.subgraph_by_labels(["a"])
+        assert sub.edges == {"e1", "e3"}
+        assert sub.nodes == g.nodes  # nodes are kept
+
+
+class TestFigure2:
+    def test_population(self, fig2):
+        # 6 accounts + 6 owners... owner-name nodes may coincide, plus
+        # Account / yes / no value nodes.
+        for account in ("a1", "a2", "a3", "a4", "a5", "a6"):
+            assert fig2.has_node(account)
+        for edge in ("t1", "t5", "t10", "r9", "r10"):
+            assert fig2.has_edge(edge)
+        assert fig2.label("t1") == "Transfer"
+        assert fig2.label("r1") == "owner"
+
+    def test_parallel_transfers_t2_t5(self, fig2):
+        """Example 5: t2 and t5 are both from a3 to a2 and both Transfer."""
+        assert fig2.endpoints("t2") == ("a3", "a2")
+        assert fig2.endpoints("t5") == ("a3", "a2")
+        assert fig2.label("t2") == fig2.label("t5") == "Transfer"
+
+    def test_example16_edges(self, fig2):
+        """r9: a3 -isBlocked-> no and r10: a4 -isBlocked-> yes (Example 16)."""
+        assert fig2.endpoints("r9") == ("a3", "no")
+        assert fig2.endpoints("r10") == ("a4", "yes")
+        assert fig2.label("r9") == fig2.label("r10") == "isBlocked"

@@ -1,0 +1,112 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    clique,
+    dated_path,
+    diamond_chain,
+    label_cycle,
+    label_path,
+    parallel_chain,
+    random_graph,
+    random_transfer_network,
+    self_loop_graph,
+    subset_sum_graph,
+)
+
+
+class TestBasicFamilies:
+    def test_label_path(self):
+        g = label_path(3, "b")
+        assert g.num_nodes == 4 and g.num_edges == 3
+        assert g.labels == {"b"}
+        assert g.src("e0") == "v0" and g.tgt("e2") == "v3"
+
+    def test_label_cycle(self):
+        g = label_cycle(3)
+        assert g.num_nodes == 3 and g.num_edges == 3
+        assert g.tgt("e2") == "v0"
+
+    def test_label_cycle_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            label_cycle(0)
+
+    def test_clique_with_loops(self):
+        g = clique(3)
+        assert g.num_nodes == 3 and g.num_edges == 9
+
+    def test_clique_without_loops(self):
+        g = clique(3, loops=False)
+        assert g.num_edges == 6
+        for edge in g.iter_edges():
+            src, tgt = g.endpoints(edge)
+            assert src != tgt
+
+
+class TestFigure5:
+    def test_diamond_chain_shape(self):
+        g = diamond_chain(4)
+        # per stage: 2 intermediate nodes, 4 edges; plus 5 junctions
+        assert g.num_nodes == 5 + 8
+        assert g.num_edges == 16
+
+    def test_parallel_chain(self):
+        g = parallel_chain(3, width=2)
+        assert g.num_nodes == 4 and g.num_edges == 6
+        assert len(set(g.edges_between("v0", "v1"))) == 2
+
+
+class TestPropertyFamilies:
+    def test_dated_path_on_edges(self):
+        g = dated_path(["03", "04", "01", "02"], on="edges")
+        assert g.num_edges == 4
+        assert [g.get_property(f"e{i}", "date") for i in range(4)] == [
+            "03",
+            "04",
+            "01",
+            "02",
+        ]
+
+    def test_dated_path_on_nodes(self):
+        g = dated_path([1, 2, 3], on="nodes")
+        assert g.num_nodes == 3 and g.num_edges == 2
+        assert g.get_property("v1", "date") == 2
+
+    def test_dated_path_bad_mode(self):
+        with pytest.raises(ValueError):
+            dated_path([1], on="elsewhere")
+
+    def test_subset_sum_graph(self):
+        g = subset_sum_graph([3, 5, 7])
+        assert g.num_nodes == 4 and g.num_edges == 6
+        assert g.get_property("pick1", "k") == 5
+        assert g.get_property("skip1", "k") == 0
+
+    def test_self_loop_graph(self):
+        g = self_loop_graph(1, -3, 2)
+        assert g.endpoints("e") == ("u", "u")
+        assert g.get_property("u", "b") == -3
+        assert g.get_property("e", "k") == 1
+
+
+class TestRandomFamilies:
+    def test_random_graph_deterministic(self):
+        g1 = random_graph(10, 30, seed=42)
+        g2 = random_graph(10, 30, seed=42)
+        assert set(g1.triples()) == set(g2.triples())
+        assert g1.num_edges == 30
+
+    def test_random_graph_seed_matters(self):
+        g1 = random_graph(10, 30, seed=1)
+        g2 = random_graph(10, 30, seed=2)
+        assert list(g1.triples()) != list(g2.triples())
+
+    def test_random_transfer_network(self):
+        g = random_transfer_network(20, 50, seed=7)
+        assert g.num_nodes == 20 and g.num_edges == 50
+        assert g.label("t0") == "Transfer"
+        blocked = {g.get_property(f"a{i}", "isBlocked") for i in range(20)}
+        assert blocked <= {"yes", "no"}
+        amount = g.get_property("t0", "amount")
+        assert isinstance(amount, int) and amount >= 1

@@ -1,0 +1,196 @@
+"""Tests for Path: the four path types, len, elab, and collapsing concatenation.
+
+These follow Section 2 ("Paths and Lists") and Example 10 closely.
+"""
+
+import pytest
+
+from repro.errors import PathConcatenationError, PathError
+from repro.graph import Path
+
+
+class TestValidity:
+    def test_example10_valid_paths(self, fig2):
+        fig2.path("a1", "t1", "a3", "t2")  # node-to-edge
+        fig2.path("t1", "a3", "t2")  # edge-to-edge
+        fig2.path("a1", "t1", "a3", "t2", "a2")  # node-to-node
+
+    def test_example10_invalid_repeated_edge(self, fig2):
+        """path(a1, t1, t1) is invalid: repeated edge without a node between."""
+        with pytest.raises(PathError):
+            fig2.path("a1", "t1", "t1")
+
+    def test_wrong_incidence_rejected(self, fig2):
+        with pytest.raises(PathError):
+            fig2.path("a1", "t2", "a2")  # t2 starts at a3, not a1
+        with pytest.raises(PathError):
+            fig2.path("a3", "t2", "a4")  # t2 ends at a2, not a4
+
+    def test_consecutive_nodes_rejected(self, fig2):
+        with pytest.raises(PathError):
+            fig2.path("a1", "a1")
+        with pytest.raises(PathError):
+            fig2.path("a1", "a3")
+
+    def test_unknown_object_rejected(self, fig2):
+        with pytest.raises(PathError):
+            fig2.path("a1", "nope", "a3")
+
+    def test_empty_path(self, fig2):
+        p = Path.empty(fig2)
+        assert p.is_empty
+        assert len(p) == 0
+        assert p.src is None and p.tgt is None
+
+
+class TestStructure:
+    def test_src_tgt_node_to_node(self, fig2):
+        p = fig2.path("a1", "t1", "a3")
+        assert p.src == "a1" and p.tgt == "a3"
+        assert not p.starts_with_edge and not p.ends_with_edge
+
+    def test_src_tgt_edge_endpoints(self, fig2):
+        """For edge-delimited paths src/tgt look through to the edge's nodes."""
+        p = fig2.path("t1", "a3", "t2")
+        assert p.src == "a1"  # src(t1)
+        assert p.tgt == "a2"  # tgt(t2)
+        assert p.starts_with_edge and p.ends_with_edge
+
+    def test_len_counts_edge_occurrences(self, fig2):
+        assert len(fig2.path("a1")) == 0
+        assert len(fig2.path("a1", "t1", "a3")) == 1
+        assert len(fig2.path("t1", "a3", "t2")) == 2
+
+    def test_len_counts_multiplicity(self, fig3):
+        """A self-loop-free repeated edge via a cycle counts twice."""
+        p = fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3", "t7", "a5")
+        assert len(p) == 4
+        assert p.edges() == ("t7", "t4", "t1", "t7")
+
+    def test_elab(self, fig2):
+        p = fig2.path("a3", "t2", "a2", "t3", "a4", "r10", "yes")
+        assert p.elab() == ("Transfer", "Transfer", "isBlocked")
+        assert fig2.path("a3").elab() == ()
+
+    def test_nodes_edges(self, fig2):
+        p = fig2.path("t1", "a3", "t2", "a2")
+        assert p.edges() == ("t1", "t2")
+        assert p.nodes() == ("a3", "a2")
+
+    def test_simple_and_trail(self, fig3):
+        simple = fig3.path("a3", "t7", "a5", "t4", "a1")
+        assert simple.is_simple() and simple.is_trail()
+        revisits_node = fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3")
+        assert not revisits_node.is_simple()
+        assert revisits_node.is_trail()
+        repeats_edge = fig3.path(
+            "a3", "t7", "a5", "t4", "a1", "t1", "a3", "t7", "a5"
+        )
+        assert not repeats_edge.is_trail()
+
+    def test_from_edges(self, fig2):
+        p = Path.from_edges(fig2, ["t1", "t2", "t3"])
+        assert p.objects == ("a1", "t1", "a3", "t2", "a2", "t3", "a4")
+        with pytest.raises(PathError):
+            Path.from_edges(fig2, ["t1", "t3"])  # t3 starts at a2, not a3
+        with pytest.raises(PathError):
+            Path.from_edges(fig2, [])
+
+    def test_trivial(self, fig2):
+        p = Path.trivial(fig2, "a1")
+        assert p.objects == ("a1",)
+        assert len(p) == 0
+
+
+class TestConcatenation:
+    def test_example10_three_decompositions(self, fig2):
+        """Example 10: path(a1,t1,a3,t2,a2) arises from three concatenations."""
+        whole = fig2.path("a1", "t1", "a3", "t2", "a2")
+        left1 = fig2.path("a1", "t1", "a3")
+        right1 = fig2.path("a3", "t2", "a2")
+        assert left1.concat(right1) == whole
+
+        left2 = fig2.path("a1", "t1")
+        assert left2.concat(right1) == whole
+
+        right3 = fig2.path("t1", "a3", "t2", "a2")
+        assert left2.concat(right3) == whole
+
+    def test_length_not_additive(self, fig2):
+        """The third decomposition collapses t1, so 1 + 3 edges give length 2."""
+        left = fig2.path("a1", "t1")
+        right = fig2.path("t1", "a3", "t2", "a2")
+        assert len(left) == 1 and len(right) == 2
+        assert len(left.concat(right)) == 2
+
+    def test_single_object_idempotent(self, fig2):
+        """path(o) . path(o) = path(o) for nodes AND edges (unlike GQL)."""
+        node = fig2.path("a1")
+        assert node.concat(node) == node
+        edge = fig2.path("t1")
+        assert edge.concat(edge) == edge
+
+    def test_self_loop_double_traversal(self, fig3):
+        """The paper's t0 discussion: to traverse a self-loop twice you
+        concatenate path(e) with path(u, e)."""
+        loop_graph = type(fig3)()
+        loop_graph.add_edge("t0", "a1", "a1", "Transfer")
+        e = loop_graph.path("t0")
+        assert e.concat(e) == e
+        via_node = loop_graph.path("a1", "t0")
+        assert e.concat(via_node).objects == ("t0", "a1", "t0")
+        assert len(e.concat(via_node)) == 2
+
+    def test_empty_is_identity(self, fig2):
+        p = fig2.path("a1", "t1", "a3")
+        empty = Path.empty(fig2)
+        assert p.concat(empty) == p
+        assert empty.concat(p) == p
+        assert empty.concat(empty) == empty
+
+    def test_undefined_concatenations(self, fig2):
+        with pytest.raises(PathConcatenationError):
+            fig2.path("a1").concat(fig2.path("a3"))  # two different nodes
+        with pytest.raises(PathConcatenationError):
+            fig2.path("t1").concat(fig2.path("t3"))  # t1 tgt=a3, t3 src=a2
+        with pytest.raises(PathConcatenationError):
+            # node then edge not leaving it
+            fig2.path("a1").concat(fig2.path("t3", "a4"))
+
+    def test_edge_then_target_node(self, fig2):
+        p = fig2.path("a1", "t1").concat(fig2.path("a3"))
+        assert p.objects == ("a1", "t1", "a3")
+
+    def test_can_concat_matches_concat(self, fig2):
+        pairs = [
+            (fig2.path("a1", "t1"), fig2.path("a3", "t2")),
+            (fig2.path("a1"), fig2.path("a3")),
+            (fig2.path("t1"), fig2.path("t1")),
+            (fig2.path("t1"), fig2.path("t3")),
+        ]
+        for left, right in pairs:
+            if left.can_concat(right):
+                left.concat(right)
+            else:
+                with pytest.raises(PathConcatenationError):
+                    left.concat(right)
+
+    def test_mul_operator(self, fig2):
+        assert (fig2.path("a1", "t1") * fig2.path("a3")).tgt == "a3"
+
+
+class TestEquality:
+    def test_hash_and_eq(self, fig2):
+        p1 = fig2.path("a1", "t1", "a3")
+        p2 = fig2.path("a1", "t1", "a3")
+        assert p1 == p2 and hash(p1) == hash(p2)
+        assert p1 != fig2.path("a1", "t1")
+        assert len({p1, p2}) == 1
+
+    def test_not_equal_to_other_types(self, fig2):
+        assert fig2.path("a1") != ("a1",)
+
+    def test_iter_and_repr(self, fig2):
+        p = fig2.path("a1", "t1", "a3")
+        assert list(p) == ["a1", "t1", "a3"]
+        assert repr(p) == "path('a1', 't1', 'a3')"

@@ -1,0 +1,128 @@
+"""Tests for PropertyGraph (Definition 6) and the Figure 3 dataset."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.graph import PropertyGraph
+from repro.graph.datasets import AMOUNTS, BLOCKED, OWNERS, account_of
+
+
+class TestPropertyGraph:
+    def make(self):
+        g = PropertyGraph()
+        g.add_node("u", label="Person", properties={"name": "Ada"})
+        g.add_node("v", label="Person")
+        g.add_edge("e", "u", "v", "knows", properties={"since": 1843})
+        return g
+
+    def test_node_labels(self):
+        g = self.make()
+        assert g.node_label("u") == "Person"
+        assert g.object_label("u") == "Person"
+        assert g.object_label("e") == "knows"
+
+    def test_default_node_label_keeps_lambda_total(self):
+        g = PropertyGraph()
+        g.add_edge("e", "u", "v", "a")  # endpoints created implicitly
+        assert g.node_label("u") == PropertyGraph.DEFAULT_NODE_LABEL
+
+    def test_refining_a_node(self):
+        g = PropertyGraph()
+        g.add_edge("e", "u", "v", "a")
+        g.add_node("u", label="Person", properties={"name": "Ada"})
+        assert g.node_label("u") == "Person"
+        assert g.get_property("u", "name") == "Ada"
+
+    def test_rho_is_partial(self):
+        g = self.make()
+        assert g.get_property("u", "name") == "Ada"
+        assert g.get_property("v", "name") is None
+        assert g.get_property("v", "name", default="?") == "?"
+        assert g.has_property("u", "name")
+        assert not g.has_property("v", "name")
+
+    def test_property_set_to_none_is_defined(self):
+        g = self.make()
+        g.set_property("v", "name", None)
+        assert g.has_property("v", "name")
+        assert g.get_property("v", "name", default="?") is None
+
+    def test_set_property_unknown_object(self):
+        g = self.make()
+        with pytest.raises(UnknownObjectError):
+            g.set_property("zzz", "name", 1)
+
+    def test_properties_copy(self):
+        g = self.make()
+        props = g.properties("u")
+        props["name"] = "Eve"
+        assert g.get_property("u", "name") == "Ada"
+
+    def test_property_names_and_values(self):
+        g = self.make()
+        assert g.property_names() == {"name", "since"}
+        assert g.property_values("since") == {1843}
+        assert g.property_values("missing") == frozenset()
+
+    def test_nodes_with_label(self):
+        g = self.make()
+        assert set(g.nodes_with_label("Person")) == {"u", "v"}
+        assert set(g.nodes_with_label("Robot")) == set()
+
+    def test_node_label_errors(self):
+        g = self.make()
+        with pytest.raises(UnknownObjectError):
+            g.node_label("e")
+        with pytest.raises(UnknownObjectError):
+            g.object_label("zzz")
+        with pytest.raises(UnknownObjectError):
+            g.get_property("zzz", "x")
+        with pytest.raises(UnknownObjectError):
+            g.has_property("zzz", "x")
+        with pytest.raises(UnknownObjectError):
+            g.properties("zzz")
+
+    def test_to_edge_labeled_projection(self):
+        """Definition 6 remark: (N, E, src, tgt, lambda|_E) is edge-labeled."""
+        g = self.make()
+        plain = g.to_edge_labeled()
+        assert plain.nodes == g.nodes
+        assert plain.edges == g.edges
+        assert plain.label("e") == "knows"
+        assert not isinstance(plain, PropertyGraph)
+
+
+class TestFigure3:
+    def test_example8(self, fig3):
+        """lambda(a1) = Account, lambda(t1) = Transfer, rho(a1, owner) = Megan."""
+        assert fig3.node_label("a1") == "Account"
+        assert fig3.label("t1") == "Transfer"
+        assert fig3.get_property("a1", "owner") == "Megan"
+
+    def test_all_accounts_have_owner_and_blocked(self, fig3):
+        for account in ("a1", "a2", "a3", "a4", "a5", "a6"):
+            assert fig3.get_property(account, "owner") == OWNERS[account]
+            assert fig3.get_property(account, "isBlocked") == BLOCKED[account]
+
+    def test_transfer_amounts(self, fig3):
+        for edge, amount in AMOUNTS.items():
+            assert fig3.get_property(edge, "amount") == amount
+
+    def test_data_filter_precondition(self, fig3):
+        """Section 6.3: t7 (direct Mike->Rebecca) must be >= 4.5M while the
+        detour (t6, t9, t10) contains a transfer below 4.5M."""
+        assert fig3.get_property("t7", "amount") >= 4_500_000
+        detour = [fig3.get_property(t, "amount") for t in ("t6", "t9", "t10")]
+        assert any(amount < 4_500_000 for amount in detour)
+
+    def test_blocked_accounts_for_pmr_example(self, fig3):
+        """Section 6.4: the t7-t4-t1 cycle avoids blocked accounts."""
+        for account in ("a3", "a5", "a1"):
+            assert fig3.get_property(account, "isBlocked") == "no"
+        assert fig3.get_property("a4", "isBlocked") == "yes"
+
+    def test_account_of(self):
+        assert account_of("Mike") == "a3"
+        assert account_of("Rebecca") == "a5"
+        with pytest.raises(KeyError):
+            account_of("Nobody")

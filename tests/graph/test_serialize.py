@@ -1,0 +1,43 @@
+"""Round-trip tests for graph JSON serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import PropertyGraph
+from repro.graph.serialize import dumps, graph_from_dict, graph_to_dict, loads
+
+
+def test_edge_labeled_round_trip(fig2):
+    restored = loads(dumps(fig2))
+    assert restored.nodes == fig2.nodes
+    assert restored.edges == fig2.edges
+    for edge in fig2.iter_edges():
+        assert restored.endpoints(edge) == fig2.endpoints(edge)
+        assert restored.label(edge) == fig2.label(edge)
+    assert not isinstance(restored, PropertyGraph)
+
+
+def test_property_round_trip(fig3):
+    restored = loads(dumps(fig3))
+    assert isinstance(restored, PropertyGraph)
+    assert restored.nodes == fig3.nodes
+    for node in fig3.iter_nodes():
+        assert restored.node_label(node) == fig3.node_label(node)
+        assert restored.properties(node) == fig3.properties(node)
+    for edge in fig3.iter_edges():
+        assert restored.properties(edge) == fig3.properties(edge)
+
+
+def test_kind_field(fig2, fig3):
+    assert graph_to_dict(fig2)["kind"] == "edge_labeled"
+    assert graph_to_dict(fig3)["kind"] == "property"
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(GraphError):
+        graph_from_dict({"kind": "hypergraph", "nodes": [], "edges": []})
+
+
+def test_empty_document_defaults_to_edge_labeled():
+    graph = graph_from_dict({})
+    assert graph.num_nodes == 0 and graph.num_edges == 0

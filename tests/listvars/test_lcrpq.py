@@ -1,0 +1,130 @@
+"""Tests for l-CRPQs (Section 3.1.5, Example 17)."""
+
+import pytest
+
+from repro.crpq.ast import Var
+from repro.errors import ParseError, QueryError
+from repro.graph.generators import label_path, parallel_chain
+from repro.listvars.lcrpq import (
+    LCRPQ,
+    LCRPQAtom,
+    ListVar,
+    evaluate_lcrpq,
+    parse_lcrpq,
+)
+from repro.listvars.lrpq import capture, parse_lrpq
+from repro.regex.ast import star
+
+
+class TestSyntaxAndValidation:
+    def test_parse_example17(self):
+        q = parse_lcrpq(
+            "q(x1, x2, z) :- owner(y1, x1), owner(y2, x2), "
+            "shortest (Transfer^z)+(y1, y2)"
+        )
+        assert q.head == (Var("x1"), Var("x2"), ListVar("z"))
+        assert q.atoms[2].mode == "shortest"
+        assert q.atoms[0].mode == "all"  # default, as the paper omits 'all'
+
+    def test_list_vars_disjoint_across_atoms(self):
+        with pytest.raises(QueryError):
+            parse_lcrpq("q(z) :- a^z(x, y), b^z(y, w)")
+
+    def test_list_vars_disjoint_from_node_vars(self):
+        with pytest.raises(QueryError):
+            parse_lcrpq("q(x) :- a^x(x, y)")
+
+    def test_head_vars_must_occur(self):
+        with pytest.raises(QueryError):
+            LCRPQ(
+                head=(ListVar("nope"),),
+                atoms=(
+                    LCRPQAtom("all", capture("a", "z"), Var("x"), Var("y")),
+                ),
+            )
+
+    def test_unknown_mode(self):
+        with pytest.raises(QueryError):
+            LCRPQAtom("fastest", capture("a", "z"), Var("x"), Var("y"))
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_lcrpq("q(x) a(x, y)")
+        with pytest.raises(ParseError):
+            parse_lcrpq("q(x) :- (x, y)")
+
+
+class TestExample17:
+    def test_shortest_grouped_by_endpoints(self, fig2):
+        """Jay->Rebecca gives list(t10); Mike->Megan gives list(t7, t4) —
+        shortest is applied per endpoint pair, after endpoint selection."""
+        q = parse_lcrpq(
+            "q(x1, x2, z) :- owner(y1, x1), owner(y2, x2), "
+            "shortest (Transfer^z)+(y1, y2)"
+        )
+        result = evaluate_lcrpq(q, fig2)
+        assert ("Jay", "Rebecca", ("t10",)) in result
+        assert ("Mike", "Megan", ("t7", "t4")) in result
+
+    def test_shortest_never_returns_longer_lists_per_pair(self, fig2):
+        q = parse_lcrpq(
+            "q(x1, x2, z) :- owner(y1, x1), owner(y2, x2), "
+            "shortest (Transfer^z)+(y1, y2)"
+        )
+        result = evaluate_lcrpq(q, fig2)
+        by_pair: dict = {}
+        for x1, x2, z in result:
+            by_pair.setdefault((x1, x2), set()).add(len(z))
+        for lengths in by_pair.values():
+            assert len(lengths) == 1  # only the minimal length per pair
+
+
+class TestGeneralEvaluation:
+    def test_single_atom_lists(self):
+        g = label_path(2)
+        q = parse_lcrpq("q(x, y, z) :- all (a^z)*(x, y)")
+        result = evaluate_lcrpq(q, g)
+        assert ("v0", "v2", ("e0", "e1")) in result
+        assert ("v1", "v1", ()) in result
+
+    def test_multiple_atoms_cartesian(self):
+        g = parallel_chain(1, width=2)
+        q = parse_lcrpq("q(z, w) :- a^z(x, y), a^w(x, y)")
+        result = evaluate_lcrpq(q, g)
+        # each atom independently picks one of the two parallel edges
+        assert result == {
+            (("e0_0",), ("e0_0",)),
+            (("e0_0",), ("e0_1",)),
+            (("e0_1",), ("e0_0",)),
+            (("e0_1",), ("e0_1",)),
+        }
+
+    def test_node_join_still_applies(self, fig2):
+        q = parse_lcrpq("q(x, z) :- Transfer^z(x, y), isBlocked(y, 'yes')")
+        result = evaluate_lcrpq(q, fig2)
+        # y must be a4 (the only blocked account); x with an edge to a4
+        assert result == {("a2", ("t3",)), ("a3", ("t6",))}
+
+    def test_constants(self, fig2):
+        q = parse_lcrpq("q(z) :- shortest (Transfer^z)+('a6', 'a5')")
+        assert evaluate_lcrpq(q, fig2) == {(("t10",),)}
+
+    def test_boolean_lcrpq(self, fig2):
+        q = parse_lcrpq("q() :- Transfer('a3', y)")
+        assert evaluate_lcrpq(q, fig2) == {()}
+
+    def test_all_mode_with_limit_on_cycles(self, fig2):
+        q = parse_lcrpq("q(z) :- (Transfer^z)*('a3', 'a3')")
+        result = evaluate_lcrpq(q, fig2, limit=5)
+        assert ((),) in result
+        assert len(result) == 5
+
+    def test_trail_mode_cycles(self, fig3):
+        q = parse_lcrpq("q(z) :- trail (Transfer^z)+('a3', 'a3')")
+        result = evaluate_lcrpq(q, fig3)
+        assert (("t7", "t4", "t1"),) in result
+        assert all(len(set(z)) == len(z) for (z,) in result)
+
+    def test_empty_result(self, fig2):
+        q = parse_lcrpq("q(z) :- owner^z('a1', 'Mike')")
+        assert evaluate_lcrpq(q, fig2) == set()

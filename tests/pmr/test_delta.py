@@ -1,0 +1,44 @@
+"""Tests for delta enumeration (Section 7.1's consecutive-difference idea)."""
+
+from repro.graph.generators import diamond_chain
+from repro.pmr.build import pmr_for_rpq
+from repro.pmr.enumerate import enumerate_spaths, enumerate_spaths_delta
+
+
+class TestDeltaEnumeration:
+    def test_same_paths_as_plain_dfs(self):
+        g = diamond_chain(4)
+        pmr = pmr_for_rpq("a*", g, "j0", "j4")
+        plain = list(enumerate_spaths(pmr, order="dfs"))
+        delta = [path for path, _shared in enumerate_spaths_delta(pmr)]
+        assert delta == plain
+
+    def test_shared_prefixes_are_correct(self):
+        g = diamond_chain(4)
+        pmr = pmr_for_rpq("a*", g, "j0", "j4")
+        previous = None
+        for path, shared in enumerate_spaths_delta(pmr):
+            if previous is None:
+                assert shared == 0
+            else:
+                assert previous.objects[:shared] == path.objects[:shared]
+                if shared < min(len(previous.objects), len(path.objects)):
+                    assert previous.objects[shared] != path.objects[shared]
+            previous = path
+
+    def test_deltas_save_work(self):
+        """Total suffix objects transmitted is much less than total path
+        objects — the point of difference enumeration."""
+        g = diamond_chain(8)
+        pmr = pmr_for_rpq("a*", g, "j0", "j8")
+        total_objects = 0
+        total_suffix = 0
+        for path, shared in enumerate_spaths_delta(pmr):
+            total_objects += len(path.objects)
+            total_suffix += len(path.objects) - shared
+        assert total_suffix < total_objects / 2
+
+    def test_respects_limit(self):
+        g = diamond_chain(5)
+        pmr = pmr_for_rpq("a*", g, "j0", "j5")
+        assert len(list(enumerate_spaths_delta(pmr, limit=7))) == 7

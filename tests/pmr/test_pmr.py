@@ -1,0 +1,166 @@
+"""Tests for path multiset representations (Section 6.4)."""
+
+import pytest
+
+from repro.errors import GraphError, InfiniteResultError
+from repro.graph.generators import diamond_chain, label_cycle, label_path
+from repro.pmr.build import pmr_for_rpq, pmr_for_unblocked_cycles, pmr_from_product
+from repro.pmr.enumerate import enumerate_spaths
+from repro.pmr.ops import (
+    contains_path,
+    count_paths_of_length,
+    is_finite,
+    pmr_size,
+    trim,
+)
+from repro.pmr.representation import PMR
+from repro.rpq.evaluation import compile_for_graph
+from repro.rpq.path_modes import matching_paths
+from repro.rpq.product_graph import build_product
+
+
+class TestRepresentation:
+    def test_manual_construction_like_the_paper_figure(self, fig3):
+        """The Section 6.4 PMR: one loop r1 -> r2 -> r3 -> r1 over the
+        t7, t4, t1 cycle (gamma written inside each object)."""
+        pmr = PMR.build(
+            base=fig3,
+            nodes=[("r1", "a3"), ("r2", "a5"), ("r3", "a1")],
+            edges=[
+                ("q1", "r1", "r2", "t7"),
+                ("q2", "r2", "r3", "t4"),
+                ("q3", "r3", "r1", "t1"),
+            ],
+            sources=["r1"],
+            targets=["r1"],
+        )
+        assert not is_finite(pmr)  # infinitely many cycles
+        one_loop = fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3")
+        assert contains_path(pmr, one_loop)
+        two_loops = one_loop.concat(
+            fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3")
+        )
+        assert contains_path(pmr, two_loops)
+        assert not contains_path(pmr, fig3.path("a3", "t7", "a5"))
+
+    def test_gamma_must_be_homomorphism(self, fig3):
+        with pytest.raises(GraphError):
+            PMR.build(
+                base=fig3,
+                nodes=[("r1", "a3"), ("r2", "a5")],
+                edges=[("q1", "r1", "r2", "t4")],  # t4 goes a5 -> a1, not a3 -> a5
+                sources=["r1"],
+                targets=["r2"],
+            )
+
+    def test_gamma_must_be_total(self, fig3):
+        with pytest.raises(GraphError):
+            PMR(
+                inner=label_path(1),
+                base=fig3,
+                gamma={"v0": "a1"},  # v1 and e0 unmapped
+                sources=["v0"],
+                targets=["v1"],
+            )
+
+    def test_sources_must_exist(self, fig3):
+        with pytest.raises(GraphError):
+            PMR.build(fig3, nodes=[("r1", "a1")], edges=[], sources=["zz"], targets=[])
+
+
+class TestBuildFromProduct:
+    def test_figure5_pmr_is_linear_size(self):
+        """2^n paths, O(n) PMR (Section 6.4's second showcase)."""
+        for n in (4, 8, 16):
+            g = diamond_chain(n)
+            pmr = pmr_for_rpq("a*", g, "j0", f"j{n}")
+            assert count_paths_of_length(pmr, 2 * n) == 2**n
+            assert pmr_size(pmr) <= 8 * n + 4  # linear, not exponential
+
+    def test_spaths_equals_direct_enumeration(self, fig3):
+        pmr = pmr_for_rpq("Transfer+", fig3, "a3", "a5")
+        direct = set(
+            matching_paths("Transfer+", fig3, "a3", "a5", mode="all", limit=30)
+        )
+        from_pmr = set(enumerate_spaths(pmr, limit=30, order="bfs"))
+        assert from_pmr == direct
+
+    def test_unblocked_cycles_example(self, fig3):
+        """Only the t7-t4-t1 loop survives the blocked-account filter."""
+        pmr = pmr_for_unblocked_cycles(fig3, "a3")
+        assert not is_finite(pmr)
+        loop = fig3.path("a3", "t7", "a5", "t4", "a1", "t1", "a3")
+        assert contains_path(pmr, loop)
+        for wrong in (
+            fig3.path("a3", "t6", "a4", "t9", "a6", "t8", "a3"),  # passes a4
+        ):
+            assert not contains_path(pmr, wrong)
+        shortest = next(iter(enumerate_spaths(pmr, limit=1, order="bfs")))
+        assert shortest == loop
+
+    def test_pmr_from_product_directly(self):
+        g = label_path(3)
+        nfa = compile_for_graph("a.a", g)
+        product = build_product(g, nfa, sources=["v0"], targets=["v2"])
+        pmr = pmr_from_product(product)
+        assert count_paths_of_length(pmr, 2) == 1
+
+
+class TestOps:
+    def test_trim_removes_useless(self, fig3):
+        pmr = pmr_for_rpq("Transfer*", fig3, "a1", "a6")
+        trimmed = trim(pmr)
+        assert pmr_size(trimmed) <= pmr_size(pmr)
+        assert set(enumerate_spaths(trimmed, limit=5, order="bfs")) == set(
+            enumerate_spaths(pmr, limit=5, order="bfs")
+        )
+
+    def test_is_finite(self):
+        acyclic = pmr_for_rpq("a*", label_path(3), "v0", "v3")
+        assert is_finite(acyclic)
+        cyclic = pmr_for_rpq("a*", label_cycle(3), "v0", "v0")
+        assert not is_finite(cyclic)
+
+    def test_count_respects_set_semantics(self):
+        """An ambiguous expression duplicates inner paths but never base
+        paths."""
+        g = label_path(4)
+        pmr = pmr_for_rpq("a*.a*", g, "v0", "v4")
+        assert count_paths_of_length(pmr, 4) == 1
+
+    def test_contains_path_rejects_edge_delimited(self, fig3):
+        pmr = pmr_for_rpq("Transfer", fig3, "a3", "a5")
+        assert not contains_path(pmr, fig3.path("t7"))
+
+
+class TestEnumeration:
+    def test_bfs_orders_by_length(self):
+        pmr = pmr_for_rpq("a*", label_cycle(3), "v0", "v0")
+        lengths = [len(p) for p in enumerate_spaths(pmr, limit=3, order="bfs")]
+        assert lengths == [0, 3, 6]
+
+    def test_dfs_requires_bound_on_infinite(self):
+        pmr = pmr_for_rpq("a*", label_cycle(3), "v0", "v0")
+        with pytest.raises(InfiniteResultError):
+            list(enumerate_spaths(pmr, order="dfs"))
+
+    def test_dfs_enumerates_all_on_finite(self):
+        g = diamond_chain(3)
+        pmr = pmr_for_rpq("a*", g, "j0", "j3")
+        paths = list(enumerate_spaths(pmr, order="dfs"))
+        assert len(paths) == 8
+        assert len(set(paths)) == 8
+
+    def test_dfs_with_max_length(self):
+        pmr = pmr_for_rpq("a*", label_cycle(2), "v0", "v0")
+        paths = list(enumerate_spaths(pmr, max_length=4, order="dfs"))
+        assert sorted(len(p) for p in paths) == [0, 2, 4]
+
+    def test_unknown_order(self, fig3):
+        pmr = pmr_for_rpq("Transfer", fig3, "a3", "a5")
+        with pytest.raises(ValueError):
+            list(enumerate_spaths(pmr, order="random"))
+
+    def test_empty_pmr(self, fig3):
+        pmr = pmr_for_rpq("owner", fig3, "a3", "a5")  # no owner edges in fig3
+        assert list(enumerate_spaths(pmr, limit=5)) == []

@@ -1,0 +1,182 @@
+"""Cross-engine property tests: independent implementations must agree.
+
+These are the repository's deepest correctness checks: each test pits two
+independently-implemented semantics against each other on randomized inputs
+(hypothesis), so a bug would have to occur identically in both to slip
+through.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.containment import rpq_contained, rpq_equivalent
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Concat, Epsilon, Regex, Star, Symbol, Union, to_string
+from repro.regex.derivatives import derivative_matches
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+from repro.rpq.counting import count_matching_paths
+from repro.rpq.evaluation import evaluate_rpq
+from repro.rpq.path_modes import matching_paths
+
+A, B = Symbol("a"), Symbol("b")
+
+
+def regexes(max_leaves: int = 6) -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def small_graphs() -> st.SearchStrategy[EdgeLabeledGraph]:
+    """Random multigraphs with <= 3 nodes and <= 4 a/b edges."""
+
+    @st.composite
+    def build(draw):
+        num_nodes = draw(st.integers(min_value=1, max_value=3))
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, num_nodes - 1),
+                    st.integers(0, num_nodes - 1),
+                    st.sampled_from("ab"),
+                ),
+                max_size=4,
+            )
+        )
+        graph = EdgeLabeledGraph()
+        for index in range(num_nodes):
+            graph.add_node(f"n{index}")
+        for number, (src, tgt, label) in enumerate(edges):
+            graph.add_edge(f"e{number}", f"n{src}", f"n{tgt}", label)
+        return graph
+
+    return build()
+
+
+def brute_force_pairs(regex: Regex, graph: EdgeLabeledGraph, max_length: int):
+    """Oracle: DFS over all walks up to max_length, match labels with the
+    Brzozowski-derivative matcher (independent of the automata pipeline)."""
+    answers = set()
+    for source in graph.iter_nodes():
+        stack = [(source, ())]
+        while stack:
+            node, word = stack.pop()
+            if derivative_matches(regex, word):
+                answers.add((source, node))
+            if len(word) < max_length:
+                for edge in graph.out_edges(node):
+                    stack.append((graph.tgt(edge), word + (graph.label(edge),)))
+    return answers
+
+
+class TestRPQAgainstBruteForce:
+    @given(regexes(max_leaves=4), small_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_engine_complete_for_short_witnesses(self, regex, graph):
+        """Every pair the bounded walk oracle finds, the engine finds."""
+        oracle = brute_force_pairs(regex, graph, max_length=7)
+        assert oracle <= evaluate_rpq(regex, graph)
+
+    @given(regexes(max_leaves=4), small_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_engine_sound_via_derivative_matcher(self, regex, graph):
+        """Every engine answer has a witnessing path whose label word the
+        independent Brzozowski matcher accepts."""
+        for source, target in evaluate_rpq(regex, graph):
+            witness = next(
+                iter(
+                    matching_paths(
+                        regex, graph, source, target, mode="shortest", limit=1
+                    )
+                )
+            )
+            assert witness.src == source and witness.tgt == target
+            assert derivative_matches(regex, witness.elab())
+
+
+class TestCountingAgainstEnumeration:
+    @given(regexes(max_leaves=4), small_graphs(), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_count_equals_enumerated(self, regex, graph, length):
+        nodes = sorted(graph.iter_nodes(), key=repr)
+        source, target = nodes[0], nodes[-1]
+        count = count_matching_paths(regex, graph, source, target, length=length)
+        # 'all' yields in length order; stop as soon as paths get too long
+        enumerated = 0
+        for path in matching_paths(
+            regex, graph, source, target, mode="all", limit=100_000
+        ):
+            if len(path) > length:
+                break
+            if len(path) == length:
+                enumerated += 1
+        assert count == enumerated
+
+
+class TestContainmentSemantics:
+    @given(regexes(max_leaves=5), regexes(max_leaves=5), small_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_language_containment_implies_answer_containment(
+        self, left, right, graph
+    ):
+        if rpq_contained(left, right, alphabet={"a", "b"}):
+            assert evaluate_rpq(left, graph) <= evaluate_rpq(right, graph)
+
+    @given(regexes(max_leaves=6))
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_is_language_equivalent(self, regex):
+        """Exact equivalence via automata — stronger than word sampling."""
+        assert rpq_equivalent(regex, simplify(regex), alphabet={"a", "b"})
+
+    @given(regexes(max_leaves=6))
+    @settings(max_examples=100, deadline=None)
+    def test_to_string_parse_round_trip_preserves_language(self, regex):
+        reparsed = parse_regex(to_string(regex))
+        assert rpq_equivalent(regex, reparsed, alphabet={"a", "b"})
+
+
+class TestPathModesConsistency:
+    @given(regexes(max_leaves=4), small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_modes_are_filters_of_all(self, regex, graph):
+        nodes = sorted(graph.iter_nodes(), key=repr)
+        source, target = nodes[0], nodes[-1]
+        everything = set(
+            matching_paths(regex, graph, source, target, mode="all", limit=100)
+        )
+        simple = set(
+            matching_paths(regex, graph, source, target, mode="simple")
+        )
+        trails = set(matching_paths(regex, graph, source, target, mode="trail"))
+        assert simple <= trails
+        assert all(path.is_simple() for path in simple)
+        assert all(path.is_trail() for path in trails)
+        # every simple/trail result of bounded length appears in 'all'
+        if len(everything) < 100:
+            assert simple <= everything and trails <= everything
+
+    @given(regexes(max_leaves=4), small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_shortest_really_is_shortest(self, regex, graph):
+        nodes = sorted(graph.iter_nodes(), key=repr)
+        source, target = nodes[0], nodes[-1]
+        shortest = list(
+            matching_paths(regex, graph, source, target, mode="shortest")
+        )
+        if not shortest:
+            return
+        lengths = {len(path) for path in shortest}
+        assert len(lengths) == 1
+        sample = next(
+            iter(matching_paths(regex, graph, source, target, mode="all", limit=1)),
+            None,
+        )
+        assert sample is not None and len(sample) >= lengths.pop()

@@ -1,0 +1,175 @@
+"""Property tests for the dl-RPQ engine against a fixed-path oracle.
+
+The oracle enumerates all candidate paths of a tiny property graph up to a
+length bound (including edge-delimited ones) and decides acceptance of each
+by a dynamic program *along the fixed path* — positions can only stay or
+advance, mirroring the paper's ⊢ relation directly.  It shares only the
+atom-matching helper with the engine; the search is independent.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatests.ast import DLAtom
+from repro.datatests.dlrpq import evaluate_dlrpq
+from repro.datatests.parser import parse_dlrpq
+from repro.datatests.register import compile_dlrpq
+from repro.graph.bindings import ValueAssignment
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+
+QUERIES = [
+    "(a)",
+    "[x]",
+    "(_)[x](_)",
+    "((_)[x])+ (_)",
+    "(p = 1)",
+    "(v := p)(p = v)",
+    "(_)[q > 0](_)",
+    "(a^z)([x](_^z))*",
+    "(_)[w := q]((_)[q > w][w := q])*(_)",
+    "((a) + (b))[x](_)",
+]
+
+
+@st.composite
+def tiny_property_graphs(draw):
+    """<= 3 nodes labeled a/b with property p, <= 3 x-edges with property q."""
+    num_nodes = draw(st.integers(1, 3))
+    graph = PropertyGraph()
+    for index in range(num_nodes):
+        graph.add_node(
+            f"n{index}",
+            label=draw(st.sampled_from("ab")),
+            properties={"p": draw(st.integers(0, 2))},
+        )
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.integers(-1, 2),
+            ),
+            max_size=3,
+        )
+    )
+    for number, (src, tgt, q_value) in enumerate(edges):
+        graph.add_edge(
+            f"e{number}",
+            f"n{src}",
+            f"n{tgt}",
+            "x",
+            properties={"q": q_value},
+        )
+    return graph
+
+
+def candidate_paths(graph: PropertyGraph, max_edges: int):
+    """All paths of the graph with up to max_edges edges, all four types."""
+    paths = []
+    for node in graph.iter_nodes():
+        paths.append(Path.trivial(graph, node))
+    frontier = [
+        Path.of(graph, (graph.src(edge), edge, graph.tgt(edge)))
+        for edge in graph.iter_edges()
+    ]
+    # grow node-to-node cores
+    seen = set(frontier)
+    while frontier:
+        extended = []
+        for path in frontier:
+            paths.append(path)
+            if len(path) >= max_edges:
+                continue
+            for edge in graph.out_edges(path.tgt):
+                longer = path.concat(
+                    Path.of(graph, (graph.src(edge), edge, graph.tgt(edge)))
+                )
+                if longer not in seen:
+                    seen.add(longer)
+                    extended.append(longer)
+        frontier = extended
+    # derive edge-delimited variants by trimming boundary nodes
+    variants = list(paths)
+    for path in paths:
+        objects = path.objects
+        if len(objects) >= 3:
+            variants.append(Path.of(graph, objects[1:]))
+            variants.append(Path.of(graph, objects[:-1]))
+            variants.append(Path.of(graph, objects[1:-1]))
+    unique = []
+    seen_paths = set()
+    for path in variants:
+        if path.objects and path not in seen_paths:
+            seen_paths.add(path)
+            unique.append(path)
+    return unique
+
+
+def oracle_accepts(regex, graph: PropertyGraph, path: Path) -> bool:
+    """Fixed-path acceptance: DP over (path position, state, nu)."""
+    nfa = compile_dlrpq(regex)
+    objects = path.objects
+    # configurations: (index of last consumed object, state, nu); -1 = none
+    start = {(-1, state, ValueAssignment.empty()) for state in nfa.initial}
+    frontier = set(start)
+    seen = set(start)
+    while frontier:
+        next_frontier = set()
+        for index, state, nu in frontier:
+            for atom, next_state in (
+                (atom, target)
+                for source, atom, target in nfa.transitions()
+                if source == state
+            ):
+                for next_index in (index, index + 1):
+                    if next_index < 0 or next_index >= len(objects):
+                        continue
+                    if next_index == index and index < 0:
+                        continue
+                    obj = objects[next_index]
+                    is_node = graph.has_node(obj)
+                    if (atom.kind.value == "node") != is_node:
+                        continue
+                    ok, next_nu, _capture = atom.matches(graph, obj, nu)
+                    if not ok:
+                        continue
+                    config = (next_index, next_state, next_nu)
+                    if config not in seen:
+                        seen.add(config)
+                        next_frontier.add(config)
+        frontier = next_frontier
+    return any(
+        index == len(objects) - 1 and state in nfa.finals
+        for index, state, _nu in seen
+    )
+
+
+class TestDlrpqAgainstOracle:
+    @given(tiny_property_graphs(), st.sampled_from(QUERIES))
+    @settings(max_examples=60, deadline=None)
+    def test_engine_agrees_with_fixed_path_oracle(self, graph, query):
+        regex = parse_dlrpq(query)
+        max_edges = 3
+        candidates = candidate_paths(graph, max_edges)
+        expected = {
+            path for path in candidates if oracle_accepts(regex, graph, path)
+        }
+        for source, target in itertools.product(
+            sorted(graph.iter_nodes(), key=repr), repeat=2
+        ):
+            engine_paths = {
+                binding.path
+                for binding in evaluate_dlrpq(
+                    regex, graph, source, target, mode="all", limit=500
+                )
+                if len(binding.path) <= max_edges
+            }
+            oracle_paths = {
+                path
+                for path in expected
+                if path.src == source and path.tgt == target
+            }
+            assert engine_paths == oracle_paths

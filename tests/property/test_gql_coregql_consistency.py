@@ -1,0 +1,93 @@
+"""GQL vs CoreGQL consistency on their common fragment.
+
+For patterns without quantifiers the two semantics coincide on endpoints:
+the GQL engine's matched paths and the CoreGQL triple semantics must
+produce the same (src, tgt) relation.  (Quantifiers are exactly where the
+two diverge — Examples 1-2 — so they are excluded by construction.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coregql.parser import parse_coregql_pattern
+from repro.coregql.semantics import pattern_triples
+from repro.gql.semantics import match_gql_pattern
+from repro.graph.property_graph import PropertyGraph
+
+
+@st.composite
+def quantifier_free_patterns(draw):
+    """ASCII patterns: sequences of (var?:label?) nodes and -[var?:label?]->
+    edges, starting and ending with a node."""
+    hops = draw(st.integers(0, 2))
+    variables = iter("xyzuvw")
+
+    def node():
+        named = draw(st.booleans())
+        labeled = draw(st.booleans())
+        var = next(variables) if named else ""
+        label = f":{draw(st.sampled_from(['A', 'B']))}" if labeled else ""
+        return f"({var}{label})"
+
+    def edge():
+        labeled = draw(st.booleans())
+        label = f":{draw(st.sampled_from(['a', 'b']))}" if labeled else ""
+        return f"-[{label}]->" if label or draw(st.booleans()) else "->"
+
+    parts = [node()]
+    for _ in range(hops):
+        parts.append(edge())
+        parts.append(node())
+    return " ".join(parts)
+
+
+@st.composite
+def labeled_graphs(draw):
+    num_nodes = draw(st.integers(1, 3))
+    graph = PropertyGraph()
+    for index in range(num_nodes):
+        graph.add_node(f"n{index}", label=draw(st.sampled_from("AB")))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from("ab"),
+            ),
+            max_size=4,
+        )
+    )
+    for number, (src, tgt, label) in enumerate(edges):
+        graph.add_edge(f"e{number}", f"n{src}", f"n{tgt}", label)
+    return graph
+
+
+class TestCommonFragment:
+    @given(quantifier_free_patterns(), labeled_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_endpoint_relations_agree(self, pattern_text, graph):
+        gql_endpoints = {
+            (match.path.src, match.path.tgt)
+            for match in match_gql_pattern(pattern_text, graph)
+        }
+        core_pattern = parse_coregql_pattern(pattern_text)
+        core_endpoints = {
+            (src, tgt) for src, tgt, _mu in pattern_triples(core_pattern, graph)
+        }
+        assert gql_endpoints == core_endpoints
+
+    @given(labeled_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_where_clause_agrees_on_label_conditions(self, graph):
+        """A label written inline and a label tested via lambda agree."""
+        inline = {
+            (m.path.src, m.path.tgt)
+            for m in match_gql_pattern("(x:A)-[:a]->(y)", graph)
+        }
+        core = {
+            (src, tgt)
+            for src, tgt, _mu in pattern_triples(
+                parse_coregql_pattern("(x:A)-[:a]->(y)"), graph
+            )
+        }
+        assert inline == core

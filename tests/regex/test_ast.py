@@ -1,0 +1,148 @@
+"""Tests for regex AST smart constructors and structural queries."""
+
+import pytest
+
+from repro.regex.ast import (
+    ANY,
+    Concat,
+    Empty,
+    Epsilon,
+    NotSymbols,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    has_wildcard,
+    iter_subexpressions,
+    map_symbols,
+    nullable,
+    optional,
+    plus,
+    regex_size,
+    repeat,
+    star,
+    symbols,
+    to_string,
+    union,
+)
+
+A, B, C = Symbol("a"), Symbol("b"), Symbol("c")
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        assert concat(concat(A, B), C) == Concat((A, B, C))
+
+    def test_concat_unit_epsilon(self):
+        assert concat(A, Epsilon(), B) == Concat((A, B))
+        assert concat(Epsilon(), Epsilon()) == Epsilon()
+        assert concat(A) == A
+        assert concat() == Epsilon()
+
+    def test_concat_absorbs_empty(self):
+        assert concat(A, Empty(), B) == Empty()
+
+    def test_union_flattens_and_dedupes(self):
+        assert union(union(A, B), A, C) == Union((A, B, C))
+        assert union(A, A) == A
+
+    def test_union_unit_empty(self):
+        assert union(A, Empty()) == A
+        assert union(Empty(), Empty()) == Empty()
+        assert union() == Empty()
+
+    def test_star_collapses(self):
+        assert star(star(A)) == Star(A)
+        assert star(Epsilon()) == Epsilon()
+        assert star(Empty()) == Epsilon()
+
+    def test_plus_and_optional_desugar(self):
+        assert plus(A) == Concat((A, Star(A)))
+        assert optional(A) == Union((A, Epsilon()))
+
+    def test_repeat_exact(self):
+        assert repeat(A, 2, 2) == Concat((A, A))
+        assert repeat(A, 0, 0) == Epsilon()
+
+    def test_repeat_range_language(self):
+        from repro.regex.derivatives import derivative_matches
+
+        r = repeat(A, 1, 3)
+        for n in range(6):
+            assert derivative_matches(r, ["a"] * n) == (1 <= n <= 3)
+
+    def test_repeat_unbounded(self):
+        from repro.regex.derivatives import derivative_matches
+
+        r = repeat(A, 2, None)
+        for n in range(6):
+            assert derivative_matches(r, ["a"] * n) == (n >= 2)
+
+    def test_repeat_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            repeat(A, 3, 2)
+        with pytest.raises(ValueError):
+            repeat(A, -1, 2)
+
+    def test_operator_sugar(self):
+        assert (A | B) == Union((A, B))
+        assert (A >> B) == Concat((A, B))
+
+
+class TestStructuralQueries:
+    def test_nullable(self):
+        assert nullable(Epsilon())
+        assert nullable(Star(A))
+        assert not nullable(A)
+        assert not nullable(Empty())
+        assert not nullable(ANY)
+        assert nullable(union(A, Epsilon()))
+        assert not nullable(concat(Star(A), B))
+        assert nullable(concat(Star(A), Star(B)))
+
+    def test_symbols(self):
+        r = concat(A, union(B, NotSymbols(frozenset({"c", "d"}))), star(A))
+        assert symbols(r) == {"a", "b", "c", "d"}
+
+    def test_has_wildcard(self):
+        assert has_wildcard(ANY)
+        assert has_wildcard(star(concat(A, ANY)))
+        assert not has_wildcard(concat(A, B))
+
+    def test_regex_size(self):
+        assert regex_size(A) == 1
+        assert regex_size(concat(A, B)) == 3
+        assert regex_size(star(union(A, B))) == 4
+
+    def test_map_symbols(self):
+        r = concat(A, star(B))
+        upper = map_symbols(r, str.upper)
+        assert upper == concat(Symbol("A"), star(Symbol("B")))
+
+    def test_iter_subexpressions(self):
+        r = star(concat(A, B))
+        subs = list(iter_subexpressions(r))
+        assert r in subs and A in subs and B in subs and concat(A, B) in subs
+
+
+class TestToString:
+    def test_atoms(self):
+        assert to_string(A) == "a"
+        assert to_string(Epsilon()) == "ε"
+        assert to_string(Empty()) == "∅"
+        assert to_string(ANY) == "_"
+        assert to_string(NotSymbols(frozenset({"b", "a"}))) == "!{a,b}"
+
+    def test_precedence(self):
+        assert to_string(union(concat(A, B), C)) == "a.b + c"
+        assert to_string(concat(union(A, B), C)) == "(a + b).c"
+        assert to_string(star(union(A, B))) == "(a + b)*"
+        assert to_string(star(A)) == "a*"
+        assert to_string(Star(Star(A))) == "(a*)*"
+
+    def test_round_trip_through_parser(self):
+        from repro.regex.parser import parse_regex
+
+        for text in ["a.b + c", "(a + b).c", "(a + b)*", "a*", "!{a,b}.c"]:
+            r = parse_regex(text)
+            assert parse_regex(to_string(r)) == r

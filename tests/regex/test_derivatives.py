@@ -1,0 +1,49 @@
+"""Tests for Brzozowski-derivative matching."""
+
+from repro.regex.ast import ANY, Empty, Epsilon, NotSymbols, Symbol, concat, star, union
+from repro.regex.derivatives import derivative, derivative_matches
+from repro.regex.parser import parse_regex
+
+A, B = Symbol("a"), Symbol("b")
+
+
+class TestDerivative:
+    def test_symbol(self):
+        assert derivative(A, "a") == Epsilon()
+        assert derivative(A, "b") == Empty()
+
+    def test_wildcards(self):
+        assert derivative(ANY, "anything") == Epsilon()
+        not_a = NotSymbols(frozenset({"a"}))
+        assert derivative(not_a, "a") == Empty()
+        assert derivative(not_a, "b") == Epsilon()
+
+    def test_epsilon_and_empty(self):
+        assert derivative(Epsilon(), "a") == Empty()
+        assert derivative(Empty(), "a") == Empty()
+
+    def test_concat_with_nullable_head(self):
+        r = concat(star(A), B)
+        assert derivative_matches(r, ["b"])
+        assert derivative_matches(r, ["a", "a", "b"])
+        assert not derivative_matches(r, ["a"])
+
+
+class TestMatching:
+    def test_basic(self):
+        r = parse_regex("a.b*")
+        assert derivative_matches(r, ["a"])
+        assert derivative_matches(r, ["a", "b", "b"])
+        assert not derivative_matches(r, ["b"])
+        assert not derivative_matches(r, [])
+
+    def test_even_length_language(self):
+        r = parse_regex("(l.l)*")
+        for n in range(8):
+            assert derivative_matches(r, ["l"] * n) == (n % 2 == 0)
+
+    def test_union(self):
+        r = union(concat(A, B), concat(B, A))
+        assert derivative_matches(r, ["a", "b"])
+        assert derivative_matches(r, ["b", "a"])
+        assert not derivative_matches(r, ["a", "a"])

@@ -1,0 +1,101 @@
+"""Tests for the RPQ regex parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    ANY,
+    Epsilon,
+    NotSymbols,
+    Star,
+    Symbol,
+    concat,
+    optional,
+    plus,
+    star,
+    union,
+)
+from repro.regex.parser import parse_regex
+
+A, B = Symbol("a"), Symbol("b")
+
+
+class TestAtoms:
+    def test_label(self):
+        assert parse_regex("Transfer") == Symbol("Transfer")
+
+    def test_quoted_label(self):
+        assert parse_regex("'has friend'") == Symbol("has friend")
+        assert parse_regex(r"'it\'s'") == Symbol("it's")
+
+    def test_epsilon(self):
+        assert parse_regex("ε") == Epsilon()
+        assert parse_regex("<eps>") == Epsilon()
+
+    def test_wildcards(self):
+        assert parse_regex("_") == ANY
+        assert parse_regex("!{a}") == NotSymbols(frozenset({"a"}))
+        assert parse_regex("!{a, b}") == NotSymbols(frozenset({"a", "b"}))
+
+    def test_grouping(self):
+        assert parse_regex("(a)") == A
+        assert parse_regex("((a))") == A
+
+
+class TestOperators:
+    def test_union(self):
+        assert parse_regex("a + b") == union(A, B)
+        assert parse_regex("a | b") == union(A, B)
+
+    def test_concat_dot_and_juxtaposition(self):
+        assert parse_regex("a.b") == concat(A, B)
+        assert parse_regex("a b") == concat(A, B)
+        assert parse_regex("a . b . a") == concat(A, B, A)
+
+    def test_star(self):
+        assert parse_regex("a*") == star(A)
+        assert parse_regex("Transfer*") == star(Symbol("Transfer"))
+
+    def test_optional(self):
+        assert parse_regex("a?") == optional(A)
+        assert parse_regex("Transfer.Transfer?") == concat(
+            Symbol("Transfer"), optional(Symbol("Transfer"))
+        )
+
+    def test_postfix_plus_vs_union(self):
+        # '+' followed by an atom is union; otherwise Kleene plus.
+        assert parse_regex("a+b") == union(A, B)
+        assert parse_regex("a+") == plus(A)
+        assert parse_regex("(a.b)+") == plus(concat(A, B))
+        assert parse_regex("(a+)+b") == union(plus(A), B)
+
+    def test_repeat(self):
+        assert parse_regex("a{2}") == concat(A, A)
+        assert parse_regex("a{0,1}") == optional(A)
+        two_to_three = parse_regex("a{2,3}")
+        from repro.regex.derivatives import derivative_matches
+
+        for n in range(6):
+            assert derivative_matches(two_to_three, ["a"] * n) == (2 <= n <= 3)
+        assert parse_regex("a{2,}") == concat(A, A, star(A))
+
+    def test_nested_stars(self):
+        # Smart constructors collapse (a*)* already at parse time.
+        assert parse_regex("(((a*)*)*)*") == star(A)
+
+    def test_paper_examples(self):
+        assert parse_regex("(l.l)*") == star(concat(Symbol("l"), Symbol("l")))
+        assert parse_regex("(l l)*") == star(concat(Symbol("l"), Symbol("l")))
+        assert parse_regex("(Transfer Transfer?)") == concat(
+            Symbol("Transfer"), optional(Symbol("Transfer"))
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "(a", "a)", "+a", "*", "!{}", "!{a", "!{a;b}", "a @ b", "a{3,2}", ".a"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_regex(text)

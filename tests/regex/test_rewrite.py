@@ -1,0 +1,86 @@
+"""Tests for automata-compatible regex rewriting (Section 6.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    optional,
+    regex_size,
+    star,
+    union,
+)
+from repro.regex.derivatives import derivative_matches
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+
+A, B = Symbol("a"), Symbol("b")
+
+
+class TestHeadlineRewrite:
+    def test_nested_stars_collapse_to_star(self):
+        """Section 6.1: (((a*)*)*)* can be rewritten to a*."""
+        nested = Star(Star(Star(Star(A))))  # bypass smart constructors
+        assert simplify(nested) == star(A)
+
+    def test_star_of_optional(self):
+        assert simplify(star(optional(A))) == star(A)
+
+    def test_star_of_union_with_star_branch(self):
+        assert simplify(star(union(Star(A), B))) == star(union(A, B))
+
+    def test_union_absorption(self):
+        assert simplify(union(A, star(A))) == star(A)
+        assert simplify(union(Epsilon(), star(A))) == star(A)
+
+    def test_adjacent_equal_stars(self):
+        assert simplify(Concat((Star(A), Star(A)))) == star(A)
+
+    def test_star_of_nullable_concat(self):
+        # (a? . b?)* = (a + b)*
+        assert simplify(star(concat(optional(A), optional(B)))) == star(union(A, B))
+
+    def test_already_simple_is_fixed(self):
+        for text in ["a", "a*", "a.b", "a + b", "(a.b)*"]:
+            r = parse_regex(text)
+            assert simplify(r) == r
+
+
+# A strategy for random small regexes over {a, b}.
+def regexes(max_depth: int = 4) -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children: st.SearchStrategy[Regex]) -> st.SearchStrategy[Regex]:
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestLanguagePreservation:
+    @given(regexes(), st.lists(st.sampled_from("ab"), max_size=6))
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_preserves_language(self, regex, word):
+        assert derivative_matches(regex, word) == derivative_matches(
+            simplify(regex), word
+        )
+
+    @given(regexes())
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_never_grows(self, regex):
+        assert regex_size(simplify(regex)) <= regex_size(regex)
+
+    @given(regexes())
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_is_idempotent(self, regex):
+        once = simplify(regex)
+        assert simplify(once) == once

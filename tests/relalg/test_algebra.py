@@ -1,0 +1,93 @@
+"""Tests for the relational algebra expression language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relalg.algebra import (
+    And,
+    AttrCompare,
+    AttrConst,
+    Difference,
+    Join,
+    Not,
+    Or,
+    Projection,
+    RelRef,
+    Rename,
+    Selection,
+    UnionExpr,
+    evaluate_algebra,
+)
+from repro.relalg.relation import Relation
+
+
+def catalog():
+    return {
+        "R": Relation(("a", "b"), [(1, 2), (2, 2), (3, 1)]),
+        "S": Relation(("b", "c"), [(2, "x"), (1, "y")]),
+    }
+
+
+class TestEvaluation:
+    def test_ref(self):
+        assert evaluate_algebra(RelRef("R"), catalog()) == catalog()["R"]
+
+    def test_unknown_ref(self):
+        with pytest.raises(QueryError):
+            evaluate_algebra(RelRef("zzz"), catalog())
+
+    def test_projection(self):
+        r = evaluate_algebra(Projection(RelRef("R"), ("b",)), catalog())
+        assert r == Relation(("b",), [(2,), (1,)])
+
+    def test_selection_with_conditions(self):
+        expr = Selection(RelRef("R"), AttrCompare("a", "=", "b"))
+        assert evaluate_algebra(expr, catalog()) == Relation(("a", "b"), [(2, 2)])
+        expr2 = Selection(RelRef("R"), AttrConst("a", ">", 1))
+        assert len(evaluate_algebra(expr2, catalog())) == 2
+
+    def test_boolean_conditions(self):
+        cond = Or(
+            And(AttrConst("a", "=", 1), AttrConst("b", "=", 2)),
+            Not(AttrConst("a", "<", 3)),
+        )
+        r = evaluate_algebra(Selection(RelRef("R"), cond), catalog())
+        assert r == Relation(("a", "b"), [(1, 2), (3, 1)])
+
+    def test_join(self):
+        r = evaluate_algebra(Join(RelRef("R"), RelRef("S")), catalog())
+        assert ("1", "2", "x") not in r  # values, not strings
+        assert (1, 2, "x") in r
+        assert (3, 1, "y") in r
+
+    def test_union_difference(self):
+        r1 = Relation(("a",), [(1,), (2,)])
+        r2 = Relation(("a",), [(2,)])
+        cat = {"A": r1, "B": r2}
+        assert evaluate_algebra(UnionExpr(RelRef("A"), RelRef("B")), cat) == r1
+        assert evaluate_algebra(
+            Difference(RelRef("A"), RelRef("B")), cat
+        ) == Relation(("a",), [(1,)])
+
+    def test_rename(self):
+        expr = Rename(RelRef("R"), (("a", "x"),))
+        assert evaluate_algebra(expr, catalog()).attributes == ("x", "b")
+
+    def test_fluent_builders(self):
+        expr = RelRef("R").where(AttrConst("b", "=", 2)).project("a")
+        assert evaluate_algebra(expr, catalog()) == Relation(("a",), [(1,), (2,)])
+
+    def test_condition_sugar(self):
+        cond = AttrConst("a", "=", 1) | ~AttrConst("b", "=", 2)
+        r = evaluate_algebra(Selection(RelRef("R"), cond), catalog())
+        assert len(r) == 2
+
+    def test_inline_relation(self):
+        r = Relation(("a",), [(9,)])
+        assert evaluate_algebra(r, {}) == r
+
+    def test_missing_attribute_in_condition(self):
+        with pytest.raises(QueryError):
+            evaluate_algebra(
+                Selection(RelRef("R"), AttrConst("zzz", "=", 1)), catalog()
+            )

@@ -1,0 +1,98 @@
+"""Tests for first-normal-form relations."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relalg.relation import Relation
+
+
+def people():
+    return Relation(
+        ("name", "city"),
+        [("ada", "london"), ("alan", "london"), ("kurt", "vienna")],
+    )
+
+
+def ages():
+    return Relation(("name", "age"), [("ada", 36), ("alan", 41)])
+
+
+class TestBasics:
+    def test_set_semantics(self):
+        r = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(QueryError):
+            Relation(("a", "a"), [])
+
+    def test_bad_row_width(self):
+        with pytest.raises(QueryError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_contains_and_iter(self):
+        r = people()
+        assert ("ada", "london") in r
+        assert len(list(r)) == 3
+
+    def test_equality_modulo_attribute_order(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "a"), [(2, 1)])
+        assert left == right
+        assert left != Relation(("a", "c"), [(1, 2)])
+
+    def test_column(self):
+        assert people().column("city") == {"london", "vienna"}
+        with pytest.raises(QueryError):
+            people().column("zzz")
+
+    def test_as_dicts(self):
+        rows = ages().as_dicts()
+        assert {"name": "ada", "age": 36} in rows
+
+    def test_from_dicts_and_empty(self):
+        r = Relation.from_dicts(("a", "b"), [{"a": 1, "b": 2}])
+        assert (1, 2) in r
+        assert len(Relation.empty(("a",))) == 0
+
+
+class TestAlgebra:
+    def test_project_collapses_duplicates(self):
+        assert people().project(("city",)) == Relation(
+            ("city",), [("london",), ("vienna",)]
+        )
+
+    def test_select(self):
+        r = people().select(lambda row: row["city"] == "london")
+        assert len(r) == 2
+
+    def test_rename(self):
+        r = people().rename({"name": "person"})
+        assert r.attributes == ("person", "city")
+
+    def test_natural_join_on_shared(self):
+        joined = people().natural_join(ages())
+        assert joined.attributes == ("name", "city", "age")
+        assert ("ada", "london", 36) in joined
+        assert len(joined) == 2  # kurt has no age
+
+    def test_join_without_shared_is_product(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(3,)])
+        assert len(left.natural_join(right)) == 2
+
+    def test_union_difference_intersection(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (3,)])
+        assert left.union(right) == Relation(("a",), [(1,), (2,), (3,)])
+        assert left.difference(right) == Relation(("a",), [(1,)])
+        assert left.intersection(right) == Relation(("a",), [(2,)])
+
+    def test_union_reorders_attributes(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "a"), [(4, 3)])
+        assert left.union(right) == Relation(("a", "b"), [(1, 2), (3, 4)])
+
+    def test_incompatible_schemas(self):
+        with pytest.raises(QueryError):
+            Relation(("a",), []).union(Relation(("b",), []))

@@ -1,0 +1,81 @@
+"""Tests for the bag-semantics counting of Section 6.1."""
+
+from repro.graph.generators import clique, label_path, parallel_chain
+from repro.regex.parser import parse_regex
+from repro.regex.rewrite import simplify
+from repro.rpq.bag_semantics import bag_count, bag_count_all_pairs, total_bag_answers
+from repro.rpq.evaluation import evaluate_rpq
+
+
+class TestBaseCases:
+    def test_epsilon(self):
+        g = label_path(1)
+        assert bag_count("ε", g, "v0", "v0") == 1
+        assert bag_count("ε", g, "v0", "v1") == 0
+
+    def test_single_label_counts_edges(self):
+        g = parallel_chain(1, width=3)
+        assert bag_count("a", g, "v0", "v1") == 3
+
+    def test_concat_sums_over_midpoints(self):
+        g = parallel_chain(2, width=2)
+        assert bag_count("a.a", g, "v0", "v2") == 4
+
+    def test_union_adds(self):
+        g = parallel_chain(1, width=2)
+        assert bag_count("a + a", g, "v0", "v1") == 4
+
+    def test_wildcard(self, fig2):
+        assert bag_count("!{Transfer}", fig2, "a3", "a2") == 0
+        assert bag_count("_", fig2, "a3", "a2") == 2  # t2 and t5
+
+
+class TestStar:
+    def test_star_counts_simple_sequences(self):
+        g = label_path(2)
+        # v0->v2: one way (two single steps); star over 'a'
+        assert bag_count("a*", g, "v0", "v2") == 1
+        assert bag_count("a*", g, "v0", "v0") == 1  # empty only
+
+    def test_star_on_parallel_edges(self):
+        g = parallel_chain(2, width=2)
+        # each of two stages picks one of 2 edges: 4 ways
+        assert bag_count("a*", g, "v0", "v2") == 4
+
+    def test_nested_star_multiplicities_grow(self):
+        """The heart of Section 6.1: nesting stars multiplies counts even
+        though the *language* is unchanged."""
+        g = clique(4, loops=False)
+        flat = bag_count("a*", g, "v0", "v1")
+        nested2 = bag_count("(a*)*", g, "v0", "v1")
+        nested3 = bag_count("((a*)*)*", g, "v0", "v1")
+        assert flat < nested2 < nested3
+
+    def test_six_clique_blowup_shape(self):
+        """(((a*)*)*)* on the 6-clique: more answers than protons (~1e80)."""
+        g = clique(6, loops=False)
+        total = total_bag_answers("(((a*)*)*)*", g)
+        assert total > 10**80
+
+    def test_set_semantics_is_tiny_in_contrast(self):
+        g = clique(6, loops=False)
+        assert len(evaluate_rpq("(((a*)*)*)*", g)) == 36
+
+    def test_rewriting_defuses_the_bomb(self):
+        """Section 6.1/6.2: rewriting (((a*)*)*)* to a* before evaluation
+        makes bag counts modest again."""
+        g = clique(4, loops=False)
+        rewritten = simplify(parse_regex("(((a*)*)*)*"))
+        assert rewritten == parse_regex("a*")
+        assert bag_count(rewritten, g, "v0", "v1") == bag_count("a*", g, "v0", "v1")
+
+
+class TestAllPairs:
+    def test_all_pairs_consistent_with_single(self, fig2):
+        counts = bag_count_all_pairs("Transfer", fig2)
+        assert counts[("a3", "a2")] == 2
+        assert ("a1", "a2") not in counts  # zero counts omitted
+
+    def test_total(self):
+        g = parallel_chain(1, width=2)
+        assert total_bag_answers("a", g) == 2

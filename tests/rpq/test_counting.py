@@ -1,0 +1,60 @@
+"""Tests for unambiguous-automaton path counting (Section 6.2)."""
+
+import pytest
+
+from repro.graph.generators import diamond_chain, label_cycle, label_path, parallel_chain
+from repro.rpq.counting import count_matching_paths
+from repro.rpq.path_modes import matching_paths
+
+
+class TestCounting:
+    def test_diamond_explosion(self):
+        """Figure 5: 2^n paths from s to t."""
+        for n in (2, 4, 6, 10):
+            g = diamond_chain(n)
+            assert count_matching_paths("a*", g, "j0", f"j{n}", length=2 * n) == 2**n
+
+    def test_large_diamond_bigint(self):
+        g = diamond_chain(64)
+        assert count_matching_paths("a*", g, "j0", "j64", length=128) == 2**64
+
+    def test_parallel_edges_counted_separately(self):
+        g = parallel_chain(3, width=2)
+        assert count_matching_paths("a*", g, "v0", "v3", length=3) == 8
+
+    def test_ambiguous_expression_counts_paths_not_runs(self):
+        """a*.a* is ambiguous but each graph path must be counted once."""
+        g = label_path(4)
+        for n in range(5):
+            assert count_matching_paths("a*.a*", g, "v0", f"v{n}", length=n) == 1
+
+    def test_max_length_accumulates(self):
+        g = label_cycle(3)
+        # paths v0 -> v0 of length 0, 3, 6 exist
+        assert count_matching_paths("a*", g, "v0", "v0", max_length=7) == 3
+
+    def test_zero_length(self):
+        g = label_path(2)
+        assert count_matching_paths("a*", g, "v0", "v0", length=0) == 1
+        assert count_matching_paths("a.a*", g, "v0", "v0", length=0) == 0
+
+    def test_counts_match_enumeration(self, fig2):
+        for length in range(5):
+            count = count_matching_paths("Transfer*", fig2, "a3", "a5", length=length)
+            enumerated = [
+                p
+                for p in matching_paths(
+                    "Transfer*", fig2, "a3", "a5", mode="all", limit=10_000
+                )
+                if len(p) == length
+            ]
+            assert count == len(enumerated)
+
+    def test_argument_validation(self, fig2):
+        with pytest.raises(ValueError):
+            count_matching_paths("Transfer", fig2, "a1", "a2")
+        with pytest.raises(ValueError):
+            count_matching_paths("Transfer", fig2, "a1", "a2", length=1, max_length=2)
+
+    def test_unknown_nodes(self, fig2):
+        assert count_matching_paths("Transfer", fig2, "zz", "a2", length=1) == 0

@@ -1,0 +1,141 @@
+"""Tests for RPQ evaluation via the product construction (Example 12, Sec 6.2)."""
+
+from repro.graph.datasets import ACCOUNTS
+from repro.graph.generators import label_cycle, label_path, random_graph
+from repro.rpq.evaluation import evaluate_rpq, reachable_by_rpq, rpq_holds
+from repro.rpq.product_graph import build_product
+from repro.rpq.evaluation import compile_for_graph
+
+
+class TestExample12:
+    def test_transfer_star_is_all_pairs(self, fig2):
+        """Example 12: Transfer* returns all pairs of the 6 accounts."""
+        result = evaluate_rpq("Transfer*", fig2, sources=ACCOUNTS)
+        account_pairs = {(u, v) for u in ACCOUNTS for v in ACCOUNTS}
+        assert account_pairs <= result
+
+    def test_transfer_star_includes_reflexive_pairs_everywhere(self, fig2):
+        """R* always relates every node to itself (epsilon path)."""
+        result = evaluate_rpq("Transfer*", fig2)
+        for node in fig2.iter_nodes():
+            assert (node, node) in result
+
+    def test_single_label(self, fig2):
+        result = evaluate_rpq("Transfer", fig2)
+        expected = {
+            (fig2.src(t), fig2.tgt(t))
+            for t in fig2.iter_edges()
+            if fig2.label(t) == "Transfer"
+        }
+        assert result == expected
+
+    def test_owner_edges(self, fig2):
+        assert ("a1", "Megan") in evaluate_rpq("owner", fig2)
+        assert ("a3", "Mike") in evaluate_rpq("owner", fig2)
+
+
+class TestBasicEvaluation:
+    def test_path_graph(self):
+        g = label_path(3)
+        assert evaluate_rpq("a.a", g) == {("v0", "v2"), ("v1", "v3")}
+
+    def test_even_length(self):
+        g = label_path(4)
+        result = evaluate_rpq("(a.a)*", g)
+        assert ("v0", "v2") in result and ("v0", "v4") in result
+        assert ("v0", "v1") not in result
+        assert ("v0", "v0") in result
+
+    def test_cycle_star(self):
+        g = label_cycle(3)
+        result = evaluate_rpq("a*", g)
+        assert len(result) == 9  # all pairs, strongly connected
+
+    def test_union_and_wildcard(self, fig2):
+        result = evaluate_rpq("owner + isBlocked", fig2)
+        assert ("a3", "Mike") in result
+        assert ("a3", "no") in result
+        anything = evaluate_rpq("_", fig2)
+        assert ("a1", "a3") in anything  # the t1 edge, any label
+
+    def test_not_symbols_wildcard(self, fig2):
+        result = evaluate_rpq("!{Transfer}", fig2)
+        assert ("a1", "Megan") in result  # owner edge passes
+        assert ("a1", "a3") not in result  # only Transfer edges go there
+
+    def test_sources_restriction(self, fig2):
+        result = evaluate_rpq("Transfer", fig2, sources=["a3"])
+        assert result == {("a3", "a2"), ("a3", "a4"), ("a3", "a5")}
+
+    def test_unknown_source(self, fig2):
+        assert reachable_by_rpq("Transfer", fig2, "nope") == set()
+
+
+class TestRpqHolds:
+    def test_positive_and_negative(self, fig2):
+        assert rpq_holds("Transfer*", fig2, "a1", "a6")
+        assert rpq_holds("Transfer.Transfer", fig2, "a4", "a5")
+        assert not rpq_holds("owner", fig2, "a1", "Mike")
+        assert not rpq_holds("Transfer", fig2, "a1", "a2")
+
+    def test_epsilon_pair(self, fig2):
+        assert rpq_holds("Transfer*", fig2, "a1", "a1")
+        assert not rpq_holds("Transfer.Transfer*", fig2, "Megan", "Megan")
+
+    def test_unknown_nodes(self, fig2):
+        assert not rpq_holds("Transfer", fig2, "zz", "a1")
+        assert not rpq_holds("Transfer", fig2, "a1", "zz")
+
+    def test_agrees_with_evaluate(self, fig2):
+        pairs = evaluate_rpq("Transfer.Transfer?", fig2)
+        for u in ACCOUNTS:
+            for v in ACCOUNTS:
+                assert rpq_holds("Transfer.Transfer?", fig2, u, v) == (
+                    (u, v) in pairs
+                )
+
+
+class TestProductGraph:
+    def test_product_shape(self):
+        """Each product path projects to a graph path of the same length
+        that drives the automaton accordingly (Section 6.2)."""
+        g = label_path(3)
+        nfa = compile_for_graph("a.a*", g)
+        product = build_product(g, nfa, sources=["v0"])
+        assert all(isinstance(node, tuple) for node in product.graph.iter_nodes())
+        trimmed = product.trim()
+        assert trimmed.sources and trimmed.targets
+
+    def test_projection(self):
+        g = label_path(2)
+        nfa = compile_for_graph("a.a", g)
+        product = build_product(g, nfa, sources=["v0"], targets=["v2"]).trim()
+        # exactly one product path; its projection is the graph path
+        from repro.rpq.path_modes import matching_paths
+
+        paths = list(matching_paths("a.a", g, "v0", "v2", mode="all"))
+        assert len(paths) == 1
+        assert paths[0].objects == ("v0", "e0", "v1", "e1", "v2")
+
+    def test_accepting_cycle_detection(self):
+        cyc = label_cycle(3)
+        nfa = compile_for_graph("a*", cyc)
+        product = build_product(cyc, nfa, sources=["v0"], targets=["v0"])
+        assert product.has_accepting_cycle_path()
+        path = label_path(3)
+        nfa2 = compile_for_graph("a*", path)
+        product2 = build_product(path, nfa2, sources=["v0"], targets=["v3"])
+        assert not product2.has_accepting_cycle_path()
+
+    def test_random_graph_product_agrees_with_holds(self):
+        g = random_graph(8, 20, labels=("a", "b"), seed=3)
+        nfa = compile_for_graph("a.b*.a", g)
+        product = build_product(g, nfa).trim()
+        answer_pairs = {
+            (s[0], t[0]) for s in product.sources for t in product.targets
+        }
+        from repro.rpq.evaluation import rpq_holds
+
+        # product-based reachability must agree with the BFS evaluator
+        for u, v in answer_pairs & evaluate_rpq("a.b*.a", g):
+            assert rpq_holds("a.b*.a", g, u, v)

@@ -1,0 +1,82 @@
+"""Tests for two-way RPQs (Remark 9)."""
+
+from repro.graph.generators import label_path
+from repro.rpq.twoway import (
+    BACKWARD_MARKER,
+    Inverse,
+    completed_graph,
+    evaluate_two_way_rpq,
+    parse_two_way_regex,
+    project_walk_objects,
+    reachable_by_two_way_rpq,
+    two_way_rpq_holds,
+)
+from repro.regex.ast import Symbol, concat, star
+
+
+class TestParsing:
+    def test_inverse_atom(self):
+        assert parse_two_way_regex("~a") == Symbol(Inverse("a"))
+
+    def test_mixed(self):
+        assert parse_two_way_regex("a . ~a") == concat(
+            Symbol("a"), Symbol(Inverse("a"))
+        )
+
+    def test_star(self):
+        r = parse_two_way_regex("(a + ~a)*")
+        assert isinstance(r, type(star(Symbol("a"))))
+
+
+class TestCompletedGraph:
+    def test_twin_edges(self, fig2):
+        completed = completed_graph(fig2)
+        assert completed.num_edges == 2 * fig2.num_edges
+        assert completed.endpoints(("t1", BACKWARD_MARKER)) == ("a3", "a1")
+        assert completed.label(("t1", BACKWARD_MARKER)) == Inverse("Transfer")
+
+    def test_projection(self, fig2):
+        objects = ("a3", ("t1", BACKWARD_MARKER), "a1", "t1", "a3")
+        assert project_walk_objects(objects) == ("a3", "t1", "a1", "t1", "a3")
+
+
+class TestEvaluation:
+    def test_backward_single_step(self, fig2):
+        result = evaluate_two_way_rpq("~Transfer", fig2)
+        forward = {
+            (fig2.tgt(e), fig2.src(e))
+            for e in fig2.iter_edges()
+            if fig2.label(e) == "Transfer"
+        }
+        assert result == forward
+
+    def test_undirected_reachability(self):
+        # a one-way path graph is fully connected under (a + ~a)*
+        g = label_path(3)
+        result = evaluate_two_way_rpq("(a + ~a)*", g)
+        assert len(result) == 16
+
+    def test_owner_of_same_account(self, fig2):
+        """People owning an account that transferred to Mike's account:
+        ~owner . Transfer . owner-style navigation."""
+        result = evaluate_two_way_rpq("~owner . Transfer*. owner", fig2)
+        assert ("Megan", "Mike") in result  # a1 reaches a3
+
+    def test_holds_and_reachable(self, fig2):
+        assert two_way_rpq_holds("~Transfer", fig2, "a3", "a1")
+        assert not two_way_rpq_holds("Transfer", fig2, "a3", "a1")
+        assert "a1" in reachable_by_two_way_rpq("~Transfer", fig2, "a3")
+
+    def test_forward_fragment_agrees_with_one_way(self, fig2):
+        from repro.rpq.evaluation import evaluate_rpq
+
+        assert evaluate_two_way_rpq("Transfer.Transfer", fig2) == evaluate_rpq(
+            "Transfer.Transfer", fig2
+        )
+
+    def test_round_trip_walk(self):
+        """a . ~a relates src(e) to itself (and to sources of parallel
+        edges into the same target)."""
+        g = label_path(1)
+        result = evaluate_two_way_rpq("a . ~a", g)
+        assert result == {("v0", "v0")}

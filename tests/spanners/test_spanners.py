@@ -1,0 +1,112 @@
+"""Tests for document spanners."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.spanners.evaluate import (
+    count_mappings,
+    enumerate_mappings,
+    evaluate_spanner,
+)
+from repro.spanners.formulas import (
+    SpanCapture,
+    SpanChar,
+    SpanConcat,
+    SpanStar,
+    SpanUnion,
+    formula_variables,
+    parse_span_formula,
+)
+
+
+class TestParser:
+    def test_basic(self):
+        assert parse_span_formula("a") == SpanChar("a")
+        assert parse_span_formula("ab") == SpanConcat((SpanChar("a"), SpanChar("b")))
+        assert parse_span_formula("a + b") == SpanUnion(
+            (SpanChar("a"), SpanChar("b"))
+        )
+        assert parse_span_formula("a*") == SpanStar(SpanChar("a"))
+
+    def test_capture(self):
+        formula = parse_span_formula("x{ab}")
+        assert formula == SpanCapture(
+            "x", SpanConcat((SpanChar("a"), SpanChar("b")))
+        )
+        assert formula_variables(formula) == {"x"}
+
+    def test_nested(self):
+        formula = parse_span_formula("(x{a}a + ax{a})*")
+        assert isinstance(formula, SpanStar)
+        assert formula_variables(formula) == {"x"}
+
+    @pytest.mark.parametrize("text", ["", "x{a", "(a", "a)", "*", "a}", "a&b"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_span_formula(text)
+
+
+class TestEvaluation:
+    def test_boolean_match(self):
+        assert evaluate_spanner("ab", "ab") == {()}
+        assert evaluate_spanner("ab", "ba") == set()
+        assert evaluate_spanner("ε", "") == {()}
+        assert evaluate_spanner("a*", "aaa") == {()}
+
+    def test_single_capture(self):
+        mappings = evaluate_spanner("a x{b} c", "abc")
+        assert mappings == {(("x", ((1, 2),)),)}
+
+    def test_capture_alternatives(self):
+        mappings = evaluate_spanner("x{a}a + ax{a}", "aa")
+        assert mappings == {
+            (("x", ((0, 1),)),),
+            (("x", ((1, 2),)),),
+        }
+
+    def test_star_collects_spans(self):
+        mappings = evaluate_spanner("(x{a})*", "aaa")
+        assert mappings == {(("x", ((0, 1), (1, 2), (2, 3))),)}
+
+    def test_exponential_mappings(self):
+        """The [2] motivation: 2^n mappings over a single document."""
+        for n in (2, 4, 6):
+            document = "a" * (2 * n)
+            assert count_mappings("(x{a}a + ax{a})*", document) == 2**n
+
+    def test_star_skips_empty_segments(self):
+        """x{ε}* would otherwise be infinite (the string analogue of
+        capturing stay-cycles)."""
+        mappings = evaluate_spanner("(x{ε})*", "")
+        assert mappings == {()}
+
+    def test_two_variables(self):
+        mappings = evaluate_spanner("x{a*} y{b*}", "aab")
+        # the split point between the a-block and b-block can vary only
+        # where the letters allow
+        assert (("x", ((0, 2),)), ("y", ((2, 3),))) in mappings
+
+    def test_enumerate_deterministic(self):
+        first = list(enumerate_mappings("(x{a}a + ax{a})*", "aaaa"))
+        second = list(enumerate_mappings("(x{a}a + ax{a})*", "aaaa"))
+        assert first == second
+        assert len(first) == 4
+
+    def test_mirror_of_lrpq_on_path(self):
+        """The Section 3.1.4 connection: a spanner over a^n behaves like an
+        l-RPQ over the n-edge path graph."""
+        from repro.graph.generators import label_path
+        from repro.listvars.enumerate import evaluate_lrpq
+
+        n = 6
+        document = "a" * n
+        graph = label_path(n)
+        spanner_count = count_mappings("(x{a}a + ax{a})*", document)
+        lrpq_count = len(
+            list(
+                evaluate_lrpq(
+                    "(a.a^z + a^z.a)*", graph, "v0", f"v{n}", mode="all"
+                )
+            )
+        )
+        assert spanner_count == lrpq_count == 2 ** (n // 2)

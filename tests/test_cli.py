@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.serialize import dumps
+
+
+class TestCLI:
+    def test_rpq_fig2(self, capsys):
+        assert main(["rpq", "fig2", "Transfer", "--source", "a3"]) == 0
+        out = capsys.readouterr().out
+        assert "a3\ta5" in out
+
+    def test_crpq(self, capsys):
+        assert (
+            main(
+                [
+                    "crpq",
+                    "fig2",
+                    "q(x1,x2,x3) :- Transfer(x1,x2), Transfer(x1,x3), "
+                    "Transfer(x2,x3)",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "a3\ta2\ta4" in out
+
+    def test_paths(self, capsys):
+        assert (
+            main(["paths", "fig3", "Transfer+", "a3", "a5", "--mode", "shortest"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "a3 -> t7 -> a5" in out
+
+    def test_dlrpq(self, capsys):
+        assert (
+            main(
+                [
+                    "dlrpq",
+                    "fig3",
+                    "(_)[Transfer][amount < 4500000](_)",
+                    "a3",
+                    "a4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "t6" in out
+
+    def test_json_graph_file(self, tmp_path, capsys):
+        from repro.graph.generators import label_path
+
+        path = tmp_path / "graph.json"
+        path.write_text(dumps(label_path(2)))
+        assert main(["rpq", str(path), "a.a"]) == 0
+        out = capsys.readouterr().out
+        assert "v0\tv2" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 12" in out
+
+    def test_paths_limit(self, capsys):
+        assert (
+            main(
+                [
+                    "paths",
+                    "fig3",
+                    "Transfer*",
+                    "a3",
+                    "a3",
+                    "--mode",
+                    "all",
+                    "--limit",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("\n") == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate", "fig2"])
