@@ -1,0 +1,84 @@
+"""Execution-kernel benchmark: seed-style naive evaluation vs the shared kernel.
+
+The workload is the increasing-edges family: uniform random multigraphs over
+an 8-letter alphabet with a fixed node count and a doubling edge count, probed
+by single-source ``reachable_by_rpq``.  The naive path (``use_index=False``,
+the seed code kept as the differential oracle) re-parses and re-compiles the
+regex on every call and scans every edge of every node during the product BFS;
+the kernel path hits the warm compilation cache and the label index, so it
+touches only the matching label's bucket.  Per size we record median wall
+times, the speedup, and the kernel's EngineStats counters into
+``BENCH_engine.json`` via the ``engine_records`` fixture.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.engine.stats import EngineStats
+from repro.graph.generators import random_graph
+from repro.rpq.evaluation import reachable_by_rpq
+
+LABELS = tuple("abcdefgh")
+QUERY = "a.(b+c)*.d"
+NUM_NODES = 150
+REPEATS = 5
+SIZES = (800, 1600, 3200)
+
+_SPEEDUPS: dict[int, float] = {}
+
+
+def _median_seconds(func) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+@pytest.mark.parametrize("num_edges", SIZES)
+def test_kernel_vs_naive_increasing_edges(engine_records, num_edges):
+    graph = random_graph(NUM_NODES, num_edges, labels=LABELS, seed=11)
+    source = "v0"
+
+    oracle = reachable_by_rpq(QUERY, graph, source, use_index=False)
+    # Warm the compilation cache and the label index before timing the kernel.
+    assert reachable_by_rpq(QUERY, graph, source, use_index=True) == oracle
+
+    naive_s = _median_seconds(
+        lambda: reachable_by_rpq(QUERY, graph, source, use_index=False)
+    )
+    kernel_s = _median_seconds(
+        lambda: reachable_by_rpq(QUERY, graph, source, use_index=True)
+    )
+
+    stats = EngineStats()
+    assert reachable_by_rpq(QUERY, graph, source, stats=stats) == oracle
+
+    speedup = naive_s / kernel_s if kernel_s > 0 else float("inf")
+    _SPEEDUPS[num_edges] = speedup
+    engine_records.append(
+        {
+            "workload": "increasing_edges",
+            "query": QUERY,
+            "num_nodes": NUM_NODES,
+            "num_edges": num_edges,
+            "repeats": REPEATS,
+            "naive_median_s": naive_s,
+            "kernel_median_s": kernel_s,
+            "speedup": speedup,
+            "engine_stats": stats.as_dict(),
+        }
+    )
+
+
+def test_kernel_speedup_at_least_2x(engine_records):
+    """Acceptance gate: warm kernel beats the seed path by >= 2x at scale."""
+    assert SIZES[-1] in _SPEEDUPS, "size benchmarks must run first"
+    largest = _SPEEDUPS[max(_SPEEDUPS)]
+    engine_records.append(
+        {"workload": "speedup_gate", "largest_size_speedup": largest}
+    )
+    assert largest >= 2.0, f"expected >=2x speedup, got {largest:.2f}x"

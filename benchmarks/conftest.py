@@ -1,9 +1,20 @@
-"""Shared benchmark fixtures (paper graphs, scaled workloads)."""
+"""Shared benchmark fixtures (paper graphs, scaled workloads).
+
+Also collects execution-kernel measurements: any benchmark may append a
+JSON-ready dict to the ``engine_records`` fixture, and at session end the
+accumulated records are written to ``BENCH_engine.json`` at the repo root
+(median times plus EngineStats counters, so kernel regressions show up in
+the artifact, not just in wall-clock noise).
+"""
+
+import json
 
 import pytest
 
 from repro.graph.datasets import figure2_graph, figure3_graph
 from repro.graph.generators import random_graph, random_transfer_network
+
+_ENGINE_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +35,15 @@ def medium_graph():
 @pytest.fixture(scope="session")
 def transfer_net():
     return random_transfer_network(accounts=60, transfers=240, seed=7)
+
+
+@pytest.fixture(scope="session")
+def engine_records():
+    return _ENGINE_RECORDS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ENGINE_RECORDS:
+        return
+    path = session.config.rootpath / "BENCH_engine.json"
+    path.write_text(json.dumps(_ENGINE_RECORDS, indent=2, sort_keys=True) + "\n")

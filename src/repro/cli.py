@@ -35,15 +35,33 @@ def _load_graph(spec: str) -> EdgeLabeledGraph:
         return loads(handle.read())
 
 
+def _engine_options(args: argparse.Namespace):
+    """The (use_index, stats) pair the engine-backed commands share."""
+    from repro.engine.stats import EngineStats
+
+    use_index = not getattr(args, "no_index", False)
+    stats = EngineStats() if getattr(args, "stats", False) else None
+    return use_index, stats
+
+
+def _report_stats(stats) -> None:
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
+
+
 def _cmd_rpq(args: argparse.Namespace) -> int:
     from repro.rpq.evaluation import evaluate_rpq
 
     graph = _load_graph(args.graph)
     sources = [args.source] if args.source else None
-    pairs = evaluate_rpq(args.query, graph, sources=sources)
+    use_index, stats = _engine_options(args)
+    pairs = evaluate_rpq(
+        args.query, graph, sources=sources, use_index=use_index, stats=stats
+    )
     for source, target in sorted(pairs, key=repr):
         print(f"{source}\t{target}")
     print(f"# {len(pairs)} pairs", file=sys.stderr)
+    _report_stats(stats)
     return 0
 
 
@@ -51,10 +69,12 @@ def _cmd_crpq(args: argparse.Namespace) -> int:
     from repro.crpq.evaluation import evaluate_crpq
 
     graph = _load_graph(args.graph)
-    rows = evaluate_crpq(args.query, graph)
+    use_index, stats = _engine_options(args)
+    rows = evaluate_crpq(args.query, graph, use_index=use_index, stats=stats)
     for row in sorted(rows, key=repr):
         print("\t".join(str(value) for value in row))
     print(f"# {len(rows)} rows", file=sys.stderr)
+    _report_stats(stats)
     return 0
 
 
@@ -62,14 +82,16 @@ def _cmd_paths(args: argparse.Namespace) -> int:
     from repro.rpq.path_modes import matching_paths
 
     graph = _load_graph(args.graph)
+    use_index, stats = _engine_options(args)
     count = 0
     for path in matching_paths(
         args.query, graph, args.source, args.target, mode=args.mode,
-        limit=args.limit,
+        limit=args.limit, use_index=use_index, stats=stats,
     ):
         print(" -> ".join(str(obj) for obj in path.objects))
         count += 1
     print(f"# {count} paths ({args.mode})", file=sys.stderr)
+    _report_stats(stats)
     return 0
 
 
@@ -110,15 +132,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine counters/timers (cache hits, nodes expanded, "
+            "phase times) to stderr after the results",
+        )
+        subparser.add_argument(
+            "--no-index",
+            action="store_true",
+            help="bypass the label index and compilation cache (the naive "
+            "seed evaluator; the differential-testing oracle)",
+        )
+
     rpq = commands.add_parser("rpq", help="evaluate an RPQ ([[R]]_G pairs)")
     rpq.add_argument("graph", help="fig2, fig3, or a graph JSON file")
     rpq.add_argument("query", help="regular path query, e.g. 'Transfer*'")
     rpq.add_argument("--source", help="restrict to one source node")
+    add_engine_flags(rpq)
     rpq.set_defaults(handler=_cmd_rpq)
 
     crpq = commands.add_parser("crpq", help="evaluate a CRPQ (Datalog syntax)")
     crpq.add_argument("graph")
     crpq.add_argument("query", help="e.g. 'q(x,y) :- Transfer(x,y), owner(y,z)'")
+    add_engine_flags(crpq)
     crpq.set_defaults(handler=_cmd_crpq)
 
     paths = commands.add_parser("paths", help="enumerate matching paths")
@@ -130,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", default="shortest", choices=("all", "shortest", "simple", "trail")
     )
     paths.add_argument("--limit", type=int, default=None)
+    add_engine_flags(paths)
     paths.set_defaults(handler=_cmd_paths)
 
     dlrpq = commands.add_parser(

@@ -58,12 +58,18 @@ def pattern_paths(
     pattern: Pattern,
     graph: PropertyGraph,
     max_length: "int | None" = None,
+    *,
+    stats=None,
 ) -> set[tuple[Path, Binding]]:
-    """``[[pi]]_G`` as (path, binding) pairs; see module docstring."""
-    return _paths(pattern, graph, max_length)
+    """``[[pi]]_G`` as (path, binding) pairs; see module docstring.
+
+    ``stats`` (an :class:`~repro.engine.stats.EngineStats`) collects edge
+    scan counters when provided.
+    """
+    return _paths(pattern, graph, max_length, stats)
 
 
-def _paths(pattern, graph, bound) -> set[tuple[Path, Binding]]:
+def _paths(pattern, graph, bound, stats=None) -> set[tuple[Path, Binding]]:
     if isinstance(pattern, NodePattern):
         return {
             (
@@ -76,15 +82,16 @@ def _paths(pattern, graph, bound) -> set[tuple[Path, Binding]]:
         results = set()
         if bound is not None and bound < 1:
             return results
-        for edge in graph.iter_edges():
-            src, tgt = graph.endpoints(edge)
+        for edge, src, tgt, _label in graph.iter_edge_records():
             mu = _freeze({pattern.var: edge}) if pattern.var is not None else ()
             results.add((Path.of(graph, (src, edge, tgt)), mu))
+        if stats is not None:
+            stats.count("edges_scanned", graph.num_edges)
         return results
     if isinstance(pattern, PatternConcat):
-        current = _paths(pattern.parts[0], graph, bound)
+        current = _paths(pattern.parts[0], graph, bound, stats)
         for part in pattern.parts[1:]:
-            step = _paths(part, graph, bound)
+            step = _paths(part, graph, bound, stats)
             combined = set()
             for path1, mu1 in current:
                 for path2, mu2 in step:
@@ -100,22 +107,22 @@ def _paths(pattern, graph, bound) -> set[tuple[Path, Binding]]:
             current = combined
         return current
     if isinstance(pattern, PatternUnion):
-        return _paths(pattern.left, graph, bound) | _paths(
-            pattern.right, graph, bound
+        return _paths(pattern.left, graph, bound, stats) | _paths(
+            pattern.right, graph, bound, stats
         )
     if isinstance(pattern, PatternCondition):
         return {
             (path, mu)
-            for path, mu in _paths(pattern.inner, graph, bound)
+            for path, mu in _paths(pattern.inner, graph, bound, stats)
             if pattern.condition(graph, dict(mu))
         }
     if isinstance(pattern, PatternRepeat):
-        return _repeat_paths(pattern, graph, bound)
+        return _repeat_paths(pattern, graph, bound, stats)
     raise TypeError(f"not a CoreGQL pattern: {pattern!r}")
 
 
-def _repeat_paths(pattern: PatternRepeat, graph, bound):
-    inner = _paths(pattern.inner, graph, bound)
+def _repeat_paths(pattern: PatternRepeat, graph, bound, stats=None):
+    inner = _paths(pattern.inner, graph, bound, stats)
     inner_paths = {path for path, _mu in inner}  # bindings are erased
 
     # current = [[pi]]^j as a set of paths; j starts at 0 (trivial paths).
@@ -166,7 +173,7 @@ def _repeat_paths(pattern: PatternRepeat, graph, bound):
 # endpoint (triple) semantics
 # ----------------------------------------------------------------------
 def pattern_triples(
-    pattern: Pattern, graph: PropertyGraph
+    pattern: Pattern, graph: PropertyGraph, *, stats=None
 ) -> set[tuple]:
     """``{(src(p), tgt(p), mu) | (p, mu) in [[pi]]_G}`` — always finite."""
     if isinstance(pattern, NodePattern):
@@ -180,39 +187,45 @@ def pattern_triples(
         }
     if isinstance(pattern, EdgePattern):
         results = set()
-        for edge in graph.iter_edges():
-            src, tgt = graph.endpoints(edge)
+        for edge, src, tgt, _label in graph.iter_edge_records():
             mu = _freeze({pattern.var: edge}) if pattern.var is not None else ()
             results.add((src, tgt, mu))
+        if stats is not None:
+            stats.count("edges_scanned", graph.num_edges)
         return results
     if isinstance(pattern, PatternConcat):
-        current = pattern_triples(pattern.parts[0], graph)
+        current = pattern_triples(pattern.parts[0], graph, stats=stats)
         for part in pattern.parts[1:]:
-            step = pattern_triples(part, graph)
+            step = pattern_triples(part, graph, stats=stats)
             by_src: dict = {}
             for src, tgt, mu in step:
                 by_src.setdefault(src, []).append((tgt, mu))
             combined = set()
+            joined = 0
             for src1, tgt1, mu1 in current:
                 for tgt2, mu2 in by_src.get(tgt1, ()):
+                    joined += 1
                     merged = _compatible(mu1, mu2)
                     if merged is not None:
                         combined.add((src1, tgt2, merged))
+            if stats is not None:
+                stats.count("edges_relaxed", joined)
             current = combined
         return current
     if isinstance(pattern, PatternUnion):
-        return pattern_triples(pattern.left, graph) | pattern_triples(
-            pattern.right, graph
+        return pattern_triples(pattern.left, graph, stats=stats) | pattern_triples(
+            pattern.right, graph, stats=stats
         )
     if isinstance(pattern, PatternCondition):
         return {
             (src, tgt, mu)
-            for src, tgt, mu in pattern_triples(pattern.inner, graph)
+            for src, tgt, mu in pattern_triples(pattern.inner, graph, stats=stats)
             if pattern.condition(graph, dict(mu))
         }
     if isinstance(pattern, PatternRepeat):
         inner_pairs = {
-            (src, tgt) for src, tgt, _mu in pattern_triples(pattern.inner, graph)
+            (src, tgt)
+            for src, tgt, _mu in pattern_triples(pattern.inner, graph, stats=stats)
         }
         by_src: dict = {}
         for src, tgt in inner_pairs:

@@ -27,10 +27,23 @@ from repro.rpq.evaluation import compile_for_graph, evaluate_rpq, reachable_by_r
 
 
 class _AtomAccess:
-    """Memoized access paths for one evaluation run."""
+    """Memoized access paths for one evaluation run.
 
-    def __init__(self, graph: EdgeLabeledGraph):
+    With ``use_index=True`` compilation additionally goes through the
+    engine's process-wide LRU cache (keyed on the *alphabet*, so a graph
+    mutated between runs never resurrects a stale wildcard automaton) and
+    reachability runs on the label index.
+    """
+
+    def __init__(
+        self,
+        graph: EdgeLabeledGraph,
+        use_index: bool = True,
+        stats=None,
+    ):
         self.graph = graph
+        self.use_index = use_index
+        self.stats = stats
         self.reversed_graph = None
         self._forward: dict = {}
         self._backward: dict = {}
@@ -40,14 +53,20 @@ class _AtomAccess:
     def _nfa(self, regex, graph):
         key = (regex, id(graph))
         if key not in self._nfa_cache:
-            self._nfa_cache[key] = compile_for_graph(regex, graph)
+            self._nfa_cache[key] = compile_for_graph(
+                regex, graph, cached=self.use_index, stats=self.stats
+            )
         return self._nfa_cache[key]
 
     def forward(self, regex, source: ObjectId) -> set[ObjectId]:
         key = (regex, source)
         if key not in self._forward:
             self._forward[key] = reachable_by_rpq(
-                self._nfa(regex, self.graph), self.graph, source
+                self._nfa(regex, self.graph),
+                self.graph,
+                source,
+                use_index=self.use_index,
+                stats=self.stats,
             )
         return self._forward[key]
 
@@ -61,12 +80,16 @@ class _AtomAccess:
                 self._nfa(reversed_regex, self.reversed_graph),
                 self.reversed_graph,
                 target,
+                use_index=self.use_index,
+                stats=self.stats,
             )
         return self._backward[key]
 
     def full(self, regex) -> set[tuple[ObjectId, ObjectId]]:
         if regex not in self._full:
-            self._full[regex] = evaluate_rpq(regex, self.graph)
+            self._full[regex] = evaluate_rpq(
+                regex, self.graph, use_index=self.use_index, stats=self.stats
+            )
         return self._full[regex]
 
 
@@ -95,6 +118,9 @@ def evaluate_crpq_bindings(
     query: "CRPQ | str",
     graph: EdgeLabeledGraph,
     plan: "list[RPQAtom] | None" = None,
+    *,
+    use_index: bool = True,
+    stats=None,
 ) -> list[dict]:
     """All node homomorphisms from ``query`` to ``graph`` as variable->node
     dictionaries (before head projection).
@@ -108,7 +134,7 @@ def evaluate_crpq_bindings(
 
         query = parse_crpq(query)
     ordered = plan if plan is not None else greedy_plan(query, graph)
-    access = _AtomAccess(graph)
+    access = _AtomAccess(graph, use_index=use_index, stats=stats)
 
     bindings: list[dict] = [{}]
     for atom in ordered:
@@ -151,6 +177,9 @@ def evaluate_crpq(
     query: "CRPQ | str",
     graph: EdgeLabeledGraph,
     plan: "list[RPQAtom] | None" = None,
+    *,
+    use_index: bool = True,
+    stats=None,
 ) -> set[tuple]:
     """The output ``q(G)`` as a set of head-variable tuples.
 
@@ -163,6 +192,8 @@ def evaluate_crpq(
 
         query = parse_crpq(query)
     results: set[tuple] = set()
-    for binding in evaluate_crpq_bindings(query, graph, plan=plan):
+    for binding in evaluate_crpq_bindings(
+        query, graph, plan=plan, use_index=use_index, stats=stats
+    ):
         results.add(tuple(binding[var] for var in query.head))
     return results

@@ -1,0 +1,44 @@
+"""The shared query-execution kernel (index + cache + stats).
+
+One optimization layer under every language frontend in the library:
+
+* :mod:`repro.engine.index` — lazy, mutation-invalidated label-indexed
+  adjacency (``label -> (src -> edge ids)``) replacing linear edge scans;
+* :mod:`repro.engine.cache` — LRU compilation cache keyed on
+  ``(regex AST, alphabet)`` so repeated queries skip parsing and Glushkov;
+* :mod:`repro.engine.stats` — ``EngineStats`` counters/timers threaded
+  through the evaluators and surfaced via the CLI's ``--stats``;
+* :mod:`repro.engine.kernel` — the cached-compile + indexed-product-BFS
+  entry points the frontends delegate to.
+
+Every frontend keeps its original naive implementation behind
+``use_index=False``; the differential tests compare the two.
+"""
+
+from repro.engine.cache import (
+    DEFAULT_CACHE,
+    CompilationCache,
+    CompiledQuery,
+    alphabet_for,
+    compile_uncached,
+    default_cache,
+)
+from repro.engine.index import GraphIndex, get_index
+from repro.engine.kernel import compile_query, evaluate, holds, reachable
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "CompilationCache",
+    "CompiledQuery",
+    "DEFAULT_CACHE",
+    "EngineStats",
+    "GraphIndex",
+    "alphabet_for",
+    "compile_query",
+    "compile_uncached",
+    "default_cache",
+    "evaluate",
+    "get_index",
+    "holds",
+    "reachable",
+]

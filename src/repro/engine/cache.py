@@ -1,0 +1,194 @@
+"""LRU compilation caching for the regex -> NFA (-> DFA) pipeline.
+
+The seed evaluators re-parsed the query string and re-ran the Glushkov
+construction on *every* call — for a workload of millions of queries over a
+modest query log (Section 6.2's study found most RPQs are tiny and highly
+repetitive) that is almost pure waste.  This module adds two LRU caches:
+
+* a **parse cache**: query string -> regex AST;
+* a **compilation cache**: ``(regex AST, alphabet)`` -> :class:`CompiledQuery`
+  (trimmed Glushkov NFA plus a state-major transition map ready for product
+  BFS), with an optional DFA attached on demand.
+
+Keying on the *alphabet* and not just the expression is essential for
+Remark 11: a wildcard like ``_`` or ``!{a}`` is instantiated over the
+queried graph's label set, so the same expression compiled against two
+graphs with different labels yields **different** automata and must not
+collide in the cache (``tests/engine/test_cache.py`` locks this in).
+
+Regex ASTs are frozen dataclasses, hence hashable; the AST itself is the
+cache key (no fragile string hashing).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from repro.automata.glushkov import compile_regex
+from repro.automata.nfa import NFA, StateType, SymbolType
+from repro.regex.ast import Regex, symbols
+from repro.regex.parser import parse_regex
+
+
+class CompiledQuery:
+    """A compiled RPQ, ready for the kernel's product BFS.
+
+    ``delta`` is the NFA's transition function regrouped state-major:
+    ``state -> {symbol -> (successor states...)}`` — exactly the shape the
+    BFS consumes, so evaluators never rebuild per-call transition dicts.
+    """
+
+    __slots__ = ("regex", "alphabet", "nfa", "delta", "initial", "finals", "_dfa")
+
+    def __init__(self, regex: Regex, alphabet: frozenset[SymbolType], nfa: NFA):
+        self.regex = regex
+        self.alphabet = alphabet
+        self.nfa = nfa
+        delta: dict[StateType, dict[SymbolType, tuple[StateType, ...]]] = {}
+        for (source, symbol), targets in nfa._delta.items():
+            delta.setdefault(source, {})[symbol] = tuple(targets)
+        self.delta = delta
+        self.initial = nfa.initial
+        self.finals = nfa.finals
+        self._dfa = None
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "CompiledQuery":
+        """Wrap an already-built NFA (callers holding one skip compilation)."""
+        return cls(None, nfa.alphabet, nfa)
+
+    def dfa(self):
+        """The determinized automaton, built once on first request."""
+        if self._dfa is None:
+            from repro.automata.dfa import determinize
+
+            self._dfa = determinize(self.nfa, alphabet=self.alphabet)
+        return self._dfa
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledQuery states={self.nfa.num_states} alphabet={len(self.alphabet)}>"
+
+
+class CompilationCache:
+    """A bounded LRU cache of parsed and compiled queries.
+
+    Eviction is least-recently-*used*: both hits and inserts refresh an
+    entry's recency.  ``maxsize`` bounds the compiled-query map; the parse
+    cache shares the same bound (entries are tiny).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._compiled: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._parsed: OrderedDict[str, Regex] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.parse_hits = 0
+        self.parse_misses = 0
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    def parse(self, text: str, stats=None) -> Regex:
+        """Parse (or recall) a regex from source text."""
+        cached = self._parsed.get(text)
+        if cached is not None:
+            self._parsed.move_to_end(text)
+            self.parse_hits += 1
+            if stats is not None:
+                stats.count("parse_hits")
+            return cached
+        regex = parse_regex(text)
+        self.parse_misses += 1
+        if stats is not None:
+            stats.count("parse_misses")
+        self._parsed[text] = regex
+        if len(self._parsed) > self.maxsize:
+            self._parsed.popitem(last=False)
+        return regex
+
+    # ------------------------------------------------------------------
+    # compiling
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        query: "Regex | str",
+        alphabet: Iterable[SymbolType],
+        stats=None,
+    ) -> CompiledQuery:
+        """The compiled form of ``query`` over ``alphabet`` (cached).
+
+        ``alphabet`` must already include every symbol the automaton may
+        need (callers typically pass ``graph.labels | symbols(regex)``).
+        """
+        regex = self.parse(query, stats) if isinstance(query, str) else query
+        key = (regex, frozenset(alphabet))
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self._compiled.move_to_end(key)
+            self.hits += 1
+            if stats is not None:
+                stats.count("cache_hits")
+            return cached
+        compiled = CompiledQuery(regex, key[1], compile_regex(regex, alphabet=key[1]))
+        self.misses += 1
+        if stats is not None:
+            stats.count("cache_misses")
+        self._compiled[key] = compiled
+        if len(self._compiled) > self.maxsize:
+            self._compiled.popitem(last=False)
+            self.evictions += 1
+        return compiled
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def keys(self) -> list[tuple]:
+        """Cache keys in eviction order (least recently used first)."""
+        return list(self._compiled)
+
+    def info(self) -> dict:
+        """Hit/miss/eviction counters plus current sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "size": len(self._compiled),
+            "parse_size": len(self._parsed),
+            "maxsize": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept: they are monotone)."""
+        self._compiled.clear()
+        self._parsed.clear()
+
+
+#: The process-wide cache used by the evaluators unless one is injected.
+DEFAULT_CACHE = CompilationCache()
+
+
+def default_cache() -> CompilationCache:
+    """The process-wide compilation cache (mainly for tests and the CLI)."""
+    return DEFAULT_CACHE
+
+
+def compile_uncached(query: "Regex | str", alphabet: Iterable[SymbolType]) -> CompiledQuery:
+    """A fresh compilation bypassing every cache (the differential oracle)."""
+    regex = parse_regex(query) if isinstance(query, str) else query
+    sigma = frozenset(alphabet)
+    return CompiledQuery(regex, sigma, compile_regex(regex, alphabet=sigma))
+
+
+def alphabet_for(regex: Regex, graph) -> frozenset[SymbolType]:
+    """The Remark 11 alphabet: the graph's labels plus the query's symbols."""
+    return frozenset(graph.labels | symbols(regex))

@@ -1,0 +1,108 @@
+"""Per-graph label-indexed adjacency (the kernel's data layout).
+
+The product-graph BFS of Section 6.2 repeatedly asks one question: *"which
+edges leave node ``u`` with label ``a``?"*.  The seed evaluators answered it
+by scanning every outgoing edge of ``u`` and comparing labels — O(out-degree)
+per automaton transition, O(|E|) per BFS level on dense nodes.  The
+:class:`GraphIndex` answers it in one dict lookup:
+
+``label -> (src -> ((edge, tgt), ...))``
+
+plus a flat ``label -> ((edge, src, tgt), ...)`` listing for pattern
+evaluators (GQL edge patterns filter by label before anything else).
+
+Indexes are built **lazily** — the first kernel call on a graph pays the
+single O(|E|) build — and **invalidated on mutation** via the graph's
+monotone ``version`` counter (every ``add_node``/``add_edge``/property
+mutation bumps it).  :func:`get_index` returns the cached index while the
+version matches and transparently rebuilds otherwise, so callers never see
+stale adjacency.
+"""
+
+from __future__ import annotations
+
+from repro.graph.edge_labeled import EdgeLabeledGraph, Label, ObjectId
+
+_EMPTY: tuple = ()
+
+
+class GraphIndex:
+    """An immutable label-first adjacency snapshot of one graph version."""
+
+    __slots__ = ("version", "num_edges", "_out", "_in", "_by_label")
+
+    def __init__(self, graph: EdgeLabeledGraph):
+        self.version = graph.version
+        self.num_edges = graph.num_edges
+        out: dict[Label, dict[ObjectId, list]] = {}
+        incoming: dict[Label, dict[ObjectId, list]] = {}
+        by_label: dict[Label, list] = {}
+        for edge, src, tgt, label in graph.iter_edge_records():
+            out.setdefault(label, {}).setdefault(src, []).append((edge, tgt))
+            incoming.setdefault(label, {}).setdefault(tgt, []).append((edge, src))
+            by_label.setdefault(label, []).append((edge, src, tgt))
+        # Freeze the buckets: tuples are lighter to iterate and make the
+        # snapshot safely shareable between concurrent evaluations.
+        self._out = {
+            label: {src: tuple(bucket) for src, bucket in per_src.items()}
+            for label, per_src in out.items()
+        }
+        self._in = {
+            label: {tgt: tuple(bucket) for tgt, bucket in per_tgt.items()}
+            for label, per_tgt in incoming.items()
+        }
+        self._by_label = {label: tuple(bucket) for label, bucket in by_label.items()}
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def out_edges(self, node: ObjectId, label: Label) -> tuple:
+        """``((edge, tgt), ...)`` for edges ``node --label--> tgt``."""
+        per_src = self._out.get(label)
+        if per_src is None:
+            return _EMPTY
+        return per_src.get(node, _EMPTY)
+
+    def in_edges(self, node: ObjectId, label: Label) -> tuple:
+        """``((edge, src), ...)`` for edges ``src --label--> node``."""
+        per_tgt = self._in.get(label)
+        if per_tgt is None:
+            return _EMPTY
+        return per_tgt.get(node, _EMPTY)
+
+    def edges_with_label(self, label: Label) -> tuple:
+        """``((edge, src, tgt), ...)`` for every edge carrying ``label``."""
+        return self._by_label.get(label, _EMPTY)
+
+    def out_map(self, label: Label) -> dict:
+        """The raw ``src -> ((edge, tgt), ...)`` map for one label."""
+        return self._out.get(label, {})
+
+    @property
+    def labels(self) -> frozenset[Label]:
+        return frozenset(self._by_label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphIndex version={self.version} labels={len(self._by_label)} "
+            f"edges={self.num_edges}>"
+        )
+
+
+def get_index(graph: EdgeLabeledGraph, stats=None) -> GraphIndex:
+    """The current :class:`GraphIndex` of ``graph`` (cached per version).
+
+    The index is stored on the graph itself (cleared by ``_touch()`` on
+    mutation); the version check is belt-and-braces so that even an index
+    smuggled across a mutation is never served stale.
+    """
+    index = graph._engine_index
+    if index is not None and index.version == graph.version:
+        if stats is not None:
+            stats.count("index_reuses")
+        return index
+    index = GraphIndex(graph)
+    graph._engine_index = index
+    if stats is not None:
+        stats.count("index_builds")
+    return index

@@ -1,0 +1,180 @@
+"""The shared query-execution kernel: cached compile + indexed product BFS.
+
+Section 6 of the paper makes the product construction ``G x A`` the common
+core of RPQ, CRPQ and GQL evaluation; Figueira & Lin's complexity analysis
+shows this core dominates evaluation cost.  This module is that core, done
+once, properly:
+
+* queries compile through the LRU :mod:`repro.engine.cache` (repeat queries
+  skip parsing and Glushkov entirely);
+* the BFS walks the lazily-built label index of :mod:`repro.engine.index`
+  (O(out-degree-by-label) per step instead of O(out-degree));
+* every entry point threads an optional :class:`~repro.engine.stats.EngineStats`
+  recording nodes expanded, edges relaxed, cache behaviour and phase times.
+
+The language frontends (``rpq.evaluation``, ``rpq.path_modes``,
+``crpq.evaluation``, ``coregql.semantics``, ``gql.semantics``) all call into
+here when ``use_index=True`` (the default); their original linear-scan
+implementations remain available behind ``use_index=False`` and serve as the
+oracle for the differential tests in ``tests/engine/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable
+
+from repro.engine.cache import (
+    DEFAULT_CACHE,
+    CompilationCache,
+    CompiledQuery,
+    alphabet_for,
+    compile_uncached,
+)
+from repro.engine.index import get_index
+from repro.engine.stats import EngineStats
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
+from repro.regex.ast import Regex
+
+
+def compile_query(
+    query: "Regex | str | CompiledQuery",
+    graph: EdgeLabeledGraph,
+    *,
+    cache: "CompilationCache | None" = DEFAULT_CACHE,
+    stats: "EngineStats | None" = None,
+) -> CompiledQuery:
+    """Compile ``query`` over the Remark 11 alphabet of ``graph``.
+
+    Passing ``cache=None`` forces a fresh parse + Glushkov run (the naive
+    pipeline the seed used on every single call).
+    """
+    if isinstance(query, CompiledQuery):
+        return query
+    started = time.perf_counter()
+    if cache is None:
+        regex = query if isinstance(query, Regex) else None
+        if regex is None:
+            from repro.regex.parser import parse_regex
+
+            regex = parse_regex(query)
+        compiled = compile_uncached(regex, alphabet_for(regex, graph))
+    else:
+        regex = query if isinstance(query, Regex) else cache.parse(query, stats)
+        compiled = cache.compile(regex, alphabet_for(regex, graph), stats)
+    if stats is not None:
+        stats.add_time("compile", time.perf_counter() - started)
+    return compiled
+
+
+def reachable(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source: ObjectId,
+    *,
+    stats: "EngineStats | None" = None,
+) -> set[ObjectId]:
+    """All nodes ``v`` with ``(source, v)`` in ``[[R]]_G`` — indexed BFS.
+
+    One BFS over ``(node, state)`` pairs; successor edges come from the
+    label index, so each automaton transition out of a state inspects only
+    the edges that actually carry its symbol.
+    """
+    if not graph.has_node(source):
+        return set()
+    started = time.perf_counter()
+    index = get_index(graph, stats)
+    delta = compiled.delta
+    finals = compiled.finals
+    start = {(source, state) for state in compiled.initial}
+    seen = set(start)
+    queue = deque(start)
+    answers = {node for node, state in start if state in finals}
+    expanded = 0
+    relaxed = 0
+    while queue:
+        node, state = queue.popleft()
+        expanded += 1
+        by_symbol = delta.get(state)
+        if not by_symbol:
+            continue
+        for symbol, next_states in by_symbol.items():
+            for _edge, target in index.out_edges(node, symbol):
+                relaxed += 1
+                for next_state in next_states:
+                    pair = (target, next_state)
+                    if pair not in seen:
+                        seen.add(pair)
+                        queue.append(pair)
+                        if next_state in finals:
+                            answers.add(target)
+    if stats is not None:
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.count("answers", len(answers))
+        stats.add_time("bfs", time.perf_counter() - started)
+    return answers
+
+
+def holds(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source: ObjectId,
+    target: ObjectId,
+    *,
+    stats: "EngineStats | None" = None,
+) -> bool:
+    """Whether ``(source, target)`` answers the query, with early exit."""
+    if not (graph.has_node(source) and graph.has_node(target)):
+        return False
+    started = time.perf_counter()
+    index = get_index(graph, stats)
+    delta = compiled.delta
+    finals = compiled.finals
+    start = {(source, state) for state in compiled.initial}
+    found = any(node == target and state in finals for node, state in start)
+    seen = set(start)
+    queue = deque(start)
+    expanded = 0
+    relaxed = 0
+    while queue and not found:
+        node, state = queue.popleft()
+        expanded += 1
+        by_symbol = delta.get(state)
+        if not by_symbol:
+            continue
+        for symbol, next_states in by_symbol.items():
+            for _edge, successor in index.out_edges(node, symbol):
+                relaxed += 1
+                for next_state in next_states:
+                    pair = (successor, next_state)
+                    if pair in seen:
+                        continue
+                    if successor == target and next_state in finals:
+                        found = True
+                    seen.add(pair)
+                    queue.append(pair)
+            if found:
+                break
+    if stats is not None:
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.add_time("bfs", time.perf_counter() - started)
+    return found
+
+
+def evaluate(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    sources: "Iterable[ObjectId] | None" = None,
+    *,
+    stats: "EngineStats | None" = None,
+) -> set[tuple[ObjectId, ObjectId]]:
+    """``[[R]]_G`` over all (or the given) sources, sharing one index."""
+    source_nodes = sources if sources is not None else graph.iter_nodes()
+    answers: set[tuple[ObjectId, ObjectId]] = set()
+    for source in source_nodes:
+        for target in reachable(compiled, graph, source, stats=stats):
+            answers.add((source, target))
+    return answers

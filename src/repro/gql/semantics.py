@@ -154,12 +154,20 @@ def match_gql_pattern(
     pattern: "GPattern | str",
     graph: PropertyGraph,
     max_length: "int | None" = None,
+    *,
+    use_index: bool = True,
+    stats=None,
 ) -> set[GQLMatch]:
     """All matches of the pattern on the graph.
 
     ``max_length`` bounds path lengths for unbounded quantifiers on cyclic
     graphs (otherwise :class:`InfiniteResultError` is raised when the match
     set would be infinite).
+
+    With ``use_index=True`` (default) labeled edge patterns enumerate via
+    the engine's label index instead of scanning every edge;
+    ``use_index=False`` keeps the seed's linear scans (the differential
+    oracle).  ``stats`` collects engine counters when provided.
     """
     if isinstance(pattern, str):
         from repro.gql.parser import parse_gql_pattern
@@ -167,11 +175,12 @@ def match_gql_pattern(
         pattern = parse_gql_pattern(pattern)
     return {
         GQLMatch(path, binding)
-        for path, binding in _match(pattern, graph, max_length)
+        for path, binding in _match(pattern, graph, max_length, (use_index, stats))
     }
 
 
-def _match(pattern, graph, bound) -> set[tuple[Path, Binding]]:
+def _match(pattern, graph, bound, ctx=(False, None)) -> set[tuple[Path, Binding]]:
+    use_index, stats = ctx
     if isinstance(pattern, NodePat):
         results = set()
         for node in graph.iter_nodes():
@@ -188,21 +197,32 @@ def _match(pattern, graph, bound) -> set[tuple[Path, Binding]]:
         results = set()
         if bound is not None and bound < 1:
             return results
-        for edge in graph.iter_edges():
-            if pattern.label is not None and graph.label(edge) != pattern.label:
-                continue
-            src, tgt = graph.endpoints(edge)
+        if use_index and pattern.label is not None:
+            from repro.engine.index import get_index
+
+            records = get_index(graph, stats).edges_with_label(pattern.label)
+        else:
+            records = (
+                (edge, *graph.endpoints(edge))
+                for edge in graph.iter_edges()
+                if pattern.label is None or graph.label(edge) == pattern.label
+            )
+        scanned = 0
+        for edge, src, tgt in records:
+            scanned += 1
             binding = (
                 _freeze({pattern.var: (SINGLE, edge)})
                 if pattern.var is not None
                 else ()
             )
             results.add((Path.of(graph, (src, edge, tgt)), binding))
+        if stats is not None:
+            stats.count("edges_scanned", scanned)
         return results
     if isinstance(pattern, Seq):
-        current = _match(pattern.parts[0], graph, bound)
+        current = _match(pattern.parts[0], graph, bound, ctx)
         for part in pattern.parts[1:]:
-            step = _match(part, graph, bound)
+            step = _match(part, graph, bound, ctx)
             combined = set()
             for path1, mu1 in current:
                 for path2, mu2 in step:
@@ -220,27 +240,27 @@ def _match(pattern, graph, bound) -> set[tuple[Path, Binding]]:
     if isinstance(pattern, Alt):
         results = set()
         for part in pattern.parts:
-            results |= _match(part, graph, bound)
+            results |= _match(part, graph, bound, ctx)
         return results
     if isinstance(pattern, Where):
         return {
             (path, mu)
-            for path, mu in _match(pattern.inner, graph, bound)
+            for path, mu in _match(pattern.inner, graph, bound, ctx)
             if _evaluate_condition(pattern.condition, graph, dict(mu))
         }
     if isinstance(pattern, Quant):
-        return _match_quant(pattern, graph, bound)
+        return _match_quant(pattern, graph, bound, ctx)
     raise TypeError(f"not an ASCII pattern: {pattern!r}")
 
 
-def _match_quant(pattern: Quant, graph, bound):
+def _match_quant(pattern: Quant, graph, bound, ctx=(False, None)):
     """Repetition turns every inner variable into a group variable.
 
     ``[[pi]]^j``: j endpoint-chained matches of pi; the resulting binding
     maps each inner variable to the list of its per-iteration values (group
     values of nested quantifiers are flattened, as GQL's lists are flat).
     """
-    inner = _match(pattern.inner, graph, bound)
+    inner = _match(pattern.inner, graph, bound, ctx)
 
     def group_up(mu: Binding) -> dict:
         grouped = {}

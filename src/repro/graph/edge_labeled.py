@@ -45,7 +45,7 @@ class EdgeLabeledGraph:
     treated as read-only by every query engine in the library.
     """
 
-    __slots__ = ("_nodes", "_edges", "_out", "_in", "_labels_seen")
+    __slots__ = ("_nodes", "_edges", "_out", "_in", "_labels_seen", "_version", "_engine_index")
 
     def __init__(self) -> None:
         self._nodes: set[ObjectId] = set()
@@ -55,6 +55,24 @@ class EdgeLabeledGraph:
         self._out: dict[ObjectId, list[ObjectId]] = {}
         self._in: dict[ObjectId, list[ObjectId]] = {}
         self._labels_seen: set[Label] = set()
+        # Monotone mutation counter; derived structures (the engine's label
+        # index, in particular) record the version they were built at and
+        # rebuild when it moves.  Every mutating method must call _touch().
+        self._version: int = 0
+        self._engine_index = None
+
+    # ------------------------------------------------------------------
+    # mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: increases on every change to the graph."""
+        return self._version
+
+    def _touch(self) -> None:
+        """Record a mutation, invalidating any cached derived structure."""
+        self._version += 1
+        self._engine_index = None
 
     # ------------------------------------------------------------------
     # construction
@@ -70,6 +88,7 @@ class EdgeLabeledGraph:
             self._nodes.add(node)
             self._out[node] = []
             self._in[node] = []
+            self._touch()
         return node
 
     def add_edge(
@@ -90,6 +109,7 @@ class EdgeLabeledGraph:
         self._out[src].append(edge)
         self._in[tgt].append(edge)
         self._labels_seen.add(label)
+        self._touch()
         return edge
 
     # ------------------------------------------------------------------
@@ -112,6 +132,17 @@ class EdgeLabeledGraph:
     def iter_edges(self) -> Iterator[ObjectId]:
         """Iterate over edge ids without copying the edge set."""
         return iter(self._edges)
+
+    def iter_edge_records(
+        self,
+    ) -> Iterator[tuple[ObjectId, ObjectId, ObjectId, Label]]:
+        """Iterate ``(edge, src, tgt, label)`` records in one dict traversal.
+
+        The engine's label index and the pattern evaluators use this instead
+        of per-edge ``endpoints``/``label`` lookups.
+        """
+        for edge, (src, tgt, label) in self._edges.items():
+            yield (edge, src, tgt, label)
 
     @property
     def num_nodes(self) -> int:

@@ -61,11 +61,17 @@ class PropertyGraph(EdgeLabeledGraph):
         """
         super().add_node(node)
         if label is not None:
+            if self._node_labels.get(node, _MISSING) != label:
+                # Refining the label of an existing node is a mutation too:
+                # without this bump a node-label index built earlier would go
+                # stale (the base-class add_node no-ops for known nodes).
+                self._touch()
             self._node_labels[node] = label
         else:
             self._node_labels.setdefault(node, self.DEFAULT_NODE_LABEL)
         if properties:
             self._properties.setdefault(node, {}).update(properties)
+            self._touch()
         return node
 
     def add_edge(
@@ -87,6 +93,7 @@ class PropertyGraph(EdgeLabeledGraph):
         if not self.has_object(obj):
             raise UnknownObjectError(f"{obj!r} is not an object of this graph")
         self._properties.setdefault(obj, {})[name] = value
+        self._touch()
 
     # ------------------------------------------------------------------
     # lambda and rho

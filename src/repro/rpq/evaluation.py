@@ -6,6 +6,15 @@ evaluator runs a BFS over ``(node, state)`` pairs — the product graph is
 explored lazily and never materialized, which the paper notes is possible
 when "only one answer is required" and is also the cheapest way to compute
 the full answer set.
+
+Two implementations coexist:
+
+* ``use_index=True`` (default) delegates to :mod:`repro.engine.kernel`:
+  compilation goes through the LRU cache and the BFS walks the label index
+  (O(out-degree-by-label) per automaton transition).
+* ``use_index=False`` is the seed's naive pipeline kept verbatim — fresh
+  parse + Glushkov per call, linear ``out_edges`` scans — and serves as the
+  oracle in ``tests/engine/test_differential.py``.
 """
 
 from __future__ import annotations
@@ -15,6 +24,9 @@ from collections.abc import Iterable
 
 from repro.automata.glushkov import compile_regex
 from repro.automata.nfa import NFA
+from repro.engine import kernel
+from repro.engine.cache import DEFAULT_CACHE, CompiledQuery
+from repro.engine.stats import EngineStats
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import Regex, symbols
 from repro.regex.parser import parse_regex
@@ -26,26 +38,58 @@ def _as_regex(query: "Regex | str") -> Regex:
     return query
 
 
-def compile_for_graph(query: "Regex | str", graph: EdgeLabeledGraph) -> NFA:
+def compile_for_graph(
+    query: "Regex | str",
+    graph: EdgeLabeledGraph,
+    *,
+    cached: bool = True,
+    stats: "EngineStats | None" = None,
+) -> NFA:
     """Compile an RPQ over the union of the graph's and the query's labels.
 
     This instantiates Remark 11 wildcards over the graph's actual alphabet.
+    With ``cached=True`` (default) the result comes from the engine's LRU
+    compilation cache; the cache key includes the alphabet, so the same
+    wildcard expression never collides across graphs with different labels.
     """
-    regex = _as_regex(query)
-    alphabet = graph.labels | symbols(regex)
-    return compile_regex(regex, alphabet=alphabet)
+    if not cached:
+        regex = _as_regex(query)
+        alphabet = graph.labels | symbols(regex)
+        return compile_regex(regex, alphabet=alphabet)
+    return kernel.compile_query(query, graph, stats=stats).nfa
 
 
 def reachable_by_rpq(
-    query: "Regex | str | NFA",
+    query: "Regex | str | NFA | CompiledQuery",
     graph: EdgeLabeledGraph,
     source: ObjectId,
+    *,
+    use_index: bool = True,
+    stats: "EngineStats | None" = None,
 ) -> set[ObjectId]:
     """All nodes ``v`` with ``(source, v)`` in ``[[R]]_G``.
 
     A single BFS over (node, state) pairs starting from ``(source, q0)``.
     """
-    nfa = query if isinstance(query, NFA) else compile_for_graph(query, graph)
+    if isinstance(query, CompiledQuery):
+        if use_index:
+            return kernel.reachable(query, graph, source, stats=stats)
+        return _naive_reachable(query.nfa, graph, source)
+    if isinstance(query, NFA):
+        if use_index:
+            return kernel.reachable(CompiledQuery.from_nfa(query), graph, source, stats=stats)
+        return _naive_reachable(query, graph, source)
+    if use_index:
+        compiled = kernel.compile_query(query, graph, stats=stats)
+        return kernel.reachable(compiled, graph, source, stats=stats)
+    nfa = compile_for_graph(query, graph, cached=False)
+    return _naive_reachable(nfa, graph, source)
+
+
+def _naive_reachable(
+    nfa: NFA, graph: EdgeLabeledGraph, source: ObjectId
+) -> set[ObjectId]:
+    """The seed evaluator: per-call transition dict, linear edge scans."""
     if not graph.has_node(source):
         return set()
     by_state_symbol: dict = {}
@@ -76,6 +120,9 @@ def evaluate_rpq(
     query: "Regex | str",
     graph: EdgeLabeledGraph,
     sources: Iterable[ObjectId] | None = None,
+    *,
+    use_index: bool = True,
+    stats: "EngineStats | None" = None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` — the full set of answer pairs (optionally restricted to
     the given source nodes).
@@ -83,11 +130,14 @@ def evaluate_rpq(
     Example 12: ``evaluate_rpq("Transfer*", figure2_graph())`` contains all
     36 pairs of accounts because the Transfer-subgraph is strongly connected.
     """
-    nfa = compile_for_graph(query, graph)
+    if use_index:
+        compiled = kernel.compile_query(query, graph, stats=stats)
+        return kernel.evaluate(compiled, graph, sources, stats=stats)
+    nfa = compile_for_graph(query, graph, cached=False)
     source_nodes = sources if sources is not None else graph.iter_nodes()
     answers: set[tuple[ObjectId, ObjectId]] = set()
     for source in source_nodes:
-        for target in reachable_by_rpq(nfa, graph, source):
+        for target in _naive_reachable(nfa, graph, source):
             answers.add((source, target))
     return answers
 
@@ -97,6 +147,9 @@ def rpq_holds(
     graph: EdgeLabeledGraph,
     source: ObjectId,
     target: ObjectId,
+    *,
+    use_index: bool = True,
+    stats: "EngineStats | None" = None,
 ) -> bool:
     """Whether ``(source, target)`` answers the RPQ, with early exit.
 
@@ -104,7 +157,10 @@ def rpq_holds(
     intersection of ``G`` (seen as an NFA with initial ``source`` and final
     ``target``) with an NFA for ``R``.
     """
-    nfa = compile_for_graph(query, graph)
+    if use_index:
+        compiled = kernel.compile_query(query, graph, stats=stats)
+        return kernel.holds(compiled, graph, source, target, stats=stats)
+    nfa = compile_for_graph(query, graph, cached=False)
     if not graph.has_node(source) or not graph.has_node(target):
         return False
     by_state_symbol: dict = {}

@@ -35,6 +35,9 @@ def matching_paths(
     target: ObjectId,
     mode: str = "shortest",
     limit: int | None = None,
+    *,
+    use_index: bool = True,
+    stats=None,
 ) -> Iterator[Path]:
     """Yield the node-to-node paths from ``source`` to ``target`` matching
     the RPQ, restricted by ``mode``, each exactly once.
@@ -42,13 +45,22 @@ def matching_paths(
     The same graph path can be witnessed by several automaton runs; results
     are deduplicated, so ambiguity of the expression never duplicates paths
     (the set semantics the paper advocates).
+
+    ``use_index=False`` replays the seed pipeline (fresh compilation, linear
+    edge scans while building the product); both settings enumerate the
+    same paths in the same order, which the differential tests assert.
     """
     if mode not in PATH_MODES:
         raise EvaluationError(f"unknown path mode {mode!r}; use one of {PATH_MODES}")
     if not (graph.has_node(source) and graph.has_node(target)):
         return
-    nfa = compile_for_graph(query, graph) if not hasattr(query, "initial") else query
-    product = build_product(graph, nfa, sources=[source], targets=[target]).trim()
+    if hasattr(query, "initial"):
+        nfa = query
+    else:
+        nfa = compile_for_graph(query, graph, cached=use_index, stats=stats)
+    product = build_product(
+        graph, nfa, sources=[source], targets=[target], use_index=use_index, stats=stats
+    ).trim()
     if not product.targets:
         return
     if mode == "shortest":

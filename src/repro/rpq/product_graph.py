@@ -19,6 +19,7 @@ so all path machinery (and the PMR package) applies to it unchanged.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -136,6 +137,9 @@ def build_product(
     nfa: NFA,
     sources: Iterable[ObjectId] | None = None,
     targets: Iterable[ObjectId] | None = None,
+    *,
+    use_index: bool = True,
+    stats=None,
 ) -> ProductGraph:
     """Materialize the product of a graph and an NFA.
 
@@ -143,14 +147,26 @@ def build_product(
     points (defaults: all nodes).  Only the part of the product forward-
     reachable from the sources is materialized, which keeps the common
     single-source case small.
+
+    With ``use_index=True`` (default) the traversal looks up successor edges
+    in the engine's label index; ``use_index=False`` keeps the seed's linear
+    ``out_edges`` scan.  Both build the *same* product graph (possibly in a
+    different edge insertion order).
     """
+    started = time.perf_counter()
     source_nodes = set(sources) if sources is not None else set(graph.iter_nodes())
     target_nodes = set(targets) if targets is not None else set(graph.iter_nodes())
 
-    # Index automaton transitions by symbol for fast joint traversal.
-    by_symbol: dict = {}
+    # Index automaton transitions state-major for fast joint traversal.
+    by_state: dict = {}
     for state_from, symbol, state_to in nfa.transitions():
-        by_symbol.setdefault((state_from, symbol), []).append(state_to)
+        by_state.setdefault(state_from, {}).setdefault(symbol, []).append(state_to)
+
+    index = None
+    if use_index:
+        from repro.engine.index import get_index
+
+        index = get_index(graph, stats)
 
     product = EdgeLabeledGraph()
     start_pairs = {
@@ -163,24 +179,46 @@ def build_product(
         product.add_node(pair)
     frontier = list(start_pairs)
     seen = set(start_pairs)
+    expanded = 0
+    relaxed = 0
     while frontier:
         node, state = frontier.pop()
-        for edge in graph.out_edges(node):
-            label = graph.label(edge)
-            for next_state in by_symbol.get((state, label), ()):
-                next_pair = (graph.tgt(edge), next_state)
-                product_edge = (edge, (state, label, next_state))
-                if next_pair not in seen:
-                    seen.add(next_pair)
-                    product.add_node(next_pair)
-                    frontier.append(next_pair)
-                if not product.has_edge(product_edge):
-                    product.add_edge(product_edge, (node, state), next_pair, label)
+        expanded += 1
+        by_symbol = by_state.get(state)
+        if not by_symbol:
+            continue
+        if index is not None:
+            moves = (
+                (edge, label, target, next_state)
+                for label, next_states in by_symbol.items()
+                for edge, target in index.out_edges(node, label)
+                for next_state in next_states
+            )
+        else:
+            moves = (
+                (edge, graph.label(edge), graph.tgt(edge), next_state)
+                for edge in graph.out_edges(node)
+                for next_state in by_symbol.get(graph.label(edge), ())
+            )
+        for edge, label, target, next_state in moves:
+            relaxed += 1
+            next_pair = (target, next_state)
+            product_edge = (edge, (state, label, next_state))
+            if next_pair not in seen:
+                seen.add(next_pair)
+                product.add_node(next_pair)
+                frontier.append(next_pair)
+            if not product.has_edge(product_edge):
+                product.add_edge(product_edge, (node, state), next_pair, label)
     accepting = frozenset(
         (node, state)
         for (node, state) in seen
         if state in nfa.finals and node in target_nodes
     )
+    if stats is not None:
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.add_time("product", time.perf_counter() - started)
     return ProductGraph(
         graph=product,
         base=graph,

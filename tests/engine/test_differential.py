@@ -1,0 +1,165 @@
+"""Differential test harness: indexed kernel vs naive seed oracle.
+
+The tentpole guarantee of the execution kernel is *observational
+equivalence*: with ``use_index=True`` every evaluator must return exactly
+what the paper-faithful naive implementation (``use_index=False``, kept
+verbatim from the seed) returns, on every input.  Hypothesis generates
+random multigraphs and random regular expressions (including Remark 11
+wildcards, whose alphabet-dependent compilation is the subtlest cache
+interaction) and pits the two pipelines against each other for:
+
+* ``reachable_by_rpq`` (single-source reachability),
+* ``evaluate_rpq`` (the full answer relation),
+* ``rpq_holds`` (single-pair decision),
+* ``matching_paths`` under shortest / trail / simple modes (sequence
+  equality — same paths in the same order),
+* ``evaluate_crpq`` / ``evaluate_crpq_bindings`` (joins of RPQ relations).
+
+Across the suite well over 200 (graph, query) cases are exercised per run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crpq.ast import CRPQ, RPQAtom, Var
+from repro.crpq.evaluation import evaluate_crpq, evaluate_crpq_bindings
+from repro.engine.stats import EngineStats
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    NotSymbols,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.rpq.evaluation import evaluate_rpq, reachable_by_rpq, rpq_holds
+from repro.rpq.path_modes import matching_paths
+
+LABELS = "abc"
+A, B, C = Symbol("a"), Symbol("b"), Symbol("c")
+ANY = NotSymbols(frozenset())
+NOT_A = NotSymbols(frozenset({"a"}))
+
+
+def regexes(max_leaves: int = 5) -> st.SearchStrategy[Regex]:
+    """Random expressions over a/b/c plus epsilon and Remark 11 wildcards."""
+    leaves = st.sampled_from([A, B, C, Epsilon(), ANY, NOT_A])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 5, max_edges: int = 8) -> EdgeLabeledGraph:
+    """Random multigraphs (parallel edges and self-loops allowed)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from(LABELS),
+            ),
+            max_size=max_edges,
+        )
+    )
+    graph = EdgeLabeledGraph()
+    for node in range(num_nodes):
+        graph.add_node(f"v{node}")
+    for number, (src, tgt, label) in enumerate(edges):
+        graph.add_edge(f"e{number}", f"v{src}", f"v{tgt}", label)
+    return graph
+
+
+@st.composite
+def crpqs(draw) -> CRPQ:
+    """Random 1-3 atom CRPQs over variables x, y, z."""
+    variables = (Var("x"), Var("y"), Var("z"))
+    num_atoms = draw(st.integers(min_value=1, max_value=3))
+    atoms = tuple(
+        RPQAtom(
+            draw(regexes(max_leaves=3)),
+            draw(st.sampled_from(variables)),
+            draw(st.sampled_from(variables)),
+        )
+        for _ in range(num_atoms)
+    )
+    body_vars = sorted({v for atom in atoms for v in atom.variables()}, key=repr)
+    head = tuple(draw(st.permutations(body_vars)))[: draw(st.integers(0, len(body_vars)))]
+    return CRPQ(head=head, atoms=atoms)
+
+
+# ----------------------------------------------------------------------
+# RPQ reachability and decision
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs(), regex=regexes(), source=st.integers(0, 4))
+def test_reachable_indexed_equals_naive(graph, regex, source):
+    node = f"v{source}"
+    fast = reachable_by_rpq(regex, graph, node, use_index=True, stats=EngineStats())
+    oracle = reachable_by_rpq(regex, graph, node, use_index=False)
+    assert fast == oracle
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(), regex=regexes())
+def test_evaluate_indexed_equals_naive(graph, regex):
+    fast = evaluate_rpq(regex, graph, use_index=True)
+    oracle = evaluate_rpq(regex, graph, use_index=False)
+    assert fast == oracle
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=graphs(), regex=regexes(), source=st.integers(0, 4), target=st.integers(0, 4)
+)
+def test_holds_indexed_equals_naive(graph, regex, source, target):
+    src, tgt = f"v{source}", f"v{target}"
+    assert rpq_holds(regex, graph, src, tgt, use_index=True) == rpq_holds(
+        regex, graph, src, tgt, use_index=False
+    )
+
+
+# ----------------------------------------------------------------------
+# path modes (sequence equality: same paths, same order)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=graphs(max_nodes=4, max_edges=6),
+    regex=regexes(max_leaves=4),
+    source=st.integers(0, 3),
+    target=st.integers(0, 3),
+)
+def test_path_modes_indexed_equals_naive(graph, regex, source, target):
+    src, tgt = f"v{source}", f"v{target}"
+    for mode in ("shortest", "trail", "simple"):
+        fast = list(
+            matching_paths(regex, graph, src, tgt, mode=mode, limit=25, use_index=True)
+        )
+        oracle = list(
+            matching_paths(regex, graph, src, tgt, mode=mode, limit=25, use_index=False)
+        )
+        assert fast == oracle, mode
+
+
+# ----------------------------------------------------------------------
+# CRPQ joins
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(max_nodes=4, max_edges=6), query=crpqs())
+def test_crpq_indexed_equals_naive(graph, query):
+    fast = evaluate_crpq(query, graph, use_index=True, stats=EngineStats())
+    oracle = evaluate_crpq(query, graph, use_index=False)
+    assert fast == oracle
+    fast_bindings = evaluate_crpq_bindings(query, graph, use_index=True)
+    oracle_bindings = evaluate_crpq_bindings(query, graph, use_index=False)
+    freeze = lambda bindings: {tuple(sorted(b.items(), key=repr)) for b in bindings}
+    assert freeze(fast_bindings) == freeze(oracle_bindings)

@@ -1,0 +1,98 @@
+"""Unit tests for EngineStats (repro.engine.stats)."""
+
+import json
+
+import pytest
+
+from repro.engine.stats import EngineStats
+from repro.graph.datasets import figure2_graph
+from repro.rpq.evaluation import evaluate_rpq, reachable_by_rpq
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        stats = EngineStats()
+        stats.count("nodes_expanded")
+        stats.count("nodes_expanded", 4)
+        assert stats.get("nodes_expanded") == 5
+        assert stats.get("never_touched") == 0
+
+    def test_counters_are_monotone(self):
+        stats = EngineStats()
+        with pytest.raises(ValueError):
+            stats.count("x", -1)
+        with pytest.raises(ValueError):
+            stats.add_time("t", -0.5)
+
+    def test_counters_grow_across_queries(self):
+        """Reusing one stats object across queries yields running totals."""
+        graph = figure2_graph()
+        stats = EngineStats()
+        reachable_by_rpq("Transfer*", graph, "a1", stats=stats)
+        after_one = dict(stats.counters)
+        reachable_by_rpq("Transfer*", graph, "a1", stats=stats)
+        for name, value in after_one.items():
+            assert stats.get(name) >= value
+        assert stats.get("nodes_expanded") >= 2 * after_one["nodes_expanded"]
+
+    def test_kernel_populates_expected_counters(self):
+        graph = figure2_graph()
+        stats = EngineStats()
+        evaluate_rpq("Transfer*", graph, stats=stats)
+        assert stats.get("nodes_expanded") > 0
+        assert stats.get("edges_relaxed") > 0
+        assert stats.get("answers") > 0
+        assert stats.get("index_builds") >= 1
+        assert stats.get("cache_hits") + stats.get("cache_misses") >= 1
+        assert "bfs" in stats.timers and stats.timers["bfs"] >= 0.0
+
+
+class TestTimers:
+    def test_phase_accumulates_wall_time(self):
+        stats = EngineStats()
+        with stats.phase("compile"):
+            pass
+        first = stats.timers["compile"]
+        with stats.phase("compile"):
+            sum(range(1000))
+        assert stats.timers["compile"] >= first
+
+    def test_phase_records_on_exception(self):
+        stats = EngineStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("boom"):
+                raise RuntimeError("x")
+        assert "boom" in stats.timers
+
+
+class TestAggregation:
+    def test_merge(self):
+        left, right = EngineStats(), EngineStats()
+        left.count("a", 2)
+        right.count("a", 3)
+        right.count("b", 1)
+        right.add_time("t", 0.25)
+        left.merge(right)
+        assert left.get("a") == 5 and left.get("b") == 1
+        assert left.timers["t"] == pytest.approx(0.25)
+
+    def test_as_dict_is_json_serializable(self):
+        stats = EngineStats()
+        stats.count("a", 2)
+        with stats.phase("p"):
+            pass
+        payload = json.loads(json.dumps(stats.as_dict()))
+        assert payload["counters"]["a"] == 2
+        assert "p" in payload["timers"]
+
+    def test_render_lists_counters_and_timers(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 7)
+        with stats.phase("bfs"):
+            pass
+        text = stats.render()
+        assert "cache_hits" in text and "7" in text
+        assert "bfs" in text and "ms" in text
+
+    def test_render_empty(self):
+        assert "no counters" in EngineStats().render()
