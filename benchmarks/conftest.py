@@ -1,10 +1,10 @@
 """Shared benchmark fixtures (paper graphs, scaled workloads).
 
 Also collects execution-kernel measurements: any benchmark may append a
-JSON-ready dict to the ``engine_records`` fixture, and at session end the
-accumulated records are written to ``BENCH_engine.json`` at the repo root
-(median times plus EngineStats counters, so kernel regressions show up in
-the artifact, not just in wall-clock noise).
+JSON-ready dict to the ``engine_records`` fixture (written to
+``BENCH_engine.json`` at session end) or to ``workload_records``
+(``BENCH_workload.json``), so kernel and batch-executor regressions show
+up in the artifacts, not just in wall-clock noise.
 """
 
 import json
@@ -15,6 +15,7 @@ from repro.graph.datasets import figure2_graph, figure3_graph
 from repro.graph.generators import random_graph, random_transfer_network
 
 _ENGINE_RECORDS: list[dict] = []
+_WORKLOAD_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -42,8 +43,16 @@ def engine_records():
     return _ENGINE_RECORDS
 
 
+@pytest.fixture(scope="session")
+def workload_records():
+    return _WORKLOAD_RECORDS
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _ENGINE_RECORDS:
-        return
-    path = session.config.rootpath / "BENCH_engine.json"
-    path.write_text(json.dumps(_ENGINE_RECORDS, indent=2, sort_keys=True) + "\n")
+    for records, filename in (
+        (_ENGINE_RECORDS, "BENCH_engine.json"),
+        (_WORKLOAD_RECORDS, "BENCH_workload.json"),
+    ):
+        if records:
+            path = session.config.rootpath / filename
+            path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")

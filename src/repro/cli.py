@@ -112,6 +112,53 @@ def _cmd_dlrpq(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.querylog import generate_query_log
+    from repro.workloads.runner import run_query_log, run_query_log_sequential
+
+    if args.graph == "random":
+        from repro.graph.generators import random_graph
+
+        labels = tuple(args.labels.split(",")) if args.labels else tuple("abcdefgh")
+        graph = random_graph(
+            args.nodes, args.edges, labels=labels, seed=args.graph_seed
+        )
+    else:
+        graph = _load_graph(args.graph)
+        labels = (
+            tuple(args.labels.split(","))
+            if args.labels
+            else tuple(sorted(map(str, graph.labels)))
+        )
+    log = generate_query_log(args.queries, labels=labels, seed=args.log_seed)
+
+    report = run_query_log(
+        graph,
+        log,
+        jobs=args.jobs,
+        fork=args.fork,
+        multi_source=not args.per_source,
+    )
+    digest = report.summary()
+    if not args.stats:
+        digest.pop("engine_stats", None)
+    if args.baseline:
+        baseline = run_query_log_sequential(graph, log)
+        if baseline.results != report.results:
+            print("BASELINE MISMATCH: batch answers differ", file=sys.stderr)
+            return 1
+        digest["baseline_wall_seconds"] = round(baseline.wall_seconds, 6)
+        digest["speedup_vs_seed"] = round(
+            baseline.wall_seconds / max(report.wall_seconds, 1e-9), 2
+        )
+    print(json.dumps(digest, indent=2, sort_keys=True))
+    if args.stats:
+        print(report.stats.render(), file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import run_all, run_experiment
 
@@ -189,6 +236,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("id")
     experiment.set_defaults(handler=_cmd_experiment)
+
+    workload = commands.add_parser(
+        "workload",
+        help="workload-scale execution of synthetic query logs "
+        "(the Section 6.2 log study, batched)",
+    )
+    workload_commands = workload.add_subparsers(dest="workload_command", required=True)
+    wrun = workload_commands.add_parser(
+        "run",
+        help="generate a query log and evaluate it through the batch executor",
+    )
+    wrun.add_argument("graph", help="fig2, fig3, a graph JSON file, or 'random'")
+    wrun.add_argument(
+        "--queries", type=int, default=100, help="log size (default 100)"
+    )
+    wrun.add_argument("--log-seed", type=int, default=0, help="query-log RNG seed")
+    wrun.add_argument(
+        "--labels",
+        help="comma-separated query labels (default: the graph's labels; "
+        "for 'random', the 8-letter benchmark alphabet)",
+    )
+    wrun.add_argument(
+        "--nodes", type=int, default=150, help="'random' graph: node count"
+    )
+    wrun.add_argument(
+        "--edges", type=int, default=1600, help="'random' graph: edge count"
+    )
+    wrun.add_argument(
+        "--graph-seed", type=int, default=0, help="'random' graph: RNG seed"
+    )
+    wrun.add_argument(
+        "--jobs", type=int, default=None, help="worker count (default: one per CPU)"
+    )
+    wrun.add_argument(
+        "--fork",
+        action="store_true",
+        help="use a process pool instead of threads",
+    )
+    wrun.add_argument(
+        "--per-source",
+        action="store_true",
+        help="disable the multi-source sweep (per-source BFS oracle)",
+    )
+    wrun.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the sequential seed path, verify identical answers, "
+        "and report the speedup",
+    )
+    wrun.add_argument(
+        "--stats",
+        action="store_true",
+        help="include aggregated engine counters/timers in the report",
+    )
+    wrun.set_defaults(handler=_cmd_workload_run)
 
     return parser
 

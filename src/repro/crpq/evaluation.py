@@ -20,7 +20,8 @@ joins do not recompute the same BFS.
 from __future__ import annotations
 
 from repro.crpq.ast import CRPQ, RPQAtom, Var
-from repro.crpq.planning import greedy_plan
+from repro.crpq.planning import greedy_plan, make_plan
+from repro.engine.index import get_reversed
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import reverse as regex_reverse
 from repro.rpq.evaluation import compile_for_graph, evaluate_rpq, reachable_by_rpq
@@ -50,8 +51,11 @@ class _AtomAccess:
         self._full: dict = {}
         self._nfa_cache: dict = {}
 
-    def _nfa(self, regex, graph):
-        key = (regex, id(graph))
+    def _nfa(self, regex, graph, direction: str):
+        # Keyed on (expression, access direction, graph version) — never on
+        # ``id(graph)``: a garbage-collected graph can recycle its id and
+        # resurrect a stale automaton compiled over a different alphabet.
+        key = (regex, direction, graph.version)
         if key not in self._nfa_cache:
             self._nfa_cache[key] = compile_for_graph(
                 regex, graph, cached=self.use_index, stats=self.stats
@@ -62,7 +66,7 @@ class _AtomAccess:
         key = (regex, source)
         if key not in self._forward:
             self._forward[key] = reachable_by_rpq(
-                self._nfa(regex, self.graph),
+                self._nfa(regex, self.graph, "forward"),
                 self.graph,
                 source,
                 use_index=self.use_index,
@@ -74,10 +78,16 @@ class _AtomAccess:
         key = (regex, target)
         if key not in self._backward:
             if self.reversed_graph is None:
-                self.reversed_graph = self.graph.reversed_copy()
+                # Indexed runs share one reversed copy per graph version
+                # across every evaluation (and every batch worker); the
+                # naive oracle keeps the seed's build-per-run behaviour.
+                if self.use_index:
+                    self.reversed_graph = get_reversed(self.graph, self.stats)
+                else:
+                    self.reversed_graph = self.graph.reversed_copy()
             reversed_regex = regex_reverse(regex)
             self._backward[key] = reachable_by_rpq(
-                self._nfa(reversed_regex, self.reversed_graph),
+                self._nfa(reversed_regex, self.reversed_graph, "backward"),
                 self.reversed_graph,
                 target,
                 use_index=self.use_index,
@@ -86,6 +96,8 @@ class _AtomAccess:
         return self._backward[key]
 
     def full(self, regex) -> set[tuple[ObjectId, ObjectId]]:
+        # The unbound-atom hot path: with use_index=True this is the
+        # kernel's one-sweep multi-source evaluation of ``[[R]]_G``.
         if regex not in self._full:
             self._full[regex] = evaluate_rpq(
                 regex, self.graph, use_index=self.use_index, stats=self.stats
@@ -120,10 +132,16 @@ def evaluate_crpq_bindings(
     plan: "list[RPQAtom] | None" = None,
     *,
     use_index: bool = True,
+    planner: "str | None" = None,
     stats=None,
 ) -> list[dict]:
     """All node homomorphisms from ``query`` to ``graph`` as variable->node
     dictionaries (before head projection).
+
+    ``planner`` selects the atom ordering: ``"cost"`` (the engine's
+    cardinality-model planner, default on indexed runs) or ``"greedy"``
+    (the seed planner, default for the ``use_index=False`` oracle).  An
+    explicit ``plan`` overrides both.
 
     This is the engine behind :func:`evaluate_crpq`; the l-CRPQ evaluator of
     Section 3.1.5 also starts from these homomorphisms before attaching list
@@ -133,7 +151,14 @@ def evaluate_crpq_bindings(
         from repro.crpq.ast import parse_crpq
 
         query = parse_crpq(query)
-    ordered = plan if plan is not None else greedy_plan(query, graph)
+    if plan is not None:
+        ordered = plan
+    elif planner is not None:
+        ordered = make_plan(query, graph, planner, stats=stats)
+    elif use_index:
+        ordered = make_plan(query, graph, "cost", stats=stats)
+    else:
+        ordered = greedy_plan(query, graph)
     access = _AtomAccess(graph, use_index=use_index, stats=stats)
 
     bindings: list[dict] = [{}]
@@ -179,13 +204,15 @@ def evaluate_crpq(
     plan: "list[RPQAtom] | None" = None,
     *,
     use_index: bool = True,
+    planner: "str | None" = None,
     stats=None,
 ) -> set[tuple]:
     """The output ``q(G)`` as a set of head-variable tuples.
 
     A boolean query (empty head) returns ``{()}`` when satisfiable and
-    ``set()`` otherwise.  A custom atom order can be injected via ``plan``
-    (the benchmarks use this to compare against the greedy planner).
+    ``set()`` otherwise.  A custom atom order can be injected via ``plan``;
+    ``planner`` picks between the cost-based and greedy orderings (the
+    benchmarks and differential tests compare all of them).
     """
     if isinstance(query, str):
         from repro.crpq.ast import parse_crpq
@@ -193,7 +220,7 @@ def evaluate_crpq(
         query = parse_crpq(query)
     results: set[tuple] = set()
     for binding in evaluate_crpq_bindings(
-        query, graph, plan=plan, use_index=use_index, stats=stats
+        query, graph, plan=plan, use_index=use_index, planner=planner, stats=stats
     ):
         results.add(tuple(binding[var] for var in query.head))
     return results

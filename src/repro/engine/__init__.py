@@ -9,12 +9,20 @@ One optimization layer under every language frontend in the library:
 * :mod:`repro.engine.stats` — ``EngineStats`` counters/timers threaded
   through the evaluators and surfaced via the CLI's ``--stats``;
 * :mod:`repro.engine.kernel` — the cached-compile + indexed-product-BFS
-  entry points the frontends delegate to.
+  entry points the frontends delegate to, including the one-sweep
+  multi-source evaluation of a full ``[[R]]_G`` relation;
+* :mod:`repro.engine.cardinality` — per-label statistics plus
+  first/last-label automaton selectivity, feeding the cost-based CRPQ
+  planner;
+* :mod:`repro.engine.batch` — the workload driver: deduplicate
+  structurally-equal queries, pre-warm the cache, share the index, fan out
+  over a thread or process pool.
 
 Every frontend keeps its original naive implementation behind
 ``use_index=False``; the differential tests compare the two.
 """
 
+from repro.engine.batch import BatchExecutor, BatchResult, default_jobs
 from repro.engine.cache import (
     DEFAULT_CACHE,
     CompilationCache,
@@ -23,11 +31,21 @@ from repro.engine.cache import (
     compile_uncached,
     default_cache,
 )
-from repro.engine.index import GraphIndex, get_index
-from repro.engine.kernel import compile_query, evaluate, holds, reachable
+from repro.engine.cardinality import CardinalityModel
+from repro.engine.index import GraphIndex, get_index, get_reversed
+from repro.engine.kernel import (
+    compile_query,
+    evaluate,
+    evaluate_sweep,
+    holds,
+    reachable,
+)
 from repro.engine.stats import EngineStats
 
 __all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "CardinalityModel",
     "CompilationCache",
     "CompiledQuery",
     "DEFAULT_CACHE",
@@ -37,8 +55,11 @@ __all__ = [
     "compile_query",
     "compile_uncached",
     "default_cache",
+    "default_jobs",
     "evaluate",
+    "evaluate_sweep",
     "get_index",
+    "get_reversed",
     "holds",
     "reachable",
 ]

@@ -1,0 +1,327 @@
+"""Workload-scale batch execution: amortize work *across* queries.
+
+The single-query kernel already amortizes work within one evaluation (label
+index, compile cache, multi-source sweep).  Real deployments — the 150M+
+SPARQL-log study the paper cites in Section 6.2 — evaluate huge batches of
+mostly-similar queries over one graph, and the dominant savings live
+*between* queries:
+
+* **deduplication** — query logs are heavily repetitive (Zipf-distributed
+  labels, a handful of shapes), so structurally-equal expressions are
+  evaluated once and their answers fanned back out to every occurrence;
+* **shared compilation** — the unique expressions are pre-compiled through
+  the engine's LRU cache before any evaluation starts, so workers never
+  touch the (unsynchronized) cache concurrently;
+* **shared index** — queries are grouped per graph and the label index is
+  forced once, up front, instead of being built lazily by whichever worker
+  gets there first;
+* **parallel fan-out** — evaluation of the deduplicated work items runs on
+  a ``concurrent.futures`` pool: threads by default (safe everywhere, and
+  free on no-GIL builds), or a process pool (``fork=True``) that ships the
+  graph to each worker once via an initializer.
+
+Per-worker :class:`~repro.engine.stats.EngineStats` are merged into one
+aggregate, so counters and phase timers describe the whole batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine import kernel
+from repro.engine.cache import DEFAULT_CACHE, CompilationCache
+from repro.engine.index import get_index
+from repro.engine.stats import EngineStats
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
+from repro.regex.ast import Regex
+
+#: A workload entry: a bare expression (full ``[[R]]_G``) or an
+#: ``(expression, source)`` pair (single-source reachability).
+BatchQuery = "Regex | str | tuple"
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: one per CPU, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+@dataclass
+class BatchResult:
+    """Results and accounting for one :meth:`BatchExecutor.run` call.
+
+    ``results`` is aligned with the input workload: entry *i* is the answer
+    to query *i* — a set of ``(source, target)`` pairs for full-relation
+    queries, a set of target nodes for ``(expression, source)`` queries.
+    """
+
+    results: list
+    stats: EngineStats
+    num_queries: int
+    num_unique: int
+    jobs: int
+    fork: bool
+    wall_seconds: float
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Unique work items per input query (1.0 means nothing shared)."""
+        if not self.num_queries:
+            return 1.0
+        return self.num_unique / self.num_queries
+
+    @property
+    def total_answers(self) -> int:
+        return sum(len(result) for result in self.results)
+
+    def summary(self) -> dict:
+        """A JSON-ready digest (what the CLI and benchmarks report)."""
+        return {
+            "num_queries": self.num_queries,
+            "num_unique": self.num_unique,
+            "dedup_ratio": round(self.dedup_ratio, 4),
+            "jobs": self.jobs,
+            "fork": self.fork,
+            "total_answers": self.total_answers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "phase_seconds": {
+                name: round(value, 6) for name, value in self.phase_seconds.items()
+            },
+            "engine_stats": self.stats.as_dict(),
+        }
+
+
+def _normalize(query) -> tuple:
+    """``(expression, source)`` with ``source=None`` meaning full relation."""
+    if isinstance(query, tuple):
+        expression, source = query
+        return expression, source
+    return query, None
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing (module-level so it pickles under spawn and fork)
+# ----------------------------------------------------------------------
+_WORKER_GRAPH: "EdgeLabeledGraph | None" = None
+
+
+def _process_worker_init(graph_json: str) -> None:
+    global _WORKER_GRAPH
+    from repro.graph.serialize import loads
+
+    _WORKER_GRAPH = loads(graph_json)
+
+
+def _process_worker_run(payload):
+    """Evaluate a chunk of unique work items against the worker's graph."""
+    multi_source, items = payload
+    graph = _WORKER_GRAPH
+    stats = EngineStats()
+    out = []
+    for position, regex, source in items:
+        compiled = kernel.compile_query(regex, graph, stats=stats)
+        if source is None:
+            answer = kernel.evaluate(
+                compiled, graph, stats=stats, multi_source=multi_source
+            )
+        else:
+            answer = kernel.reachable(compiled, graph, source, stats=stats)
+        out.append((position, answer))
+    return out, stats.as_dict()
+
+
+def _merge_stats_dict(stats: EngineStats, snapshot: dict) -> None:
+    for name, value in snapshot.get("counters", {}).items():
+        stats.count(name, value)
+    for name, value in snapshot.get("timers", {}).items():
+        stats.add_time(name, value)
+
+
+class BatchExecutor:
+    """Evaluate a workload of RPQs over a graph with cross-query amortization.
+
+    Parameters
+    ----------
+    jobs:
+        worker count (default :func:`default_jobs`); ``jobs=1`` runs inline
+        with zero pool overhead.
+    fork:
+        use a process pool instead of threads.  The graph is serialized
+        once per worker via the pool initializer (node/edge ids must be
+        JSON-serializable, as in :mod:`repro.graph.serialize`); workers
+        recompile the unique expressions into their own process cache.
+    multi_source:
+        full-relation queries use the kernel's one-sweep multi-source
+        evaluation (default) or the per-source BFS loop (the oracle).
+    cache:
+        the compilation cache to pre-warm (default: the engine-wide LRU).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: "int | None" = None,
+        fork: bool = False,
+        multi_source: bool = True,
+        cache: "CompilationCache | None" = None,
+    ):
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.fork = fork
+        self.multi_source = multi_source
+        self.cache = cache if cache is not None else DEFAULT_CACHE
+
+    # ------------------------------------------------------------------
+    # the driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: EdgeLabeledGraph,
+        queries: Iterable[BatchQuery],
+        *,
+        stats: "EngineStats | None" = None,
+    ) -> BatchResult:
+        """Evaluate every query of the workload against ``graph``."""
+        started = time.perf_counter()
+        stats = stats if stats is not None else EngineStats()
+        phases: dict[str, float] = {}
+
+        # 1. parse + deduplicate structurally-equal work items.
+        t0 = time.perf_counter()
+        workload: list[tuple] = []
+        for query in queries:
+            expression, source = _normalize(query)
+            if isinstance(expression, str):
+                expression = self.cache.parse(expression, stats)
+            workload.append((expression, source))
+        groups: dict[tuple, list[int]] = {}
+        for position, item in enumerate(workload):
+            groups.setdefault(item, []).append(position)
+        unique = list(groups)
+        phases["dedup"] = time.perf_counter() - t0
+        stats.count("batch_queries", len(workload))
+        stats.count("batch_unique_queries", len(unique))
+
+        # 2. pre-warm the compile cache once, serially, so workers share
+        #    ready-made CompiledQuery objects and never mutate the cache.
+        t0 = time.perf_counter()
+        compiled = {}
+        for regex in {item[0] for item in unique}:
+            compiled[regex] = kernel.compile_query(
+                regex, graph, cache=self.cache, stats=stats
+            )
+        phases["compile"] = time.perf_counter() - t0
+
+        # 3. force the label index exactly once, up front.
+        t0 = time.perf_counter()
+        get_index(graph, stats)
+        phases["index"] = time.perf_counter() - t0
+
+        # 4. fan evaluation of the unique items out over the pool.
+        t0 = time.perf_counter()
+        if self.fork:
+            answers = self._run_processes(graph, unique, stats)
+        else:
+            answers = self._run_threads(graph, unique, compiled, stats)
+        phases["evaluate"] = time.perf_counter() - t0
+
+        # 5. fan answers back out to every duplicate occurrence.
+        results: list = [None] * len(workload)
+        for item, positions in groups.items():
+            answer = answers[item]
+            for position in positions:
+                results[position] = answer
+
+        wall = time.perf_counter() - started
+        stats.add_time("batch", wall)
+        return BatchResult(
+            results=results,
+            stats=stats,
+            num_queries=len(workload),
+            num_unique=len(unique),
+            jobs=self.jobs,
+            fork=self.fork,
+            wall_seconds=wall,
+            phase_seconds=phases,
+        )
+
+    def run_grouped(
+        self,
+        items: Iterable[tuple[EdgeLabeledGraph, BatchQuery]],
+        *,
+        stats: "EngineStats | None" = None,
+    ) -> list:
+        """Evaluate ``(graph, query)`` pairs, grouping work per graph.
+
+        Queries over the same graph object are batched into one :meth:`run`
+        call — the label index and compiled automata are shared within each
+        group — and results come back in input order.
+        """
+        stats = stats if stats is not None else EngineStats()
+        ordered = list(items)
+        by_graph: dict[int, tuple[EdgeLabeledGraph, list[int]]] = {}
+        for position, (graph, _query) in enumerate(ordered):
+            by_graph.setdefault(id(graph), (graph, []))[1].append(position)
+        results: list = [None] * len(ordered)
+        for graph, positions in by_graph.values():
+            batch = self.run(
+                graph, [ordered[p][1] for p in positions], stats=stats
+            )
+            for local, position in enumerate(positions):
+                results[position] = batch.results[local]
+        return results
+
+    # ------------------------------------------------------------------
+    # pools
+    # ------------------------------------------------------------------
+    def _evaluate_one(self, graph, compiled_query, source, stats):
+        if source is None:
+            return kernel.evaluate(
+                compiled_query, graph, stats=stats, multi_source=self.multi_source
+            )
+        return kernel.reachable(compiled_query, graph, source, stats=stats)
+
+    def _run_threads(self, graph, unique, compiled, stats):
+        def work(item):
+            regex, source = item
+            local = EngineStats()
+            answer = self._evaluate_one(graph, compiled[regex], source, local)
+            return item, answer, local
+
+        answers: dict[tuple, set] = {}
+        if self.jobs == 1 or len(unique) <= 1:
+            for item in unique:
+                item, answer, local = work(item)
+                answers[item] = answer
+                stats.merge(local)
+            return answers
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            for item, answer, local in pool.map(work, unique):
+                answers[item] = answer
+                stats.merge(local)
+        return answers
+
+    def _run_processes(self, graph, unique, stats):
+        from repro.graph.serialize import dumps
+
+        graph_json = dumps(graph)
+        chunks: list[list] = [[] for _ in range(min(self.jobs * 4, len(unique)) or 1)]
+        for position, (regex, source) in enumerate(unique):
+            chunks[position % len(chunks)].append((position, regex, source))
+        answers: dict[tuple, set] = {}
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_process_worker_init,
+            initargs=(graph_json,),
+        ) as pool:
+            payloads = [(self.multi_source, chunk) for chunk in chunks if chunk]
+            for out, snapshot in pool.map(_process_worker_run, payloads):
+                for position, answer in out:
+                    answers[unique[position]] = answer
+                _merge_stats_dict(stats, snapshot)
+        return answers

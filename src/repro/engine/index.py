@@ -78,6 +78,10 @@ class GraphIndex:
         """The raw ``src -> ((edge, tgt), ...)`` map for one label."""
         return self._out.get(label, {})
 
+    def in_map(self, label: Label) -> dict:
+        """The raw ``tgt -> ((edge, src), ...)`` map for one label."""
+        return self._in.get(label, {})
+
     @property
     def labels(self) -> frozenset[Label]:
         return frozenset(self._by_label)
@@ -106,3 +110,25 @@ def get_index(graph: EdgeLabeledGraph, stats=None) -> GraphIndex:
     if stats is not None:
         stats.count("index_builds")
     return index
+
+
+def get_reversed(graph: EdgeLabeledGraph, stats=None) -> EdgeLabeledGraph:
+    """The edge-reversed view of ``graph``, cached per graph version.
+
+    Backward access paths (an RPQ atom whose *target* is bound) run the
+    reversed expression over the reversed graph; across a batch of queries
+    that is the same graph over and over, so re-running ``reversed_copy()``
+    per evaluation is pure waste.  The copy is cached on the graph alongside
+    the label index and invalidated by the same ``_touch()`` — a mutated
+    graph never serves a stale reversal.
+    """
+    cached = graph._engine_reversed
+    if cached is not None and cached[0] == graph.version:
+        if stats is not None:
+            stats.count("reversed_reuses")
+        return cached[1]
+    flipped = graph.reversed_copy()
+    graph._engine_reversed = (graph.version, flipped)
+    if stats is not None:
+        stats.count("reversed_builds")
+    return flipped

@@ -170,11 +170,118 @@ def evaluate(
     sources: "Iterable[ObjectId] | None" = None,
     *,
     stats: "EngineStats | None" = None,
+    multi_source: bool = True,
 ) -> set[tuple[ObjectId, ObjectId]]:
-    """``[[R]]_G`` over all (or the given) sources, sharing one index."""
+    """``[[R]]_G`` over all (or the given) sources, sharing one index.
+
+    With ``multi_source=True`` (default) the whole relation is computed in
+    one origin-tracking frontier sweep (:func:`evaluate_sweep`); with
+    ``multi_source=False`` the original per-source BFS loop runs instead
+    (kept as the sweep's differential oracle).
+    """
+    if multi_source:
+        return evaluate_sweep(compiled, graph, sources, stats=stats)
     source_nodes = sources if sources is not None else graph.iter_nodes()
     answers: set[tuple[ObjectId, ObjectId]] = set()
     for source in source_nodes:
         for target in reachable(compiled, graph, source, stats=stats):
             answers.add((source, target))
+    return answers
+
+
+def evaluate_sweep(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    sources: "Iterable[ObjectId] | None" = None,
+    *,
+    stats: "EngineStats | None" = None,
+) -> set[tuple[ObjectId, ObjectId]]:
+    """``[[R]]_G`` in **one** multi-source product-BFS sweep.
+
+    Instead of one BFS per source node, every ``(v, q0)`` pair is seeded at
+    once and each product pair ``(node, state)`` carries the *set of origins*
+    that reach it.  Origin sets only grow, so the sweep is a worklist
+    fixpoint: a pair re-enters the queue only when new origins arrive, and
+    each visit propagates just the not-yet-propagated origins (``pending``).
+    Work that per-source BFS repeats for every source — discovering the same
+    product edges again and again — happens here once per pair, with origin
+    bookkeeping done by C-level set operations on batches of sources.
+    """
+    started = time.perf_counter()
+    if sources is None:
+        source_list = list(graph.iter_nodes())
+    else:
+        source_list = [s for s in sources if graph.has_node(s)]
+    if not source_list:
+        return set()
+    index = get_index(graph, stats)
+    delta = compiled.delta
+    finals = compiled.finals
+    answers: set[tuple[ObjectId, ObjectId]] = set()
+    #: (node, state) -> every origin that ever reached the pair
+    origins: dict[tuple, set] = {}
+    #: (node, state) -> origins not yet pushed to the pair's successors
+    pending: dict[tuple, set] = {}
+    queue = deque()
+    queued: set[tuple] = set()
+    for source in source_list:
+        for state in compiled.initial:
+            pair = (source, state)
+            bucket = origins.get(pair)
+            if bucket is None:
+                origins[pair] = {source}
+                pending[pair] = {source}
+                queued.add(pair)
+                queue.append(pair)
+            elif source not in bucket:
+                bucket.add(source)
+                pending.setdefault(pair, set()).add(source)
+                if pair not in queued:
+                    queued.add(pair)
+                    queue.append(pair)
+    expanded = 0
+    relaxed = 0
+    while queue:
+        pair = queue.popleft()
+        queued.discard(pair)
+        fresh = pending.pop(pair, None)
+        if not fresh:
+            continue
+        expanded += 1
+        node, state = pair
+        if state in finals:
+            for origin in fresh:
+                answers.add((origin, node))
+        by_symbol = delta.get(state)
+        if not by_symbol:
+            continue
+        for symbol, next_states in by_symbol.items():
+            for _edge, target in index.out_edges(node, symbol):
+                relaxed += 1
+                for next_state in next_states:
+                    successor = (target, next_state)
+                    known = origins.get(successor)
+                    if known is None:
+                        origins[successor] = set(fresh)
+                        pending[successor] = set(fresh)
+                        queued.add(successor)
+                        queue.append(successor)
+                    else:
+                        novel = fresh - known
+                        if novel:
+                            known |= novel
+                            extra = pending.get(successor)
+                            if extra is None:
+                                pending[successor] = set(novel)
+                            else:
+                                extra |= novel
+                            if successor not in queued:
+                                queued.add(successor)
+                                queue.append(successor)
+    if stats is not None:
+        stats.count("sweep_sources", len(source_list))
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.count("answers", len(answers))
+        stats.add_time("bfs", time.perf_counter() - started)
     return answers

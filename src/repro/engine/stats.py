@@ -31,7 +31,12 @@ KNOWN_COUNTERS = (
     "parse_misses",
     "index_builds",
     "index_reuses",
+    "reversed_builds",
+    "reversed_reuses",
     "edges_scanned",
+    "sweep_sources",
+    "batch_queries",
+    "batch_unique_queries",
     "answers",
 )
 

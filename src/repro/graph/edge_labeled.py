@@ -45,7 +45,16 @@ class EdgeLabeledGraph:
     treated as read-only by every query engine in the library.
     """
 
-    __slots__ = ("_nodes", "_edges", "_out", "_in", "_labels_seen", "_version", "_engine_index")
+    __slots__ = (
+        "_nodes",
+        "_edges",
+        "_out",
+        "_in",
+        "_labels_seen",
+        "_version",
+        "_engine_index",
+        "_engine_reversed",
+    )
 
     def __init__(self) -> None:
         self._nodes: set[ObjectId] = set()
@@ -60,6 +69,7 @@ class EdgeLabeledGraph:
         # rebuild when it moves.  Every mutating method must call _touch().
         self._version: int = 0
         self._engine_index = None
+        self._engine_reversed = None
 
     # ------------------------------------------------------------------
     # mutation tracking
@@ -73,6 +83,7 @@ class EdgeLabeledGraph:
         """Record a mutation, invalidating any cached derived structure."""
         self._version += 1
         self._engine_index = None
+        self._engine_reversed = None
 
     # ------------------------------------------------------------------
     # construction

@@ -117,23 +117,40 @@ def _naive_reachable(
 
 
 def evaluate_rpq(
-    query: "Regex | str",
+    query: "Regex | str | NFA | CompiledQuery",
     graph: EdgeLabeledGraph,
     sources: Iterable[ObjectId] | None = None,
     *,
     use_index: bool = True,
+    multi_source: bool = True,
     stats: "EngineStats | None" = None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` — the full set of answer pairs (optionally restricted to
     the given source nodes).
 
+    With ``use_index=True`` the relation is computed by the kernel's
+    origin-tracking multi-source sweep (``multi_source=False`` falls back to
+    the per-source BFS loop, the sweep's differential oracle).
+
     Example 12: ``evaluate_rpq("Transfer*", figure2_graph())`` contains all
     36 pairs of accounts because the Transfer-subgraph is strongly connected.
     """
     if use_index:
-        compiled = kernel.compile_query(query, graph, stats=stats)
-        return kernel.evaluate(compiled, graph, sources, stats=stats)
-    nfa = compile_for_graph(query, graph, cached=False)
+        if isinstance(query, CompiledQuery):
+            compiled = query
+        elif isinstance(query, NFA):
+            compiled = CompiledQuery.from_nfa(query)
+        else:
+            compiled = kernel.compile_query(query, graph, stats=stats)
+        return kernel.evaluate(
+            compiled, graph, sources, stats=stats, multi_source=multi_source
+        )
+    if isinstance(query, CompiledQuery):
+        nfa = query.nfa
+    elif isinstance(query, NFA):
+        nfa = query
+    else:
+        nfa = compile_for_graph(query, graph, cached=False)
     source_nodes = sources if sources is not None else graph.iter_nodes()
     answers: set[tuple[ObjectId, ObjectId]] = set()
     for source in source_nodes:

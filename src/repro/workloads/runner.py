@@ -1,0 +1,145 @@
+"""Drive a query log through the batch executor (or the seed path).
+
+This is the glue between :mod:`repro.workloads.querylog` — the synthetic
+stand-in for the paper's 150M-query SPARQL-log corpus — and the engine's
+:class:`~repro.engine.batch.BatchExecutor`.  Two drivers share one report
+shape so benchmarks and the CLI can compare them directly:
+
+* :func:`run_query_log` — the batch path: deduplicate, pre-warm, share the
+  index, fan out over a pool;
+* :func:`run_query_log_sequential` — the seed path: one independent
+  evaluation per query, re-parsing and re-compiling every time
+  (``use_index=False``), exactly what the repo did before the engine
+  existed.  This is the baseline the ``BENCH_workload.json`` speedup gate
+  measures against, and the oracle the batch results are checked against.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.batch import BatchExecutor
+from repro.engine.stats import EngineStats
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Regex
+from repro.rpq.evaluation import evaluate_rpq
+
+#: A workload is what :func:`~repro.workloads.querylog.generate_query_log`
+#: produces: ``(shape, expression)`` pairs.  Bare expressions also work.
+LogEntry = "tuple[str, Regex] | Regex | str"
+
+
+@dataclass
+class WorkloadReport:
+    """One workload run: per-query answer sets plus aggregate accounting."""
+
+    mode: str
+    results: list
+    wall_seconds: float
+    num_queries: int
+    num_unique: "int | None" = None
+    jobs: "int | None" = None
+    fork: bool = False
+    stats: "EngineStats | None" = None
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def total_answers(self) -> int:
+        return sum(len(result) for result in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.num_queries / self.wall_seconds
+
+    def summary(self) -> dict:
+        """A JSON-ready digest for benchmarks and the CLI."""
+        digest = {
+            "mode": self.mode,
+            "num_queries": self.num_queries,
+            "total_answers": self.total_answers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "queries_per_second": round(self.queries_per_second, 2),
+        }
+        if self.num_unique is not None:
+            digest["num_unique"] = self.num_unique
+        if self.jobs is not None:
+            digest["jobs"] = self.jobs
+            digest["fork"] = self.fork
+        if self.phase_seconds:
+            digest["phase_seconds"] = {
+                name: round(value, 6) for name, value in self.phase_seconds.items()
+            }
+        if self.stats is not None:
+            digest["engine_stats"] = self.stats.as_dict()
+        return digest
+
+
+def _expressions(log: Sequence[LogEntry]) -> list:
+    """Strip query-log shape tags; accept bare expressions too."""
+    expressions = []
+    for entry in log:
+        if isinstance(entry, tuple) and len(entry) == 2 and isinstance(entry[0], str):
+            expressions.append(entry[1])
+        else:
+            expressions.append(entry)
+    return expressions
+
+
+def run_query_log(
+    graph: EdgeLabeledGraph,
+    log: Sequence[LogEntry],
+    *,
+    jobs: "int | None" = None,
+    fork: bool = False,
+    multi_source: bool = True,
+    stats: "EngineStats | None" = None,
+) -> WorkloadReport:
+    """Evaluate every log expression's full relation via the batch executor."""
+    expressions = _expressions(log)
+    executor = BatchExecutor(jobs=jobs, fork=fork, multi_source=multi_source)
+    stats = stats if stats is not None else EngineStats()
+    batch = executor.run(graph, expressions, stats=stats)
+    return WorkloadReport(
+        mode="batch",
+        results=batch.results,
+        wall_seconds=batch.wall_seconds,
+        num_queries=batch.num_queries,
+        num_unique=batch.num_unique,
+        jobs=batch.jobs,
+        fork=batch.fork,
+        stats=stats,
+        phase_seconds=batch.phase_seconds,
+    )
+
+
+def run_query_log_sequential(
+    graph: EdgeLabeledGraph,
+    log: Sequence[LogEntry],
+    *,
+    use_index: bool = False,
+) -> WorkloadReport:
+    """The per-query seed path: no sharing between queries whatsoever.
+
+    With ``use_index=False`` (default) each query re-parses, re-runs
+    Glushkov, and BFSes with linear edge scans — the exact pre-engine
+    pipeline.  ``use_index=True`` gives the intermediate ablation: warm
+    kernel, but still one per-source evaluation per query with no
+    deduplication or fan-out.
+    """
+    expressions = _expressions(log)
+    started = time.perf_counter()
+    results = [
+        evaluate_rpq(expression, graph, use_index=use_index, multi_source=False)
+        for expression in expressions
+    ]
+    wall = time.perf_counter() - started
+    return WorkloadReport(
+        mode="sequential-indexed" if use_index else "sequential-seed",
+        results=results,
+        wall_seconds=wall,
+        num_queries=len(expressions),
+    )

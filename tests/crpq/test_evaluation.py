@@ -149,3 +149,26 @@ class TestPlanning:
         q = parse_crpq("q(x, z) :- a*(x, y), b(y, z)")
         baseline = evaluate_crpq(q, g, plan=list(q.atoms))
         assert evaluate_crpq(q, g) == baseline
+
+
+class TestPlannerSelection:
+    def test_cost_and_greedy_agree(self, fig2):
+        q = parse_crpq("q(x, z) :- Transfer(x, y), Transfer(y, z), owner(z, w)")
+        cost = evaluate_crpq(q, fig2, planner="cost")
+        greedy = evaluate_crpq(q, fig2, planner="greedy")
+        oracle = evaluate_crpq(q, fig2, use_index=False)
+        assert cost == greedy == oracle
+
+    def test_unknown_planner_rejected(self, fig2):
+        import pytest
+
+        q = parse_crpq("q(x, y) :- Transfer(x, y)")
+        with pytest.raises(ValueError):
+            evaluate_crpq(q, fig2, planner="exhaustive")
+
+    def test_explicit_plan_overrides_planner(self, fig2):
+        q = parse_crpq("q(x, z) :- Transfer(x, y), owner(y, z)")
+        reversed_plan = list(reversed(q.atoms))
+        assert evaluate_crpq(
+            q, fig2, plan=reversed_plan, planner="cost"
+        ) == evaluate_crpq(q, fig2)

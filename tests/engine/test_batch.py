@@ -1,0 +1,134 @@
+"""Tests for the workload batch executor (``repro.engine.batch``)."""
+
+import pytest
+
+from repro.engine.batch import BatchExecutor, default_jobs
+from repro.engine.stats import EngineStats
+from repro.graph.generators import label_path, random_graph
+from repro.regex.parser import parse_regex
+from repro.rpq.evaluation import evaluate_rpq, reachable_by_rpq
+from repro.workloads.querylog import generate_query_log
+from repro.workloads.runner import run_query_log, run_query_log_sequential
+
+LABELS = ("a", "b", "c")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(40, 160, labels=LABELS, seed=13)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    log = generate_query_log(30, labels=LABELS, seed=2)
+    return [regex for _shape, regex in log]
+
+
+class TestBatchResults:
+    def test_matches_per_query_oracle(self, graph, workload):
+        batch = BatchExecutor(jobs=1).run(graph, workload)
+        for regex, result in zip(workload, batch.results):
+            assert result == evaluate_rpq(regex, graph, use_index=False)
+
+    def test_thread_pool_matches_inline(self, graph, workload):
+        inline = BatchExecutor(jobs=1).run(graph, workload)
+        pooled = BatchExecutor(jobs=3).run(graph, workload)
+        assert inline.results == pooled.results
+
+    def test_per_source_fallback_matches_sweep(self, graph, workload):
+        sweep = BatchExecutor(jobs=1, multi_source=True).run(graph, workload)
+        loop = BatchExecutor(jobs=1, multi_source=False).run(graph, workload)
+        assert sweep.results == loop.results
+
+    def test_string_queries_and_source_pairs(self, graph):
+        queries = [
+            "a.b",
+            ("a.b", "v0"),
+            (parse_regex("(a+b)*"), "v1"),
+            "c",
+        ]
+        batch = BatchExecutor(jobs=1).run(graph, queries)
+        assert batch.results[0] == evaluate_rpq("a.b", graph, use_index=False)
+        assert batch.results[1] == reachable_by_rpq(
+            "a.b", graph, "v0", use_index=False
+        )
+        assert batch.results[2] == reachable_by_rpq(
+            "(a+b)*", graph, "v1", use_index=False
+        )
+
+    def test_unknown_source_yields_empty(self, graph):
+        batch = BatchExecutor(jobs=1).run(graph, [("a", "nope")])
+        assert batch.results == [set()]
+
+    def test_empty_workload(self, graph):
+        batch = BatchExecutor(jobs=1).run(graph, [])
+        assert batch.results == []
+        assert batch.num_queries == 0
+        assert batch.dedup_ratio == 1.0
+
+
+class TestDeduplication:
+    def test_structural_duplicates_collapse(self, graph):
+        queries = ["a.b", parse_regex("a.b"), "a.b", "c"]
+        batch = BatchExecutor(jobs=1).run(graph, queries)
+        assert batch.num_queries == 4
+        assert batch.num_unique == 2
+        assert batch.results[0] is batch.results[1] is batch.results[2]
+
+    def test_same_expression_different_source_distinct(self, graph):
+        batch = BatchExecutor(jobs=1).run(graph, [("a", "v0"), ("a", "v1")])
+        assert batch.num_unique == 2
+
+    def test_counters(self, graph):
+        stats = EngineStats()
+        BatchExecutor(jobs=1).run(graph, ["a", "a", "b"], stats=stats)
+        assert stats.get("batch_queries") == 3
+        assert stats.get("batch_unique_queries") == 2
+
+
+class TestGrouping:
+    def test_run_grouped_shares_index_per_graph(self):
+        left = label_path(4, label="a")
+        right = label_path(6, label="b")
+        stats = EngineStats()
+        results = BatchExecutor(jobs=1).run_grouped(
+            [(left, "a*"), (right, "b*"), (left, "a")],
+            stats=stats,
+        )
+        assert results[0] == evaluate_rpq("a*", left, use_index=False)
+        assert results[1] == evaluate_rpq("b*", right, use_index=False)
+        assert results[2] == evaluate_rpq("a", left, use_index=False)
+        # one index build per distinct graph, no matter how many queries
+        assert stats.get("index_builds") == 2
+
+
+class TestProcessPool:
+    def test_fork_matches_threads(self, graph, workload):
+        try:
+            forked = BatchExecutor(jobs=2, fork=True).run(graph, workload[:8])
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        inline = BatchExecutor(jobs=1).run(graph, workload[:8])
+        assert forked.results == inline.results
+
+
+class TestRunner:
+    def test_runner_matches_sequential(self, graph):
+        log = generate_query_log(20, labels=LABELS, seed=9)
+        batch = run_query_log(graph, log, jobs=2)
+        seed = run_query_log_sequential(graph, log)
+        indexed = run_query_log_sequential(graph, log, use_index=True)
+        assert batch.results == seed.results == indexed.results
+        assert batch.mode == "batch"
+        assert seed.mode == "sequential-seed"
+        assert indexed.mode == "sequential-indexed"
+        digest = batch.summary()
+        assert digest["num_queries"] == 20
+        assert digest["total_answers"] == batch.total_answers
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(jobs=0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1

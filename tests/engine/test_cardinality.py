@@ -1,0 +1,112 @@
+"""Tests for the engine cardinality model (``repro.engine.cardinality``)."""
+
+import pytest
+
+from repro.crpq.ast import parse_crpq
+from repro.crpq.planning import cost_plan, greedy_plan, make_plan
+from repro.engine import kernel
+from repro.engine.cardinality import (
+    CardinalityModel,
+    accepts_epsilon,
+    first_labels,
+    last_labels,
+)
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.generators import random_graph
+
+
+@pytest.fixture()
+def skewed_graph():
+    """Many ``common`` edges, two ``rare`` edges."""
+    graph = EdgeLabeledGraph()
+    for i in range(12):
+        graph.add_edge(f"c{i}", f"u{i}", f"u{(i + 1) % 12}", "common")
+    graph.add_edge("r0", "u0", "u5", "rare")
+    graph.add_edge("r1", "u7", "u2", "rare")
+    return graph
+
+
+def _compiled(expression, graph):
+    return kernel.compile_query(expression, graph)
+
+
+class TestStatistics:
+    def test_label_counts(self, skewed_graph):
+        model = CardinalityModel(skewed_graph)
+        assert model.label_counts == {"common": 12, "rare": 2}
+        assert model.distinct_sources["rare"] == 2
+        assert model.distinct_targets["common"] == 12
+
+    def test_symbol_estimate_equals_edge_count(self, skewed_graph):
+        model = CardinalityModel(skewed_graph)
+        assert model.relation_size(_compiled("rare", skewed_graph).regex) == 2.0
+        assert model.relation_size(_compiled("common", skewed_graph).regex) == 12.0
+
+    def test_empty_and_epsilon(self, skewed_graph):
+        model = CardinalityModel(skewed_graph)
+        from repro.regex.ast import Empty, Epsilon
+
+        assert model.relation_size(Empty()) == 0.0
+        assert model.relation_size(Epsilon()) == float(skewed_graph.num_nodes)
+
+    def test_estimates_capped_at_n_squared(self):
+        graph = random_graph(20, 200, labels=("a", "b"), seed=1)
+        model = CardinalityModel(graph)
+        compiled = _compiled("(a+b)*.(a+b)*.(a+b)*", graph)
+        assert model.pair_estimate(compiled) <= 400.0
+
+
+class TestAutomatonShape:
+    def test_first_last_labels(self, skewed_graph):
+        compiled = _compiled("rare.common*", skewed_graph)
+        assert first_labels(compiled) == frozenset({"rare"})
+        # common* is nullable, so a match may also end on the rare edge
+        assert last_labels(compiled) == frozenset({"rare", "common"})
+        assert not accepts_epsilon(compiled)
+        assert accepts_epsilon(_compiled("common*", skewed_graph))
+
+    def test_wildcards_expand_to_concrete_labels(self, skewed_graph):
+        compiled = _compiled("_", skewed_graph)
+        assert first_labels(compiled) == frozenset({"common", "rare"})
+
+    def test_first_label_selectivity_bounds_sources(self, skewed_graph):
+        model = CardinalityModel(skewed_graph)
+        assert model.source_count(_compiled("rare.common", skewed_graph)) == 2.0
+        assert model.target_count(_compiled("common.rare", skewed_graph)) == 2.0
+
+    def test_access_cost_prefers_bound_sides(self, skewed_graph):
+        model = CardinalityModel(skewed_graph)
+        compiled = _compiled("common", skewed_graph)
+        unbound = model.access_cost(compiled, left_bound=False, right_bound=False)
+        half = model.access_cost(compiled, left_bound=True, right_bound=False)
+        both = model.access_cost(compiled, left_bound=True, right_bound=True)
+        assert unbound > half > both
+
+
+class TestCostPlan:
+    def test_selective_atom_first(self, skewed_graph):
+        query = parse_crpq("q(x,y,z) :- common(x,y), rare(y,z)")
+        plan = cost_plan(query, skewed_graph)
+        assert plan[0].regex == parse_crpq("q(y,z) :- rare(y,z)").atoms[0].regex
+
+    def test_plan_is_permutation(self, skewed_graph):
+        query = parse_crpq(
+            "q(x,y,z) :- common(x,y), rare(y,z), (common+rare)(x,z)"
+        )
+        plan = cost_plan(query, skewed_graph)
+        assert sorted(map(repr, plan)) == sorted(map(repr, query.atoms))
+
+    def test_plan_deterministic(self, skewed_graph):
+        query = parse_crpq("q(x,y) :- common(x,y), common(y,x), rare(x,y)")
+        assert cost_plan(query, skewed_graph) == cost_plan(query, skewed_graph)
+
+    def test_make_plan_dispatch(self, skewed_graph):
+        query = parse_crpq("q(x,y) :- common(x,y), rare(y,x)")
+        assert make_plan(query, skewed_graph, "cost") == cost_plan(
+            query, skewed_graph
+        )
+        assert make_plan(query, skewed_graph, "greedy") == greedy_plan(
+            query, skewed_graph
+        )
+        with pytest.raises(ValueError):
+            make_plan(query, skewed_graph, "exhaustive")

@@ -13,7 +13,12 @@ interaction) and pits the two pipelines against each other for:
 * ``rpq_holds`` (single-pair decision),
 * ``matching_paths`` under shortest / trail / simple modes (sequence
   equality — same paths in the same order),
-* ``evaluate_crpq`` / ``evaluate_crpq_bindings`` (joins of RPQ relations).
+* ``evaluate_crpq`` / ``evaluate_crpq_bindings`` (joins of RPQ relations),
+* the multi-source sweep (``multi_source=True``) vs the per-source BFS loop
+  vs the naive oracle, including restricted source sets,
+* the cost-based planner vs the greedy planner vs the naive oracle — plans
+  may differ, answer sets must not,
+* the batch executor vs per-query naive evaluation.
 
 Across the suite well over 200 (graph, query) cases are exercised per run.
 """
@@ -163,3 +168,63 @@ def test_crpq_indexed_equals_naive(graph, query):
     oracle_bindings = evaluate_crpq_bindings(query, graph, use_index=False)
     freeze = lambda bindings: {tuple(sorted(b.items(), key=repr)) for b in bindings}
     assert freeze(fast_bindings) == freeze(oracle_bindings)
+
+
+# ----------------------------------------------------------------------
+# multi-source sweep vs per-source BFS vs naive
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs(), regex=regexes())
+def test_sweep_equals_per_source_and_naive(graph, regex):
+    sweep = evaluate_rpq(
+        regex, graph, use_index=True, multi_source=True, stats=EngineStats()
+    )
+    per_source = evaluate_rpq(regex, graph, use_index=True, multi_source=False)
+    oracle = evaluate_rpq(regex, graph, use_index=False)
+    assert sweep == per_source == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=graphs(),
+    regex=regexes(),
+    picks=st.sets(st.integers(0, 6), max_size=4),
+)
+def test_sweep_restricted_sources_equals_naive(graph, regex, picks):
+    # Source lists may name nodes outside the graph; both paths must skip them.
+    sources = [f"v{i}" for i in sorted(picks)]
+    sweep = evaluate_rpq(regex, graph, sources, use_index=True, multi_source=True)
+    oracle = evaluate_rpq(regex, graph, sources, use_index=False)
+    assert sweep == oracle
+
+
+# ----------------------------------------------------------------------
+# planner differential: cost vs greedy vs naive — identical answer sets
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(max_nodes=4, max_edges=6), query=crpqs())
+def test_planners_agree_on_answer_sets(graph, query):
+    cost = evaluate_crpq(query, graph, use_index=True, planner="cost")
+    greedy = evaluate_crpq(query, graph, use_index=True, planner="greedy")
+    oracle = evaluate_crpq(query, graph, use_index=False, planner="greedy")
+    assert cost == greedy == oracle
+    freeze = lambda bindings: {tuple(sorted(b.items(), key=repr)) for b in bindings}
+    assert freeze(
+        evaluate_crpq_bindings(query, graph, use_index=True, planner="cost")
+    ) == freeze(evaluate_crpq_bindings(query, graph, use_index=False))
+
+
+# ----------------------------------------------------------------------
+# batch executor vs per-query naive evaluation
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=graphs(),
+    workload=st.lists(regexes(max_leaves=4), min_size=1, max_size=6),
+)
+def test_batch_executor_equals_naive(graph, workload):
+    from repro.engine.batch import BatchExecutor
+
+    batch = BatchExecutor(jobs=1).run(graph, workload)
+    for regex, result in zip(workload, batch.results):
+        assert result == evaluate_rpq(regex, graph, use_index=False)

@@ -90,3 +90,62 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate", "fig2"])
+
+
+class TestWorkloadCLI:
+    def test_workload_run_random(self, capsys):
+        assert (
+            main(
+                [
+                    "workload",
+                    "run",
+                    "random",
+                    "--queries",
+                    "25",
+                    "--nodes",
+                    "30",
+                    "--edges",
+                    "90",
+                    "--jobs",
+                    "2",
+                    "--baseline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert report["mode"] == "batch"
+        assert report["num_queries"] == 25
+        assert report["num_unique"] <= 25
+        assert report["speedup_vs_seed"] > 0
+
+    def test_workload_run_fig2_with_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "workload",
+                    "run",
+                    "fig2",
+                    "--queries",
+                    "10",
+                    "--jobs",
+                    "1",
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert "engine_stats" in report
+        assert "engine stats:" in captured.err
+
+    def test_workload_per_source_matches_sweep(self, capsys):
+        args = ["workload", "run", "random", "--queries", "15", "--nodes", "20",
+                "--edges", "60", "--jobs", "1"]
+        assert main(args) == 0
+        sweep = json.loads(capsys.readouterr().out)
+        assert main(args + ["--per-source"]) == 0
+        per_source = json.loads(capsys.readouterr().out)
+        assert sweep["total_answers"] == per_source["total_answers"]
