@@ -11,6 +11,7 @@ times, the speedup, and the kernel's EngineStats counters into
 ``BENCH_engine.json`` via the ``engine_records`` fixture.
 """
 
+import os
 import statistics
 import time
 
@@ -25,6 +26,13 @@ QUERY = "a.(b+c)*.d"
 NUM_NODES = 150
 REPEATS = 5
 SIZES = (800, 1600, 3200)
+
+#: Smoke mode (CI): fewer samples, and a looser tracing-overhead bound to
+#: absorb shared-runner noise.  Full runs gate at < 5%.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+OVERHEAD_SAMPLES = 5 if SMOKE else 9
+OVERHEAD_CALLS = 20 if SMOKE else 60
+OVERHEAD_LIMIT = 0.25 if SMOKE else 0.05
 
 _SPEEDUPS: dict[int, float] = {}
 
@@ -82,3 +90,64 @@ def test_kernel_speedup_at_least_2x(engine_records):
         {"workload": "speedup_gate", "largest_size_speedup": largest}
     )
     assert largest >= 2.0, f"expected >=2x speedup, got {largest:.2f}x"
+
+
+def test_tracing_disabled_overhead(engine_records):
+    """Observability gate: disabled tracing costs < 5% kernel throughput.
+
+    The public kernel entry points now guard a span wrapper on
+    ``tracer.enabled``; with the default :data:`NULL_TRACER` installed the
+    extra work per call is one module-global read, one attribute check and
+    one function call into the uninstrumented body.  This test times the
+    guarded path against the bare body (``kernel._reachable``) on the
+    largest benchmark graph, interleaving samples so clock drift hits both
+    equally, and also records the *enabled* cost for reference.
+    """
+    from repro.engine import kernel
+    from repro.engine.tracing import Tracer, use_tracer
+
+    graph = random_graph(NUM_NODES, SIZES[-1], labels=LABELS, seed=11)
+    source = "v0"
+    compiled = kernel.compile_query(QUERY, graph)
+    oracle = kernel.reachable(compiled, graph, source)  # warm the index
+    assert kernel._reachable(compiled, graph, source) == oracle
+
+    def time_calls(func) -> float:
+        start = time.perf_counter()
+        for _ in range(OVERHEAD_CALLS):
+            func()
+        return time.perf_counter() - start
+
+    guarded_samples, baseline_samples = [], []
+    for _ in range(OVERHEAD_SAMPLES):
+        baseline_samples.append(
+            time_calls(lambda: kernel._reachable(compiled, graph, source))
+        )
+        guarded_samples.append(
+            time_calls(lambda: kernel.reachable(compiled, graph, source))
+        )
+    baseline_s = statistics.median(baseline_samples)
+    disabled_s = statistics.median(guarded_samples)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        enabled_s = time_calls(lambda: kernel.reachable(compiled, graph, source))
+
+    overhead = disabled_s / baseline_s - 1.0
+    engine_records.append(
+        {
+            "workload": "tracing_overhead",
+            "calls_per_sample": OVERHEAD_CALLS,
+            "samples": OVERHEAD_SAMPLES,
+            "baseline_median_s": baseline_s,
+            "disabled_median_s": disabled_s,
+            "enabled_total_s": enabled_s,
+            "disabled_overhead_ratio": overhead,
+            "limit": OVERHEAD_LIMIT,
+            "smoke": SMOKE,
+        }
+    )
+    assert len(tracer.roots) == OVERHEAD_CALLS
+    assert overhead < OVERHEAD_LIMIT, (
+        f"disabled tracing costs {overhead:.1%} (limit {OVERHEAD_LIMIT:.0%})"
+    )

@@ -112,6 +112,56 @@ def _cmd_dlrpq(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.explain import explain_query, render_explain
+
+    graph = _load_graph(args.graph)
+    report = explain_query(args.query, graph, planner=args.planner)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_explain(report))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.explain import profile_query, render_profile
+
+    graph = _load_graph(args.graph)
+    report = profile_query(args.query, graph, planner=args.planner)
+    stats = report.pop("_stats")
+    if args.json:
+        report.pop("_tracer")
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_profile(report))
+        print(stats.render(), file=sys.stderr)
+    return 0
+
+
+def _first_result_mismatch(log, expected, actual) -> str:
+    """Describe the first query whose batch answers differ from the seed."""
+    from repro.engine.kernel import query_text
+
+    for position, (want, got) in enumerate(zip(expected, actual)):
+        if want == got:
+            continue
+        entry = log[position]
+        expression = entry[1] if isinstance(entry, tuple) else entry
+        differing = sorted(want ^ got, key=repr)[0]
+        side = "missing from batch" if differing in want else "extra in batch"
+        return (
+            f"query #{position} {query_text(expression)!r}: "
+            f"first differing answer {differing!r} ({side}; "
+            f"seed={len(want)} answers, batch={len(got)})"
+        )
+    return "result lists differ in length"
+
+
 def _cmd_workload_run(args: argparse.Namespace) -> int:
     import json
 
@@ -134,20 +184,56 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
         )
     log = generate_query_log(args.queries, labels=labels, seed=args.log_seed)
 
-    report = run_query_log(
-        graph,
-        log,
-        jobs=args.jobs,
-        fork=args.fork,
-        multi_source=not args.per_source,
-    )
+    tracing = bool(args.trace_out) or args.slow_log > 0
+    if tracing:
+        from repro.engine.tracing import Tracer, use_tracer
+
+        tracer_scope = use_tracer(Tracer())
+    else:
+        from contextlib import nullcontext
+
+        tracer_scope = nullcontext()
+    with tracer_scope:
+        report = run_query_log(
+            graph,
+            log,
+            jobs=args.jobs,
+            fork=args.fork,
+            multi_source=not args.per_source,
+            slow_log=args.slow_log,
+        )
     digest = report.summary()
     if not args.stats:
         digest.pop("engine_stats", None)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for entry in report.timings:
+                handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        digest["trace_out"] = args.trace_out
+        print(
+            f"# wrote {len(report.timings)} query traces to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from repro.engine.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.fold_stats(report.stats)
+        if report.latency_histogram is not None:
+            registry.histogram(
+                "query_latency_seconds", report.latency_histogram.bounds
+            ).merge(report.latency_histogram)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.render_prometheus())
+        digest["metrics_out"] = args.metrics_out
     if args.baseline:
         baseline = run_query_log_sequential(graph, log)
         if baseline.results != report.results:
-            print("BASELINE MISMATCH: batch answers differ", file=sys.stderr)
+            detail = _first_result_mismatch(log, baseline.results, report.results)
+            print(
+                f"BASELINE MISMATCH: batch answers differ — {detail}",
+                file=sys.stderr,
+            )
             return 1
         digest["baseline_wall_seconds"] = round(baseline.wall_seconds, 6)
         digest["speedup_vs_seed"] = round(
@@ -237,6 +323,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id")
     experiment.set_defaults(handler=_cmd_experiment)
 
+    explain = commands.add_parser(
+        "explain",
+        help="show the plan (with cost/cardinality estimates) without "
+        "executing — RPQ regex or Datalog-style CRPQ",
+    )
+    explain.add_argument("graph", help="fig2, fig3, or a graph JSON file")
+    explain.add_argument("query", help="RPQ regex, or CRPQ if it contains ':-'")
+    explain.add_argument(
+        "--planner",
+        default="cost",
+        choices=("cost", "greedy"),
+        help="atom ordering to explain for CRPQs (default: cost)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="machine-readable plan report"
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    profile = commands.add_parser(
+        "profile",
+        help="execute a query under the tracer and print its span tree "
+        "(wall times, counters, estimated vs. actual cardinalities)",
+    )
+    profile.add_argument("graph", help="fig2, fig3, or a graph JSON file")
+    profile.add_argument("query", help="RPQ regex, or CRPQ if it contains ':-'")
+    profile.add_argument(
+        "--planner",
+        default=None,
+        choices=("cost", "greedy"),
+        help="CRPQ atom ordering (default: the engine's cost planner)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print spans + engine stats (with the derived block) as JSON",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     workload = commands.add_parser(
         "workload",
         help="workload-scale execution of synthetic query logs "
@@ -289,6 +413,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="include aggregated engine counters/timers in the report",
+    )
+    wrun.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        help="trace every unique query and write one JSON record per line "
+        "({query, source, seconds, trace}) to this file",
+    )
+    wrun.add_argument(
+        "--slow-log",
+        type=int,
+        default=0,
+        metavar="N",
+        help="keep the N slowest queries (with full traces) and list them "
+        "in the report digest",
+    )
+    wrun.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the merged latency histogram and engine counters in "
+        "Prometheus text exposition format",
     )
     wrun.set_defaults(handler=_cmd_workload_run)
 

@@ -20,8 +20,9 @@ joins do not recompute the same BFS.
 from __future__ import annotations
 
 from repro.crpq.ast import CRPQ, RPQAtom, Var
-from repro.crpq.planning import greedy_plan, make_plan
+from repro.crpq.planning import explain_steps, greedy_plan, make_plan
 from repro.engine.index import get_reversed
+from repro.engine.tracing import get_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import reverse as regex_reverse
 from repro.rpq.evaluation import compile_for_graph, evaluate_rpq, reachable_by_rpq
@@ -151,51 +152,87 @@ def evaluate_crpq_bindings(
         from repro.crpq.ast import parse_crpq
 
         query = parse_crpq(query)
-    if plan is not None:
-        ordered = plan
-    elif planner is not None:
-        ordered = make_plan(query, graph, planner, stats=stats)
-    elif use_index:
-        ordered = make_plan(query, graph, "cost", stats=stats)
-    else:
-        ordered = greedy_plan(query, graph)
-    access = _AtomAccess(graph, use_index=use_index, stats=stats)
-
-    bindings: list[dict] = [{}]
-    for atom in ordered:
-        next_bindings: list[dict] = []
-        for binding in bindings:
-            left = _resolve(atom.left, binding)
-            right = _resolve(atom.right, binding)
-            if left is not None and graph.has_node(left):
-                targets = access.forward(atom.regex, left)
-                if right is not None:
-                    if right in targets:
-                        next_bindings.append(binding)
-                else:
-                    for node in targets:
-                        extended = _extend(binding, atom.right, node)
-                        if extended is not None:
-                            next_bindings.append(extended)
-            elif right is not None and graph.has_node(right):
-                sources = access.backward(atom.regex, right)
-                for node in sources:
-                    extended = _extend(binding, atom.left, node)
-                    if extended is not None:
-                        next_bindings.append(extended)
-            elif left is None and right is None:
-                for source, target in access.full(atom.regex):
-                    extended = _extend(binding, atom.left, source)
-                    if extended is None:
-                        continue
-                    extended = _extend(extended, atom.right, target)
-                    if extended is not None:
-                        next_bindings.append(extended)
-            # else: a bound term is not even a node of the graph -> no match
-        bindings = next_bindings
-        if not bindings:
-            break
+    tracer = get_tracer()
+    with tracer.span("crpq.evaluate", query=query.name) as query_span:
+        with tracer.span("crpq.plan", planner=planner or "default"):
+            if plan is not None:
+                ordered = plan
+            elif planner is not None:
+                ordered = make_plan(query, graph, planner, stats=stats)
+            elif use_index:
+                ordered = make_plan(query, graph, "cost", stats=stats)
+            else:
+                ordered = greedy_plan(query, graph)
+            # When tracing, price the chosen order up front so every
+            # per-atom span carries its estimate next to the actual
+            # cardinality it produced.
+            steps = (
+                explain_steps(ordered, graph, stats=stats)
+                if tracer.enabled
+                else None
+            )
+        if query_span is not None:
+            query_span.set(atoms=len(ordered))
+        access = _AtomAccess(graph, use_index=use_index, stats=stats)
+        bindings: list[dict] = [{}]
+        for position, atom in enumerate(ordered):
+            attributes = {}
+            if steps is not None:
+                step = steps[position]
+                attributes = {
+                    "atom": step.atom_text,
+                    "access": step.access,
+                    "estimated_cost": round(step.estimated_cost, 4),
+                    "estimated_pairs": round(step.estimated_pairs, 4),
+                }
+            with tracer.span("crpq.atom", **attributes) as atom_span:
+                bindings = _apply_atom(atom, bindings, access, graph)
+                if atom_span is not None:
+                    atom_span.set(actual_cardinality=len(bindings))
+            if not bindings:
+                break
+        if query_span is not None:
+            query_span.set(bindings=len(bindings))
     return bindings
+
+
+def _apply_atom(
+    atom: RPQAtom,
+    bindings: list[dict],
+    access: _AtomAccess,
+    graph: EdgeLabeledGraph,
+) -> list[dict]:
+    """Join one atom's relation into the current partial bindings."""
+    next_bindings: list[dict] = []
+    for binding in bindings:
+        left = _resolve(atom.left, binding)
+        right = _resolve(atom.right, binding)
+        if left is not None and graph.has_node(left):
+            targets = access.forward(atom.regex, left)
+            if right is not None:
+                if right in targets:
+                    next_bindings.append(binding)
+            else:
+                for node in targets:
+                    extended = _extend(binding, atom.right, node)
+                    if extended is not None:
+                        next_bindings.append(extended)
+        elif right is not None and graph.has_node(right):
+            sources = access.backward(atom.regex, right)
+            for node in sources:
+                extended = _extend(binding, atom.left, node)
+                if extended is not None:
+                    next_bindings.append(extended)
+        elif left is None and right is None:
+            for source, target in access.full(atom.regex):
+                extended = _extend(binding, atom.left, source)
+                if extended is None:
+                    continue
+                extended = _extend(extended, atom.right, target)
+                if extended is not None:
+                    next_bindings.append(extended)
+        # else: a bound term is not even a node of the graph -> no match
+    return next_bindings
 
 
 def evaluate_crpq(

@@ -19,6 +19,8 @@ an open practical problem.  Two planners implement it here:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.crpq.ast import CRPQ, RPQAtom, Var
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.regex.ast import (
@@ -31,7 +33,13 @@ from repro.regex.ast import (
     Symbol,
     Union,
     nullable,
+    to_string,
 )
+
+
+def atom_text(atom: RPQAtom) -> str:
+    """``regex(left, right)`` with variables rendered as ``?name``."""
+    return f"{to_string(atom.regex)}({atom.left!r}, {atom.right!r})"
 
 
 def label_statistics(graph: EdgeLabeledGraph) -> dict:
@@ -178,6 +186,87 @@ def cost_plan(
         remaining.remove(best)
         bound |= best.variables()
     return plan
+
+
+@dataclass(frozen=True, slots=True)
+class PlanStep:
+    """One priced step of an ordered CRPQ plan (what ``repro explain`` shows).
+
+    ``estimated_cost`` is the expected number of bindings one access to the
+    atom's relation produces under the bound-variable state at this point of
+    the plan; ``estimated_pairs`` is the cardinality estimate of the atom's
+    full relation ``|[[R]]_G|``.  The per-atom spans recorded during
+    evaluation carry these estimates next to the *actual* cardinality, so
+    plan quality is auditable after the fact.
+    """
+
+    atom: RPQAtom
+    access: str
+    estimated_cost: float
+    estimated_pairs: float
+    left_bound: bool
+    right_bound: bool
+
+    @property
+    def atom_text(self) -> str:
+        return atom_text(self.atom)
+
+    def as_dict(self) -> dict:
+        return {
+            "atom": self.atom_text,
+            "access": self.access,
+            "estimated_cost": round(self.estimated_cost, 4),
+            "estimated_pairs": round(self.estimated_pairs, 4),
+        }
+
+
+def _access_name(left_bound: bool, right_bound: bool) -> str:
+    if left_bound and right_bound:
+        return "check"
+    if left_bound:
+        return "forward"
+    if right_bound:
+        return "backward"
+    return "full"
+
+
+def explain_steps(
+    ordered: list[RPQAtom],
+    graph: EdgeLabeledGraph,
+    *,
+    stats=None,
+) -> list[PlanStep]:
+    """Price an already-ordered plan step by step.
+
+    Replays the bound-variable propagation of :func:`cost_plan` over any
+    atom order (cost-chosen, greedy, or user-supplied), so estimates are
+    comparable across planners.  Compilation goes through the engine's LRU
+    cache — explaining a plan warms the very automata evaluation will run.
+    """
+    from repro.engine import kernel
+    from repro.engine.cardinality import CardinalityModel
+
+    model = CardinalityModel(graph, stats)
+    steps: list[PlanStep] = []
+    bound: set[Var] = set()
+    for atom in ordered:
+        left_bound = not isinstance(atom.left, Var) or atom.left in bound
+        right_bound = not isinstance(atom.right, Var) or atom.right in bound
+        compiled = kernel.compile_query(atom.regex, graph, stats=stats)
+        steps.append(
+            PlanStep(
+                atom=atom,
+                access=_access_name(left_bound, right_bound),
+                estimated_cost=model.access_cost(
+                    compiled, left_bound=left_bound, right_bound=right_bound
+                ),
+                estimated_pairs=model.pair_estimate(compiled),
+                left_bound=left_bound,
+                right_bound=right_bound,
+            )
+        )
+        bound |= atom.variables()
+    return steps
 
 
 #: Planner registry used by ``evaluate_crpq(..., planner=...)``.

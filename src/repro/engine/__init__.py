@@ -16,7 +16,13 @@ One optimization layer under every language frontend in the library:
   planner;
 * :mod:`repro.engine.batch` — the workload driver: deduplicate
   structurally-equal queries, pre-warm the cache, share the index, fan out
-  over a thread or process pool.
+  over a thread or process pool;
+* :mod:`repro.engine.tracing` — hierarchical span tracer (thread-local
+  current-span stacks, zero-cost no-op singleton when disabled) behind
+  ``repro profile`` and workload trace files;
+* :mod:`repro.engine.metrics` — log-scale latency histograms and a
+  counter/histogram registry with Prometheus text and JSON exposition;
+* :mod:`repro.engine.explain` — EXPLAIN/PROFILE reports for the CLI.
 
 Every frontend keeps its original naive implementation behind
 ``use_index=False``; the differential tests compare the two.
@@ -40,7 +46,16 @@ from repro.engine.kernel import (
     holds,
     reachable,
 )
+from repro.engine.metrics import Histogram, MetricsRegistry
 from repro.engine.stats import EngineStats
+from repro.engine.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "BatchExecutor",
@@ -51,6 +66,12 @@ __all__ = [
     "DEFAULT_CACHE",
     "EngineStats",
     "GraphIndex",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
     "alphabet_for",
     "compile_query",
     "compile_uncached",
@@ -60,6 +81,8 @@ __all__ = [
     "evaluate_sweep",
     "get_index",
     "get_reversed",
+    "get_tracer",
     "holds",
     "reachable",
+    "use_tracer",
 ]

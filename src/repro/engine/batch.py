@@ -35,7 +35,9 @@ from dataclasses import dataclass, field
 from repro.engine import kernel
 from repro.engine.cache import DEFAULT_CACHE, CompilationCache
 from repro.engine.index import get_index
+from repro.engine.metrics import Histogram, MetricsRegistry
 from repro.engine.stats import EngineStats
+from repro.engine.tracing import Tracer, get_tracer, use_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import Regex
 
@@ -66,6 +68,13 @@ class BatchResult:
     fork: bool
     wall_seconds: float
     phase_seconds: dict = field(default_factory=dict)
+    #: one latency observation per executed (unique) work item
+    latency_histogram: "Histogram | None" = None
+    #: per-item ``{"query", "source", "seconds", "trace"}`` records;
+    #: ``trace`` is a span-tree dict when tracing was enabled, else None
+    timings: list = field(default_factory=list)
+    #: the ``slow_log`` worst timings, sorted slowest-first
+    slow_queries: list = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -80,7 +89,7 @@ class BatchResult:
 
     def summary(self) -> dict:
         """A JSON-ready digest (what the CLI and benchmarks report)."""
-        return {
+        digest = {
             "num_queries": self.num_queries,
             "num_unique": self.num_unique,
             "dedup_ratio": round(self.dedup_ratio, 4),
@@ -93,6 +102,30 @@ class BatchResult:
             },
             "engine_stats": self.stats.as_dict(),
         }
+        if self.latency_histogram is not None and self.latency_histogram.count:
+            digest["query_latency"] = self.latency_histogram.as_dict()
+        if self.slow_queries:
+            # Traces can be large; the digest keeps the compact view and the
+            # full span trees stay on ``slow_queries``/``timings``.
+            digest["slow_queries"] = [
+                {
+                    "query": entry["query"],
+                    "source": entry["source"],
+                    "seconds": round(entry["seconds"], 6),
+                }
+                for entry in self.slow_queries
+            ]
+        return digest
+
+    def metrics(self, namespace: str = "repro") -> MetricsRegistry:
+        """The batch as a :class:`MetricsRegistry` (Prometheus/JSON export)."""
+        registry = MetricsRegistry(namespace)
+        registry.fold_stats(self.stats)
+        if self.latency_histogram is not None:
+            registry.histogram(
+                "query_latency_seconds", self.latency_histogram.bounds
+            ).merge(self.latency_histogram)
+        return registry
 
 
 def _normalize(query) -> tuple:
@@ -117,28 +150,49 @@ def _process_worker_init(graph_json: str) -> None:
 
 
 def _process_worker_run(payload):
-    """Evaluate a chunk of unique work items against the worker's graph."""
-    multi_source, items = payload
+    """Evaluate a chunk of unique work items against the worker's graph.
+
+    Returns ``(records, counters, timers)`` — the *raw* per-worker stats
+    dicts, not a rounded :meth:`EngineStats.as_dict` snapshot, so the parent
+    merge loses neither sub-microsecond timers nor any phase key (regression
+    test: ``tests/engine/test_batch.py::TestProcessPool``).  When ``trace``
+    is set each item runs under a worker-local tracer and its span tree
+    travels back as a plain dict.
+    """
+    multi_source, trace, items = payload
     graph = _WORKER_GRAPH
     stats = EngineStats()
-    out = []
+    tracer = Tracer() if trace else None
+    records = []
     for position, regex, source in items:
-        compiled = kernel.compile_query(regex, graph, stats=stats)
-        if source is None:
-            answer = kernel.evaluate(
-                compiled, graph, stats=stats, multi_source=multi_source
-            )
+        started = time.perf_counter()
+        trace_dict = None
+        if tracer is not None:
+            with use_tracer(tracer):
+                with tracer.span(
+                    "batch.query",
+                    query=kernel.query_text(regex),
+                    source=str(source) if source is not None else None,
+                ) as span:
+                    answer = _evaluate_item(
+                        graph, regex, source, stats, multi_source
+                    )
+                    span.set(answers=len(answer))
+            trace_dict = span.as_dict()
         else:
-            answer = kernel.reachable(compiled, graph, source, stats=stats)
-        out.append((position, answer))
-    return out, stats.as_dict()
+            answer = _evaluate_item(graph, regex, source, stats, multi_source)
+        seconds = time.perf_counter() - started
+        records.append((position, answer, seconds, trace_dict))
+    return records, stats.counters, stats.timers
 
 
-def _merge_stats_dict(stats: EngineStats, snapshot: dict) -> None:
-    for name, value in snapshot.get("counters", {}).items():
-        stats.count(name, value)
-    for name, value in snapshot.get("timers", {}).items():
-        stats.add_time(name, value)
+def _evaluate_item(graph, regex, source, stats, multi_source):
+    compiled = kernel.compile_query(regex, graph, stats=stats)
+    if source is None:
+        return kernel.evaluate(
+            compiled, graph, stats=stats, multi_source=multi_source
+        )
+    return kernel.reachable(compiled, graph, source, stats=stats)
 
 
 class BatchExecutor:
@@ -159,6 +213,9 @@ class BatchExecutor:
         evaluation (default) or the per-source BFS loop (the oracle).
     cache:
         the compilation cache to pre-warm (default: the engine-wide LRU).
+    slow_log:
+        keep the N slowest work items (with their full span trees when the
+        active tracer is enabled) on :attr:`BatchResult.slow_queries`.
     """
 
     def __init__(
@@ -168,13 +225,17 @@ class BatchExecutor:
         fork: bool = False,
         multi_source: bool = True,
         cache: "CompilationCache | None" = None,
+        slow_log: int = 0,
     ):
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if slow_log < 0:
+            raise ValueError("slow_log must be >= 0")
         self.fork = fork
         self.multi_source = multi_source
         self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.slow_log = slow_log
 
     # ------------------------------------------------------------------
     # the driver
@@ -225,12 +286,30 @@ class BatchExecutor:
         # 4. fan evaluation of the unique items out over the pool.
         t0 = time.perf_counter()
         if self.fork:
-            answers = self._run_processes(graph, unique, stats)
+            answers, raw_timings = self._run_processes(graph, unique, stats)
         else:
-            answers = self._run_threads(graph, unique, compiled, stats)
+            answers, raw_timings = self._run_threads(graph, unique, compiled, stats)
         phases["evaluate"] = time.perf_counter() - t0
 
-        # 5. fan answers back out to every duplicate occurrence.
+        # 5. merge per-item latencies into the workload histogram and keep
+        #    the slow-query log (the N worst items, traces attached).
+        histogram = Histogram()
+        timings: list[dict] = []
+        for (regex, source), seconds, trace in raw_timings:
+            histogram.observe(seconds)
+            timings.append(
+                {
+                    "query": kernel.query_text(regex),
+                    "source": str(source) if source is not None else None,
+                    "seconds": seconds,
+                    "trace": trace,
+                }
+            )
+        slow_queries = sorted(
+            timings, key=lambda entry: entry["seconds"], reverse=True
+        )[: self.slow_log]
+
+        # 6. fan answers back out to every duplicate occurrence.
         results: list = [None] * len(workload)
         for item, positions in groups.items():
             answer = answers[item]
@@ -248,6 +327,9 @@ class BatchExecutor:
             fork=self.fork,
             wall_seconds=wall,
             phase_seconds=phases,
+            latency_histogram=histogram,
+            timings=timings,
+            slow_queries=slow_queries,
         )
 
     def run_grouped(
@@ -287,41 +369,77 @@ class BatchExecutor:
         return kernel.reachable(compiled_query, graph, source, stats=stats)
 
     def _run_threads(self, graph, unique, compiled, stats):
+        """Thread-pool fan-out; per-query spans land on the active tracer.
+
+        Each work item runs in its own pool thread, so with tracing enabled
+        its ``batch.query`` span opens on that thread's empty span stack and
+        becomes a root — per-query trees never interleave across workers
+        (the tracer's current-span stack is thread-local).
+        """
+
         def work(item):
             regex, source = item
             local = EngineStats()
-            answer = self._evaluate_one(graph, compiled[regex], source, local)
-            return item, answer, local
+            tracer = get_tracer()
+            started = time.perf_counter()
+            if tracer.enabled:
+                with tracer.span(
+                    "batch.query",
+                    query=kernel.query_text(regex),
+                    source=str(source) if source is not None else None,
+                ) as span:
+                    answer = self._evaluate_one(
+                        graph, compiled[regex], source, local
+                    )
+                    span.set(answers=len(answer))
+                trace = span.as_dict()
+            else:
+                answer = self._evaluate_one(graph, compiled[regex], source, local)
+                trace = None
+            seconds = time.perf_counter() - started
+            return item, answer, local, seconds, trace
 
         answers: dict[tuple, set] = {}
+        timings: list[tuple] = []
         if self.jobs == 1 or len(unique) <= 1:
-            for item in unique:
-                item, answer, local = work(item)
-                answers[item] = answer
-                stats.merge(local)
-            return answers
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            for item, answer, local in pool.map(work, unique):
-                answers[item] = answer
-                stats.merge(local)
-        return answers
+            outputs = map(work, unique)
+        else:
+            pool = ThreadPoolExecutor(max_workers=self.jobs)
+            outputs = pool.map(work, unique)
+        for item, answer, local, seconds, trace in outputs:
+            answers[item] = answer
+            stats.merge(local)
+            timings.append((item, seconds, trace))
+        if self.jobs > 1 and len(unique) > 1:
+            pool.shutdown()
+        return answers, timings
 
     def _run_processes(self, graph, unique, stats):
         from repro.graph.serialize import dumps
 
+        trace = get_tracer().enabled
         graph_json = dumps(graph)
         chunks: list[list] = [[] for _ in range(min(self.jobs * 4, len(unique)) or 1)]
         for position, (regex, source) in enumerate(unique):
             chunks[position % len(chunks)].append((position, regex, source))
         answers: dict[tuple, set] = {}
+        timings: list[tuple] = []
         with ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_process_worker_init,
             initargs=(graph_json,),
         ) as pool:
-            payloads = [(self.multi_source, chunk) for chunk in chunks if chunk]
-            for out, snapshot in pool.map(_process_worker_run, payloads):
-                for position, answer in out:
+            payloads = [
+                (self.multi_source, trace, chunk) for chunk in chunks if chunk
+            ]
+            for records, counters, timers in pool.map(
+                _process_worker_run, payloads
+            ):
+                for position, answer, seconds, trace_dict in records:
                     answers[unique[position]] = answer
-                _merge_stats_dict(stats, snapshot)
-        return answers
+                    timings.append((unique[position], seconds, trace_dict))
+                for name, value in counters.items():
+                    stats.count(name, value)
+                for name, value in timers.items():
+                    stats.add_time(name, value)
+        return answers, timings

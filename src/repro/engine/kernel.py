@@ -34,8 +34,22 @@ from repro.engine.cache import (
 )
 from repro.engine.index import get_index
 from repro.engine.stats import EngineStats
+from repro.engine.tracing import get_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
-from repro.regex.ast import Regex
+from repro.regex.ast import Regex, to_string
+
+
+def query_text(query: "Regex | str | CompiledQuery") -> str:
+    """A short textual rendering of a query for span attributes and logs."""
+    if isinstance(query, str):
+        return query
+    if isinstance(query, CompiledQuery):
+        if query.regex is None:
+            return repr(query)
+        return to_string(query.regex)
+    if isinstance(query, Regex):
+        return to_string(query)
+    return repr(query)
 
 
 def compile_query(
@@ -52,6 +66,21 @@ def compile_query(
     """
     if isinstance(query, CompiledQuery):
         return query
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("kernel.compile", query=query_text(query)) as span:
+            compiled = _compile_query(query, graph, cache, stats)
+            span.set(states=compiled.nfa.num_states, alphabet=len(compiled.alphabet))
+            return compiled
+    return _compile_query(query, graph, cache, stats)
+
+
+def _compile_query(
+    query: "Regex | str",
+    graph: EdgeLabeledGraph,
+    cache: "CompilationCache | None",
+    stats: "EngineStats | None",
+) -> CompiledQuery:
     started = time.perf_counter()
     if cache is None:
         regex = query if isinstance(query, Regex) else None
@@ -81,6 +110,24 @@ def reachable(
     label index, so each automaton transition out of a state inspects only
     the edges that actually carry its symbol.
     """
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "kernel.reachable", query=query_text(compiled), source=str(source)
+        ) as span:
+            answers = _reachable(compiled, graph, source, stats)
+            span.set(answers=len(answers))
+            return answers
+    return _reachable(compiled, graph, source, stats)
+
+
+def _reachable(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source: ObjectId,
+    stats: "EngineStats | None" = None,
+) -> set[ObjectId]:
+    """The uninstrumented BFS body (also the tracing-overhead baseline)."""
     if not graph.has_node(source):
         return set()
     started = time.perf_counter()
@@ -126,6 +173,27 @@ def holds(
     stats: "EngineStats | None" = None,
 ) -> bool:
     """Whether ``(source, target)`` answers the query, with early exit."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "kernel.holds",
+            query=query_text(compiled),
+            source=str(source),
+            target=str(target),
+        ) as span:
+            found = _holds(compiled, graph, source, target, stats)
+            span.set(found=found)
+            return found
+    return _holds(compiled, graph, source, target, stats)
+
+
+def _holds(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source: ObjectId,
+    target: ObjectId,
+    stats: "EngineStats | None" = None,
+) -> bool:
     if not (graph.has_node(source) and graph.has_node(target)):
         return False
     started = time.perf_counter()
@@ -207,6 +275,24 @@ def evaluate_sweep(
     product edges again and again — happens here once per pair, with origin
     bookkeeping done by C-level set operations on batches of sources.
     """
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "kernel.evaluate_sweep", query=query_text(compiled)
+        ) as span:
+            answers = _evaluate_sweep(compiled, graph, sources, stats)
+            span.set(answers=len(answers))
+            return answers
+    return _evaluate_sweep(compiled, graph, sources, stats)
+
+
+def _evaluate_sweep(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    sources: "Iterable[ObjectId] | None" = None,
+    stats: "EngineStats | None" = None,
+) -> set[tuple[ObjectId, ObjectId]]:
+    """The uninstrumented sweep body (also the tracing-overhead baseline)."""
     started = time.perf_counter()
     if sources is None:
         source_list = list(graph.iter_nodes())

@@ -95,26 +95,56 @@ class EngineStats:
         """The current value of a counter (0 if never incremented)."""
         return self.counters.get(name, 0)
 
+    def derived(self) -> dict:
+        """Ratios and rates computed from the raw counters and timers.
+
+        Included in :meth:`as_dict` (and therefore in ``repro profile
+        --json`` and the benchmark JSON files); keys appear only when their
+        inputs were recorded, so empty stats derive an empty dict.
+        """
+        out: dict = {}
+        hits = self.counters.get("cache_hits", 0)
+        misses = self.counters.get("cache_misses", 0)
+        if hits + misses:
+            out["cache_hit_rate"] = round(hits / (hits + misses), 6)
+        parse_hits = self.counters.get("parse_hits", 0)
+        parse_misses = self.counters.get("parse_misses", 0)
+        if parse_hits + parse_misses:
+            out["parse_hit_rate"] = round(
+                parse_hits / (parse_hits + parse_misses), 6
+            )
+        answers = self.counters.get("answers", 0)
+        bfs_seconds = self.timers.get("bfs", 0.0)
+        if answers and bfs_seconds > 0:
+            out["answers_per_second"] = round(answers / bfs_seconds, 2)
+        return out
+
     def as_dict(self) -> dict:
-        """A JSON-serializable snapshot ``{"counters": ..., "timers": ...}``."""
+        """A JSON snapshot: ``{"counters": ..., "timers": ..., "derived": ...}``."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "timers": {name: round(value, 6) for name, value in sorted(self.timers.items())},
+            "derived": self.derived(),
         }
 
     def render(self) -> str:
         """Human-readable multi-line report (what ``--stats`` prints)."""
-        lines = ["engine stats:"]
+        lines = ["engine stats:", "  counters:"]
         if self.counters:
             width = max(len(name) for name in self.counters)
             for name in sorted(self.counters):
-                lines.append(f"  {name:<{width}}  {self.counters[name]}")
+                lines.append(f"    {name:<{width}}  {self.counters[name]}")
         else:
-            lines.append("  (no counters recorded)")
+            lines.append("    (no counters recorded)")
+        lines.append("  timers:")
         if self.timers:
             width = max(len(name) for name in self.timers)
             for name in sorted(self.timers):
-                lines.append(f"  {name:<{width}}  {self.timers[name] * 1000:.3f} ms")
+                lines.append(f"    {name:<{width}}  {self.timers[name] * 1000:.3f} ms")
+        else:
+            lines.append("    (no timers recorded)")
+        for name, value in sorted(self.derived().items()):
+            lines.append(f"  {name}: {value}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,243 @@
+"""Hierarchical query tracing: spans, per-thread trees, JSONL export.
+
+The paper's evaluation story (Sections 5-6) is about *where* the cost of a
+graph query goes — product construction vs. join order vs. enumeration —
+and the engine crosses exactly those phase boundaries at runtime.  This
+module records them as a tree of **spans**:
+
+* a :class:`Span` is a named interval (``start``/``end`` from
+  ``perf_counter``) with free-form attributes and child spans;
+* a :class:`Tracer` maintains a **thread-local** current-span stack, so the
+  :class:`~repro.engine.batch.BatchExecutor` thread-pool workers each grow
+  their own per-query trees without interleaving (tested by
+  ``tests/engine/test_tracing.py``);
+* finished root spans are collected on the tracer (under a lock) and can be
+  rendered as an indented tree (``repro profile``), exported as JSON dicts
+  (``repro profile --json``) or streamed one-tree-per-line to a ``.jsonl``
+  trace file (``repro workload run --trace-out``).
+
+Tracing is **disabled by default** and zero-cost when off: the module-level
+active tracer starts as :data:`NULL_TRACER`, whose ``enabled`` flag lets hot
+paths skip instrumentation with a single attribute check, and whose
+``span()`` hands back one reusable no-op context manager.  The
+``bench_engine.py`` overhead gate asserts the disabled path stays within a
+few percent of the uninstrumented kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One named, timed interval in a query's execution tree."""
+
+    __slots__ = ("name", "attributes", "start", "end", "parent", "children")
+
+    def __init__(self, name: str, attributes: "dict | None" = None, parent: "Span | None" = None):
+        self.name = name
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.start = time.perf_counter()
+        self.end: "float | None" = None
+        self.parent = parent
+        self.children: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self) -> "Span":
+        """Close the interval (idempotent; the tracer calls this on exit)."""
+        if self.end is None:
+            self.end = time.perf_counter()
+        return self
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall seconds from start to end (to *now* while still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict:
+        """A JSON-serializable tree (what trace files and ``--json`` carry)."""
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000, 6),
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-span-per-line tree with wall times and attributes."""
+        pad = "  " * indent
+        attrs = "".join(
+            f" {key}={value}" for key, value in sorted(self.attributes.items())
+        )
+        lines = [f"{pad}{self.name}  {self.duration * 1000:.3f} ms{attrs}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name!r} {self.duration * 1000:.3f}ms children={len(self.children)}>"
+
+
+class Tracer:
+    """Collects span trees, one current-span stack per thread.
+
+    ``span()`` is a context manager: the new span is pushed on the calling
+    thread's stack (becoming the parent of any span opened inside it on the
+    same thread) and, when it has no parent, appended to :attr:`roots` on
+    exit.  Different threads never see each other's stacks, so concurrent
+    workers produce disjoint trees.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> "Span | None":
+        """The innermost open span on the calling thread (None outside)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child of the calling thread's current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name, attributes, parent)
+        if parent is not None:
+            parent.children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.finish()
+            stack.pop()
+            if parent is None:
+                with self._lock:
+                    self.roots.append(span)
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the current span (no-op outside any span)."""
+        span = self.current()
+        if span is not None:
+            span.set(**attributes)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Every collected root tree, blank-line separated."""
+        with self._lock:
+            roots = list(self.roots)
+        return "\n".join(root.render() for root in roots)
+
+    def as_dicts(self) -> list[dict]:
+        with self._lock:
+            roots = list(self.roots)
+        return [root.as_dict() for root in roots]
+
+    def write_jsonl(self, path: str) -> int:
+        """Append one JSON span tree per line to ``path``; returns the count."""
+        trees = self.as_dicts()
+        with open(path, "a", encoding="utf-8") as handle:
+            for tree in trees:
+                handle.write(json.dumps(tree, sort_keys=True, default=str) + "\n")
+        return len(trees)
+
+
+class _NullContext:
+    """A reusable no-op context manager yielding ``None``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-time no-op.
+
+    Hot loops guard on ``tracer.enabled`` and skip attribute bookkeeping
+    entirely; code that unconditionally enters ``tracer.span(...)`` gets the
+    shared :class:`_NullContext` back, so no ``Span`` is ever allocated.
+    """
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str, **attributes):
+        return _NULL_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def annotate(self, **attributes) -> None:
+        return None
+
+    def render(self) -> str:
+        return ""
+
+    def as_dicts(self) -> list:
+        return []
+
+
+#: The process-wide disabled tracer (the default active tracer).
+NULL_TRACER = NullTracer()
+
+_ACTIVE: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The currently installed tracer (:data:`NULL_TRACER` unless enabled)."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer"):
+    """Install ``tracer`` as the process-wide active tracer for a scope.
+
+    Worker threads spawned inside the scope observe the same tracer (that is
+    the point: the batch executor's pool inherits it), so nesting different
+    tracers from concurrent threads is not supported — last installer wins.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

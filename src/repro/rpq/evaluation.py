@@ -27,6 +27,7 @@ from repro.automata.nfa import NFA
 from repro.engine import kernel
 from repro.engine.cache import DEFAULT_CACHE, CompiledQuery
 from repro.engine.stats import EngineStats
+from repro.engine.tracing import get_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import Regex, symbols
 from repro.regex.parser import parse_regex
@@ -135,6 +136,27 @@ def evaluate_rpq(
     Example 12: ``evaluate_rpq("Transfer*", figure2_graph())`` contains all
     36 pairs of accounts because the Transfer-subgraph is strongly connected.
     """
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "rpq.evaluate", query=kernel.query_text(query), use_index=use_index
+        ) as span:
+            answers = _evaluate_rpq(
+                query, graph, sources, use_index, multi_source, stats
+            )
+            span.set(answers=len(answers))
+            return answers
+    return _evaluate_rpq(query, graph, sources, use_index, multi_source, stats)
+
+
+def _evaluate_rpq(
+    query: "Regex | str | NFA | CompiledQuery",
+    graph: EdgeLabeledGraph,
+    sources: Iterable[ObjectId] | None = None,
+    use_index: bool = True,
+    multi_source: bool = True,
+    stats: "EngineStats | None" = None,
+) -> set[tuple[ObjectId, ObjectId]]:
     if use_index:
         if isinstance(query, CompiledQuery):
             compiled = query

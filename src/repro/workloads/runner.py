@@ -44,6 +44,12 @@ class WorkloadReport:
     fork: bool = False
     stats: "EngineStats | None" = None
     phase_seconds: dict = field(default_factory=dict)
+    #: the batch executor's merged per-query latency histogram
+    latency_histogram: "object | None" = None
+    #: per-unique-item ``{"query", "source", "seconds", "trace"}`` records
+    timings: list = field(default_factory=list)
+    #: the N worst items (slowest-first), traces attached when traced
+    slow_queries: list = field(default_factory=list)
 
     @property
     def total_answers(self) -> int:
@@ -75,6 +81,17 @@ class WorkloadReport:
             }
         if self.stats is not None:
             digest["engine_stats"] = self.stats.as_dict()
+        if self.latency_histogram is not None and self.latency_histogram.count:
+            digest["query_latency"] = self.latency_histogram.as_dict()
+        if self.slow_queries:
+            digest["slow_queries"] = [
+                {
+                    "query": entry["query"],
+                    "source": entry["source"],
+                    "seconds": round(entry["seconds"], 6),
+                }
+                for entry in self.slow_queries
+            ]
         return digest
 
 
@@ -97,10 +114,13 @@ def run_query_log(
     fork: bool = False,
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
+    slow_log: int = 0,
 ) -> WorkloadReport:
     """Evaluate every log expression's full relation via the batch executor."""
     expressions = _expressions(log)
-    executor = BatchExecutor(jobs=jobs, fork=fork, multi_source=multi_source)
+    executor = BatchExecutor(
+        jobs=jobs, fork=fork, multi_source=multi_source, slow_log=slow_log
+    )
     stats = stats if stats is not None else EngineStats()
     batch = executor.run(graph, expressions, stats=stats)
     return WorkloadReport(
@@ -113,6 +133,9 @@ def run_query_log(
         fork=batch.fork,
         stats=stats,
         phase_seconds=batch.phase_seconds,
+        latency_histogram=batch.latency_histogram,
+        timings=batch.timings,
+        slow_queries=batch.slow_queries,
     )
 
 

@@ -111,6 +111,81 @@ class TestProcessPool:
         inline = BatchExecutor(jobs=1).run(graph, workload[:8])
         assert forked.results == inline.results
 
+    def test_fork_merges_worker_timers(self, graph, workload):
+        """Regression: fork workers must ship timers back, not just counters.
+
+        Workers used to return a rounded ``as_dict()`` snapshot, which could
+        zero out sub-microsecond phase timers; they now return the raw
+        counter/timer dicts and the parent merges both.
+        """
+        stats = EngineStats()
+        try:
+            BatchExecutor(jobs=2, fork=True).run(graph, workload[:8], stats=stats)
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        assert stats.get("nodes_expanded") > 0  # worker counters merged
+        assert "bfs" in stats.timers  # worker timers merged
+        assert stats.timers["bfs"] > 0.0
+        assert "compile" in stats.timers
+
+    def test_fork_traces_travel_back_as_dicts(self, graph, workload):
+        from repro.engine.tracing import Tracer, use_tracer
+
+        try:
+            with use_tracer(Tracer()):
+                batch = BatchExecutor(jobs=2, fork=True).run(graph, workload[:6])
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable here: {error}")
+        assert len(batch.timings) == batch.num_unique
+        for entry in batch.timings:
+            assert entry["trace"]["name"] == "batch.query"
+            assert entry["trace"]["attributes"]["query"] == entry["query"]
+
+
+class TestTelemetry:
+    def test_latency_histogram_counts_unique_queries(self, graph, workload):
+        batch = BatchExecutor(jobs=2).run(graph, workload)
+        assert batch.latency_histogram is not None
+        assert batch.latency_histogram.count == batch.num_unique
+        assert batch.latency_histogram.total >= 0
+        digest = batch.summary()
+        assert digest["query_latency"]["count"] == batch.num_unique
+
+    def test_timings_without_tracer_have_no_traces(self, graph):
+        batch = BatchExecutor(jobs=1).run(graph, ["a.b", "c*"])
+        assert [entry["trace"] for entry in batch.timings] == [None, None]
+        assert all(entry["seconds"] >= 0 for entry in batch.timings)
+
+    def test_slow_log_keeps_worst_queries(self, graph, workload):
+        batch = BatchExecutor(jobs=1, slow_log=3).run(graph, workload)
+        assert len(batch.slow_queries) == 3
+        seconds = [entry["seconds"] for entry in batch.slow_queries]
+        assert seconds == sorted(seconds, reverse=True)
+        assert seconds[0] == max(entry["seconds"] for entry in batch.timings)
+        digest = batch.summary()
+        assert [entry["query"] for entry in digest["slow_queries"]] == [
+            entry["query"] for entry in batch.slow_queries
+        ]
+
+    def test_slow_log_disabled_by_default(self, graph, workload):
+        batch = BatchExecutor(jobs=1).run(graph, workload[:4])
+        assert batch.slow_queries == []
+        assert "slow_queries" not in batch.summary()
+
+    def test_negative_slow_log_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(slow_log=-1)
+
+    def test_metrics_export(self, graph, workload):
+        stats = EngineStats()
+        batch = BatchExecutor(jobs=1).run(graph, workload[:6], stats=stats)
+        registry = batch.metrics()
+        assert registry.counters["engine_batch_queries"] == 6
+        latency = registry.histograms["query_latency_seconds"]
+        assert latency.count == batch.num_unique
+        text = registry.render_prometheus()
+        assert "repro_query_latency_seconds_count" in text
+
 
 class TestRunner:
     def test_runner_matches_sequential(self, graph):

@@ -1,0 +1,126 @@
+"""Tests for EXPLAIN/PROFILE reports (``repro.engine.explain``)."""
+
+import json
+
+import pytest
+
+from repro.crpq.evaluation import evaluate_crpq
+from repro.engine.explain import (
+    explain_query,
+    profile_query,
+    query_kind,
+    render_explain,
+    render_profile,
+)
+from repro.graph.generators import random_graph
+from repro.rpq.evaluation import evaluate_rpq
+
+LABELS = ("a", "b", "c")
+CRPQ = "q(x, z) :- a.b(x, y), (a+c)*(y, z)"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(30, 150, labels=LABELS, seed=21)
+
+
+def test_query_kind():
+    assert query_kind("a.b*") == "rpq"
+    assert query_kind(CRPQ) == "crpq"
+
+
+class TestExplain:
+    def test_crpq_plan_has_estimates_per_step(self, graph):
+        report = explain_query(CRPQ, graph)
+        assert report["kind"] == "crpq"
+        assert report["planner"] == "cost"
+        assert report["head"] == ["?x", "?z"]
+        assert len(report["steps"]) == 2
+        for step in report["steps"]:
+            assert step["access"] in ("full", "forward", "backward", "check")
+            assert step["estimated_cost"] >= 0
+            assert step["estimated_pairs"] >= 0
+        # Explain plans, it never evaluates: a later evaluation must agree
+        # on the atom count but explain itself returns no answers field.
+        assert "answers" not in report
+
+    def test_crpq_greedy_planner(self, graph):
+        report = explain_query(CRPQ, graph, planner="greedy")
+        assert report["planner"] == "greedy"
+        assert len(report["steps"]) == 2
+
+    def test_rpq_report(self, graph):
+        report = explain_query("a.(b+c)*", graph)
+        assert report["kind"] == "rpq"
+        assert report["automaton"]["states"] >= 2
+        assert report["automaton"]["alphabet"] == len(LABELS)
+        assert report["estimates"]["pairs"] >= 0
+        assert report["first_labels"] == ["a"]
+        assert set(report["last_labels"]) == {"a", "b", "c"}
+        (step,) = report["steps"]
+        assert step["access"] == "full"
+
+    def test_report_is_json_serializable(self, graph):
+        for query in (CRPQ, "a*"):
+            json.dumps(explain_query(query, graph))
+
+    def test_render_crpq(self, graph):
+        text = render_explain(explain_query(CRPQ, graph))
+        assert text.startswith(f"CRPQ {CRPQ}")
+        assert "planner: cost" in text
+        assert "plan:" in text
+        assert "est_cost=" in text and "est_pairs=" in text
+        assert "1. " in text and "2. " in text
+
+    def test_render_rpq(self, graph):
+        text = render_explain(explain_query("a.b", graph))
+        assert text.startswith("RPQ a.b")
+        assert "automaton:" in text
+        assert "estimated:" in text
+        assert "access=full" in text
+
+
+class TestProfile:
+    def test_crpq_profile_pairs_estimates_with_actuals(self, graph):
+        report = profile_query(CRPQ, graph)
+        assert report["answers"] == len(evaluate_crpq(CRPQ, graph))
+        (root,) = report["spans"]
+        assert root["name"] == "crpq.evaluate"
+        names = [child["name"] for child in root["children"]]
+        assert names[0] == "crpq.plan"
+        atom_spans = [c for c in root["children"] if c["name"] == "crpq.atom"]
+        assert len(atom_spans) == 2
+        for span in atom_spans:
+            attributes = span["attributes"]
+            assert "estimated_cost" in attributes
+            assert "estimated_pairs" in attributes
+            assert attributes["actual_cardinality"] >= 0
+
+    def test_rpq_profile(self, graph):
+        report = profile_query("a.(b+c)*", graph)
+        assert report["answers"] == len(evaluate_rpq("a.(b+c)*", graph))
+        (root,) = report["spans"]
+        assert root["name"] == "rpq.evaluate"
+        assert root["attributes"]["answers"] == report["answers"]
+        assert root["duration_ms"] >= 0
+
+    def test_profile_stats_carry_derived_block(self, graph):
+        report = profile_query(CRPQ, graph)
+        assert "derived" in report["stats"]
+        public = {k: v for k, v in report.items() if not k.startswith("_")}
+        json.dumps(public)  # the --json payload must serialize
+
+    def test_render_profile(self, graph):
+        report = profile_query(CRPQ, graph)
+        text = render_profile(report)
+        assert text.startswith(f"CRPQ {CRPQ}")
+        assert f"answers: {report['answers']}" in text
+        assert "crpq.evaluate" in text
+        assert "crpq.atom" in text
+        assert "actual_cardinality" in text
+
+    def test_profile_leaves_global_tracer_disabled(self, graph):
+        from repro.engine.tracing import NULL_TRACER, get_tracer
+
+        profile_query("a.b", graph)
+        assert get_tracer() is NULL_TRACER

@@ -1,0 +1,169 @@
+"""Tests for histograms and the metrics registry (``repro.engine.metrics``)."""
+
+import math
+
+import pytest
+
+from repro.engine.metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+from repro.engine.stats import EngineStats
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert bounds[0] == pytest.approx(1e-6)
+        assert all(b2 == pytest.approx(2 * b1) for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[-1] > 8.0  # covers a multi-second product BFS
+
+    def test_observe_places_values_in_buckets(self):
+        histogram = Histogram(bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(5.0555)
+
+    def test_observe_boundary_is_inclusive(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_observe_clamps_negative_to_zero(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(-3.0)
+        assert histogram.bucket_counts == [1, 0]
+        assert histogram.total == 0.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_merge_adds_counts(self):
+        left, right = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        assert left.merge(right) is left
+        assert left.bucket_counts == [1, 1, 1]
+        assert left.count == 3
+        assert left.total == pytest.approx(11.0)
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_merge_equals_single_histogram(self):
+        """Merging worker histograms is exact, not approximate."""
+        whole = Histogram()
+        parts = [Histogram() for _ in range(3)]
+        values = [1e-6 * (1.7**i) for i in range(30)]
+        for i, value in enumerate(values):
+            whole.observe(value)
+            parts[i % 3].observe(value)
+        merged = Histogram()
+        for part in parts:
+            merged.merge(part)
+        assert merged.bucket_counts == whole.bucket_counts
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_quantile(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.9) == 4.0
+        assert histogram.quantile(1.0) == 4.0
+        assert Histogram().quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_quantile_overflow_bucket_is_inf(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(5.0)
+        assert math.isinf(histogram.quantile(0.99))
+
+    def test_mean(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_as_dict_buckets_are_cumulative_and_trimmed(self):
+        histogram = Histogram()
+        histogram.observe(0.01)
+        histogram.observe(0.02)
+        report = histogram.as_dict()
+        assert report["count"] == 2
+        assert report["sum"] == pytest.approx(0.03)
+        counts = [entry["count"] for entry in report["buckets"]]
+        assert counts == sorted(counts)  # cumulative
+        assert report["buckets"][0]["count"] > 0  # empty prefix trimmed
+        assert report["buckets"][-1] == {"le": "+Inf", "count": 2}
+        # Saturated suffix trimmed: at most one finite bucket at full count.
+        saturated = [
+            entry
+            for entry in report["buckets"][:-1]
+            if entry["count"] == report["count"]
+        ]
+        assert len(saturated) <= 1
+
+
+class TestMetricsRegistry:
+    def test_counters_are_monotone(self):
+        registry = MetricsRegistry()
+        registry.inc("queries_total")
+        registry.inc("queries_total", 4)
+        assert registry.counters["queries_total"] == 5
+        with pytest.raises(ValueError):
+            registry.inc("queries_total", -1)
+
+    def test_histogram_created_on_first_use(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("latency", bounds=(1.0,))
+        registry.observe("latency", 0.5)
+        assert registry.histogram("latency") is first
+        assert first.count == 1
+
+    def test_fold_stats(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 3)
+        stats.count("bfs_nodes", 10)
+        with stats.phase("bfs"):
+            pass
+        registry = MetricsRegistry()
+        registry.fold_stats(stats)
+        assert registry.counters["engine_cache_hits"] == 3
+        assert registry.counters["engine_bfs_nodes"] == 10
+        assert registry.counters["engine_bfs_seconds"] >= 0
+        # Folding twice accumulates — registries outlive one stats object.
+        registry.fold_stats(stats)
+        assert registry.counters["engine_cache_hits"] == 6
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.inc("a_total", 2)
+        registry.observe("latency_seconds", 0.004)
+        report = registry.as_dict()
+        assert report["counters"] == {"a_total": 2}
+        assert report["histograms"]["latency_seconds"]["count"] == 1
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry(namespace="test")
+        registry.inc("queries_total", 2)
+        registry.observe("latency_seconds", 0.004)
+        text = registry.render_prometheus()
+        assert "# TYPE test_queries_total counter" in text
+        assert "test_queries_total 2" in text
+        assert "# TYPE test_latency_seconds histogram" in text
+        assert 'test_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "test_latency_seconds_count 1" in text
+        assert "test_latency_seconds_sum 0.004" in text
+        assert text.endswith("\n")
+        # Cumulative convention: final finite bucket equals the count.
+        finite = [
+            line
+            for line in text.splitlines()
+            if line.startswith("test_latency_seconds_bucket") and "+Inf" not in line
+        ]
+        assert finite[-1].endswith(" 1")

@@ -96,3 +96,55 @@ class TestAggregation:
 
     def test_render_empty(self):
         assert "no counters" in EngineStats().render()
+
+    def test_render_sections_survive_empty_counters(self):
+        """Regression: timers get their section header even with no counters."""
+        stats = EngineStats()
+        stats.add_time("bfs", 0.002)
+        text = stats.render()
+        assert "counters:" in text
+        assert "no counters" in text
+        assert "timers:" in text
+        assert "bfs" in text
+
+    def test_render_empty_timers_section(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 1)
+        text = stats.render()
+        assert "timers:" in text
+        assert "no timers" in text
+
+
+class TestDerived:
+    def test_empty_stats_have_no_derived_metrics(self):
+        assert EngineStats().derived() == {}
+
+    def test_cache_hit_rate(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 3)
+        stats.count("cache_misses", 1)
+        assert stats.derived()["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_answers_per_second(self):
+        stats = EngineStats()
+        stats.count("answers", 100)
+        stats.add_time("bfs", 0.5)
+        assert stats.derived()["answers_per_second"] == pytest.approx(200.0)
+
+    def test_answers_without_timer_yield_no_rate(self):
+        stats = EngineStats()
+        stats.count("answers", 100)
+        assert "answers_per_second" not in stats.derived()
+
+    def test_as_dict_includes_derived_block(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 1)
+        stats.count("cache_misses", 1)
+        payload = json.loads(json.dumps(stats.as_dict()))
+        assert payload["derived"]["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_derived_appears_in_render(self):
+        stats = EngineStats()
+        stats.count("cache_hits", 9)
+        stats.count("cache_misses", 1)
+        assert "cache_hit_rate" in stats.render()

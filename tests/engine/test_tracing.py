@@ -1,0 +1,223 @@
+"""Tests for the hierarchical span tracer (``repro.engine.tracing``).
+
+The concurrency tests are the load-bearing ones: the batch executor fans
+queries out over a thread pool, and each worker must grow its own span tree
+— a span started on one thread must never become the child of a span open
+on another thread.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.batch import BatchExecutor
+from repro.engine.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
+from repro.graph.generators import random_graph
+from repro.workloads.querylog import generate_query_log
+
+LABELS = ("a", "b", "c")
+
+
+def spans_by_name(root, name):
+    return [span for span in root.walk() if span.name == name]
+
+
+class TestSpanBasics:
+    def test_span_records_interval_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("outer", query="a*") as outer:
+            with tracer.span("inner") as inner:
+                inner.set(answers=3)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent is outer
+        assert outer.attributes == {"query": "a*"}
+        assert inner.attributes == {"answers": 3}
+        assert outer.end is not None and inner.end is not None
+
+    def test_nesting_invariant_child_interval_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    time.sleep(0.001)
+        (root,) = tracer.roots
+        for span in root.walk():
+            for child in span.children:
+                assert child.start >= span.start
+                assert child.end <= span.end
+
+    def test_span_finishes_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (root,) = tracer.roots
+        assert root.end is not None
+        assert tracer.current() is None
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+
+    def test_as_dict_round_trips_through_json(self):
+        tracer = Tracer()
+        with tracer.span("outer", query="a"):
+            with tracer.span("inner", answers=1):
+                pass
+        payload = json.loads(json.dumps(tracer.as_dicts()))
+        assert payload[0]["name"] == "outer"
+        assert payload[0]["children"][0]["attributes"]["answers"] == 1
+
+    def test_render_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "ms" in lines[0]
+
+    def test_annotate_targets_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.annotate(flag=True)
+        assert tracer.roots[0].attributes == {"flag": True}
+        tracer.annotate(ignored=1)  # no current span: no-op, no error
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        path = tmp_path / "traces.jsonl"
+        assert tracer.write_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+
+
+class TestNullTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_yields_none_and_allocates_nothing(self):
+        first = NULL_TRACER.span("x", a=1)
+        second = NULL_TRACER.span("y")
+        assert first is second  # one shared no-op context manager
+        with first as span:
+            assert span is None
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.render() == ""
+        assert NULL_TRACER.as_dicts() == []
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        try:
+            with use_tracer(Tracer()):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert get_tracer() is NULL_TRACER
+
+
+class TestThreadIsolation:
+    def test_threads_never_interleave_spans(self):
+        """Two workers' trees stay disjoint even with forced overlap."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(f"outer-{name}"):
+                barrier.wait(timeout=5)  # both outers open concurrently
+                with tracer.span(f"inner-{name}"):
+                    time.sleep(0.005)
+                barrier.wait(timeout=5)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(work, ["a", "b"]))
+
+        assert sorted(root.name for root in tracer.roots) == [
+            "outer-a",
+            "outer-b",
+        ]
+        for root in tracer.roots:
+            suffix = root.name.rsplit("-", 1)[1]
+            assert [child.name for child in root.children] == [f"inner-{suffix}"]
+
+    def test_batch_executor_workers_get_per_query_trees(self):
+        graph = random_graph(30, 120, labels=LABELS, seed=5)
+        log = [regex for _shape, regex in generate_query_log(24, labels=LABELS, seed=4)]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            batch = BatchExecutor(jobs=3).run(graph, log)
+
+        roots = [root for root in tracer.roots if root.name == "batch.query"]
+        assert len(roots) == batch.num_unique
+        for root in roots:
+            # Nesting invariant: every child interval inside its parent.
+            for span in root.walk():
+                for child in span.children:
+                    assert child.start >= span.start
+                    assert child.end <= span.end
+            # Every span below a batch.query root describes that one query:
+            # the kernel spans' query attribute matches the root's.
+            query = root.attributes["query"]
+            for span in root.walk():
+                attr = span.attributes.get("query")
+                if attr is not None and span.name in (
+                    "rpq.evaluate",
+                    "kernel.compile",
+                    "kernel.evaluate_sweep",
+                ):
+                    assert attr == query, (
+                        f"span {span.name} of query {attr!r} interleaved "
+                        f"into the tree of {query!r}"
+                    )
+
+    def test_batch_executor_trace_dicts_align_with_timings(self):
+        graph = random_graph(20, 60, labels=LABELS, seed=6)
+        with use_tracer(Tracer()):
+            batch = BatchExecutor(jobs=2).run(graph, ["a.b", "c*", ("a", "v0")])
+        assert len(batch.timings) == 3
+        for entry in batch.timings:
+            assert entry["trace"] is not None
+            assert entry["trace"]["attributes"]["query"] == entry["query"]
+            assert entry["seconds"] >= 0
+
+
+class TestSubclassContract:
+    def test_null_tracer_mirrors_tracer_api(self):
+        for method in ("span", "current", "annotate", "render", "as_dicts"):
+            assert callable(getattr(NullTracer(), method))
+            assert callable(getattr(Tracer(), method))
+
+    def test_span_walk_is_depth_first(self):
+        root = Span("root")
+        child = Span("child", parent=root)
+        root.children.append(child)
+        grand = Span("grand", parent=child)
+        child.children.append(grand)
+        assert [span.name for span in root.walk()] == ["root", "child", "grand"]

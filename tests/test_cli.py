@@ -92,6 +92,71 @@ class TestCLI:
             main(["frobnicate", "fig2"])
 
 
+class TestExplainCLI:
+    CRPQ = "q(x,y) :- Transfer(x,y), Transfer(y,x)"
+
+    def test_explain_crpq_prints_plan_with_estimates(self, capsys):
+        assert main(["explain", "fig2", self.CRPQ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("CRPQ ")
+        assert "planner: cost" in out
+        assert "est_cost=" in out and "est_pairs=" in out
+
+    def test_explain_rpq(self, capsys):
+        assert main(["explain", "fig2", "Transfer*"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RPQ Transfer*")
+        assert "automaton:" in out
+        assert "access=full" in out
+
+    def test_explain_json(self, capsys):
+        assert main(["explain", "fig2", self.CRPQ, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "crpq"
+        assert all("estimated_cost" in step for step in report["steps"])
+
+    def test_explain_greedy_planner(self, capsys):
+        assert main(["explain", "fig2", self.CRPQ, "--planner", "greedy"]) == 0
+        assert "planner: greedy" in capsys.readouterr().out
+
+    def test_profile_prints_span_tree_and_stats(self, capsys):
+        assert main(["profile", "fig2", self.CRPQ]) == 0
+        captured = capsys.readouterr()
+        assert "crpq.evaluate" in captured.out
+        assert "crpq.atom" in captured.out
+        assert "actual_cardinality" in captured.out
+        assert "engine stats:" in captured.err
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "fig2", "Transfer*", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "rpq"
+        assert report["spans"][0]["name"] == "rpq.evaluate"
+        assert "derived" in report["stats"]
+
+
+class TestMismatchDetail:
+    def test_first_result_mismatch_names_query_and_answer(self):
+        from repro.cli import _first_result_mismatch
+
+        log = [("shape", "a.b"), ("shape", "c*")]
+        expected = [{("v0", "v1")}, {("v2", "v2"), ("v2", "v3")}]
+        actual = [{("v0", "v1")}, {("v2", "v2")}]
+        detail = _first_result_mismatch(log, expected, actual)
+        assert "query #1" in detail
+        assert "c*" in detail
+        assert "('v2', 'v3')" in detail
+        assert "missing from batch" in detail
+        assert "seed=2 answers, batch=1" in detail
+
+    def test_extra_answer_reported_from_batch_side(self):
+        from repro.cli import _first_result_mismatch
+
+        detail = _first_result_mismatch(["a"], [set()], [{("v0", "v1")}])
+        assert "extra in batch" in detail
+        assert "seed=0 answers, batch=1" in detail
+
+
 class TestWorkloadCLI:
     def test_workload_run_random(self, capsys):
         assert (
@@ -140,6 +205,63 @@ class TestWorkloadCLI:
         report = json.loads(captured.out)
         assert "engine_stats" in report
         assert "engine stats:" in captured.err
+
+    def test_workload_trace_out_and_slow_log(self, tmp_path, capsys):
+        trace_path = tmp_path / "traces.jsonl"
+        assert (
+            main(
+                [
+                    "workload",
+                    "run",
+                    "fig2",
+                    "--queries",
+                    "12",
+                    "--jobs",
+                    "1",
+                    "--trace-out",
+                    str(trace_path),
+                    "--slow-log",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        digest = json.loads(captured.out)
+        assert digest["trace_out"] == str(trace_path)
+        assert len(digest["slow_queries"]) == 3
+        assert digest["query_latency"]["count"] == digest["num_unique"]
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == digest["num_unique"]
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["trace"]["name"] == "batch.query"
+            assert entry["trace"]["attributes"]["query"] == entry["query"]
+        assert "query traces" in captured.err
+
+    def test_workload_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "workload",
+                    "run",
+                    "fig2",
+                    "--queries",
+                    "8",
+                    "--jobs",
+                    "1",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["metrics_out"] == str(metrics_path)
+        text = metrics_path.read_text()
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'repro_query_latency_seconds_bucket{le="+Inf"}' in text
 
     def test_workload_per_source_matches_sweep(self, capsys):
         args = ["workload", "run", "random", "--queries", "15", "--nodes", "20",
