@@ -1,0 +1,185 @@
+"""Server benchmark: concurrent clients against the resident query service.
+
+The scenario the service layer exists for (Section 6.2's finding that real
+query logs are small and highly repetitive): 8 concurrent clients drain a
+200-query synthetic log against one resident server.  Two passes run:
+
+* **cold** — the answer cache starts empty; unique expressions pay the
+  full compile + index + BFS path (repeats within the pass already hit);
+* **warm** — the same log again; every query is an answer-cache hit.
+
+Gates: zero client or server errors in both passes, and the server-side
+latency histograms must show answer-cache hits >= 3x faster than misses
+(the paper's repetitiveness argument made concrete).  ``REPRO_BENCH_SMOKE=1``
+shrinks the log for CI; the error gates still apply, the speedup is only
+recorded.
+
+Latency percentiles come from the *server's* histograms
+(``server_cache_hit_seconds`` / ``server_cache_miss_seconds`` /
+``server_request_seconds``), not client stopwatches, and land in
+``BENCH_server.json``.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.graph.generators import random_graph
+from repro.regex.ast import to_string
+from repro.server.app import ServerThread
+from repro.server.client import ServerClient
+from repro.workloads.querylog import generate_query_log
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+LABELS = tuple("abcdefgh")
+NUM_NODES = 60 if SMOKE else 150
+NUM_EDGES = 240 if SMOKE else 1600
+NUM_QUERIES = 48 if SMOKE else 200
+NUM_CLIENTS = 8
+GATE = 3.0
+
+
+def _drive(address, queries):
+    """One client connection draining its share of the log."""
+    errors = []
+    counts = []
+    with ServerClient(*address) as client:
+        for query in queries:
+            try:
+                counts.append(client.rpq("bench", query)["count"])
+            except Exception as exc:  # noqa: BLE001 - the gate is zero errors
+                errors.append(repr(exc))
+    return counts, errors
+
+
+def _run_pass(address, log):
+    """Fan the whole log out over NUM_CLIENTS concurrent connections."""
+    shares = [log[i::NUM_CLIENTS] for i in range(NUM_CLIENTS)]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
+        outcomes = list(pool.map(lambda share: _drive(address, share), shares))
+    wall = time.perf_counter() - started
+    counts = {}
+    errors = []
+    for share, (share_counts, share_errors) in zip(shares, outcomes):
+        errors.extend(share_errors)
+        for query, count in zip(share, share_counts):
+            counts[query] = count
+    return wall, counts, errors
+
+
+def test_concurrent_clients_and_answer_cache(server_records):
+    graph = random_graph(NUM_NODES, NUM_EDGES, labels=LABELS, seed=17)
+    log = [
+        to_string(regex)
+        for _shape, regex in generate_query_log(NUM_QUERIES, labels=LABELS, seed=5)
+    ]
+    unique = len(set(log))
+
+    with ServerThread() as harness:
+        with ServerClient(*harness.address) as admin:
+            admin.upload_graph("bench", graph)
+
+        cold_wall, cold_counts, cold_errors = _run_pass(harness.address, log)
+        warm_wall, warm_counts, warm_errors = _run_pass(harness.address, log)
+
+        with ServerClient(*harness.address) as admin:
+            stats = admin.stats()
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    assert cold_errors == [] and warm_errors == [], "zero-error gate"
+    assert warm_counts == cold_counts, "warm answers must equal cold answers"
+    counters = stats["metrics"]["counters"]
+    assert counters.get("server_errors_total", 0) == 0
+
+    cache = stats["answer_cache"]
+    assert cache["misses"] == unique  # each unique expression computed once
+    assert cache["hits"] == 2 * NUM_QUERIES - unique
+
+    histograms = stats["metrics"]["histograms"]
+    hit = histograms["server_cache_hit_seconds"]
+    miss = histograms["server_cache_miss_seconds"]
+    assert hit["count"] + miss["count"] == 2 * NUM_QUERIES
+    speedup = miss["mean"] / hit["mean"] if hit["mean"] else float("inf")
+    if not SMOKE:
+        assert speedup >= GATE, (
+            f"answer-cache hits only {speedup:.2f}x faster than misses "
+            f"(gate {GATE}x): hit mean {hit['mean']:.6f}s, "
+            f"miss mean {miss['mean']:.6f}s"
+        )
+
+    request = histograms["server_request_seconds"]
+    server_records.append(
+        {
+            "benchmark": "server_concurrent_clients",
+            "smoke": SMOKE,
+            "clients": NUM_CLIENTS,
+            "queries_per_pass": NUM_QUERIES,
+            "unique_queries": unique,
+            "graph": {"nodes": NUM_NODES, "edges": NUM_EDGES},
+            "cold_wall_seconds": round(cold_wall, 6),
+            "warm_wall_seconds": round(warm_wall, 6),
+            "cache_hit_speedup": round(speedup, 3),
+            "latency": {
+                "request_p50": request["p50"],
+                "request_p99": request["p99"],
+                "hit_p50": hit["p50"],
+                "hit_p99": hit["p99"],
+                "miss_p50": miss["p50"],
+                "miss_p99": miss["p99"],
+            },
+            "answer_cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+            },
+        }
+    )
+
+
+def test_admission_under_burst(server_records):
+    """A burst beyond every slot and queue position sheds load with typed
+    errors — overload must reject fast, never hang (the ISSUE-4 criterion),
+    while control ops keep answering."""
+    from repro.server.admission import AdmissionController
+    from repro.server.client import ServerError
+
+    admission = AdmissionController(
+        max_concurrency=2, max_queue=2, queue_timeout=0.2, query_timeout=5.0
+    )
+    outcomes = []
+    started = time.perf_counter()
+    with ServerThread(admission=admission) as harness:
+
+        def hold(_):
+            try:
+                with ServerClient(*harness.address) as client:
+                    client.sleep(0.5)
+                return "ok"
+            except ServerError as error:
+                return error.details.get("reason", error.code)
+
+        with ThreadPoolExecutor(max_workers=10) as pool:
+            futures = [pool.submit(hold, i) for i in range(10)]
+            time.sleep(0.1)
+            with ServerClient(*harness.address) as prober:
+                assert prober.ping() == {"pong": True}  # control op unstarved
+            outcomes = [future.result() for future in futures]
+    wall = time.perf_counter() - started
+
+    assert outcomes.count("ok") >= 2
+    shed = [o for o in outcomes if o in ("queue_full", "queue_timeout")]
+    assert len(shed) == len(outcomes) - outcomes.count("ok")
+    assert wall < 10.0  # nothing hung
+
+    server_records.append(
+        {
+            "benchmark": "server_admission_burst",
+            "smoke": SMOKE,
+            "requests": len(outcomes),
+            "admitted": outcomes.count("ok"),
+            "shed": len(shed),
+            "wall_seconds": round(wall, 6),
+        }
+    )

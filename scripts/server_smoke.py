@@ -1,0 +1,97 @@
+"""CI smoke check for the query service, end to end as a real process.
+
+Launches ``repro serve`` as a subprocess, uploads a graph, runs an RPQ and
+a CRPQ through the client, scrapes the HTTP facade (``/healthz`` and
+``/metrics``), then SIGTERMs the server and asserts a clean drain: exit
+code 0 and the metrics file flushed.  Exits non-zero on any deviation.
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    from repro.graph.datasets import figure2_graph
+    from repro.server.client import ServerClient, http_get
+
+    metrics_path = Path(tempfile.mkdtemp()) / "metrics.prom"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--metrics-out", str(metrics_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        announcement = json.loads(process.stdout.readline())
+        if announcement.get("event") != "listening":
+            fail(f"unexpected announcement: {announcement}")
+        host, port = announcement["host"], announcement["port"]
+        print(f"server listening on {host}:{port}")
+
+        with ServerClient(host, port) as client:
+            if client.ping() != {"pong": True}:
+                fail("ping did not pong")
+
+            info = client.upload_graph("smoke", figure2_graph())
+            print(f"uploaded 'smoke': {info['nodes']} nodes, "
+                  f"{info['edges']} edges")
+
+            rpq = client.rpq("smoke", "Transfer+")
+            if rpq["count"] <= 0:
+                fail("rpq returned no answers")
+            print(f"rpq Transfer+: {rpq['count']} pairs")
+            if client.rpq("smoke", "Transfer+") != rpq:
+                fail("cached rpq answer differs")
+
+            crpq = client.crpq("smoke", "Ans(x, y) :- Transfer(x, y), owner(y, z)")
+            if crpq["count"] <= 0:
+                fail("crpq returned no answers")
+            print(f"crpq: {crpq['count']} rows")
+
+        status, body = http_get(host, port, "/healthz")
+        health = json.loads(body)
+        if status != 200 or health["status"] != "ok":
+            fail(f"/healthz: {status} {body}")
+        print(f"/healthz: {health}")
+
+        status, body = http_get(host, port, "/metrics")
+        if status != 200:
+            fail(f"/metrics: {status}")
+        if "repro_server_requests_total" not in body:
+            fail("/metrics missing server_requests_total")
+        print(f"/metrics: {len(body.splitlines())} exposition lines")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+        if code != 0:
+            fail(f"server exited {code} after SIGTERM "
+                 f"(stderr: {process.stderr.read()[-2000:]})")
+        if "server_requests_total" not in metrics_path.read_text():
+            fail("metrics file not flushed on drain")
+        print("SIGTERM -> clean drain, exit 0, metrics flushed")
+        print("SMOKE OK")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -165,6 +165,7 @@ def _first_result_mismatch(log, expected, actual) -> str:
 def _cmd_workload_run(args: argparse.Namespace) -> int:
     import json
 
+    from repro.engine.stats import EngineStats
     from repro.workloads.querylog import generate_query_log
     from repro.workloads.runner import run_query_log, run_query_log_sequential
 
@@ -193,39 +194,61 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
         from contextlib import nullcontext
 
         tracer_scope = nullcontext()
-    with tracer_scope:
-        report = run_query_log(
-            graph,
-            log,
-            jobs=args.jobs,
-            fork=args.fork,
-            multi_source=not args.per_source,
-            slow_log=args.slow_log,
-        )
-    digest = report.summary()
-    if not args.stats:
-        digest.pop("engine_stats", None)
+    # The stats object lives out here so that an interrupt landing outside
+    # the batch fan-out (during parse/compile, say) still has telemetry to
+    # flush — whatever was folded in before the signal.
+    stats = EngineStats()
+    report = None
+    try:
+        with tracer_scope:
+            report = run_query_log(
+                graph,
+                log,
+                jobs=args.jobs,
+                fork=args.fork,
+                multi_source=not args.per_source,
+                slow_log=args.slow_log,
+                stats=stats,
+            )
+    except KeyboardInterrupt:
+        pass
+    interrupted = report is None or report.interrupted
+
+    if report is not None:
+        digest = report.summary()
+        if not args.stats:
+            digest.pop("engine_stats", None)
+    else:
+        digest = {"interrupted": True, "engine_stats": stats.as_dict()}
     if args.trace_out:
+        timings = report.timings if report is not None else []
         with open(args.trace_out, "w", encoding="utf-8") as handle:
-            for entry in report.timings:
+            for entry in timings:
                 handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
         digest["trace_out"] = args.trace_out
         print(
-            f"# wrote {len(report.timings)} query traces to {args.trace_out}",
+            f"# wrote {len(timings)} query traces to {args.trace_out}",
             file=sys.stderr,
         )
     if args.metrics_out:
         from repro.engine.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
-        registry.fold_stats(report.stats)
-        if report.latency_histogram is not None:
+        registry.fold_stats(stats)
+        histogram = report.latency_histogram if report is not None else None
+        if histogram is not None:
             registry.histogram(
-                "query_latency_seconds", report.latency_histogram.bounds
-            ).merge(report.latency_histogram)
+                "query_latency_seconds", histogram.bounds
+            ).merge(histogram)
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(registry.render_prometheus())
         digest["metrics_out"] = args.metrics_out
+    if interrupted:
+        # Partial flush done; the conventional 128+SIGINT exit code tells
+        # scripts the run was cut short but telemetry survived.
+        print(json.dumps(digest, indent=2, sort_keys=True))
+        print("# interrupted: partial telemetry flushed", file=sys.stderr)
+        return 130
     if args.baseline:
         baseline = run_query_log_sequential(graph, log)
         if baseline.results != report.results:
@@ -242,6 +265,79 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
     print(json.dumps(digest, indent=2, sort_keys=True))
     if args.stats:
         print(report.stats.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.admission import AdmissionController
+    from repro.server.app import QueryServer
+    from repro.server.service import GraphCatalog, QueryService
+
+    catalog = GraphCatalog.with_builtins()
+    for spec in args.graphs or ():
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(
+                f"--graphs entries must be name=path.json, got {spec!r}"
+            )
+        catalog.register(name, _load_graph(path))
+    admission = AdmissionController(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        query_timeout=args.query_timeout,
+        max_request_bytes=args.max_request_bytes,
+    )
+    service = QueryService(catalog, answer_cache_size=args.answer_cache)
+    server = QueryServer(
+        service,
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        announce=True,
+    )
+    asyncio.run(server.serve())
+    print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _connect(spec: str):
+    from repro.server.client import ServerClient
+
+    host, _, port = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    return ServerClient(host, int(port))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Run one query against a *running* server (``--connect host:port``)."""
+    import json
+
+    from repro.engine.explain import query_kind
+    from repro.server.client import ServerError
+
+    try:
+        with _connect(args.connect) as client:
+            if args.explain:
+                result = client.explain(args.graph, args.query)
+            elif query_kind(args.query) == "crpq":
+                result = client.crpq(args.graph, args.query)
+            else:
+                result = client.rpq(args.graph, args.query, source=args.source)
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    if args.json or args.explain:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+        return 0
+    for row in result.get("pairs") or result.get("rows") or []:
+        print("\t".join(str(value) for value in row))
+    print(f"# {result['count']} answers", file=sys.stderr)
     return 0
 
 
@@ -435,6 +531,75 @@ def build_parser() -> argparse.ArgumentParser:
         "Prometheus text exposition format",
     )
     wrun.set_defaults(handler=_cmd_workload_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident query service (JSON-lines TCP + HTTP "
+        "/query /healthz /metrics; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7687,
+        help="listening port (0 picks a free port; the bound address is "
+        "announced as a JSON line on stdout)",
+    )
+    serve.add_argument(
+        "--graphs", nargs="*", metavar="NAME=FILE.json",
+        help="extra graphs to preload next to the built-in fig2/fig3",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="worker slots: queries executing at once (default 8)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32,
+        help="requests allowed to wait for a slot before fast rejection",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=2.0,
+        help="seconds a queued request may wait before the typed "
+        "'overloaded' rejection",
+    )
+    serve.add_argument(
+        "--query-timeout", type=float, default=30.0,
+        help="per-query wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=int, default=1 << 20,
+        help="request size limit (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--answer-cache", type=int, default=512,
+        help="answer-cache entries (default 512)",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the Prometheus exposition here on graceful drain",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="FILE.jsonl",
+        help="enable the span tracer and stream server.request trees here",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query",
+        help="send one query to a running server (repro serve) and print "
+        "its answers",
+    )
+    query.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="server address, e.g. 127.0.0.1:7687",
+    )
+    query.add_argument("graph", help="cataloged graph name (e.g. fig2)")
+    query.add_argument("query", help="RPQ regex, or CRPQ if it contains ':-'")
+    query.add_argument("--source", help="restrict the RPQ to one source node")
+    query.add_argument(
+        "--explain", action="store_true",
+        help="ask the server for the plan instead of executing",
+    )
+    query.add_argument("--json", action="store_true", help="JSON output")
+    query.set_defaults(handler=_cmd_query)
 
     return parser
 

@@ -29,7 +29,12 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
 from repro.engine import kernel
@@ -75,6 +80,10 @@ class BatchResult:
     timings: list = field(default_factory=list)
     #: the ``slow_log`` worst timings, sorted slowest-first
     slow_queries: list = field(default_factory=list)
+    #: True when a KeyboardInterrupt cut the fan-out short; results of
+    #: never-evaluated queries stay ``None`` and the telemetry (histogram,
+    #: timings, stats) covers only the work that actually ran.
+    interrupted: bool = False
 
     @property
     def dedup_ratio(self) -> float:
@@ -85,7 +94,12 @@ class BatchResult:
 
     @property
     def total_answers(self) -> int:
-        return sum(len(result) for result in self.results)
+        return sum(len(result) for result in self.results if result is not None)
+
+    @property
+    def num_completed(self) -> int:
+        """Input queries whose answers were computed before any interrupt."""
+        return sum(1 for result in self.results if result is not None)
 
     def summary(self) -> dict:
         """A JSON-ready digest (what the CLI and benchmarks report)."""
@@ -102,6 +116,9 @@ class BatchResult:
             },
             "engine_stats": self.stats.as_dict(),
         }
+        if self.interrupted:
+            digest["interrupted"] = True
+            digest["num_completed"] = self.num_completed
         if self.latency_histogram is not None and self.latency_histogram.count:
             digest["query_latency"] = self.latency_histogram.as_dict()
         if self.slow_queries:
@@ -283,12 +300,20 @@ class BatchExecutor:
         get_index(graph, stats)
         phases["index"] = time.perf_counter() - t0
 
-        # 4. fan evaluation of the unique items out over the pool.
+        # 4. fan evaluation of the unique items out over the pool.  A
+        #    KeyboardInterrupt (Ctrl-C mid-workload) stops the fan-out but
+        #    keeps everything already computed: partial answers, partial
+        #    latencies and merged stats survive into the BatchResult so the
+        #    CLI can flush telemetry before exiting 130.
         t0 = time.perf_counter()
         if self.fork:
-            answers, raw_timings = self._run_processes(graph, unique, stats)
+            answers, raw_timings, interrupted = self._run_processes(
+                graph, unique, stats
+            )
         else:
-            answers, raw_timings = self._run_threads(graph, unique, compiled, stats)
+            answers, raw_timings, interrupted = self._run_threads(
+                graph, unique, compiled, stats
+            )
         phases["evaluate"] = time.perf_counter() - t0
 
         # 5. merge per-item latencies into the workload histogram and keep
@@ -309,9 +334,12 @@ class BatchExecutor:
             timings, key=lambda entry: entry["seconds"], reverse=True
         )[: self.slow_log]
 
-        # 6. fan answers back out to every duplicate occurrence.
+        # 6. fan answers back out to every duplicate occurrence (items the
+        #    interrupt cut off have no answer and stay None).
         results: list = [None] * len(workload)
         for item, positions in groups.items():
+            if item not in answers:
+                continue
             answer = answers[item]
             for position in positions:
                 results[position] = answer
@@ -330,6 +358,7 @@ class BatchExecutor:
             latency_histogram=histogram,
             timings=timings,
             slow_queries=slow_queries,
+            interrupted=interrupted,
         )
 
     def run_grouped(
@@ -401,18 +430,49 @@ class BatchExecutor:
 
         answers: dict[tuple, set] = {}
         timings: list[tuple] = []
-        if self.jobs == 1 or len(unique) <= 1:
-            outputs = map(work, unique)
-        else:
-            pool = ThreadPoolExecutor(max_workers=self.jobs)
-            outputs = pool.map(work, unique)
-        for item, answer, local, seconds, trace in outputs:
+        interrupted = False
+
+        def collect(output) -> None:
+            item, answer, local, seconds, trace = output
             answers[item] = answer
             stats.merge(local)
             timings.append((item, seconds, trace))
-        if self.jobs > 1 and len(unique) > 1:
+
+        if self.jobs == 1 or len(unique) <= 1:
+            try:
+                for item in unique:
+                    collect(work(item))
+            except KeyboardInterrupt:
+                interrupted = True
+            return answers, timings, interrupted
+
+        # submit + wait (not pool.map): completed futures are harvested even
+        # when an interrupt lands, so partial work is never thrown away.
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        done: set = set()
+        pending: set = set()
+        try:
+            pending = {pool.submit(work, item) for item in unique}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                while done:
+                    collect(done.pop().result())
+        except KeyboardInterrupt:
+            interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            # Harvest whatever finished besides the interrupt: futures still
+            # in the last ``done`` batch (popped-before-collected ones are
+            # gone already, the rest remain) plus any that completed between
+            # the interrupt and the shutdown.
+            for future in done | pending:
+                if future.done() and not future.cancelled():
+                    try:
+                        collect(future.result())
+                    except KeyboardInterrupt:
+                        pass
+        else:
             pool.shutdown()
-        return answers, timings
+        return answers, timings, interrupted
 
     def _run_processes(self, graph, unique, stats):
         from repro.graph.serialize import dumps
@@ -424,22 +484,43 @@ class BatchExecutor:
             chunks[position % len(chunks)].append((position, regex, source))
         answers: dict[tuple, set] = {}
         timings: list[tuple] = []
-        with ProcessPoolExecutor(
+        interrupted = False
+
+        def collect(payload_result) -> None:
+            records, counters, timers = payload_result
+            for position, answer, seconds, trace_dict in records:
+                answers[unique[position]] = answer
+                timings.append((unique[position], seconds, trace_dict))
+            for name, value in counters.items():
+                stats.count(name, value)
+            for name, value in timers.items():
+                stats.add_time(name, value)
+
+        pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_process_worker_init,
             initargs=(graph_json,),
-        ) as pool:
+        )
+        done: set = set()
+        pending: set = set()
+        try:
             payloads = [
                 (self.multi_source, trace, chunk) for chunk in chunks if chunk
             ]
-            for records, counters, timers in pool.map(
-                _process_worker_run, payloads
-            ):
-                for position, answer, seconds, trace_dict in records:
-                    answers[unique[position]] = answer
-                    timings.append((unique[position], seconds, trace_dict))
-                for name, value in counters.items():
-                    stats.count(name, value)
-                for name, value in timers.items():
-                    stats.add_time(name, value)
-        return answers, timings
+            pending = {pool.submit(_process_worker_run, p) for p in payloads}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                while done:
+                    collect(done.pop().result())
+        except KeyboardInterrupt:
+            interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            for future in done | pending:
+                if future.done() and not future.cancelled():
+                    try:
+                        collect(future.result())
+                    except KeyboardInterrupt:
+                        pass
+        else:
+            pool.shutdown()
+        return answers, timings, interrupted

@@ -22,6 +22,7 @@ cache key (no fragile string hashing).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable
 
@@ -76,6 +77,14 @@ class CompilationCache:
     Eviction is least-recently-*used*: both hits and inserts refresh an
     entry's recency.  ``maxsize`` bounds the compiled-query map; the parse
     cache shares the same bound (entries are tiny).
+
+    The cache is **thread-safe**: the query service executes requests on a
+    worker pool that shares the process-wide :data:`DEFAULT_CACHE`, and the
+    ``OrderedDict`` recency updates (``move_to_end`` racing ``popitem``)
+    corrupt without mutual exclusion.  One lock guards both maps; the
+    protected sections are dict operations only — compilation itself runs
+    outside the lock would be nicer, but a duplicate Glushkov run is rarer
+    and cheaper than the lock dance, so misses compile while holding it.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -84,6 +93,7 @@ class CompilationCache:
         self.maxsize = maxsize
         self._compiled: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._parsed: OrderedDict[str, Regex] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -95,21 +105,22 @@ class CompilationCache:
     # ------------------------------------------------------------------
     def parse(self, text: str, stats=None) -> Regex:
         """Parse (or recall) a regex from source text."""
-        cached = self._parsed.get(text)
-        if cached is not None:
-            self._parsed.move_to_end(text)
-            self.parse_hits += 1
+        with self._lock:
+            cached = self._parsed.get(text)
+            if cached is not None:
+                self._parsed.move_to_end(text)
+                self.parse_hits += 1
+                if stats is not None:
+                    stats.count("parse_hits")
+                return cached
+            regex = parse_regex(text)
+            self.parse_misses += 1
             if stats is not None:
-                stats.count("parse_hits")
-            return cached
-        regex = parse_regex(text)
-        self.parse_misses += 1
-        if stats is not None:
-            stats.count("parse_misses")
-        self._parsed[text] = regex
-        if len(self._parsed) > self.maxsize:
-            self._parsed.popitem(last=False)
-        return regex
+                stats.count("parse_misses")
+            self._parsed[text] = regex
+            if len(self._parsed) > self.maxsize:
+                self._parsed.popitem(last=False)
+            return regex
 
     # ------------------------------------------------------------------
     # compiling
@@ -127,50 +138,57 @@ class CompilationCache:
         """
         regex = self.parse(query, stats) if isinstance(query, str) else query
         key = (regex, frozenset(alphabet))
-        cached = self._compiled.get(key)
-        if cached is not None:
-            self._compiled.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            cached = self._compiled.get(key)
+            if cached is not None:
+                self._compiled.move_to_end(key)
+                self.hits += 1
+                if stats is not None:
+                    stats.count("cache_hits")
+                return cached
+            compiled = CompiledQuery(
+                regex, key[1], compile_regex(regex, alphabet=key[1])
+            )
+            self.misses += 1
             if stats is not None:
-                stats.count("cache_hits")
-            return cached
-        compiled = CompiledQuery(regex, key[1], compile_regex(regex, alphabet=key[1]))
-        self.misses += 1
-        if stats is not None:
-            stats.count("cache_misses")
-        self._compiled[key] = compiled
-        if len(self._compiled) > self.maxsize:
-            self._compiled.popitem(last=False)
-            self.evictions += 1
-        return compiled
+                stats.count("cache_misses")
+            self._compiled[key] = compiled
+            if len(self._compiled) > self.maxsize:
+                self._compiled.popitem(last=False)
+                self.evictions += 1
+            return compiled
 
     # ------------------------------------------------------------------
     # inspection / maintenance
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._compiled)
+        with self._lock:
+            return len(self._compiled)
 
     def keys(self) -> list[tuple]:
         """Cache keys in eviction order (least recently used first)."""
-        return list(self._compiled)
+        with self._lock:
+            return list(self._compiled)
 
     def info(self) -> dict:
         """Hit/miss/eviction counters plus current sizes."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "parse_hits": self.parse_hits,
-            "parse_misses": self.parse_misses,
-            "size": len(self._compiled),
-            "parse_size": len(self._parsed),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "parse_hits": self.parse_hits,
+                "parse_misses": self.parse_misses,
+                "size": len(self._compiled),
+                "parse_size": len(self._parsed),
+                "maxsize": self.maxsize,
+            }
 
     def clear(self) -> None:
         """Drop every entry (counters are kept: they are monotone)."""
-        self._compiled.clear()
-        self._parsed.clear()
+        with self._lock:
+            self._compiled.clear()
+            self._parsed.clear()
 
 
 #: The process-wide cache used by the evaluators unless one is injected.

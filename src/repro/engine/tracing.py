@@ -164,6 +164,17 @@ class Tracer:
             roots = list(self.roots)
         return [root.as_dict() for root in roots]
 
+    def drain_roots(self) -> list:
+        """Remove and return the collected root spans.
+
+        Long-lived processes (the query server) flush roots to their trace
+        sink incrementally; without draining, a resident tracer would grow
+        without bound.
+        """
+        with self._lock:
+            roots, self.roots = self.roots, []
+        return roots
+
     def write_jsonl(self, path: str) -> int:
         """Append one JSON span tree per line to ``path``; returns the count."""
         trees = self.as_dicts()
@@ -212,6 +223,9 @@ class NullTracer:
         return ""
 
     def as_dicts(self) -> list:
+        return []
+
+    def drain_roots(self) -> list:
         return []
 
 

@@ -1,0 +1,150 @@
+"""Admission control: keep an overloaded service fast at saying no.
+
+The complexity results the paper catalogs (Sections 5-6) mean a single
+adversarial query can hold a worker for a long time; a service that keeps
+queueing behind such queries converts one slow query into unbounded latency
+for everyone.  The controller bounds every axis:
+
+* ``max_concurrency`` — a semaphore of worker slots; at most this many
+  queries execute at once (matched to the worker pool size);
+* ``max_queue`` — how many requests may *wait* for a slot.  A request that
+  arrives with the queue full is rejected immediately with the typed
+  ``overloaded`` error (the 429-style fast path — callers never hang);
+* ``queue_timeout`` — a queued request that does not get a slot in time is
+  rejected with the same typed error rather than waiting forever;
+* ``query_timeout`` — the per-query wall-clock budget enforced by the app
+  around execution (``asyncio.wait_for``); the worker thread itself cannot
+  be killed mid-BFS, but the client gets its typed ``timeout`` answer the
+  moment the budget expires;
+* ``max_request_bytes`` — the request-size limit the protocol decoder and
+  the stream reader enforce.
+
+Rejections are counted per reason so ``/metrics`` shows *why* work was
+shed, and the ``snapshot()`` view feeds ``stats`` responses and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+from repro.server.protocol import OverloadedError
+
+#: Defaults sized for a small Python service: a handful of concurrent
+#: product-BFS evaluations is already CPU-saturating under the GIL.
+DEFAULT_MAX_CONCURRENCY = 8
+DEFAULT_MAX_QUEUE = 32
+DEFAULT_QUEUE_TIMEOUT = 2.0
+DEFAULT_QUERY_TIMEOUT = 30.0
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+
+class AdmissionController:
+    """Semaphore + bounded wait queue + timeouts, with rejection counters."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        query_timeout: float = DEFAULT_QUERY_TIMEOUT,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout <= 0 or query_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be >= 1")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.query_timeout = query_timeout
+        self.max_request_bytes = max_request_bytes
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._active = 0
+        self._waiting = 0
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.rejected_queue_timeout = 0
+
+    # ------------------------------------------------------------------
+    # the slot protocol
+    # ------------------------------------------------------------------
+    @asynccontextmanager
+    async def slot(self):
+        """Hold one execution slot; raise ``overloaded`` instead of hanging.
+
+        The fast rejection happens *before* touching the semaphore: when
+        the requests already admitted-or-waiting fill every slot plus the
+        whole wait queue, the caller is turned away synchronously — the
+        check is on total commitments (``active + waiting``), which is
+        monotone under the event loop's interleaving, so a burst of N
+        arrivals sheds exactly ``N - slots - queue`` of them no matter how
+        the scheduler orders their semaphore acquisitions.  Otherwise the
+        caller queues, bounded by ``queue_timeout``.
+        """
+        if self._active + self._waiting >= self.max_concurrency + self.max_queue:
+            self.rejected_queue_full += 1
+            raise OverloadedError(
+                f"all {self.max_concurrency} slots busy and the wait queue "
+                f"of {self.max_queue} is full",
+                reason="queue_full",
+                active=self._active,
+                waiting=self._waiting,
+            )
+        self._waiting += 1
+        try:
+            try:
+                await asyncio.wait_for(
+                    self._semaphore.acquire(), self.queue_timeout
+                )
+            except asyncio.TimeoutError:
+                self.rejected_queue_timeout += 1
+                raise OverloadedError(
+                    f"no execution slot freed within the "
+                    f"{self.queue_timeout}s queue timeout",
+                    reason="queue_timeout",
+                    active=self._active,
+                    waiting=self._waiting - 1,
+                ) from None
+        finally:
+            self._waiting -= 1
+        self._active += 1
+        self.admitted += 1
+        try:
+            yield self
+        finally:
+            self._active -= 1
+            self._semaphore.release()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Requests currently holding a slot."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return self._waiting
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view for ``stats`` responses and tests."""
+        return {
+            "max_concurrency": self.max_concurrency,
+            "max_queue": self.max_queue,
+            "queue_timeout": self.queue_timeout,
+            "query_timeout": self.query_timeout,
+            "max_request_bytes": self.max_request_bytes,
+            "active": self._active,
+            "waiting": self._waiting,
+            "admitted": self.admitted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_queue_timeout": self.rejected_queue_timeout,
+        }

@@ -1,0 +1,464 @@
+"""The asyncio server: TCP JSON-lines, an HTTP façade, graceful drain.
+
+One listening socket speaks both transports: the first line of a
+connection decides whether it is an HTTP request (``GET /healthz``,
+``GET /metrics``, ``GET /stats``, ``POST /query``) or a JSON-lines session
+(any number of protocol requests, one per line, answered in order).
+Execution always flows through the same path — admission slot, worker-pool
+``run_in_executor``, per-query ``wait_for`` budget — so both transports
+share the typed error vocabulary and the metrics.
+
+**Graceful drain** (SIGTERM/SIGINT, or :meth:`QueryServer.request_drain`):
+
+1. stop accepting — the listening socket closes immediately;
+2. finish in-flight — requests already received keep their slots and their
+   responses are delivered; requests arriving on still-open connections
+   after the signal get the typed ``shutting_down`` error;
+3. flush — the metrics registry is written to ``--metrics-out`` (Prometheus
+   text) and collected span trees to ``--trace-out`` (JSONL), then every
+   remaining connection is closed and the serve loop returns so the CLI
+   exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.tracing import NULL_TRACER, Tracer, use_tracer
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (
+    CONTROL_OPS,
+    BadRequestError,
+    QueryTimeoutError,
+    Request,
+    RequestTooLargeError,
+    ServiceError,
+    ShuttingDownError,
+    decode_request,
+    encode_response,
+    error_response,
+    http_status_for,
+    ok_response,
+)
+from repro.server.service import QueryService
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
+
+
+class QueryServer:
+    """The resident service: one instance per process, many connections."""
+
+    def __init__(
+        self,
+        service: "QueryService | None" = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: "AdmissionController | None" = None,
+        metrics_out: "str | None" = None,
+        trace_out: "str | None" = None,
+        announce: bool = False,
+    ):
+        self.service = service if service is not None else QueryService()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.host = host
+        self.port = port
+        self.metrics_out = metrics_out
+        self.trace_out = trace_out
+        self.announce = announce
+        self._server: "asyncio.AbstractServer | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.admission.max_concurrency,
+            thread_name_prefix="repro-query",
+        )
+        self._tracer = Tracer() if trace_out else NULL_TRACER
+        self._draining = False
+        self._drain_task: "asyncio.Task | None" = None
+        self._in_flight = 0
+        self._idle: "asyncio.Event | None" = None
+        self._done: "asyncio.Event | None" = None
+        self._writers: set = set()
+        #: set once the listening socket is bound (thread-safe: ServerThread
+        #: waits on it from another thread before handing out the address)
+        self.started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid once :attr:`started` is set)."""
+        return (self.host, self.port)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listening socket (idempotent)."""
+        if self._server is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self.port,
+            limit=self.admission.max_request_bytes + 4096,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started.set()
+        if self.announce:
+            print(
+                json.dumps(
+                    {"event": "listening", "host": self.host, "port": self.port}
+                ),
+                flush=True,
+            )
+
+    async def serve(self, *, install_signals: bool = True) -> None:
+        """Run until drained.  The CLI entry point and ServerThread body."""
+        with use_tracer(self._tracer):
+            await self.start()
+            if install_signals:
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(sig, self.request_drain)
+                    except NotImplementedError:  # pragma: no cover - windows
+                        pass
+            await self._done.wait()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (signal-handler and cross-thread safe)."""
+        if self._loop is None or self._drain_task is not None:
+            return
+        self._drain_task = self._loop.create_task(self._drain())
+
+    def request_drain_threadsafe(self) -> None:
+        """Schedule :meth:`request_drain` from any thread (idempotent —
+        a loop that already drained and closed is left alone)."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.request_drain)
+        except RuntimeError:
+            pass  # loop already closed: the drain has happened
+
+    async def _drain(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight requests (received before the signal) run to completion
+        # and their responses are written before connections die.
+        if self._idle is not None:
+            await self._idle.wait()
+        self.flush()
+        for writer in list(self._writers):
+            writer.close()
+        self._pool.shutdown(wait=True)
+        if self._done is not None:
+            self._done.set()
+
+    def flush(self) -> None:
+        """Write the metrics exposition and pending span trees to disk."""
+        if self.metrics_out:
+            with open(self.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(self.service.metrics.render_prometheus())
+        self._flush_traces()
+
+    def _flush_traces(self) -> None:
+        if not self.trace_out or not self._tracer.enabled:
+            return
+        roots = self._tracer.drain_roots()
+        if not roots:
+            return
+        with open(self.trace_out, "a", encoding="utf-8") as handle:
+            for root in roots:
+                handle.write(
+                    json.dumps(root.as_dict(), sort_keys=True, default=str) + "\n"
+                )
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            try:
+                first = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(
+                    encode_response(
+                        error_response(
+                            None,
+                            RequestTooLargeError(
+                                "request line exceeds the size limit"
+                            ),
+                        )
+                    )
+                )
+                await writer.drain()
+                return
+            if not first:
+                return
+            if first.startswith(_HTTP_METHODS):
+                await self._handle_http(first, reader, writer)
+            else:
+                await self._handle_jsonl(first, reader, writer)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # JSON-lines transport
+    # ------------------------------------------------------------------
+    async def _handle_jsonl(self, first: bytes, reader, writer) -> None:
+        line = first
+        while line:
+            if line.strip():
+                response = await self._respond_to_line(line)
+                writer.write(encode_response(response))
+                await writer.drain()
+                self._flush_traces()
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(
+                    encode_response(
+                        error_response(
+                            None,
+                            RequestTooLargeError(
+                                "request line exceeds the size limit"
+                            ),
+                        )
+                    )
+                )
+                await writer.drain()
+                return
+
+    async def _respond_to_line(self, line: bytes) -> dict:
+        try:
+            request = decode_request(line, self.admission.max_request_bytes)
+        except ServiceError as exc:
+            self.service.record_error(exc.code)
+            return error_response(None, exc)
+        return await self.handle_request(request)
+
+    # ------------------------------------------------------------------
+    # request execution (shared by both transports)
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: Request) -> dict:
+        if self._draining:
+            exc = ShuttingDownError("server is draining; try another replica")
+            self.service.record_error(exc.code)
+            return error_response(request.id, exc)
+        self._in_flight += 1
+        self._idle.clear()
+        try:
+            result = await self._execute(request)
+            return ok_response(request.id, result)
+        except ServiceError as exc:
+            self.service.record_error(exc.code)
+            return error_response(request.id, exc)
+        except asyncio.TimeoutError:
+            exc = QueryTimeoutError(
+                f"query exceeded the {self.admission.query_timeout}s "
+                "wall-clock budget",
+                timeout=self.admission.query_timeout,
+            )
+            self.service.record_error(exc.code)
+            return error_response(request.id, exc)
+        except Exception as exc:  # noqa: BLE001 - typed envelope boundary
+            response = error_response(request.id, exc)
+            self.service.record_error(response["error"]["code"])
+            return response
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    async def _execute(self, request: Request):
+        # Control ops answer from memory even when every slot is busy —
+        # health checks must not be starved by an overload.
+        if request.op in CONTROL_OPS:
+            result = self.service.execute(request)
+            if request.op == "stats":
+                result["admission"] = self.admission.snapshot()
+                result["in_flight"] = self._in_flight
+            return result
+        async with self.admission.slot():
+            if request.op == "sleep":
+                seconds = request.param("seconds", 0.0)
+                if not isinstance(seconds, (int, float)) or seconds < 0:
+                    raise BadRequestError("'seconds' must be non-negative")
+                await asyncio.wait_for(
+                    asyncio.sleep(seconds), self.admission.query_timeout
+                )
+                return {"slept": seconds}
+            return await asyncio.wait_for(
+                self._loop.run_in_executor(
+                    self._pool, self.service.execute, request
+                ),
+                self.admission.query_timeout,
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP façade
+    # ------------------------------------------------------------------
+    async def _handle_http(self, first: bytes, reader, writer) -> None:
+        try:
+            method, target, _version = first.decode("latin-1").split(None, 2)
+        except ValueError:
+            await self._write_http(writer, 400, {"error": "malformed request line"})
+            return
+        headers: dict[str, str] = {}
+        total = len(first)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > self.admission.max_request_bytes + 4096:
+                await self._write_http(writer, 413, {"error": "headers too large"})
+                return
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            if length > self.admission.max_request_bytes:
+                await self._write_http(
+                    writer,
+                    413,
+                    {
+                        "error": "body exceeds the request size limit",
+                        "limit": self.admission.max_request_bytes,
+                    },
+                )
+                return
+            body = await reader.readexactly(length)
+
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            await self._write_http(writer, 200, self._health())
+            return
+        if method == "GET" and path == "/metrics":
+            await self._write_http_text(
+                writer, 200, self.service.metrics.render_prometheus()
+            )
+            return
+        if method == "GET" and path == "/stats":
+            response = await self.handle_request(Request(op="stats"))
+            await self._write_http(writer, 200, response)
+            return
+        if method == "POST" and path == "/query":
+            response = await self._respond_to_line(body)
+            status = (
+                200 if response.get("ok") else http_status_for(response["error"])
+            )
+            await self._write_http(writer, status, response)
+            self._flush_traces()
+            return
+        await self._write_http(
+            writer, 404, {"error": f"no route for {method} {path}"}
+        )
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(time.time() - self.service.started_at, 3),
+            "in_flight": self._in_flight,
+            "graphs": len(self.service.catalog),
+        }
+
+    async def _write_http(self, writer, status: int, payload: dict) -> None:
+        await self._write_http_text(
+            writer,
+            status,
+            json.dumps(payload, default=str) + "\n",
+            content_type="application/json",
+        )
+
+    async def _write_http_text(
+        self, writer, status: int, text: str, content_type: str = "text/plain"
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   413: "Payload Too Large", 422: "Unprocessable Entity",
+                   429: "Too Many Requests", 500: "Internal Server Error",
+                   503: "Service Unavailable", 504: "Gateway Timeout"}
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a background thread.
+
+    The harness tests, ``benchmarks/bench_server.py`` and
+    ``examples/query_service.py`` use this to get a live server inside one
+    process::
+
+        with ServerThread() as harness:
+            client = ServerClient(*harness.address)
+
+    Exiting the context drains the server (in-flight requests finish) and
+    joins the thread.
+    """
+
+    def __init__(self, server: "QueryServer | None" = None, **server_kwargs):
+        self.server = server if server is not None else QueryServer(**server_kwargs)
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve(install_signals=False)),
+            name="repro-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self.server.started.wait(timeout=10):
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def stop(self, timeout: float = 30) -> None:
+        if self._thread is None:
+            return
+        self.server.request_drain_threadsafe()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog
+            raise RuntimeError("server thread failed to drain in time")
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

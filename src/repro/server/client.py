@@ -1,0 +1,176 @@
+"""A small blocking client for the query service.
+
+One socket, JSON lines out, JSON lines in.  This is deliberately the
+simplest possible client — synchronous, one request in flight per
+connection — because its consumers (tests, ``repro query --connect``, the
+``bench_server.py`` load generator, the examples) each drive concurrency by
+opening one client per thread.
+
+Typed server errors surface as :class:`ServerError` with the protocol's
+error ``code`` intact, so callers can branch on ``overloaded`` vs
+``timeout`` vs ``graph_not_found`` without string matching.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any
+
+from repro.errors import ReproError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.server.protocol import decode_response, encode_request
+
+
+class ServerError(ReproError):
+    """A failed response: carries the typed protocol error."""
+
+    def __init__(self, code: str, message: str, details: "dict | None" = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+    @classmethod
+    def from_envelope(cls, error: dict) -> "ServerError":
+        return cls(
+            error.get("code", "internal"),
+            error.get("message", "unknown error"),
+            error.get("details"),
+        )
+
+
+class ServerClient:
+    """A blocking JSON-lines connection to a running query server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def request(self, op: str, **params: Any) -> Any:
+        """Send one request, wait for its response, return the result.
+
+        Raises :class:`ServerError` for failed responses and
+        ``ConnectionError`` when the server hangs up mid-exchange.
+        """
+        request_id = next(self._ids)
+        self._file.write(encode_request(op, id=request_id, **params))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_response(line)
+        if not response.get("ok"):
+            raise ServerError.from_envelope(response.get("error", {}))
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def list_graphs(self) -> list[dict]:
+        return self.request("graphs.list")["graphs"]
+
+    def upload_graph(self, name: str, graph: "EdgeLabeledGraph | dict") -> dict:
+        """Catalog ``graph`` (a graph object or serialized document)."""
+        if isinstance(graph, EdgeLabeledGraph):
+            from repro.graph.serialize import graph_to_dict
+
+            graph = graph_to_dict(graph)
+        return self.request("graphs.upload", name=name, graph=graph)
+
+    def rpq(self, graph: str, query: str, source: Any = None) -> dict:
+        params: dict = {"graph": graph, "query": query}
+        if source is not None:
+            params["source"] = source
+        return self.request("rpq", **params)
+
+    def crpq(self, graph: str, query: str, planner: "str | None" = None) -> dict:
+        params: dict = {"graph": graph, "query": query}
+        if planner is not None:
+            params["planner"] = planner
+        return self.request("crpq", **params)
+
+    def dlrpq(
+        self,
+        graph: str,
+        query: str,
+        source: Any,
+        target: Any,
+        *,
+        mode: str = "shortest",
+        limit: "int | None" = 1000,
+    ) -> dict:
+        return self.request(
+            "dlrpq",
+            graph=graph,
+            query=query,
+            source=source,
+            target=target,
+            mode=mode,
+            limit=limit,
+        )
+
+    def explain(self, graph: str, query: str, planner: str = "cost") -> dict:
+        return self.request("explain", graph=graph, query=query, planner=planner)
+
+    def sleep(self, seconds: float) -> dict:
+        """Hold an execution slot for ``seconds`` (admission/drain testing)."""
+        return self.request("sleep", seconds=seconds)
+
+
+def http_get(
+    host: str, port: int, path: str, timeout: float = 30.0
+) -> tuple[int, str]:
+    """``(status, body)`` of a GET against the server's HTTP façade."""
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+def http_post_query(
+    host: str, port: int, payload: dict, timeout: float = 30.0
+) -> tuple[int, dict]:
+    """POST one protocol request to ``/query``; ``(status, response dict)``."""
+    import http.client
+    import json
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload, default=str)
+        connection.request(
+            "POST", "/query", body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()

@@ -1,0 +1,415 @@
+"""The resident engine: graph catalog, answer cache, query execution.
+
+This is where the per-process amortization the engine built in PRs 1-3
+finally outlives a single query: the :class:`GraphCatalog` keeps named
+graphs (and therefore their lazily-built label indexes) alive across
+requests, the process-wide compile cache stays warm, and the
+:class:`AnswerCache` short-circuits repeated queries entirely.
+
+**Cache invalidation is by version, not by notification.**  An answer is
+keyed on ``(graph name, catalog generation, graph.version, op, query,
+options)``:
+
+* ``graph.version`` is the graph's monotone mutation counter — any in-place
+  mutation of a cataloged graph silently retires every answer computed
+  against the old version;
+* the catalog ``generation`` is a catalog-wide monotone counter stamped on
+  every (re-)registration — two different uploads under one name can never
+  collide even if their mutation counters happen to match.
+
+Stale entries are never served (the key no longer matches) and age out of
+the LRU; re-uploading a name also proactively drops its old entries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.engine.cache import DEFAULT_CACHE
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.stats import EngineStats
+from repro.engine.tracing import get_tracer
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.server.protocol import (
+    BadRequestError,
+    GraphNotFoundError,
+    Request,
+)
+
+
+class CatalogEntry:
+    """One named graph in the catalog."""
+
+    __slots__ = ("name", "graph", "generation")
+
+    def __init__(self, name: str, graph: EdgeLabeledGraph, generation: int):
+        self.name = name
+        self.graph = graph
+        self.generation = generation
+
+    @property
+    def version(self) -> tuple:
+        """The answer-cache version key: survives both in-place mutation
+        (``graph.version`` moves) and replacement (``generation`` moves)."""
+        return (self.generation, self.graph.version)
+
+    def info(self) -> dict:
+        graph = self.graph
+        return {
+            "name": self.name,
+            "kind": "property" if isinstance(graph, PropertyGraph) else "edge_labeled",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "labels": sorted(map(str, graph.labels)),
+            "version": list(self.version),
+        }
+
+
+class GraphCatalog:
+    """Named, versioned graphs resident in the service process."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    @classmethod
+    def with_builtins(cls) -> "GraphCatalog":
+        """A catalog preloaded with the paper's bank graphs (fig2, fig3)."""
+        from repro.graph.datasets import figure2_graph, figure3_graph
+
+        catalog = cls()
+        catalog.register("fig2", figure2_graph())
+        catalog.register("fig3", figure3_graph())
+        return catalog
+
+    def register(self, name: str, graph: EdgeLabeledGraph) -> CatalogEntry:
+        """Add (or replace) a graph under ``name``."""
+        if not isinstance(name, str) or not name:
+            raise BadRequestError("graph name must be a non-empty string")
+        if not isinstance(graph, EdgeLabeledGraph):
+            raise BadRequestError("only graph objects can be cataloged")
+        with self._lock:
+            self._generation += 1
+            entry = CatalogEntry(name, graph, self._generation)
+            self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> CatalogEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise GraphNotFoundError(
+                f"no graph named {name!r} in the catalog", graph=name
+            )
+        return entry
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            if self._entries.pop(name, None) is None:
+                raise GraphNotFoundError(
+                    f"no graph named {name!r} in the catalog", graph=name
+                )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def list_info(self) -> list[dict]:
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.info() for entry in sorted(entries, key=lambda e: e.name)]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_MISSING = object()
+
+
+class AnswerCache:
+    """A thread-safe LRU of fully-materialized query answers.
+
+    Values are the JSON-ready result dicts the protocol ships, so a hit
+    costs one dict lookup — no compile, no index, no BFS, no re-sorting.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError("answer cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple):
+        """The cached answer for ``key``, or ``None`` (and a miss count)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return None
+            # LRU refresh: dicts iterate in insertion order, so re-inserting
+            # moves the key to the most-recently-used end.
+            del self._entries[key]
+            self._entries[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.evictions += 1
+
+    def invalidate_graph(self, name: str) -> int:
+        """Drop every entry whose key belongs to graph ``name``.
+
+        Version keying already guarantees stale answers are never *served*;
+        this proactively frees the memory when a graph is re-uploaded.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == name]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+        return len(stale)
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class QueryService:
+    """Execute protocol requests against the resident catalog and engine.
+
+    :meth:`execute` is synchronous and thread-safe — the app calls it on a
+    worker pool via ``run_in_executor``, so each request's ``server.request``
+    span opens on that worker's empty thread-local stack and becomes a root
+    tree with the kernel's spans nested inside.
+    """
+
+    #: ops whose answers are pure functions of (graph version, query text,
+    #: options) and therefore cacheable.
+    CACHEABLE_OPS = frozenset({"rpq", "crpq", "dlrpq", "explain"})
+
+    def __init__(
+        self,
+        catalog: "GraphCatalog | None" = None,
+        *,
+        answer_cache_size: int = 512,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.catalog = catalog if catalog is not None else GraphCatalog.with_builtins()
+        self.answer_cache = AnswerCache(answer_cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_at = time.time()
+        self._metrics_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # the entry point
+    # ------------------------------------------------------------------
+    def execute(self, request: Request) -> dict:
+        """Run one request to a JSON-ready result (raises typed errors)."""
+        tracer = get_tracer()
+        started = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "server.request", op=request.op, id=request.id
+            ) as span:
+                result, cache_hit = self._dispatch(request)
+                span.set(cache_hit=cache_hit)
+        else:
+            result, cache_hit = self._dispatch(request)
+        elapsed = time.perf_counter() - started
+        with self._metrics_lock:
+            self.metrics.inc("server_requests_total")
+            self.metrics.inc(f"server_requests_{request.op.replace('.', '_')}")
+            self.metrics.observe("server_request_seconds", elapsed)
+            if request.op in self.CACHEABLE_OPS:
+                self.metrics.inc(
+                    "server_answer_cache_hits" if cache_hit
+                    else "server_answer_cache_misses"
+                )
+                self.metrics.observe(
+                    "server_cache_hit_seconds" if cache_hit
+                    else "server_cache_miss_seconds",
+                    elapsed,
+                )
+        return result
+
+    def record_error(self, code: str) -> None:
+        """Count one failed request (the app calls this per error envelope)."""
+        with self._metrics_lock:
+            self.metrics.inc("server_errors_total")
+            self.metrics.inc(f"server_errors_{code}")
+
+    def _dispatch(self, request: Request) -> tuple[dict, bool]:
+        op = request.op
+        if op == "ping":
+            return {"pong": True}, False
+        if op == "stats":
+            return self.stats(), False
+        if op == "graphs.list":
+            return {"graphs": self.catalog.list_info()}, False
+        if op == "graphs.upload":
+            return self._upload(request), False
+        if op in self.CACHEABLE_OPS:
+            return self._query(request)
+        raise BadRequestError(f"op {op!r} is not executable by the service")
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._metrics_lock:
+            metrics = self.metrics.as_dict()
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "graphs": self.catalog.list_info(),
+            "answer_cache": self.answer_cache.info(),
+            "compile_cache": DEFAULT_CACHE.info(),
+            "metrics": metrics,
+        }
+
+    def _upload(self, request: Request) -> dict:
+        from repro.graph.serialize import graph_from_dict
+
+        name = request.require("name")
+        document = request.require("graph")
+        if not isinstance(document, dict):
+            raise BadRequestError(
+                "parameter 'graph' must be a serialized graph document"
+            )
+        graph = graph_from_dict(document)
+        entry = self.catalog.register(name, graph)
+        dropped = self.answer_cache.invalidate_graph(name)
+        info = entry.info()
+        info["cache_entries_dropped"] = dropped
+        return info
+
+    def _query(self, request: Request) -> tuple[dict, bool]:
+        name = request.require("graph")
+        query = request.require("query")
+        if not isinstance(query, str):
+            raise BadRequestError("parameter 'query' must be a string")
+        entry = self.catalog.get(name)
+        options = {
+            key: value
+            for key, value in request.params.items()
+            if key not in ("graph", "query")
+        }
+        key = (
+            name,
+            entry.version,
+            request.op,
+            query,
+            json.dumps(options, sort_keys=True, default=str),
+        )
+        cached = self.answer_cache.get(key)
+        if cached is not None:
+            return cached, True
+        stats = EngineStats()
+        handler = {
+            "rpq": self._run_rpq,
+            "crpq": self._run_crpq,
+            "dlrpq": self._run_dlrpq,
+            "explain": self._run_explain,
+        }[request.op]
+        result = handler(entry.graph, query, request, stats)
+        result["graph"] = name
+        result["graph_version"] = list(entry.version)
+        with self._metrics_lock:
+            self.metrics.fold_stats(stats)
+        self.answer_cache.put(key, result)
+        return result, False
+
+    def _run_rpq(self, graph, query, request: Request, stats) -> dict:
+        from repro.rpq.evaluation import evaluate_rpq
+
+        source = request.param("source")
+        sources = [source] if source is not None else None
+        pairs = evaluate_rpq(query, graph, sources=sources, stats=stats)
+        return {
+            "op": "rpq",
+            "query": query,
+            "pairs": sorted(([s, t] for s, t in pairs), key=repr),
+            "count": len(pairs),
+        }
+
+    def _run_crpq(self, graph, query, request: Request, stats) -> dict:
+        from repro.crpq.evaluation import evaluate_crpq
+
+        planner = request.param("planner")
+        rows = evaluate_crpq(query, graph, planner=planner, stats=stats)
+        return {
+            "op": "crpq",
+            "query": query,
+            "rows": sorted((list(row) for row in rows), key=repr),
+            "count": len(rows),
+        }
+
+    def _run_dlrpq(self, graph, query, request: Request, stats) -> dict:
+        from repro.datatests.dlrpq import evaluate_dlrpq
+
+        if not isinstance(graph, PropertyGraph):
+            raise BadRequestError(
+                "dlrpq queries need a property graph (data tests read "
+                "edge properties)"
+            )
+        source = request.require("source")
+        target = request.require("target")
+        mode = request.param("mode", "shortest")
+        limit = request.param("limit", 1000)
+        bindings = []
+        for binding in evaluate_dlrpq(
+            query, graph, source, target, mode=mode, limit=limit
+        ):
+            bindings.append(
+                {
+                    "path": list(binding.path.objects),
+                    "lists": {
+                        str(variable): list(values)
+                        for variable, values in binding.mu.items()
+                    },
+                }
+            )
+        return {
+            "op": "dlrpq",
+            "query": query,
+            "bindings": bindings,
+            "count": len(bindings),
+        }
+
+    def _run_explain(self, graph, query, request: Request, stats) -> dict:
+        from repro.engine.explain import explain_query
+
+        planner = request.param("planner", "cost")
+        report = explain_query(query, graph, planner=planner)
+        return {"op": "explain", "report": report}

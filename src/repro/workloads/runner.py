@@ -50,10 +50,12 @@ class WorkloadReport:
     timings: list = field(default_factory=list)
     #: the N worst items (slowest-first), traces attached when traced
     slow_queries: list = field(default_factory=list)
+    #: True when the batch fan-out was cut short by a KeyboardInterrupt
+    interrupted: bool = False
 
     @property
     def total_answers(self) -> int:
-        return sum(len(result) for result in self.results)
+        return sum(len(result) for result in self.results if result is not None)
 
     @property
     def queries_per_second(self) -> float:
@@ -83,6 +85,11 @@ class WorkloadReport:
             digest["engine_stats"] = self.stats.as_dict()
         if self.latency_histogram is not None and self.latency_histogram.count:
             digest["query_latency"] = self.latency_histogram.as_dict()
+        if self.interrupted:
+            digest["interrupted"] = True
+            digest["num_completed"] = sum(
+                1 for result in self.results if result is not None
+            )
         if self.slow_queries:
             digest["slow_queries"] = [
                 {
@@ -136,6 +143,7 @@ def run_query_log(
         latency_histogram=batch.latency_histogram,
         timings=batch.timings,
         slow_queries=batch.slow_queries,
+        interrupted=batch.interrupted,
     )
 
 

@@ -207,3 +207,60 @@ class TestRunner:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+
+class TestInterrupt:
+    """Ctrl-C mid-workload keeps partial results and flags the batch."""
+
+    def _interrupting_executor(self, monkeypatch, jobs, allow):
+        """An executor whose evaluation raises KeyboardInterrupt after
+        ``allow`` successful work items."""
+        import threading
+
+        executor = BatchExecutor(jobs=jobs)
+        original = BatchExecutor._evaluate_one
+        lock = threading.Lock()
+        calls = {"n": 0}
+
+        def flaky(self, graph, compiled_query, source, stats):
+            with lock:
+                calls["n"] += 1
+                if calls["n"] > allow:
+                    raise KeyboardInterrupt
+            return original(self, graph, compiled_query, source, stats)
+
+        monkeypatch.setattr(BatchExecutor, "_evaluate_one", flaky)
+        return executor
+
+    def test_inline_interrupt_keeps_partial_results(self, graph, monkeypatch):
+        queries = ["a", "b", "c", "a b", "b c", "a*"]
+        clean = BatchExecutor(jobs=1).run(graph, queries)  # before patching
+        executor = self._interrupting_executor(monkeypatch, jobs=1, allow=3)
+        batch = executor.run(graph, queries)
+        assert batch.interrupted
+        assert batch.num_completed == 3
+        assert batch.results[:3] == clean.results[:3]
+        assert all(result is None for result in batch.results[3:])
+        # telemetry covers exactly the completed work
+        assert batch.latency_histogram.count == 3
+        assert len(batch.timings) == 3
+        digest = batch.summary()
+        assert digest["interrupted"] is True
+        assert digest["num_completed"] == 3
+
+    def test_pool_interrupt_keeps_partial_results(self, graph, monkeypatch):
+        queries = ["a", "b", "c", "a b", "b c", "a*", "b*", "c*"]
+        clean = BatchExecutor(jobs=1).run(graph, queries)  # before patching
+        executor = self._interrupting_executor(monkeypatch, jobs=4, allow=2)
+        batch = executor.run(graph, queries)
+        assert batch.interrupted
+        assert 0 < batch.num_completed < len(queries)
+        # every completed answer matches the uninterrupted evaluation
+        for result, expected in zip(batch.results, clean.results):
+            assert result is None or result == expected
+        assert batch.latency_histogram.count == batch.num_completed
+
+    def test_uninterrupted_batch_not_flagged(self, graph):
+        batch = BatchExecutor(jobs=2).run(graph, ["a", "b"])
+        assert not batch.interrupted
+        assert "interrupted" not in batch.summary()

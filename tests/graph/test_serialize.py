@@ -41,3 +41,84 @@ def test_unknown_kind_rejected():
 def test_empty_document_defaults_to_edge_labeled():
     graph = graph_from_dict({})
     assert graph.num_nodes == 0 and graph.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# property-based round trips (hypothesis): serialization is lossless for
+# *arbitrary* property graphs, not just the paper's figures.
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_ids = st.text(alphabet="abcdefgh0123456789_", min_size=1, max_size=8)
+_labels = st.sampled_from(["Account", "Person", "Transfer", "owner", "knows"])
+_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+_props = st.dictionaries(
+    st.text(alphabet="abcdefxyz", min_size=1, max_size=6), _values, max_size=3
+)
+
+
+@st.composite
+def property_graphs(draw):
+    graph = PropertyGraph()
+    node_specs = draw(
+        st.lists(st.tuples(_ids, _labels, _props), min_size=1, max_size=8)
+    )
+    for name, label, properties in node_specs:
+        graph.add_node(f"n_{name}", label, properties)
+    nodes = sorted(graph.nodes)
+    edge_specs = draw(
+        st.lists(
+            st.tuples(
+                _ids,
+                st.integers(min_value=0, max_value=len(nodes) - 1),
+                st.integers(min_value=0, max_value=len(nodes) - 1),
+                _labels,
+                _props,
+            ),
+            max_size=12,
+            unique_by=lambda spec: spec[0],
+        )
+    )
+    for name, src, tgt, label, properties in edge_specs:
+        graph.add_edge(f"e_{name}", nodes[src], nodes[tgt], label, properties)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=property_graphs())
+def test_property_graph_json_round_trip(graph):
+    """dumps -> loads is the identity on nodes, edges, labels, properties."""
+    restored = loads(dumps(graph))
+    assert isinstance(restored, PropertyGraph)
+    assert restored.nodes == graph.nodes
+    assert restored.edges == graph.edges
+    for node in graph.iter_nodes():
+        assert restored.node_label(node) == graph.node_label(node)
+        assert restored.properties(node) == graph.properties(node)
+    for edge in graph.iter_edges():
+        assert restored.endpoints(edge) == graph.endpoints(edge)
+        assert restored.label(edge) == graph.label(edge)
+        assert restored.properties(edge) == graph.properties(edge)
+    # a second round trip is byte-stable (canonical document)
+    assert dumps(restored) == dumps(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=property_graphs())
+def test_round_trip_preserves_query_answers(graph):
+    """Serialization must not change what queries see: every label's edge
+    relation survives the trip (this is what the server's graph upload
+    leans on)."""
+    from repro.rpq.evaluation import evaluate_rpq
+
+    restored = loads(dumps(graph))
+    for label in sorted(map(str, graph.labels)):
+        assert evaluate_rpq(label, restored) == evaluate_rpq(label, graph)

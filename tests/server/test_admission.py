@@ -1,0 +1,169 @@
+"""Admission-control tests: overload is deterministic and never hangs."""
+
+import asyncio
+
+import pytest
+
+from repro.server.admission import AdmissionController
+from repro.server.protocol import OverloadedError
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSlotBasics:
+    def test_admits_and_releases(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=2)
+            async with controller.slot():
+                assert controller.active == 1
+                async with controller.slot():
+                    assert controller.active == 2
+            assert controller.active == 0
+            assert controller.admitted == 2
+            return controller.snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["rejected_queue_full"] == 0
+        assert snapshot["rejected_queue_timeout"] == 0
+
+    def test_slot_released_on_exception(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=1)
+            with pytest.raises(RuntimeError):
+                async with controller.slot():
+                    raise RuntimeError("query exploded")
+            # the slot must be free again
+            async with controller.slot():
+                return controller.active
+
+        assert run(scenario()) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrency": 0},
+            {"max_queue": -1},
+            {"queue_timeout": 0},
+            {"query_timeout": -1},
+            {"max_request_bytes": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+
+class TestOverload:
+    def test_queue_full_rejects_immediately(self):
+        """With zero queue capacity the Nth+1 request fails fast, no wait."""
+
+        async def scenario():
+            controller = AdmissionController(
+                max_concurrency=1, max_queue=0, queue_timeout=30.0
+            )
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.slot():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)  # let the occupant take the slot
+            started = asyncio.get_running_loop().time()
+            with pytest.raises(OverloadedError) as excinfo:
+                async with controller.slot():
+                    pass
+            elapsed = asyncio.get_running_loop().time() - started
+            release.set()
+            await task
+            return excinfo.value, elapsed, controller.snapshot()
+
+        error, elapsed, snapshot = run(scenario())
+        assert error.details["reason"] == "queue_full"
+        # fast rejection: nowhere near the 30s queue timeout
+        assert elapsed < 1.0
+        assert snapshot["rejected_queue_full"] == 1
+
+    def test_queue_timeout_rejects_after_budget(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_concurrency=1, max_queue=4, queue_timeout=0.05
+            )
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.slot():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            with pytest.raises(OverloadedError) as excinfo:
+                async with controller.slot():
+                    pass
+            release.set()
+            await task
+            return excinfo.value, controller.snapshot()
+
+        error, snapshot = run(scenario())
+        assert error.details["reason"] == "queue_timeout"
+        assert snapshot["rejected_queue_timeout"] == 1
+
+    def test_queued_request_proceeds_when_slot_frees(self):
+        """A queued waiter inside the timeout budget gets the slot."""
+
+        async def scenario():
+            controller = AdmissionController(
+                max_concurrency=1, max_queue=4, queue_timeout=5.0
+            )
+            order = []
+
+            async def occupant():
+                async with controller.slot():
+                    order.append("first")
+                    await asyncio.sleep(0.02)
+
+            async def waiter():
+                await asyncio.sleep(0.01)
+                async with controller.slot():
+                    order.append("second")
+
+            await asyncio.gather(occupant(), waiter())
+            return order, controller.admitted
+
+        order, admitted = run(scenario())
+        assert order == ["first", "second"]
+        assert admitted == 2
+
+    def test_burst_sheds_excess_deterministically(self):
+        """concurrency 2 + queue 2 against 8 holders: 2 run, 4 shed fast,
+        2 queue and then time out — every rejection typed, nothing hangs."""
+
+        async def scenario():
+            controller = AdmissionController(
+                max_concurrency=2, max_queue=2, queue_timeout=0.05
+            )
+            release = asyncio.Event()
+            outcomes = []
+
+            async def request():
+                try:
+                    async with controller.slot():
+                        outcomes.append("ok")
+                        await release.wait()
+                except OverloadedError as error:
+                    outcomes.append(error.details["reason"])
+
+            tasks = [asyncio.create_task(request()) for _ in range(8)]
+            await asyncio.sleep(0.2)  # queue_full rejections + queue timeouts
+            release.set()
+            await asyncio.gather(*tasks)
+            return outcomes, controller.snapshot()
+
+        outcomes, snapshot = run(scenario())
+        assert outcomes.count("ok") == 2
+        assert outcomes.count("queue_full") == 4
+        assert outcomes.count("queue_timeout") == 2
+        assert snapshot["rejected_queue_full"] == 4
+        assert snapshot["rejected_queue_timeout"] == 2

@@ -1,0 +1,296 @@
+"""End-to-end server tests: both transports, overload, drain, SIGTERM.
+
+Most tests run the server in-process on a background thread
+(:class:`ServerThread`); the SIGTERM drain test launches ``repro serve`` as
+a real subprocess because signal-driven shutdown is exactly what it checks.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.server.admission import AdmissionController
+from repro.server.app import QueryServer, ServerThread
+from repro.server.client import (
+    ServerClient,
+    ServerError,
+    http_get,
+    http_post_query,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServerThread() as running:
+        yield running
+
+
+@pytest.fixture()
+def client(harness):
+    with ServerClient(*harness.address) as connection:
+        yield connection
+
+
+def toy_graph():
+    graph = EdgeLabeledGraph()
+    graph.add_edge("e1", "x", "y", "a")
+    graph.add_edge("e2", "y", "z", "a")
+    return graph
+
+
+class TestJsonLinesTransport:
+    def test_ping(self, client):
+        assert client.ping() == {"pong": True}
+
+    def test_builtin_graphs_listed(self, client):
+        names = {info["name"] for info in client.list_graphs()}
+        assert {"fig2", "fig3"} <= names
+
+    def test_rpq_and_answer_cache(self, client):
+        cold = client.rpq("fig2", "Transfer*")
+        warm = client.rpq("fig2", "Transfer*")
+        assert cold == warm
+        assert cold["count"] == len(cold["pairs"]) > 0
+
+    def test_crpq(self, client):
+        result = client.crpq("fig2", "Ans(x, y) :- Transfer(x, y)")
+        assert result["count"] > 0
+
+    def test_dlrpq_on_property_graph(self, client):
+        graphs = {info["name"]: info for info in client.list_graphs()}
+        assert graphs["fig3"]["kind"] == "property"
+
+    def test_explain(self, client):
+        result = client.explain("fig2", "Transfer+")
+        assert result["op"] == "explain"
+
+    def test_upload_then_query(self, client):
+        info = client.upload_graph("toy", toy_graph())
+        assert info["nodes"] == 3 and info["edges"] == 2
+        result = client.rpq("toy", "a a")
+        assert result["pairs"] == [["x", "z"]]
+
+    def test_upload_replacement_invalidates(self, client):
+        client.upload_graph("mut", toy_graph())
+        first = client.rpq("mut", "a")
+        assert first["count"] == 2
+        bigger = toy_graph()
+        bigger.add_edge("e3", "z", "w", "a")
+        info = client.upload_graph("mut", bigger)
+        assert info["cache_entries_dropped"] >= 1
+        second = client.rpq("mut", "a")
+        assert second["count"] == 3
+
+    def test_unknown_graph_typed_error(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.rpq("no-such-graph", "a")
+        assert excinfo.value.code == "graph_not_found"
+
+    def test_bad_query_typed_error(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.rpq("fig2", "((broken")
+        assert excinfo.value.code == "parse_error"
+
+    def test_malformed_line_still_answers(self, harness):
+        with ServerClient(*harness.address) as raw:
+            raw._file.write(b"this is not json\n")
+            raw._file.flush()
+            response = json.loads(raw._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            # the connection survives a bad line
+            assert raw.ping() == {"pong": True}
+
+    def test_many_requests_one_connection(self, client):
+        for _ in range(5):
+            assert client.ping() == {"pong": True}
+
+    def test_stats_include_admission(self, client):
+        stats = client.stats()
+        assert stats["admission"]["max_concurrency"] >= 1
+        assert "in_flight" in stats
+
+
+class TestHttpFacade:
+    def test_healthz(self, harness):
+        status, body = http_get(*harness.address, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["graphs"] >= 2
+
+    def test_metrics_exposition(self, harness):
+        with ServerClient(*harness.address) as connection:
+            connection.rpq("fig2", "Transfer")
+        status, body = http_get(*harness.address, "/metrics")
+        assert status == 200
+        assert "server_requests_total" in body
+
+    def test_stats_route(self, harness):
+        status, body = http_get(*harness.address, "/stats")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+    def test_post_query(self, harness):
+        status, response = http_post_query(
+            *harness.address,
+            {"op": "rpq", "id": 1, "params": {"graph": "fig2", "query": "owner"}},
+        )
+        assert status == 200
+        assert response["ok"] is True
+        assert response["result"]["count"] > 0
+
+    def test_post_query_error_status(self, harness):
+        status, response = http_post_query(
+            *harness.address,
+            {"op": "rpq", "params": {"graph": "ghost", "query": "a"}},
+        )
+        assert status == 404
+        assert response["error"]["code"] == "graph_not_found"
+
+    def test_unknown_route_404(self, harness):
+        status, body = http_get(*harness.address, "/not-a-route")
+        assert status == 404
+
+
+class TestOverloadAndLimits:
+    def test_queue_full_is_typed_and_fast(self):
+        admission = AdmissionController(
+            max_concurrency=1, max_queue=0, queue_timeout=30.0
+        )
+        with ServerThread(admission=admission) as harness:
+            holder = ServerClient(*harness.address)
+            prober = ServerClient(*harness.address)
+            try:
+                hold = threading.Thread(target=holder.sleep, args=(1.0,))
+                hold.start()
+                time.sleep(0.2)  # let the sleep take the only slot
+                started = time.perf_counter()
+                with pytest.raises(ServerError) as excinfo:
+                    prober.rpq("fig2", "Transfer")
+                elapsed = time.perf_counter() - started
+                assert excinfo.value.code == "overloaded"
+                assert excinfo.value.details["reason"] == "queue_full"
+                assert elapsed < 1.0  # fast rejection, not a queue wait
+                # control ops bypass admission even under full load
+                assert prober.ping() == {"pong": True}
+                hold.join()
+            finally:
+                holder.close()
+                prober.close()
+
+    def test_query_timeout_is_typed(self):
+        admission = AdmissionController(query_timeout=0.1)
+        with ServerThread(admission=admission) as harness:
+            with ServerClient(*harness.address) as connection:
+                with pytest.raises(ServerError) as excinfo:
+                    connection.sleep(5.0)
+                assert excinfo.value.code == "timeout"
+
+    def test_oversized_request_rejected(self):
+        admission = AdmissionController(max_request_bytes=512)
+        with ServerThread(admission=admission) as harness:
+            with ServerClient(*harness.address) as connection:
+                with pytest.raises((ServerError, ConnectionError)) as excinfo:
+                    connection.rpq("fig2", "a" * 2048)
+                if excinfo.type is ServerError:
+                    assert excinfo.value.code == "too_large"
+
+    def test_http_oversized_body_413(self):
+        admission = AdmissionController(max_request_bytes=512)
+        with ServerThread(admission=admission) as harness:
+            status, response = http_post_query(
+                *harness.address,
+                {"op": "rpq", "params": {"graph": "fig2", "query": "x" * 2048}},
+            )
+            assert status == 413
+
+
+class TestDrain:
+    def test_requests_during_drain_get_shutting_down(self):
+        harness = ServerThread().start()
+        try:
+            client = ServerClient(*harness.address)
+            # start a slow request, then drain while it is in flight
+            slow = {}
+
+            def run_slow():
+                slow["result"] = client.sleep(0.5)
+
+            worker = threading.Thread(target=run_slow)
+            worker.start()
+            time.sleep(0.1)
+            harness.server.request_drain_threadsafe()
+            time.sleep(0.1)
+            # the in-flight response is still delivered
+            worker.join(timeout=10)
+            assert slow["result"] == {"slept": 0.5}
+        finally:
+            harness.stop()
+
+    def test_drain_flushes_metrics(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        harness = ServerThread(metrics_out=str(metrics_path)).start()
+        try:
+            with ServerClient(*harness.address) as connection:
+                connection.rpq("fig2", "Transfer")
+        finally:
+            harness.stop()
+        text = metrics_path.read_text()
+        assert "server_requests_total" in text
+
+
+SERVE_SCRIPT = [sys.executable, "-m", "repro.cli", "serve", "--port", "0"]
+
+
+class TestSigtermSubprocess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        """The full acceptance scenario: a real ``repro serve`` process,
+        SIGTERM with a query in flight, the in-flight response delivered,
+        metrics flushed, exit code 0."""
+        metrics_path = tmp_path / "metrics.prom"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        process = subprocess.Popen(
+            SERVE_SCRIPT + ["--metrics-out", str(metrics_path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            announcement = json.loads(process.stdout.readline())
+            assert announcement["event"] == "listening"
+            port = announcement["port"]
+
+            client = ServerClient("127.0.0.1", port)
+            assert client.ping() == {"pong": True}
+            assert client.rpq("fig2", "Transfer")["count"] > 0
+
+            # fire a slow request, then SIGTERM while it is in flight
+            result = {}
+
+            def run_slow():
+                result["value"] = client.sleep(1.0)
+
+            worker = threading.Thread(target=run_slow)
+            worker.start()
+            time.sleep(0.3)
+            process.send_signal(signal.SIGTERM)
+            worker.join(timeout=15)
+            assert result["value"] == {"slept": 1.0}
+            client.close()
+
+            assert process.wait(timeout=15) == 0
+            assert "server_requests_total" in metrics_path.read_text()
+        finally:
+            if process.poll() is None:  # pragma: no cover - watchdog
+                process.kill()
+                process.wait()

@@ -1,0 +1,145 @@
+"""Tests for the JSON-lines protocol: framing, validation, typed errors."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.server.protocol import (
+    OPS,
+    BadRequestError,
+    GraphNotFoundError,
+    OverloadedError,
+    QueryTimeoutError,
+    Request,
+    RequestTooLargeError,
+    ServiceError,
+    ShuttingDownError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_envelope,
+    error_response,
+    http_status_for,
+    ok_response,
+)
+
+
+class TestRequestCodec:
+    def test_round_trip(self):
+        line = encode_request("rpq", id=7, graph="fig2", query="Transfer*")
+        assert line.endswith(b"\n")
+        request = decode_request(line)
+        assert request.op == "rpq"
+        assert request.id == 7
+        assert request.params == {"graph": "fig2", "query": "Transfer*"}
+
+    def test_accepts_str_and_bytes(self):
+        for data in ('{"op": "ping"}', b'{"op": "ping"}'):
+            assert decode_request(data).op == "ping"
+
+    def test_string_id(self):
+        request = decode_request('{"op": "ping", "id": "req-1"}')
+        assert request.id == "req-1"
+
+    def test_missing_params_default_empty(self):
+        assert decode_request('{"op": "ping"}').params == {}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all",
+            '"a bare string"',
+            "[1, 2, 3]",
+            '{"no_op": true}',
+            '{"op": 42}',
+            '{"op": "rpq", "id": [1]}',
+            '{"op": "rpq", "params": "not-a-dict"}',
+        ],
+    )
+    def test_malformed_requests_are_bad_request(self, payload):
+        with pytest.raises(BadRequestError):
+            decode_request(payload)
+
+    def test_unknown_op_names_known_ops(self):
+        with pytest.raises(BadRequestError) as excinfo:
+            decode_request('{"op": "drop_tables"}')
+        assert excinfo.value.details["known"] == sorted(OPS)
+
+    def test_size_limit(self):
+        big = json.dumps({"op": "rpq", "params": {"query": "x" * 10000}})
+        with pytest.raises(RequestTooLargeError) as excinfo:
+            decode_request(big, max_bytes=1024)
+        assert excinfo.value.details["limit"] == 1024
+        # under the limit it decodes fine
+        assert decode_request(big, max_bytes=1 << 20).op == "rpq"
+
+    def test_require_raises_typed_error(self):
+        request = Request(op="rpq", params={"graph": "fig2"})
+        assert request.require("graph") == "fig2"
+        with pytest.raises(BadRequestError) as excinfo:
+            request.require("query")
+        assert excinfo.value.details["param"] == "query"
+
+
+class TestResponseCodec:
+    def test_ok_round_trip(self):
+        line = encode_response(ok_response(3, {"count": 1}))
+        response = decode_response(line)
+        assert response == {"id": 3, "ok": True, "result": {"count": 1}}
+
+    def test_error_round_trip(self):
+        line = encode_response(
+            error_response(9, OverloadedError("full", reason="queue_full"))
+        )
+        response = decode_response(line)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["details"]["reason"] == "queue_full"
+
+    def test_non_json_ids_are_stringified(self):
+        # encode_response must never raise on exotic hashable ids
+        line = encode_response(ok_response(None, {"pairs": [[("t", 1), "a"]]}))
+        assert decode_response(line)["ok"] is True
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(BadRequestError):
+            decode_response("{broken")
+        with pytest.raises(BadRequestError):
+            decode_response('{"no_ok_field": 1}')
+
+
+class TestErrorEnvelopes:
+    @pytest.mark.parametrize(
+        ("exc", "code", "status"),
+        [
+            (BadRequestError("x"), "bad_request", 400),
+            (GraphNotFoundError("x"), "graph_not_found", 404),
+            (RequestTooLargeError("x"), "too_large", 413),
+            (OverloadedError("x"), "overloaded", 429),
+            (QueryTimeoutError("x"), "timeout", 504),
+            (ShuttingDownError("x"), "shutting_down", 503),
+        ],
+    )
+    def test_typed_errors(self, exc, code, status):
+        envelope = error_envelope(exc)
+        assert envelope["code"] == code
+        assert exc.http_status == status
+        assert http_status_for(envelope) == status
+
+    def test_library_errors_map_to_codes(self):
+        assert error_envelope(ParseError("bad regex"))["code"] == "parse_error"
+        assert error_envelope(QueryError("bad query"))["code"] == "query_error"
+
+    def test_unexpected_exception_hides_message(self):
+        envelope = error_envelope(RuntimeError("/secret/path leaked"))
+        assert envelope["code"] == "internal"
+        assert "/secret/path" not in envelope["message"]
+        assert http_status_for(envelope) == 500
+
+    def test_service_errors_are_repro_errors(self):
+        from repro.errors import ReproError
+
+        assert isinstance(OverloadedError("x"), ReproError)
+        assert isinstance(OverloadedError("x"), ServiceError)

@@ -1,0 +1,235 @@
+"""Tests for the resident service layer: catalog, answer cache, execution.
+
+The acceptance-critical behaviour locked in here: the answer cache is keyed
+on graph *version*, so mutating or re-uploading a graph can never serve a
+stale answer.
+"""
+
+import pytest
+
+from repro.graph.datasets import figure2_graph
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.serialize import graph_to_dict
+from repro.server.protocol import (
+    BadRequestError,
+    GraphNotFoundError,
+    Request,
+)
+from repro.server.service import AnswerCache, GraphCatalog, QueryService
+
+
+def chain(*labels):
+    """A path graph n0 -L1-> n1 -L2-> n2 ... (one edge per label)."""
+    graph = EdgeLabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_edge(f"e{index}", f"n{index}", f"n{index + 1}", label)
+    return graph
+
+
+class TestGraphCatalog:
+    def test_register_and_get(self):
+        catalog = GraphCatalog()
+        entry = catalog.register("toy", chain("a"))
+        assert catalog.get("toy") is entry
+        assert "toy" in catalog
+        assert len(catalog) == 1
+        assert catalog.names() == ["toy"]
+
+    def test_with_builtins_has_paper_graphs(self):
+        catalog = GraphCatalog.with_builtins()
+        names = catalog.names()
+        assert names == ["fig2", "fig3"]
+        info = {entry["name"]: entry for entry in catalog.list_info()}
+        assert info["fig2"]["kind"] == "edge_labeled"
+        assert info["fig3"]["kind"] == "property"
+        assert "Transfer" in info["fig2"]["labels"]
+
+    def test_missing_graph_is_typed_error(self):
+        catalog = GraphCatalog()
+        with pytest.raises(GraphNotFoundError) as excinfo:
+            catalog.get("nope")
+        assert excinfo.value.details["graph"] == "nope"
+        with pytest.raises(GraphNotFoundError):
+            catalog.drop("nope")
+
+    def test_replacement_bumps_generation(self):
+        catalog = GraphCatalog()
+        first = catalog.register("g", chain("a"))
+        second = catalog.register("g", chain("a"))
+        # identical graphs, but the catalog-wide generation separates them
+        assert second.generation > first.generation
+        assert first.version != second.version
+
+    def test_invalid_registrations_rejected(self):
+        catalog = GraphCatalog()
+        with pytest.raises(BadRequestError):
+            catalog.register("", chain("a"))
+        with pytest.raises(BadRequestError):
+            catalog.register("g", {"nodes": []})
+
+
+class TestAnswerCache:
+    def test_hit_miss_counters(self):
+        cache = AnswerCache(maxsize=4)
+        assert cache.get(("g", (1, 0), "rpq", "a", "{}")) is None
+        cache.put(("g", (1, 0), "rpq", "a", "{}"), {"count": 1})
+        assert cache.get(("g", (1, 0), "rpq", "a", "{}")) == {"count": 1}
+        info = cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(maxsize=2)
+        cache.put(("g", (1, 0), "rpq", "a", "{}"), 1)
+        cache.put(("g", (1, 0), "rpq", "b", "{}"), 2)
+        # touch 'a' so 'b' becomes the eviction candidate
+        assert cache.get(("g", (1, 0), "rpq", "a", "{}")) == 1
+        cache.put(("g", (1, 0), "rpq", "c", "{}"), 3)
+        assert cache.get(("g", (1, 0), "rpq", "b", "{}")) is None
+        assert cache.get(("g", (1, 0), "rpq", "a", "{}")) == 1
+        assert cache.info()["evictions"] == 1
+
+    def test_invalidate_graph_drops_only_that_name(self):
+        cache = AnswerCache()
+        cache.put(("g", (1, 0), "rpq", "a", "{}"), 1)
+        cache.put(("g", (1, 0), "rpq", "b", "{}"), 2)
+        cache.put(("h", (2, 0), "rpq", "a", "{}"), 3)
+        assert cache.invalidate_graph("g") == 2
+        assert len(cache) == 1
+        assert cache.get(("h", (2, 0), "rpq", "a", "{}")) == 3
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            AnswerCache(0)
+
+
+def rpq_request(graph="fig2", query="Transfer", **extra):
+    params = {"graph": graph, "query": query, **extra}
+    return Request(op="rpq", params=params)
+
+
+class TestQueryService:
+    def test_rpq_result_shape(self):
+        service = QueryService()
+        result = service.execute(rpq_request())
+        assert result["op"] == "rpq"
+        assert result["count"] == len(result["pairs"]) > 0
+        assert result["graph"] == "fig2"
+        assert len(result["graph_version"]) == 2
+
+    def test_repeat_query_hits_answer_cache(self):
+        service = QueryService()
+        cold = service.execute(rpq_request(query="Transfer*"))
+        warm = service.execute(rpq_request(query="Transfer*"))
+        assert warm == cold
+        info = service.answer_cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        metrics = service.metrics.as_dict()
+        assert metrics["counters"]["server_answer_cache_hits"] == 1
+        assert metrics["counters"]["server_answer_cache_misses"] == 1
+
+    def test_mutation_invalidates_via_version_key(self):
+        """The acceptance criterion: mutate a cataloged graph between two
+        identical queries — the second answer must reflect the mutation."""
+        catalog = GraphCatalog()
+        graph = chain("a")
+        catalog.register("g", graph)
+        service = QueryService(catalog)
+        first = service.execute(rpq_request(graph="g", query="a"))
+        assert first["count"] == 1
+        graph.add_edge("extra", "n9", "n10", "a")  # bumps graph.version
+        second = service.execute(rpq_request(graph="g", query="a"))
+        assert second["count"] == 2
+        assert second["graph_version"] != first["graph_version"]
+        # both executions were cache misses: the key moved with the version
+        assert service.answer_cache.info()["hits"] == 0
+
+    def test_upload_replaces_and_drops_stale_entries(self):
+        service = QueryService(GraphCatalog())
+        upload = Request(
+            op="graphs.upload",
+            params={"name": "g", "graph": graph_to_dict(chain("a"))},
+        )
+        service.execute(upload)
+        service.execute(rpq_request(graph="g", query="a"))
+        assert len(service.answer_cache) == 1
+        info = service.execute(
+            Request(
+                op="graphs.upload",
+                params={"name": "g", "graph": graph_to_dict(chain("a", "a"))},
+            )
+        )
+        assert info["cache_entries_dropped"] == 1
+        assert len(service.answer_cache) == 0
+        result = service.execute(rpq_request(graph="g", query="a"))
+        assert result["count"] == 2
+
+    def test_distinct_options_are_distinct_cache_entries(self):
+        service = QueryService()
+        service.execute(rpq_request(query="Transfer"))
+        service.execute(rpq_request(query="Transfer", source="a1"))
+        info = service.answer_cache.info()
+        assert info["misses"] == 2 and info["size"] == 2
+
+    def test_crpq_and_explain(self):
+        service = QueryService()
+        crpq = service.execute(
+            Request(
+                op="crpq",
+                params={
+                    "graph": "fig2",
+                    "query": "Ans(x, y) :- Transfer(x, y)",
+                },
+            )
+        )
+        assert crpq["op"] == "crpq" and crpq["count"] > 0
+        explain = service.execute(
+            Request(op="explain", params={"graph": "fig2", "query": "Transfer*"})
+        )
+        assert explain["op"] == "explain"
+        assert "report" in explain
+
+    def test_dlrpq_requires_property_graph(self):
+        service = QueryService()
+        with pytest.raises(BadRequestError):
+            service.execute(
+                Request(
+                    op="dlrpq",
+                    params={
+                        "graph": "fig2",
+                        "query": "Transfer",
+                        "source": "a1",
+                        "target": "a2",
+                    },
+                )
+            )
+
+    def test_unknown_graph_is_typed(self):
+        service = QueryService()
+        with pytest.raises(GraphNotFoundError):
+            service.execute(rpq_request(graph="missing"))
+
+    def test_stats_shape(self):
+        service = QueryService()
+        service.execute(rpq_request())
+        stats = service.stats()
+        assert stats["uptime_seconds"] >= 0
+        assert {g["name"] for g in stats["graphs"]} == {"fig2", "fig3"}
+        assert "answer_cache" in stats and "compile_cache" in stats
+        assert stats["metrics"]["counters"]["server_requests_total"] == 1
+
+    def test_upload_rejects_non_document(self):
+        service = QueryService()
+        with pytest.raises(BadRequestError):
+            service.execute(
+                Request(op="graphs.upload", params={"name": "g", "graph": "nope"})
+            )
+
+    def test_fig2_ownership_query_matches_paper(self):
+        """Figure 2's running example: accounts reachable by Transfer+ from
+        a blocked account — computed through the service path."""
+        service = QueryService()
+        result = service.execute(rpq_request(query="Transfer+", source="a4"))
+        targets = {pair[1] for pair in result["pairs"]}
+        assert targets  # a4 reaches other accounts in the cycle
+        direct = figure2_graph()
+        assert targets <= set(direct.nodes)

@@ -271,3 +271,152 @@ class TestWorkloadCLI:
         assert main(args + ["--per-source"]) == 0
         per_source = json.loads(capsys.readouterr().out)
         assert sweep["total_answers"] == per_source["total_answers"]
+
+
+class TestWorkloadInterrupt:
+    """Ctrl-C during ``workload run`` flushes partial telemetry, exits 130."""
+
+    def _patch_interrupt(self, monkeypatch, allow):
+        import threading
+
+        from repro.engine.batch import BatchExecutor
+
+        original = BatchExecutor._evaluate_one
+        lock = threading.Lock()
+        calls = {"n": 0}
+
+        def flaky(self, graph, compiled_query, source, stats):
+            with lock:
+                calls["n"] += 1
+                if calls["n"] > allow:
+                    raise KeyboardInterrupt
+            return original(self, graph, compiled_query, source, stats)
+
+        monkeypatch.setattr(BatchExecutor, "_evaluate_one", flaky)
+
+    def test_interrupt_exits_130_and_flushes_metrics(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._patch_interrupt(monkeypatch, allow=3)
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "workload",
+                "run",
+                "fig2",
+                "--queries",
+                "20",
+                "--jobs",
+                "1",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 130
+        captured = capsys.readouterr()
+        digest = json.loads(captured.out)
+        assert digest["interrupted"] is True
+        assert digest["num_completed"] >= 1
+        assert "interrupted: partial telemetry flushed" in captured.err
+        text = metrics_path.read_text()
+        # the histogram holds exactly the completed observations
+        assert "repro_query_latency_seconds" in text
+
+    def test_interrupt_flushes_partial_traces(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._patch_interrupt(monkeypatch, allow=2)
+        trace_path = tmp_path / "traces.jsonl"
+        code = main(
+            [
+                "workload",
+                "run",
+                "fig2",
+                "--queries",
+                "20",
+                "--jobs",
+                "1",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 130
+        captured = capsys.readouterr()
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 2  # one trace per completed query
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["trace"]["name"] == "batch.query"
+        assert "wrote 2 query traces" in captured.err
+
+    def test_immediate_interrupt_still_flushes(self, monkeypatch, capsys, tmp_path):
+        """An interrupt before any query completes still exits 130 with a
+        digest and a (near-empty) metrics file."""
+        self._patch_interrupt(monkeypatch, allow=0)
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "workload",
+                "run",
+                "fig2",
+                "--queries",
+                "5",
+                "--jobs",
+                "1",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 130
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["interrupted"] is True
+        assert metrics_path.exists()
+
+
+class TestQueryConnectCLI:
+    """``repro query --connect`` against an in-process server."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.server.app import ServerThread
+
+        with ServerThread() as harness:
+            yield harness
+
+    def _connect(self, server):
+        host, port = server.address
+        return f"{host}:{port}"
+
+    def test_rpq_over_the_wire(self, server, capsys):
+        code = main(
+            ["query", "--connect", self._connect(server), "fig2", "Transfer",
+             "--source", "a3"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "a3\ta5" in captured.out
+        assert "answers" in captured.err
+
+    def test_crpq_detected_by_syntax(self, server, capsys):
+        code = main(
+            ["query", "--connect", self._connect(server), "fig2",
+             "Ans(x, y) :- Transfer(x, y)", "--json"]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["op"] == "crpq" and result["count"] > 0
+
+    def test_explain_over_the_wire(self, server, capsys):
+        code = main(
+            ["query", "--connect", self._connect(server), "fig2", "Transfer+",
+             "--explain"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["op"] == "explain"
+
+    def test_server_error_exits_1(self, server, capsys):
+        code = main(
+            ["query", "--connect", self._connect(server), "ghost", "Transfer"]
+        )
+        assert code == 1
+        assert "graph_not_found" in capsys.readouterr().err
