@@ -17,6 +17,7 @@ from repro.graph.generators import random_graph, random_transfer_network
 _ENGINE_RECORDS: list[dict] = []
 _WORKLOAD_RECORDS: list[dict] = []
 _SERVER_RECORDS: list[dict] = []
+_LIMITS_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -54,11 +55,17 @@ def server_records():
     return _SERVER_RECORDS
 
 
+@pytest.fixture(scope="session")
+def limits_records():
+    return _LIMITS_RECORDS
+
+
 def pytest_sessionfinish(session, exitstatus):
     for records, filename in (
         (_ENGINE_RECORDS, "BENCH_engine.json"),
         (_WORKLOAD_RECORDS, "BENCH_workload.json"),
         (_SERVER_RECORDS, "BENCH_server.json"),
+        (_LIMITS_RECORDS, "BENCH_limits.json"),
     ):
         if records:
             path = session.config.rootpath / filename

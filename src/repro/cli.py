@@ -49,15 +49,44 @@ def _report_stats(stats) -> None:
         print(stats.render(), file=sys.stderr)
 
 
+def _make_budget(args: argparse.Namespace):
+    """The query budget the ``--timeout/--max-rows/--max-states`` flags ask
+    for, or None when none were given."""
+    from repro.engine.limits import make_budget
+
+    return make_budget(
+        timeout=getattr(args, "timeout", None),
+        max_rows=getattr(args, "max_rows", None),
+        max_states=getattr(args, "max_states", None),
+    )
+
+
+def _report_trip(exc) -> int:
+    """Tell the user which limit tripped; 2 is the partial-result exit code."""
+    details = ", ".join(
+        f"{key}={value}" for key, value in sorted(exc.details().items())
+    )
+    print(f"# budget exceeded ({details}); answers above are partial",
+          file=sys.stderr)
+    return 2
+
+
 def _cmd_rpq(args: argparse.Namespace) -> int:
+    from repro.engine.limits import BudgetExceeded
     from repro.rpq.evaluation import evaluate_rpq
 
     graph = _load_graph(args.graph)
     sources = [args.source] if args.source else None
     use_index, stats = _engine_options(args)
-    pairs = evaluate_rpq(
-        args.query, graph, sources=sources, use_index=use_index, stats=stats
-    )
+    try:
+        pairs = evaluate_rpq(
+            args.query, graph, sources=sources, use_index=use_index,
+            stats=stats, budget=_make_budget(args),
+        )
+    except BudgetExceeded as exc:
+        for source, target in sorted(exc.partial or (), key=repr):
+            print(f"{source}\t{target}")
+        return _report_trip(exc)
     for source, target in sorted(pairs, key=repr):
         print(f"{source}\t{target}")
     print(f"# {len(pairs)} pairs", file=sys.stderr)
@@ -67,10 +96,19 @@ def _cmd_rpq(args: argparse.Namespace) -> int:
 
 def _cmd_crpq(args: argparse.Namespace) -> int:
     from repro.crpq.evaluation import evaluate_crpq
+    from repro.engine.limits import BudgetExceeded
 
     graph = _load_graph(args.graph)
     use_index, stats = _engine_options(args)
-    rows = evaluate_crpq(args.query, graph, use_index=use_index, stats=stats)
+    try:
+        rows = evaluate_crpq(
+            args.query, graph, use_index=use_index, stats=stats,
+            budget=_make_budget(args),
+        )
+    except BudgetExceeded as exc:
+        for row in sorted(exc.partial or (), key=repr):
+            print("\t".join(str(value) for value in row))
+        return _report_trip(exc)
     for row in sorted(rows, key=repr):
         print("\t".join(str(value) for value in row))
     print(f"# {len(rows)} rows", file=sys.stderr)
@@ -79,17 +117,24 @@ def _cmd_crpq(args: argparse.Namespace) -> int:
 
 
 def _cmd_paths(args: argparse.Namespace) -> int:
+    from repro.engine.limits import BudgetExceeded
     from repro.rpq.path_modes import matching_paths
 
     graph = _load_graph(args.graph)
     use_index, stats = _engine_options(args)
     count = 0
-    for path in matching_paths(
-        args.query, graph, args.source, args.target, mode=args.mode,
-        limit=args.limit, use_index=use_index, stats=stats,
-    ):
-        print(" -> ".join(str(obj) for obj in path.objects))
-        count += 1
+    try:
+        # Paths stream out as they are found, so everything printed before
+        # a budget trip *is* the partial result.
+        for path in matching_paths(
+            args.query, graph, args.source, args.target, mode=args.mode,
+            limit=args.limit, use_index=use_index, stats=stats,
+            budget=_make_budget(args),
+        ):
+            print(" -> ".join(str(obj) for obj in path.objects))
+            count += 1
+    except BudgetExceeded as exc:
+        return _report_trip(exc)
     print(f"# {count} paths ({args.mode})", file=sys.stderr)
     _report_stats(stats)
     return 0
@@ -97,17 +142,21 @@ def _cmd_paths(args: argparse.Namespace) -> int:
 
 def _cmd_dlrpq(args: argparse.Namespace) -> int:
     from repro.datatests.dlrpq import evaluate_dlrpq
+    from repro.engine.limits import BudgetExceeded
 
     graph = _load_graph(args.graph)
     count = 0
-    for binding in evaluate_dlrpq(
-        args.query, graph, args.source, args.target, mode=args.mode,
-        limit=args.limit,
-    ):
-        lists = dict(binding.mu.items())
-        suffix = f"   lists: {lists}" if lists else ""
-        print(" -> ".join(str(obj) for obj in binding.path.objects) + suffix)
-        count += 1
+    try:
+        for binding in evaluate_dlrpq(
+            args.query, graph, args.source, args.target, mode=args.mode,
+            limit=args.limit, budget=_make_budget(args),
+        ):
+            lists = dict(binding.mu.items())
+            suffix = f"   lists: {lists}" if lists else ""
+            print(" -> ".join(str(obj) for obj in binding.path.objects) + suffix)
+            count += 1
+    except BudgetExceeded as exc:
+        return _report_trip(exc)
     print(f"# {count} path bindings ({args.mode})", file=sys.stderr)
     return 0
 
@@ -209,6 +258,7 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
                 multi_source=not args.per_source,
                 slow_log=args.slow_log,
                 stats=stats,
+                budget=_make_budget(args),
             )
     except KeyboardInterrupt:
         pass
@@ -305,13 +355,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _connect(spec: str):
+def _connect(spec: str, retry=None):
     from repro.server.client import ServerClient
 
     host, _, port = spec.rpartition(":")
     if not host:
         host = "127.0.0.1"
-    return ServerClient(host, int(port))
+    return ServerClient(host, int(port), retry=retry)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -319,17 +369,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from repro.engine.explain import query_kind
-    from repro.server.client import ServerError
+    from repro.server.client import RetryPolicy, ServerError
 
+    retry = (
+        RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    )
+    limits = {
+        "timeout": args.timeout,
+        "max_rows": args.max_rows,
+        "max_states": args.max_states,
+    }
     try:
-        with _connect(args.connect) as client:
+        with _connect(args.connect, retry=retry) as client:
             if args.explain:
                 result = client.explain(args.graph, args.query)
             elif query_kind(args.query) == "crpq":
-                result = client.crpq(args.graph, args.query)
+                result = client.crpq(args.graph, args.query, **limits)
             else:
-                result = client.rpq(args.graph, args.query, source=args.source)
+                result = client.rpq(
+                    args.graph, args.query, source=args.source, **limits
+                )
     except ServerError as exc:
+        if exc.code in ("timeout", "budget_exceeded"):
+            # A structured partial result: print what the server salvaged.
+            for row in exc.details.get("partial") or []:
+                if isinstance(row, (list, tuple)):
+                    print("\t".join(str(value) for value in row))
+                else:
+                    print(row)
+            limit = exc.details.get("limit", exc.code)
+            rows_so_far = exc.details.get("rows_so_far", "?")
+            print(
+                f"# budget exceeded (limit={limit}, rows_so_far={rows_so_far});"
+                " answers above are partial",
+                file=sys.stderr,
+            )
+            return 2
         print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
         return 1
     if args.json or args.explain:
@@ -375,17 +450,34 @@ def build_parser() -> argparse.ArgumentParser:
             "seed evaluator; the differential-testing oracle)",
         )
 
+    def add_budget_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget; on expiry, print the partial answers "
+            "found so far and exit 2",
+        )
+        subparser.add_argument(
+            "--max-rows", type=int, default=None, metavar="N",
+            help="stop after N answer rows (exit 2 with exactly N rows)",
+        )
+        subparser.add_argument(
+            "--max-states", type=int, default=None, metavar="N",
+            help="cap on product-graph states visited (memory guard)",
+        )
+
     rpq = commands.add_parser("rpq", help="evaluate an RPQ ([[R]]_G pairs)")
     rpq.add_argument("graph", help="fig2, fig3, or a graph JSON file")
     rpq.add_argument("query", help="regular path query, e.g. 'Transfer*'")
     rpq.add_argument("--source", help="restrict to one source node")
     add_engine_flags(rpq)
+    add_budget_flags(rpq)
     rpq.set_defaults(handler=_cmd_rpq)
 
     crpq = commands.add_parser("crpq", help="evaluate a CRPQ (Datalog syntax)")
     crpq.add_argument("graph")
     crpq.add_argument("query", help="e.g. 'q(x,y) :- Transfer(x,y), owner(y,z)'")
     add_engine_flags(crpq)
+    add_budget_flags(crpq)
     crpq.set_defaults(handler=_cmd_crpq)
 
     paths = commands.add_parser("paths", help="enumerate matching paths")
@@ -398,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     paths.add_argument("--limit", type=int, default=None)
     add_engine_flags(paths)
+    add_budget_flags(paths)
     paths.set_defaults(handler=_cmd_paths)
 
     dlrpq = commands.add_parser(
@@ -411,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", default="shortest", choices=("all", "shortest", "simple", "trail")
     )
     dlrpq.add_argument("--limit", type=int, default=None)
+    add_budget_flags(dlrpq)
     dlrpq.set_defaults(handler=_cmd_dlrpq)
 
     experiment = commands.add_parser(
@@ -530,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged latency histogram and engine counters in "
         "Prometheus text exposition format",
     )
+    add_budget_flags(wrun)
     wrun.set_defaults(handler=_cmd_workload_run)
 
     serve = commands.add_parser(
@@ -561,8 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'overloaded' rejection",
     )
     serve.add_argument(
-        "--query-timeout", type=float, default=30.0,
-        help="per-query wall-clock budget in seconds",
+        "--query-timeout", "--default-timeout", dest="query_timeout",
+        type=float, default=30.0,
+        help="default per-query wall-clock budget in seconds (requests may "
+        "ask for less via their 'timeout' parameter, never more)",
     )
     serve.add_argument(
         "--max-request-bytes", type=int, default=1 << 20,
@@ -599,6 +696,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the server for the plan instead of executing",
     )
     query.add_argument("--json", action="store_true", help="JSON output")
+    add_budget_flags(query)
+    query.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retry idempotent requests up to N times on lost connections "
+        "or 'overloaded' rejections (exponential backoff with jitter)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     return parser

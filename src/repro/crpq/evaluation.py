@@ -19,9 +19,12 @@ joins do not recompute the same BFS.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.crpq.ast import CRPQ, RPQAtom, Var
 from repro.crpq.planning import explain_steps, greedy_plan, make_plan
 from repro.engine.index import get_reversed
+from repro.engine.limits import BudgetExceeded
 from repro.engine.tracing import get_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import reverse as regex_reverse
@@ -42,10 +45,14 @@ class _AtomAccess:
         graph: EdgeLabeledGraph,
         use_index: bool = True,
         stats=None,
+        budget=None,
     ):
         self.graph = graph
         self.use_index = use_index
         self.stats = stats
+        # Atom relations are *intermediate* results: they share the query's
+        # deadline/cancellation but are exempt from its answer-row ceiling.
+        self.budget = budget.subquery() if budget is not None else None
         self.reversed_graph = None
         self._forward: dict = {}
         self._backward: dict = {}
@@ -72,6 +79,7 @@ class _AtomAccess:
                 source,
                 use_index=self.use_index,
                 stats=self.stats,
+                budget=self.budget,
             )
         return self._forward[key]
 
@@ -93,6 +101,7 @@ class _AtomAccess:
                 target,
                 use_index=self.use_index,
                 stats=self.stats,
+                budget=self.budget,
             )
         return self._backward[key]
 
@@ -101,7 +110,8 @@ class _AtomAccess:
         # kernel's one-sweep multi-source evaluation of ``[[R]]_G``.
         if regex not in self._full:
             self._full[regex] = evaluate_rpq(
-                regex, self.graph, use_index=self.use_index, stats=self.stats
+                regex, self.graph, use_index=self.use_index, stats=self.stats,
+                budget=self.budget,
             )
         return self._full[regex]
 
@@ -135,6 +145,7 @@ def evaluate_crpq_bindings(
     use_index: bool = True,
     planner: "str | None" = None,
     stats=None,
+    budget=None,
 ) -> list[dict]:
     """All node homomorphisms from ``query`` to ``graph`` as variable->node
     dictionaries (before head projection).
@@ -143,6 +154,11 @@ def evaluate_crpq_bindings(
     cardinality-model planner, default on indexed runs) or ``"greedy"``
     (the seed planner, default for the ``use_index=False`` oracle).  An
     explicit ``plan`` overrides both.
+
+    A ``budget`` bounds the whole join: atom reachability calls run under
+    ``budget.subquery()`` and the join loop itself ticks per extension.  On
+    :class:`BudgetExceeded` the bindings completed so far are attached as
+    the partial result (callers with a more final answer shape overwrite).
 
     This is the engine behind :func:`evaluate_crpq`; the l-CRPQ evaluator of
     Section 3.1.5 also starts from these homomorphisms before attaching list
@@ -173,24 +189,29 @@ def evaluate_crpq_bindings(
             )
         if query_span is not None:
             query_span.set(atoms=len(ordered))
-        access = _AtomAccess(graph, use_index=use_index, stats=stats)
+        access = _AtomAccess(graph, use_index=use_index, stats=stats, budget=budget)
         bindings: list[dict] = [{}]
-        for position, atom in enumerate(ordered):
-            attributes = {}
-            if steps is not None:
-                step = steps[position]
-                attributes = {
-                    "atom": step.atom_text,
-                    "access": step.access,
-                    "estimated_cost": round(step.estimated_cost, 4),
-                    "estimated_pairs": round(step.estimated_pairs, 4),
-                }
-            with tracer.span("crpq.atom", **attributes) as atom_span:
-                bindings = _apply_atom(atom, bindings, access, graph)
-                if atom_span is not None:
-                    atom_span.set(actual_cardinality=len(bindings))
-            if not bindings:
-                break
+        try:
+            for position, atom in enumerate(ordered):
+                if budget is not None:
+                    budget.check()  # natural barrier between atoms
+                attributes = {}
+                if steps is not None:
+                    step = steps[position]
+                    attributes = {
+                        "atom": step.atom_text,
+                        "access": step.access,
+                        "estimated_cost": round(step.estimated_cost, 4),
+                        "estimated_pairs": round(step.estimated_pairs, 4),
+                    }
+                with tracer.span("crpq.atom", **attributes) as atom_span:
+                    bindings = _apply_atom(atom, bindings, access, graph, budget)
+                    if atom_span is not None:
+                        atom_span.set(actual_cardinality=len(bindings))
+                if not bindings:
+                    break
+        except BudgetExceeded as exc:
+            raise exc.attach_partial(list(bindings))
         if query_span is not None:
             query_span.set(bindings=len(bindings))
     return bindings
@@ -201,10 +222,14 @@ def _apply_atom(
     bindings: list[dict],
     access: _AtomAccess,
     graph: EdgeLabeledGraph,
+    budget=None,
 ) -> list[dict]:
     """Join one atom's relation into the current partial bindings."""
     next_bindings: list[dict] = []
+    tick = budget.tick if budget is not None else None
     for binding in bindings:
+        if tick is not None:
+            tick()
         left = _resolve(atom.left, binding)
         right = _resolve(atom.right, binding)
         if left is not None and graph.has_node(left):
@@ -214,17 +239,23 @@ def _apply_atom(
                     next_bindings.append(binding)
             else:
                 for node in targets:
+                    if tick is not None:
+                        tick()
                     extended = _extend(binding, atom.right, node)
                     if extended is not None:
                         next_bindings.append(extended)
         elif right is not None and graph.has_node(right):
             sources = access.backward(atom.regex, right)
             for node in sources:
+                if tick is not None:
+                    tick()
                 extended = _extend(binding, atom.left, node)
                 if extended is not None:
                     next_bindings.append(extended)
         elif left is None and right is None:
             for source, target in access.full(atom.regex):
+                if tick is not None:
+                    tick()
                 extended = _extend(binding, atom.left, source)
                 if extended is None:
                     continue
@@ -243,6 +274,7 @@ def evaluate_crpq(
     use_index: bool = True,
     planner: "str | None" = None,
     stats=None,
+    budget=None,
 ) -> set[tuple]:
     """The output ``q(G)`` as a set of head-variable tuples.
 
@@ -250,14 +282,26 @@ def evaluate_crpq(
     ``set()`` otherwise.  A custom atom order can be injected via ``plan``;
     ``planner`` picks between the cost-based and greedy orderings (the
     benchmarks and differential tests compare all of them).
+
+    ``budget.max_rows`` applies to these head tuples: the evaluation stops
+    once more than ``max_rows`` distinct tuples exist, and the raised
+    :class:`BudgetExceeded` carries exactly ``max_rows`` of them.
     """
     if isinstance(query, str):
         from repro.crpq.ast import parse_crpq
 
         query = parse_crpq(query)
     results: set[tuple] = set()
-    for binding in evaluate_crpq_bindings(
-        query, graph, plan=plan, use_index=use_index, planner=planner, stats=stats
-    ):
-        results.add(tuple(binding[var] for var in query.head))
+    try:
+        for binding in evaluate_crpq_bindings(
+            query, graph, plan=plan, use_index=use_index, planner=planner,
+            stats=stats, budget=budget,
+        ):
+            results.add(tuple(binding[var] for var in query.head))
+            if budget is not None:
+                budget.check_rows(len(results))
+    except BudgetExceeded as exc:
+        if budget is not None and exc.limit == "max_rows" and budget.max_rows is not None:
+            raise exc.attach_partial(set(islice(results, budget.max_rows)))
+        raise exc.attach_partial(set(results))
     return results

@@ -217,6 +217,7 @@ def evaluate_dlrpq(
     target: ObjectId,
     mode: str = "all",
     limit: int | None = None,
+    budget=None,
 ) -> Iterator[PathBinding]:
     """Yield ``(p, mu)`` results of ``sigma_{source,target}([[R]]_G)`` under
     the mode, each distinct pair once.
@@ -224,13 +225,16 @@ def evaluate_dlrpq(
     Paths may start or end with edges (the symmetric design of Example 21);
     ``source``/``target`` refer to ``src(p)``/``tgt(p)``, which look through
     boundary edges.  The empty path never appears in results (it has no
-    endpoints).
+    endpoints).  A ``budget`` is ticked per dequeued configuration so a
+    deadline or cancellation stops the run enumeration between yields.
     """
     if mode not in PATH_MODES:
         raise EvaluationError(f"unknown path mode {mode!r}; use one of {PATH_MODES}")
     regex = _as_regex(query)
     if not graph.has_node(source) or not graph.has_node(target):
         return
+    if budget is not None:
+        budget.check()
     cg = build_config_graph(regex, graph, source)
     goals = cg.finals_by_target.get(target, set())
     if not goals:
@@ -264,7 +268,7 @@ def evaluate_dlrpq(
         )
 
     yield from _bounded(
-        _enumerate(cg, accepting_here, useful, mode, edge_filter), limit
+        _enumerate(cg, accepting_here, useful, mode, edge_filter, budget), limit
     )
 
 
@@ -315,10 +319,12 @@ def _enumerate(
     useful: set,
     mode: str,
     edge_filter,
+    budget=None,
 ) -> Iterator[PathBinding]:
     """Breadth-first enumeration of accepted runs, deduplicated on (p, mu)."""
     graph = cg.graph
     emitted: set[PathBinding] = set()
+    tick = budget.tick if budget is not None else None
 
     # queue entries: (config, path_objects, mu_lists, used, since_progress)
     queue: deque = deque()
@@ -333,6 +339,8 @@ def _enumerate(
         return PathBinding(Path(graph, path_objects), ListBinding(lists))
 
     while queue:
+        if tick is not None:
+            tick()
         config, path_objects, mu_lists, used, since_progress = queue.popleft()
         if config in accepting and path_objects:
             binding = result_of(path_objects, mu_lists)

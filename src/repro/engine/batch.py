@@ -39,7 +39,9 @@ from dataclasses import dataclass, field
 
 from repro.engine import kernel
 from repro.engine.cache import DEFAULT_CACHE, CompilationCache
+from repro.engine.faults import FaultError, fault_point
 from repro.engine.index import get_index
+from repro.engine.limits import BudgetExceeded, make_budget
 from repro.engine.metrics import Histogram, MetricsRegistry
 from repro.engine.stats import EngineStats
 from repro.engine.tracing import Tracer, get_tracer, use_tracer
@@ -84,6 +86,12 @@ class BatchResult:
     #: never-evaluated queries stay ``None`` and the telemetry (histogram,
     #: timings, stats) covers only the work that actually ran.
     interrupted: bool = False
+    #: aligned with ``results``: entry *i* is ``None`` on success, else a
+    #: structured error dict — ``{"error": "budget_exceeded", "limit": ...,
+    #: "rows_so_far": ...}`` for a tripped budget (the partial answer, when
+    #: any, sits in ``results[i]``), or ``{"error": "fault", ...}`` for an
+    #: injected worker crash.  Empty list when every item succeeded.
+    errors: list = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -100,6 +108,13 @@ class BatchResult:
     def num_completed(self) -> int:
         """Input queries whose answers were computed before any interrupt."""
         return sum(1 for result in self.results if result is not None)
+
+    @property
+    def num_failed(self) -> int:
+        """Input queries that ended in a structured error (budget/fault)."""
+        if not self.errors:
+            return 0
+        return sum(1 for error in self.errors if error is not None)
 
     def summary(self) -> dict:
         """A JSON-ready digest (what the CLI and benchmarks report)."""
@@ -119,6 +134,13 @@ class BatchResult:
         if self.interrupted:
             digest["interrupted"] = True
             digest["num_completed"] = self.num_completed
+        if self.num_failed:
+            digest["num_failed"] = self.num_failed
+            digest["errors"] = [
+                dict(error, position=position)
+                for position, error in enumerate(self.errors)
+                if error is not None
+            ]
         if self.latency_histogram is not None and self.latency_histogram.count:
             digest["query_latency"] = self.latency_histogram.as_dict()
         if self.slow_queries:
@@ -176,7 +198,7 @@ def _process_worker_run(payload):
     is set each item runs under a worker-local tracer and its span tree
     travels back as a plain dict.
     """
-    multi_source, trace, items = payload
+    multi_source, trace, limits, items = payload
     graph = _WORKER_GRAPH
     stats = EngineStats()
     tracer = Tracer() if trace else None
@@ -184,32 +206,58 @@ def _process_worker_run(payload):
     for position, regex, source in items:
         started = time.perf_counter()
         trace_dict = None
-        if tracer is not None:
-            with use_tracer(tracer):
-                with tracer.span(
-                    "batch.query",
-                    query=kernel.query_text(regex),
-                    source=str(source) if source is not None else None,
-                ) as span:
-                    answer = _evaluate_item(
-                        graph, regex, source, stats, multi_source
-                    )
-                    span.set(answers=len(answer))
-            trace_dict = span.as_dict()
-        else:
-            answer = _evaluate_item(graph, regex, source, stats, multi_source)
+        answer = None
+        error = None
+        budget = None
+        if limits is not None:
+            timeout = limits["timeout"]
+            if timeout is not None:
+                # A deadline that expired in transit still builds a (tiny)
+                # valid budget, so the item fails fast with the typed error.
+                timeout = max(timeout, 1e-6)
+            budget = make_budget(
+                timeout=timeout,
+                max_rows=limits["max_rows"],
+                max_states=limits["max_states"],
+                stride=limits["stride"],
+            )
+        try:
+            fault_point("batch.worker")
+            if tracer is not None:
+                with use_tracer(tracer):
+                    with tracer.span(
+                        "batch.query",
+                        query=kernel.query_text(regex),
+                        source=str(source) if source is not None else None,
+                    ) as span:
+                        answer = _evaluate_item(
+                            graph, regex, source, stats, multi_source, budget
+                        )
+                        span.set(answers=len(answer))
+                trace_dict = span.as_dict()
+            else:
+                answer = _evaluate_item(
+                    graph, regex, source, stats, multi_source, budget
+                )
+        except BudgetExceeded as exc:
+            stats.count("batch_budget_exceeded")
+            answer = exc.partial
+            error = {"error": "budget_exceeded", **exc.details()}
+        except FaultError as exc:
+            stats.count("batch_worker_faults")
+            error = {"error": "fault", "site": exc.site, "message": str(exc)}
         seconds = time.perf_counter() - started
-        records.append((position, answer, seconds, trace_dict))
+        records.append((position, answer, seconds, trace_dict, error))
     return records, stats.counters, stats.timers
 
 
-def _evaluate_item(graph, regex, source, stats, multi_source):
+def _evaluate_item(graph, regex, source, stats, multi_source, budget=None):
     compiled = kernel.compile_query(regex, graph, stats=stats)
     if source is None:
         return kernel.evaluate(
-            compiled, graph, stats=stats, multi_source=multi_source
+            compiled, graph, stats=stats, multi_source=multi_source, budget=budget
         )
-    return kernel.reachable(compiled, graph, source, stats=stats)
+    return kernel.reachable(compiled, graph, source, stats=stats, budget=budget)
 
 
 class BatchExecutor:
@@ -263,8 +311,20 @@ class BatchExecutor:
         queries: Iterable[BatchQuery],
         *,
         stats: "EngineStats | None" = None,
+        budget=None,
     ) -> BatchResult:
-        """Evaluate every query of the workload against ``graph``."""
+        """Evaluate every query of the workload against ``graph``.
+
+        ``budget`` (a :class:`~repro.engine.limits.QueryBudget`) governs the
+        whole batch: every unique work item runs under ``budget.fork()`` —
+        same deadline and cancellation objects, fresh counters — so one
+        item blowing its limits produces a structured entry on
+        :attr:`BatchResult.errors` (with any partial answer on ``results``)
+        instead of killing its siblings.  With ``fork=True`` the limits are
+        shipped to the worker processes as plain numbers (remaining
+        timeout, row/state ceilings); cross-process *cancellation* is not
+        supported.
+        """
         started = time.perf_counter()
         stats = stats if stats is not None else EngineStats()
         phases: dict[str, float] = {}
@@ -307,12 +367,12 @@ class BatchExecutor:
         #    CLI can flush telemetry before exiting 130.
         t0 = time.perf_counter()
         if self.fork:
-            answers, raw_timings, interrupted = self._run_processes(
-                graph, unique, stats
+            answers, raw_timings, interrupted, item_errors = self._run_processes(
+                graph, unique, stats, budget
             )
         else:
-            answers, raw_timings, interrupted = self._run_threads(
-                graph, unique, compiled, stats
+            answers, raw_timings, interrupted, item_errors = self._run_threads(
+                graph, unique, compiled, stats, budget
             )
         phases["evaluate"] = time.perf_counter() - t0
 
@@ -334,15 +394,20 @@ class BatchExecutor:
             timings, key=lambda entry: entry["seconds"], reverse=True
         )[: self.slow_log]
 
-        # 6. fan answers back out to every duplicate occurrence (items the
-        #    interrupt cut off have no answer and stay None).
+        # 6. fan answers (and structured errors) back out to every duplicate
+        #    occurrence (items the interrupt cut off have no answer and stay
+        #    None).
         results: list = [None] * len(workload)
+        errors: list = [None] * len(workload) if item_errors else []
         for item, positions in groups.items():
-            if item not in answers:
+            error = item_errors.get(item)
+            if item not in answers and error is None:
                 continue
-            answer = answers[item]
+            answer = answers.get(item)
             for position in positions:
                 results[position] = answer
+                if error is not None:
+                    errors[position] = error
 
         wall = time.perf_counter() - started
         stats.add_time("batch", wall)
@@ -359,6 +424,7 @@ class BatchExecutor:
             timings=timings,
             slow_queries=slow_queries,
             interrupted=interrupted,
+            errors=errors,
         )
 
     def run_grouped(
@@ -390,14 +456,17 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # pools
     # ------------------------------------------------------------------
-    def _evaluate_one(self, graph, compiled_query, source, stats):
+    def _evaluate_one(self, graph, compiled_query, source, stats, budget=None):
         if source is None:
             return kernel.evaluate(
-                compiled_query, graph, stats=stats, multi_source=self.multi_source
+                compiled_query, graph, stats=stats, multi_source=self.multi_source,
+                budget=budget,
             )
-        return kernel.reachable(compiled_query, graph, source, stats=stats)
+        return kernel.reachable(
+            compiled_query, graph, source, stats=stats, budget=budget
+        )
 
-    def _run_threads(self, graph, unique, compiled, stats):
+    def _run_threads(self, graph, unique, compiled, stats, budget=None):
         """Thread-pool fan-out; per-query spans land on the active tracer.
 
         Each work item runs in its own pool thread, so with tracing enabled
@@ -411,30 +480,54 @@ class BatchExecutor:
             local = EngineStats()
             tracer = get_tracer()
             started = time.perf_counter()
-            if tracer.enabled:
-                with tracer.span(
-                    "batch.query",
-                    query=kernel.query_text(regex),
-                    source=str(source) if source is not None else None,
-                ) as span:
-                    answer = self._evaluate_one(
-                        graph, compiled[regex], source, local
-                    )
-                    span.set(answers=len(answer))
-                trace = span.as_dict()
-            else:
-                answer = self._evaluate_one(graph, compiled[regex], source, local)
-                trace = None
+            answer = None
+            trace = None
+            error = None
+            item_budget = budget.fork() if budget is not None else None
+
+            def run_item():
+                # The positional call shape without a budget stays exactly
+                # the seed's (tests monkeypatch _evaluate_one with it).
+                if item_budget is None:
+                    return self._evaluate_one(graph, compiled[regex], source, local)
+                return self._evaluate_one(
+                    graph, compiled[regex], source, local, item_budget
+                )
+
+            try:
+                fault_point("batch.worker")
+                if tracer.enabled:
+                    with tracer.span(
+                        "batch.query",
+                        query=kernel.query_text(regex),
+                        source=str(source) if source is not None else None,
+                    ) as span:
+                        answer = run_item()
+                        span.set(answers=len(answer))
+                    trace = span.as_dict()
+                else:
+                    answer = run_item()
+            except BudgetExceeded as exc:
+                local.count("batch_budget_exceeded")
+                answer = exc.partial
+                error = {"error": "budget_exceeded", **exc.details()}
+            except FaultError as exc:
+                local.count("batch_worker_faults")
+                error = {"error": "fault", "site": exc.site, "message": str(exc)}
             seconds = time.perf_counter() - started
-            return item, answer, local, seconds, trace
+            return item, answer, local, seconds, trace, error
 
         answers: dict[tuple, set] = {}
         timings: list[tuple] = []
+        item_errors: dict[tuple, dict] = {}
         interrupted = False
 
         def collect(output) -> None:
-            item, answer, local, seconds, trace = output
-            answers[item] = answer
+            item, answer, local, seconds, trace, error = output
+            if answer is not None:
+                answers[item] = answer
+            if error is not None:
+                item_errors[item] = error
             stats.merge(local)
             timings.append((item, seconds, trace))
 
@@ -444,7 +537,7 @@ class BatchExecutor:
                     collect(work(item))
             except KeyboardInterrupt:
                 interrupted = True
-            return answers, timings, interrupted
+            return answers, timings, interrupted, item_errors
 
         # submit + wait (not pool.map): completed futures are harvested even
         # when an interrupt lands, so partial work is never thrown away.
@@ -472,24 +565,42 @@ class BatchExecutor:
                         pass
         else:
             pool.shutdown()
-        return answers, timings, interrupted
+        return answers, timings, interrupted, item_errors
 
-    def _run_processes(self, graph, unique, stats):
+    def _run_processes(self, graph, unique, stats, budget=None):
         from repro.graph.serialize import dumps
 
         trace = get_tracer().enabled
         graph_json = dumps(graph)
+        # Budgets don't pickle (thread events, monotonic deadlines); ship
+        # the limits as plain numbers and let each worker rebuild a local
+        # budget per item.  The remaining timeout is measured at submit
+        # time, so the cross-process deadline is conservative-but-close.
+        limits = None
+        if budget is not None:
+            limits = {
+                "timeout": (
+                    budget.deadline.remaining() if budget.deadline else None
+                ),
+                "max_rows": budget.max_rows,
+                "max_states": budget.max_states,
+                "stride": budget.stride,
+            }
         chunks: list[list] = [[] for _ in range(min(self.jobs * 4, len(unique)) or 1)]
         for position, (regex, source) in enumerate(unique):
             chunks[position % len(chunks)].append((position, regex, source))
         answers: dict[tuple, set] = {}
         timings: list[tuple] = []
+        item_errors: dict[tuple, dict] = {}
         interrupted = False
 
         def collect(payload_result) -> None:
             records, counters, timers = payload_result
-            for position, answer, seconds, trace_dict in records:
-                answers[unique[position]] = answer
+            for position, answer, seconds, trace_dict, error in records:
+                if answer is not None:
+                    answers[unique[position]] = answer
+                if error is not None:
+                    item_errors[unique[position]] = error
                 timings.append((unique[position], seconds, trace_dict))
             for name, value in counters.items():
                 stats.count(name, value)
@@ -505,7 +616,9 @@ class BatchExecutor:
         pending: set = set()
         try:
             payloads = [
-                (self.multi_source, trace, chunk) for chunk in chunks if chunk
+                (self.multi_source, trace, limits, chunk)
+                for chunk in chunks
+                if chunk
             ]
             pending = {pool.submit(_process_worker_run, p) for p in payloads}
             while pending:
@@ -523,4 +636,4 @@ class BatchExecutor:
                         pass
         else:
             pool.shutdown()
-        return answers, timings, interrupted
+        return answers, timings, interrupted, item_errors

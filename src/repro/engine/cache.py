@@ -28,6 +28,7 @@ from collections.abc import Iterable
 
 from repro.automata.glushkov import compile_regex
 from repro.automata.nfa import NFA, StateType, SymbolType
+from repro.engine.faults import fault_point
 from repro.regex.ast import Regex, symbols
 from repro.regex.parser import parse_regex
 
@@ -146,6 +147,10 @@ class CompilationCache:
                 if stats is not None:
                     stats.count("cache_hits")
                 return cached
+            # Fault site on the *fill* path, before any insertion: an
+            # injected failure must leave no partial entry behind
+            # (tests/chaos assert the next compile succeeds cleanly).
+            fault_point("cache.compile")
             compiled = CompiledQuery(
                 regex, key[1], compile_regex(regex, alphabet=key[1])
             )

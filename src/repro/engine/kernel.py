@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from collections.abc import Iterable
+from itertools import islice
 
 from repro.engine.cache import (
     DEFAULT_CACHE,
@@ -32,11 +33,48 @@ from repro.engine.cache import (
     alphabet_for,
     compile_uncached,
 )
+from repro.engine.faults import fault_point
 from repro.engine.index import get_index
+from repro.engine.limits import BudgetExceeded, QueryBudget
 from repro.engine.stats import EngineStats
 from repro.engine.tracing import get_tracer
 from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
 from repro.regex.ast import Regex, to_string
+
+
+def _budget_hooks(budget: "QueryBudget | None"):
+    """Hoist the budget's hot-loop callables (or Nones) for one traversal.
+
+    Evaluators bind these to locals so the unbudgeted path pays a single
+    ``is not None`` comparison per iteration and the budgeted path a plain
+    function call — no attribute lookups inside the loop either way.
+    """
+    if budget is None:
+        return None, None
+    budget.check()  # fail fast on an already-expired deadline
+    tick = budget.tick
+    check_rows = budget.check_rows if budget.max_rows is not None else None
+    return tick, check_rows
+
+
+def _raise_with_partial(
+    exc: BudgetExceeded, answers, budget: "QueryBudget | None"
+):
+    """Attach the rows produced so far and re-raise.
+
+    For a ``max_rows`` trip the attached set is *exactly* the ceiling: the
+    answer whose arrival tripped the limit is sliced off, so callers
+    surfacing partial results report a true k-subset of the full answer.
+    """
+    if (
+        budget is not None
+        and exc.limit == "max_rows"
+        and budget.max_rows is not None
+    ):
+        exc.attach_partial(set(islice(answers, budget.max_rows)))
+    else:
+        exc.attach_partial(set(answers))
+    raise exc
 
 
 def query_text(query: "Regex | str | CompiledQuery") -> str:
@@ -103,6 +141,7 @@ def reachable(
     source: ObjectId,
     *,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> set[ObjectId]:
     """All nodes ``v`` with ``(source, v)`` in ``[[R]]_G`` — indexed BFS.
 
@@ -115,10 +154,10 @@ def reachable(
         with tracer.span(
             "kernel.reachable", query=query_text(compiled), source=str(source)
         ) as span:
-            answers = _reachable(compiled, graph, source, stats)
+            answers = _reachable(compiled, graph, source, stats, budget)
             span.set(answers=len(answers))
             return answers
-    return _reachable(compiled, graph, source, stats)
+    return _reachable(compiled, graph, source, stats, budget)
 
 
 def _reachable(
@@ -126,10 +165,13 @@ def _reachable(
     graph: EdgeLabeledGraph,
     source: ObjectId,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> set[ObjectId]:
     """The uninstrumented BFS body (also the tracing-overhead baseline)."""
     if not graph.has_node(source):
         return set()
+    fault_point("kernel.evaluate")
+    tick, check_rows = _budget_hooks(budget)
     started = time.perf_counter()
     index = get_index(graph, stats)
     delta = compiled.delta
@@ -140,22 +182,34 @@ def _reachable(
     answers = {node for node, state in start if state in finals}
     expanded = 0
     relaxed = 0
-    while queue:
-        node, state = queue.popleft()
-        expanded += 1
-        by_symbol = delta.get(state)
-        if not by_symbol:
-            continue
-        for symbol, next_states in by_symbol.items():
-            for _edge, target in index.out_edges(node, symbol):
-                relaxed += 1
-                for next_state in next_states:
-                    pair = (target, next_state)
-                    if pair not in seen:
-                        seen.add(pair)
-                        queue.append(pair)
-                        if next_state in finals:
-                            answers.add(target)
+    try:
+        while queue:
+            node, state = queue.popleft()
+            expanded += 1
+            if tick is not None:
+                tick()
+            by_symbol = delta.get(state)
+            if not by_symbol:
+                continue
+            for symbol, next_states in by_symbol.items():
+                for _edge, target in index.out_edges(node, symbol):
+                    relaxed += 1
+                    for next_state in next_states:
+                        pair = (target, next_state)
+                        if pair not in seen:
+                            seen.add(pair)
+                            queue.append(pair)
+                            if next_state in finals:
+                                answers.add(target)
+                                if check_rows is not None:
+                                    check_rows(len(answers))
+    except BudgetExceeded as exc:
+        if stats is not None:
+            stats.count("nodes_expanded", expanded)
+            stats.count("edges_relaxed", relaxed)
+            stats.count("budget_exceeded")
+            stats.add_time("bfs", time.perf_counter() - started)
+        _raise_with_partial(exc, answers, budget)
     if stats is not None:
         stats.count("nodes_expanded", expanded)
         stats.count("edges_relaxed", relaxed)
@@ -171,6 +225,7 @@ def holds(
     target: ObjectId,
     *,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> bool:
     """Whether ``(source, target)`` answers the query, with early exit."""
     tracer = get_tracer()
@@ -181,10 +236,10 @@ def holds(
             source=str(source),
             target=str(target),
         ) as span:
-            found = _holds(compiled, graph, source, target, stats)
+            found = _holds(compiled, graph, source, target, stats, budget)
             span.set(found=found)
             return found
-    return _holds(compiled, graph, source, target, stats)
+    return _holds(compiled, graph, source, target, stats, budget)
 
 
 def _holds(
@@ -193,9 +248,12 @@ def _holds(
     source: ObjectId,
     target: ObjectId,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> bool:
     if not (graph.has_node(source) and graph.has_node(target)):
         return False
+    fault_point("kernel.evaluate")
+    tick, _ = _budget_hooks(budget)
     started = time.perf_counter()
     index = get_index(graph, stats)
     delta = compiled.delta
@@ -209,6 +267,8 @@ def _holds(
     while queue and not found:
         node, state = queue.popleft()
         expanded += 1
+        if tick is not None:
+            tick()
         by_symbol = delta.get(state)
         if not by_symbol:
             continue
@@ -239,6 +299,7 @@ def evaluate(
     *,
     stats: "EngineStats | None" = None,
     multi_source: bool = True,
+    budget: "QueryBudget | None" = None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` over all (or the given) sources, sharing one index.
 
@@ -248,12 +309,23 @@ def evaluate(
     (kept as the sweep's differential oracle).
     """
     if multi_source:
-        return evaluate_sweep(compiled, graph, sources, stats=stats)
+        return evaluate_sweep(compiled, graph, sources, stats=stats, budget=budget)
     source_nodes = sources if sources is not None else graph.iter_nodes()
     answers: set[tuple[ObjectId, ObjectId]] = set()
-    for source in source_nodes:
-        for target in reachable(compiled, graph, source, stats=stats):
-            answers.add((source, target))
+    # Per-source reachability bounds its own rows ceiling wrong for the
+    # joined relation, so the row check runs out here over the union; the
+    # per-source traversals still honor deadline/cancellation/max_states.
+    per_source = budget.subquery() if budget is not None else None
+    try:
+        for source in source_nodes:
+            for target in reachable(
+                compiled, graph, source, stats=stats, budget=per_source
+            ):
+                answers.add((source, target))
+                if budget is not None:
+                    budget.check_rows(len(answers))
+    except BudgetExceeded as exc:
+        _raise_with_partial(exc, answers, budget)
     return answers
 
 
@@ -263,6 +335,7 @@ def evaluate_sweep(
     sources: "Iterable[ObjectId] | None" = None,
     *,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` in **one** multi-source product-BFS sweep.
 
@@ -280,10 +353,10 @@ def evaluate_sweep(
         with tracer.span(
             "kernel.evaluate_sweep", query=query_text(compiled)
         ) as span:
-            answers = _evaluate_sweep(compiled, graph, sources, stats)
+            answers = _evaluate_sweep(compiled, graph, sources, stats, budget)
             span.set(answers=len(answers))
             return answers
-    return _evaluate_sweep(compiled, graph, sources, stats)
+    return _evaluate_sweep(compiled, graph, sources, stats, budget)
 
 
 def _evaluate_sweep(
@@ -291,6 +364,7 @@ def _evaluate_sweep(
     graph: EdgeLabeledGraph,
     sources: "Iterable[ObjectId] | None" = None,
     stats: "EngineStats | None" = None,
+    budget: "QueryBudget | None" = None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """The uninstrumented sweep body (also the tracing-overhead baseline)."""
     started = time.perf_counter()
@@ -300,6 +374,8 @@ def _evaluate_sweep(
         source_list = [s for s in sources if graph.has_node(s)]
     if not source_list:
         return set()
+    fault_point("kernel.evaluate")
+    tick, check_rows = _budget_hooks(budget)
     index = get_index(graph, stats)
     delta = compiled.delta
     finals = compiled.finals
@@ -325,6 +401,22 @@ def _evaluate_sweep(
                 if pair not in queued:
                     queued.add(pair)
                     queue.append(pair)
+    try:
+        return _sweep_loop(
+            index, delta, finals, answers, origins, pending, queue, queued,
+            tick, check_rows, stats, started, source_list,
+        )
+    except BudgetExceeded as exc:
+        if stats is not None:
+            stats.count("budget_exceeded")
+            stats.add_time("bfs", time.perf_counter() - started)
+        _raise_with_partial(exc, answers, budget)
+
+
+def _sweep_loop(
+    index, delta, finals, answers, origins, pending, queue, queued,
+    tick, check_rows, stats, started, source_list,
+):
     expanded = 0
     relaxed = 0
     while queue:
@@ -334,10 +426,14 @@ def _evaluate_sweep(
         if not fresh:
             continue
         expanded += 1
+        if tick is not None:
+            tick()
         node, state = pair
         if state in finals:
             for origin in fresh:
                 answers.add((origin, node))
+            if check_rows is not None:
+                check_rows(len(answers))
         by_symbol = delta.get(state)
         if not by_symbol:
             continue

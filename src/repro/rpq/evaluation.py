@@ -67,22 +67,27 @@ def reachable_by_rpq(
     *,
     use_index: bool = True,
     stats: "EngineStats | None" = None,
+    budget=None,
 ) -> set[ObjectId]:
     """All nodes ``v`` with ``(source, v)`` in ``[[R]]_G``.
 
     A single BFS over (node, state) pairs starting from ``(source, q0)``.
+    ``budget`` (a :class:`repro.engine.limits.QueryBudget`) bounds the
+    indexed traversal; the naive oracle ignores it by design.
     """
     if isinstance(query, CompiledQuery):
         if use_index:
-            return kernel.reachable(query, graph, source, stats=stats)
+            return kernel.reachable(query, graph, source, stats=stats, budget=budget)
         return _naive_reachable(query.nfa, graph, source)
     if isinstance(query, NFA):
         if use_index:
-            return kernel.reachable(CompiledQuery.from_nfa(query), graph, source, stats=stats)
+            return kernel.reachable(
+                CompiledQuery.from_nfa(query), graph, source, stats=stats, budget=budget
+            )
         return _naive_reachable(query, graph, source)
     if use_index:
         compiled = kernel.compile_query(query, graph, stats=stats)
-        return kernel.reachable(compiled, graph, source, stats=stats)
+        return kernel.reachable(compiled, graph, source, stats=stats, budget=budget)
     nfa = compile_for_graph(query, graph, cached=False)
     return _naive_reachable(nfa, graph, source)
 
@@ -125,13 +130,16 @@ def evaluate_rpq(
     use_index: bool = True,
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
+    budget=None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` — the full set of answer pairs (optionally restricted to
     the given source nodes).
 
     With ``use_index=True`` the relation is computed by the kernel's
     origin-tracking multi-source sweep (``multi_source=False`` falls back to
-    the per-source BFS loop, the sweep's differential oracle).
+    the per-source BFS loop, the sweep's differential oracle).  A ``budget``
+    bounds the indexed paths cooperatively (deadline, row and state
+    ceilings, cancellation).
 
     Example 12: ``evaluate_rpq("Transfer*", figure2_graph())`` contains all
     36 pairs of accounts because the Transfer-subgraph is strongly connected.
@@ -142,11 +150,11 @@ def evaluate_rpq(
             "rpq.evaluate", query=kernel.query_text(query), use_index=use_index
         ) as span:
             answers = _evaluate_rpq(
-                query, graph, sources, use_index, multi_source, stats
+                query, graph, sources, use_index, multi_source, stats, budget
             )
             span.set(answers=len(answers))
             return answers
-    return _evaluate_rpq(query, graph, sources, use_index, multi_source, stats)
+    return _evaluate_rpq(query, graph, sources, use_index, multi_source, stats, budget)
 
 
 def _evaluate_rpq(
@@ -156,6 +164,7 @@ def _evaluate_rpq(
     use_index: bool = True,
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
+    budget=None,
 ) -> set[tuple[ObjectId, ObjectId]]:
     if use_index:
         if isinstance(query, CompiledQuery):
@@ -165,7 +174,8 @@ def _evaluate_rpq(
         else:
             compiled = kernel.compile_query(query, graph, stats=stats)
         return kernel.evaluate(
-            compiled, graph, sources, stats=stats, multi_source=multi_source
+            compiled, graph, sources, stats=stats, multi_source=multi_source,
+            budget=budget,
         )
     if isinstance(query, CompiledQuery):
         nfa = query.nfa
@@ -189,6 +199,7 @@ def rpq_holds(
     *,
     use_index: bool = True,
     stats: "EngineStats | None" = None,
+    budget=None,
 ) -> bool:
     """Whether ``(source, target)`` answers the RPQ, with early exit.
 
@@ -198,7 +209,7 @@ def rpq_holds(
     """
     if use_index:
         compiled = kernel.compile_query(query, graph, stats=stats)
-        return kernel.holds(compiled, graph, source, target, stats=stats)
+        return kernel.holds(compiled, graph, source, target, stats=stats, budget=budget)
     nfa = compile_for_graph(query, graph, cached=False)
     if not graph.has_node(source) or not graph.has_node(target):
         return False

@@ -38,6 +38,7 @@ def matching_paths(
     *,
     use_index: bool = True,
     stats=None,
+    budget=None,
 ) -> Iterator[Path]:
     """Yield the node-to-node paths from ``source`` to ``target`` matching
     the RPQ, restricted by ``mode``, each exactly once.
@@ -49,28 +50,36 @@ def matching_paths(
     ``use_index=False`` replays the seed pipeline (fresh compilation, linear
     edge scans while building the product); both settings enumerate the
     same paths in the same order, which the differential tests assert.
+
+    ``budget`` (a :class:`repro.engine.limits.QueryBudget`) is checked
+    between extension steps of the search — essential for ``simple`` and
+    ``trail``, whose backtracking is NP-hard (Section 6.3) and can stall
+    arbitrarily long *between* two yielded paths.
     """
     if mode not in PATH_MODES:
         raise EvaluationError(f"unknown path mode {mode!r}; use one of {PATH_MODES}")
     if not (graph.has_node(source) and graph.has_node(target)):
         return
+    if budget is not None:
+        budget.check()
     if hasattr(query, "initial"):
         nfa = query
     else:
         nfa = compile_for_graph(query, graph, cached=use_index, stats=stats)
     product = build_product(
-        graph, nfa, sources=[source], targets=[target], use_index=use_index, stats=stats
+        graph, nfa, sources=[source], targets=[target], use_index=use_index,
+        stats=stats, budget=budget,
     ).trim()
     if not product.targets:
         return
     if mode == "shortest":
-        yield from _shortest_paths(product, limit)
+        yield from _shortest_paths(product, limit, budget)
     elif mode == "all":
-        yield from _all_paths(product, limit)
+        yield from _all_paths(product, limit, budget)
     elif mode == "simple":
-        yield from _constrained_paths(product, limit, constraint="simple")
+        yield from _constrained_paths(product, limit, "simple", budget)
     else:
-        yield from _constrained_paths(product, limit, constraint="trail")
+        yield from _constrained_paths(product, limit, "trail", budget)
 
 
 def _bfs_distances(product: ProductGraph, forward: bool) -> dict:
@@ -91,7 +100,9 @@ def _bfs_distances(product: ProductGraph, forward: bool) -> dict:
     return distances
 
 
-def _shortest_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
+def _shortest_paths(
+    product: ProductGraph, limit: int | None, budget=None
+) -> Iterator[Path]:
     """All geodesics: product paths of globally minimal projected length."""
     graph = product.graph
     dist_from = _bfs_distances(product, forward=True)
@@ -102,8 +113,11 @@ def _shortest_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
     dist_to = _bfs_distances(product, forward=False)
 
     emitted: set[Path] = set()
+    tick = budget.tick if budget is not None else None
 
     def extend(node, product_objects: tuple) -> Iterator[Path]:
+        if tick is not None:
+            tick()
         depth = (len(product_objects) - 1) // 2
         if depth == best and node in product.targets:
             path = product.project_path(Path(graph, product_objects))
@@ -129,7 +143,9 @@ def _shortest_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
                 return
 
 
-def _all_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
+def _all_paths(
+    product: ProductGraph, limit: int | None, budget=None
+) -> Iterator[Path]:
     """Every matching path, in length order; errors out on infinite sets."""
     if limit is None and product.has_accepting_cycle_path():
         raise InfiniteResultError(
@@ -138,10 +154,13 @@ def _all_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
     graph = product.graph
     emitted: set[Path] = set()
     count = 0
+    tick = budget.tick if budget is not None else None
     queue: deque[tuple] = deque()
     for start in sorted(product.sources, key=repr):
         queue.append((start,))
     while queue:
+        if tick is not None:
+            tick()
         product_objects = queue.popleft()
         node = product_objects[-1]
         if node in product.targets:
@@ -157,17 +176,22 @@ def _all_paths(product: ProductGraph, limit: int | None) -> Iterator[Path]:
 
 
 def _constrained_paths(
-    product: ProductGraph, limit: int | None, constraint: str
+    product: ProductGraph, limit: int | None, constraint: str, budget=None
 ) -> Iterator[Path]:
     """Backtracking enumeration of simple paths / trails in the projection.
 
     The constraint applies to the *graph* projection: a simple path may not
     revisit a graph node even in a different automaton state, and a trail
     may not reuse a graph edge even under a different transition.
+
+    This is the NP-hard search (Section 6.3): the budget is ticked on every
+    extension step because the search can run exponentially long *between*
+    two yielded paths.
     """
     graph = product.graph
     emitted: set[Path] = set()
     count = [0]
+    tick = budget.tick if budget is not None else None
 
     def emit(product_objects: tuple) -> Iterator[Path]:
         path = product.project_path(Path(graph, product_objects))
@@ -179,6 +203,8 @@ def _constrained_paths(
     def extend(
         node, product_objects: tuple, used: set
     ) -> Iterator[Path]:
+        if tick is not None:
+            tick()
         if node in product.targets:
             yield from emit(product_objects)
             if limit is not None and count[0] >= limit:

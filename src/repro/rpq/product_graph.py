@@ -140,6 +140,7 @@ def build_product(
     *,
     use_index: bool = True,
     stats=None,
+    budget=None,
 ) -> ProductGraph:
     """Materialize the product of a graph and an NFA.
 
@@ -151,9 +152,12 @@ def build_product(
     With ``use_index=True`` (default) the traversal looks up successor edges
     in the engine's label index; ``use_index=False`` keeps the seed's linear
     ``out_edges`` scan.  Both build the *same* product graph (possibly in a
-    different edge insertion order).
+    different edge insertion order).  A ``budget`` is ticked once per
+    expanded product node (materialization is polynomial, but on a large
+    graph it can dominate a timed-out query's wall clock).
     """
     started = time.perf_counter()
+    tick = budget.tick if budget is not None else None
     source_nodes = set(sources) if sources is not None else set(graph.iter_nodes())
     target_nodes = set(targets) if targets is not None else set(graph.iter_nodes())
 
@@ -182,6 +186,8 @@ def build_product(
     expanded = 0
     relaxed = 0
     while frontier:
+        if tick is not None:
+            tick()
         node, state = frontier.pop()
         expanded += 1
         by_symbol = by_state.get(state)

@@ -29,6 +29,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.engine.faults import FaultError, fault_point
+from repro.engine.limits import CancellationToken, make_budget
 from repro.engine.tracing import NULL_TRACER, Tracer, use_tracer
 from repro.server.admission import AdmissionController
 from repro.server.protocol import (
@@ -48,6 +50,11 @@ from repro.server.protocol import (
 from repro.server.service import QueryService
 
 _HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
+
+#: Extra seconds the hard ``wait_for`` allows past the cooperative deadline,
+#: so the worker's own (informative, partial-result-carrying) BudgetExceeded
+#: normally wins the race against the bare asyncio timeout.
+_WAIT_GRACE = 0.1
 
 
 class QueryServer:
@@ -217,6 +224,10 @@ class QueryServer:
                 await self._handle_jsonl(first, reader, writer)
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
+        except FaultError:
+            # An injected transport fault (chaos tests): treat it exactly
+            # like a real connection death — sever, never hang the drain.
+            pass
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -232,7 +243,11 @@ class QueryServer:
         line = first
         while line:
             if line.strip():
+                if fault_point("server.read"):
+                    return  # injected torn connection before processing
                 response = await self._respond_to_line(line)
+                if fault_point("server.write"):
+                    return  # injected torn connection: request ran, response lost
                 writer.write(encode_response(response))
                 await writer.drain()
                 self._flush_traces()
@@ -311,12 +326,62 @@ class QueryServer:
                     asyncio.sleep(seconds), self.admission.query_timeout
                 )
                 return {"slept": seconds}
-            return await asyncio.wait_for(
-                self._loop.run_in_executor(
-                    self._pool, self.service.execute, request
-                ),
-                self.admission.query_timeout,
-            )
+            budget, effective_timeout = self._budget_for(request)
+            try:
+                return await asyncio.wait_for(
+                    self._loop.run_in_executor(
+                        self._pool, self.service.execute, request, budget
+                    ),
+                    effective_timeout + _WAIT_GRACE,
+                )
+            except asyncio.TimeoutError:
+                # The hard asyncio timeout fired before the worker noticed
+                # its deadline (it is mid-stride, or wedged).  Cancelling
+                # the token makes the worker unwind at its next stride
+                # check, so the pool slot this admission slot maps to is
+                # actually freed instead of burning until the fixpoint.
+                if budget is not None and budget.cancellation is not None:
+                    budget.cancellation.cancel("timeout")
+                raise
+
+    def _budget_for(self, request: Request):
+        """The request's :class:`QueryBudget` plus its effective timeout.
+
+        Per-request limits come from the ``timeout`` / ``max_rows`` /
+        ``max_states`` params; the wall-clock budget is always on and is
+        clamped by the server-wide ``query_timeout``, and every budget
+        carries a fresh cancellation token the timeout handler can fire.
+        """
+        timeout = request.param("timeout")
+        if timeout is not None:
+            if (
+                isinstance(timeout, bool)
+                or not isinstance(timeout, (int, float))
+                or timeout <= 0
+            ):
+                raise BadRequestError("'timeout' must be a positive number")
+            effective = min(float(timeout), self.admission.query_timeout)
+        else:
+            effective = self.admission.query_timeout
+        max_rows = request.param("max_rows")
+        if max_rows is not None and (
+            isinstance(max_rows, bool) or not isinstance(max_rows, int) or max_rows < 0
+        ):
+            raise BadRequestError("'max_rows' must be a non-negative integer")
+        max_states = request.param("max_states")
+        if max_states is not None and (
+            isinstance(max_states, bool)
+            or not isinstance(max_states, int)
+            or max_states < 1
+        ):
+            raise BadRequestError("'max_states' must be a positive integer")
+        budget = make_budget(
+            timeout=effective,
+            max_rows=max_rows,
+            max_states=max_states,
+            cancellation=CancellationToken(),
+        )
+        return budget, effective
 
     # ------------------------------------------------------------------
     # HTTP façade

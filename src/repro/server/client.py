@@ -9,17 +9,38 @@ opening one client per thread.
 Typed server errors surface as :class:`ServerError` with the protocol's
 error ``code`` intact, so callers can branch on ``overloaded`` vs
 ``timeout`` vs ``graph_not_found`` without string matching.
+
+**Fault tolerance** (this module's additions for the chaos suite):
+
+* a dead or half-closed connection — EOF where a response line should be,
+  a line cut off without its newline, a failed write — raises the typed,
+  *retryable* :class:`ConnectionLost` (a ``ConnectionError`` subclass, so
+  pre-existing callers keep working);
+* an optional :class:`RetryPolicy` retries **idempotent** operations on
+  ``ConnectionLost`` (after reconnecting) and on transient server codes
+  (``overloaded`` by default), sleeping with capped exponential backoff and
+  decorrelated jitter, under a total per-request retry budget.  Mutating
+  ops (``graphs.upload``) are never retried automatically.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Any
 
+from repro.engine.faults import fault_point
 from repro.errors import ReproError
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.server.protocol import decode_response, encode_request
+
+#: Ops safe to retry: they read state or are pure functions of it.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "stats", "graphs.list", "rpq", "crpq", "dlrpq", "paths", "explain"}
+)
 
 
 class ServerError(ReproError):
@@ -40,41 +61,178 @@ class ServerError(ReproError):
         )
 
 
+class ConnectionLost(ReproError, ConnectionError):
+    """The transport died mid-exchange (EOF, truncated line, failed write).
+
+    Typed and retryable: the request may or may not have executed, so the
+    automatic retry machinery only fires for :data:`IDEMPOTENT_OPS`.
+    Subclasses ``ConnectionError`` so callers written against the plain
+    exception keep working.
+    """
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with decorrelated jitter.
+
+    ``delays()`` yields the sleep before each retry: the first is around
+    ``base``, later ones are drawn uniformly from ``[base, 3 * previous]``
+    and capped at ``cap`` — the decorrelated-jitter scheme, which spreads
+    synchronized retry storms.  The generator stops once the cumulative
+    sleep would exceed ``retry_budget`` seconds, bounding the total time a
+    request may spend retrying regardless of ``max_attempts``.
+
+    A fixed ``seed`` makes the jitter sequence deterministic (the chaos
+    tests pin it); the default seeds from the system RNG.
+    """
+
+    max_attempts: int = 4
+    base: float = 0.05
+    cap: float = 2.0
+    retry_budget: float = 5.0
+    retry_codes: tuple = ("overloaded",)
+    seed: "int | None" = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base <= 0 or self.cap < self.base:
+            raise ValueError("need 0 < base <= cap")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+
+    def delays(self):
+        rng = random.Random(self.seed)
+        previous = self.base
+        spent = 0.0
+        while True:
+            delay = min(self.cap, rng.uniform(self.base, previous * 3))
+            if spent + delay > self.retry_budget:
+                return
+            spent += delay
+            previous = delay
+            yield delay
+
+
 class ServerClient:
     """A blocking JSON-lines connection to a running query server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: "RetryPolicy | None" = None,
+    ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.retry = retry
+        self.reconnects = 0
         self._ids = itertools.count(1)
+        self._connect()
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._broken = False
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
+
     def request(self, op: str, **params: Any) -> Any:
         """Send one request, wait for its response, return the result.
 
         Raises :class:`ServerError` for failed responses and
-        ``ConnectionError`` when the server hangs up mid-exchange.
+        :class:`ConnectionLost` when the server hangs up mid-exchange.
+        With a :class:`RetryPolicy` installed, idempotent ops retry on
+        ``ConnectionLost`` (reconnecting first) and on the policy's
+        transient server codes; everything else raises immediately.
         """
+        policy = self.retry
+        if policy is None or op not in IDEMPOTENT_OPS:
+            return self._request_once(op, **params)
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(op, **params)
+            except ConnectionLost as exc:
+                failure = exc
+            except ServerError as exc:
+                if exc.code not in policy.retry_codes:
+                    raise
+                failure = exc
+            if attempt >= policy.max_attempts:
+                raise failure
+            delay = next(delays, None)
+            if delay is None:  # retry budget exhausted
+                raise failure
+            time.sleep(delay)
+            if isinstance(failure, ConnectionLost):
+                try:
+                    self._reconnect()
+                except OSError as exc:
+                    raise ConnectionLost(
+                        f"reconnect to {self.host}:{self.port} failed: {exc}"
+                    ) from exc
+
+    def _request_once(self, op: str, **params: Any) -> Any:
+        # A connection that previously lost sync (a ConnectionLost raised
+        # after the request was written) may have a stale response sitting
+        # in its buffer — never reuse it.
+        if self._broken:
+            self._reconnect()
         request_id = next(self._ids)
-        self._file.write(encode_request(op, id=request_id, **params))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(encode_request(op, id=request_id, **params))
+            self._file.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise self._lost(f"request write failed: {exc}") from exc
+        if fault_point("client.read"):
+            raise self._lost("injected torn connection before the response")
+        try:
+            line = self._file.readline()
+        except (ConnectionResetError, socket.timeout, OSError) as exc:
+            raise self._lost(f"response read failed: {exc}") from exc
         if not line:
-            raise ConnectionError("server closed the connection")
+            raise self._lost("server closed the connection")
+        if not line.endswith(b"\n"):
+            # A half-closed connection: the server died mid-line and the
+            # socket returned a prefix of the response.
+            raise self._lost("connection lost mid-response (truncated line)")
         response = decode_response(line)
+        if response.get("id") != request_id:
+            raise self._lost(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request_id!r} (connection desynchronized)"
+            )
         if not response.get("ok"):
             raise ServerError.from_envelope(response.get("error", {}))
         return response.get("result")
 
+    def _lost(self, message: str) -> ConnectionLost:
+        self._broken = True
+        return ConnectionLost(message)
+
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -85,6 +243,16 @@ class ServerClient:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
+    @staticmethod
+    def _with_limits(params: dict, timeout, max_rows, max_states) -> dict:
+        if timeout is not None:
+            params["timeout"] = timeout
+        if max_rows is not None:
+            params["max_rows"] = max_rows
+        if max_states is not None:
+            params["max_states"] = max_states
+        return params
+
     def ping(self) -> dict:
         return self.request("ping")
 
@@ -102,17 +270,64 @@ class ServerClient:
             graph = graph_to_dict(graph)
         return self.request("graphs.upload", name=name, graph=graph)
 
-    def rpq(self, graph: str, query: str, source: Any = None) -> dict:
+    def rpq(
+        self,
+        graph: str,
+        query: str,
+        source: Any = None,
+        *,
+        timeout: "float | None" = None,
+        max_rows: "int | None" = None,
+        max_states: "int | None" = None,
+    ) -> dict:
         params: dict = {"graph": graph, "query": query}
         if source is not None:
             params["source"] = source
-        return self.request("rpq", **params)
+        return self.request(
+            "rpq", **self._with_limits(params, timeout, max_rows, max_states)
+        )
 
-    def crpq(self, graph: str, query: str, planner: "str | None" = None) -> dict:
+    def crpq(
+        self,
+        graph: str,
+        query: str,
+        planner: "str | None" = None,
+        *,
+        timeout: "float | None" = None,
+        max_rows: "int | None" = None,
+        max_states: "int | None" = None,
+    ) -> dict:
         params: dict = {"graph": graph, "query": query}
         if planner is not None:
             params["planner"] = planner
-        return self.request("crpq", **params)
+        return self.request(
+            "crpq", **self._with_limits(params, timeout, max_rows, max_states)
+        )
+
+    def paths(
+        self,
+        graph: str,
+        query: str,
+        source: Any,
+        target: Any,
+        *,
+        mode: str = "shortest",
+        limit: "int | None" = 1000,
+        timeout: "float | None" = None,
+        max_rows: "int | None" = None,
+        max_states: "int | None" = None,
+    ) -> dict:
+        params: dict = {
+            "graph": graph,
+            "query": query,
+            "source": source,
+            "target": target,
+            "mode": mode,
+            "limit": limit,
+        }
+        return self.request(
+            "paths", **self._with_limits(params, timeout, max_rows, max_states)
+        )
 
     def dlrpq(
         self,
@@ -123,15 +338,20 @@ class ServerClient:
         *,
         mode: str = "shortest",
         limit: "int | None" = 1000,
+        timeout: "float | None" = None,
+        max_rows: "int | None" = None,
+        max_states: "int | None" = None,
     ) -> dict:
+        params: dict = {
+            "graph": graph,
+            "query": query,
+            "source": source,
+            "target": target,
+            "mode": mode,
+            "limit": limit,
+        }
         return self.request(
-            "dlrpq",
-            graph=graph,
-            query=query,
-            source=source,
-            target=target,
-            mode=mode,
-            limit=limit,
+            "dlrpq", **self._with_limits(params, timeout, max_rows, max_states)
         )
 
     def explain(self, graph: str, query: str, planner: str = "cost") -> dict:

@@ -15,9 +15,16 @@ code               meaning                                         HTTP
 ``too_large``      request line/body exceeds the size limit         413
 ``overloaded``     admission queue full or queue-timeout hit        429
 ``timeout``        per-query wall-clock budget exhausted            504
+``budget_exceeded`` a row/state ceiling stopped the evaluation      422
 ``shutting_down``  server is draining; no new work accepted         503
 ``internal``       anything else (a server bug, by definition)      500
 =================  ============================================== =====
+
+``timeout`` and ``budget_exceeded`` responses are *structured partial
+results*: their ``details`` name the limit that tripped, how far the
+evaluation got (``rows_so_far``, ``states_visited``, ``elapsed_seconds``)
+and up to :data:`PARTIAL_ROWS_CAP` of the rows produced before the limit
+hit.
 
 Every error class carries its ``code`` so handlers map exceptions to
 envelopes (and HTTP statuses) without string matching; clients re-raise
@@ -30,6 +37,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine.limits import BudgetExceeded
 from repro.errors import (
     EvaluationError,
     GraphError,
@@ -50,10 +58,14 @@ OPS = frozenset(
         "rpq",
         "crpq",
         "dlrpq",
+        "paths",
         "explain",
         "sleep",
     }
 )
+
+#: How many partial-result rows a timeout/budget_exceeded envelope carries.
+PARTIAL_ROWS_CAP = 100
 
 #: Ops that answer from in-memory state without touching the worker pool;
 #: they bypass admission control so health checks still answer under load.
@@ -104,6 +116,45 @@ class QueryTimeoutError(ServiceError):
     http_status = 504
 
 
+class BudgetExceededError(ServiceError):
+    """A row/state ceiling (not the clock) stopped the evaluation."""
+
+    code = "budget_exceeded"
+    http_status = 422
+
+
+def _partial_rows(partial) -> "list | None":
+    """Up to :data:`PARTIAL_ROWS_CAP` partial rows, JSON-shaped.
+
+    Rows are sorted by repr so the same partial answer always serializes
+    the same way (answer sets are unordered).
+    """
+    if partial is None:
+        return None
+    try:
+        rows = sorted(partial, key=repr)[:PARTIAL_ROWS_CAP]
+    except TypeError:
+        return None
+    return [list(row) if isinstance(row, tuple) else row for row in rows]
+
+
+def budget_envelope(exc: BudgetExceeded) -> dict:
+    """The typed error object for a tripped query budget.
+
+    Deadline and cancellation trips keep the existing ``timeout`` code (the
+    HTTP façade's 504); row/state ceilings get ``budget_exceeded`` (422 —
+    the *request* asked for less than the answer needed).  Both carry the
+    structured partial-result details.
+    """
+    details = exc.details()
+    rows = _partial_rows(exc.partial)
+    if rows is not None:
+        details["partial"] = rows
+        details["partial_truncated"] = exc.rows_so_far > len(rows)
+    code = "timeout" if exc.limit in ("timeout", "cancelled") else "budget_exceeded"
+    return {"code": code, "message": str(exc), "details": details}
+
+
 class ShuttingDownError(ServiceError):
     code = "shutting_down"
     http_status = 503
@@ -118,6 +169,10 @@ def error_envelope(exc: BaseException) -> dict:
     """
     if isinstance(exc, ServiceError):
         return exc.envelope()
+    if isinstance(exc, BudgetExceeded):
+        # Before the EvaluationError branch: a tripped budget is a
+        # structured partial result, not a generic query_error.
+        return budget_envelope(exc)
     if isinstance(exc, ParseError):
         return {"code": "parse_error", "message": str(exc)}
     if isinstance(exc, (QueryError, EvaluationError, GraphError)):
@@ -135,6 +190,7 @@ def http_status_for(error: dict) -> int:
         "too_large": 413,
         "overloaded": 429,
         "timeout": 504,
+        "budget_exceeded": 422,
         "shutting_down": 503,
     }
     return statuses.get(error.get("code", "internal"), 500)

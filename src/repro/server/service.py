@@ -28,6 +28,8 @@ import threading
 import time
 
 from repro.engine.cache import DEFAULT_CACHE
+from repro.engine.faults import FaultError, fault_point
+from repro.engine.limits import BudgetExceeded
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.stats import EngineStats
 from repro.engine.tracing import get_tracer
@@ -216,8 +218,11 @@ class QueryService:
     """
 
     #: ops whose answers are pure functions of (graph version, query text,
-    #: options) and therefore cacheable.
-    CACHEABLE_OPS = frozenset({"rpq", "crpq", "dlrpq", "explain"})
+    #: options) and therefore cacheable.  Budget limits (timeout/max_rows/
+    #: max_states) travel in the request params, hence in the cache key's
+    #: options — and a tripped budget *raises* before the cache write, so
+    #: the cache only ever holds complete answers.
+    CACHEABLE_OPS = frozenset({"rpq", "crpq", "dlrpq", "paths", "explain"})
 
     def __init__(
         self,
@@ -235,18 +240,32 @@ class QueryService:
     # ------------------------------------------------------------------
     # the entry point
     # ------------------------------------------------------------------
-    def execute(self, request: Request) -> dict:
-        """Run one request to a JSON-ready result (raises typed errors)."""
+    def execute(self, request: Request, budget=None) -> dict:
+        """Run one request to a JSON-ready result (raises typed errors).
+
+        ``budget`` (a :class:`~repro.engine.limits.QueryBudget`, built by
+        the app from the request's limit params and the server default) is
+        threaded into the evaluators; a tripped budget raises
+        :class:`BudgetExceeded` — counted under ``server_budget_exceeded``
+        — before any cache write happens.
+        """
         tracer = get_tracer()
         started = time.perf_counter()
-        if tracer.enabled:
-            with tracer.span(
-                "server.request", op=request.op, id=request.id
-            ) as span:
-                result, cache_hit = self._dispatch(request)
-                span.set(cache_hit=cache_hit)
-        else:
-            result, cache_hit = self._dispatch(request)
+        fault_point("service.execute")
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "server.request", op=request.op, id=request.id
+                ) as span:
+                    result, cache_hit = self._dispatch(request, budget)
+                    span.set(cache_hit=cache_hit)
+            else:
+                result, cache_hit = self._dispatch(request, budget)
+        except BudgetExceeded as exc:
+            with self._metrics_lock:
+                self.metrics.inc("server_budget_exceeded")
+                self.metrics.inc(f"server_budget_exceeded_{exc.limit}")
+            raise
         elapsed = time.perf_counter() - started
         with self._metrics_lock:
             self.metrics.inc("server_requests_total")
@@ -270,7 +289,7 @@ class QueryService:
             self.metrics.inc("server_errors_total")
             self.metrics.inc(f"server_errors_{code}")
 
-    def _dispatch(self, request: Request) -> tuple[dict, bool]:
+    def _dispatch(self, request: Request, budget=None) -> tuple[dict, bool]:
         op = request.op
         if op == "ping":
             return {"pong": True}, False
@@ -281,7 +300,7 @@ class QueryService:
         if op == "graphs.upload":
             return self._upload(request), False
         if op in self.CACHEABLE_OPS:
-            return self._query(request)
+            return self._query(request, budget)
         raise BadRequestError(f"op {op!r} is not executable by the service")
 
     # ------------------------------------------------------------------
@@ -314,7 +333,7 @@ class QueryService:
         info["cache_entries_dropped"] = dropped
         return info
 
-    def _query(self, request: Request) -> tuple[dict, bool]:
+    def _query(self, request: Request, budget=None) -> tuple[dict, bool]:
         name = request.require("graph")
         query = request.require("query")
         if not isinstance(query, str):
@@ -340,22 +359,34 @@ class QueryService:
             "rpq": self._run_rpq,
             "crpq": self._run_crpq,
             "dlrpq": self._run_dlrpq,
+            "paths": self._run_paths,
             "explain": self._run_explain,
         }[request.op]
-        result = handler(entry.graph, query, request, stats)
+        result = handler(entry.graph, query, request, stats, budget)
         result["graph"] = name
         result["graph_version"] = list(entry.version)
         with self._metrics_lock:
             self.metrics.fold_stats(stats)
-        self.answer_cache.put(key, result)
+        # The cache write happens only on this clean-completion path — a
+        # tripped budget raised out of the handler above, so failed,
+        # cancelled or partial results can never populate the cache.  A
+        # failed cache *write* degrades to an uncached (but correct) answer.
+        try:
+            fault_point("service.cache_put")
+            self.answer_cache.put(key, result)
+        except FaultError:
+            with self._metrics_lock:
+                self.metrics.inc("server_cache_put_failures")
         return result, False
 
-    def _run_rpq(self, graph, query, request: Request, stats) -> dict:
+    def _run_rpq(self, graph, query, request: Request, stats, budget=None) -> dict:
         from repro.rpq.evaluation import evaluate_rpq
 
         source = request.param("source")
         sources = [source] if source is not None else None
-        pairs = evaluate_rpq(query, graph, sources=sources, stats=stats)
+        pairs = evaluate_rpq(
+            query, graph, sources=sources, stats=stats, budget=budget
+        )
         return {
             "op": "rpq",
             "query": query,
@@ -363,11 +394,13 @@ class QueryService:
             "count": len(pairs),
         }
 
-    def _run_crpq(self, graph, query, request: Request, stats) -> dict:
+    def _run_crpq(self, graph, query, request: Request, stats, budget=None) -> dict:
         from repro.crpq.evaluation import evaluate_crpq
 
         planner = request.param("planner")
-        rows = evaluate_crpq(query, graph, planner=planner, stats=stats)
+        rows = evaluate_crpq(
+            query, graph, planner=planner, stats=stats, budget=budget
+        )
         return {
             "op": "crpq",
             "query": query,
@@ -375,7 +408,7 @@ class QueryService:
             "count": len(rows),
         }
 
-    def _run_dlrpq(self, graph, query, request: Request, stats) -> dict:
+    def _run_dlrpq(self, graph, query, request: Request, stats, budget=None) -> dict:
         from repro.datatests.dlrpq import evaluate_dlrpq
 
         if not isinstance(graph, PropertyGraph):
@@ -388,18 +421,24 @@ class QueryService:
         mode = request.param("mode", "shortest")
         limit = request.param("limit", 1000)
         bindings = []
-        for binding in evaluate_dlrpq(
-            query, graph, source, target, mode=mode, limit=limit
-        ):
-            bindings.append(
-                {
-                    "path": list(binding.path.objects),
-                    "lists": {
-                        str(variable): list(values)
-                        for variable, values in binding.mu.items()
-                    },
-                }
-            )
+        try:
+            for binding in evaluate_dlrpq(
+                query, graph, source, target, mode=mode, limit=limit,
+                budget=budget,
+            ):
+                bindings.append(
+                    {
+                        "path": list(binding.path.objects),
+                        "lists": {
+                            str(variable): list(values)
+                            for variable, values in binding.mu.items()
+                        },
+                    }
+                )
+                if budget is not None:
+                    budget.check_rows(len(bindings))
+        except BudgetExceeded as exc:
+            raise exc.attach_partial(self._capped(bindings, exc, budget))
         return {
             "op": "dlrpq",
             "query": query,
@@ -407,7 +446,42 @@ class QueryService:
             "count": len(bindings),
         }
 
-    def _run_explain(self, graph, query, request: Request, stats) -> dict:
+    def _run_paths(self, graph, query, request: Request, stats, budget=None) -> dict:
+        from repro.rpq.path_modes import matching_paths
+
+        source = request.require("source")
+        target = request.require("target")
+        mode = request.param("mode", "shortest")
+        limit = request.param("limit", 1000)
+        paths = []
+        try:
+            for path in matching_paths(
+                query, graph, source, target, mode=mode, limit=limit,
+                stats=stats, budget=budget,
+            ):
+                paths.append(list(path.objects))
+                if budget is not None:
+                    budget.check_rows(len(paths))
+        except BudgetExceeded as exc:
+            raise exc.attach_partial(self._capped(paths, exc, budget))
+        return {
+            "op": "paths",
+            "query": query,
+            "mode": mode,
+            "paths": paths,
+            "count": len(paths),
+        }
+
+    @staticmethod
+    def _capped(rows: list, exc: BudgetExceeded, budget) -> list:
+        """The rows to attach as the partial result (max_rows trips keep
+        exactly the first ``max_rows`` — enumeration order is deterministic
+        for path-shaped results)."""
+        if budget is not None and exc.limit == "max_rows" and budget.max_rows is not None:
+            return rows[: budget.max_rows]
+        return rows
+
+    def _run_explain(self, graph, query, request: Request, stats, budget=None) -> dict:
         from repro.engine.explain import explain_query
 
         planner = request.param("planner", "cost")

@@ -52,6 +52,9 @@ class WorkloadReport:
     slow_queries: list = field(default_factory=list)
     #: True when the batch fan-out was cut short by a KeyboardInterrupt
     interrupted: bool = False
+    #: aligned with ``results``: structured per-query error dicts from the
+    #: batch executor (budget trips, injected faults); empty when clean
+    errors: list = field(default_factory=list)
 
     @property
     def total_answers(self) -> int:
@@ -90,6 +93,14 @@ class WorkloadReport:
             digest["num_completed"] = sum(
                 1 for result in self.results if result is not None
             )
+        failed = [error for error in self.errors if error is not None]
+        if failed:
+            digest["num_failed"] = len(failed)
+            digest["errors"] = [
+                dict(error, position=position)
+                for position, error in enumerate(self.errors)
+                if error is not None
+            ]
         if self.slow_queries:
             digest["slow_queries"] = [
                 {
@@ -122,14 +133,19 @@ def run_query_log(
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
     slow_log: int = 0,
+    budget=None,
 ) -> WorkloadReport:
-    """Evaluate every log expression's full relation via the batch executor."""
+    """Evaluate every log expression's full relation via the batch executor.
+
+    A ``budget`` applies batch-wide: one shared deadline, per-item forked
+    counters (see :meth:`BatchExecutor.run`).
+    """
     expressions = _expressions(log)
     executor = BatchExecutor(
         jobs=jobs, fork=fork, multi_source=multi_source, slow_log=slow_log
     )
     stats = stats if stats is not None else EngineStats()
-    batch = executor.run(graph, expressions, stats=stats)
+    batch = executor.run(graph, expressions, stats=stats, budget=budget)
     return WorkloadReport(
         mode="batch",
         results=batch.results,
@@ -144,6 +160,7 @@ def run_query_log(
         timings=batch.timings,
         slow_queries=batch.slow_queries,
         interrupted=batch.interrupted,
+        errors=batch.errors,
     )
 
 

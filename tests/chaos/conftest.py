@@ -1,0 +1,25 @@
+"""Chaos-suite fixtures: every test gets a freshly-reset fault injector.
+
+The suite runs in two modes with identical outcomes:
+
+* plain ``pytest tests/chaos`` — each test arms its sites programmatically
+  (arming enables the registry);
+* ``REPRO_FAULTS=1 pytest tests/chaos`` — the CI chaos job, where the
+  registry is pre-enabled so even the unarmed passages are counted.
+
+Determinism: the injector is re-seeded to a fixed value before every test,
+so probability-armed sites fire in exactly the same pattern run to run.
+"""
+
+import pytest
+
+from repro.engine.faults import FAULTS
+
+CHAOS_SEED = 1234
+
+
+@pytest.fixture(autouse=True)
+def faults():
+    FAULTS.reset(seed=CHAOS_SEED)
+    yield FAULTS
+    FAULTS.reset(seed=CHAOS_SEED)

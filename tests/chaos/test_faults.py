@@ -1,0 +1,94 @@
+"""Unit tests for the fault injector itself: determinism, arming, firing."""
+
+import pytest
+
+from repro.engine.faults import FAULTS, SITES, FaultError, FaultInjector, fault_point
+
+
+class TestArming:
+    def test_unknown_site_rejected(self, faults):
+        with pytest.raises(ValueError):
+            faults.arm("no.such.site")
+
+    def test_bad_parameters_rejected(self, faults):
+        with pytest.raises(ValueError):
+            faults.arm("kernel.evaluate", times=0)
+        with pytest.raises(ValueError):
+            faults.arm("kernel.evaluate", probability=0.0)
+        with pytest.raises(ValueError):
+            faults.arm("kernel.evaluate", probability=1.5)
+
+    def test_arm_disarm_roundtrip(self, faults):
+        faults.arm("kernel.evaluate")
+        assert faults.armed_sites() == ["kernel.evaluate"]
+        faults.disarm("kernel.evaluate")
+        assert faults.armed_sites() == []
+        faults.fire("kernel.evaluate")  # disarmed site is a no-op
+
+    def test_every_cataloged_site_is_armable(self, faults):
+        for site in SITES:
+            faults.arm(site)
+        assert faults.armed_sites() == sorted(SITES)
+
+
+class TestFiring:
+    def test_times_n_fires_exactly_n(self, faults):
+        faults.arm("kernel.evaluate", times=3)
+        for _ in range(3):
+            with pytest.raises(FaultError) as excinfo:
+                faults.fire("kernel.evaluate")
+            assert excinfo.value.site == "kernel.evaluate"
+        # the fourth passage is clean: the arming is spent
+        assert faults.fire("kernel.evaluate") is False
+        assert faults.armed_sites() == []
+
+    def test_custom_error_instance_and_class(self, faults):
+        faults.arm("kernel.evaluate", error=RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            faults.fire("kernel.evaluate")
+        faults.arm("kernel.evaluate", error=OSError)
+        with pytest.raises(OSError):
+            faults.fire("kernel.evaluate")
+
+    def test_drop_returns_true_instead_of_raising(self, faults):
+        faults.arm("server.read", drop=True)
+        assert faults.fire("server.read") is True
+        assert faults.fire("server.read") is False
+
+    def test_probability_pattern_is_a_function_of_the_seed(self):
+        def pattern(seed):
+            injector = FaultInjector(seed=seed)
+            injector.arm(
+                "kernel.evaluate", probability=0.5, times=10**9, drop=True
+            )
+            return [injector.fire("kernel.evaluate") for _ in range(64)]
+
+        first, second = pattern(7), pattern(7)
+        assert first == second, "same seed must give the same firing pattern"
+        assert pattern(8) != first, "different seeds must diverge"
+        assert any(first) and not all(first)
+
+    def test_passages_counted_while_enabled(self, faults):
+        faults.arm("batch.worker", drop=True, times=1)
+        faults.fire("batch.worker")
+        faults.fire("batch.worker")
+        assert faults.passages["batch.worker"] == 2
+
+    def test_reset_disarms_and_reseeds(self, faults):
+        faults.arm("kernel.evaluate")
+        faults.reset(seed=99)
+        assert faults.armed_sites() == []
+        assert faults.passages == {}
+        assert faults.seed == 99
+
+
+class TestFaultPoint:
+    def test_dormant_fast_path_is_silent(self, faults):
+        faults.reset()
+        if not FAULTS.enabled:  # pragma: no branch - env-dependent
+            assert fault_point("kernel.evaluate") is False
+            assert "kernel.evaluate" not in FAULTS.passages
+
+    def test_fault_point_consults_the_singleton(self, faults):
+        faults.arm("client.read", drop=True)
+        assert fault_point("client.read") is True

@@ -1,0 +1,143 @@
+"""Budget property tests: governance must never change *what* is computed.
+
+Two laws, checked on randomized graphs and expressions:
+
+1. a budget generous enough to never trip is invisible — the answers are
+   identical to the unbudgeted run (and ``make_budget`` with no limits is
+   literally the unbudgeted run);
+2. ``max_rows=k`` on a query with more than ``k`` answers trips with a
+   partial result that is *exactly* a k-subset of the full answer set —
+   never a wrong row, never more than k, and never fewer when k rows
+   exist.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crpq.evaluation import evaluate_crpq
+from repro.engine.limits import BudgetExceeded, QueryBudget
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import Concat, Epsilon, Regex, Star, Symbol, Union
+from repro.rpq.evaluation import evaluate_rpq
+
+A, B = Symbol("a"), Symbol("b")
+
+
+def regexes(max_leaves: int = 6) -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from([A, B, Epsilon()])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda x, y: Union((x, y)), children, children),
+            st.builds(lambda x, y: Concat((x, y)), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def small_graphs() -> st.SearchStrategy[EdgeLabeledGraph]:
+    @st.composite
+    def build(draw):
+        num_nodes = draw(st.integers(min_value=1, max_value=4))
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, num_nodes - 1),
+                    st.integers(0, num_nodes - 1),
+                    st.sampled_from("ab"),
+                ),
+                max_size=6,
+            )
+        )
+        graph = EdgeLabeledGraph()
+        for index in range(num_nodes):
+            graph.add_node(f"n{index}")
+        for number, (src, tgt, label) in enumerate(edges):
+            graph.add_edge(f"e{number}", f"n{src}", f"n{tgt}", label)
+        return graph
+
+    return build()
+
+
+def generous_budget(stride: int) -> QueryBudget:
+    """Limits far beyond anything a <=4-node graph can reach."""
+    return QueryBudget(
+        timeout=300.0, max_rows=10**9, max_states=10**9, stride=stride
+    )
+
+
+class TestGenerousBudgetIsInvisible:
+    @settings(max_examples=120, deadline=None)
+    @given(regex=regexes(), graph=small_graphs(), stride=st.sampled_from([1, 3, 256]))
+    def test_rpq_answers_identical(self, regex, graph, stride):
+        unbudgeted = evaluate_rpq(regex, graph)
+        budgeted = evaluate_rpq(regex, graph, budget=generous_budget(stride))
+        assert budgeted == unbudgeted
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs(), stride=st.sampled_from([1, 256]))
+    def test_crpq_answers_identical(self, graph, stride):
+        query = "Ans(x, y) :- a(x, z), b(z, y)"
+        unbudgeted = evaluate_crpq(query, graph)
+        budgeted = evaluate_crpq(query, graph, budget=generous_budget(stride))
+        assert budgeted == unbudgeted
+
+
+class TestMaxRowsIsAnExactSubset:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        regex=regexes(),
+        graph=small_graphs(),
+        k=st.integers(min_value=0, max_value=5),
+    )
+    def test_rpq_partial_is_k_subset(self, regex, graph, k):
+        full = evaluate_rpq(regex, graph)
+        budget = QueryBudget(max_rows=k, stride=1)
+        if len(full) <= k:
+            assert evaluate_rpq(regex, graph, budget=budget) == full
+            return
+        with pytest.raises(BudgetExceeded) as excinfo:
+            evaluate_rpq(regex, graph, budget=budget)
+        exc = excinfo.value
+        assert exc.limit == "max_rows"
+        partial = set(exc.partial)
+        assert len(partial) == k
+        assert partial <= full
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs(), k=st.integers(min_value=0, max_value=3))
+    def test_crpq_partial_is_k_subset(self, graph, k):
+        query = "Ans(x, y) :- a(x, y)"
+        full = evaluate_crpq(query, graph)
+        budget = QueryBudget(max_rows=k, stride=1)
+        if len(full) <= k:
+            assert evaluate_crpq(query, graph, budget=budget) == full
+            return
+        with pytest.raises(BudgetExceeded) as excinfo:
+            evaluate_crpq(query, graph, budget=budget)
+        exc = excinfo.value
+        assert exc.limit == "max_rows"
+        partial = set(exc.partial)
+        assert len(partial) == k
+        assert partial <= full
+
+
+class TestTinyStateCeilingTripsOnRealWork:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=small_graphs())
+    def test_max_states_partial_is_subset(self, graph):
+        """With stride=1 and a 1-state ceiling, any graph with edges trips;
+        whatever partial survives must still be a subset of the truth."""
+        regex = Star(Union((A, B)))
+        full = evaluate_rpq(regex, graph)
+        budget = QueryBudget(max_states=1, stride=1)
+        try:
+            answers = evaluate_rpq(regex, graph, budget=budget)
+        except BudgetExceeded as exc:
+            assert exc.limit == "max_states"
+            assert exc.states_visited > 1
+            assert set(exc.partial or ()) <= full
+        else:
+            assert answers == full
