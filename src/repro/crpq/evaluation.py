@@ -46,9 +46,11 @@ class _AtomAccess:
         use_index: bool = True,
         stats=None,
         budget=None,
+        use_csr: bool = True,
     ):
         self.graph = graph
         self.use_index = use_index
+        self.use_csr = use_csr
         self.stats = stats
         # Atom relations are *intermediate* results: they share the query's
         # deadline/cancellation but are exempt from its answer-row ceiling.
@@ -78,6 +80,7 @@ class _AtomAccess:
                 self.graph,
                 source,
                 use_index=self.use_index,
+                use_csr=self.use_csr,
                 stats=self.stats,
                 budget=self.budget,
             )
@@ -100,6 +103,7 @@ class _AtomAccess:
                 self.reversed_graph,
                 target,
                 use_index=self.use_index,
+                use_csr=self.use_csr,
                 stats=self.stats,
                 budget=self.budget,
             )
@@ -110,8 +114,8 @@ class _AtomAccess:
         # kernel's one-sweep multi-source evaluation of ``[[R]]_G``.
         if regex not in self._full:
             self._full[regex] = evaluate_rpq(
-                regex, self.graph, use_index=self.use_index, stats=self.stats,
-                budget=self.budget,
+                regex, self.graph, use_index=self.use_index,
+                use_csr=self.use_csr, stats=self.stats, budget=self.budget,
             )
         return self._full[regex]
 
@@ -143,6 +147,7 @@ def evaluate_crpq_bindings(
     plan: "list[RPQAtom] | None" = None,
     *,
     use_index: bool = True,
+    use_csr: bool = True,
     planner: "str | None" = None,
     stats=None,
     budget=None,
@@ -189,7 +194,10 @@ def evaluate_crpq_bindings(
             )
         if query_span is not None:
             query_span.set(atoms=len(ordered))
-        access = _AtomAccess(graph, use_index=use_index, stats=stats, budget=budget)
+        access = _AtomAccess(
+            graph, use_index=use_index, stats=stats, budget=budget,
+            use_csr=use_csr,
+        )
         bindings: list[dict] = [{}]
         try:
             for position, atom in enumerate(ordered):
@@ -272,6 +280,7 @@ def evaluate_crpq(
     plan: "list[RPQAtom] | None" = None,
     *,
     use_index: bool = True,
+    use_csr: bool = True,
     planner: "str | None" = None,
     stats=None,
     budget=None,
@@ -294,8 +303,8 @@ def evaluate_crpq(
     results: set[tuple] = set()
     try:
         for binding in evaluate_crpq_bindings(
-            query, graph, plan=plan, use_index=use_index, planner=planner,
-            stats=stats, budget=budget,
+            query, graph, plan=plan, use_index=use_index, use_csr=use_csr,
+            planner=planner, stats=stats, budget=budget,
         ):
             results.add(tuple(binding[var] for var in query.head))
             if budget is not None:

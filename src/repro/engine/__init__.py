@@ -4,6 +4,10 @@ One optimization layer under every language frontend in the library:
 
 * :mod:`repro.engine.index` — lazy, mutation-invalidated label-indexed
   adjacency (``label -> (src -> edge ids)``) replacing linear edge scans;
+* :mod:`repro.engine.intern` / :mod:`repro.engine.csr` — the flat
+  int-encoded data plane: dense node/label interning and label-partitioned
+  CSR adjacency in ``array('i')`` rows, the default substrate of the kernel
+  relation loops (``use_csr=False`` keeps the dict oracle);
 * :mod:`repro.engine.cache` — LRU compilation cache keyed on
   ``(regex AST, alphabet)`` so repeated queries skip parsing and Glushkov;
 * :mod:`repro.engine.stats` — ``EngineStats`` counters/timers threaded
@@ -37,8 +41,11 @@ from repro.engine.cache import (
     compile_uncached,
     default_cache,
 )
+from repro.engine.cache import IntPlan
 from repro.engine.cardinality import CardinalityModel
+from repro.engine.csr import CSRGraph, get_csr
 from repro.engine.index import GraphIndex, get_index, get_reversed
+from repro.engine.intern import Interner, get_interner
 from repro.engine.kernel import (
     compile_query,
     evaluate,
@@ -63,10 +70,13 @@ __all__ = [
     "CardinalityModel",
     "CompilationCache",
     "CompiledQuery",
+    "CSRGraph",
     "DEFAULT_CACHE",
     "EngineStats",
     "GraphIndex",
     "Histogram",
+    "IntPlan",
+    "Interner",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -79,7 +89,9 @@ __all__ = [
     "default_jobs",
     "evaluate",
     "evaluate_sweep",
+    "get_csr",
     "get_index",
+    "get_interner",
     "get_reversed",
     "get_tracer",
     "holds",

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.engine import kernel
 from repro.engine.cache import DEFAULT_CACHE, CompilationCache
+from repro.engine.csr import get_csr
 from repro.engine.faults import FaultError, fault_point
 from repro.engine.index import get_index
 from repro.engine.limits import BudgetExceeded, make_budget
@@ -198,7 +199,9 @@ def _process_worker_run(payload):
     is set each item runs under a worker-local tracer and its span tree
     travels back as a plain dict.
     """
-    multi_source, trace, limits, items = payload
+    multi_source, trace, limits, items = payload[:4]
+    # Older four-tuple payloads (no use_csr flag) default to the CSR plane.
+    use_csr = payload[4] if len(payload) > 4 else True
     graph = _WORKER_GRAPH
     stats = EngineStats()
     tracer = Tracer() if trace else None
@@ -231,13 +234,14 @@ def _process_worker_run(payload):
                         source=str(source) if source is not None else None,
                     ) as span:
                         answer = _evaluate_item(
-                            graph, regex, source, stats, multi_source, budget
+                            graph, regex, source, stats, multi_source, budget,
+                            use_csr,
                         )
                         span.set(answers=len(answer))
                 trace_dict = span.as_dict()
             else:
                 answer = _evaluate_item(
-                    graph, regex, source, stats, multi_source, budget
+                    graph, regex, source, stats, multi_source, budget, use_csr
                 )
         except BudgetExceeded as exc:
             stats.count("batch_budget_exceeded")
@@ -251,13 +255,18 @@ def _process_worker_run(payload):
     return records, stats.counters, stats.timers
 
 
-def _evaluate_item(graph, regex, source, stats, multi_source, budget=None):
+def _evaluate_item(
+    graph, regex, source, stats, multi_source, budget=None, use_csr=True
+):
     compiled = kernel.compile_query(regex, graph, stats=stats)
     if source is None:
         return kernel.evaluate(
-            compiled, graph, stats=stats, multi_source=multi_source, budget=budget
+            compiled, graph, stats=stats, multi_source=multi_source,
+            budget=budget, use_csr=use_csr,
         )
-    return kernel.reachable(compiled, graph, source, stats=stats, budget=budget)
+    return kernel.reachable(
+        compiled, graph, source, stats=stats, budget=budget, use_csr=use_csr
+    )
 
 
 class BatchExecutor:
@@ -276,6 +285,9 @@ class BatchExecutor:
     multi_source:
         full-relation queries use the kernel's one-sweep multi-source
         evaluation (default) or the per-source BFS loop (the oracle).
+    use_csr:
+        run the kernel on the flat int-encoded CSR data plane (default) or
+        on the dict oracle (``False`` — the ``--no-csr`` escape hatch).
     cache:
         the compilation cache to pre-warm (default: the engine-wide LRU).
     slow_log:
@@ -289,6 +301,7 @@ class BatchExecutor:
         jobs: "int | None" = None,
         fork: bool = False,
         multi_source: bool = True,
+        use_csr: bool = True,
         cache: "CompilationCache | None" = None,
         slow_log: int = 0,
     ):
@@ -299,6 +312,7 @@ class BatchExecutor:
             raise ValueError("slow_log must be >= 0")
         self.fork = fork
         self.multi_source = multi_source
+        self.use_csr = use_csr
         self.cache = cache if cache is not None else DEFAULT_CACHE
         self.slow_log = slow_log
 
@@ -355,9 +369,14 @@ class BatchExecutor:
             )
         phases["compile"] = time.perf_counter() - t0
 
-        # 3. force the label index exactly once, up front.
+        # 3. force the adjacency structure exactly once, up front: the CSR
+        #    snapshot (which embeds the interner) on the fast plane, the
+        #    label index on the dict oracle.
         t0 = time.perf_counter()
-        get_index(graph, stats)
+        if self.use_csr:
+            get_csr(graph, stats)
+        else:
+            get_index(graph, stats)
         phases["index"] = time.perf_counter() - t0
 
         # 4. fan evaluation of the unique items out over the pool.  A
@@ -460,10 +479,11 @@ class BatchExecutor:
         if source is None:
             return kernel.evaluate(
                 compiled_query, graph, stats=stats, multi_source=self.multi_source,
-                budget=budget,
+                budget=budget, use_csr=self.use_csr,
             )
         return kernel.reachable(
-            compiled_query, graph, source, stats=stats, budget=budget
+            compiled_query, graph, source, stats=stats, budget=budget,
+            use_csr=self.use_csr,
         )
 
     def _run_threads(self, graph, unique, compiled, stats, budget=None):
@@ -616,7 +636,7 @@ class BatchExecutor:
         pending: set = set()
         try:
             payloads = [
-                (self.multi_source, trace, limits, chunk)
+                (self.multi_source, trace, limits, chunk, self.use_csr)
                 for chunk in chunks
                 if chunk
             ]

@@ -41,7 +41,10 @@ class CompiledQuery:
     BFS consumes, so evaluators never rebuild per-call transition dicts.
     """
 
-    __slots__ = ("regex", "alphabet", "nfa", "delta", "initial", "finals", "_dfa")
+    __slots__ = (
+        "regex", "alphabet", "nfa", "delta", "initial", "finals", "_dfa",
+        "_int_plan",
+    )
 
     def __init__(self, regex: Regex, alphabet: frozenset[SymbolType], nfa: NFA):
         self.regex = regex
@@ -54,6 +57,7 @@ class CompiledQuery:
         self.initial = nfa.initial
         self.finals = nfa.finals
         self._dfa = None
+        self._int_plan = None
 
     @classmethod
     def from_nfa(cls, nfa: NFA) -> "CompiledQuery":
@@ -68,8 +72,92 @@ class CompiledQuery:
             self._dfa = determinize(self.nfa, alphabet=self.alphabet)
         return self._dfa
 
+    def int_plan(self, interner) -> "IntPlan":
+        """This query's transition table lowered into ``interner``'s int space.
+
+        The last plan is memoized on the query, keyed by the interner's
+        process-unique ``uid`` — never by graph identity, so a mutated (or
+        id-recycled) graph can never be served a table built over a prior
+        node/label numbering.  One entry suffices: a compiled query is
+        overwhelmingly evaluated against one graph at a time, and a rebuild
+        is O(states × labels).  The memo write is a benign race under the
+        worker pool (worst case: a duplicate lowering).
+        """
+        cached = self._int_plan
+        if cached is not None and cached.interner_uid == interner.uid:
+            return cached
+        plan = IntPlan(self, interner)
+        self._int_plan = plan
+        return plan
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CompiledQuery states={self.nfa.num_states} alphabet={len(self.alphabet)}>"
+
+
+class IntPlan:
+    """A :class:`CompiledQuery` lowered into one interner's int space.
+
+    This is the automaton half of the flat data plane: states become dense
+    ints ``0..m-1`` (deterministic ``repr``-sorted numbering), symbols
+    become the interner's label ints, finals become a bitmask, and the
+    transition function becomes a per-state tuple of
+    ``(label_int, next_state_ints)`` rows — exactly what the CSR kernel
+    loops consume, with zero hashing of strings or tuples inside the BFS.
+
+    ``state_bits`` is the width of the state field in a packed product code
+    ``(node_int << state_bits) | state_int``; a single-state automaton packs
+    into zero bits and the code *is* the node int.
+
+    Symbols the graph has no edge for (an ``a`` queried against a ``b``-only
+    graph, wildcards instantiated over query-only labels) lower to nothing:
+    their transitions can never fire, so they are dropped from the rows.
+    """
+
+    __slots__ = (
+        "interner_uid",
+        "num_states",
+        "state_bits",
+        "state_mask",
+        "initial",
+        "finals_mask",
+        "delta",
+        "state_ids",
+    )
+
+    def __init__(self, compiled: "CompiledQuery", interner):
+        self.interner_uid = interner.uid
+        states = sorted(compiled.nfa.states, key=repr)
+        self.state_ids = {state: index for index, state in enumerate(states)}
+        self.num_states = len(states)
+        self.state_bits = (self.num_states - 1).bit_length() if states else 0
+        self.state_mask = (1 << self.state_bits) - 1
+        self.initial = tuple(
+            sorted(self.state_ids[state] for state in compiled.initial)
+        )
+        finals_mask = 0
+        for state in compiled.finals:
+            finals_mask |= 1 << self.state_ids[state]
+        self.finals_mask = finals_mask
+        label_id = interner.label_id
+        delta = []
+        for state in states:
+            rows = []
+            for symbol, successors in compiled.delta.get(state, {}).items():
+                label_int = label_id(symbol)
+                if label_int is None:
+                    continue  # no edge in the graph carries this symbol
+                rows.append(
+                    (label_int, tuple(self.state_ids[s] for s in successors))
+                )
+            rows.sort()
+            delta.append(tuple(rows))
+        self.delta = tuple(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IntPlan states={self.num_states} bits={self.state_bits} "
+            f"interner={self.interner_uid}>"
+        )
 
 
 class CompilationCache:

@@ -9,6 +9,14 @@ once, properly:
   skip parsing and Glushkov entirely);
 * the BFS walks the lazily-built label index of :mod:`repro.engine.index`
   (O(out-degree-by-label) per step instead of O(out-degree));
+* with ``use_csr=True`` (the default) the relation kernels run on the flat
+  int-encoded data plane instead: nodes, labels and automaton states are
+  interned to dense ints (:mod:`repro.engine.intern`), adjacency is
+  label-partitioned CSR rows in ``array('i')`` (:mod:`repro.engine.csr`),
+  the transition table is lowered into the same int space
+  (:class:`~repro.engine.cache.IntPlan`), and the worklists run over packed
+  ``(node_int << k) | state_int`` codes with bytearray-bitset visited sets
+  and int-bitmask origin tracking — pure stdlib, no numpy;
 * every entry point threads an optional :class:`~repro.engine.stats.EngineStats`
   recording nodes expanded, edges relaxed, cache behaviour and phase times.
 
@@ -17,6 +25,10 @@ The language frontends (``rpq.evaluation``, ``rpq.path_modes``,
 here when ``use_index=True`` (the default); their original linear-scan
 implementations remain available behind ``use_index=False`` and serve as the
 oracle for the differential tests in ``tests/engine/test_differential.py``.
+``use_csr=False`` is the second escape hatch one layer down: it keeps the
+indexed *dict* kernel (tuple pairs, set-of-origins bookkeeping), which is the
+differential oracle for the CSR plane in ``tests/engine/test_csr.py`` and the
+baseline of the ``bench_engine.py`` scale sweep.
 """
 
 from __future__ import annotations
@@ -33,7 +45,8 @@ from repro.engine.cache import (
     alphabet_for,
     compile_uncached,
 )
-from repro.engine.faults import fault_point
+from repro.engine.csr import get_csr
+from repro.engine.faults import FAULTS, fault_point
 from repro.engine.index import get_index
 from repro.engine.limits import BudgetExceeded, QueryBudget
 from repro.engine.stats import EngineStats
@@ -142,22 +155,24 @@ def reachable(
     *,
     stats: "EngineStats | None" = None,
     budget: "QueryBudget | None" = None,
+    use_csr: bool = True,
 ) -> set[ObjectId]:
     """All nodes ``v`` with ``(source, v)`` in ``[[R]]_G`` — indexed BFS.
 
     One BFS over ``(node, state)`` pairs; successor edges come from the
-    label index, so each automaton transition out of a state inspects only
-    the edges that actually carry its symbol.
+    label index (``use_csr=False``) or the flat CSR rows (default), so each
+    automaton transition out of a state inspects only the edges that
+    actually carry its symbol.
     """
     tracer = get_tracer()
     if tracer.enabled:
         with tracer.span(
             "kernel.reachable", query=query_text(compiled), source=str(source)
         ) as span:
-            answers = _reachable(compiled, graph, source, stats, budget)
+            answers = _reachable(compiled, graph, source, stats, budget, use_csr)
             span.set(answers=len(answers))
             return answers
-    return _reachable(compiled, graph, source, stats, budget)
+    return _reachable(compiled, graph, source, stats, budget, use_csr)
 
 
 def _reachable(
@@ -166,6 +181,7 @@ def _reachable(
     source: ObjectId,
     stats: "EngineStats | None" = None,
     budget: "QueryBudget | None" = None,
+    use_csr: bool = True,
 ) -> set[ObjectId]:
     """The uninstrumented BFS body (also the tracing-overhead baseline)."""
     if not graph.has_node(source):
@@ -173,9 +189,14 @@ def _reachable(
     fault_point("kernel.evaluate")
     tick, check_rows = _budget_hooks(budget)
     started = time.perf_counter()
+    if use_csr:
+        return _csr_reachable(
+            compiled, graph, source, tick, check_rows, stats, budget, started
+        )
     index = get_index(graph, stats)
     delta = compiled.delta
     finals = compiled.finals
+    fire = FAULTS.fire if FAULTS.enabled else None
     start = {(source, state) for state in compiled.initial}
     seen = set(start)
     queue = deque(start)
@@ -186,6 +207,8 @@ def _reachable(
         while queue:
             node, state = queue.popleft()
             expanded += 1
+            if fire is not None:
+                fire("kernel.step")
             if tick is not None:
                 tick()
             by_symbol = delta.get(state)
@@ -216,6 +239,96 @@ def _reachable(
         stats.count("answers", len(answers))
         stats.add_time("bfs", time.perf_counter() - started)
     return answers
+
+
+def _csr_reachable(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source: ObjectId,
+    tick,
+    check_rows,
+    stats: "EngineStats | None",
+    budget: "QueryBudget | None",
+    started: float,
+) -> set[ObjectId]:
+    """Single-source BFS on the flat data plane.
+
+    The product state is a packed code ``(node_int << k) | state_int``; the
+    visited set is a bytearray bitset over ``num_nodes << k`` bits; answers
+    accumulate as node ints and decode once at the end.  Semantics (seed
+    handling, tick cadence, row accounting, partial attach) mirror the dict
+    body above — the differential tests hold the two to identical answers.
+    """
+    csr = get_csr(graph, stats)
+    plan = compiled.int_plan(csr.interner)
+    source_int = csr.interner._node_ids[source]
+    k = plan.state_bits
+    state_mask = plan.state_mask
+    finals_mask = plan.finals_mask
+    delta = plan.delta
+    out_rows = csr.out_rows
+    fire = FAULTS.fire if FAULTS.enabled else None
+    visited = bytearray(((csr.num_nodes << k) + 7) >> 3)
+    queue = deque()
+    answer_ints: set[int] = set()
+    for state in plan.initial:
+        code = (source_int << k) | state
+        byte = code >> 3
+        bit = 1 << (code & 7)
+        if not visited[byte] & bit:
+            visited[byte] |= bit
+            queue.append(code)
+            if (finals_mask >> state) & 1:
+                answer_ints.add(source_int)
+    expanded = 0
+    relaxed = 0
+    try:
+        while queue:
+            code = queue.popleft()
+            expanded += 1
+            if fire is not None:
+                fire("kernel.step")
+            if tick is not None:
+                tick()
+            rows = delta[code & state_mask]
+            if not rows:
+                continue
+            node = code >> k
+            for label_int, next_states in rows:
+                offsets, targets = out_rows[label_int]
+                lo = offsets[node]
+                hi = offsets[node + 1]
+                if lo == hi:
+                    continue
+                relaxed += hi - lo
+                for target in targets[lo:hi]:
+                    base = target << k
+                    for next_state in next_states:
+                        succ = base | next_state
+                        byte = succ >> 3
+                        bit = 1 << (succ & 7)
+                        if not visited[byte] & bit:
+                            visited[byte] = visited[byte] | bit
+                            queue.append(succ)
+                            if (finals_mask >> next_state) & 1:
+                                answer_ints.add(target)
+                                if check_rows is not None:
+                                    check_rows(len(answer_ints))
+    except BudgetExceeded as exc:
+        if stats is not None:
+            stats.count("nodes_expanded", expanded)
+            stats.count("edges_relaxed", relaxed)
+            stats.count("budget_exceeded")
+            stats.add_time("bfs", time.perf_counter() - started)
+        nodes = csr.interner._nodes
+        _raise_with_partial(exc, {nodes[i] for i in answer_ints}, budget)
+    if stats is not None:
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.count("answers", len(answer_ints))
+        stats.add_time("bfs", time.perf_counter() - started)
+    nodes = csr.interner._nodes
+    return {nodes[i] for i in answer_ints}
 
 
 def holds(
@@ -300,16 +413,20 @@ def evaluate(
     stats: "EngineStats | None" = None,
     multi_source: bool = True,
     budget: "QueryBudget | None" = None,
+    use_csr: bool = True,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` over all (or the given) sources, sharing one index.
 
     With ``multi_source=True`` (default) the whole relation is computed in
     one origin-tracking frontier sweep (:func:`evaluate_sweep`); with
     ``multi_source=False`` the original per-source BFS loop runs instead
-    (kept as the sweep's differential oracle).
+    (kept as the sweep's differential oracle).  ``use_csr`` picks the data
+    plane either way.
     """
     if multi_source:
-        return evaluate_sweep(compiled, graph, sources, stats=stats, budget=budget)
+        return evaluate_sweep(
+            compiled, graph, sources, stats=stats, budget=budget, use_csr=use_csr
+        )
     source_nodes = sources if sources is not None else graph.iter_nodes()
     answers: set[tuple[ObjectId, ObjectId]] = set()
     # Per-source reachability bounds its own rows ceiling wrong for the
@@ -319,7 +436,8 @@ def evaluate(
     try:
         for source in source_nodes:
             for target in reachable(
-                compiled, graph, source, stats=stats, budget=per_source
+                compiled, graph, source,
+                stats=stats, budget=per_source, use_csr=use_csr,
             ):
                 answers.add((source, target))
                 if budget is not None:
@@ -336,6 +454,7 @@ def evaluate_sweep(
     *,
     stats: "EngineStats | None" = None,
     budget: "QueryBudget | None" = None,
+    use_csr: bool = True,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """``[[R]]_G`` in **one** multi-source product-BFS sweep.
 
@@ -353,10 +472,12 @@ def evaluate_sweep(
         with tracer.span(
             "kernel.evaluate_sweep", query=query_text(compiled)
         ) as span:
-            answers = _evaluate_sweep(compiled, graph, sources, stats, budget)
+            answers = _evaluate_sweep(
+                compiled, graph, sources, stats, budget, use_csr
+            )
             span.set(answers=len(answers))
             return answers
-    return _evaluate_sweep(compiled, graph, sources, stats, budget)
+    return _evaluate_sweep(compiled, graph, sources, stats, budget, use_csr)
 
 
 def _evaluate_sweep(
@@ -365,6 +486,7 @@ def _evaluate_sweep(
     sources: "Iterable[ObjectId] | None" = None,
     stats: "EngineStats | None" = None,
     budget: "QueryBudget | None" = None,
+    use_csr: bool = True,
 ) -> set[tuple[ObjectId, ObjectId]]:
     """The uninstrumented sweep body (also the tracing-overhead baseline)."""
     started = time.perf_counter()
@@ -376,6 +498,10 @@ def _evaluate_sweep(
         return set()
     fault_point("kernel.evaluate")
     tick, check_rows = _budget_hooks(budget)
+    if use_csr:
+        return _csr_sweep(
+            compiled, graph, source_list, tick, check_rows, stats, budget, started
+        )
     index = get_index(graph, stats)
     delta = compiled.delta
     finals = compiled.finals
@@ -419,6 +545,7 @@ def _sweep_loop(
 ):
     expanded = 0
     relaxed = 0
+    fire = FAULTS.fire if FAULTS.enabled else None
     while queue:
         pair = queue.popleft()
         queued.discard(pair)
@@ -426,6 +553,8 @@ def _sweep_loop(
         if not fresh:
             continue
         expanded += 1
+        if fire is not None:
+            fire("kernel.step")
         if tick is not None:
             tick()
         node, state = pair
@@ -460,6 +589,145 @@ def _sweep_loop(
                             if successor not in queued:
                                 queued.add(successor)
                                 queue.append(successor)
+    if stats is not None:
+        stats.count("sweep_sources", len(source_list))
+        stats.count("nodes_expanded", expanded)
+        stats.count("edges_relaxed", relaxed)
+        stats.count("answers", len(answers))
+        stats.add_time("bfs", time.perf_counter() - started)
+    return answers
+
+
+def _decode_answer_masks(answer_masks, nodes) -> set[tuple[ObjectId, ObjectId]]:
+    """``answer_masks[target_int] = origin bitmask`` -> ``{(origin, target)}``."""
+    answers: set[tuple[ObjectId, ObjectId]] = set()
+    add = answers.add
+    for target_int, mask in enumerate(answer_masks):
+        if mask:
+            target = nodes[target_int]
+            while mask:
+                low = mask & -mask
+                add((nodes[low.bit_length() - 1], target))
+                mask ^= low
+    return answers
+
+
+def _csr_sweep(
+    compiled: CompiledQuery,
+    graph: EdgeLabeledGraph,
+    source_list: list,
+    tick,
+    check_rows,
+    stats: "EngineStats | None",
+    budget: "QueryBudget | None",
+    started: float,
+) -> set[tuple[ObjectId, ObjectId]]:
+    """The multi-source origin-tracking sweep on the flat data plane.
+
+    Product pairs are packed codes; origin *sets* become origin *bitmasks*
+    (one bit per source node int), so the dict sweep's per-batch set algebra
+    turns into single big-int ``&``/``|``/``~`` operations.  ``pending``
+    doubles as the queued signal: a code is in the queue iff its pending
+    mask is nonzero, so the dict sweep's separate ``queued`` set disappears.
+    Answers accumulate as per-target origin masks with an incremental
+    ``bit_count`` row total, keeping ``check_rows`` cadence identical to the
+    dict sweep (checked once per batch of freshly arriving origins).
+    """
+    csr = get_csr(graph, stats)
+    interner = csr.interner
+    plan = compiled.int_plan(interner)
+    node_ids = interner._node_ids
+    k = plan.state_bits
+    state_mask = plan.state_mask
+    finals_mask = plan.finals_mask
+    delta = plan.delta
+    out_rows = csr.out_rows
+    fire = FAULTS.fire if FAULTS.enabled else None
+    #: code -> every origin (as a bitmask) that ever reached the pair
+    origins: dict[int, int] = {}
+    #: code -> origins not yet pushed to the pair's successors (nonzero
+    #: exactly while the code sits in the queue)
+    pending: dict[int, int] = {}
+    queue = deque()
+    append = queue.append
+    initial = plan.initial
+    for source in source_list:
+        source_int = node_ids[source]
+        bit = 1 << source_int
+        base = source_int << k
+        for state in initial:
+            code = base | state
+            known = origins.get(code, 0)
+            if known & bit:
+                continue
+            origins[code] = known | bit
+            pend = pending.get(code, 0)
+            if pend:
+                pending[code] = pend | bit
+            else:
+                pending[code] = bit
+                append(code)
+    answer_masks = [0] * csr.num_nodes
+    answer_count = 0
+    expanded = 0
+    relaxed = 0
+    popleft = queue.popleft
+    pending_pop = pending.pop
+    origins_get = origins.get
+    pending_get = pending.get
+    try:
+        while queue:
+            code = popleft()
+            fresh = pending_pop(code, 0)
+            if not fresh:
+                continue
+            expanded += 1
+            if fire is not None:
+                fire("kernel.step")
+            if tick is not None:
+                tick()
+            state = code & state_mask
+            node = code >> k
+            if (finals_mask >> state) & 1:
+                prev = answer_masks[node]
+                new = fresh & ~prev
+                if new:
+                    answer_masks[node] = prev | new
+                    answer_count += new.bit_count()
+                    if check_rows is not None:
+                        check_rows(answer_count)
+            rows = delta[state]
+            if not rows:
+                continue
+            for label_int, next_states in rows:
+                offsets, targets = out_rows[label_int]
+                lo = offsets[node]
+                hi = offsets[node + 1]
+                if lo == hi:
+                    continue
+                relaxed += hi - lo
+                for target in targets[lo:hi]:
+                    base = target << k
+                    for next_state in next_states:
+                        succ = base | next_state
+                        known = origins_get(succ, 0)
+                        novel = fresh & ~known
+                        if novel:
+                            origins[succ] = known | novel
+                            pend = pending_get(succ, 0)
+                            if pend:
+                                pending[succ] = pend | novel
+                            else:
+                                pending[succ] = novel
+                                append(succ)
+    except BudgetExceeded as exc:
+        if stats is not None:
+            stats.count("budget_exceeded")
+            stats.add_time("bfs", time.perf_counter() - started)
+        _raise_with_partial(
+            exc, _decode_answer_masks(answer_masks, interner._nodes), budget
+        )
+    answers = _decode_answer_masks(answer_masks, interner._nodes)
     if stats is not None:
         stats.count("sweep_sources", len(source_list))
         stats.count("nodes_expanded", expanded)

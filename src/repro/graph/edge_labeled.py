@@ -54,6 +54,7 @@ class EdgeLabeledGraph:
         "_version",
         "_engine_index",
         "_engine_reversed",
+        "_engine_csr",
     )
 
     def __init__(self) -> None:
@@ -70,6 +71,7 @@ class EdgeLabeledGraph:
         self._version: int = 0
         self._engine_index = None
         self._engine_reversed = None
+        self._engine_csr = None
 
     # ------------------------------------------------------------------
     # mutation tracking
@@ -84,6 +86,7 @@ class EdgeLabeledGraph:
         self._version += 1
         self._engine_index = None
         self._engine_reversed = None
+        self._engine_csr = None
 
     # ------------------------------------------------------------------
     # construction

@@ -66,6 +66,7 @@ def reachable_by_rpq(
     source: ObjectId,
     *,
     use_index: bool = True,
+    use_csr: bool = True,
     stats: "EngineStats | None" = None,
     budget=None,
 ) -> set[ObjectId]:
@@ -73,21 +74,28 @@ def reachable_by_rpq(
 
     A single BFS over (node, state) pairs starting from ``(source, q0)``.
     ``budget`` (a :class:`repro.engine.limits.QueryBudget`) bounds the
-    indexed traversal; the naive oracle ignores it by design.
+    indexed traversal; the naive oracle ignores it by design.  ``use_csr``
+    picks the kernel's data plane (flat int-encoded CSR by default, the
+    dict oracle with ``False``); it is meaningless when ``use_index=False``.
     """
     if isinstance(query, CompiledQuery):
         if use_index:
-            return kernel.reachable(query, graph, source, stats=stats, budget=budget)
+            return kernel.reachable(
+                query, graph, source, stats=stats, budget=budget, use_csr=use_csr
+            )
         return _naive_reachable(query.nfa, graph, source)
     if isinstance(query, NFA):
         if use_index:
             return kernel.reachable(
-                CompiledQuery.from_nfa(query), graph, source, stats=stats, budget=budget
+                CompiledQuery.from_nfa(query), graph, source,
+                stats=stats, budget=budget, use_csr=use_csr,
             )
         return _naive_reachable(query, graph, source)
     if use_index:
         compiled = kernel.compile_query(query, graph, stats=stats)
-        return kernel.reachable(compiled, graph, source, stats=stats, budget=budget)
+        return kernel.reachable(
+            compiled, graph, source, stats=stats, budget=budget, use_csr=use_csr
+        )
     nfa = compile_for_graph(query, graph, cached=False)
     return _naive_reachable(nfa, graph, source)
 
@@ -128,6 +136,7 @@ def evaluate_rpq(
     sources: Iterable[ObjectId] | None = None,
     *,
     use_index: bool = True,
+    use_csr: bool = True,
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
     budget=None,
@@ -137,9 +146,10 @@ def evaluate_rpq(
 
     With ``use_index=True`` the relation is computed by the kernel's
     origin-tracking multi-source sweep (``multi_source=False`` falls back to
-    the per-source BFS loop, the sweep's differential oracle).  A ``budget``
-    bounds the indexed paths cooperatively (deadline, row and state
-    ceilings, cancellation).
+    the per-source BFS loop, the sweep's differential oracle), on the flat
+    CSR data plane unless ``use_csr=False`` asks for the dict oracle.  A
+    ``budget`` bounds the indexed paths cooperatively (deadline, row and
+    state ceilings, cancellation).
 
     Example 12: ``evaluate_rpq("Transfer*", figure2_graph())`` contains all
     36 pairs of accounts because the Transfer-subgraph is strongly connected.
@@ -150,11 +160,14 @@ def evaluate_rpq(
             "rpq.evaluate", query=kernel.query_text(query), use_index=use_index
         ) as span:
             answers = _evaluate_rpq(
-                query, graph, sources, use_index, multi_source, stats, budget
+                query, graph, sources, use_index, multi_source, stats, budget,
+                use_csr,
             )
             span.set(answers=len(answers))
             return answers
-    return _evaluate_rpq(query, graph, sources, use_index, multi_source, stats, budget)
+    return _evaluate_rpq(
+        query, graph, sources, use_index, multi_source, stats, budget, use_csr
+    )
 
 
 def _evaluate_rpq(
@@ -165,6 +178,7 @@ def _evaluate_rpq(
     multi_source: bool = True,
     stats: "EngineStats | None" = None,
     budget=None,
+    use_csr: bool = True,
 ) -> set[tuple[ObjectId, ObjectId]]:
     if use_index:
         if isinstance(query, CompiledQuery):
@@ -175,7 +189,7 @@ def _evaluate_rpq(
             compiled = kernel.compile_query(query, graph, stats=stats)
         return kernel.evaluate(
             compiled, graph, sources, stats=stats, multi_source=multi_source,
-            budget=budget,
+            budget=budget, use_csr=use_csr,
         )
     if isinstance(query, CompiledQuery):
         nfa = query.nfa

@@ -131,6 +131,7 @@ def run_query_log(
     jobs: "int | None" = None,
     fork: bool = False,
     multi_source: bool = True,
+    use_csr: bool = True,
     stats: "EngineStats | None" = None,
     slow_log: int = 0,
     budget=None,
@@ -138,11 +139,13 @@ def run_query_log(
     """Evaluate every log expression's full relation via the batch executor.
 
     A ``budget`` applies batch-wide: one shared deadline, per-item forked
-    counters (see :meth:`BatchExecutor.run`).
+    counters (see :meth:`BatchExecutor.run`).  ``use_csr=False`` drops the
+    kernel to the dict data plane (the CSR benchmarks' baseline).
     """
     expressions = _expressions(log)
     executor = BatchExecutor(
-        jobs=jobs, fork=fork, multi_source=multi_source, slow_log=slow_log
+        jobs=jobs, fork=fork, multi_source=multi_source, use_csr=use_csr,
+        slow_log=slow_log,
     )
     stats = stats if stats is not None else EngineStats()
     batch = executor.run(graph, expressions, stats=stats, budget=budget)

@@ -31,6 +31,43 @@ class TestKernelFault:
         assert answers  # a 4-cycle of 'a' edges: everything reaches everything
 
 
+class TestKernelStepFault:
+    """The mid-traversal site: fires per product-pair expansion, on both
+    data planes, so chaos coverage reaches *inside* the BFS loops."""
+
+    def test_csr_and_dict_planes_raise_the_same_typed_fault(self, faults, cycle):
+        for use_csr in (True, False):
+            faults.arm("kernel.step")
+            with pytest.raises(FaultError) as excinfo:
+                evaluate_rpq("a+", cycle, use_csr=use_csr)
+            assert excinfo.value.site == "kernel.step"
+        # clean reruns on both planes recover and agree exactly
+        fast = evaluate_rpq("a+", cycle, use_csr=True)
+        slow = evaluate_rpq("a+", cycle, use_csr=False)
+        assert fast == slow and fast
+
+    def test_single_source_paths_also_carry_the_site(self, faults, cycle):
+        from repro.rpq.evaluation import reachable_by_rpq
+
+        node = next(iter(cycle.iter_nodes()))
+        for use_csr in (True, False):
+            faults.arm("kernel.step")
+            with pytest.raises(FaultError):
+                reachable_by_rpq("a+", cycle, node, use_csr=use_csr)
+        assert reachable_by_rpq("a+", cycle, node, use_csr=True) == \
+            reachable_by_rpq("a+", cycle, node, use_csr=False)
+
+    def test_repeated_faults_leave_no_stale_state(self, faults, cycle):
+        """Three consecutive mid-sweep crashes must not poison the cached
+        CSR snapshot or the compiled plan: the fourth run is exact."""
+        baseline = evaluate_rpq("a*", cycle)
+        faults.arm("kernel.step", times=3)
+        for _ in range(3):
+            with pytest.raises(FaultError):
+                evaluate_rpq("a*", cycle)
+        assert evaluate_rpq("a*", cycle) == baseline
+
+
 class TestCompileCacheFault:
     def test_failed_fill_leaves_no_partial_entry(self, faults, cycle):
         cache = CompilationCache()

@@ -18,7 +18,15 @@ interaction) and pits the two pipelines against each other for:
   vs the naive oracle, including restricted source sets,
 * the cost-based planner vs the greedy planner vs the naive oracle — plans
   may differ, answer sets must not,
-* the batch executor vs per-query naive evaluation.
+* the batch executor vs per-query naive evaluation,
+* the flat int-encoded **CSR data plane** (``use_csr=True``, the default)
+  vs the dict kernel (``use_csr=False``) vs the naive oracle, for the
+  sweep, the per-source loop, single-source reachability, restricted
+  source sets and CRPQ joins,
+* all four evaluators — rpq, crpq, coregql, gql — pinned to one answer on
+  label-word patterns (the fragment they all implement),
+* budget-trip equivalence: both data planes trip the same typed limit and
+  attach comparable partial answers.
 
 Across the suite well over 200 (graph, query) cases are exercised per run.
 """
@@ -28,6 +36,7 @@ from hypothesis import strategies as st
 
 from repro.crpq.ast import CRPQ, RPQAtom, Var
 from repro.crpq.evaluation import evaluate_crpq, evaluate_crpq_bindings
+from repro.engine.limits import BudgetExceeded, make_budget
 from repro.engine.stats import EngineStats
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.regex.ast import (
@@ -228,3 +237,203 @@ def test_batch_executor_equals_naive(graph, workload):
     batch = BatchExecutor(jobs=1).run(graph, workload)
     for regex, result in zip(workload, batch.results):
         assert result == evaluate_rpq(regex, graph, use_index=False)
+
+
+# ----------------------------------------------------------------------
+# CSR data plane vs dict kernel vs naive — the int encoding must be
+# observationally invisible
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), regex=regexes())
+def test_csr_sweep_equals_dict_kernel_and_naive(graph, regex):
+    csr = evaluate_rpq(
+        regex, graph, use_index=True, use_csr=True, stats=EngineStats()
+    )
+    dict_kernel = evaluate_rpq(regex, graph, use_index=True, use_csr=False)
+    oracle = evaluate_rpq(regex, graph, use_index=False)
+    assert csr == dict_kernel == oracle
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), regex=regexes(), source=st.integers(0, 4))
+def test_csr_reachable_equals_dict_kernel_and_naive(graph, regex, source):
+    node = f"v{source}"
+    csr = reachable_by_rpq(regex, graph, node, use_index=True, use_csr=True)
+    dict_kernel = reachable_by_rpq(
+        regex, graph, node, use_index=True, use_csr=False
+    )
+    oracle = reachable_by_rpq(regex, graph, node, use_index=False)
+    assert csr == dict_kernel == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=graphs(),
+    regex=regexes(),
+    picks=st.sets(st.integers(0, 6), max_size=4),
+)
+def test_csr_restricted_sources_equals_dict_kernel(graph, regex, picks):
+    # Source lists may name nodes outside the graph; both planes must skip
+    # them before seeding (the CSR plane would otherwise KeyError interning).
+    sources = [f"v{i}" for i in sorted(picks)]
+    csr = evaluate_rpq(regex, graph, sources, use_index=True, use_csr=True)
+    dict_kernel = evaluate_rpq(
+        regex, graph, sources, use_index=True, use_csr=False
+    )
+    assert csr == dict_kernel
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs(), regex=regexes())
+def test_csr_per_source_loop_equals_dict_kernel(graph, regex):
+    # multi_source=False exercises the CSR single-source BFS per node.
+    csr = evaluate_rpq(
+        regex, graph, use_index=True, use_csr=True, multi_source=False
+    )
+    dict_kernel = evaluate_rpq(
+        regex, graph, use_index=True, use_csr=False, multi_source=False
+    )
+    assert csr == dict_kernel
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(max_nodes=4, max_edges=6), query=crpqs())
+def test_csr_crpq_equals_dict_kernel(graph, query):
+    csr = evaluate_crpq(query, graph, use_index=True, use_csr=True)
+    dict_kernel = evaluate_crpq(query, graph, use_index=True, use_csr=False)
+    assert csr == dict_kernel
+    freeze = lambda bindings: {tuple(sorted(b.items(), key=repr)) for b in bindings}
+    assert freeze(
+        evaluate_crpq_bindings(query, graph, use_index=True, use_csr=True)
+    ) == freeze(
+        evaluate_crpq_bindings(query, graph, use_index=True, use_csr=False)
+    )
+
+
+# ----------------------------------------------------------------------
+# all four evaluators on label-word patterns (their common fragment)
+# ----------------------------------------------------------------------
+@st.composite
+def word_cases(draw):
+    """A random property graph plus a label word of length 0-3."""
+    from repro.graph.property_graph import PropertyGraph
+
+    num_nodes = draw(st.integers(1, 4))
+    graph = PropertyGraph()
+    for index in range(num_nodes):
+        graph.add_node(f"n{index}")
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from("ab"),
+            ),
+            max_size=6,
+        )
+    )
+    for number, (src, tgt, label) in enumerate(edges):
+        graph.add_edge(f"e{number}", f"n{src}", f"n{tgt}", label)
+    word = draw(st.lists(st.sampled_from("ab"), max_size=3))
+    return graph, word
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=word_cases())
+def test_four_evaluators_agree_on_label_words(case):
+    """rpq (CSR and dict), crpq, coregql and gql pin one endpoint relation.
+
+    A label word ``l1 ... lk`` is expressible in every language of the
+    library: as the concat regex, as a one-atom CRPQ, and as the pattern
+    ``() -[:l1]-> () ... ()``.  The gql/coregql evaluators never route
+    through the kernel, so this is the cross-evaluator agreement layer of
+    the CSR differential harness.
+    """
+    from repro.coregql.parser import parse_coregql_pattern
+    from repro.coregql.semantics import pattern_triples
+    from repro.gql.semantics import match_gql_pattern
+
+    graph, word = case
+    if word:
+        regex = Concat(tuple(Symbol(label) for label in word))
+    else:
+        regex = Epsilon()
+    expected = evaluate_rpq(regex, graph, use_index=True, use_csr=True)
+    assert expected == evaluate_rpq(regex, graph, use_index=True, use_csr=False)
+
+    query = CRPQ(
+        head=(Var("x"), Var("y")), atoms=(RPQAtom(regex, Var("x"), Var("y")),)
+    )
+    assert evaluate_crpq(query, graph, use_index=True, use_csr=True) == expected
+
+    pattern_text = "()" + "".join(f" -[:{label}]-> ()" for label in word)
+    core_endpoints = {
+        (src, tgt)
+        for src, tgt, _mu in pattern_triples(
+            parse_coregql_pattern(pattern_text), graph
+        )
+    }
+    assert core_endpoints == expected
+    gql_endpoints = {
+        (match.path.src, match.path.tgt)
+        for match in match_gql_pattern(pattern_text, graph)
+    }
+    assert gql_endpoints == expected
+
+
+# ----------------------------------------------------------------------
+# budget-trip equivalence across the two data planes
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), regex=regexes(), ceiling=st.integers(1, 6))
+def test_max_rows_trip_equivalent_across_planes(graph, regex, ceiling):
+    """Both planes trip ``max_rows`` on the same inputs, with true partials.
+
+    The attached partial must be *exactly* the ceiling and a subset of the
+    full answer on either plane (the subsets themselves may differ — answer
+    discovery order is an implementation detail the bound does not fix).
+    """
+    full = evaluate_rpq(regex, graph, use_index=True, use_csr=False)
+    for use_csr in (True, False):
+        budget = make_budget(max_rows=ceiling)
+        if len(full) > ceiling:
+            try:
+                evaluate_rpq(
+                    regex, graph, use_index=True, use_csr=use_csr, budget=budget
+                )
+            except BudgetExceeded as exc:
+                assert exc.limit == "max_rows"
+                assert len(exc.partial) == ceiling
+                assert exc.partial <= full
+            else:
+                raise AssertionError(f"use_csr={use_csr} did not trip")
+        else:
+            assert (
+                evaluate_rpq(
+                    regex, graph, use_index=True, use_csr=use_csr, budget=budget
+                )
+                == full
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), regex=regexes(), source=st.integers(0, 4), ceiling=st.integers(1, 8))
+def test_max_states_trip_equivalent_across_planes(graph, regex, source, ceiling):
+    """``max_states`` (stride=1) trips identically: the planes expand the
+    same number of product pairs, each exactly once."""
+    node = f"v{source}"
+    outcomes = []
+    for use_csr in (True, False):
+        budget = make_budget(max_states=ceiling, stride=1)
+        try:
+            answers = reachable_by_rpq(
+                regex, graph, node, use_index=True, use_csr=use_csr,
+                budget=budget,
+            )
+            outcomes.append(("ok", answers))
+        except BudgetExceeded as exc:
+            assert exc.limit == "max_states"
+            outcomes.append(("trip", None))
+    assert outcomes[0][0] == outcomes[1][0]
+    if outcomes[0][0] == "ok":
+        assert outcomes[0][1] == outcomes[1][1]

@@ -42,7 +42,7 @@ class TestCounters:
         assert stats.get("nodes_expanded") > 0
         assert stats.get("edges_relaxed") > 0
         assert stats.get("answers") > 0
-        assert stats.get("index_builds") >= 1
+        assert stats.get("csr_builds") >= 1
         assert stats.get("cache_hits") + stats.get("cache_misses") >= 1
         assert "bfs" in stats.timers and stats.timers["bfs"] >= 0.0
 
