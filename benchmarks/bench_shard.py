@@ -1,0 +1,272 @@
+"""Sharded query service: replica-routed read throughput and exactness.
+
+Two claims, two benchmarks:
+
+1. **Aggregate read throughput scales with the fleet.**  Every worker runs
+   the same answer cache; rendezvous routing pins each query to one
+   replica, so a fleet's caches *partition* the query working set.  We
+   drive a query-log working set that overflows a single worker's cache
+   (every request re-evaluates) but fits across four workers' caches
+   (steady-state requests are O(1) hits).  The gate is the ISSUE's
+   ``>= 2.5x`` aggregate queries/sec at 4 shards vs. 1 — on any CPU
+   count, because the win is cache *capacity*, not parallelism.
+
+2. **Partitioned scatter-gather is exact.**  Every query-log entry
+   evaluated through the coordinator's product-BFS rounds must equal the
+   single-node engine bit-for-bit: zero diffs, gated even in smoke mode.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink sizes and skip the speedup gate
+(CI smoke); correctness and zero-error gates always apply.  Records land
+in ``BENCH_shard.json``.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.distributed import ShardCoordinator, ShardLauncher
+from repro.graph.generators import random_graph
+from repro.regex.ast import to_string
+from repro.rpq.evaluation import evaluate_rpq
+from repro.server.app import ServerThread
+from repro.server.client import ServerClient
+from repro.workloads.querylog import generate_query_log
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Fleet size for the scaled pass (the baseline pass always runs 1 shard).
+NUM_SHARDS = 4
+
+#: Per-worker answer-cache entries.  The working set below is sized so
+#: UNIQUE_QUERIES > WORKER_CACHE (one worker thrashes) while
+#: UNIQUE_QUERIES / NUM_SHARDS fits comfortably (a fleet does not).
+WORKER_CACHE = 64
+
+UNIQUE_QUERIES = 24 if SMOKE else 160
+ROUNDS = 2 if SMOKE else 4
+NUM_CLIENTS = 4 if SMOKE else 8
+
+#: Throughput graph: big enough that a cache miss pays real evaluation
+#: time (the cost a hit skips), well above the fixed protocol overhead.
+NUM_NODES = 60 if SMOKE else 2500
+NUM_EDGES = 240 if SMOKE else 30000
+
+#: Exactness graph: small enough to sweep the whole query log through
+#: full (unsourced) scatter-gather rounds in a few seconds.
+EXACT_NODES = 60 if SMOKE else 250
+EXACT_EDGES = 240 if SMOKE else 1500
+
+LABELS = ("p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7")
+
+#: ISSUE gate: aggregate read throughput at 4 shards vs. 1.
+SPEEDUP_GATE = 2.5
+
+STARTUP_TIMEOUT = 60.0
+
+
+def _bench_graph():
+    return random_graph(NUM_NODES, NUM_EDGES, labels=LABELS, seed=1307)
+
+
+def _exact_graph():
+    return random_graph(EXACT_NODES, EXACT_EDGES, labels=LABELS, seed=1307)
+
+
+def _workload(graph):
+    """``UNIQUE_QUERIES`` distinct (query, source) pairs from the query log.
+
+    Sourced queries keep answers (and thus per-request JSON) small, so a
+    request's cost is dominated by evaluation — the part a cache hit
+    skips — rather than by shipping rows.
+    """
+    nodes = sorted(graph.nodes, key=repr)
+    items, seen, seed = [], set(), 0
+    while len(items) < UNIQUE_QUERIES:
+        for _, regex in generate_query_log(
+            UNIQUE_QUERIES * 2, labels=LABELS, seed=seed
+        ):
+            query = to_string(regex)
+            if query in seen:
+                continue
+            seen.add(query)
+            source = nodes[(len(items) * 7) % len(nodes)]
+            items.append((query, source))
+            if len(items) == UNIQUE_QUERIES:
+                break
+        seed += 1
+    return items
+
+
+def _drive_pass(num_shards, workload, expected):
+    """One throughput pass: a fresh fleet, NUM_CLIENTS coordinators, every
+    client scanning the whole workload ROUNDS times at its own rotation.
+
+    Returns (qps, errors, diffs, worker_cache_infos).
+    """
+    name = "shardbench"
+    with ShardLauncher(
+        num_shards,
+        startup_timeout=STARTUP_TIMEOUT,
+        extra_args=(
+            "--answer-cache", str(WORKER_CACHE),
+            # The replicated upload ships the whole serialized graph in
+            # one request; lift the worker's request cap to make room.
+            "--max-request-bytes", str(8 << 20),
+        ),
+    ) as launcher:
+        admin = ShardCoordinator(launcher.addresses)
+        admin.replicate_graph(name, _bench_graph(), factor=num_shards)
+
+        # Coordinators are single-threaded; each client thread gets its
+        # own, with a 1-entry local cache so every request actually hits
+        # the fleet (the workers' caches are what we are measuring).
+        coordinators = []
+        for _ in range(NUM_CLIENTS):
+            coordinator = ShardCoordinator(
+                launcher.addresses, answer_cache_size=1
+            )
+            coordinator.attach_replicas(name, factor=num_shards)
+            coordinators.append(coordinator)
+
+        barrier = threading.Barrier(NUM_CLIENTS + 1)
+        errors, diffs = [], []
+
+        def client(index):
+            coordinator = coordinators[index]
+            # Rotations spread the clients across the scan so the single
+            # worker's LRU sees the full reuse distance, not 8 lockstep
+            # scans of the same prefix.
+            offset = (index * len(workload)) // NUM_CLIENTS
+            schedule = workload[offset:] + workload[:offset]
+            barrier.wait()
+            for _ in range(ROUNDS):
+                for query, source in schedule:
+                    try:
+                        result = coordinator.rpq(name, query, source=source)
+                    except Exception as exc:  # noqa: BLE001 - recorded, gated
+                        errors.append(repr(exc))
+                        continue
+                    if result["count"] != expected[(query, source)]:
+                        diffs.append((query, source, result["count"]))
+
+        try:
+            with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
+                futures = [
+                    pool.submit(client, index)
+                    for index in range(NUM_CLIENTS)
+                ]
+                barrier.wait()
+                started = time.perf_counter()
+                for future in futures:
+                    future.result()
+                elapsed = time.perf_counter() - started
+            caches = []
+            for address in launcher.addresses:
+                with ServerClient(*address) as probe:
+                    caches.append(probe.stats()["answer_cache"])
+        finally:
+            for coordinator in coordinators:
+                coordinator.close()
+            admin.close()
+
+    total = NUM_CLIENTS * ROUNDS * len(workload)
+    return total / elapsed, errors, diffs, caches
+
+
+class TestReplicaThroughput:
+    def test_four_shards_beat_one_on_the_query_log(self, shard_records):
+        graph = _bench_graph()
+        workload = _workload(graph)
+        expected = {
+            (query, source): len(evaluate_rpq(query, graph, [source]))
+            for query, source in workload
+        }
+
+        qps_1, errors_1, diffs_1, caches_1 = _drive_pass(
+            1, workload, expected
+        )
+        qps_n, errors_n, diffs_n, caches_n = _drive_pass(
+            NUM_SHARDS, workload, expected
+        )
+        speedup = qps_n / qps_1
+
+        def fold(caches):
+            return {
+                "hits": sum(cache["hits"] for cache in caches),
+                "misses": sum(cache["misses"] for cache in caches),
+                "evictions": sum(cache["evictions"] for cache in caches),
+            }
+
+        shard_records.append(
+            {
+                "bench": "shard_replica_throughput",
+                "smoke": SMOKE,
+                "shards": NUM_SHARDS,
+                "worker_cache": WORKER_CACHE,
+                "unique_queries": len(workload),
+                "clients": NUM_CLIENTS,
+                "rounds": ROUNDS,
+                "requests_per_pass": NUM_CLIENTS * ROUNDS * len(workload),
+                "qps_1_shard": round(qps_1, 1),
+                "qps_4_shards": round(qps_n, 1),
+                "speedup": round(speedup, 2),
+                "gate": SPEEDUP_GATE,
+                "errors": len(errors_1) + len(errors_n),
+                "count_diffs": len(diffs_1) + len(diffs_n),
+                "cache_1_shard": fold(caches_1),
+                "cache_4_shards": fold(caches_n),
+            }
+        )
+
+        assert not errors_1 and not errors_n, (errors_1 + errors_n)[:5]
+        assert not diffs_1 and not diffs_n, (diffs_1 + diffs_n)[:5]
+        if not SMOKE:
+            assert speedup >= SPEEDUP_GATE, (
+                f"aggregate read throughput {qps_n:.0f} qps at "
+                f"{NUM_SHARDS} shards vs {qps_1:.0f} qps at 1 — "
+                f"{speedup:.2f}x < {SPEEDUP_GATE}x gate"
+            )
+
+
+class TestPartitionedExactness:
+    def test_scatter_gather_matches_single_node_on_the_query_log(
+        self, shard_records
+    ):
+        graph = _exact_graph()
+        queries = sorted({query for query, _ in _workload(graph)})
+        if SMOKE:
+            queries = queries[:8]
+        servers = [ServerThread().start() for _ in range(NUM_SHARDS)]
+        started = time.perf_counter()
+        diffs = []
+        try:
+            with ShardCoordinator(
+                [server.address for server in servers]
+            ) as coordinator:
+                coordinator.partition_graph("exact", graph)
+                for query in queries:
+                    sharded = coordinator.evaluate_rpq("exact", query)
+                    local = evaluate_rpq(query, graph)
+                    if sharded != local:
+                        diffs.append(
+                            (query, len(sharded), len(local))
+                        )
+                rounds = coordinator.rounds_total
+        finally:
+            for server in servers:
+                server.stop()
+        elapsed = time.perf_counter() - started
+
+        shard_records.append(
+            {
+                "bench": "shard_partitioned_exactness",
+                "smoke": SMOKE,
+                "shards": NUM_SHARDS,
+                "queries": len(queries),
+                "bfs_rounds": rounds,
+                "diffs": len(diffs),
+                "seconds": round(elapsed, 2),
+            }
+        )
+        assert not diffs, diffs[:5]

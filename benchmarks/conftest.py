@@ -18,6 +18,7 @@ _ENGINE_RECORDS: list[dict] = []
 _WORKLOAD_RECORDS: list[dict] = []
 _SERVER_RECORDS: list[dict] = []
 _LIMITS_RECORDS: list[dict] = []
+_SHARD_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -60,12 +61,18 @@ def limits_records():
     return _LIMITS_RECORDS
 
 
+@pytest.fixture(scope="session")
+def shard_records():
+    return _SHARD_RECORDS
+
+
 def pytest_sessionfinish(session, exitstatus):
     for records, filename in (
         (_ENGINE_RECORDS, "BENCH_engine.json"),
         (_WORKLOAD_RECORDS, "BENCH_workload.json"),
         (_SERVER_RECORDS, "BENCH_server.json"),
         (_LIMITS_RECORDS, "BENCH_limits.json"),
+        (_SHARD_RECORDS, "BENCH_shard.json"),
     ):
         if records:
             path = session.config.rootpath / filename

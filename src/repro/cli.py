@@ -353,27 +353,176 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         announce=True,
     )
-    asyncio.run(server.serve())
+    try:
+        asyncio.run(server.serve())
+    except OSError as exc:
+        # A taken port (or unroutable host) must be a clean one-line
+        # failure, not a traceback: supervisors — including the shard
+        # launcher — read this line to report *which* worker failed.
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     print("# drained cleanly", file=sys.stderr)
     return 0
+
+
+def _parse_address(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    return host, int(port)
 
 
 def _connect(spec: str, retry=None):
     from repro.server.client import ServerClient
 
-    host, _, port = spec.rpartition(":")
-    if not host:
-        host = "127.0.0.1"
-    return ServerClient(host, int(port), retry=retry)
+    return ServerClient(*_parse_address(spec), retry=retry)
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Launch a shard fleet, distribute the graphs, and run until signaled."""
+    import json
+    import signal
+    import threading
+
+    from repro.distributed import (
+        ShardCoordinator,
+        ShardLauncher,
+        ShardStartupError,
+    )
+
+    ports = None
+    if args.ports:
+        ports = [int(part) for part in args.ports.split(",") if part]
+    launcher = ShardLauncher(
+        args.shards,
+        host=args.host,
+        ports=ports,
+        query_timeout=args.query_timeout,
+    )
+    try:
+        addresses = launcher.start()
+    except ShardStartupError as exc:
+        # The launcher relays the failed worker's own one-line error, so
+        # this names both the shard and why it could not come up.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    distributed = []
+    try:
+        with ShardCoordinator(addresses) as coordinator:
+            for spec in args.graphs or ():
+                name, _, path = spec.partition("=")
+                if not path:
+                    raise SystemExit(
+                        f"--graphs entries must be name=path.json, got {spec!r}"
+                    )
+                graph = _load_graph(path)
+                if args.replicated:
+                    info = coordinator.replicate_graph(name, graph)
+                else:
+                    info = coordinator.partition_graph(
+                        name, graph, strategy=args.partition
+                    )
+                distributed.append(info)
+            print(
+                json.dumps(
+                    {
+                        "event": "cluster",
+                        "shards": [
+                            {"host": host, "port": port}
+                            for host, port in addresses
+                        ],
+                        "graphs": distributed,
+                    },
+                    sort_keys=True,
+                ),
+                flush=True,
+            )
+            stop = threading.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(signum, lambda _signum, _frame: stop.set())
+            stop.wait()
+    finally:
+        launcher.stop()
+    print("# cluster stopped", file=sys.stderr)
+    return 0
+
+
+def _query_via_shards(args: argparse.Namespace) -> int:
+    """Distribute a graph across a running fleet and query it there."""
+    import json
+
+    from repro.distributed import ShardCoordinator
+    from repro.engine.explain import query_kind
+    from repro.engine.limits import BudgetExceeded
+    from repro.server.client import ConnectionLost, ServerError
+    from repro.server.protocol import ShardUnavailableError
+
+    addresses = [
+        _parse_address(part) for part in args.shards.split(",") if part
+    ]
+    graph = _load_graph(args.graph)
+    budget = _make_budget(args)
+    try:
+        with ShardCoordinator(addresses) as coordinator:
+            name = f"cli:{args.graph}"
+            if args.replicated:
+                coordinator.replicate_graph(name, graph)
+            else:
+                coordinator.partition_graph(
+                    name, graph, strategy=args.partition
+                )
+            if query_kind(args.query) == "crpq":
+                rows = coordinator.evaluate_crpq(
+                    name, args.query, budget=budget
+                )
+            else:
+                sources = [args.source] if args.source else None
+                rows = coordinator.evaluate_rpq(
+                    name, args.query, sources=sources, budget=budget
+                )
+    except BudgetExceeded as exc:
+        for row in sorted(exc.partial or (), key=repr):
+            if isinstance(row, tuple):
+                print("\t".join(str(value) for value in row))
+            else:
+                print(row)
+        return _report_trip(exc)
+    except ShardUnavailableError as exc:
+        print(f"error [shard_unavailable]: {exc.message}", file=sys.stderr)
+        return 1
+    except (ConnectionLost, OSError) as exc:
+        print(f"error: cannot reach shard fleet: {exc}", file=sys.stderr)
+        return 1
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {"count": len(rows), "rows": sorted(map(list, rows), key=repr)},
+                sort_keys=True,
+            )
+        )
+        return 0
+    for row in sorted(rows, key=repr):
+        print("\t".join(str(value) for value in row))
+    print(f"# {len(rows)} answers", file=sys.stderr)
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    """Run one query against a *running* server (``--connect host:port``)."""
+    """Run one query against a *running* server (``--connect host:port``)
+    or a shard fleet (``--shards host:port,host:port,...``)."""
     import json
 
     from repro.engine.explain import query_kind
     from repro.server.client import RetryPolicy, ServerError
 
+    if args.shards:
+        return _query_via_shards(args)
     retry = (
         RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
     )
@@ -688,16 +837,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    shard_serve = commands.add_parser(
+        "shard-serve",
+        help="launch N shard workers (each a full 'repro serve'), "
+        "distribute the given graphs across them, and run until SIGTERM",
+    )
+    shard_serve.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="number of shard worker processes (default 2)",
+    )
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument(
+        "--ports", metavar="P1,P2,...",
+        help="comma-separated worker ports (default: OS-assigned); the "
+        "bound cluster is announced as a JSON line on stdout",
+    )
+    shard_serve.add_argument(
+        "--graphs", nargs="*", metavar="NAME=FILE.json",
+        help="graphs to distribute across the fleet at startup",
+    )
+    shard_serve.add_argument(
+        "--partition", default="hash", choices=("hash", "edge-cut"),
+        help="partitioning strategy for the distributed graphs",
+    )
+    shard_serve.add_argument(
+        "--replicated", action="store_true",
+        help="upload full replicas to every shard instead of partitioning "
+        "(read-throughput mode: whole queries route to one replica)",
+    )
+    shard_serve.add_argument(
+        "--query-timeout", type=float, default=30.0,
+        help="per-query wall-clock budget each worker enforces",
+    )
+    shard_serve.set_defaults(handler=_cmd_shard_serve)
+
     query = commands.add_parser(
         "query",
         help="send one query to a running server (repro serve) and print "
         "its answers",
     )
-    query.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
+    target = query.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--connect", metavar="HOST:PORT",
         help="server address, e.g. 127.0.0.1:7687",
     )
-    query.add_argument("graph", help="cataloged graph name (e.g. fig2)")
+    target.add_argument(
+        "--shards", metavar="H:P,H:P,...",
+        help="shard fleet addresses: the graph argument (fig2/fig3/file) "
+        "is partitioned across the fleet and the query runs scatter-gather",
+    )
+    query.add_argument(
+        "--partition", default="hash", choices=("hash", "edge-cut"),
+        help="with --shards: the partitioning strategy (default hash)",
+    )
+    query.add_argument(
+        "--replicated", action="store_true",
+        help="with --shards: replicate instead of partition and route the "
+        "whole query to one replica",
+    )
+    query.add_argument(
+        "graph",
+        help="cataloged graph name (with --connect), or a graph spec "
+        "fig2/fig3/file.json to distribute (with --shards)",
+    )
     query.add_argument("query", help="RPQ regex, or CRPQ if it contains ':-'")
     query.add_argument("--source", help="restrict the RPQ to one source node")
     query.add_argument(

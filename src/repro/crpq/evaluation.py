@@ -151,9 +151,16 @@ def evaluate_crpq_bindings(
     planner: "str | None" = None,
     stats=None,
     budget=None,
+    access=None,
 ) -> list[dict]:
     """All node homomorphisms from ``query`` to ``graph`` as variable->node
     dictionaries (before head projection).
+
+    ``access`` swaps in an alternative atom-access object (the distributed
+    coordinator injects one that evaluates each relation on the shard
+    fleet); planning still runs over ``graph``, so the cost model keeps
+    choosing the atom order — and thereby which atoms run bound
+    (shard-local scatter) versus unbound (broadcast sweep).
 
     ``planner`` selects the atom ordering: ``"cost"`` (the engine's
     cardinality-model planner, default on indexed runs) or ``"greedy"``
@@ -194,10 +201,11 @@ def evaluate_crpq_bindings(
             )
         if query_span is not None:
             query_span.set(atoms=len(ordered))
-        access = _AtomAccess(
-            graph, use_index=use_index, stats=stats, budget=budget,
-            use_csr=use_csr,
-        )
+        if access is None:
+            access = _AtomAccess(
+                graph, use_index=use_index, stats=stats, budget=budget,
+                use_csr=use_csr,
+            )
         bindings: list[dict] = [{}]
         try:
             for position, atom in enumerate(ordered):
@@ -284,6 +292,7 @@ def evaluate_crpq(
     planner: "str | None" = None,
     stats=None,
     budget=None,
+    access=None,
 ) -> set[tuple]:
     """The output ``q(G)`` as a set of head-variable tuples.
 
@@ -304,7 +313,7 @@ def evaluate_crpq(
     try:
         for binding in evaluate_crpq_bindings(
             query, graph, plan=plan, use_index=use_index, use_csr=use_csr,
-            planner=planner, stats=stats, budget=budget,
+            planner=planner, stats=stats, budget=budget, access=access,
         ):
             results.add(tuple(binding[var] for var in query.head))
             if budget is not None:

@@ -1,0 +1,15 @@
+"""The distributed tier: shard workers plus a scatter-gather coordinator.
+
+See DESIGN.md §11.  :mod:`repro.distributed.frontier` is the wire codec and
+the shard-side frontier sweep; :mod:`repro.distributed.coordinator` is the
+client-side coordinator (partitioning, synchronous frontier-exchange
+rounds, replica routing, the shard-process launcher).
+"""
+
+from repro.distributed.coordinator import (
+    ShardCoordinator,
+    ShardLauncher,
+    ShardStartupError,
+)
+
+__all__ = ["ShardCoordinator", "ShardLauncher", "ShardStartupError"]

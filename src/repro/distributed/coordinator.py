@@ -1,0 +1,778 @@
+"""The scatter-gather coordinator: shard workers, rounds, replicas.
+
+DESIGN.md §11.  A :class:`ShardCoordinator` owns one
+:class:`~repro.server.client.ServerClient` per shard worker (any ``repro
+serve`` process) and evaluates RPQs over a graph partitioned by
+:mod:`repro.engine.partition`:
+
+1. **Seed** — every requested source node becomes ``(source, q0)`` product
+   codes with a one-bit origin mask, routed to the shard owning the source.
+2. **Scatter** — each shard with a non-empty frontier gets one
+   ``frontier_step`` request (all shards in parallel on a thread pool);
+   the shard advances the frontier to a *local* fixpoint and returns
+   answers plus cross-shard pairs.
+3. **Gather** — the coordinator merges answers, filters cross pairs
+   against the global ``known`` mask map (only *novel* origin bits travel
+   again), and routes the novel bits to their owners as the next round's
+   frontiers.  Masks grow monotonically, so the exchange reaches a
+   fixpoint in at most ``diameter(product graph)`` rounds.
+
+**Deadlines** propagate by budget forking: the coordinator's
+:class:`~repro.engine.limits.QueryBudget` deadline, minus an RTT slack, is
+shipped per round as each ``frontier_step``'s ``timeout`` param, so a
+straggler shard trips *inside* the round instead of the coordinator
+waiting out the stragglers.  **Fault handling**: a dead shard (connection
+loss or a shard-side ``internal``/``shutting_down`` envelope) raises the
+typed :class:`~repro.server.protocol.ShardUnavailableError` — a partial
+distributed answer is only ever surfaced as a *typed* budget trip, never
+as a silently-short result set.
+
+**Replicas**: :meth:`ShardCoordinator.replicate_graph` uploads full copies
+to a rendezvous-hashed subset of shards; :meth:`rpq`/:meth:`crpq` route
+whole queries to a replica (with failover down the preference list) and
+memoize through a coordinator-level answer cache — the read-throughput
+path ``benchmarks/bench_shard.py`` gates.
+
+A coordinator, like the underlying clients, is **not thread-safe**: drive
+concurrency with one coordinator per thread (they can share one shard
+fleet).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice
+
+from repro.engine.limits import BudgetExceeded
+from repro.engine.partition import (
+    ShardMap,
+    make_shard_map,
+    partition_graph,
+    stable_hash,
+)
+from repro.engine.stats import EngineStats
+from repro.distributed.frontier import (
+    automaton_plan,
+    encode_mask,
+    encode_pairs,
+    decode_pairs,
+    node_order,
+)
+from repro.errors import ReproError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.regex.ast import symbols, to_string
+from repro.server.client import ConnectionLost, ServerClient, ServerError
+from repro.server.protocol import (
+    BadRequestError,
+    GraphNotFoundError,
+    ShardUnavailableError,
+)
+from repro.server.service import AnswerCache
+
+#: Seconds of network slack subtracted from the coordinator's remaining
+#: deadline before it is shipped as a shard-side round timeout, so the
+#: shard's own (partial-result-carrying) trip beats the transport timeout.
+DEFAULT_RTT_SLACK = 0.05
+
+#: Shard-side error codes the coordinator treats as "this shard is gone".
+_SHARD_DOWN_CODES = frozenset(
+    {"internal", "shutting_down", "graph_not_found", "shard_unavailable"}
+)
+
+
+def rendezvous(key: str, candidates) -> list[int]:
+    """Candidates by descending rendezvous (highest-random-weight) score.
+
+    Consistent hashing without a ring: each (key, candidate) pair gets a
+    process-stable score, and removing a candidate only moves the keys it
+    owned.  Used for replica *placement* (key = graph name) and replica
+    *routing* (key = graph|op|query), so hot graphs spread reads across
+    their replicas deterministically.
+    """
+    return sorted(
+        candidates,
+        key=lambda candidate: (stable_hash(f"{key}|{candidate}"), candidate),
+        reverse=True,
+    )
+
+
+class ShardStartupError(ReproError):
+    """A shard worker process failed to come up (bind failure, crash)."""
+
+    def __init__(self, shard: int, message: str):
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+
+
+class ShardLauncher:
+    """Spawn and supervise N ``repro serve`` worker processes.
+
+    Each worker announces its bound address as a JSON line on stdout; a
+    worker that exits instead (e.g. its port is already bound — the serve
+    CLI turns that ``OSError`` into a one-line error and a nonzero exit)
+    surfaces as :class:`ShardStartupError` naming the shard and relaying
+    the worker's error line.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        host: str = "127.0.0.1",
+        ports: "list[int] | None" = None,
+        query_timeout: "float | None" = None,
+        max_concurrency: "int | None" = None,
+        startup_timeout: float = 20.0,
+        extra_args: tuple = (),
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if ports is not None and len(ports) != num_shards:
+            raise ValueError("need exactly one port per shard")
+        self.num_shards = num_shards
+        self.host = host
+        self.ports = list(ports) if ports is not None else [0] * num_shards
+        self.query_timeout = query_timeout
+        self.max_concurrency = max_concurrency
+        self.startup_timeout = startup_timeout
+        self.extra_args = tuple(extra_args)
+        self.addresses: list[tuple[str, int]] = []
+        self._procs: list[subprocess.Popen] = []
+
+    def _command(self, port: int) -> list[str]:
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host, "--port", str(port),
+        ]
+        if self.query_timeout is not None:
+            command += ["--query-timeout", str(self.query_timeout)]
+        if self.max_concurrency is not None:
+            command += ["--max-concurrency", str(self.max_concurrency)]
+        command += list(self.extra_args)
+        return command
+
+    def _environment(self) -> dict:
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+        return env
+
+    def start(self) -> list[tuple[str, int]]:
+        """Spawn every worker and wait for its listening announcement."""
+        if self._procs:
+            return self.addresses
+        env = self._environment()
+        try:
+            for shard, port in enumerate(self.ports):
+                proc = subprocess.Popen(
+                    self._command(port),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+                self._procs.append(proc)
+                self.addresses.append(self._await_announce(shard, proc))
+        except BaseException:
+            self.stop()
+            raise
+        return self.addresses
+
+    def _await_announce(
+        self, shard: int, proc: subprocess.Popen
+    ) -> tuple[str, int]:
+        announced: dict = {}
+
+        def read() -> None:
+            for line in proc.stdout:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if payload.get("event") == "listening":
+                    announced.update(payload)
+                    return
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(self.startup_timeout)
+        if announced:
+            return (announced["host"], int(announced["port"]))
+        # The reader sees stdout EOF a beat before the process is reapable;
+        # give the exit a moment so a bind failure reports as one.
+        try:
+            status = proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            status = None
+        if status is not None:
+            stderr = (proc.stderr.read() or "").strip()
+            reason = stderr.splitlines()[0] if stderr else "no error output"
+            raise ShardStartupError(
+                shard, f"worker exited with status {status}: {reason}"
+            )
+        proc.kill()
+        raise ShardStartupError(
+            shard, f"worker did not announce within {self.startup_timeout}s"
+        )
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """SIGTERM every worker (graceful drain) and reap it."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - watchdog
+                proc.kill()
+                proc.wait()
+            for stream in (proc.stdout, proc.stderr):
+                if stream is not None:
+                    stream.close()
+        self._procs = []
+        self.addresses = []
+
+    def __enter__(self) -> "ShardLauncher":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _GraphEntry:
+    """Coordinator-side state for one distributed graph."""
+
+    __slots__ = (
+        "name", "graph", "shard_map", "order", "order_index", "owned_hex",
+        "labels", "replicas", "token",
+    )
+
+    def __init__(self, name: str, token: int):
+        self.name = name
+        self.token = token
+        self.graph: "EdgeLabeledGraph | None" = None
+        self.shard_map: "ShardMap | None" = None
+        self.order: list = []
+        self.order_index: dict = {}
+        self.owned_hex: list[str] = []
+        self.labels: frozenset = frozenset()
+        self.replicas: tuple[int, ...] = ()
+
+
+class ShardCoordinator:
+    """Distributed query evaluation over a fleet of shard workers."""
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        retry=None,
+        timeout: float = 60.0,
+        answer_cache_size: int = 256,
+        rtt_slack: float = DEFAULT_RTT_SLACK,
+    ):
+        self.addresses = [tuple(address) for address in addresses]
+        if not self.addresses:
+            raise ValueError("need at least one shard address")
+        self.rtt_slack = rtt_slack
+        self.answer_cache = AnswerCache(answer_cache_size)
+        self._clients = [
+            ServerClient(host, port, timeout=timeout, retry=retry)
+            for host, port in self.addresses
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._clients), thread_name_prefix="repro-shard"
+        )
+        self._catalog: dict[str, _GraphEntry] = {}
+        self._token = 0
+        self.rounds_total = 0
+        self.frontier_calls = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._clients)
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def ping(self) -> list[dict]:
+        return [client.ping() for client in self._clients]
+
+    def stats(self) -> dict:
+        return {
+            "shards": self.num_shards,
+            "rounds_total": self.rounds_total,
+            "frontier_calls": self.frontier_calls,
+            "answer_cache": self.answer_cache.info(),
+            "graphs": sorted(self._catalog),
+        }
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+    def _register(self, name: str, graph: EdgeLabeledGraph) -> _GraphEntry:
+        self._token += 1
+        entry = _GraphEntry(name, self._token)
+        entry.graph = graph
+        entry.labels = frozenset(graph.labels) if graph is not None else frozenset()
+        self._catalog[name] = entry
+        self.answer_cache.invalidate_graph(name)
+        return entry
+
+    def _entry(self, name: str) -> _GraphEntry:
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise GraphNotFoundError(
+                f"coordinator has no distributed graph named {name!r}",
+                graph=name,
+            )
+        return entry
+
+    def partition_graph(
+        self, name: str, graph: EdgeLabeledGraph, *, strategy: str = "hash"
+    ) -> dict:
+        """Partition ``graph`` across every shard and upload the pieces.
+
+        Each shard receives all nodes plus the edges whose source it owns
+        (see :mod:`repro.engine.partition`); RPQs on the name then run via
+        :meth:`evaluate_rpq`'s scatter-gather rounds.
+        """
+        shard_map = make_shard_map(graph, self.num_shards, strategy)
+        parts = partition_graph(graph, shard_map)
+        for client, part in zip(self._clients, parts):
+            client.upload_graph(name, part)
+        entry = self._register(name, graph)
+        entry.shard_map = shard_map
+        entry.order = node_order(graph)
+        entry.order_index = {
+            node: position for position, node in enumerate(entry.order)
+        }
+        entry.owned_hex = [
+            encode_mask(shard_map.owned_mask(shard, entry.order))
+            for shard in range(self.num_shards)
+        ]
+        return {
+            "name": name,
+            "mode": "partitioned",
+            "strategy": strategy,
+            "shards": self.num_shards,
+            "nodes_per_shard": shard_map.counts(),
+            "edges_per_shard": [part.num_edges for part in parts],
+        }
+
+    def replicate_graph(
+        self, name: str, graph: EdgeLabeledGraph, *, factor: "int | None" = None
+    ) -> dict:
+        """Upload full copies of ``graph`` to ``factor`` rendezvous-chosen
+        shards (default: all of them) for replica-routed read throughput."""
+        factor = self.num_shards if factor is None else factor
+        if not 1 <= factor <= self.num_shards:
+            raise ValueError("replication factor must be in 1..num_shards")
+        replicas = tuple(rendezvous(name, range(self.num_shards))[:factor])
+        document = None
+        for shard in replicas:
+            if document is None:
+                from repro.graph.serialize import graph_to_dict
+
+                document = graph_to_dict(graph)
+            self._clients[shard].upload_graph(name, document)
+        entry = self._register(name, graph)
+        entry.replicas = replicas
+        return {
+            "name": name,
+            "mode": "replicated",
+            "factor": factor,
+            "replicas": list(replicas),
+        }
+
+    def attach_replicas(
+        self, name: str, *, factor: "int | None" = None
+    ) -> None:
+        """Adopt an already-uploaded replicated graph (no upload, no local
+        copy) — lets sibling coordinators share one fleet's catalog."""
+        factor = self.num_shards if factor is None else factor
+        entry = self._register(name, None)
+        entry.graph = None
+        entry.replicas = tuple(rendezvous(name, range(self.num_shards))[:factor])
+
+    # ------------------------------------------------------------------
+    # replica-routed whole queries (the throughput path)
+    # ------------------------------------------------------------------
+    def _route(self, op: str, name: str, route_key: str, params: dict) -> dict:
+        entry = self._entry(name)
+        if not entry.replicas:
+            raise BadRequestError(
+                f"graph {name!r} is partitioned, not replicated; "
+                "use evaluate_rpq/evaluate_crpq"
+            )
+        cache_key = (
+            name, entry.token, op,
+            json.dumps(params, sort_keys=True, default=str),
+        )
+        cached = self.answer_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        last_failure: "Exception | None" = None
+        for shard in rendezvous(f"{name}|{route_key}", entry.replicas):
+            client = self._clients[shard]
+            try:
+                result = client.request(op, graph=name, **params)
+            except (ConnectionLost, OSError) as exc:
+                last_failure = exc
+                continue
+            except ServerError as exc:
+                if exc.code in _SHARD_DOWN_CODES:
+                    last_failure = exc
+                    continue
+                raise
+            self.answer_cache.put(cache_key, result)
+            return result
+        raise ShardUnavailableError(
+            f"every replica of {name!r} failed; last error: {last_failure}",
+            graph=name,
+            replicas=list(entry.replicas),
+        )
+
+    def rpq(self, name: str, query: str, source=None, **limits) -> dict:
+        """Route one whole RPQ to a replica (result dict, like the client)."""
+        params = {"query": query, **{k: v for k, v in limits.items() if v is not None}}
+        if source is not None:
+            params["source"] = source
+        return self._route("rpq", name, f"rpq|{query}|{source!r}", params)
+
+    def crpq(self, name: str, query: str, planner=None, **limits) -> dict:
+        params = {"query": query, **{k: v for k, v in limits.items() if v is not None}}
+        if planner is not None:
+            params["planner"] = planner
+        return self._route("crpq", name, f"crpq|{query}", params)
+
+    # ------------------------------------------------------------------
+    # scatter-gather RPQ evaluation (the partitioned path)
+    # ------------------------------------------------------------------
+    def evaluate_rpq(
+        self, name: str, query: str, sources=None, *, budget=None
+    ) -> set[tuple]:
+        """``[[R]]_G`` over the partitioned graph ``name``.
+
+        Answers are exactly :func:`repro.rpq.evaluation.evaluate_rpq` on
+        the unpartitioned graph (the differential suites prove it); a
+        budget bounds the whole exchange, its deadline propagating into
+        every shard round.
+        """
+        entry = self._entry(name)
+        if entry.shard_map is None:
+            return self._replicated_pairs(entry, query, sources, budget)
+        source_key = (
+            None if sources is None
+            else repr(sorted(sources, key=repr))
+        )
+        cache_key = (name, entry.token, "rpq:pairs", query, source_key)
+        cached = self.answer_cache.get(cache_key)
+        if cached is not None:
+            # A cache hit trivially beats any deadline, but the row ceiling
+            # is about answer *size*, not effort — enforce it either way.
+            if (
+                budget is not None
+                and budget.max_rows is not None
+                and len(cached) > budget.max_rows
+            ):
+                raise BudgetExceeded(
+                    f"evaluation produced more than {budget.max_rows} "
+                    "answer rows",
+                    limit="max_rows",
+                    rows_so_far=len(cached),
+                ).attach_partial(set(islice(cached, budget.max_rows)))
+            return set(cached)
+        pairs = self._scatter_gather(entry, query, sources, budget)
+        self.answer_cache.put(cache_key, frozenset(pairs))
+        return pairs
+
+    def _replicated_pairs(self, entry, query, sources, budget) -> set[tuple]:
+        """RPQ pairs for a replicated (unpartitioned) graph via routing."""
+        limits = {}
+        if budget is not None and budget.deadline is not None:
+            limits["timeout"] = max(budget.deadline.remaining(), 0.001)
+        if sources is not None:
+            sources = list(sources)
+        if sources is not None and len(sources) == 1:
+            result = self.rpq(entry.name, query, source=sources[0], **limits)
+            return {tuple(pair) for pair in result["pairs"]}
+        result = self.rpq(entry.name, query, **limits)
+        pairs = {tuple(pair) for pair in result["pairs"]}
+        if sources is not None:
+            keep = set(sources)
+            pairs = {pair for pair in pairs if pair[0] in keep}
+        return pairs
+
+    def _scatter_gather(self, entry, query, sources, budget) -> set[tuple]:
+        stats = EngineStats()
+        # The global alphabet every shard must compile over: graph labels
+        # plus the query's own symbols (a symbol absent from the graph still
+        # shapes the trimmed automaton identically everywhere).
+        alphabet = sorted(entry.labels | symbols(_parse(query)), key=repr)
+        plan = automaton_plan(query, alphabet, stats=stats)
+        bits = plan.state_bits
+        order = entry.order
+        order_index = entry.order_index
+        shard_of = entry.shard_map.shard_of
+
+        # Seed: (source, q0) codes, one origin bit per source, owner-routed.
+        known: dict[int, int] = {}
+        pending: list[dict[int, int]] = [{} for _ in range(self.num_shards)]
+        seed_nodes = order if sources is None else [
+            source for source in sources if source in order_index
+        ]
+        for source in seed_nodes:
+            position = order_index[source]
+            bit = 1 << position
+            owner = shard_of(source)
+            shard_pending = pending[owner]
+            for initial_state in plan.initial:
+                code = (position << bits) | initial_state
+                shard_pending[code] = shard_pending.get(code, 0) | bit
+                known[code] = known.get(code, 0) | bit
+
+        answer_masks: dict[int, int] = {}
+        pair_count = 0
+        # Coordinator-side merge work runs under a fork of the caller's
+        # budget: same deadline and cancellation, fresh counters for this
+        # traversal's own ticks.
+        merge_budget = budget.fork() if budget is not None else None
+        tick = merge_budget.tick if merge_budget is not None else None
+        rounds = 0
+        try:
+            while any(pending):
+                rounds += 1
+                if merge_budget is not None:
+                    merge_budget.check()  # barrier between rounds
+                round_timeout = self._round_timeout(budget)
+                calls = [
+                    (shard, frontier)
+                    for shard, frontier in enumerate(pending)
+                    if frontier
+                ]
+                pending = [{} for _ in range(self.num_shards)]
+                futures = [
+                    (
+                        shard,
+                        self._pool.submit(
+                            self._frontier_call, shard, entry, query,
+                            alphabet, bits, frontier, round_timeout,
+                        ),
+                    )
+                    for shard, frontier in calls
+                ]
+                for shard, future in futures:
+                    result = self._collect(shard, future, rounds)
+                    for position, mask in decode_pairs(result["answers"]).items():
+                        if tick is not None:
+                            tick()
+                        recorded = answer_masks.get(position, 0)
+                        novel = mask & ~recorded
+                        if novel:
+                            answer_masks[position] = recorded | novel
+                            pair_count += novel.bit_count()
+                    if budget is not None:
+                        budget.check_rows(pair_count)
+                    for code, mask in decode_pairs(result["cross"]).items():
+                        if tick is not None:
+                            tick()
+                        seen = known.get(code, 0)
+                        novel = mask & ~seen
+                        if not novel:
+                            continue
+                        known[code] = seen | novel
+                        owner = shard_of(order[code >> bits])
+                        shard_pending = pending[owner]
+                        shard_pending[code] = shard_pending.get(code, 0) | novel
+        except BudgetExceeded as exc:
+            raise exc.attach_partial(_decode_answers(answer_masks, order))
+        finally:
+            self.rounds_total += rounds
+        return _decode_answers(answer_masks, order)
+
+    def _round_timeout(self, budget) -> "float | None":
+        if budget is None or budget.deadline is None:
+            return None
+        remaining = budget.deadline.remaining()
+        if remaining <= self.rtt_slack:
+            # Out of time before the round even starts: trip here with the
+            # partial answer rather than shipping an unmeetable timeout.
+            budget.check()  # raises if the deadline backing this is gone
+            raise BudgetExceeded(
+                "distributed evaluation exhausted its deadline between "
+                "frontier rounds",
+                limit="timeout",
+                elapsed=budget.deadline.elapsed(),
+            )
+        return max(remaining - self.rtt_slack, 0.001)
+
+    def _frontier_call(
+        self, shard, entry, query, alphabet, bits, frontier, round_timeout
+    ) -> dict:
+        self.frontier_calls += 1
+        return self._clients[shard].frontier_step(
+            entry.name,
+            query,
+            frontier=encode_pairs(frontier),
+            owned=entry.owned_hex[shard],
+            state_bits=bits,
+            alphabet=alphabet,
+            timeout=round_timeout,
+        )
+
+    def _collect(self, shard: int, future, round_number: int) -> dict:
+        host, port = self.addresses[shard]
+        try:
+            return future.result()
+        except (ConnectionLost, OSError) as exc:
+            raise ShardUnavailableError(
+                f"shard {shard} ({host}:{port}) lost during frontier round "
+                f"{round_number}: {exc}",
+                shard=shard,
+                round=round_number,
+            ) from exc
+        except ServerError as exc:
+            if exc.code in ("timeout", "budget_exceeded"):
+                limit = exc.details.get("limit", "timeout")
+                raise BudgetExceeded(
+                    f"shard {shard} tripped its round budget: {exc.message}",
+                    limit=limit if limit in ("timeout", "cancelled", "max_states")
+                    else "timeout",
+                ) from exc
+            if exc.code in _SHARD_DOWN_CODES:
+                raise ShardUnavailableError(
+                    f"shard {shard} ({host}:{port}) failed frontier round "
+                    f"{round_number}: [{exc.code}] {exc.message}",
+                    shard=shard,
+                    round=round_number,
+                    shard_code=exc.code,
+                ) from exc
+            raise
+
+    # ------------------------------------------------------------------
+    # CRPQ: atom-at-a-time joins over distributed RPQ relations
+    # ------------------------------------------------------------------
+    def evaluate_crpq(
+        self, name: str, query: str, *, planner=None, budget=None
+    ) -> set[tuple]:
+        """``q(G)`` with every atom relation computed by the shard fleet.
+
+        The *plan* still comes from the engine's cost planner running over
+        the coordinator's retained copy of the graph (label statistics are
+        a coordinator-local concern); execution of each atom goes through
+        :class:`DistributedAtomAccess` — bound atoms scatter from their
+        bound node, unbound atoms run the full broadcast sweep (or one
+        shard-local replica query when the graph is replicated).
+        """
+        from repro.crpq.evaluation import evaluate_crpq
+
+        entry = self._entry(name)
+        if entry.graph is None:
+            raise BadRequestError(
+                f"graph {name!r} was attached without a local copy; "
+                "CRPQ planning needs the coordinator-side graph"
+            )
+        cache_key = (name, entry.token, "crpq:rows", query, planner)
+        cached = self.answer_cache.get(cache_key)
+        if cached is not None:
+            return set(cached)
+        access = DistributedAtomAccess(self, name, budget=budget)
+        rows = evaluate_crpq(
+            query, entry.graph, planner=planner, budget=budget, access=access
+        )
+        self.answer_cache.put(cache_key, frozenset(rows))
+        return rows
+
+
+class DistributedAtomAccess:
+    """CRPQ atom access paths backed by a :class:`ShardCoordinator`.
+
+    The drop-in distributed twin of
+    :class:`repro.crpq.evaluation._AtomAccess`: ``forward`` scatters from
+    the bound node, ``full`` runs the broadcast sweep (or a shard-local
+    replica query), ``backward`` filters the memoized full relation — the
+    reversed-graph trick stays single-node-only because shards only hold
+    forward-partitioned edges.  Memoized per evaluation, like the local
+    access object, and budgeted via ``budget.subquery()`` (atom relations
+    are intermediate results: deadline applies, the row ceiling does not).
+    """
+
+    def __init__(self, coordinator: ShardCoordinator, name: str, budget=None):
+        self.coordinator = coordinator
+        self.name = name
+        self.budget = budget.subquery() if budget is not None else None
+        self._forward: dict = {}
+        self._backward: dict = {}
+        self._full: dict = {}
+
+    def forward(self, regex, source) -> set:
+        key = (regex, source)
+        if key not in self._forward:
+            pairs = self.coordinator.evaluate_rpq(
+                self.name, to_string(regex), sources=[source],
+                budget=self.budget,
+            )
+            self._forward[key] = {target for _source, target in pairs}
+        return self._forward[key]
+
+    def backward(self, regex, target) -> set:
+        key = (regex, target)
+        if key not in self._backward:
+            self._backward[key] = {
+                source for source, candidate in self.full(regex)
+                if candidate == target
+            }
+        return self._backward[key]
+
+    def full(self, regex) -> set:
+        if regex not in self._full:
+            self._full[regex] = self.coordinator.evaluate_rpq(
+                self.name, to_string(regex), budget=self.budget
+            )
+        return self._full[regex]
+
+
+def _parse(query: str):
+    from repro.engine.cache import DEFAULT_CACHE
+
+    return DEFAULT_CACHE.parse(query)
+
+
+def _decode_answers(answer_masks: dict, order: list) -> set[tuple]:
+    """Unpack origin masks into (source, target) node pairs."""
+    pairs: set[tuple] = set()
+    for target_position, mask in answer_masks.items():
+        target = order[target_position]
+        while mask:
+            low = mask & -mask
+            pairs.add((order[low.bit_length() - 1], target))
+            mask ^= low
+    return pairs

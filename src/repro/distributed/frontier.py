@@ -1,0 +1,248 @@
+"""Frontier wire codec and the shard-side product-BFS step.
+
+The distributed RPQ evaluation (DESIGN.md §11) is the kernel's
+origin-tracking sweep cut along shard boundaries.  A product pair
+``(node, state)`` is a **packed int code** ``(order_index << state_bits) |
+state_int`` over two *shared* orderings every process derives
+independently:
+
+* the **node order**: graph nodes sorted by ``repr`` — the same order
+  :mod:`repro.graph.serialize` writes, identical in the coordinator and in
+  every shard because each shard subgraph holds the full node set;
+* the **state order**: the trimmed Glushkov NFA's states sorted by
+  ``repr`` (the :class:`~repro.engine.cache.IntPlan` numbering).  The
+  automaton itself is a pure function of (regex text, alphabet), so the
+  coordinator ships the *global* alphabet in every request — a shard
+  compiling over only its local labels would trim differently and
+  misnumber states.
+
+A **frontier** maps codes to **origin bitmasks** (bit ``i`` = "reachable
+from the ``i``-th node in the shared order"), exactly the kernel's
+multi-source sweep state.  On the wire, a frontier is the sorted code list
+delta-encoded (small ints, cheap JSON) plus a parallel list of hex masks.
+
+:func:`local_frontier_step` is what the ``frontier_step`` protocol op runs
+on a shard: advance the received frontier to a *local* fixpoint over the
+edges this shard owns, record answers for owned final-state pairs, and
+return the cross-shard pairs (codes whose node another shard owns) for the
+coordinator to route.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+from repro.engine.cache import DEFAULT_CACHE, CompiledQuery
+from repro.engine.faults import fault_point
+from repro.engine.index import get_index
+from repro.graph.edge_labeled import EdgeLabeledGraph, ObjectId
+
+
+def node_order(graph: EdgeLabeledGraph) -> list[ObjectId]:
+    """The shared node numbering: nodes sorted by ``repr``.
+
+    Deterministic across processes (unlike ``iter_nodes`` order or interner
+    ids) as long as node ids repr identically — which JSON-native ids, the
+    only ones that survive the protocol, do.
+    """
+    return sorted(graph.iter_nodes(), key=repr)
+
+
+class AutomatonPlan(NamedTuple):
+    """A compiled query plus the shared int numbering of its states."""
+
+    compiled: CompiledQuery
+    state_ids: dict
+    state_bits: int
+    initial: tuple[int, ...]
+    finals: frozenset[int]
+    #: state int -> tuple of (symbol, (next state ints, ...)) rows
+    delta: tuple
+
+
+def automaton_plan(query: str, alphabet, stats=None) -> AutomatonPlan:
+    """Compile ``query`` over exactly ``alphabet`` with shared numbering.
+
+    Every participant (coordinator and all shards) calls this with the same
+    query text and the same alphabet, so the resulting state ints agree
+    bit-for-bit; ``state_bits`` travels in each request as a cheap
+    divergence check.
+    """
+    sigma = frozenset(alphabet)
+    compiled = DEFAULT_CACHE.compile(query, sigma, stats=stats)
+    states = sorted(compiled.nfa.states, key=repr)
+    state_ids = {state: index for index, state in enumerate(states)}
+    state_bits = (len(states) - 1).bit_length() if states else 0
+    delta = []
+    for state in states:
+        rows = [
+            (symbol, tuple(state_ids[s] for s in successors))
+            for symbol, successors in compiled.delta.get(state, {}).items()
+        ]
+        rows.sort(key=lambda row: repr(row[0]))
+        delta.append(tuple(rows))
+    return AutomatonPlan(
+        compiled=compiled,
+        state_ids=state_ids,
+        state_bits=state_bits,
+        initial=tuple(sorted(state_ids[s] for s in compiled.initial)),
+        finals=frozenset(state_ids[s] for s in compiled.finals),
+        delta=tuple(delta),
+    )
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+def encode_pairs(mapping: "dict[int, int]") -> dict:
+    """``{code: mask}`` as sorted delta-encoded codes + parallel hex masks."""
+    codes = sorted(mapping)
+    deltas = []
+    previous = 0
+    for code in codes:
+        deltas.append(code - previous)
+        previous = code
+    return {
+        "codes": deltas,
+        "masks": [format(mapping[code], "x") for code in codes],
+    }
+
+
+def decode_pairs(payload: dict) -> "dict[int, int]":
+    """Invert :func:`encode_pairs` (raises ValueError on malformed input)."""
+    if not isinstance(payload, dict):
+        raise ValueError("frontier payload must be an object")
+    deltas = payload.get("codes", [])
+    masks = payload.get("masks", [])
+    if not isinstance(deltas, list) or not isinstance(masks, list):
+        raise ValueError("frontier 'codes' and 'masks' must be lists")
+    if len(deltas) != len(masks):
+        raise ValueError("frontier codes/masks length mismatch")
+    mapping: dict[int, int] = {}
+    code = 0
+    for delta, mask in zip(deltas, masks):
+        if not isinstance(delta, int) or isinstance(delta, bool):
+            raise ValueError("frontier codes must be integers")
+        code += delta
+        if code < 0:
+            raise ValueError("frontier codes must be non-negative")
+        if not isinstance(mask, str):
+            raise ValueError("frontier masks must be hex strings")
+        mapping[code] = int(mask, 16)
+    return mapping
+
+
+def encode_mask(mask: int) -> str:
+    """A bitmask as lowercase hex (ownership masks on the wire)."""
+    return format(mask, "x")
+
+
+def decode_mask(text) -> int:
+    if not isinstance(text, str):
+        raise ValueError("mask must be a hex string")
+    return int(text, 16)
+
+
+# ----------------------------------------------------------------------
+# the shard-side step
+# ----------------------------------------------------------------------
+def local_frontier_step(
+    graph: EdgeLabeledGraph,
+    query: str,
+    alphabet,
+    state_bits: int,
+    owned_mask: int,
+    frontier: "dict[int, int]",
+    *,
+    stats=None,
+    budget=None,
+) -> dict:
+    """Advance ``frontier`` to a local fixpoint over this shard's edges.
+
+    ``frontier`` maps packed codes (owned by this shard) to the origin
+    masks the coordinator found *novel*; expansion stays within the owned
+    node set — a successor owned elsewhere is accumulated as a cross pair
+    instead of being queued.  Returns ``answers`` (node order index ->
+    origin mask for final-state pairs), ``cross`` (code -> novel origin
+    mask for other shards), and expansion counters.
+
+    Raises ValueError when ``state_bits`` disagrees with the automaton this
+    shard compiles — the divergence tripwire for a coordinator and shard
+    that somehow built different automata.
+    """
+    fault_point("shard.frontier_step")
+    plan = automaton_plan(query, alphabet, stats=stats)
+    if plan.state_bits != state_bits:
+        raise ValueError(
+            f"automaton mismatch: coordinator packed {state_bits} state bits, "
+            f"shard compiled {plan.state_bits}"
+        )
+    order = node_order(graph)
+    index_of = {node: position for position, node in enumerate(order)}
+    index = get_index(graph, stats)
+    state_mask = (1 << state_bits) - 1
+    finals = plan.finals
+    delta = plan.delta
+    out_edges = index.out_edges
+    tick = budget.tick if budget is not None else None
+
+    #: code -> union of origin bits already seen at that pair this step
+    known = dict(frontier)
+    pending = dict(frontier)
+    queue = deque(pending)
+    answers: dict[int, int] = {}
+    cross: dict[int, int] = {}
+    expanded = 0
+    relaxed = 0
+    while queue:
+        code = queue.popleft()
+        fresh = pending.pop(code, 0)
+        if not fresh:
+            continue
+        if tick is not None:
+            tick()
+        expanded += 1
+        node_idx = code >> state_bits
+        state = code & state_mask
+        if state in finals:
+            recorded = answers.get(node_idx, 0)
+            if fresh & ~recorded:
+                answers[node_idx] = recorded | fresh
+        if not (owned_mask >> node_idx) & 1:
+            # A mis-routed seed: never expand another shard's node; bounce
+            # it back as a cross pair and let the coordinator re-route.
+            cross[code] = cross.get(code, 0) | fresh
+            continue
+        node = order[node_idx]
+        for symbol, next_states in delta[state]:
+            for _edge, target in out_edges(node, symbol):
+                relaxed += 1
+                target_idx = index_of[target]
+                base = target_idx << state_bits
+                target_owned = (owned_mask >> target_idx) & 1
+                for next_state in next_states:
+                    successor = base | next_state
+                    seen = known.get(successor, 0)
+                    novel = fresh & ~seen
+                    if not novel:
+                        continue
+                    known[successor] = seen | novel
+                    if target_owned:
+                        queued = pending.get(successor, 0)
+                        pending[successor] = queued | novel
+                        if not queued:
+                            queue.append(successor)
+                    else:
+                        cross[successor] = cross.get(successor, 0) | novel
+    if stats is not None:
+        stats.count("frontier_steps")
+        stats.count("frontier_expanded", expanded)
+        stats.count("frontier_relaxed", relaxed)
+    return {
+        "answers": encode_pairs(answers),
+        "cross": encode_pairs(cross),
+        "expanded": expanded,
+        "relaxed": relaxed,
+        "state_bits": state_bits,
+    }

@@ -46,6 +46,7 @@ SITES = frozenset(
         "server.read",          # server's per-line read loop
         "server.write",         # server's response write path
         "client.read",          # client's response read path
+        "shard.frontier_step",  # shard-side entry of a distributed BFS round
     }
 )
 

@@ -37,9 +37,20 @@ from repro.errors import ReproError
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.server.protocol import decode_response, encode_request
 
-#: Ops safe to retry: they read state or are pure functions of it.
+#: Ops safe to retry: they read state or are pure functions of it
+#: (``frontier_step`` is a pure function of graph version + frontier).
 IDEMPOTENT_OPS = frozenset(
-    {"ping", "stats", "graphs.list", "rpq", "crpq", "dlrpq", "paths", "explain"}
+    {
+        "ping",
+        "stats",
+        "graphs.list",
+        "rpq",
+        "crpq",
+        "dlrpq",
+        "paths",
+        "explain",
+        "frontier_step",
+    }
 )
 
 
@@ -129,7 +140,7 @@ class ServerClient:
         self.timeout = timeout
         self.retry = retry
         self.reconnects = 0
-        self._ids = itertools.count(1)
+        self._generation = -1
         self._connect()
 
     # ------------------------------------------------------------------
@@ -141,6 +152,17 @@ class ServerClient:
         )
         self._file = self._sock.makefile("rwb")
         self._broken = False
+        # Request ids are scoped to the *connection*: a generation prefix
+        # plus a per-connection counter.  Ids from different generations can
+        # never collide, so a response buffered by a connection that died
+        # mid-exchange can never satisfy (or desync-trip) a request sent on
+        # its replacement — the id-mismatch check stays sound across
+        # reconnects even when a coordinator pipelines many ops.
+        self._generation += 1
+        self._ids = itertools.count(1)
+
+    def _next_id(self) -> str:
+        return f"c{self._generation}-{next(self._ids)}"
 
     def _reconnect(self) -> None:
         self.close()
@@ -191,7 +213,7 @@ class ServerClient:
         # in its buffer — never reuse it.
         if self._broken:
             self._reconnect()
-        request_id = next(self._ids)
+        request_id = self._next_id()
         try:
             self._file.write(encode_request(op, id=request_id, **params))
             self._file.flush()
@@ -352,6 +374,37 @@ class ServerClient:
         }
         return self.request(
             "dlrpq", **self._with_limits(params, timeout, max_rows, max_states)
+        )
+
+    def frontier_step(
+        self,
+        graph: str,
+        query: str,
+        *,
+        frontier: dict,
+        owned: str,
+        state_bits: int,
+        alphabet: "list | tuple" = (),
+        timeout: "float | None" = None,
+        max_states: "int | None" = None,
+    ) -> dict:
+        """One shard-side round of the distributed product BFS.
+
+        ``frontier`` is an encoded code->mask document (see
+        :mod:`repro.distributed.frontier`), ``owned`` the shard's hex
+        ownership mask, ``alphabet`` the *global* label alphabet the
+        automaton must be compiled over.
+        """
+        params: dict = {
+            "graph": graph,
+            "query": query,
+            "frontier": frontier,
+            "owned": owned,
+            "state_bits": state_bits,
+            "alphabet": list(alphabet),
+        }
+        return self.request(
+            "frontier_step", **self._with_limits(params, timeout, None, max_states)
         )
 
     def explain(self, graph: str, query: str, planner: str = "cost") -> dict:

@@ -17,6 +17,7 @@ code               meaning                                         HTTP
 ``timeout``        per-query wall-clock budget exhausted            504
 ``budget_exceeded`` a row/state ceiling stopped the evaluation      422
 ``shutting_down``  server is draining; no new work accepted         503
+``shard_unavailable`` a shard worker died mid-query (coordinator)   503
 ``internal``       anything else (a server bug, by definition)      500
 =================  ============================================== =====
 
@@ -60,6 +61,7 @@ OPS = frozenset(
         "dlrpq",
         "paths",
         "explain",
+        "frontier_step",
         "sleep",
     }
 )
@@ -160,6 +162,20 @@ class ShuttingDownError(ServiceError):
     http_status = 503
 
 
+class ShardUnavailableError(ServiceError):
+    """A shard worker died, refused, or desynchronized mid-round.
+
+    Raised by the *coordinator* (shards themselves fail with their own
+    typed errors; the coordinator wraps transport loss and shard-side
+    ``internal`` envelopes into this, carrying which shard and which
+    frontier-exchange round).  503: retrying against a repaired or
+    replacement shard set is reasonable.
+    """
+
+    code = "shard_unavailable"
+    http_status = 503
+
+
 def error_envelope(exc: BaseException) -> dict:
     """Map any exception to the typed error object of a failed response.
 
@@ -192,6 +208,7 @@ def http_status_for(error: dict) -> int:
         "timeout": 504,
         "budget_exceeded": 422,
         "shutting_down": 503,
+        "shard_unavailable": 503,
     }
     return statuses.get(error.get("code", "internal"), 500)
 

@@ -299,6 +299,11 @@ class QueryService:
             return {"graphs": self.catalog.list_info()}, False
         if op == "graphs.upload":
             return self._upload(request), False
+        if op == "frontier_step":
+            # One round of the distributed product BFS: pure function of
+            # (graph version, query, frontier), but frontiers are unique
+            # per round, so caching would only churn the LRU.
+            return self._frontier_step(request, budget), False
         if op in self.CACHEABLE_OPS:
             return self._query(request, budget)
         raise BadRequestError(f"op {op!r} is not executable by the service")
@@ -378,6 +383,48 @@ class QueryService:
             with self._metrics_lock:
                 self.metrics.inc("server_cache_put_failures")
         return result, False
+
+    def _frontier_step(self, request: Request, budget=None) -> dict:
+        """The shard half of the scatter-gather product BFS (DESIGN.md §11)."""
+        from repro.distributed.frontier import (
+            decode_mask,
+            decode_pairs,
+            local_frontier_step,
+        )
+
+        name = request.require("graph")
+        query = request.require("query")
+        if not isinstance(query, str):
+            raise BadRequestError("parameter 'query' must be a string")
+        alphabet = request.param("alphabet", [])
+        if not isinstance(alphabet, list):
+            raise BadRequestError("parameter 'alphabet' must be a list")
+        state_bits = request.require("state_bits")
+        if isinstance(state_bits, bool) or not isinstance(state_bits, int) \
+                or state_bits < 0:
+            raise BadRequestError(
+                "parameter 'state_bits' must be a non-negative integer"
+            )
+        try:
+            owned_mask = decode_mask(request.require("owned"))
+            frontier = decode_pairs(request.require("frontier"))
+        except ValueError as exc:
+            raise BadRequestError(f"malformed frontier: {exc}") from None
+        entry = self.catalog.get(name)
+        stats = EngineStats()
+        try:
+            result = local_frontier_step(
+                entry.graph, query, alphabet, state_bits, owned_mask,
+                frontier, stats=stats, budget=budget,
+            )
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from None
+        result["op"] = "frontier_step"
+        result["graph"] = name
+        result["graph_version"] = list(entry.version)
+        with self._metrics_lock:
+            self.metrics.fold_stats(stats)
+        return result
 
     def _run_rpq(self, graph, query, request: Request, stats, budget=None) -> dict:
         from repro.rpq.evaluation import evaluate_rpq

@@ -1,0 +1,46 @@
+"""ShardLauncher: real worker processes come up, announce, and shut down —
+and a worker that cannot bind surfaces as a typed startup error naming the
+shard (the coordinator side of the serve CLI's one-line bind failure)."""
+
+import socket
+
+import pytest
+
+from repro.distributed import ShardCoordinator, ShardLauncher, ShardStartupError
+from repro.graph.datasets import figure2_graph
+from repro.rpq.evaluation import evaluate_rpq
+
+
+class TestLauncher:
+    def test_fleet_starts_serves_and_stops(self):
+        graph = figure2_graph()
+        with ShardLauncher(2, startup_timeout=30.0) as launcher:
+            assert len(launcher.addresses) == 2
+            with ShardCoordinator(launcher.addresses) as coordinator:
+                coordinator.partition_graph("fig2", graph)
+                assert coordinator.evaluate_rpq(
+                    "fig2", "Transfer*"
+                ) == evaluate_rpq("Transfer*", graph)
+        assert launcher.addresses == []
+
+    def test_bind_failure_names_the_shard(self):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        busy_port = blocker.getsockname()[1]
+        try:
+            launcher = ShardLauncher(
+                1, ports=[busy_port], startup_timeout=30.0
+            )
+            with pytest.raises(ShardStartupError) as excinfo:
+                launcher.start()
+            assert excinfo.value.shard == 0
+            # The worker's own one-line bind error travels up verbatim.
+            assert "cannot bind" in str(excinfo.value)
+            launcher.stop()
+        finally:
+            blocker.close()
+
+    def test_port_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ShardLauncher(3, ports=[7687])

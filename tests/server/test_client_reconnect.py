@@ -1,0 +1,90 @@
+"""Reconnect id-space regression: generations keep request ids collision-free.
+
+The desync guard in ``_request_once`` compares response ids against request
+ids.  If ids restarted from the same counter on every connection, a
+response buffered by a dying connection could carry exactly the id the
+*replacement* connection is about to use — and satisfy the wrong request
+instead of tripping the guard.  The fix scopes ids to the connection with
+a generation prefix (``c<gen>-<seq>``); these tests pin that contract.
+"""
+
+import pytest
+
+import repro.server.client as client_module
+from repro.engine.faults import FAULTS
+from repro.server.app import ServerThread
+from repro.server.client import ConnectionLost, RetryPolicy, ServerClient
+
+
+@pytest.fixture()
+def faults():
+    FAULTS.reset(seed=1234)
+    yield FAULTS
+    FAULTS.reset(seed=1234)
+
+
+@pytest.fixture()
+def harness():
+    with ServerThread() as server:
+        yield server
+
+
+def capture_ids(monkeypatch):
+    """Record the id of every request the client encodes."""
+    seen = []
+    real = client_module.encode_request
+
+    def spy(op, id=None, **params):
+        seen.append(id)
+        return real(op, id=id, **params)
+
+    monkeypatch.setattr(client_module, "encode_request", spy)
+    return seen
+
+
+class TestGenerationScopedIds:
+    def test_ids_carry_the_connection_generation(self, harness, monkeypatch):
+        seen = capture_ids(monkeypatch)
+        with ServerClient(*harness.address) as client:
+            client.ping()
+            client.ping()
+        assert seen == ["c0-1", "c0-2"]
+
+    def test_reconnect_bumps_the_generation(
+        self, harness, monkeypatch, faults
+    ):
+        seen = capture_ids(monkeypatch)
+        retry = RetryPolicy(max_attempts=3, base=0.01, seed=7)
+        with ServerClient(*harness.address, retry=retry) as client:
+            client.ping()
+            # Tear the connection under the next request: the retry path
+            # reconnects and re-sends under the new generation.
+            faults.arm("client.read", drop=True)
+            client.ping()
+            client.ping()
+        assert client.reconnects == 1
+        assert seen == ["c0-1", "c0-2", "c1-1", "c1-2"]
+        # The torn request's id and its replacement's can never collide.
+        assert len(set(seen)) == len(seen)
+
+    def test_every_generation_restarts_its_own_counter(
+        self, harness, monkeypatch, faults
+    ):
+        seen = capture_ids(monkeypatch)
+        retry = RetryPolicy(max_attempts=5, base=0.01, seed=7)
+        with ServerClient(*harness.address, retry=retry) as client:
+            for round_number in range(3):
+                client.ping()
+                faults.arm("client.read", drop=True)
+                client.ping()
+        assert client.reconnects == 3
+        assert len(set(seen)) == len(seen)
+        generations = {request_id.split("-")[0] for request_id in seen}
+        assert generations == {"c0", "c1", "c2", "c3"}
+
+    def test_unretried_loss_still_raises(self, harness, faults):
+        with ServerClient(*harness.address) as client:
+            client.ping()
+            faults.arm("client.read", drop=True)
+            with pytest.raises(ConnectionLost):
+                client.ping()

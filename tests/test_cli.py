@@ -420,3 +420,98 @@ class TestQueryConnectCLI:
         )
         assert code == 1
         assert "graph_not_found" in capsys.readouterr().err
+
+
+class TestServeBindFailure:
+    """``repro serve`` on a taken port: one-line error, nonzero exit."""
+
+    def test_busy_port_exits_1_with_one_line_error(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        # Exactly one line, naming the address — no traceback.
+        assert len(err.splitlines()) == 1
+        assert f"cannot bind 127.0.0.1:{port}" in err
+        assert "Traceback" not in err
+
+
+class TestQueryShardsCLI:
+    """``repro query --shards`` distributes a graph and scatter-gathers."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        from repro.server.app import ServerThread
+
+        servers = [ServerThread().start() for _ in range(2)]
+        yield ",".join(f"{host}:{port}" for host, port in
+                       (server.address for server in servers))
+        for server in servers:
+            server.stop()
+
+    def test_rpq_matches_local_evaluation(self, fleet, capsys):
+        code = main(["query", "--shards", fleet, "fig2", "Transfer*"])
+        assert code == 0
+        captured = capsys.readouterr()
+        from repro.graph.datasets import figure2_graph
+        from repro.rpq.evaluation import evaluate_rpq
+
+        want = evaluate_rpq("Transfer*", figure2_graph())
+        assert f"# {len(want)} answers" in captured.err
+        got = {
+            tuple(line.split("\t"))
+            for line in captured.out.splitlines()
+            if line
+        }
+        assert got == {(str(s), str(t)) for s, t in want}
+
+    def test_replicated_mode(self, fleet, capsys):
+        code = main(
+            ["query", "--shards", fleet, "--replicated", "fig2",
+             "Transfer Transfer"]
+        )
+        assert code == 0
+        assert "answers" in capsys.readouterr().err
+
+    def test_crpq_over_shards(self, fleet, capsys):
+        code = main(
+            ["query", "--shards", fleet, "fig2",
+             "Ans(x, y) :- Transfer(x, y), Transfer*(y, x)", "--json"]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        from repro.crpq.evaluation import evaluate_crpq
+        from repro.graph.datasets import figure2_graph
+
+        want = evaluate_crpq(
+            "Ans(x, y) :- Transfer(x, y), Transfer*(y, x)", figure2_graph()
+        )
+        assert result["count"] == len(want) > 0
+
+    def test_unreachable_fleet_exits_1(self, capsys):
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        dead_port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens there now
+        code = main(
+            ["query", "--shards", f"127.0.0.1:{dead_port}", "fig2", "Transfer"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_connect_and_shards_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--connect", "127.0.0.1:1", "--shards",
+                 "127.0.0.1:2", "fig2", "Transfer"]
+            )
