@@ -62,6 +62,14 @@ LABELS = ("p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7")
 #: ISSUE gate: aggregate read throughput at 4 shards vs. 1.
 SPEEDUP_GATE = 2.5
 
+#: Observability gate: coordinator telemetry with tracing *off* (the
+#: production default) must stay within this fraction of the bare
+#: (``telemetry=False``) coordinator.  Smoke runs only sanity-check the
+#: arms (tiny graphs put the fixed protocol cost under the microscope).
+OVERHEAD_GATE = 0.05
+OVERHEAD_REPS = 3 if SMOKE else 7
+OVERHEAD_QUERIES = ("p0 (p0 + p1)* p1", "(p0 + p1 + p2)* p3")
+
 STARTUP_TIMEOUT = 60.0
 
 
@@ -270,3 +278,76 @@ class TestPartitionedExactness:
             }
         )
         assert not diffs, diffs[:5]
+
+
+class TestDisabledTelemetryOverhead:
+    """Round telemetry must be ~free when nobody is tracing.
+
+    Two coordinators over one fleet: the default (``telemetry=True``, the
+    per-round registry and span bookkeeping armed but tracing *off*, so no
+    ``trace`` field ever reaches the wire) versus the bare baseline
+    (``telemetry=False``).  Samples interleave the arms and each query
+    scores its minimum over the reps — the estimator least sensitive to
+    scheduler noise — before the <5% gate compares the sums.
+    """
+
+    def test_telemetry_overhead_with_tracing_off(self, shard_records):
+        graph = _exact_graph()
+        servers = [ServerThread().start() for _ in range(NUM_SHARDS)]
+        try:
+            addresses = [server.address for server in servers]
+            with ShardCoordinator(addresses) as instrumented, \
+                    ShardCoordinator(addresses, telemetry=False) as bare:
+                arms = {
+                    "telemetry": (instrumented, "ovh_t"),
+                    "bare": (bare, "ovh_b"),
+                }
+                for coordinator, name in arms.values():
+                    coordinator.partition_graph(name, graph)
+                    for query in OVERHEAD_QUERIES:  # warm compile caches
+                        coordinator.evaluate_rpq(name, query)
+                best = {
+                    arm: {query: float("inf") for query in OVERHEAD_QUERIES}
+                    for arm in arms
+                }
+                for _ in range(OVERHEAD_REPS):
+                    for arm, (coordinator, name) in arms.items():
+                        for query in OVERHEAD_QUERIES:
+                            coordinator.answer_cache.invalidate_graph(name)
+                            started = time.perf_counter()
+                            result = coordinator.evaluate_rpq(name, query)
+                            elapsed = time.perf_counter() - started
+                            assert result  # non-trivial on this graph
+                            if elapsed < best[arm][query]:
+                                best[arm][query] = elapsed
+                assert instrumented.metrics is not None
+                assert bare.metrics is None
+        finally:
+            for server in servers:
+                server.stop()
+
+        total_telemetry = sum(best["telemetry"].values())
+        total_bare = sum(best["bare"].values())
+        overhead = total_telemetry / total_bare - 1.0
+
+        shard_records.append(
+            {
+                "bench": "shard_disabled_telemetry_overhead",
+                "smoke": SMOKE,
+                "shards": NUM_SHARDS,
+                "queries": len(OVERHEAD_QUERIES),
+                "reps": OVERHEAD_REPS,
+                "telemetry_seconds": round(total_telemetry, 6),
+                "bare_seconds": round(total_bare, 6),
+                "overhead": round(overhead, 4),
+                "gate": OVERHEAD_GATE,
+            }
+        )
+        if not SMOKE:
+            assert overhead < OVERHEAD_GATE, (
+                f"telemetry-on (tracing off) coordinator is "
+                f"{overhead * 100:.1f}% slower than the bare coordinator "
+                f"({total_telemetry * 1000:.1f} ms vs "
+                f"{total_bare * 1000:.1f} ms) — gate is "
+                f"{OVERHEAD_GATE * 100:.0f}%"
+            )

@@ -1,0 +1,122 @@
+"""CI assertion: a shard-fleet trace JSONL contains a correctly stitched tree.
+
+Reads the ``--trace-out`` file written by ``repro profile --shards`` (or
+``repro query --shards --trace-out``) and verifies the DESIGN.md §12
+acceptance structure:
+
+* at least one ``coordinator.rpq`` root (exactly one per profiled query);
+* every round is a ``coordinator.round`` child carrying frontier/wire
+  telemetry;
+* shard-side ``server.request`` subtrees are grafted under their round,
+  stamped with shard id, round number, frontier size and wire bytes;
+* ``frontier_step`` spans appear inside those grafts;
+* every span in a stitched tree shares the root's trace id.
+
+Usage: ``python scripts/check_stitched_trace.py TRACE.jsonl [--queries N]``
+Exits nonzero (with a message) on the first violated property.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(tree):
+    yield tree
+    for child in tree.get("children", ()):
+        yield from walk(child)
+
+
+def fail(message):
+    print(f"check_stitched_trace: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_tree(tree):
+    trace_id = tree.get("trace_id")
+    if not trace_id:
+        fail("coordinator root has no trace_id")
+    for node in walk(tree):
+        if node.get("trace_id") != trace_id:
+            fail(
+                f"span {node.get('name')!r} carries trace_id "
+                f"{node.get('trace_id')!r}, root has {trace_id!r} — "
+                "the tree is not one stitched trace"
+            )
+    rounds = [
+        child for child in tree.get("children", ())
+        if child.get("name") == "coordinator.round"
+    ]
+    if not rounds:
+        fail("coordinator.rpq root has no coordinator.round children")
+    frontier_steps = 0
+    for round_span in rounds:
+        attributes = round_span.get("attributes", {})
+        for key in ("round", "shards", "frontier", "wire_bytes_sent",
+                    "wire_bytes_received"):
+            if key not in attributes:
+                fail(f"round span is missing the {key!r} attribute")
+        grafts = [
+            child for child in round_span.get("children", ())
+            if child.get("name") == "server.request"
+        ]
+        if not grafts:
+            fail(
+                f"round {attributes.get('round')} has no grafted "
+                "server.request subtree"
+            )
+        for graft in grafts:
+            graft_attributes = graft.get("attributes", {})
+            for key in ("shard", "round", "frontier", "wire_bytes_sent",
+                        "wire_bytes_received", "latency_ms"):
+                if key not in graft_attributes:
+                    fail(
+                        "grafted server.request is missing the "
+                        f"{key!r} attribute"
+                    )
+            if graft.get("parent_span_id") != round_span.get("span_id"):
+                fail(
+                    "grafted server.request does not name its round span "
+                    "as parent"
+                )
+            frontier_steps += sum(
+                1 for node in walk(graft)
+                if node.get("name") == "frontier_step"
+            )
+    if not frontier_steps:
+        fail("no shard-side frontier_step spans in any grafted subtree")
+    return len(rounds), frontier_steps
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSONL written by --trace-out")
+    parser.add_argument(
+        "--queries", type=int, default=1,
+        help="expected number of stitched coordinator trees (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trees = [json.loads(line) for line in handle if line.strip()]
+    except OSError as exc:
+        fail(f"cannot read {args.trace}: {exc}")
+    roots = [tree for tree in trees if tree.get("name") == "coordinator.rpq"]
+    if len(roots) != args.queries:
+        fail(
+            f"expected exactly {args.queries} coordinator.rpq tree(s), "
+            f"found {len(roots)} among {len(trees)} trace lines"
+        )
+    for root in roots:
+        rounds, frontier_steps = check_tree(root)
+        print(
+            "check_stitched_trace: OK: "
+            f"{rounds} round(s), {frontier_steps} shard-side "
+            f"frontier_step span(s), trace_id={root['trace_id']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -183,6 +183,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from repro.engine.explain import profile_query, render_profile
 
+    if getattr(args, "shards", None):
+        return _profile_via_shards(args)
     graph = _load_graph(args.graph)
     report = profile_query(args.query, graph, planner=args.planner)
     stats = report.pop("_stats")
@@ -192,6 +194,72 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         print(render_profile(report))
         print(stats.render(), file=sys.stderr)
+    return 0
+
+
+def _profile_via_shards(args: argparse.Namespace) -> int:
+    """Profile a query over a shard fleet: one stitched cross-process tree.
+
+    The coordinator roots the trace (``coordinator.rpq`` over per-round
+    ``coordinator.round`` spans); every shard's ``server.request`` subtree
+    comes back grafted under its round with shard id, wire bytes and
+    latency attribution (DESIGN.md §12).
+    """
+    import json
+
+    from repro.distributed import ShardCoordinator
+    from repro.engine.explain import query_kind
+    from repro.engine.tracing import Tracer, use_tracer
+    from repro.server.client import ConnectionLost, ServerError
+    from repro.server.protocol import ShardUnavailableError
+
+    addresses = [
+        _parse_address(part) for part in args.shards.split(",") if part
+    ]
+    graph = _load_graph(args.graph)
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer), ShardCoordinator(
+            addresses, slow_round_ms=args.slow_round_ms
+        ) as coordinator:
+            name = f"cli:{args.graph}"
+            coordinator.partition_graph(name, graph, strategy=args.partition)
+            if query_kind(args.query) == "crpq":
+                rows = coordinator.evaluate_crpq(name, args.query)
+            else:
+                rows = coordinator.evaluate_rpq(name, args.query)
+            metrics = coordinator.metrics.as_dict()
+    except ShardUnavailableError as exc:
+        print(f"error [shard_unavailable]: {exc.message}", file=sys.stderr)
+        return 1
+    except (ConnectionLost, OSError) as exc:
+        print(f"error: cannot reach shard fleet: {exc}", file=sys.stderr)
+        return 1
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    if args.trace_out:
+        written = tracer.write_jsonl(args.trace_out, drain=False)
+        print(
+            f"# wrote {written} span trees to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "count": len(rows),
+                    "spans": tracer.as_dicts(),
+                    "coordinator_metrics": metrics,
+                },
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 0
+    print(tracer.render())
+    print(f"# {len(rows)} answers", file=sys.stderr)
     return 0
 
 
@@ -441,9 +509,40 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
             stop = threading.Event()
+            dumper = None
+            if args.metrics_out:
+                def _dump_fleet_metrics() -> None:
+                    merged = coordinator.cluster_metrics(
+                        include_coordinator=False
+                    )
+                    with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                        handle.write(merged.render_prometheus())
+
+                def _dump_loop() -> None:
+                    # The coordinator sits idle here (the main thread only
+                    # waits on the stop event), so this thread is its sole
+                    # user — the not-thread-safe contract holds.
+                    while True:
+                        try:
+                            _dump_fleet_metrics()
+                        except OSError:
+                            pass  # a torn shard mid-dump; next tick retries
+                        if stop.wait(args.metrics_interval):
+                            return
+
+                dumper = threading.Thread(
+                    target=_dump_loop, name="repro-metrics-dump", daemon=True
+                )
+                dumper.start()
             for signum in (signal.SIGINT, signal.SIGTERM):
                 signal.signal(signum, lambda _signum, _frame: stop.set())
             stop.wait()
+            if dumper is not None:
+                dumper.join(timeout=args.metrics_interval + 5.0)
+                try:
+                    _dump_fleet_metrics()  # final dump while shards live
+                except OSError:
+                    pass
     finally:
         launcher.stop()
     print("# cluster stopped", file=sys.stderr)
@@ -465,8 +564,21 @@ def _query_via_shards(args: argparse.Namespace) -> int:
     ]
     graph = _load_graph(args.graph)
     budget = _make_budget(args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.engine.tracing import Tracer, use_tracer
+
+        tracer = Tracer()
+        tracer_scope = use_tracer(tracer)
+    else:
+        from contextlib import nullcontext
+
+        tracer = None
+        tracer_scope = nullcontext()
     try:
-        with ShardCoordinator(addresses) as coordinator:
+        with tracer_scope, ShardCoordinator(
+            addresses, slow_round_ms=getattr(args, "slow_round_ms", None)
+        ) as coordinator:
             name = f"cli:{args.graph}"
             if args.replicated:
                 coordinator.replicate_graph(name, graph)
@@ -499,6 +611,11 @@ def _query_via_shards(args: argparse.Namespace) -> int:
     except ServerError as exc:
         print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
         return 1
+    if tracer is not None:
+        written = tracer.write_jsonl(trace_out)
+        print(
+            f"# wrote {written} span trees to {trace_out}", file=sys.stderr
+        )
     if args.json:
         print(
             json.dumps(
@@ -510,6 +627,37 @@ def _query_via_shards(args: argparse.Namespace) -> int:
     for row in sorted(rows, key=repr):
         print("\t".join(str(value) for value in row))
     print(f"# {len(rows)} answers", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    """Fetch and merge every shard's metrics registry (exactly)."""
+    import json
+
+    from repro.distributed import ShardCoordinator
+    from repro.server.client import ConnectionLost
+
+    addresses = [
+        _parse_address(part) for part in args.shards.split(",") if part
+    ]
+    try:
+        with ShardCoordinator(addresses) as coordinator:
+            # This coordinator exists only to ask; its own (empty)
+            # registry would just add zero-count noise.
+            merged = coordinator.cluster_metrics(include_coordinator=False)
+    except (ConnectionLost, OSError) as exc:
+        print(f"error: cannot reach shard fleet: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        text = json.dumps(merged.as_dict(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = merged.render_prometheus()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# wrote merged fleet metrics to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -707,6 +855,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print spans + engine stats (with the derived block) as JSON",
     )
+    profile.add_argument(
+        "--shards", metavar="H:P,H:P,...",
+        help="profile against a running shard fleet instead: the graph is "
+        "partitioned across it and the stitched cross-process span tree "
+        "(coordinator rounds + per-shard frontier steps) is rendered",
+    )
+    profile.add_argument(
+        "--partition", default="hash", choices=("hash", "edge-cut"),
+        help="with --shards: the partitioning strategy (default hash)",
+    )
+    profile.add_argument(
+        "--trace-out", metavar="FILE.jsonl",
+        help="with --shards: also append the stitched span trees, one JSON "
+        "tree per line",
+    )
+    profile.add_argument(
+        "--slow-round-ms", type=float, default=None, metavar="MS",
+        help="with --shards: log a structured record for every frontier "
+        "round slower than MS milliseconds",
+    )
     profile.set_defaults(handler=_cmd_profile)
 
     workload = commands.add_parser(
@@ -869,6 +1037,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-timeout", type=float, default=30.0,
         help="per-query wall-clock budget each worker enforces",
     )
+    shard_serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="periodically write the merged fleet metrics (Prometheus "
+        "text exposition) to this file",
+    )
+    shard_serve.add_argument(
+        "--metrics-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between fleet metrics dumps (default 5)",
+    )
     shard_serve.set_defaults(handler=_cmd_shard_serve)
 
     query = commands.add_parser(
@@ -913,7 +1090,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry idempotent requests up to N times on lost connections "
         "or 'overloaded' rejections (exponential backoff with jitter)",
     )
+    query.add_argument(
+        "--trace-out", metavar="FILE.jsonl",
+        help="with --shards: trace the scatter-gather and append the "
+        "stitched cross-process span trees, one JSON tree per line",
+    )
+    query.add_argument(
+        "--slow-round-ms", type=float, default=None, metavar="MS",
+        help="with --shards: log a structured record for every frontier "
+        "round slower than MS milliseconds",
+    )
     query.set_defaults(handler=_cmd_query)
+
+    cluster_stats = commands.add_parser(
+        "cluster-stats",
+        help="fetch every shard's metrics registry and print the exact "
+        "merge (Prometheus text, or JSON with --json)",
+    )
+    cluster_stats.add_argument(
+        "--shards", required=True, metavar="H:P,H:P,...",
+        help="shard fleet addresses to aggregate",
+    )
+    cluster_stats.add_argument(
+        "--json", action="store_true",
+        help="JSON export (counters + bucketed histograms) instead of the "
+        "Prometheus text exposition",
+    )
+    cluster_stats.add_argument(
+        "--out", metavar="FILE",
+        help="write the exposition to a file instead of stdout",
+    )
+    cluster_stats.set_defaults(handler=_cmd_cluster_stats)
 
     return parser
 

@@ -41,14 +41,19 @@ fleet).
 from __future__ import annotations
 
 import json
+import logging
 import os
+import statistics
 import subprocess
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from itertools import islice
 
 from repro.engine.limits import BudgetExceeded
+from repro.engine.metrics import MetricsRegistry
 from repro.engine.partition import (
     ShardMap,
     make_shard_map,
@@ -56,6 +61,7 @@ from repro.engine.partition import (
     stable_hash,
 )
 from repro.engine.stats import EngineStats
+from repro.engine.tracing import get_tracer
 from repro.distributed.frontier import (
     automaton_plan,
     encode_mask,
@@ -83,6 +89,10 @@ DEFAULT_RTT_SLACK = 0.05
 _SHARD_DOWN_CODES = frozenset(
     {"internal", "shutting_down", "graph_not_found", "shard_unavailable"}
 )
+
+#: The slow-round log (one ``logging`` record per round slower than the
+#: coordinator's ``slow_round_ms``, message = a JSON object).
+logger = logging.getLogger("repro.distributed.coordinator")
 
 
 def rendezvous(key: str, candidates) -> list[int]:
@@ -286,11 +296,18 @@ class ShardCoordinator:
         timeout: float = 60.0,
         answer_cache_size: int = 256,
         rtt_slack: float = DEFAULT_RTT_SLACK,
+        telemetry: bool = True,
+        slow_round_ms: "float | None" = None,
     ):
         self.addresses = [tuple(address) for address in addresses]
         if not self.addresses:
             raise ValueError("need at least one shard address")
         self.rtt_slack = rtt_slack
+        #: the coordinator's own registry (round counts, frontier sizes,
+        #: wire bytes, straggler gaps); ``telemetry=False`` skips all of it
+        #: — the bare baseline the disabled-overhead bench arm compares to.
+        self.metrics = MetricsRegistry() if telemetry else None
+        self.slow_round_ms = slow_round_ms
         self.answer_cache = AnswerCache(answer_cache_size)
         self._clients = [
             ServerClient(host, port, timeout=timeout, retry=retry)
@@ -332,7 +349,39 @@ class ShardCoordinator:
             "frontier_calls": self.frontier_calls,
             "answer_cache": self.answer_cache.info(),
             "graphs": sorted(self._catalog),
+            "metrics": self.metrics.as_dict() if self.metrics is not None else None,
         }
+
+    def cluster_metrics(self, *, include_coordinator: bool = True) -> MetricsRegistry:
+        """Every reachable shard's registry merged exactly into one.
+
+        Each shard answers the ``cluster_metrics`` op with its registry in
+        lossless dump form (raw bucket counts); merging is plain addition,
+        so every cumulative ``le`` count of the merged histograms equals
+        the sum of the per-shard counts.  Unreachable or malformed shards
+        are skipped and counted under ``cluster_shards_unreachable``; the
+        coordinator's own registry folds in unless ``include_coordinator``
+        is off.
+        """
+        merged = MetricsRegistry()
+        unreachable = 0
+        for shard, client in enumerate(self._clients):
+            try:
+                payload = client.cluster_metrics()
+                # Validate into a scratch registry first so a malformed
+                # shard cannot half-merge into the fleet totals.
+                scratch = MetricsRegistry().merge_dump(payload)
+            except (ConnectionLost, OSError, ServerError,
+                    ValueError, KeyError, TypeError):
+                unreachable += 1
+                continue
+            merged.merge_dump(scratch.dump())
+        if include_coordinator and self.metrics is not None:
+            merged.merge_dump(self.metrics.dump())
+        merged.inc("cluster_shards_total", self.num_shards)
+        if unreachable:
+            merged.inc("cluster_shards_unreachable", unreachable)
+        return merged
 
     # ------------------------------------------------------------------
     # catalog management
@@ -452,7 +501,16 @@ class ShardCoordinator:
                     last_failure = exc
                     continue
                 raise
+            # Span subtrees are per-request routing payload, not part of
+            # the answer: cache the clean result, hand the caller the
+            # traced copy (a cached replay must never carry stale spans).
+            trace_spans = None
+            if isinstance(result, dict):
+                trace_spans = result.pop("trace_spans", None)
             self.answer_cache.put(cache_key, result)
+            if trace_spans is not None:
+                result = dict(result)
+                result["trace_spans"] = trace_spans
             return result
         raise ShardUnavailableError(
             f"every replica of {name!r} failed; last error: {last_failure}",
@@ -566,57 +624,196 @@ class ShardCoordinator:
         # traversal's own ticks.
         merge_budget = budget.fork() if budget is not None else None
         tick = merge_budget.tick if merge_budget is not None else None
+        tracer = get_tracer()
         rounds = 0
+        query_started = time.perf_counter()
+        root_cm = (
+            tracer.span("coordinator.rpq", graph=entry.name, query=query)
+            if tracer.enabled
+            else nullcontext()
+        )
         try:
-            while any(pending):
-                rounds += 1
-                if merge_budget is not None:
-                    merge_budget.check()  # barrier between rounds
-                round_timeout = self._round_timeout(budget)
-                calls = [
-                    (shard, frontier)
-                    for shard, frontier in enumerate(pending)
-                    if frontier
-                ]
-                pending = [{} for _ in range(self.num_shards)]
-                futures = [
-                    (
-                        shard,
-                        self._pool.submit(
-                            self._frontier_call, shard, entry, query,
-                            alphabet, bits, frontier, round_timeout,
-                        ),
+            with root_cm:
+                while any(pending):
+                    rounds += 1
+                    if merge_budget is not None:
+                        merge_budget.check()  # barrier between rounds
+                    round_timeout = self._round_timeout(budget)
+                    calls = [
+                        (shard, frontier)
+                        for shard, frontier in enumerate(pending)
+                        if frontier
+                    ]
+                    pending = [{} for _ in range(self.num_shards)]
+                    round_started = time.perf_counter()
+                    round_cm = (
+                        tracer.span("coordinator.round", round=rounds)
+                        if tracer.enabled
+                        else nullcontext()
                     )
-                    for shard, frontier in calls
-                ]
-                for shard, future in futures:
-                    result = self._collect(shard, future, rounds)
-                    for position, mask in decode_pairs(result["answers"]).items():
-                        if tick is not None:
-                            tick()
-                        recorded = answer_masks.get(position, 0)
-                        novel = mask & ~recorded
-                        if novel:
-                            answer_masks[position] = recorded | novel
-                            pair_count += novel.bit_count()
-                    if budget is not None:
-                        budget.check_rows(pair_count)
-                    for code, mask in decode_pairs(result["cross"]).items():
-                        if tick is not None:
-                            tick()
-                        seen = known.get(code, 0)
-                        novel = mask & ~seen
-                        if not novel:
-                            continue
-                        known[code] = seen | novel
-                        owner = shard_of(order[code >> bits])
-                        shard_pending = pending[owner]
-                        shard_pending[code] = shard_pending.get(code, 0) | novel
+                    with round_cm as round_span:
+                        # Captured on *this* thread: the pool threads the
+                        # frontier calls run on have empty span stacks, so
+                        # the round span's context must ride in explicitly.
+                        trace_ctx = tracer.trace_context()
+                        futures = [
+                            (
+                                shard,
+                                len(frontier),
+                                self._pool.submit(
+                                    self._frontier_call, shard, entry, query,
+                                    alphabet, bits, frontier, round_timeout,
+                                    rounds, trace_ctx,
+                                ),
+                            )
+                            for shard, frontier in calls
+                        ]
+                        frontier_codes = sum(len(f) for _, f in calls)
+                        novel_bits = sum(
+                            mask.bit_count()
+                            for _, frontier in calls
+                            for mask in frontier.values()
+                        )
+                        latencies: list[float] = []
+                        bytes_sent = bytes_received = bounced = 0
+                        for shard, frontier_size, future in futures:
+                            envelope = self._collect(shard, future, rounds)
+                            result = envelope["result"]
+                            latencies.append(envelope["elapsed"])
+                            received = len(json.dumps(result["answers"])) + len(
+                                json.dumps(result["cross"])
+                            )
+                            bytes_sent += envelope["sent_bytes"]
+                            bytes_received += received
+                            bounced += result.get("bounced", 0) or 0
+                            if round_span is not None:
+                                self._graft_shard_trees(
+                                    round_span, result, shard, rounds,
+                                    frontier_size, envelope, received,
+                                )
+                            for position, mask in decode_pairs(
+                                result["answers"]
+                            ).items():
+                                if tick is not None:
+                                    tick()
+                                recorded = answer_masks.get(position, 0)
+                                novel = mask & ~recorded
+                                if novel:
+                                    answer_masks[position] = recorded | novel
+                                    pair_count += novel.bit_count()
+                            if budget is not None:
+                                budget.check_rows(pair_count)
+                            for code, mask in decode_pairs(
+                                result["cross"]
+                            ).items():
+                                if tick is not None:
+                                    tick()
+                                seen = known.get(code, 0)
+                                novel = mask & ~seen
+                                if not novel:
+                                    continue
+                                known[code] = seen | novel
+                                owner = shard_of(order[code >> bits])
+                                shard_pending = pending[owner]
+                                shard_pending[code] = (
+                                    shard_pending.get(code, 0) | novel
+                                )
+                        self._record_round(
+                            round_span, rounds, entry.name, len(calls),
+                            frontier_codes, novel_bits, bounced,
+                            bytes_sent, bytes_received, latencies,
+                            time.perf_counter() - round_started,
+                        )
         except BudgetExceeded as exc:
             raise exc.attach_partial(_decode_answers(answer_masks, order))
         finally:
             self.rounds_total += rounds
+            if self.metrics is not None:
+                self.metrics.inc("coordinator_queries_total")
+                self.metrics.observe(
+                    "coordinator_query_seconds",
+                    time.perf_counter() - query_started,
+                )
         return _decode_answers(answer_masks, order)
+
+    def _graft_shard_trees(
+        self, round_span, result, shard, round_number,
+        frontier_size, envelope, received,
+    ) -> None:
+        """Attach a shard's returned span subtree under the round span.
+
+        The subtree root is the shard's ``server.request`` (already a
+        remote child of the round span by trace context); the coordinator
+        stamps it with what only it knows — which shard answered, which
+        round, and the wire cost of the exchange.
+        """
+        trees = result.get("trace_spans")
+        if not isinstance(trees, list):
+            return
+        for tree in trees:
+            if not isinstance(tree, dict):
+                continue
+            attributes = tree.setdefault("attributes", {})
+            attributes["shard"] = shard
+            attributes["round"] = round_number
+            attributes["frontier"] = frontier_size
+            attributes["wire_bytes_sent"] = envelope["sent_bytes"]
+            attributes["wire_bytes_received"] = received
+            attributes["latency_ms"] = round(envelope["elapsed"] * 1000, 3)
+            round_span.graft(tree)
+
+    def _record_round(
+        self, round_span, round_number, graph, shard_count,
+        frontier_codes, novel_bits, bounced,
+        bytes_sent, bytes_received, latencies, elapsed,
+    ) -> None:
+        """Per-round telemetry: span attributes, registry, slow-round log."""
+        gap = (
+            max(latencies) - statistics.median(latencies)
+            if len(latencies) > 1
+            else 0.0
+        )
+        if round_span is not None:
+            round_span.set(
+                shards=shard_count,
+                frontier=frontier_codes,
+                novel_bits=novel_bits,
+                bounced=bounced,
+                wire_bytes_sent=bytes_sent,
+                wire_bytes_received=bytes_received,
+                straggler_gap_ms=round(gap * 1000, 3),
+            )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("coordinator_rounds_total")
+            metrics.inc("coordinator_frontier_codes", frontier_codes)
+            metrics.inc("coordinator_novel_bits_routed", novel_bits)
+            if bounced:
+                metrics.inc("coordinator_bounced_codes", bounced)
+            metrics.inc("coordinator_wire_bytes_sent", bytes_sent)
+            metrics.inc("coordinator_wire_bytes_received", bytes_received)
+            metrics.observe("coordinator_round_seconds", elapsed)
+            for latency in latencies:
+                metrics.observe("coordinator_shard_round_seconds", latency)
+            if len(latencies) > 1:
+                metrics.observe("coordinator_straggler_gap_seconds", gap)
+        if self.slow_round_ms is not None and elapsed * 1000.0 >= self.slow_round_ms:
+            logger.warning(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "slow_round",
+                        "graph": graph,
+                        "round": round_number,
+                        "elapsed_ms": round(elapsed * 1000, 3),
+                        "threshold_ms": self.slow_round_ms,
+                        "shards": shard_count,
+                        "frontier": frontier_codes,
+                        "straggler_gap_ms": round(gap * 1000, 3),
+                    },
+                    sort_keys=True,
+                ),
+            )
 
     def _round_timeout(self, budget) -> "float | None":
         if budget is None or budget.deadline is None:
@@ -635,18 +832,34 @@ class ShardCoordinator:
         return max(remaining - self.rtt_slack, 0.001)
 
     def _frontier_call(
-        self, shard, entry, query, alphabet, bits, frontier, round_timeout
+        self, shard, entry, query, alphabet, bits, frontier, round_timeout,
+        round_number=None, trace=None,
     ) -> dict:
+        """One shard's round, on a pool thread.
+
+        Returns an envelope ``{result, elapsed, sent_bytes}`` — the
+        latency is clocked here (around the RPC alone) and *recorded* on
+        the coordinator thread, because the registry is not thread-safe.
+        """
         self.frontier_calls += 1
-        return self._clients[shard].frontier_step(
+        encoded = encode_pairs(frontier)
+        started = time.perf_counter()
+        result = self._clients[shard].frontier_step(
             entry.name,
             query,
-            frontier=encode_pairs(frontier),
+            frontier=encoded,
             owned=entry.owned_hex[shard],
             state_bits=bits,
             alphabet=alphabet,
+            round=round_number,
+            trace=trace,
             timeout=round_timeout,
         )
+        return {
+            "result": result,
+            "elapsed": time.perf_counter() - started,
+            "sent_bytes": len(json.dumps(encoded)),
+        }
 
     def _collect(self, shard: int, future, round_number: int) -> dict:
         host, port = self.addresses[shard]

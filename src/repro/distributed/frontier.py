@@ -195,6 +195,7 @@ def local_frontier_step(
     cross: dict[int, int] = {}
     expanded = 0
     relaxed = 0
+    bounced = 0
     while queue:
         code = queue.popleft()
         fresh = pending.pop(code, 0)
@@ -213,6 +214,7 @@ def local_frontier_step(
             # A mis-routed seed: never expand another shard's node; bounce
             # it back as a cross pair and let the coordinator re-route.
             cross[code] = cross.get(code, 0) | fresh
+            bounced += 1
             continue
         node = order[node_idx]
         for symbol, next_states in delta[state]:
@@ -239,10 +241,13 @@ def local_frontier_step(
         stats.count("frontier_steps")
         stats.count("frontier_expanded", expanded)
         stats.count("frontier_relaxed", relaxed)
+        if bounced:
+            stats.count("frontier_bounced", bounced)
     return {
         "answers": encode_pairs(answers),
         "cross": encode_pairs(cross),
         "expanded": expanded,
         "relaxed": relaxed,
+        "bounced": bounced,
         "state_bits": state_bits,
     }

@@ -61,6 +61,9 @@ from repro.engine.tracing import (
     Span,
     Tracer,
     get_tracer,
+    render_span_dict,
+    span_tree_dict,
+    use_thread_tracer,
     use_tracer,
 )
 
@@ -96,5 +99,8 @@ __all__ = [
     "get_tracer",
     "holds",
     "reachable",
+    "render_span_dict",
+    "span_tree_dict",
+    "use_thread_tracer",
     "use_tracer",
 ]

@@ -74,6 +74,51 @@ class Histogram:
         self.total += other.total
         return self
 
+    def dump(self) -> dict:
+        """The lossless wire form: raw per-bucket counts, full bounds.
+
+        Unlike :meth:`as_dict` (cumulative, prefix/suffix-trimmed — a
+        *view*), this round-trips through :meth:`load` exactly, which is
+        what makes cross-process fleet merging exact: merged raw counts
+        cumulate to the same totals as cumulating first and adding after
+        (addition commutes with cumulation).
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+    @classmethod
+    def load(cls, payload: dict) -> "Histogram":
+        """Invert :meth:`dump` (raises ValueError on a malformed payload)."""
+        if not isinstance(payload, dict):
+            raise ValueError("histogram payload must be an object")
+        bounds = payload.get("bounds")
+        counts = payload.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            raise ValueError("histogram payload needs 'bounds' and 'counts' lists")
+        if len(counts) != len(bounds) + 1:
+            raise ValueError(
+                f"histogram payload needs {len(bounds) + 1} counts "
+                f"(one per bound plus overflow), got {len(counts)}"
+            )
+        histogram = cls(tuple(bounds))
+        for position, value in enumerate(counts):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError("histogram counts must be non-negative integers")
+            histogram.bucket_counts[position] = value
+        observed = sum(counts)
+        count = payload.get("count", observed)
+        if count != observed:
+            raise ValueError(
+                f"histogram count {count} does not match bucket sum {observed}"
+            )
+        histogram.count = observed
+        histogram.total = float(payload.get("sum", 0.0))
+        return histogram
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -171,6 +216,49 @@ class MetricsRegistry:
             self.inc(f"{prefix}{name}", value)
         for name, value in stats.timers.items():
             self.inc(f"{prefix}{name}_seconds", value)
+
+    # ------------------------------------------------------------------
+    # fleet aggregation
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """A lossless snapshot for cross-process aggregation.
+
+        Counters ship verbatim; histograms ship their raw per-bucket
+        counts (:meth:`Histogram.dump`), so :meth:`merge_dump` on the
+        receiving side is an *exact* merge, not an approximation.
+        """
+        return {
+            "namespace": self.namespace,
+            "counters": dict(self.counters),
+            "histograms": {
+                name: histogram.dump()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge_dump(self, payload: dict) -> "MetricsRegistry":
+        """Fold a :meth:`dump` payload (typically from another process) in.
+
+        Counter values add; histogram bucket counts add position-wise
+        (bounds must match any histogram already registered under the
+        same name).  Raises ValueError on malformed payloads.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("metrics payload must be an object")
+        counters = payload.get("counters", {})
+        if not isinstance(counters, dict):
+            raise ValueError("metrics payload 'counters' must be an object")
+        histograms = payload.get("histograms", {})
+        if not isinstance(histograms, dict):
+            raise ValueError("metrics payload 'histograms' must be an object")
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"counter {name!r} must be numeric")
+            self.inc(name, value)
+        for name, entry in histograms.items():
+            incoming = Histogram.load(entry)
+            self.histogram(name, incoming.bounds).merge(incoming)
+        return self
 
     # ------------------------------------------------------------------
     # exposition

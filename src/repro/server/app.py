@@ -184,16 +184,10 @@ class QueryServer:
         self._flush_traces()
 
     def _flush_traces(self) -> None:
-        if not self.trace_out or not self._tracer.enabled:
-            return
-        roots = self._tracer.drain_roots()
-        if not roots:
-            return
-        with open(self.trace_out, "a", encoding="utf-8") as handle:
-            for root in roots:
-                handle.write(
-                    json.dumps(root.as_dict(), sort_keys=True, default=str) + "\n"
-                )
+        # write_jsonl drains by default, so periodic flushes append each
+        # finished root exactly once.
+        if self.trace_out:
+            self._tracer.write_jsonl(self.trace_out)
 
     # ------------------------------------------------------------------
     # connections

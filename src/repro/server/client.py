@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.faults import fault_point
+from repro.engine.tracing import get_tracer
 from repro.errors import ReproError
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.server.protocol import decode_response, encode_request
@@ -50,6 +51,7 @@ IDEMPOTENT_OPS = frozenset(
         "paths",
         "explain",
         "frontier_step",
+        "cluster_metrics",
     }
 )
 
@@ -177,7 +179,17 @@ class ServerClient:
         With a :class:`RetryPolicy` installed, idempotent ops retry on
         ``ConnectionLost`` (reconnecting first) and on the policy's
         transient server codes; everything else raises immediately.
+
+        When the calling thread is tracing (an enabled tracer with an
+        open span), the request automatically carries a ``trace`` field
+        naming that span, so the server's ``server.request`` root becomes
+        its remote child.  With tracing off — the default — nothing is
+        added: the wire stays byte-identical to the untraced protocol.
         """
+        if "trace" not in params:
+            context = get_tracer().trace_context()
+            if context is not None:
+                params["trace"] = context
         policy = self.retry
         if policy is None or op not in IDEMPOTENT_OPS:
             return self._request_once(op, **params)
@@ -385,6 +397,8 @@ class ServerClient:
         owned: str,
         state_bits: int,
         alphabet: "list | tuple" = (),
+        round: "int | None" = None,
+        trace: "dict | None" = None,
         timeout: "float | None" = None,
         max_states: "int | None" = None,
     ) -> dict:
@@ -393,7 +407,11 @@ class ServerClient:
         ``frontier`` is an encoded code->mask document (see
         :mod:`repro.distributed.frontier`), ``owned`` the shard's hex
         ownership mask, ``alphabet`` the *global* label alphabet the
-        automaton must be compiled over.
+        automaton must be compiled over.  ``round`` (annotation only) and
+        an explicit ``trace`` context let the coordinator attribute the
+        shard's spans: the coordinator calls this from pool threads whose
+        own span stacks are empty, so auto-injection cannot see the round
+        span and the context must ride in explicitly.
         """
         params: dict = {
             "graph": graph,
@@ -403,9 +421,17 @@ class ServerClient:
             "state_bits": state_bits,
             "alphabet": list(alphabet),
         }
+        if round is not None:
+            params["round"] = round
+        if trace is not None:
+            params["trace"] = trace
         return self.request(
             "frontier_step", **self._with_limits(params, timeout, None, max_states)
         )
+
+    def cluster_metrics(self) -> dict:
+        """This server's metrics registry in lossless dump form."""
+        return self.request("cluster_metrics")["metrics"]
 
     def explain(self, graph: str, query: str, planner: str = "cost") -> dict:
         return self.request("explain", graph=graph, query=query, planner=planner)

@@ -62,6 +62,7 @@ OPS = frozenset(
         "paths",
         "explain",
         "frontier_step",
+        "cluster_metrics",
         "sleep",
     }
 )
@@ -71,7 +72,7 @@ PARTIAL_ROWS_CAP = 100
 
 #: Ops that answer from in-memory state without touching the worker pool;
 #: they bypass admission control so health checks still answer under load.
-CONTROL_OPS = frozenset({"ping", "stats", "graphs.list"})
+CONTROL_OPS = frozenset({"ping", "stats", "graphs.list", "cluster_metrics"})
 
 
 class ServiceError(ReproError):

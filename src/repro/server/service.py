@@ -32,7 +32,12 @@ from repro.engine.faults import FaultError, fault_point
 from repro.engine.limits import BudgetExceeded
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.stats import EngineStats
-from repro.engine.tracing import get_tracer
+from repro.engine.tracing import (
+    Tracer,
+    get_tracer,
+    span_tree_dict,
+    use_thread_tracer,
+)
 from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.graph.property_graph import PropertyGraph
 from repro.server.protocol import (
@@ -250,15 +255,24 @@ class QueryService:
         — before any cache write happens.
         """
         tracer = get_tracer()
+        trace_ctx = self._trace_context(request)
         started = time.perf_counter()
         fault_point("service.execute")
         try:
-            if tracer.enabled:
-                with tracer.span(
-                    "server.request", op=request.op, id=request.id
-                ) as span:
-                    result, cache_hit = self._dispatch(request, budget)
-                    span.set(cache_hit=cache_hit)
+            if trace_ctx is not None and not tracer.enabled:
+                # A remote caller sent a trace context but this process
+                # traces nothing: run the request under a per-request
+                # ephemeral tracer so the caller still gets its subtree.
+                # Safe because execute() runs synchronously on one worker
+                # thread — the override is thread-local and unwinds here.
+                with use_thread_tracer(Tracer()) as ephemeral:
+                    result, cache_hit = self._traced_dispatch(
+                        request, budget, ephemeral, trace_ctx
+                    )
+            elif tracer.enabled:
+                result, cache_hit = self._traced_dispatch(
+                    request, budget, tracer, trace_ctx
+                )
             else:
                 result, cache_hit = self._dispatch(request, budget)
         except BudgetExceeded as exc:
@@ -283,6 +297,48 @@ class QueryService:
                 )
         return result
 
+    @staticmethod
+    def _trace_context(request: Request) -> "dict | None":
+        """The validated remote trace context, or ``None`` when absent.
+
+        The wire form is ``{"trace_id": <32-hex>, "span_id": <16-hex>}``
+        where ``span_id`` names the *caller's* span — this request's
+        ``server.request`` root becomes its remote child.
+        """
+        ctx = request.param("trace")
+        if ctx is None:
+            return None
+        if (
+            not isinstance(ctx, dict)
+            or not isinstance(ctx.get("trace_id"), str)
+            or not isinstance(ctx.get("span_id"), str)
+        ):
+            raise BadRequestError(
+                "parameter 'trace' must be an object with string "
+                "'trace_id' and 'span_id' fields"
+            )
+        return ctx
+
+    def _traced_dispatch(
+        self, request: Request, budget, tracer, trace_ctx: "dict | None"
+    ) -> tuple[dict, bool]:
+        """Dispatch under a ``server.request`` span.
+
+        With a remote ``trace_ctx``, the root adopts the caller's
+        trace_id/span_id and the finished subtree ships back on the
+        result as ``trace_spans`` (size-capped dicts) — attached to a
+        *shallow copy*, so the answer cache never holds span payloads.
+        """
+        with tracer.span("server.request", op=request.op, id=request.id) as span:
+            if trace_ctx is not None:
+                span.adopt_remote(trace_ctx)
+            result, cache_hit = self._dispatch(request, budget)
+            span.set(cache_hit=cache_hit)
+        if trace_ctx is not None:
+            result = dict(result)
+            result["trace_spans"] = [span_tree_dict(span)]
+        return result, cache_hit
+
     def record_error(self, code: str) -> None:
         """Count one failed request (the app calls this per error envelope)."""
         with self._metrics_lock:
@@ -299,6 +355,12 @@ class QueryService:
             return {"graphs": self.catalog.list_info()}, False
         if op == "graphs.upload":
             return self._upload(request), False
+        if op == "cluster_metrics":
+            # The fleet-aggregation op: this process's registry in the
+            # lossless dump form (raw bucket counts) so a coordinator can
+            # merge registries across shards exactly.
+            with self._metrics_lock:
+                return {"metrics": self.metrics.dump()}, False
         if op == "frontier_step":
             # One round of the distributed product BFS: pure function of
             # (graph version, query, frontier), but frontiers are unique
@@ -344,10 +406,13 @@ class QueryService:
         if not isinstance(query, str):
             raise BadRequestError("parameter 'query' must be a string")
         entry = self.catalog.get(name)
+        # "trace" is per-request routing context, not a query option: a
+        # fresh caller span id every request would make every lookup a
+        # miss and churn the LRU with never-again-matched keys.
         options = {
             key: value
             for key, value in request.params.items()
-            if key not in ("graph", "query")
+            if key not in ("graph", "query", "trace")
         }
         key = (
             name,
@@ -412,11 +477,31 @@ class QueryService:
             raise BadRequestError(f"malformed frontier: {exc}") from None
         entry = self.catalog.get(name)
         stats = EngineStats()
+        tracer = get_tracer()
         try:
-            result = local_frontier_step(
-                entry.graph, query, alphabet, state_bits, owned_mask,
-                frontier, stats=stats, budget=budget,
-            )
+            if tracer.enabled:
+                with tracer.span(
+                    "frontier_step",
+                    graph=name,
+                    round=request.param("round"),
+                    frontier=len(frontier),
+                ) as span:
+                    result = local_frontier_step(
+                        entry.graph, query, alphabet, state_bits, owned_mask,
+                        frontier, stats=stats, budget=budget,
+                    )
+                    span.set(
+                        expanded=result["expanded"],
+                        relaxed=result["relaxed"],
+                        answers=len(result["answers"]),
+                        cross=len(result["cross"]),
+                        bounced=result.get("bounced", 0),
+                    )
+            else:
+                result = local_frontier_step(
+                    entry.graph, query, alphabet, state_bits, owned_mask,
+                    frontier, stats=stats, budget=budget,
+                )
         except ValueError as exc:
             raise BadRequestError(str(exc)) from None
         result["op"] = "frontier_step"

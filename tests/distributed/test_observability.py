@@ -1,0 +1,311 @@
+"""Cluster-wide observability: stitched traces, round telemetry, fleet metrics.
+
+The acceptance properties of DESIGN.md §12, over an in-process fleet:
+
+* a sharded query under tracing yields **exactly one stitched tree** whose
+  coordinator root parents the shard-side ``frontier_step`` spans (via the
+  grafted ``server.request`` subtrees), all under one trace id;
+* with tracing off the wire is byte-identical to the untraced protocol —
+  no ``trace`` field on any request;
+* ``cluster_metrics`` merges every shard's registry *exactly* (bucket-wise
+  histogram equality, not an approximation).
+
+One in-process quirk to know when reading these tests: ``ServerThread``
+shares the process-global tracer, so shard-side ``server.request`` roots
+*also* land on the test's tracer as separate roots.  Real deployments have
+them only in the shard processes; the tests therefore always select the
+coordinator root by name.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.distributed import ShardCoordinator
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.tracing import Tracer, use_tracer
+from repro.graph.generators import random_graph
+from repro.rpq.evaluation import evaluate_rpq
+from repro.server.app import ServerThread
+from repro.server.client import ServerClient
+from repro.server.protocol import encode_request
+
+NUM_SHARDS = 2
+QUERY = "a (a + b)* b"
+
+
+@pytest.fixture()
+def fleet():
+    servers = [ServerThread().start() for _ in range(NUM_SHARDS)]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture()
+def coordinator(fleet):
+    with ShardCoordinator([server.address for server in fleet]) as coordinator:
+        yield coordinator
+
+
+def partitioned(coordinator, name, *, seed=11):
+    graph = random_graph(30, 90, labels=("a", "b"), seed=seed)
+    coordinator.partition_graph(name, graph)
+    return graph
+
+
+def coordinator_roots(tracer):
+    return [root for root in tracer.roots if root.name == "coordinator.rpq"]
+
+
+def walk_dict(tree):
+    yield tree
+    for child in tree.get("children", ()):
+        yield from walk_dict(child)
+
+
+class TestStitchedTrace:
+    def test_exactly_one_stitched_tree_per_query(self, coordinator):
+        graph = partitioned(coordinator, "g1")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            pairs = coordinator.evaluate_rpq("g1", QUERY)
+        assert pairs == evaluate_rpq(QUERY, graph)  # tracing never skews answers
+        assert len(coordinator_roots(tracer)) == 1
+        with use_tracer(tracer):
+            coordinator.answer_cache.invalidate_graph("g1")
+            coordinator.evaluate_rpq("g1", QUERY)
+        assert len(coordinator_roots(tracer)) == 2
+
+    def test_frontier_steps_stitch_under_round_spans(self, coordinator):
+        partitioned(coordinator, "g2")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            coordinator.evaluate_rpq("g2", QUERY)
+        (root,) = coordinator_roots(tracer)
+        assert root.attributes == {"graph": "g2", "query": QUERY}
+        rounds = [span for span in root.children if span.name == "coordinator.round"]
+        assert rounds, "a non-trivial query takes at least one round"
+
+        frontier_steps = []
+        for number, round_span in enumerate(rounds, start=1):
+            assert round_span.attributes["round"] == number
+            assert round_span.attributes["shards"] >= 1
+            assert round_span.attributes["frontier"] >= 1
+            assert round_span.attributes["wire_bytes_sent"] > 0
+            assert round_span.attributes["wire_bytes_received"] > 0
+            for tree in round_span.grafts or ():
+                # Each graft is a shard's server.request subtree, made a
+                # remote child of this round span by trace context.
+                assert tree["name"] == "server.request"
+                assert tree["trace_id"] == root.trace_id
+                assert tree["parent_span_id"] == round_span.span_id
+                attributes = tree["attributes"]
+                assert attributes["shard"] in range(NUM_SHARDS)
+                assert attributes["round"] == number
+                assert attributes["frontier"] >= 1
+                assert attributes["wire_bytes_sent"] > 0
+                assert attributes["wire_bytes_received"] > 0
+                assert attributes["latency_ms"] >= 0
+                for node in walk_dict(tree):
+                    assert node["trace_id"] == root.trace_id
+                    if node["name"] == "frontier_step":
+                        frontier_steps.append(node)
+        assert frontier_steps, "shard-side frontier_step spans must stitch in"
+        for node in frontier_steps:
+            assert node["attributes"]["graph"] == "g2"
+            assert node["attributes"]["round"] >= 1
+            assert node["attributes"]["frontier"] >= 1
+            assert node["attributes"]["expanded"] >= 0
+
+    def test_stitched_tree_survives_jsonl_round_trip(self, coordinator, tmp_path):
+        partitioned(coordinator, "g3")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            coordinator.evaluate_rpq("g3", QUERY)
+        (root,) = coordinator_roots(tracer)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) >= 1
+        trees = [json.loads(line) for line in path.read_text().splitlines()]
+        (stitched,) = [t for t in trees if t["name"] == "coordinator.rpq"]
+        names = {node["name"] for node in walk_dict(stitched)}
+        assert {"coordinator.rpq", "coordinator.round",
+                "server.request", "frontier_step"} <= names
+        assert {node["trace_id"] for node in walk_dict(stitched)} == {
+            root.trace_id
+        }
+
+
+class TestWireHygiene:
+    def _spy(self, monkeypatch):
+        captured = []
+
+        def spy(op, id=None, **params):
+            captured.append((op, params))
+            return encode_request(op, id=id, **params)
+
+        monkeypatch.setattr("repro.server.client.encode_request", spy)
+        return captured
+
+    def test_tracing_off_puts_no_trace_field_on_the_wire(
+        self, coordinator, monkeypatch
+    ):
+        partitioned(coordinator, "g4")
+        captured = self._spy(monkeypatch)
+        coordinator.evaluate_rpq("g4", QUERY)  # default NULL_TRACER
+        steps = [params for op, params in captured if op == "frontier_step"]
+        assert steps, "the query must scatter frontier_step requests"
+        for op, params in captured:
+            assert "trace" not in params, f"{op} leaked a trace field"
+        # The round annotation still travels (it is telemetry, not tracing).
+        assert all(params["round"] >= 1 for params in steps)
+
+    def test_tracing_on_ships_the_round_spans_context(
+        self, coordinator, monkeypatch
+    ):
+        partitioned(coordinator, "g5")
+        captured = self._spy(monkeypatch)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            coordinator.evaluate_rpq("g5", QUERY)
+        steps = [params for op, params in captured if op == "frontier_step"]
+        assert steps
+        (root,) = coordinator_roots(tracer)
+        round_span_ids = {
+            span.span_id for span in root.children
+            if span.name == "coordinator.round"
+        }
+        for params in steps:
+            context = params["trace"]
+            assert context["trace_id"] == root.trace_id
+            assert context["span_id"] in round_span_ids
+
+
+class TestFleetMetrics:
+    def test_cluster_metrics_merges_shard_registries_exactly(
+        self, fleet, coordinator
+    ):
+        partitioned(coordinator, "g6")
+        coordinator.evaluate_rpq("g6", QUERY)
+        coordinator.evaluate_rpq("g6", "a*")
+        # Per-shard ground truth, straight from each worker.  The metrics
+        # fetches themselves land in the request-accounting series
+        # (``server_request_seconds`` et al.), so the exactness assertions
+        # stick to op-specific series those fetches cannot touch; the
+        # direct rpq below gives every shard a ``server_cache_miss_seconds``
+        # observation to compare bucket-wise.
+        dumps = []
+        for host, port in coordinator.addresses:
+            with ServerClient(host, port) as client:
+                client.rpq("g6", "a")
+                dumps.append(client.cluster_metrics())
+        merged = coordinator.cluster_metrics(include_coordinator=False)
+        assert merged.counters["cluster_shards_total"] == NUM_SHARDS
+        assert "cluster_shards_unreachable" not in merged.counters
+        for counter in (
+            "server_requests_rpq",
+            "server_requests_frontier_step",
+            "engine_frontier_expanded",
+        ):
+            assert merged.counters[counter] == sum(
+                dump["counters"].get(counter, 0) for dump in dumps
+            )
+        expected = MetricsRegistry()
+        for dump in dumps:
+            expected.merge_dump(dump)
+        fleet_histogram = merged.histograms["server_cache_miss_seconds"]
+        # Bucket-wise equality == every cumulative le count matches.
+        assert (
+            fleet_histogram.bucket_counts
+            == expected.histograms["server_cache_miss_seconds"].bucket_counts
+        )
+        assert fleet_histogram.count == NUM_SHARDS
+
+    def test_coordinator_registry_folds_in_by_default(self, coordinator):
+        partitioned(coordinator, "g7")
+        coordinator.evaluate_rpq("g7", QUERY)
+        without = coordinator.cluster_metrics(include_coordinator=False)
+        assert "coordinator_rounds_total" not in without.counters
+        merged = coordinator.cluster_metrics()
+        assert merged.counters["coordinator_rounds_total"] >= 1
+        assert merged.counters["coordinator_queries_total"] == 1
+
+    def test_dead_shard_is_counted_not_fatal(self, fleet, coordinator):
+        partitioned(coordinator, "g8")
+        coordinator.evaluate_rpq("g8", "a")
+        fleet[1].stop()
+        merged = coordinator.cluster_metrics(include_coordinator=False)
+        assert merged.counters["cluster_shards_total"] == NUM_SHARDS
+        assert merged.counters["cluster_shards_unreachable"] == 1
+        assert merged.counters["server_requests_frontier_step"] >= 1
+
+    def test_round_telemetry_lands_in_the_registry(self, coordinator):
+        partitioned(coordinator, "g9")
+        coordinator.evaluate_rpq("g9", QUERY)
+        metrics = coordinator.metrics
+        rounds = metrics.counters["coordinator_rounds_total"]
+        assert rounds >= 1
+        assert metrics.counters["coordinator_frontier_codes"] >= 1
+        assert metrics.counters["coordinator_novel_bits_routed"] >= 1
+        assert metrics.counters["coordinator_wire_bytes_sent"] > 0
+        assert metrics.counters["coordinator_wire_bytes_received"] > 0
+        assert metrics.histograms["coordinator_round_seconds"].count == rounds
+        assert (
+            metrics.histograms["coordinator_shard_round_seconds"].count
+            == coordinator.frontier_calls
+        )
+        assert metrics.histograms["coordinator_query_seconds"].count == 1
+
+    def test_telemetry_off_is_the_bare_coordinator(self, fleet):
+        with ShardCoordinator(
+            [server.address for server in fleet], telemetry=False
+        ) as bare:
+            graph = partitioned(bare, "g10")
+            assert bare.metrics is None
+            assert bare.evaluate_rpq("g10", QUERY) == evaluate_rpq(QUERY, graph)
+            assert bare.stats()["metrics"] is None
+            # Fleet aggregation still works; only the coordinator's own
+            # registry is missing from the merge.
+            merged = bare.cluster_metrics()
+            assert merged.counters["cluster_shards_total"] == NUM_SHARDS
+            assert "coordinator_rounds_total" not in merged.counters
+
+
+class TestSlowRoundLog:
+    def test_slow_rounds_emit_structured_records(self, fleet, caplog):
+        with ShardCoordinator(
+            [server.address for server in fleet], slow_round_ms=0.0
+        ) as coordinator:
+            partitioned(coordinator, "g11")
+            with caplog.at_level(
+                logging.WARNING, logger="repro.distributed.coordinator"
+            ):
+                coordinator.evaluate_rpq("g11", QUERY)
+        records = [
+            json.loads(record.message)
+            for record in caplog.records
+            if record.name == "repro.distributed.coordinator"
+        ]
+        assert len(records) == coordinator.metrics.counters[
+            "coordinator_rounds_total"
+        ]
+        for number, record in enumerate(records, start=1):
+            assert record["event"] == "slow_round"
+            assert record["graph"] == "g11"
+            assert record["round"] == number
+            assert record["elapsed_ms"] >= 0
+            assert record["threshold_ms"] == 0.0
+            assert record["shards"] >= 1
+            assert record["frontier"] >= 1
+
+    def test_quiet_by_default(self, coordinator, caplog):
+        partitioned(coordinator, "g12")
+        with caplog.at_level(
+            logging.WARNING, logger="repro.distributed.coordinator"
+        ):
+            coordinator.evaluate_rpq("g12", QUERY)
+        assert not [
+            record for record in caplog.records
+            if record.name == "repro.distributed.coordinator"
+        ]

@@ -167,3 +167,156 @@ class TestMetricsRegistry:
             if line.startswith("test_latency_seconds_bucket") and "+Inf" not in line
         ]
         assert finite[-1].endswith(" 1")
+
+
+class TestHistogramDump:
+    def test_dump_load_round_trips_exactly(self):
+        histogram = Histogram(bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0, 0.05):
+            histogram.observe(value)
+        loaded = Histogram.load(histogram.dump())
+        assert loaded.bounds == histogram.bounds
+        assert loaded.bucket_counts == histogram.bucket_counts
+        assert loaded.count == histogram.count
+        assert loaded.total == pytest.approx(histogram.total)
+
+    def test_dump_is_raw_not_cumulative(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.dump()["counts"] == [1, 1, 0]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "nope",
+            {},
+            {"bounds": [1.0], "counts": [1]},  # wrong length
+            {"bounds": [1.0], "counts": [1, -1]},  # negative
+            {"bounds": [1.0], "counts": [1, True]},  # bool is not a count
+            {"bounds": [1.0], "counts": [1, 1], "count": 5},  # sum mismatch
+            {"bounds": [2.0, 1.0], "counts": [0, 0, 0]},  # bad bounds
+        ],
+    )
+    def test_load_rejects_malformed_payloads(self, payload):
+        with pytest.raises(ValueError):
+            Histogram.load(payload)
+
+
+def parse_prometheus(text):
+    """A minimal parser for the exposition format: metric -> samples."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestFleetAggregation:
+    """Fleet metrics merging must be *exact*, not approximate.
+
+    The merge ships raw per-bucket counts and adds them position-wise;
+    because addition commutes with cumulation, every cumulative ``le``
+    count of the merged histogram equals the sum of the per-shard
+    cumulative counts at that bound.
+    """
+
+    BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+    def _shard_registry(self, seed):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 10 + seed)
+        registry.inc("frontier_expanded", 3 * seed)
+        for i in range(seed * 7):
+            registry.observe("round_seconds", (i % 5) * 0.03 + seed * 1e-4)
+        histogram = registry.histogram("shard_seconds", self.BOUNDS)
+        for i in range(seed * 3):
+            histogram.observe((i % 7) * 0.2)
+        return registry
+
+    def test_merge_dump_counters_add_exactly(self):
+        shards = [self._shard_registry(seed) for seed in (1, 2, 3)]
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge_dump(shard.dump())
+        assert merged.counters["requests_total"] == sum(
+            s.counters["requests_total"] for s in shards
+        )
+        assert merged.counters["frontier_expanded"] == sum(
+            s.counters["frontier_expanded"] for s in shards
+        )
+
+    def test_every_cumulative_bucket_equals_sum_of_shard_counts(self):
+        shards = [self._shard_registry(seed) for seed in (1, 2, 3, 4)]
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge_dump(shard.dump())
+        for name in ("round_seconds", "shard_seconds"):
+            fleet = merged.histograms[name]
+            per_shard = [s.histograms[name] for s in shards]
+            assert fleet.count == sum(h.count for h in per_shard)
+            assert fleet.total == pytest.approx(sum(h.total for h in per_shard))
+            # le-by-le: cumulative fleet count == sum of per-shard cumulatives.
+            fleet_running = 0
+            shard_running = [0] * len(per_shard)
+            for position in range(len(fleet.bounds) + 1):
+                fleet_running += fleet.bucket_counts[position]
+                for index, histogram in enumerate(per_shard):
+                    shard_running[index] += histogram.bucket_counts[position]
+                assert fleet_running == sum(shard_running)
+
+    def test_merge_handles_histograms_missing_on_some_shards(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("only_left", 0.5)
+        right.observe("only_right", 0.5)
+        merged = MetricsRegistry()
+        merged.merge_dump(left.dump())
+        merged.merge_dump(right.dump())
+        assert set(merged.histograms) == {"only_left", "only_right"}
+        assert merged.histograms["only_left"].count == 1
+
+    def test_merge_rejects_mismatched_bounds(self):
+        merged = MetricsRegistry()
+        merged.histogram("h", (1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", (1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            merged.merge_dump(other.dump())
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"counters": []},
+            {"counters": {"x": "many"}},
+            {"counters": {"x": True}},
+            {"histograms": []},
+            {"histograms": {"h": {"bounds": [1.0], "counts": [1]}}},
+        ],
+    )
+    def test_merge_dump_rejects_malformed_payloads(self, payload):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_dump(payload)
+
+    def test_registry_dump_round_trips(self):
+        registry = self._shard_registry(2)
+        clone = MetricsRegistry().merge_dump(registry.dump())
+        assert clone.dump() == registry.dump()
+
+    def test_prometheus_text_of_merged_registry_parses_back(self):
+        shards = [self._shard_registry(seed) for seed in (1, 2)]
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge_dump(shard.dump())
+        samples = parse_prometheus(merged.render_prometheus())
+        assert samples["repro_requests_total"] == merged.counters["requests_total"]
+        histogram = merged.histograms["shard_seconds"]
+        assert samples["repro_shard_seconds_count"] == histogram.count
+        assert samples["repro_shard_seconds_sum"] == pytest.approx(histogram.total)
+        running = 0
+        for bound, bucket in zip(histogram.bounds, histogram.bucket_counts):
+            running += bucket
+            assert samples[f'repro_shard_seconds_bucket{{le="{bound:.9g}"}}'] == running
+        assert samples['repro_shard_seconds_bucket{le="+Inf"}'] == histogram.count

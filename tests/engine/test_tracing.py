@@ -18,6 +18,9 @@ from repro.engine.tracing import (
     Span,
     Tracer,
     get_tracer,
+    render_span_dict,
+    span_tree_dict,
+    use_thread_tracer,
     use_tracer,
 )
 from repro.graph.generators import random_graph
@@ -111,6 +114,208 @@ class TestSpanBasics:
         assert tracer.write_jsonl(str(path)) == 2
         lines = path.read_text().splitlines()
         assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+
+    def test_write_jsonl_drains_by_default(self, tmp_path):
+        """Regression: a resident server flushing periodically must write
+        each tree exactly once, not re-export its whole history."""
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        path = tmp_path / "traces.jsonl"
+        assert tracer.write_jsonl(str(path)) == 1
+        assert tracer.roots == []
+        # Second flush with nothing new: writes nothing, no duplicates.
+        assert tracer.write_jsonl(str(path)) == 0
+        with tracer.span("second"):
+            pass
+        assert tracer.write_jsonl(str(path)) == 1
+        names = [
+            json.loads(line)["name"] for line in path.read_text().splitlines()
+        ]
+        assert names == ["first", "second"]
+
+    def test_write_jsonl_without_roots_does_not_touch_file(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        assert Tracer().write_jsonl(str(path)) == 0
+        assert not path.exists()
+
+    def test_write_jsonl_snapshot_mode_keeps_roots(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("kept"):
+            pass
+        path = tmp_path / "traces.jsonl"
+        assert tracer.write_jsonl(str(path), drain=False) == 1
+        assert [root.name for root in tracer.roots] == ["kept"]
+        # Snapshot mode re-writes on the next call — that is the contract.
+        assert tracer.write_jsonl(str(path), drain=False) == 1
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_drain_roots_empties_the_tracer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain_roots()
+        assert [span.name for span in drained] == ["a"]
+        assert tracer.roots == []
+        assert tracer.drain_roots() == []
+
+
+class TestTraceIdentity:
+    def test_root_draws_fresh_ids_and_children_inherit(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert len(outer.trace_id) == 32
+        assert len(outer.span_id) == 16
+        assert outer.parent_span_id is None
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_span_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_distinct_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.roots
+        assert first.trace_id != second.trace_id
+
+    def test_adopt_remote_joins_the_callers_trace(self):
+        tracer = Tracer()
+        context = {"trace_id": "f" * 32, "span_id": "1" * 16}
+        with tracer.span("server.request") as root:
+            root.adopt_remote(context)
+            with tracer.span("child") as child:
+                pass
+        assert root.trace_id == context["trace_id"]
+        assert root.parent_span_id == context["span_id"]
+        # adopt_remote ran before the child opened, so it inherited the
+        # remote trace id.
+        assert child.trace_id == context["trace_id"]
+
+    def test_adopt_remote_ignores_malformed_fields(self):
+        span = Span("x")
+        original = (span.trace_id, span.parent_span_id)
+        span.adopt_remote({"trace_id": 7, "span_id": ""})
+        assert (span.trace_id, span.parent_span_id) == original
+
+    def test_trace_context_reflects_current_span(self):
+        tracer = Tracer()
+        assert tracer.trace_context() is None
+        with tracer.span("outer") as outer:
+            context = tracer.trace_context()
+            assert context == {
+                "trace_id": outer.trace_id,
+                "span_id": outer.span_id,
+            }
+        assert tracer.trace_context() is None
+        assert NULL_TRACER.trace_context() is None
+
+    def test_graft_appears_in_dict_and_render(self):
+        tracer = Tracer()
+        remote = {
+            "name": "frontier_step",
+            "duration_ms": 1.5,
+            "attributes": {"shard": 0},
+            "children": [],
+        }
+        with tracer.span("round") as span:
+            span.graft(remote)
+        tree = span.as_dict()
+        assert tree["children"][-1]["name"] == "frontier_step"
+        text = span.render()
+        assert "frontier_step" in text
+        assert "shard=0" in text
+
+    def test_render_span_dict_round_trips_render_style(self):
+        tracer = Tracer()
+        with tracer.span("outer", q="a*"):
+            with tracer.span("inner"):
+                pass
+        tree = tracer.as_dicts()[0]
+        text = render_span_dict(tree)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+
+class TestSpanTreeDict:
+    def _wide_span(self, children):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for index in range(children):
+                with tracer.span(f"child-{index}"):
+                    pass
+        return root
+
+    def test_uncapped_tree_is_lossless(self):
+        root = self._wide_span(5)
+        tree = span_tree_dict(root)
+        assert tree["name"] == "root"
+        assert len(tree["children"]) == 5
+        assert "spans_truncated" not in tree["attributes"]
+        assert tree["span_id"] == root.span_id
+
+    def test_cap_drops_children_and_marks_ancestor(self):
+        root = self._wide_span(10)
+        tree = span_tree_dict(root, max_spans=4)
+        assert len(tree["children"]) == 3  # root + 3 children == 4 spans
+        assert tree["attributes"]["spans_truncated"] == 7
+
+    def test_cap_counts_grafted_subtrees(self):
+        root = self._wide_span(2)
+        root.graft({"name": "remote", "children": [{"name": "r2", "children": []}]})
+        full = span_tree_dict(root)
+        assert [child["name"] for child in full["children"]] == [
+            "child-0",
+            "child-1",
+            "remote",
+        ]
+        capped = span_tree_dict(root, max_spans=3)
+        assert capped["attributes"]["spans_truncated"] == 2
+
+
+class TestThreadOverride:
+    def test_thread_override_wins_over_process_tracer(self):
+        process_tracer = Tracer()
+        request_tracer = Tracer()
+        with use_tracer(process_tracer):
+            assert get_tracer() is process_tracer
+            with use_thread_tracer(request_tracer):
+                assert get_tracer() is request_tracer
+            assert get_tracer() is process_tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_thread_override_is_thread_scoped(self):
+        request_tracer = Tracer()
+        seen = {}
+
+        def observe():
+            seen["other"] = get_tracer()
+
+        with use_thread_tracer(request_tracer):
+            worker = threading.Thread(target=observe)
+            worker.start()
+            worker.join()
+            assert get_tracer() is request_tracer
+        assert seen["other"] is NULL_TRACER
+
+    def test_thread_override_restores_on_exception(self):
+        try:
+            with use_thread_tracer(Tracer()):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert get_tracer() is NULL_TRACER
+
+    def test_thread_override_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with use_thread_tracer(outer):
+            with use_thread_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
 
 
 class TestNullTracer:
@@ -209,10 +414,30 @@ class TestThreadIsolation:
 
 
 class TestSubclassContract:
+    @staticmethod
+    def _public_methods(cls):
+        return {
+            name
+            for name in dir(cls)
+            if not name.startswith("_") and callable(getattr(cls, name))
+        }
+
     def test_null_tracer_mirrors_tracer_api(self):
-        for method in ("span", "current", "annotate", "render", "as_dicts"):
-            assert callable(getattr(NullTracer(), method))
-            assert callable(getattr(Tracer(), method))
+        """Full-parity contract, computed not enumerated: every public
+        method of Tracer exists on NullTracer (and vice versa), so call
+        sites never need isinstance guards.  A method added to one class
+        but not the other fails this test by construction."""
+        assert self._public_methods(Tracer) == self._public_methods(NullTracer)
+        for attr in ("enabled", "roots"):
+            assert hasattr(NullTracer(), attr) and hasattr(Tracer(), attr)
+
+    def test_null_tracer_returns_nothing_happened_values(self, tmp_path):
+        null = NullTracer()
+        assert null.trace_context() is None
+        assert null.drain_roots() == []
+        path = tmp_path / "never.jsonl"
+        assert null.write_jsonl(str(path)) == 0
+        assert not path.exists()
 
     def test_span_walk_is_depth_first(self):
         root = Span("root")

@@ -233,3 +233,101 @@ class TestQueryService:
         assert targets  # a4 reaches other accounts in the cycle
         direct = figure2_graph()
         assert targets <= set(direct.nodes)
+
+
+class TestTraceHandling:
+    """The server half of cross-process trace propagation (DESIGN.md §12)."""
+
+    CTX = {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+
+    def _service(self):
+        catalog = GraphCatalog()
+        catalog.register("toy", chain("a", "b"))
+        return QueryService(catalog)
+
+    def _rpq(self, trace=None, query="a b"):
+        params = {"graph": "toy", "query": query}
+        if trace is not None:
+            params["trace"] = dict(trace)
+        return Request(op="rpq", id="r1", params=params)
+
+    def test_traced_request_returns_remote_child_subtree(self):
+        from repro.engine.tracing import NULL_TRACER, get_tracer
+
+        service = self._service()
+        result = service.execute(self._rpq(trace=self.CTX))
+        (tree,) = result["trace_spans"]
+        assert tree["name"] == "server.request"
+        assert tree["trace_id"] == self.CTX["trace_id"]
+        assert tree["parent_span_id"] == self.CTX["span_id"]
+        assert tree["attributes"]["op"] == "rpq"
+        assert tree["attributes"]["cache_hit"] is False
+        # The per-request ephemeral tracer unwound with the request:
+        # process-wide tracing stays off.
+        assert get_tracer() is NULL_TRACER
+
+    def test_child_spans_inherit_the_remote_trace_id(self):
+        service = self._service()
+        result = service.execute(self._rpq(trace=self.CTX))
+        (tree,) = result["trace_spans"]
+        assert tree["children"], "the rpq evaluation should open kernel spans"
+
+        def walk(node):
+            yield node
+            for child in node.get("children", ()):
+                yield from walk(child)
+
+        for node in walk(tree):
+            assert node["trace_id"] == self.CTX["trace_id"]
+
+    def test_untraced_request_carries_no_spans(self):
+        service = self._service()
+        result = service.execute(self._rpq())
+        assert "trace_spans" not in result
+
+    def test_trace_is_not_part_of_the_cache_key(self):
+        service = self._service()
+        service.execute(self._rpq())  # miss, populates the cache
+        other = {"trace_id": "ef" * 16, "span_id": "01" * 8}
+        result = service.execute(self._rpq(trace=other))
+        assert service.metrics.counters["server_answer_cache_hits"] == 1
+        (tree,) = result["trace_spans"]
+        assert tree["attributes"]["cache_hit"] is True
+
+    def test_cache_never_holds_trace_spans(self):
+        service = self._service()
+        traced = service.execute(self._rpq(trace=self.CTX))  # miss + cache write
+        assert "trace_spans" in traced
+        replay = service.execute(self._rpq())  # hit, no trace context
+        assert service.metrics.counters["server_answer_cache_hits"] == 1
+        assert "trace_spans" not in replay
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "not-an-object",
+            {"trace_id": 7, "span_id": "a"},
+            {"trace_id": "a"},
+            {"span_id": "b"},
+        ],
+    )
+    def test_malformed_trace_is_bad_request(self, trace):
+        service = self._service()
+        with pytest.raises(BadRequestError):
+            service.execute(
+                Request(
+                    op="rpq",
+                    params={"graph": "toy", "query": "a", "trace": trace},
+                )
+            )
+
+    def test_cluster_metrics_op_returns_lossless_dump(self):
+        from repro.engine.metrics import MetricsRegistry
+
+        service = self._service()
+        service.execute(self._rpq())
+        payload = service.execute(Request(op="cluster_metrics"))["metrics"]
+        assert payload["counters"]["server_requests_rpq"] == 1
+        # Raw bucket counts, not the cumulative view: merging is exact.
+        clone = MetricsRegistry().merge_dump(payload)
+        assert clone.dump()["histograms"] == payload["histograms"]
