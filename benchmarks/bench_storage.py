@@ -1,0 +1,173 @@
+"""Storage benchmarks: lazy cold-start wins, write-through stays cheap.
+
+Two gates lock in the design contract of DESIGN.md §13:
+
+* **Cold-start time-to-first-answer** — on a 20-label stored graph, a
+  query whose automaton touches 2 labels must answer >= 3x faster through
+  a :class:`LazyGraphHandle` label view (segment scans for 2/20 of the
+  edges) than through a full ``load_graph``.  Both arms start from the
+  same on-disk store with nothing resident.
+
+* **Write-through mutation overhead** — a :class:`PropertyGraph` with a
+  journal attached must stay within 15% of the bare in-memory mutation
+  cost on the hot path.  The journal's group-commit design makes the
+  per-mutation work one closure call and a ``list.append``; the actual
+  SQLite write happens at the flush barrier, measured separately and
+  reported (amortized per record) in the artifact, not gated — it is the
+  price of durability, paid once per batch, not per call.
+
+Methodology mirrors ``bench_limits.py``: arms alternate so machine-wide
+drift cancels, each arm's estimate is the minimum over many samples, and
+``REPRO_BENCH_SMOKE=1`` shrinks the workload and loosens the gates for
+shared CI runners.  Results land in ``BENCH_storage.json`` via the
+``storage_records`` fixture.
+"""
+
+import gc
+import os
+import time
+
+from repro.graph.generators import random_graph
+from repro.graph.property_graph import PropertyGraph
+from repro.rpq.evaluation import evaluate_rpq
+from repro.storage.lazy import LazyGraphHandle, query_labels
+from repro.storage.store import GraphStore
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+LABELS = tuple(f"L{i}" for i in range(20))
+#: touches 2 of the 20 stored labels; a concatenation (not a closure) so
+#: the timed region is dominated by segment loading, not by materializing
+#: a dense transitive closure both arms pay identically
+QUERY = "L0.L1"
+NUM_NODES = 400 if SMOKE else 1500
+NUM_EDGES = 8_000 if SMOKE else 60_000
+COLD_SAMPLES = 3 if SMOKE else 6
+COLD_SPEEDUP_GATE = 1.5 if SMOKE else 3.0
+
+BURST = 2_000 if SMOKE else 10_000
+WRITE_SAMPLES = 5 if SMOKE else 15
+WRITE_OVERHEAD_GATE = 0.60 if SMOKE else 0.15
+
+
+def test_cold_start_time_to_first_answer(tmp_path, storage_records):
+    graph = random_graph(NUM_NODES, NUM_EDGES, labels=LABELS, seed=17)
+    data_dir = str(tmp_path / "cold")
+    with GraphStore(data_dir) as store:
+        store.put_graph("g", graph)
+
+        # answers agree before any timing is trusted
+        expected = evaluate_rpq(QUERY, graph)
+        handle = LazyGraphHandle(store, "g")
+        view = handle.view(query_labels(QUERY, handle.labels))
+        assert evaluate_rpq(QUERY, view) == expected
+        assert evaluate_rpq(QUERY, store.load_graph("g")) == expected
+
+        best_lazy = best_full = float("inf")
+        for _ in range(COLD_SAMPLES):
+            # lazy arm: manifest + 2 label segments + evaluation
+            start = time.perf_counter()
+            cold = LazyGraphHandle(store, "g")
+            lazy_answer = evaluate_rpq(
+                QUERY, cold.view(query_labels(QUERY, cold.labels))
+            )
+            best_lazy = min(best_lazy, time.perf_counter() - start)
+
+            # full arm: materialize everything, then evaluate
+            start = time.perf_counter()
+            full_answer = evaluate_rpq(QUERY, store.load_graph("g"))
+            best_full = min(best_full, time.perf_counter() - start)
+
+            assert lazy_answer == full_answer == expected
+
+    speedup = best_full / best_lazy
+    storage_records.append({
+        "benchmark": "cold_start_ttfa",
+        "smoke": SMOKE,
+        "nodes": NUM_NODES,
+        "edges": NUM_EDGES,
+        "stored_labels": len(LABELS),
+        "query": QUERY,
+        "query_labels": 2,
+        "lazy_seconds": round(best_lazy, 6),
+        "full_load_seconds": round(best_full, 6),
+        "speedup": round(speedup, 2),
+        "gate": COLD_SPEEDUP_GATE,
+    })
+    assert speedup >= COLD_SPEEDUP_GATE, (
+        f"lazy cold start {best_lazy:.4f}s vs full load {best_full:.4f}s: "
+        f"speedup {speedup:.2f}x under the {COLD_SPEEDUP_GATE}x gate"
+    )
+
+
+def _mutation_burst(graph, offset):
+    for i in range(BURST):
+        graph.add_edge(
+            f"e{offset + i}", f"n{i % 64}", f"n{(i + 1) % 64}", "Transfer",
+            properties={"amount": i},
+        )
+
+
+def _timed_burst(graph, offset):
+    """Time one burst with the collector parked (pyperf-style).
+
+    Both arms retain objects at slightly different rates (the journal
+    buffer holds one tuple per mutation), so collector pauses landing in
+    one arm but not the other would swamp a 15% gate; the per-mutation
+    cost under measurement is the hot-path work, with collection cost
+    restored (and paid) outside the timed region.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        _mutation_burst(graph, offset)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def test_write_through_overhead_on_hot_path(tmp_path, storage_records):
+    best_plain = best_journaled = float("inf")
+    flush_seconds = 0.0
+    flushed_records = 0
+    offset = 0
+    for _ in range(WRITE_SAMPLES):
+        # plain arm: bare in-memory mutations
+        plain = PropertyGraph()
+        best_plain = min(best_plain, _timed_burst(plain, offset))
+
+        # journaled arm: same burst with the write-through sink attached;
+        # flush_every is beyond the burst so the timed region holds the
+        # per-mutation cost only (the group-commit barrier is timed apart)
+        journaled = PropertyGraph()
+        with GraphStore(
+            str(tmp_path / f"w{offset}"), flush_every=BURST * 4
+        ) as store:
+            store.put_graph("g", journaled)
+            store.attach("g", journaled)
+            best_journaled = min(best_journaled, _timed_burst(journaled, offset))
+
+            start = time.perf_counter()
+            flushed = store.flush("g")
+            flush_seconds += time.perf_counter() - start
+            flushed_records += flushed
+        offset += BURST
+
+    overhead = best_journaled / best_plain - 1.0
+    storage_records.append({
+        "benchmark": "write_through_overhead",
+        "smoke": SMOKE,
+        "burst": BURST,
+        "plain_seconds": round(best_plain, 6),
+        "journaled_seconds": round(best_journaled, 6),
+        "overhead_fraction": round(overhead, 4),
+        "gate": WRITE_OVERHEAD_GATE,
+        "flush_amortized_us_per_record": round(
+            flush_seconds / max(flushed_records, 1) * 1e6, 3
+        ),
+    })
+    assert overhead < WRITE_OVERHEAD_GATE, (
+        f"journaled burst {best_journaled:.4f}s vs plain {best_plain:.4f}s: "
+        f"overhead {overhead:.1%} over the {WRITE_OVERHEAD_GATE:.0%} gate"
+    )

@@ -19,6 +19,7 @@ _WORKLOAD_RECORDS: list[dict] = []
 _SERVER_RECORDS: list[dict] = []
 _LIMITS_RECORDS: list[dict] = []
 _SHARD_RECORDS: list[dict] = []
+_STORAGE_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -66,6 +67,11 @@ def shard_records():
     return _SHARD_RECORDS
 
 
+@pytest.fixture(scope="session")
+def storage_records():
+    return _STORAGE_RECORDS
+
+
 def pytest_sessionfinish(session, exitstatus):
     for records, filename in (
         (_ENGINE_RECORDS, "BENCH_engine.json"),
@@ -73,6 +79,7 @@ def pytest_sessionfinish(session, exitstatus):
         (_SERVER_RECORDS, "BENCH_server.json"),
         (_LIMITS_RECORDS, "BENCH_limits.json"),
         (_SHARD_RECORDS, "BENCH_shard.json"),
+        (_STORAGE_RECORDS, "BENCH_storage.json"),
     ):
         if records:
             path = session.config.rootpath / filename

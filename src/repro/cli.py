@@ -396,7 +396,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.app import QueryServer
     from repro.server.service import GraphCatalog, QueryService
 
-    catalog = GraphCatalog.with_builtins()
+    catalog = GraphCatalog.with_builtins(
+        args.data_dir, max_resident_edges=args.max_resident_edges
+    )
     for spec in args.graphs or ():
         name, _, path = spec.partition("=")
         if not path:
@@ -433,6 +435,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 1
     print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Offline store maintenance: import/export/ls/compact on a data dir."""
+    import json
+
+    from repro.errors import StorageError
+    from repro.storage.store import GraphStore
+
+    try:
+        with GraphStore(args.data_dir) as store:
+            if args.store_command == "import":
+                graph = _load_graph(args.file)
+                info = store.put_graph(args.name, graph)
+                print(
+                    f"imported {args.name!r}: {info['nodes']} nodes, "
+                    f"{info['edges']} edges, version {info['version']}",
+                    file=sys.stderr,
+                )
+            elif args.store_command == "export":
+                from repro.graph.serialize import dumps
+
+                text = dumps(store.load_graph(args.name), indent=2) + "\n"
+                if args.file == "-":
+                    sys.stdout.write(text)
+                else:
+                    with open(args.file, "w", encoding="utf-8") as handle:
+                        handle.write(text)
+            elif args.store_command == "ls":
+                manifest = store.manifest()
+                if args.json:
+                    print(json.dumps(manifest, indent=2, sort_keys=True))
+                else:
+                    for info in manifest:
+                        print(
+                            f"{info['name']}\t{info['kind']}\t"
+                            f"nodes={info['nodes']}\tedges={info['edges']}\t"
+                            f"version={info['version']}\t"
+                            f"journal={info['journal_records']}"
+                        )
+            elif args.store_command == "compact":
+                names = [args.name] if args.name else store.names()
+                for name in names:
+                    info = store.compact(name)
+                    print(
+                        f"compacted {name!r}: version {info['version']}, "
+                        f"journal empty",
+                        file=sys.stderr,
+                    )
+            else:  # pragma: no cover - argparse enforces the choices
+                raise SystemExit(f"unknown store command {args.store_command!r}")
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1003,7 +1060,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE.jsonl",
         help="enable the span tracer and stream server.request trees here",
     )
+    serve.add_argument(
+        "--data-dir", metavar="DIR",
+        help="durable catalog directory (SQLite-backed; graphs survive "
+        "restarts, uploads and mutations write through, SIGTERM drain "
+        "flushes the journal)",
+    )
+    serve.add_argument(
+        "--max-resident-edges", type=int, metavar="N",
+        help="LRU budget for lazily-loaded label segments per stored graph "
+        "(default: unbounded; only meaningful with --data-dir)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    store = commands.add_parser(
+        "store",
+        help="maintain a durable catalog directory offline "
+        "(import/export/ls/compact)",
+    )
+    store_commands = store.add_subparsers(
+        dest="store_command", required=True, metavar="COMMAND"
+    )
+    store_import = store_commands.add_parser(
+        "import", help="snapshot a graph (file or fig2/fig3) into the store"
+    )
+    store_import.add_argument("--data-dir", required=True, metavar="DIR")
+    store_import.add_argument("name", help="catalog name to store under")
+    store_import.add_argument("file", help="graph JSON file, or fig2/fig3")
+    store_export = store_commands.add_parser(
+        "export", help="write a stored graph as JSON (snapshot ⊕ journal)"
+    )
+    store_export.add_argument("--data-dir", required=True, metavar="DIR")
+    store_export.add_argument("name")
+    store_export.add_argument("file", help="output path, or - for stdout")
+    store_ls = store_commands.add_parser(
+        "ls", help="list the store manifest (kind, counts, versions)"
+    )
+    store_ls.add_argument("--data-dir", required=True, metavar="DIR")
+    store_ls.add_argument("--json", action="store_true")
+    store_compact = store_commands.add_parser(
+        "compact", help="fold the mutation journal back into the snapshot"
+    )
+    store_compact.add_argument("--data-dir", required=True, metavar="DIR")
+    store_compact.add_argument("name", nargs="?", help="one graph (default: all)")
+    store.set_defaults(handler=_cmd_store)
 
     shard_serve = commands.add_parser(
         "shard-serve",

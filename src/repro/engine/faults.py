@@ -47,6 +47,7 @@ SITES = frozenset(
         "server.write",         # server's response write path
         "client.read",          # client's response read path
         "shard.frontier_step",  # shard-side entry of a distributed BFS round
+        "storage.journal_write",  # GraphStore flush, before the journal commit
     }
 )
 

@@ -24,6 +24,10 @@ class DuplicateObjectError(GraphError):
     """An object id was added twice, or reused across the node/edge namespaces."""
 
 
+class StorageError(ReproError):
+    """A durable-store problem (schema mismatch, unknown graph, bad journal)."""
+
+
 class PathError(ReproError):
     """An invalid path was constructed (bad alternation or incidence)."""
 

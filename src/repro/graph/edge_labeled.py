@@ -52,6 +52,7 @@ class EdgeLabeledGraph:
         "_in",
         "_labels_seen",
         "_version",
+        "_journal",
         "_engine_index",
         "_engine_reversed",
         "_engine_csr",
@@ -69,6 +70,11 @@ class EdgeLabeledGraph:
         # index, in particular) record the version they were built at and
         # rebuild when it moves.  Every mutating method must call _touch().
         self._version: int = 0
+        # Optional mutation sink ``(op, payload, version) -> None`` installed
+        # by the storage tier (GraphStore.attach) to journal in-place
+        # mutations.  ``None`` for purely in-memory graphs; mutators must
+        # emit exactly one record per observable state change.
+        self._journal = None
         self._engine_index = None
         self._engine_reversed = None
         self._engine_csr = None
@@ -88,6 +94,18 @@ class EdgeLabeledGraph:
         self._engine_reversed = None
         self._engine_csr = None
 
+    def attach_journal(self, sink) -> None:
+        """Install a mutation sink called as ``sink(op, payload, version)``.
+
+        The storage tier uses this to capture in-place mutations for its
+        append-only journal; the sink must be cheap (the hot mutation path
+        pays for it) and must not mutate the graph.
+        """
+        self._journal = sink
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -103,6 +121,8 @@ class EdgeLabeledGraph:
             self._out[node] = []
             self._in[node] = []
             self._touch()
+            if self._journal is not None:
+                self._journal("add_node", (node, None, None), self._version)
         return node
 
     def add_edge(
@@ -124,6 +144,8 @@ class EdgeLabeledGraph:
         self._in[tgt].append(edge)
         self._labels_seen.add(label)
         self._touch()
+        if self._journal is not None:
+            self._journal("add_edge", (edge, src, tgt, label, None), self._version)
         return edge
 
     # ------------------------------------------------------------------

@@ -11,6 +11,14 @@ The format is a straightforward document::
 
 Only JSON-representable ids, labels and values survive a round-trip; that is
 all the datasets and generators in this library produce.
+
+Property maps need one wrinkle: ``rho``'s domain is *hashable names*, not
+strings, but a JSON object coerces every key to a string (``{1: "x"}``
+serializes as ``{"1": "x"}``).  Whenever an object carries a non-string
+property name the serializer therefore emits ``"property_items"`` — a list
+of ``[name, value]`` pairs, which JSON preserves exactly — instead of a
+``"properties"`` object.  The reader accepts both spellings (preferring
+``property_items``), so documents written by older versions still load.
 """
 
 from __future__ import annotations
@@ -23,6 +31,20 @@ from repro.graph.edge_labeled import EdgeLabeledGraph
 from repro.graph.property_graph import PropertyGraph
 
 
+def _set_properties(record: dict[str, Any], props: dict[Any, Any]) -> None:
+    if all(isinstance(name, str) for name in props):
+        record["properties"] = props
+    else:
+        record["property_items"] = [[name, value] for name, value in props.items()]
+
+
+def _get_properties(record: dict[str, Any]) -> dict[Any, Any] | None:
+    items = record.get("property_items")
+    if items is not None:
+        return {name: value for name, value in items}
+    return record.get("properties")
+
+
 def graph_to_dict(graph: EdgeLabeledGraph) -> dict[str, Any]:
     """Serialize a graph to a JSON-compatible dictionary."""
     is_property = isinstance(graph, PropertyGraph)
@@ -33,7 +55,7 @@ def graph_to_dict(graph: EdgeLabeledGraph) -> dict[str, Any]:
             record["label"] = graph.node_label(node)
             props = graph.properties(node)
             if props:
-                record["properties"] = props
+                _set_properties(record, props)
         nodes.append(record)
     edges = []
     for edge in sorted(graph.iter_edges(), key=repr):
@@ -42,7 +64,7 @@ def graph_to_dict(graph: EdgeLabeledGraph) -> dict[str, Any]:
         if is_property:
             props = graph.properties(edge)
             if props:
-                record["properties"] = props
+                _set_properties(record, props)
         edges.append(record)
     return {
         "kind": "property" if is_property else "edge_labeled",
@@ -60,7 +82,7 @@ def graph_from_dict(document: dict[str, Any]) -> EdgeLabeledGraph:
             graph.add_node(
                 record["id"],
                 label=record.get("label"),
-                properties=record.get("properties"),
+                properties=_get_properties(record),
             )
         for record in document.get("edges", ()):
             graph.add_edge(
@@ -68,7 +90,7 @@ def graph_from_dict(document: dict[str, Any]) -> EdgeLabeledGraph:
                 record["src"],
                 record["tgt"],
                 record["label"],
-                properties=record.get("properties"),
+                properties=_get_properties(record),
             )
     elif kind == "edge_labeled":
         graph = EdgeLabeledGraph()

@@ -173,6 +173,10 @@ class QueryServer:
         for writer in list(self._writers):
             writer.close()
         self._pool.shutdown(wait=True)
+        # After the pool stops no request can mutate a graph: flush the
+        # storage journal and close the store so the last acknowledged
+        # mutation is on disk before the process exits.
+        self.service.close()
         if self._done is not None:
             self._done.set()
 

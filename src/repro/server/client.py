@@ -304,6 +304,18 @@ class ServerClient:
             graph = graph_to_dict(graph)
         return self.request("graphs.upload", name=name, graph=graph)
 
+    def mutate(self, graph: str, edits: list) -> dict:
+        """Apply in-place edits to a cataloged graph.
+
+        ``edits`` is a list of ``{"kind": "add_node" | "add_edge" |
+        "set_property", ...}`` objects.  Deliberately *not* idempotent
+        (``add_edge`` ids must be fresh), so it never auto-retries — the
+        server flushes its journal before acknowledging, and an unacked
+        mutation after a connection loss must be re-inspected, not
+        blindly resent.
+        """
+        return self.request("graphs.mutate", graph=graph, edits=edits)
+
     def rpq(
         self,
         graph: str,

@@ -56,6 +56,7 @@ OPS = frozenset(
         "stats",
         "graphs.list",
         "graphs.upload",
+        "graphs.mutate",
         "rpq",
         "crpq",
         "dlrpq",

@@ -48,23 +48,70 @@ from repro.server.protocol import (
 
 
 class CatalogEntry:
-    """One named graph in the catalog."""
+    """One named graph in the catalog: resident, or a lazy stored handle.
 
-    __slots__ = ("name", "graph", "generation")
+    A durable catalog registers stored graphs without loading them — the
+    entry then holds a :class:`~repro.storage.lazy.LazyGraphHandle` and the
+    service queries label-segment *views* of it.  Touching :attr:`graph`
+    (mutations, dlrpq-free ops that need the full graph) materializes the
+    fully-resident, journal-attached graph on demand.
+    """
 
-    def __init__(self, name: str, graph: EdgeLabeledGraph, generation: int):
+    __slots__ = ("name", "generation", "_graph", "handle")
+
+    def __init__(
+        self,
+        name: str,
+        graph: "EdgeLabeledGraph | None",
+        generation: int,
+        handle=None,
+    ):
         self.name = name
-        self.graph = graph
+        self._graph = graph
         self.generation = generation
+        self.handle = handle
+
+    @property
+    def graph(self) -> EdgeLabeledGraph:
+        """The fully-resident graph (materializing a lazy entry on demand)."""
+        graph = self._graph
+        if graph is None:
+            # Benign race: materialize() is locked and memoized on the
+            # handle, so concurrent callers converge on one object.
+            graph = self.handle.materialize()
+            self._graph = graph
+        return graph
+
+    @property
+    def resident(self) -> bool:
+        return self._graph is not None
 
     @property
     def version(self) -> tuple:
         """The answer-cache version key: survives both in-place mutation
-        (``graph.version`` moves) and replacement (``generation`` moves)."""
-        return (self.generation, self.graph.version)
+        (``graph.version`` moves) and replacement (``generation`` moves).
+
+        For lazy entries the durable version stands in — by construction it
+        equals the ``graph.version`` a materialized copy reports, so keys
+        computed before and after materialization coincide."""
+        graph = self._graph
+        if graph is not None:
+            return (self.generation, graph.version)
+        return (self.generation, self.handle.version)
 
     def info(self) -> dict:
-        graph = self.graph
+        graph = self._graph
+        if graph is None:
+            # Manifest-only: answering graphs.list must not fault segments.
+            handle = self.handle
+            return {
+                "name": self.name,
+                "kind": handle.kind,
+                "nodes": handle.num_nodes,
+                "edges": handle.num_edges,
+                "labels": sorted(map(str, handle.labels)),
+                "version": list(self.version),
+            }
         return {
             "name": self.name,
             "kind": "property" if isinstance(graph, PropertyGraph) else "edge_labeled",
@@ -76,33 +123,88 @@ class CatalogEntry:
 
 
 class GraphCatalog:
-    """Named, versioned graphs resident in the service process."""
+    """Named, versioned graphs resident in the service process.
 
-    def __init__(self) -> None:
+    With ``data_dir`` the catalog is durable: the manifest is loaded at
+    startup (as lazy entries — nothing faults in until queried),
+    registrations write through to the store, and mutations of cataloged
+    graphs are journaled (see DESIGN.md §13).
+    """
+
+    def __init__(
+        self,
+        data_dir: "str | None" = None,
+        *,
+        max_resident_edges: "int | None" = None,
+    ) -> None:
         self._entries: dict[str, CatalogEntry] = {}
         self._lock = threading.Lock()
         self._generation = 0
+        self.max_resident_edges = max_resident_edges
+        self._store = None
+        if data_dir is not None:
+            from repro.storage.lazy import LazyGraphHandle
+            from repro.storage.store import GraphStore
+
+            self._store = GraphStore(data_dir)
+            for name in self._store.names():
+                self._generation += 1
+                handle = LazyGraphHandle(
+                    self._store, name, max_resident_edges=max_resident_edges
+                )
+                self._entries[name] = CatalogEntry(
+                    name, None, self._generation, handle
+                )
+
+    @property
+    def store(self):
+        """The backing :class:`GraphStore`, or ``None`` for memory-only."""
+        return self._store
+
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
 
     @classmethod
-    def with_builtins(cls) -> "GraphCatalog":
-        """A catalog preloaded with the paper's bank graphs (fig2, fig3)."""
+    def with_builtins(
+        cls,
+        data_dir: "str | None" = None,
+        *,
+        max_resident_edges: "int | None" = None,
+    ) -> "GraphCatalog":
+        """A catalog preloaded with the paper's bank graphs (fig2, fig3).
+
+        On a durable catalog the builtins are only seeded when the store
+        does not already hold them — a restart must hand back the user's
+        (possibly mutated) fig2, not a fresh copy.
+        """
         from repro.graph.datasets import figure2_graph, figure3_graph
 
-        catalog = cls()
-        catalog.register("fig2", figure2_graph())
-        catalog.register("fig3", figure3_graph())
+        catalog = cls(data_dir, max_resident_edges=max_resident_edges)
+        for name, build in (("fig2", figure2_graph), ("fig3", figure3_graph)):
+            if name not in catalog:
+                catalog.register(name, build())
         return catalog
 
     def register(self, name: str, graph: EdgeLabeledGraph) -> CatalogEntry:
-        """Add (or replace) a graph under ``name``."""
+        """Add (or replace) a graph under ``name`` (write-through when durable)."""
         if not isinstance(name, str) or not name:
             raise BadRequestError("graph name must be a non-empty string")
         if not isinstance(graph, EdgeLabeledGraph):
             raise BadRequestError("only graph objects can be cataloged")
+        if self._store is not None:
+            # Store first, swap second: a failed snapshot must not leave a
+            # catalog entry with no durable backing.
+            self._store.put_graph(name, graph)
+            self._store.attach(name, graph)
         with self._lock:
             self._generation += 1
             entry = CatalogEntry(name, graph, self._generation)
+            old = self._entries.get(name)
             self._entries[name] = entry
+        if old is not None and old.resident and old._graph is not graph:
+            # The replaced graph object must stop journaling under this name.
+            old._graph.detach_journal()
         return entry
 
     def get(self, name: str) -> CatalogEntry:
@@ -116,10 +218,44 @@ class GraphCatalog:
 
     def drop(self, name: str) -> None:
         with self._lock:
-            if self._entries.pop(name, None) is None:
-                raise GraphNotFoundError(
-                    f"no graph named {name!r} in the catalog", graph=name
-                )
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise GraphNotFoundError(
+                f"no graph named {name!r} in the catalog", graph=name
+            )
+        if self._store is not None:
+            if entry.resident:
+                entry._graph.detach_journal()
+            self._store.delete_graph(name)
+
+    def flush(self, name: "str | None" = None) -> int:
+        """Journal durability barrier (no-op for memory-only catalogs)."""
+        if self._store is None:
+            return 0
+        return self._store.flush(name)
+
+    def close(self) -> None:
+        """Flush every journal buffer and close the store (idempotent)."""
+        if self._store is not None:
+            self._store.close()
+
+    def storage_info(self) -> "dict | None":
+        if self._store is None:
+            return None
+        lazy = resident = 0
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.resident:
+                    resident += 1
+                elif entry.handle is not None:
+                    lazy += 1
+        return {
+            "data_dir": self._store.data_dir,
+            "path": self._store.path,
+            "resident_graphs": resident,
+            "lazy_graphs": lazy,
+            "max_resident_edges": self.max_resident_edges,
+        }
 
     def names(self) -> list[str]:
         with self._lock:
@@ -355,6 +491,8 @@ class QueryService:
             return {"graphs": self.catalog.list_info()}, False
         if op == "graphs.upload":
             return self._upload(request), False
+        if op == "graphs.mutate":
+            return self._mutate(request), False
         if op == "cluster_metrics":
             # The fleet-aggregation op: this process's registry in the
             # lossless dump form (raw bucket counts) so a coordinator can
@@ -376,13 +514,24 @@ class QueryService:
     def stats(self) -> dict:
         with self._metrics_lock:
             metrics = self.metrics.as_dict()
-        return {
+        result = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "graphs": self.catalog.list_info(),
             "answer_cache": self.answer_cache.info(),
             "compile_cache": DEFAULT_CACHE.info(),
             "metrics": metrics,
         }
+        storage = self.catalog.storage_info()
+        if storage is not None:
+            result["storage"] = storage
+        return result
+
+    def close(self) -> None:
+        """Flush write-through journals and release the catalog's store.
+
+        The app calls this at the end of a graceful drain; after it, the
+        last acknowledged mutation is durable on disk."""
+        self.catalog.close()
 
     def _upload(self, request: Request) -> dict:
         from repro.graph.serialize import graph_from_dict
@@ -399,6 +548,102 @@ class QueryService:
         info = entry.info()
         info["cache_entries_dropped"] = dropped
         return info
+
+    def _mutate(self, request: Request) -> dict:
+        """Apply in-place edits to a cataloged graph (write-through).
+
+        Edits apply sequentially and in place; an invalid edit raises a
+        typed error after its predecessors took effect (the response never
+        reaches the client, but the applied prefix is flushed and stays
+        durable — exactly the journal's consistent-prefix contract).  The
+        flush below is the durability barrier: once the reply is on the
+        wire, the mutation survives ``kill -9``.
+        """
+        name = request.require("graph")
+        edits = request.require("edits")
+        if not isinstance(edits, list) or not all(
+            isinstance(edit, dict) for edit in edits
+        ):
+            raise BadRequestError(
+                "parameter 'edits' must be a list of edit objects"
+            )
+        entry = self.catalog.get(name)
+        graph = entry.graph  # materializes a lazy entry before writing
+        applied = 0
+        try:
+            for index, edit in enumerate(edits):
+                self._apply_edit(graph, edit, index)
+                applied += 1
+        finally:
+            self.catalog.flush(name)
+            if applied:
+                self.answer_cache.invalidate_graph(name)
+            with self._metrics_lock:
+                self.metrics.inc("server_edits_applied", applied)
+        return {
+            "op": "graphs.mutate",
+            "graph": name,
+            "applied": applied,
+            "version": list(entry.version),
+        }
+
+    @staticmethod
+    def _apply_edit(graph, edit: dict, index: int) -> None:
+        def field(key):
+            try:
+                return edit[key]
+            except KeyError:
+                raise BadRequestError(
+                    f"edit {index}: missing field {key!r}"
+                ) from None
+
+        kind = edit.get("kind")
+        is_property = isinstance(graph, PropertyGraph)
+        if kind == "add_edge":
+            if is_property:
+                graph.add_edge(
+                    field("id"), field("src"), field("tgt"), field("label"),
+                    properties=edit.get("properties"),
+                )
+            else:
+                graph.add_edge(
+                    field("id"), field("src"), field("tgt"), field("label")
+                )
+        elif kind == "add_node":
+            if is_property:
+                graph.add_node(
+                    field("id"),
+                    label=edit.get("label"),
+                    properties=edit.get("properties"),
+                )
+            else:
+                graph.add_node(field("id"))
+        elif kind == "set_property":
+            if not is_property:
+                raise BadRequestError(
+                    f"edit {index}: set_property needs a property graph"
+                )
+            graph.set_property(field("id"), field("name"), field("value"))
+        else:
+            raise BadRequestError(f"edit {index}: unknown edit kind {kind!r}")
+
+    def _graph_for(self, entry: CatalogEntry, op: str, query: str):
+        """The graph to evaluate against: a lazy entry serves a label view.
+
+        The view holds every node but only the label segments the compiled
+        automaton can traverse (``query_labels``); dlrpq — whose query
+        syntax the regex front-end does not cover — gets the all-labels
+        view.  Resident entries (and memory-only catalogs) evaluate the
+        graph itself.
+        """
+        handle = entry.handle
+        if handle is None or handle.resident:
+            return entry.graph
+        if op == "dlrpq":
+            return handle.view(handle.labels)
+        from repro.storage.lazy import query_labels
+
+        return handle.view(query_labels(query, handle.labels))
 
     def _query(self, request: Request, budget=None) -> tuple[dict, bool]:
         name = request.require("graph")
@@ -432,7 +677,10 @@ class QueryService:
             "paths": self._run_paths,
             "explain": self._run_explain,
         }[request.op]
-        result = handler(entry.graph, query, request, stats, budget)
+        result = handler(
+            self._graph_for(entry, request.op, query), query, request, stats,
+            budget,
+        )
         result["graph"] = name
         result["graph_version"] = list(entry.version)
         with self._metrics_lock:

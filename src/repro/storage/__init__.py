@@ -1,0 +1,15 @@
+"""Durable storage tier: SQLite-backed graph store with lazy segment loading.
+
+See DESIGN.md §13.  Public surface:
+
+* :class:`~repro.storage.store.GraphStore` — snapshots + append-only
+  mutation journal + compaction, one database per data directory;
+* :class:`~repro.storage.lazy.LazyGraphHandle` /
+  :func:`~repro.storage.lazy.query_labels` — fault in only the label
+  segments a query's automaton touches, under an LRU edge budget.
+"""
+
+from repro.storage.lazy import LazyGraphHandle, query_labels
+from repro.storage.store import GraphStore, apply_record
+
+__all__ = ["GraphStore", "LazyGraphHandle", "apply_record", "query_labels"]

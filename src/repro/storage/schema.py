@@ -1,0 +1,110 @@
+"""SQLite schema and value encoding for the durable graph store.
+
+One database file (``repro.db``) per data directory holds every graph of a
+catalog.  The layout mirrors the property-graph data model (Definition 6 of
+the paper, after Angles et al.'s *Foundations of Modern Query Languages for
+Graph Databases*): typed node and edge tables plus a property map, with the
+graphs-over-relational-tables deployment Gheerbrant & Peterfreund take as
+ground truth.
+
+Tables
+------
+
+``meta``
+    Schema bookkeeping (``schema_version``).
+``graphs``
+    One manifest row per graph: kind, durable ``version`` (coherent with the
+    in-memory ``graph.version`` the answer cache keys on), the version the
+    snapshot tables were written at, and snapshot object counts.
+``nodes`` / ``edges``
+    The snapshot: the full graph state as of the last import or compaction.
+    ``edges`` is indexed by ``(graph, label)`` — the unit of lazy segment
+    faulting.
+``journal``
+    The append-only mutation journal.  One row is one *batch* (a JSON array
+    of ``[op, payload, version]`` records) so group commit amortizes both
+    the JSON encoding and the transaction over many mutations.  Replaying
+    ``snapshot ⊕ journal`` in seq order reproduces the live graph; batches
+    commit atomically, so a crash leaves a consistent prefix.
+
+Encoding
+--------
+
+Ids, labels and values are stored as canonical JSON text (sorted keys, no
+whitespace), so any JSON-representable hashable round-trips exactly and
+equal values collide in SQL comparisons.  Property maps are stored as JSON
+lists of ``[name, value]`` pairs — never JSON objects, whose string-only
+keys would silently coerce non-string property names (the same pitfall
+``graph/serialize.py`` documents).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS graphs (
+    name             TEXT PRIMARY KEY,
+    kind             TEXT NOT NULL,
+    version          INTEGER NOT NULL,
+    snapshot_version INTEGER NOT NULL,
+    nodes            INTEGER NOT NULL,
+    edges            INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS nodes (
+    graph TEXT NOT NULL,
+    id    TEXT NOT NULL,
+    label TEXT,
+    props TEXT,
+    PRIMARY KEY (graph, id)
+);
+CREATE TABLE IF NOT EXISTS edges (
+    graph TEXT NOT NULL,
+    id    TEXT NOT NULL,
+    src   TEXT NOT NULL,
+    tgt   TEXT NOT NULL,
+    label TEXT NOT NULL,
+    props TEXT,
+    PRIMARY KEY (graph, id)
+);
+CREATE INDEX IF NOT EXISTS edges_by_label ON edges (graph, label);
+CREATE TABLE IF NOT EXISTS journal (
+    graph       TEXT NOT NULL,
+    seq         INTEGER NOT NULL,
+    batch       TEXT NOT NULL,
+    version     INTEGER NOT NULL,
+    records     INTEGER NOT NULL,
+    PRIMARY KEY (graph, seq)
+);
+"""
+
+
+def encode(value: Any) -> str:
+    """Canonical JSON text for an id, label or value column."""
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+def decode(text: str) -> Any:
+    return json.loads(text)
+
+
+def encode_props(props: "dict | None") -> "str | None":
+    """Property map -> JSON pair list (``None`` when empty/absent)."""
+    if not props:
+        return None
+    return json.dumps(
+        [[name, value] for name, value in props.items()], separators=(",", ":")
+    )
+
+
+def decode_props(text: "str | None") -> "dict | None":
+    if text is None:
+        return None
+    return {name: value for name, value in json.loads(text)}

@@ -1,0 +1,123 @@
+"""Storage chaos: a journal-write fault never loses or duplicates records.
+
+``storage.journal_write`` sits in :meth:`GraphStore.flush` *before* the
+commit, so an armed fault models a failed disk write.  The contract:
+
+* error arming — flush raises, the buffer is untouched, and after the
+  fault clears a retry commits every record exactly once;
+* drop arming — flush reports 0 written and keeps the buffer (a silent
+  transient failure the next flush repairs);
+* the service's mutate barrier surfaces the fault to the caller while the
+  in-memory edit stays applied — the next flush makes it durable.
+"""
+
+import pytest
+
+from repro.engine.faults import FaultError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.server.protocol import Request
+from repro.server.service import GraphCatalog, QueryService
+from repro.storage.store import GraphStore
+
+
+def seeded_store():
+    graph = EdgeLabeledGraph()
+    graph.add_edge("e1", "x", "y", "a")
+    store = GraphStore(":memory:")
+    store.put_graph("g", graph)
+    store.attach("g", graph)
+    return store, graph
+
+
+class TestJournalWriteFaults:
+    def test_error_keeps_buffer_and_retry_commits_once(self, faults):
+        store, graph = seeded_store()
+        with store:
+            graph.add_edge("e2", "y", "z", "a")
+            graph.add_edge("e3", "z", "w", "b")
+            pending = store.pending("g")
+            assert pending == 4  # 2 edges + 2 auto-created endpoints
+
+            faults.arm("storage.journal_write", error=FaultError)
+            with pytest.raises(FaultError):
+                store.flush("g")
+            assert store.pending("g") == pending  # nothing drained
+            assert store.journal_rows("g") == 0  # nothing committed
+
+            assert store.flush("g") == pending  # fault cleared: retry works
+            assert store.pending("g") == 0
+            loaded = store.load_graph("g")
+            assert loaded.edges == graph.edges  # exactly once, no dupes
+            assert loaded.version == graph.version
+
+    def test_drop_reports_zero_and_keeps_buffer(self, faults):
+        store, graph = seeded_store()
+        with store:
+            graph.add_edge("e2", "y", "z", "a")
+            pending = store.pending("g")
+
+            faults.arm("storage.journal_write", drop=True)
+            assert store.flush("g") == 0
+            assert store.pending("g") == pending
+
+            assert store.flush("g") == pending
+            assert "e2" in store.load_graph("g").edges
+
+    def test_faulted_auto_flush_recovers_on_next_threshold(self, faults):
+        graph = EdgeLabeledGraph()
+        graph.add_edge("e0", "n0", "n1", "a")
+        with GraphStore(":memory:", flush_every=2, compact_every=0) as store:
+            store.put_graph("g", graph)
+            store.attach("g", graph)
+            faults.arm("storage.journal_write", drop=True)
+            graph.add_edge("e1", "n0", "n1", "a")
+            graph.add_edge("e2", "n1", "n0", "a")  # threshold: flush dropped
+            assert store.pending("g") == 2
+            graph.add_edge("e3", "n0", "n0", "a")  # threshold again, disarmed
+            assert store.pending("g") == 0
+            assert store.load_graph("g").edges == graph.edges
+
+    def test_close_after_fault_still_drains(self, faults):
+        store, graph = seeded_store()
+        graph.add_edge("e2", "y", "z", "a")
+        faults.arm("storage.journal_write", drop=True)
+        assert store.flush("g") == 0
+        store.close()  # the drain's own flush runs after the fault cleared
+        # :memory: dies with the connection, so re-check through a file store
+        # is done in the service test below; here the contract is just that
+        # close() did not raise and drained the buffer.
+
+
+class TestMutateBarrierUnderFaults:
+    def test_mutate_surfaces_fault_then_next_flush_repairs(self, tmp_path, faults):
+        service = QueryService(GraphCatalog(str(tmp_path / "data")))
+        try:
+            graph = EdgeLabeledGraph()
+            graph.add_edge("e1", "x", "y", "a")
+            service.catalog.register("g", graph)
+
+            faults.arm("storage.journal_write", error=FaultError)
+            with pytest.raises(FaultError):
+                service.execute(Request(op="graphs.mutate", params={
+                    "graph": "g",
+                    "edits": [{"kind": "add_edge", "id": "e2", "src": "y",
+                               "tgt": "z", "label": "a"}],
+                }))
+            # the edit applied in memory (queries see it) ...
+            answer = service.execute(Request(
+                op="rpq", params={"graph": "g", "query": "a"}
+            ))
+            assert ["y", "z"] in answer["pairs"]
+            # ... but is not yet durable
+            assert service.catalog.store.journal_rows("g") == 0
+            # the next barrier (clean flush) makes it durable exactly once
+            assert service.catalog.flush("g") > 0
+            reopened = GraphStore(str(tmp_path / "data"))
+            try:
+                loaded = reopened.load_graph("g")
+                assert "e2" in loaded.edges
+                assert loaded.version == graph.version
+            finally:
+                reopened.close()
+        finally:
+            service.close()

@@ -122,3 +122,70 @@ def test_round_trip_preserves_query_answers(graph):
     restored = loads(dumps(graph))
     for label in sorted(map(str, graph.labels)):
         assert evaluate_rpq(label, restored) == evaluate_rpq(label, graph)
+
+
+# ----------------------------------------------------------------------
+# round-trip edge cases: parallel edges, non-string property names,
+# empty-alphabet graphs
+# ----------------------------------------------------------------------
+
+
+def test_parallel_edges_survive():
+    """Two same-labeled edges between the same endpoints stay distinct
+    (the paper's t2/t5 example — the triple view would merge them)."""
+    graph = PropertyGraph()
+    graph.add_edge("t2", "a3", "a2", "Transfer", properties={"amount": 10})
+    graph.add_edge("t5", "a3", "a2", "Transfer", properties={"amount": 10})
+    restored = loads(dumps(graph))
+    assert restored.edges == frozenset({"t2", "t5"})
+    records = sorted(restored.iter_edge_records())
+    assert records == sorted(graph.iter_edge_records())
+
+
+def test_non_string_property_names_round_trip():
+    """rho's domain is hashable names, not strings: integer (and other
+    JSON-typed) property names must come back with their types intact,
+    not silently coerced to strings by JSON object keys."""
+    graph = PropertyGraph()
+    graph.add_node("n1", label="L", properties={1: "one", "s": 2})
+    graph.add_edge("e1", "n1", "n2", "a", properties={7: [1, 2], "x": None})
+    document = graph_to_dict(graph)
+    restored = graph_from_dict(document)
+    assert restored.properties("n1") == graph.properties("n1")
+    assert restored.properties("e1") == graph.properties("e1")
+    assert restored.get_property("n1", 1) == "one"
+    assert restored.get_property("n1", "1", default="absent") == "absent"
+    # the document itself is JSON-clean: a full text round trip agrees too
+    assert loads(dumps(graph)).properties("n1") == graph.properties("n1")
+
+
+def test_string_only_properties_keep_object_spelling():
+    """The compact object form is still used when every name is a string
+    (and old documents with it still load)."""
+    graph = PropertyGraph()
+    graph.add_node("n1", label="L", properties={"owner": "Megan"})
+    record = next(
+        rec for rec in graph_to_dict(graph)["nodes"] if rec["id"] == "n1"
+    )
+    assert record["properties"] == {"owner": "Megan"}
+    assert "property_items" not in record
+
+
+def test_empty_alphabet_graphs_round_trip():
+    """Nodes-only graphs (no edges, hence no labels) survive, for both
+    kinds."""
+    from repro.graph import EdgeLabeledGraph
+
+    plain = EdgeLabeledGraph()
+    plain.add_node("solo")
+    restored = loads(dumps(plain))
+    assert restored.nodes == frozenset({"solo"})
+    assert restored.num_edges == 0 and restored.labels == frozenset()
+
+    props = PropertyGraph()
+    props.add_node("solo", label="Only", properties={"k": "v"})
+    restored = loads(dumps(props))
+    assert isinstance(restored, PropertyGraph)
+    assert restored.node_label("solo") == "Only"
+    assert restored.properties("solo") == {"k": "v"}
+    assert restored.labels == frozenset()

@@ -1,0 +1,39 @@
+"""Storage-suite fixtures: throwaway stores and small seeded graphs."""
+
+import pytest
+
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.storage.store import GraphStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with GraphStore(str(tmp_path / "data")) as s:
+        yield s
+
+
+@pytest.fixture()
+def memory_store():
+    with GraphStore(":memory:") as s:
+        yield s
+
+
+@pytest.fixture()
+def bank():
+    """A small property graph with parallel edges and mixed properties."""
+    graph = PropertyGraph()
+    graph.add_node("a1", label="Account", properties={"owner": "Megan", 1: "x"})
+    graph.add_node("a2", label="Account", properties={"owner": "Jay"})
+    graph.add_edge("t1", "a1", "a2", "Transfer", properties={"amount": 10})
+    graph.add_edge("t2", "a1", "a2", "Transfer", properties={"amount": 10})
+    graph.add_edge("o1", "a1", "a3", "Owns")
+    return graph
+
+
+@pytest.fixture()
+def plain():
+    graph = EdgeLabeledGraph()
+    graph.add_edge("e1", "x", "y", "a")
+    graph.add_edge("e2", "y", "z", "b")
+    return graph

@@ -1,0 +1,82 @@
+"""`repro store` CLI verbs: import/export/ls/compact round trip."""
+
+import json
+
+from repro.cli import main
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.serialize import dumps, loads
+from repro.storage.store import GraphStore
+
+
+def make_graph():
+    graph = PropertyGraph()
+    graph.add_node("a1", label="Account", properties={"owner": "Megan"})
+    graph.add_edge("t1", "a1", "a2", "Transfer", properties={"amount": 10})
+    graph.add_edge("t2", "a1", "a2", "Transfer", properties={"amount": 3})
+    return graph
+
+
+def test_import_export_round_trip(tmp_path, capsys):
+    data_dir = str(tmp_path / "data")
+    source = tmp_path / "bank.json"
+    source.write_text(dumps(make_graph()))
+
+    assert main(["store", "import", "--data-dir", data_dir,
+                 "bank", str(source)]) == 0
+    assert "imported 'bank'" in capsys.readouterr().err
+
+    assert main(["store", "ls", "--data-dir", data_dir]) == 0
+    listing = capsys.readouterr().out
+    assert "bank" in listing and "edges=2" in listing
+
+    exported = tmp_path / "out.json"
+    assert main(["store", "export", "--data-dir", data_dir,
+                 "bank", str(exported)]) == 0
+    round_tripped = loads(exported.read_text())
+    original = make_graph()
+    assert round_tripped.nodes == original.nodes
+    assert sorted(round_tripped.iter_edge_records()) == sorted(
+        original.iter_edge_records()
+    )
+    assert round_tripped.properties("t1") == {"amount": 10}
+
+
+def test_export_to_stdout_and_ls_json(tmp_path, capsys):
+    data_dir = str(tmp_path / "data")
+    with GraphStore(data_dir) as store:
+        store.put_graph("bank", make_graph())
+
+    assert main(["store", "export", "--data-dir", data_dir, "bank", "-"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["kind"] == "property"
+
+    assert main(["store", "ls", "--data-dir", data_dir, "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest[0]["name"] == "bank"
+    assert manifest[0]["journal_records"] == 0
+
+
+def test_compact_folds_journal(tmp_path, capsys):
+    data_dir = str(tmp_path / "data")
+    graph = make_graph()
+    with GraphStore(data_dir) as store:
+        store.put_graph("bank", graph)
+        store.attach("bank", graph)
+        graph.add_edge("t3", "a2", "a1", "Transfer")
+        store.flush("bank")
+        assert store.journal_rows("bank") == 1
+
+    assert main(["store", "compact", "--data-dir", data_dir, "bank"]) == 0
+    assert "compacted 'bank'" in capsys.readouterr().err
+    with GraphStore(data_dir) as store:
+        assert store.journal_rows("bank") == 0
+        assert "t3" in store.load_graph("bank").edges
+
+
+def test_export_unknown_graph_fails_cleanly(tmp_path, capsys):
+    data_dir = str(tmp_path / "data")
+    with GraphStore(data_dir):
+        pass
+    assert main(["store", "export", "--data-dir", data_dir,
+                 "missing", "-"]) == 1
+    assert "error:" in capsys.readouterr().err

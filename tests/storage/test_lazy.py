@@ -1,0 +1,138 @@
+"""LazyGraphHandle: needed-label inference, view reuse, LRU eviction."""
+
+import pytest
+
+from repro.graph.generators import random_graph
+from repro.storage.lazy import LazyGraphHandle, query_labels
+from repro.storage.store import GraphStore
+
+
+@pytest.fixture()
+def seeded(memory_store, bank):
+    memory_store.put_graph("bank", bank)
+    return memory_store
+
+
+# ----------------------------------------------------------------------
+# query_labels
+# ----------------------------------------------------------------------
+
+
+def test_query_labels_picks_touched_labels():
+    stored = frozenset({"a", "b", "c"})
+    assert query_labels("a.b", stored) == frozenset({"a", "b"})
+    assert query_labels("a*", stored) == frozenset({"a"})
+
+
+def test_query_labels_misses_every_stored_label():
+    assert query_labels("zz+", frozenset({"a", "b"})) == frozenset()
+
+
+def test_query_labels_wildcard_needs_everything():
+    stored = frozenset({"a", "b"})
+    assert query_labels("_*", stored) == stored
+
+
+def test_query_labels_negation():
+    stored = frozenset({"a", "b", "c"})
+    assert query_labels("!{a}", stored) == frozenset({"b", "c"})
+
+
+def test_query_labels_crpq_unions_atoms():
+    stored = frozenset({"a", "b", "c", "d"})
+    needed = query_labels("q(x,y) :- a(x,z), (b+c)(z,y)", stored)
+    assert needed == frozenset({"a", "b", "c"})
+
+
+# ----------------------------------------------------------------------
+# views
+# ----------------------------------------------------------------------
+
+
+def test_view_contains_only_requested_segments(seeded, bank):
+    handle = LazyGraphHandle(seeded, "bank")
+    view = handle.view({"Transfer"})
+    assert view.nodes == bank.nodes  # nodes always fully resident
+    assert view.edges == frozenset({"t1", "t2"})
+    # wildcard coherence: the restricted view still reports every stored label
+    assert view.labels == bank.labels
+    assert view.version == bank.version
+    assert view.properties("t1") == {"amount": 10}
+    assert view.node_label("a1") == "Account"
+    assert view.properties("a1") == bank.properties("a1")
+
+
+def test_view_reuse_and_fault_counters(seeded):
+    handle = LazyGraphHandle(seeded, "bank")
+    first = handle.view({"Transfer"})
+    second = handle.view({"Transfer"})
+    assert first is second
+    assert handle.view_builds == 1 and handle.view_hits == 1
+
+
+def test_empty_view_for_absent_labels(seeded, bank):
+    handle = LazyGraphHandle(seeded, "bank")
+    view = handle.view(query_labels("Nope+", handle.labels))
+    assert view.num_edges == 0
+    assert view.nodes == bank.nodes
+    assert view.labels == bank.labels
+
+
+def test_view_sees_journal_tail(seeded, bank):
+    seeded.attach("bank", bank)
+    bank.add_edge("t3", "a2", "a1", "Transfer", properties={"amount": 7})
+    bank.set_property("t1", "flag", True)
+    seeded.flush("bank")
+    handle = LazyGraphHandle(seeded, "bank")
+    view = handle.view({"Transfer"})
+    assert "t3" in view.edges
+    assert view.properties("t3") == {"amount": 7}
+    assert view.properties("t1") == {"amount": 10, "flag": True}
+    assert view.version == bank.version
+
+
+def test_materialize_is_full_and_memoized(seeded, bank):
+    handle = LazyGraphHandle(seeded, "bank")
+    handle.view({"Owns"})
+    full = handle.materialize()
+    assert full is handle.materialize()
+    assert full.edges == bank.edges
+    assert handle.resident
+    # once resident, every view request answers with the full graph
+    assert handle.view({"Transfer"}) is full
+
+
+def test_lru_eviction_respects_budget(tmp_path):
+    graph = random_graph(40, 200, labels=tuple("abcdefghij"), seed=3)
+    with GraphStore(str(tmp_path / "d")) as store:
+        store.put_graph("g", graph)
+        handle = LazyGraphHandle(store, "g", max_resident_edges=80)
+        views = {}
+        for label in "abcdefghij":
+            views[label] = handle.view({label})
+        assert handle._resident_edges <= 80
+        assert len(handle._views) < 10  # something was evicted
+        # an evicted view is rebuilt on demand (fresh object, same content)
+        rebuilt = handle.view({"a"})
+        assert rebuilt.edges == views["a"].edges
+
+
+def test_single_overbudget_view_still_served(tmp_path):
+    graph = random_graph(30, 150, labels=("a",), seed=5)
+    with GraphStore(str(tmp_path / "d")) as store:
+        store.put_graph("g", graph)
+        handle = LazyGraphHandle(store, "g", max_resident_edges=10)
+        view = handle.view({"a"})  # 150 edges, way over budget
+        assert view.num_edges == graph.num_edges
+        assert len(handle._views) == 1
+
+
+def test_info_shape(seeded, bank):
+    handle = LazyGraphHandle(seeded, "bank")
+    info = handle.info()
+    assert info["name"] == "bank"
+    assert info["kind"] == "property"
+    assert info["nodes"] == bank.num_nodes
+    assert info["edges"] == bank.num_edges
+    assert info["version"] == bank.version
+    assert not info["resident"]

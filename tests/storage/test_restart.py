@@ -1,0 +1,138 @@
+"""Restart acceptance: a real ``repro serve --data-dir`` process round trip.
+
+Upload, query, mutate, SIGTERM (graceful drain flushes the journal), then
+relaunch the same data dir: the restarted server must give byte-identical
+answers, keep the durable graph version, and key its answer cache on that
+version (a repeated query is a cache hit, not a recompute against some
+reset version-0 graph).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.graph.property_graph import PropertyGraph
+from repro.server.client import ServerClient
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+SERVE = [sys.executable, "-m", "repro.cli", "serve", "--port", "0"]
+
+
+def launch(data_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    process = subprocess.Popen(
+        SERVE + ["--data-dir", data_dir, *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    announcement = json.loads(process.stdout.readline())
+    assert announcement["event"] == "listening"
+    return process, announcement["port"]
+
+
+def terminate(process):
+    if process.poll() is None:
+        process.kill()
+        process.wait()
+
+
+def bank_graph():
+    graph = PropertyGraph()
+    graph.add_node("a1", label="Account", properties={"owner": "Megan"})
+    graph.add_node("a2", label="Account", properties={"owner": "Jay"})
+    graph.add_edge("t1", "a1", "a2", "Transfer", properties={"amount": 10})
+    graph.add_edge("t2", "a2", "a1", "Transfer", properties={"amount": 3})
+    return graph
+
+
+def test_restart_preserves_answers_and_versions(tmp_path):
+    data_dir = str(tmp_path / "data")
+    process, port = launch(data_dir)
+    try:
+        client = ServerClient("127.0.0.1", port)
+        client.upload_graph("bank", bank_graph())
+        assert client.rpq("bank", "Transfer")["count"] == 2
+
+        mutated = client.mutate("bank", [
+            {"kind": "add_node", "id": "a3", "label": "Account"},
+            {"kind": "add_edge", "id": "t3", "src": "a2", "tgt": "a3",
+             "label": "Transfer", "properties": {"amount": 99}},
+        ])
+        durable_version = mutated["version"][1]
+
+        expected = {
+            query: client.rpq("bank", query)["pairs"]
+            for query in ("Transfer", "Transfer*", "_*", "!{Transfer}")
+        }
+        crpq_expected = client.crpq(
+            "bank", "q(x,y) :- Transfer(x,z), Transfer(z,y)"
+        )["rows"]
+        client.close()
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=15) == 0
+    finally:
+        terminate(process)
+
+    relaunched, port = launch(data_dir)
+    try:
+        client = ServerClient("127.0.0.1", port)
+
+        # manifest survived: builtins plus the uploaded graph, with the
+        # durable version (not a reset in-memory counter)
+        graphs = {g["name"]: g for g in client.stats()["graphs"]}
+        assert set(graphs) == {"fig2", "fig3", "bank"}
+        assert graphs["bank"]["version"][1] == durable_version
+        assert graphs["bank"]["edges"] == 3
+
+        for query, pairs in expected.items():
+            assert client.rpq("bank", query)["pairs"] == pairs, query
+        assert client.crpq(
+            "bank", "q(x,y) :- Transfer(x,z), Transfer(z,y)"
+        )["rows"] == crpq_expected
+
+        # cache keys on the durable version: an identical query repeats as
+        # a hit on the restarted server
+        client.rpq("bank", "Transfer")
+        metrics = client.stats()["metrics"]
+        assert metrics["counters"]["server_answer_cache_hits"] >= 1
+        client.close()
+
+        relaunched.send_signal(signal.SIGTERM)
+        assert relaunched.wait(timeout=15) == 0
+    finally:
+        terminate(relaunched)
+
+
+def test_restart_after_lazy_only_reads(tmp_path):
+    """A serve cycle that never materializes keeps the store intact."""
+    data_dir = str(tmp_path / "data")
+    process, port = launch(data_dir, "--max-resident-edges", "4")
+    try:
+        client = ServerClient("127.0.0.1", port)
+        client.upload_graph("bank", bank_graph())
+        client.close()
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=15) == 0
+    finally:
+        terminate(process)
+
+    relaunched, port = launch(data_dir, "--max-resident-edges", "4")
+    try:
+        client = ServerClient("127.0.0.1", port)
+        assert client.rpq("bank", "Transfer")["count"] == 2
+        storage = client.stats()["storage"]
+        assert storage["lazy_graphs"] >= 1
+        assert storage["max_resident_edges"] == 4
+        client.close()
+        relaunched.send_signal(signal.SIGTERM)
+        assert relaunched.wait(timeout=15) == 0
+    finally:
+        terminate(relaunched)

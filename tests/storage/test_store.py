@@ -1,0 +1,321 @@
+"""GraphStore unit tests: snapshots, journal, compaction, version coherence.
+
+The hypothesis section is the satellite round-trip harness: arbitrary
+generated property graphs go graph → store → graph and must come back with
+the exact edge multiset, properties and ``version`` (the answer cache keys
+on it across restarts).
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.storage.store import GraphStore
+
+
+def edge_multiset(graph):
+    return Counter(graph.iter_edge_records())
+
+
+def assert_same_graph(left, right):
+    assert type(left) is type(right)
+    assert left.nodes == right.nodes
+    assert edge_multiset(left) == edge_multiset(right)
+    if isinstance(left, PropertyGraph):
+        for node in left.iter_nodes():
+            assert left.node_label(node) == right.node_label(node)
+        for obj in list(left.iter_nodes()) + list(left.iter_edges()):
+            assert left.properties(obj) == right.properties(obj)
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+
+
+def test_put_load_round_trip_property(store, bank):
+    store.put_graph("bank", bank)
+    loaded = store.load_graph("bank")
+    assert_same_graph(bank, loaded)
+    assert loaded.version == bank.version
+
+
+def test_put_load_round_trip_edge_labeled(store, plain):
+    store.put_graph("plain", plain)
+    loaded = store.load_graph("plain")
+    assert_same_graph(plain, loaded)
+    assert loaded.version == plain.version
+
+
+def test_reopen_same_directory(tmp_path, bank):
+    data_dir = str(tmp_path / "data")
+    with GraphStore(data_dir) as store:
+        store.put_graph("bank", bank)
+    with GraphStore(data_dir) as reopened:
+        assert reopened.names() == ["bank"]
+        assert_same_graph(bank, reopened.load_graph("bank"))
+
+
+def test_put_replaces_prior_state(store, bank, plain):
+    store.put_graph("g", bank)
+    store.put_graph("g", plain)
+    loaded = store.load_graph("g")
+    assert_same_graph(plain, loaded)
+
+
+def test_unknown_graph_raises(store):
+    with pytest.raises(StorageError):
+        store.load_graph("missing")
+    with pytest.raises(StorageError):
+        store.graph_info("missing")
+
+
+def test_delete_graph(store, bank):
+    store.put_graph("bank", bank)
+    store.delete_graph("bank")
+    assert store.names() == []
+    with pytest.raises(StorageError):
+        store.load_graph("bank")
+
+
+def test_manifest_and_label_counts(store, bank):
+    store.put_graph("bank", bank)
+    info = store.graph_info("bank")
+    assert info["kind"] == "property"
+    assert info["nodes"] == bank.num_nodes
+    assert info["edges"] == bank.num_edges
+    assert info["version"] == bank.version
+    assert store.label_counts("bank") == {"Transfer": 2, "Owns": 1}
+    assert store.labels("bank") == frozenset({"Transfer", "Owns"})
+
+
+def test_closed_store_rejects_use(tmp_path, bank):
+    store = GraphStore(str(tmp_path / "data"))
+    store.close()
+    store.close()  # idempotent
+    with pytest.raises(StorageError):
+        store.put_graph("bank", bank)
+
+
+def test_schema_version_mismatch_detected(tmp_path):
+    data_dir = str(tmp_path / "data")
+    store = GraphStore(data_dir)
+    store._conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+    store._conn.commit()
+    store.close()
+    with pytest.raises(StorageError):
+        GraphStore(data_dir)
+
+
+# ----------------------------------------------------------------------
+# journal write-through
+# ----------------------------------------------------------------------
+
+
+def test_attach_journals_mutations(store, bank):
+    store.put_graph("bank", bank)
+    store.attach("bank", bank)
+    bank.add_edge("t3", "a2", "a1", "Transfer", properties={"amount": 3})
+    bank.set_property("a1", "flag", True)
+    bank.add_node("a9", label="Account", properties={2: "two"})
+    assert store.pending("bank") == 3
+    assert store.flush("bank") == 3
+    assert store.pending("bank") == 0
+    loaded = store.load_graph("bank")
+    assert_same_graph(bank, loaded)
+    assert loaded.version == bank.version
+
+
+def test_flush_is_incremental(store, plain):
+    store.put_graph("p", plain)
+    store.attach("p", plain)
+    plain.add_edge("e3", "z", "w", "c")
+    store.flush("p")
+    plain.add_edge("e4", "w", "x", "c")
+    store.flush("p")
+    assert store.journal_rows("p") == 2
+    assert_same_graph(plain, store.load_graph("p"))
+
+
+def test_flush_every_triggers_automatically(tmp_path, plain):
+    with GraphStore(str(tmp_path / "d"), flush_every=2, compact_every=0) as store:
+        store.put_graph("p", plain)
+        store.attach("p", plain)
+        # edges between existing nodes: exactly one journal record each
+        plain.add_edge("e3", "x", "z", "c")
+        assert store.pending("p") == 1  # below the threshold: buffered
+        plain.add_edge("e4", "z", "x", "c")
+        assert store.pending("p") == 0  # threshold reached: group-committed
+        assert store.journal_rows("p") == 1
+
+
+def test_flush_all_names(store, bank, plain):
+    store.put_graph("bank", bank)
+    store.put_graph("plain", plain)
+    store.attach("bank", bank)
+    store.attach("plain", plain)
+    bank.set_property("a1", "k", 1)
+    plain.add_edge("e9", "x", "z", "a")
+    assert store.flush() == 2
+    assert store.pending("bank") == 0 and store.pending("plain") == 0
+
+
+def test_journal_tail_visible_without_flush_to_loader(store, bank):
+    """Unflushed records are NOT durable: load sees only the flushed prefix."""
+    store.put_graph("bank", bank)
+    store.attach("bank", bank)
+    before = bank.version
+    bank.add_edge("t9", "a1", "a2", "Transfer")
+    loaded = store.load_graph("bank")
+    assert "t9" not in loaded.edges
+    assert loaded.version == before
+
+
+def test_info_counts_include_journal_tail(store, bank):
+    store.put_graph("bank", bank)
+    store.attach("bank", bank)
+    bank.add_edge("t3", "a1", "new_node", "Wire")
+    bank.add_node("lonely")
+    store.flush("bank")
+    info = store.graph_info("bank")
+    assert info["nodes"] == bank.num_nodes
+    assert info["edges"] == bank.num_edges
+    assert store.label_counts("bank")["Wire"] == 1
+
+
+def test_reupload_discards_stale_buffer(store, bank, plain):
+    store.put_graph("g", bank)
+    store.attach("g", bank)
+    bank.set_property("a1", "stale", True)  # buffered, never flushed
+    store.put_graph("g", plain)  # replacement drops the stale record
+    assert store.pending("g") == 0
+    assert_same_graph(plain, store.load_graph("g"))
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+
+
+def test_compact_folds_journal(store, bank):
+    store.put_graph("bank", bank)
+    store.attach("bank", bank)
+    bank.add_edge("t3", "a2", "a1", "Transfer")
+    bank.set_property("t3", "amount", 5)
+    store.flush("bank")
+    assert store.journal_rows("bank") > 0
+    info = store.compact("bank")
+    assert store.journal_rows("bank") == 0
+    assert info["version"] == bank.version
+    assert info["snapshot_version"] == bank.version
+    assert_same_graph(bank, store.load_graph("bank"))
+
+
+def test_auto_compaction_bounds_journal(tmp_path):
+    graph = EdgeLabeledGraph()
+    graph.add_edge("e0", "n0", "n1", "a")
+    with GraphStore(str(tmp_path / "d"), compact_every=3) as store:
+        store.put_graph("g", graph)
+        store.attach("g", graph)
+        for i in range(1, 10):
+            graph.add_edge(f"e{i}", f"n{i}", f"n{i + 1}", "a")
+            store.flush("g")
+        assert store.journal_rows("g") < 3
+        loaded = store.load_graph("g")
+        assert_same_graph(graph, loaded)
+        assert loaded.version == graph.version
+
+
+def test_mutations_during_compaction_survive(store, plain):
+    """Records buffered while a compaction runs land in the next batch."""
+    store.put_graph("p", plain)
+    store.attach("p", plain)
+    plain.add_edge("e3", "z", "w", "c")
+    store.flush("p")
+    plain.add_edge("e4", "w", "u", "c")  # buffered, unflushed
+    store.compact("p")
+    assert_same_graph(plain, store.load_graph("p"))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: graph -> store -> graph is the identity (exact edge
+# multisets, properties, version semantics)
+# ----------------------------------------------------------------------
+
+_ids = st.text(alphabet="abcdefgh0123456789_", min_size=1, max_size=8)
+_labels = st.sampled_from(["Transfer", "Owns", "knows", 7, ""])
+_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+_props = st.dictionaries(
+    st.one_of(st.text(alphabet="abcxyz", min_size=1, max_size=5),
+              st.integers(min_value=0, max_value=9)),
+    _values,
+    max_size=3,
+)
+
+
+@st.composite
+def property_graphs(draw):
+    graph = PropertyGraph()
+    node_specs = draw(
+        st.lists(st.tuples(_ids, _labels, _props), min_size=1, max_size=6)
+    )
+    for name, label, properties in node_specs:
+        graph.add_node(f"n_{name}", str(label), properties)
+    nodes = sorted(graph.nodes)
+    edge_specs = draw(
+        st.lists(
+            st.tuples(
+                _ids,
+                st.integers(min_value=0, max_value=len(nodes) - 1),
+                st.integers(min_value=0, max_value=len(nodes) - 1),
+                _labels,
+                _props,
+            ),
+            max_size=10,
+            unique_by=lambda spec: spec[0],
+        )
+    )
+    for name, src, tgt, label, properties in edge_specs:
+        graph.add_edge(f"e_{name}", nodes[src], nodes[tgt], label, properties)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=property_graphs())
+def test_store_round_trip_is_identity(graph):
+    with GraphStore(":memory:") as store:
+        store.put_graph("g", graph)
+        loaded = store.load_graph("g")
+    assert_same_graph(graph, loaded)
+    assert loaded.version == graph.version
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=property_graphs(), extra=st.lists(
+    st.tuples(_ids, _ids, _labels, _props), max_size=5,
+    unique_by=lambda spec: spec[0],
+))
+def test_journaled_mutations_round_trip(graph, extra):
+    """snapshot ⊕ journal replays to the exact live graph and version."""
+    with GraphStore(":memory:") as store:
+        store.put_graph("g", graph)
+        store.attach("g", graph)
+        for i, (name, node, label, properties) in enumerate(extra):
+            graph.add_edge(
+                f"x_{i}_{name}", f"n_{node}", f"m_{node}", label,
+                properties=properties,
+            )
+        store.flush("g")
+        loaded = store.load_graph("g")
+        assert_same_graph(graph, loaded)
+        assert loaded.version == graph.version
