@@ -20,6 +20,7 @@ _SERVER_RECORDS: list[dict] = []
 _LIMITS_RECORDS: list[dict] = []
 _SHARD_RECORDS: list[dict] = []
 _STORAGE_RECORDS: list[dict] = []
+_RECOVERY_RECORDS: list[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -72,6 +73,11 @@ def storage_records():
     return _STORAGE_RECORDS
 
 
+@pytest.fixture(scope="session")
+def recovery_records():
+    return _RECOVERY_RECORDS
+
+
 def pytest_sessionfinish(session, exitstatus):
     for records, filename in (
         (_ENGINE_RECORDS, "BENCH_engine.json"),
@@ -80,6 +86,7 @@ def pytest_sessionfinish(session, exitstatus):
         (_LIMITS_RECORDS, "BENCH_limits.json"),
         (_SHARD_RECORDS, "BENCH_shard.json"),
         (_STORAGE_RECORDS, "BENCH_storage.json"),
+        (_RECOVERY_RECORDS, "BENCH_recovery.json"),
     ):
         if records:
             path = session.config.rootpath / filename

@@ -513,6 +513,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.distributed import (
+        FleetSupervisor,
         ShardCoordinator,
         ShardLauncher,
         ShardStartupError,
@@ -527,7 +528,17 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         ports=ports,
         query_timeout=args.query_timeout,
     )
+    supervisor = None
+    if args.heartbeat_interval > 0:
+        supervisor = FleetSupervisor(
+            launcher,
+            heartbeat_interval=args.heartbeat_interval,
+            max_restarts=args.max_restarts,
+        )
     try:
+        # The supervisor's start() also brings the fleet up; only the
+        # prober thread is deferred until the graphs are distributed, so
+        # a restart during distribution cannot race the initial uploads.
         addresses = launcher.start()
     except ShardStartupError as exc:
         # The launcher relays the failed worker's own one-line error, so
@@ -536,7 +547,12 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         return 1
     distributed = []
     try:
-        with ShardCoordinator(addresses) as coordinator:
+        with ShardCoordinator(
+            addresses,
+            hedge_after=args.hedge_after,
+            allow_degraded=args.allow_degraded,
+            supervisor=supervisor,
+        ) as coordinator:
             for spec in args.graphs or ():
                 name, _, path = spec.partition("=")
                 if not path:
@@ -551,6 +567,9 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                         name, graph, strategy=args.partition
                     )
                 distributed.append(info)
+            if supervisor is not None:
+                supervisor.on_restart = coordinator.notify_restart
+                supervisor.start()
             print(
                 json.dumps(
                     {
@@ -560,6 +579,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                             for host, port in addresses
                         ],
                         "graphs": distributed,
+                        "supervised": supervisor is not None,
                     },
                     sort_keys=True,
                 ),
@@ -601,7 +621,10 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                 except OSError:
                     pass
     finally:
-        launcher.stop()
+        if supervisor is not None:
+            supervisor.stop()
+        else:
+            launcher.stop()
     print("# cluster stopped", file=sys.stderr)
     return 0
 
@@ -632,26 +655,47 @@ def _query_via_shards(args: argparse.Namespace) -> int:
 
         tracer = None
         tracer_scope = nullcontext()
+    degraded = False
     try:
         with tracer_scope, ShardCoordinator(
-            addresses, slow_round_ms=getattr(args, "slow_round_ms", None)
+            addresses,
+            slow_round_ms=getattr(args, "slow_round_ms", None),
+            hedge_after=getattr(args, "hedge_after", None),
+            allow_degraded=getattr(args, "allow_degraded", False),
         ) as coordinator:
             name = f"cli:{args.graph}"
             if args.replicated:
                 coordinator.replicate_graph(name, graph)
+                # The result-dict path, not evaluate_*: hedging and the
+                # degraded fallback live on replica routing, and only this
+                # shape can carry the degraded marker to the caller.
+                limits = {
+                    "timeout": getattr(args, "timeout", None),
+                    "max_rows": getattr(args, "max_rows", None),
+                    "max_states": getattr(args, "max_states", None),
+                }
+                if query_kind(args.query) == "crpq":
+                    result = coordinator.crpq(name, args.query, **limits)
+                    rows = {tuple(row) for row in result["rows"]}
+                else:
+                    result = coordinator.rpq(
+                        name, args.query, source=args.source, **limits
+                    )
+                    rows = {tuple(pair) for pair in result["pairs"]}
+                degraded = bool(result.get("degraded"))
             else:
                 coordinator.partition_graph(
                     name, graph, strategy=args.partition
                 )
-            if query_kind(args.query) == "crpq":
-                rows = coordinator.evaluate_crpq(
-                    name, args.query, budget=budget
-                )
-            else:
-                sources = [args.source] if args.source else None
-                rows = coordinator.evaluate_rpq(
-                    name, args.query, sources=sources, budget=budget
-                )
+                if query_kind(args.query) == "crpq":
+                    rows = coordinator.evaluate_crpq(
+                        name, args.query, budget=budget
+                    )
+                else:
+                    sources = [args.source] if args.source else None
+                    rows = coordinator.evaluate_rpq(
+                        name, args.query, sources=sources, budget=budget
+                    )
     except BudgetExceeded as exc:
         for row in sorted(exc.partial or (), key=repr):
             if isinstance(row, tuple):
@@ -661,6 +705,9 @@ def _query_via_shards(args: argparse.Namespace) -> int:
         return _report_trip(exc)
     except ShardUnavailableError as exc:
         print(f"error [shard_unavailable]: {exc.message}", file=sys.stderr)
+        retry_after = exc.details.get("retry_after")
+        if retry_after:
+            print(f"# retry after {retry_after}s", file=sys.stderr)
         return 1
     except (ConnectionLost, OSError) as exc:
         print(f"error: cannot reach shard fleet: {exc}", file=sys.stderr)
@@ -673,10 +720,20 @@ def _query_via_shards(args: argparse.Namespace) -> int:
         print(
             f"# wrote {written} span trees to {trace_out}", file=sys.stderr
         )
+    if degraded:
+        print(
+            "# degraded: served from the coordinator's local copy "
+            "(every replica was down)",
+            file=sys.stderr,
+        )
     if args.json:
         print(
             json.dumps(
-                {"count": len(rows), "rows": sorted(map(list, rows), key=repr)},
+                {
+                    "count": len(rows),
+                    "rows": sorted(map(list, rows), key=repr),
+                    **({"degraded": True} if degraded else {}),
+                },
                 sort_keys=True,
             )
         )
@@ -1146,6 +1203,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=5.0, metavar="SECONDS",
         help="seconds between fleet metrics dumps (default 5)",
     )
+    shard_serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between fleet health probes; a worker missing 3 "
+        "probes (or whose process exited) is restarted on its announced "
+        "port and re-seeded; 0 disables supervision (default 1)",
+    )
+    shard_serve.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="restart budget per worker per 60s window; a worker "
+        "crash-looping past it is left down (default 3)",
+    )
+    shard_serve.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="race a replicated read at the next rendezvous replica after "
+        "this many seconds without an answer (default: no hedging)",
+    )
+    shard_serve.add_argument(
+        "--allow-degraded", action="store_true",
+        help="when every replica of a graph is down, serve replicated "
+        "reads from the coordinator's retained copy marked "
+        "'degraded: true' instead of failing (never cached)",
+    )
     shard_serve.set_defaults(handler=_cmd_shard_serve)
 
     query = commands.add_parser(
@@ -1171,6 +1250,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicated", action="store_true",
         help="with --shards: replicate instead of partition and route the "
         "whole query to one replica",
+    )
+    query.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="with --shards --replicated: race the read at the next "
+        "rendezvous replica after this many seconds without an answer",
+    )
+    query.add_argument(
+        "--allow-degraded", action="store_true",
+        help="with --shards --replicated: if every replica is down, "
+        "answer from the coordinator's local copy (marked degraded) "
+        "instead of failing",
     )
     query.add_argument(
         "graph",

@@ -3,13 +3,25 @@
 See DESIGN.md §11.  :mod:`repro.distributed.frontier` is the wire codec and
 the shard-side frontier sweep; :mod:`repro.distributed.coordinator` is the
 client-side coordinator (partitioning, synchronous frontier-exchange
-rounds, replica routing, the shard-process launcher).
+rounds, replica routing, the shard-process launcher).  The self-healing
+layer (DESIGN.md §14) lives in :mod:`repro.distributed.breaker` (per-shard
+circuit breakers) and :mod:`repro.distributed.fleet` (heartbeat probing,
+supervised restart, state re-seeding).
 """
 
+from repro.distributed.breaker import BreakerOpenError, CircuitBreaker
 from repro.distributed.coordinator import (
     ShardCoordinator,
     ShardLauncher,
     ShardStartupError,
 )
+from repro.distributed.fleet import FleetSupervisor
 
-__all__ = ["ShardCoordinator", "ShardLauncher", "ShardStartupError"]
+__all__ = [
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "FleetSupervisor",
+    "ShardCoordinator",
+    "ShardLauncher",
+    "ShardStartupError",
+]

@@ -1,0 +1,188 @@
+"""Per-shard circuit breakers: fail fast instead of burning the deadline.
+
+DESIGN.md §14.  A dead shard costs a scatter-gather query one transport
+timeout *per round* — with a 60s client timeout, one crashed worker turns
+every distributed query into a minute-long hang before the typed
+``shard_unavailable`` surfaces.  A :class:`CircuitBreaker` in front of each
+shard turns that into an O(1) refusal:
+
+* **closed** — requests flow; consecutive transport/shard-down failures are
+  counted, and reaching ``failure_threshold`` trips the breaker **open**
+  (any success resets the count — only an unbroken failure run trips);
+* **open** — every request is refused instantly with
+  :class:`BreakerOpenError` carrying a ``retry_after`` hint (the remaining
+  cooldown), so callers surface a typed 503 in microseconds instead of
+  waiting out a connect timeout on a corpse;
+* **half-open** — once ``cooldown`` elapses, exactly **one** probe request
+  is admitted.  Success closes the breaker (the shard healed — usually the
+  fleet supervisor restarted and re-seeded it); failure re-opens it for a
+  fresh cooldown.  Concurrent callers during the probe are refused: a
+  recovering shard must not be greeted by a thundering herd.
+
+The state machine is driven entirely by its callers (``allow`` before an
+attempt, ``record_success``/``record_failure`` after) and an injectable
+monotonic ``clock``, so the hypothesis suite can walk arbitrary
+success/failure/clock-advance sequences without sleeping.
+
+Thread-safety: every transition holds the breaker's lock.  The coordinator
+calls ``allow`` from its pool threads (one per shard) and records outcomes
+on whichever thread observed them; the single-probe invariant survives
+because admission and resolution are both atomic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReproError
+
+#: The three breaker states (exported for tests and status displays).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpenError(ReproError):
+    """An attempt was refused because the shard's breaker is open.
+
+    ``retry_after`` is the remaining cooldown in seconds — the hint the
+    coordinator forwards in its ``shard_unavailable`` envelope so clients
+    back off for roughly the right interval instead of guessing.
+    """
+
+    def __init__(self, shard: "int | None", retry_after: float):
+        super().__init__(
+            f"circuit breaker open for shard {shard}; "
+            f"retry in {retry_after:.3f}s"
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Closed → open → half-open → closed, under an injectable clock."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        clock=time.monotonic,
+        shard: "int | None" = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.shard = shard
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: lifetime counters (status displays, tests)
+        self.trips = 0
+        self.fast_failures = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current state, advancing open → half-open when due.
+
+        Reading the state is side-effect-light: the open→half-open
+        transition is a pure function of the clock, so observing it here
+        keeps ``state`` consistent with what ``allow`` would do — but no
+        probe slot is consumed.
+        """
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would admit a half-open probe (0 when
+        it already would)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    # ------------------------------------------------------------------
+    # the caller protocol: allow → attempt → record
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May an attempt proceed right now?
+
+        ``True`` either means the breaker is closed, or it just admitted
+        *the* half-open probe — in which case the caller **must** follow up
+        with ``record_success`` or ``record_failure`` to resolve the probe
+        (an unresolved probe would block the breaker in half-open forever).
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self.fast_failures += 1
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow`, raising :class:`BreakerOpenError` on refusal."""
+        if not self.allow():
+            raise BreakerOpenError(self.shard, self.retry_after())
+
+    def record_success(self) -> None:
+        """An attempt completed: reset to closed (and resolve any probe)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """An attempt died on transport loss or a shard-down envelope."""
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                # The probe failed: a fresh full cooldown, not a leftover.
+                self._trip()
+                return
+            if self._state == OPEN:
+                # A straggling attempt admitted before the trip resolved
+                # after it; the breaker is already open — keep its clock.
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def reset(self) -> None:
+        """Force-close (the supervisor just restarted and re-seeded the
+        shard; the next attempt should not be gated behind a probe)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    # internals (lock held)
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probe_in_flight = False
+        self.trips += 1

@@ -33,6 +33,16 @@ whole queries to a replica (with failover down the preference list) and
 memoize through a coordinator-level answer cache — the read-throughput
 path ``benchmarks/bench_shard.py`` gates.
 
+**Resilience** (DESIGN.md §14): a per-shard
+:class:`~repro.distributed.breaker.CircuitBreaker` turns repeated shard
+deaths into instant typed refusals carrying a ``retry_after`` hint;
+``hedge_after`` races slow replicated reads at the next rendezvous replica
+(first answer wins); ``allow_degraded`` serves replicated reads from the
+coordinator's retained copy — marked ``degraded: true`` and never cached —
+when every replica is down.  Pair with a
+:class:`~repro.distributed.fleet.FleetSupervisor` (``supervisor=``) and
+dead workers are restarted and re-seeded behind the scenes.
+
 A coordinator, like the underlying clients, is **not thread-safe**: drive
 concurrency with one coordinator per thread (they can share one shard
 fleet).
@@ -48,10 +58,13 @@ import subprocess
 import sys
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from contextlib import nullcontext
 from itertools import islice
 
+from repro.distributed.breaker import BreakerOpenError, CircuitBreaker
+from repro.engine.faults import fault_point
 from repro.engine.limits import BudgetExceeded
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.partition import (
@@ -93,6 +106,10 @@ _SHARD_DOWN_CODES = frozenset(
 #: The slow-round log (one ``logging`` record per round slower than the
 #: coordinator's ``slow_round_ms``, message = a JSON object).
 logger = logging.getLogger("repro.distributed.coordinator")
+
+#: Sentinel for "no replica produced an answer" (a result of ``None`` must
+#: stay distinguishable from exhaustion).
+_NO_ANSWER = object()
 
 
 def rendezvous(key: str, candidates) -> list[int]:
@@ -240,6 +257,45 @@ class ShardLauncher:
             shard, f"worker did not announce within {self.startup_timeout}s"
         )
 
+    def poll(self, shard: int) -> "int | None":
+        """The worker's exit status (``None`` while it is still running)."""
+        if not self._procs:
+            raise RuntimeError("launcher is not started")
+        return self._procs[shard].poll()
+
+    def respawn(self, shard: int) -> tuple[str, int]:
+        """Kill (if needed) and relaunch one worker on its announced port.
+
+        The originally-announced port is pinned so coordinator address
+        lists and replica preference orders stay valid across the restart;
+        SIGKILL (not SIGTERM) clears a wedged process, because respawn is
+        only reached once the supervisor has already declared it dead —
+        there is nothing left worth draining.  Raises
+        :class:`ShardStartupError` when the replacement fails to announce
+        (e.g. the pinned port is still held by a half-dead predecessor).
+        """
+        if not self._procs:
+            raise RuntimeError("launcher is not started")
+        old = self._procs[shard]
+        if old.poll() is None:
+            old.kill()
+            old.wait()
+        for stream in (old.stdout, old.stderr):
+            if stream is not None:
+                stream.close()
+        host, port = self.addresses[shard]
+        proc = subprocess.Popen(
+            self._command(port),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=self._environment(),
+        )
+        self._procs[shard] = proc
+        address = self._await_announce(shard, proc)
+        self.addresses[shard] = address
+        return address
+
     def stop(self, timeout: float = 15.0) -> None:
         """SIGTERM every worker (graceful drain) and reap it."""
         for proc in self._procs:
@@ -298,11 +354,30 @@ class ShardCoordinator:
         rtt_slack: float = DEFAULT_RTT_SLACK,
         telemetry: bool = True,
         slow_round_ms: "float | None" = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        hedge_after: "float | None" = None,
+        allow_degraded: bool = False,
+        supervisor=None,
     ):
         self.addresses = [tuple(address) for address in addresses]
         if not self.addresses:
             raise ValueError("need at least one shard address")
+        if hedge_after is not None and hedge_after <= 0:
+            raise ValueError("hedge_after must be positive (or None)")
         self.rtt_slack = rtt_slack
+        self.timeout = timeout
+        #: seconds to wait for a replica before racing the same read at the
+        #: next rendezvous replica (``None`` disables hedging).
+        self.hedge_after = hedge_after
+        #: when every replica is down, serve replicated reads from the
+        #: coordinator's retained copy with a ``degraded: true`` marker
+        #: instead of raising ``shard_unavailable`` (opt-in; DESIGN.md §14).
+        self.allow_degraded = allow_degraded
+        #: an optional :class:`~repro.distributed.fleet.FleetSupervisor`;
+        #: when present, partition/replica documents are recorded with it
+        #: so a restarted worker can be re-seeded.
+        self.supervisor = supervisor
         #: the coordinator's own registry (round counts, frontier sizes,
         #: wire bytes, straggler gaps); ``telemetry=False`` skips all of it
         #: — the bare baseline the disabled-overhead bench arm compares to.
@@ -313,8 +388,23 @@ class ShardCoordinator:
             ServerClient(host, port, timeout=timeout, retry=retry)
             for host, port in self.addresses
         ]
+        #: one breaker per shard, shared by the replica-routing and
+        #: scatter-gather paths: a shard declared dead on one path fails
+        #: fast on the other too.
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                shard=shard,
+            )
+            for shard in range(len(self._clients))
+        ]
+        # A few workers beyond one-per-shard: hedged reads may strand a
+        # losing attempt on a pool thread until its server answers, and a
+        # scatter-gather round still needs one free worker per shard.
         self._pool = ThreadPoolExecutor(
-            max_workers=len(self._clients), thread_name_prefix="repro-shard"
+            max_workers=len(self._clients) + 4,
+            thread_name_prefix="repro-shard",
         )
         self._catalog: dict[str, _GraphEntry] = {}
         self._token = 0
@@ -342,12 +432,28 @@ class ShardCoordinator:
     def ping(self) -> list[dict]:
         return [client.ping() for client in self._clients]
 
+    def notify_restart(self, shard: int, address=None) -> None:
+        """The supervisor restarted ``shard``: adopt the reborn worker.
+
+        Force-closes the shard's breaker (the supervisor just verified the
+        worker with a post-re-seed health check, so the next request must
+        not be gated behind a half-open probe) and retires the old client
+        connection — it points at a process that no longer exists, and
+        marking it broken makes the next request reconnect to the pinned
+        port.  Wired as the :class:`FleetSupervisor`'s ``on_restart``
+        callback; safe to call from the prober thread (both effects are
+        single atomic writes).
+        """
+        self.breakers[shard].reset()
+        self._clients[shard].abandon()
+
     def stats(self) -> dict:
         return {
             "shards": self.num_shards,
             "rounds_total": self.rounds_total,
             "frontier_calls": self.frontier_calls,
             "answer_cache": self.answer_cache.info(),
+            "breakers": [breaker.state for breaker in self.breakers],
             "graphs": sorted(self._catalog),
             "metrics": self.metrics.as_dict() if self.metrics is not None else None,
         }
@@ -415,8 +521,15 @@ class ShardCoordinator:
         """
         shard_map = make_shard_map(graph, self.num_shards, strategy)
         parts = partition_graph(graph, shard_map)
-        for client, part in zip(self._clients, parts):
-            client.upload_graph(name, part)
+        for shard, (client, part) in enumerate(zip(self._clients, parts)):
+            if self.supervisor is not None:
+                from repro.graph.serialize import graph_to_dict
+
+                document = graph_to_dict(part)
+                self.supervisor.record_seed(shard, name, document)
+                client.upload_graph(name, document)
+            else:
+                client.upload_graph(name, part)
         entry = self._register(name, graph)
         entry.shard_map = shard_map
         entry.order = node_order(graph)
@@ -451,6 +564,8 @@ class ShardCoordinator:
                 from repro.graph.serialize import graph_to_dict
 
                 document = graph_to_dict(graph)
+            if self.supervisor is not None:
+                self.supervisor.record_seed(shard, name, document)
             self._clients[shard].upload_graph(name, document)
         entry = self._register(name, graph)
         entry.replicas = replicas
@@ -488,34 +603,200 @@ class ShardCoordinator:
         cached = self.answer_cache.get(cache_key)
         if cached is not None:
             return cached
+        preference = rendezvous(f"{name}|{route_key}", entry.replicas)
+        if self.hedge_after is not None and len(preference) > 1:
+            result, last_failure = self._route_hedged(op, name, preference, params)
+        else:
+            result, last_failure = self._route_failover(op, name, preference, params)
+        if result is _NO_ANSWER:
+            # Deliberately *before* the cache put: degraded answers (and
+            # typed failures) must never alias the exact result under the
+            # full-result token key.
+            return self._all_replicas_down(op, entry, params, preference, last_failure)
+        # Span subtrees are per-request routing payload, not part of
+        # the answer: cache the clean result, hand the caller the
+        # traced copy (a cached replay must never carry stale spans).
+        trace_spans = None
+        if isinstance(result, dict):
+            trace_spans = result.pop("trace_spans", None)
+        self.answer_cache.put(cache_key, result)
+        if trace_spans is not None:
+            result = dict(result)
+            result["trace_spans"] = trace_spans
+        return result
+
+    def _route_failover(self, op, name, preference, params):
+        """Walk the preference list on the persistent clients, one at a
+        time, skipping shards whose breaker refuses; ``(result, None)`` on
+        success, ``(_NO_ANSWER, last failure)`` when every replica failed.
+        """
         last_failure: "Exception | None" = None
-        for shard in rendezvous(f"{name}|{route_key}", entry.replicas):
-            client = self._clients[shard]
+        for shard in preference:
+            breaker = self.breakers[shard]
+            if not breaker.allow():
+                last_failure = BreakerOpenError(shard, breaker.retry_after())
+                continue
             try:
-                result = client.request(op, graph=name, **params)
+                if fault_point("shard.crash"):
+                    raise ConnectionLost("injected shard death (dropped)")
+                result = self._clients[shard].request(op, graph=name, **params)
             except (ConnectionLost, OSError) as exc:
+                breaker.record_failure()
                 last_failure = exc
                 continue
             except ServerError as exc:
                 if exc.code in _SHARD_DOWN_CODES:
+                    breaker.record_failure()
                     last_failure = exc
                     continue
+                # The shard answered (a typed query error, not a death):
+                # resolve any half-open probe in the shard's favour.
+                breaker.record_success()
                 raise
-            # Span subtrees are per-request routing payload, not part of
-            # the answer: cache the clean result, hand the caller the
-            # traced copy (a cached replay must never carry stale spans).
-            trace_spans = None
-            if isinstance(result, dict):
-                trace_spans = result.pop("trace_spans", None)
-            self.answer_cache.put(cache_key, result)
-            if trace_spans is not None:
-                result = dict(result)
-                result["trace_spans"] = trace_spans
-            return result
+            breaker.record_success()
+            return result, None
+        return _NO_ANSWER, last_failure
+
+    def _route_hedged(self, op, name, preference, params):
+        """Race the read across replicas: primary first, the next
+        rendezvous replica after each ``hedge_after`` without an answer,
+        first answer wins.  A losing attempt keeps running on its own
+        fresh connection until its server finishes; only its transport is
+        discarded (the ops routed here are idempotent reads).
+        """
+        inflight: dict = {}   # future -> shard
+        order: dict = {}      # future -> launch index (0 = primary)
+        state = {"position": 0, "launched": 0, "last_failure": None}
+
+        def launch() -> bool:
+            while state["position"] < len(preference):
+                shard = preference[state["position"]]
+                state["position"] += 1
+                breaker = self.breakers[shard]
+                if not breaker.allow():
+                    state["last_failure"] = BreakerOpenError(
+                        shard, breaker.retry_after()
+                    )
+                    continue
+                future = self._pool.submit(
+                    self._replica_attempt, shard, op, name, params
+                )
+                inflight[future] = shard
+                order[future] = state["launched"]
+                state["launched"] += 1
+                return True
+            return False
+
+        launch()
+        while inflight:
+            exhausted = state["position"] >= len(preference)
+            done, _ = futures_wait(
+                set(inflight),
+                timeout=None if exhausted else self.hedge_after,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # The hedge timer expired with no answer: fire the next
+                # replica and keep both attempts in the race.
+                if launch() and self.metrics is not None:
+                    self.metrics.inc("coordinator_hedged_requests_total")
+                continue
+            for future in done:
+                shard = inflight.pop(future)
+                breaker = self.breakers[shard]
+                try:
+                    result = future.result()
+                except (ConnectionLost, OSError) as exc:
+                    breaker.record_failure()
+                    state["last_failure"] = exc
+                    launch()  # failover immediately, don't wait the timer
+                    continue
+                except ServerError as exc:
+                    if exc.code in _SHARD_DOWN_CODES:
+                        breaker.record_failure()
+                        state["last_failure"] = exc
+                        launch()
+                        continue
+                    breaker.record_success()
+                    raise
+                breaker.record_success()
+                if order[future] > 0 and self.metrics is not None:
+                    self.metrics.inc("coordinator_hedge_wins_total")
+                return result, None
+        return _NO_ANSWER, state["last_failure"]
+
+    def _replica_attempt(self, shard, op, name, params):
+        """One hedged replica attempt, on its own fresh connection.
+
+        Fresh per attempt because the losing attempt holds its connection
+        until the server finishes; sharing the coordinator's long-lived
+        client would hand one socket to two threads.  The loser's
+        server-side work runs to completion and is discarded with its
+        connection — a connect handshake is noise next to the query.
+        """
+        if fault_point("shard.crash"):
+            raise ConnectionLost("injected shard death (dropped)")
+        host, port = self.addresses[shard]
+        client = ServerClient(host, port, timeout=self.timeout)
+        try:
+            return client.request(op, graph=name, **params)
+        finally:
+            client.close()
+
+    def _all_replicas_down(self, op, entry, params, preference, last_failure):
+        waits = [self.breakers[shard].retry_after() for shard in preference]
+        retry_after = min((wait for wait in waits if wait > 0), default=0.0)
+        if self.allow_degraded and entry.graph is not None:
+            return self._degraded_local(op, entry, params)
         raise ShardUnavailableError(
-            f"every replica of {name!r} failed; last error: {last_failure}",
-            graph=name,
+            f"every replica of {entry.name!r} failed; "
+            f"last error: {last_failure}",
+            graph=entry.name,
             replicas=list(entry.replicas),
+            retry_after=round(retry_after, 3),
+        )
+
+    def _degraded_local(self, op, entry, params) -> dict:
+        """Serve a replicated read from the coordinator's retained copy.
+
+        The escape hatch behind ``allow_degraded``: every replica is down,
+        so instead of a typed refusal the caller gets an answer computed
+        on the copy the replicas were seeded from, marked ``degraded:
+        true`` — the copy may trail worker-side mutations, so the marker
+        is the caller's cue to treat it as stale-tolerant.  Degraded
+        results are **never** written to the answer cache (they would
+        alias the exact result under the same token key; the chaos suite
+        pins this).
+        """
+        if self.metrics is not None:
+            self.metrics.inc("coordinator_degraded_reads_total")
+        query = params["query"]
+        if op == "rpq":
+            from repro.rpq.evaluation import evaluate_rpq
+
+            sources = [params["source"]] if "source" in params else None
+            pairs = evaluate_rpq(query, entry.graph, sources)
+            return {
+                "pairs": sorted(([s, t] for s, t in pairs), key=repr),
+                "count": len(pairs),
+                "degraded": True,
+            }
+        if op == "crpq":
+            from repro.crpq.evaluation import evaluate_crpq
+
+            kwargs = {}
+            if params.get("planner") is not None:
+                kwargs["planner"] = params["planner"]
+            rows = evaluate_crpq(query, entry.graph, **kwargs)
+            return {
+                "rows": sorted((list(row) for row in rows), key=repr),
+                "count": len(rows),
+                "degraded": True,
+            }
+        raise ShardUnavailableError(
+            f"no degraded local path for op {op!r} on {entry.name!r}",
+            graph=entry.name,
+            op=op,
         )
 
     def rpq(self, name: str, query: str, source=None, **limits) -> dict:
@@ -581,13 +862,35 @@ class ShardCoordinator:
             sources = list(sources)
         if sources is not None and len(sources) == 1:
             result = self.rpq(entry.name, query, source=sources[0], **limits)
+            self._require_exact(entry, result)
             return {tuple(pair) for pair in result["pairs"]}
         result = self.rpq(entry.name, query, **limits)
+        self._require_exact(entry, result)
         pairs = {tuple(pair) for pair in result["pairs"]}
         if sources is not None:
             keep = set(sources)
             pairs = {pair for pair in pairs if pair[0] in keep}
         return pairs
+
+    @staticmethod
+    def _require_exact(entry, result) -> None:
+        """Refuse a degraded result on a set-returning evaluation path.
+
+        ``evaluate_rpq``/``evaluate_crpq`` return bare answer sets — there
+        is no channel to carry the ``degraded`` marker, and the exactness
+        contract (answers identical to single-node evaluation, or a typed
+        error) would be silently violated.  Only the result-dict
+        ``rpq``/``crpq`` API, where callers can see the marker, may serve
+        degraded answers.
+        """
+        if isinstance(result, dict) and result.get("degraded"):
+            raise ShardUnavailableError(
+                f"replicated evaluation of {entry.name!r} needs an exact "
+                "replica answer; the degraded local fallback only serves "
+                "the result-dict rpq/crpq API where the marker is visible",
+                graph=entry.name,
+                degraded=True,
+            )
 
     def _scatter_gather(self, entry, query, sources, budget) -> set[tuple]:
         stats = EngineStats()
@@ -842,19 +1145,39 @@ class ShardCoordinator:
         the coordinator thread, because the registry is not thread-safe.
         """
         self.frontier_calls += 1
+        breaker = self.breakers[shard]
+        # Fail fast on a shard already declared dead: the refusal costs
+        # microseconds instead of a transport timeout per round, and the
+        # caller surfaces it as a typed shard_unavailable with retry_after.
+        breaker.check()
         encoded = encode_pairs(frontier)
         started = time.perf_counter()
-        result = self._clients[shard].frontier_step(
-            entry.name,
-            query,
-            frontier=encoded,
-            owned=entry.owned_hex[shard],
-            state_bits=bits,
-            alphabet=alphabet,
-            round=round_number,
-            trace=trace,
-            timeout=round_timeout,
-        )
+        try:
+            if fault_point("shard.crash"):
+                raise ConnectionLost("injected shard death (dropped)")
+            result = self._clients[shard].frontier_step(
+                entry.name,
+                query,
+                frontier=encoded,
+                owned=entry.owned_hex[shard],
+                state_bits=bits,
+                alphabet=alphabet,
+                round=round_number,
+                trace=trace,
+                timeout=round_timeout,
+            )
+        except (ConnectionLost, OSError):
+            breaker.record_failure()
+            raise
+        except ServerError as exc:
+            if exc.code in _SHARD_DOWN_CODES:
+                breaker.record_failure()
+            else:
+                # Budget trips and query errors mean the shard is alive
+                # and answering — a straggler is not a corpse.
+                breaker.record_success()
+            raise
+        breaker.record_success()
         return {
             "result": result,
             "elapsed": time.perf_counter() - started,
@@ -865,6 +1188,14 @@ class ShardCoordinator:
         host, port = self.addresses[shard]
         try:
             return future.result()
+        except BreakerOpenError as exc:
+            raise ShardUnavailableError(
+                f"shard {shard} ({host}:{port}) refused by its open "
+                f"circuit breaker during frontier round {round_number}",
+                shard=shard,
+                round=round_number,
+                retry_after=round(exc.retry_after, 3),
+            ) from exc
         except (ConnectionLost, OSError) as exc:
             raise ShardUnavailableError(
                 f"shard {shard} ({host}:{port}) lost during frontier round "

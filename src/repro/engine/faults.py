@@ -47,6 +47,8 @@ SITES = frozenset(
         "server.write",         # server's response write path
         "client.read",          # client's response read path
         "shard.frontier_step",  # shard-side entry of a distributed BFS round
+        "shard.crash",          # coordinator-side send to a shard (simulated death)
+        "fleet.probe",          # fleet supervisor's per-shard heartbeat probe
         "storage.journal_write",  # GraphStore flush, before the journal commit
     }
 )

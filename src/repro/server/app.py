@@ -314,6 +314,12 @@ class QueryServer:
             if request.op == "stats":
                 result["admission"] = self.admission.snapshot()
                 result["in_flight"] = self._in_flight
+            elif request.op == "health":
+                # The service's health body plus what only the app knows:
+                # how many requests hold slots and whether a drain started.
+                result["in_flight"] = self._in_flight
+                if self._draining:
+                    result["status"] = "draining"
             return result
         async with self.admission.slot():
             if request.op == "sleep":

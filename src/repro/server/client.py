@@ -44,6 +44,7 @@ IDEMPOTENT_OPS = frozenset(
     {
         "ping",
         "stats",
+        "health",
         "graphs.list",
         "rpq",
         "crpq",
@@ -54,6 +55,12 @@ IDEMPOTENT_OPS = frozenset(
         "cluster_metrics",
     }
 )
+
+#: Control-plane ops that answer from in-memory state.  They run under the
+#: client's (short) ``control_timeout`` instead of the query timeout, so a
+#: wedged worker stalls a health prober for at most the control timeout —
+#: never for a full query deadline.
+CONTROL_CLIENT_OPS = frozenset({"ping", "health", "cluster_metrics"})
 
 
 class ServerError(ReproError):
@@ -136,10 +143,14 @@ class ServerClient:
         port: int,
         timeout: float = 60.0,
         retry: "RetryPolicy | None" = None,
+        control_timeout: "float | None" = 5.0,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: wall-clock cap for :data:`CONTROL_CLIENT_OPS` (``None`` disables
+        #: the override and control ops share the query timeout).
+        self.control_timeout = control_timeout
         self.retry = retry
         self.reconnects = 0
         self._generation = -1
@@ -225,6 +236,26 @@ class ServerClient:
         # in its buffer — never reuse it.
         if self._broken:
             self._reconnect()
+        # Control ops get their own, much shorter wire timeout: a wedged
+        # worker must cost a prober ``control_timeout`` seconds, not the
+        # full query deadline.  The socket timeout is consulted per
+        # recv/send, so flipping it around one exchange is safe.
+        wire_timeout = None
+        if (
+            op in CONTROL_CLIENT_OPS
+            and self.control_timeout is not None
+            and self.control_timeout < self.timeout
+        ):
+            wire_timeout = self.control_timeout
+        if wire_timeout is not None:
+            self._sock.settimeout(wire_timeout)
+        try:
+            return self._exchange(op, **params)
+        finally:
+            if wire_timeout is not None and not self._broken:
+                self._sock.settimeout(self.timeout)
+
+    def _exchange(self, op: str, **params: Any) -> Any:
         request_id = self._next_id()
         try:
             self._file.write(encode_request(op, id=request_id, **params))
@@ -292,6 +323,22 @@ class ServerClient:
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def health(self) -> dict:
+        """The server's cheap liveness body (uptime, catalog versions,
+        in-flight count).  Runs under :attr:`control_timeout`."""
+        return self.request("health")
+
+    def abandon(self) -> None:
+        """Mark the connection desynchronized; the next request reconnects.
+
+        Hedged reads race one request per replica and take the first
+        answer; a loser's response is still in flight on its connection,
+        so the connection must never be reused as-is — the stale response
+        would satisfy (or desync-trip) the next request.  The server-side
+        work keeps running to completion; only the transport is retired.
+        """
+        self._broken = True
 
     def list_graphs(self) -> list[dict]:
         return self.request("graphs.list")["graphs"]

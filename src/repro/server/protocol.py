@@ -54,6 +54,7 @@ OPS = frozenset(
     {
         "ping",
         "stats",
+        "health",
         "graphs.list",
         "graphs.upload",
         "graphs.mutate",
@@ -73,7 +74,9 @@ PARTIAL_ROWS_CAP = 100
 
 #: Ops that answer from in-memory state without touching the worker pool;
 #: they bypass admission control so health checks still answer under load.
-CONTROL_OPS = frozenset({"ping", "stats", "graphs.list", "cluster_metrics"})
+CONTROL_OPS = frozenset(
+    {"ping", "stats", "health", "graphs.list", "cluster_metrics"}
+)
 
 
 class ServiceError(ReproError):

@@ -24,6 +24,7 @@ the LRU; re-uploading a name also proactively drops its old entries.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 
@@ -261,6 +262,18 @@ class GraphCatalog:
         with self._lock:
             return sorted(self._entries)
 
+    def versions(self) -> dict:
+        """``{name: [generation, durable version]}`` for every graph.
+
+        Deliberately cheap: reads the manifest-backed version of lazy
+        entries without faulting a single segment in, so the fleet
+        supervisor's heartbeat probes cost O(catalog) dict reads even on
+        a durable catalog holding larger-than-RAM graphs.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        return {entry.name: list(entry.version) for entry in entries}
+
     def list_info(self) -> list[dict]:
         with self._lock:
             entries = list(self._entries.values())
@@ -487,6 +500,8 @@ class QueryService:
             return {"pong": True}, False
         if op == "stats":
             return self.stats(), False
+        if op == "health":
+            return self.health(), False
         if op == "graphs.list":
             return {"graphs": self.catalog.list_info()}, False
         if op == "graphs.upload":
@@ -525,6 +540,28 @@ class QueryService:
         if storage is not None:
             result["storage"] = storage
         return result
+
+    def health(self) -> dict:
+        """The cheap, idempotent liveness probe (DESIGN.md §14).
+
+        Everything here answers from in-memory state — catalog names with
+        their durable versions (no segment faulting), uptime, request
+        counters — so a heartbeat prober can hammer it at sub-second
+        intervals without competing with query execution (it is a control
+        op: no admission slot, no worker pool).  The app layer adds the
+        fields only it knows: ``in_flight`` and the draining flag.
+        """
+        with self._metrics_lock:
+            requests_total = self.metrics.counters.get(
+                "server_requests_total", 0
+            )
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "graphs": self.catalog.versions(),
+            "requests_total": requests_total,
+        }
 
     def close(self) -> None:
         """Flush write-through journals and release the catalog's store.

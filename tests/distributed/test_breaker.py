@@ -1,0 +1,283 @@
+"""Circuit-breaker state machine: unit laws + hypothesis-driven walks.
+
+The breaker guards every coordinator→shard path, so its invariants are
+load-bearing for the resilience layer (DESIGN.md §14):
+
+* closed → open only on ``failure_threshold`` *consecutive* failures;
+* open refuses everything until ``cooldown`` elapses, then admits exactly
+  **one** half-open probe (also under thread contention);
+* the probe's outcome decides: success closes, failure re-opens with a
+  fresh full cooldown.
+
+Everything runs on a fake monotonic clock — no sleeps.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.distributed.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold: int = 3, cooldown: float = 1.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, cooldown=cooldown, clock=clock, shard=7
+    )
+    return breaker, clock
+
+
+# ---------------------------------------------------------------------------
+# unit laws
+# ---------------------------------------------------------------------------
+class TestTransitions:
+    def test_starts_closed_and_admits(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_on_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_open_refuses_with_retry_after(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+        with pytest.raises(BreakerOpenError) as info:
+            breaker.check()
+        assert info.value.shard == 7
+        assert 0.0 < info.value.retry_after <= 5.0
+        clock.advance(2.0)
+        assert breaker.retry_after() == pytest.approx(3.0)
+
+    def test_half_open_after_cooldown_single_probe(self):
+        breaker, clock = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()        # the probe
+        assert not breaker.allow()    # concurrent caller refused
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        clock.advance(0.5)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # Fresh cooldown from the probe failure, not a leftover slice.
+        assert breaker.retry_after() == pytest.approx(1.0)
+        clock.advance(0.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_reset_force_closes(self):
+        breaker, _ = make(threshold=1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()  # supervisor restarted + re-seeded the shard
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_straggler_failure_while_open_keeps_the_clock(self):
+        breaker, clock = make(threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.record_failure()  # an old attempt resolving late
+        assert breaker.retry_after() == pytest.approx(0.5)
+        assert breaker.trips == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+def test_half_open_admits_exactly_one_probe_under_contention():
+    """The satellite invariant, under real thread contention: 32 threads
+    hammer allow() on a half-open breaker; exactly one gets the probe."""
+    breaker, clock = make(threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    admitted = []
+    barrier = threading.Barrier(32)
+
+    def contend() -> None:
+        barrier.wait()
+        if breaker.allow():
+            admitted.append(threading.get_ident())
+
+    threads = [threading.Thread(target=contend) for _ in range(32)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(admitted) == 1
+    assert breaker.state == HALF_OPEN  # unresolved until the probe reports
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: arbitrary walks against an independent model
+# ---------------------------------------------------------------------------
+class BreakerMachine(RuleBasedStateMachine):
+    """Walk random success/failure/clock/allow sequences and check the
+    breaker against an independently-written reference model."""
+
+    THRESHOLD = 2
+    COOLDOWN = 1.0
+
+    def __init__(self):
+        super().__init__()
+        self.clock = FakeClock()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.THRESHOLD,
+            cooldown=self.COOLDOWN,
+            clock=self.clock,
+        )
+        # the reference model
+        self.model_state = CLOSED
+        self.model_failures = 0
+        self.model_opened_at = 0.0
+        self.model_probe = False
+
+    def _model_settle(self) -> None:
+        if (
+            self.model_state == OPEN
+            and self.clock.now - self.model_opened_at >= self.COOLDOWN
+        ):
+            self.model_state = HALF_OPEN
+            self.model_probe = False
+
+    def _model_trip(self) -> None:
+        self.model_state = OPEN
+        self.model_opened_at = self.clock.now
+        self.model_failures = 0
+        self.model_probe = False
+
+    @rule(seconds=st.floats(min_value=0.01, max_value=3.0))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule()
+    def success(self):
+        self.breaker.record_success()
+        self._model_settle()
+        self.model_state = CLOSED
+        self.model_failures = 0
+        self.model_probe = False
+
+    @rule()
+    def failure(self):
+        self.breaker.record_failure()
+        self._model_settle()
+        if self.model_state == HALF_OPEN:
+            self._model_trip()
+        elif self.model_state == CLOSED:
+            self.model_failures += 1
+            if self.model_failures >= self.THRESHOLD:
+                self._model_trip()
+        # open: a straggler; no change
+
+    @rule()
+    def attempt(self):
+        admitted = self.breaker.allow()
+        self._model_settle()
+        if self.model_state == CLOSED:
+            assert admitted
+        elif self.model_state == OPEN:
+            assert not admitted
+        else:  # half-open: exactly the first caller gets the probe
+            assert admitted == (not self.model_probe)
+            if admitted:
+                self.model_probe = True
+
+    @invariant()
+    def states_agree(self):
+        self._model_settle()
+        assert self.breaker.state == self.model_state
+
+    @invariant()
+    def open_means_positive_retry_after(self):
+        self._model_settle()
+        if self.model_state == OPEN:
+            assert self.breaker.retry_after() > 0
+        else:
+            assert self.breaker.retry_after() == 0.0
+
+
+BreakerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestBreakerMachine = BreakerMachine.TestCase
+
+
+@given(
+    operations=st.lists(
+        st.sampled_from(["success", "failure", "tick"]), max_size=60
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_never_opens_without_a_full_consecutive_run(operations):
+    """Whatever the interleaving, the breaker is open only if the last
+    THRESHOLD outcome-ops (ignoring ticks shorter than the cooldown)
+    include a consecutive failure run or a failed probe."""
+    breaker, clock = make(threshold=3, cooldown=10.0)
+    consecutive = 0
+    for operation in operations:
+        if operation == "success":
+            breaker.record_success()
+            consecutive = 0
+        elif operation == "failure":
+            breaker.record_failure()
+            consecutive += 1
+        else:
+            clock.advance(0.5)  # never enough to reach half-open
+        if consecutive < 3 and breaker.trips == 0:
+            assert breaker.state == CLOSED

@@ -1,0 +1,243 @@
+"""FleetSupervisor over real worker processes: kill, detect, restart,
+re-seed, exact answers resume.
+
+These are the acceptance tests for the self-healing tentpole (DESIGN.md
+§14): a SIGKILLed worker comes back on its originally-announced port with
+its graphs replayed, and the coordinator's answers return to exactly the
+single-node results.  Supervision is driven deterministically through
+``probe_once()`` — no background thread, no heartbeat races.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.distributed import (
+    FleetSupervisor,
+    ShardCoordinator,
+    ShardLauncher,
+)
+from repro.distributed.fleet import DOWN, FAILED, HEALTHY
+from repro.graph.datasets import figure2_graph
+from repro.rpq.evaluation import evaluate_rpq
+from repro.server.client import ServerClient
+from repro.server.protocol import ShardUnavailableError
+
+STARTUP = 30.0
+
+
+def sigkill(launcher: ShardLauncher, shard: int) -> None:
+    proc = launcher._procs[shard]
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=10.0)
+
+
+def drive_until_healthy(supervisor: FleetSupervisor, attempts: int = 20) -> None:
+    for _ in range(attempts):
+        supervisor.probe_once()
+        if supervisor.healthy():
+            return
+        time.sleep(0.1)
+    raise AssertionError(
+        f"fleet never recovered; events: {supervisor.events}"
+    )
+
+
+class TestLauncherRestartSafety:
+    def test_start_after_stop_reruns(self):
+        """stop() clears processes and addresses, so the same launcher can
+        be started again — the restart-safety satellite."""
+        launcher = ShardLauncher(1, startup_timeout=STARTUP)
+        first = launcher.start()
+        launcher.stop()
+        assert launcher.addresses == [] and launcher._procs == []
+        second = launcher.start()
+        try:
+            assert len(second) == 1
+            assert second != [] and second is not first
+            with ServerClient(*second[0]) as client:
+                assert client.ping() == {"pong": True}
+        finally:
+            launcher.stop()
+
+    def test_respawn_pins_the_announced_port(self):
+        with ShardLauncher(2, startup_timeout=STARTUP) as launcher:
+            original = list(launcher.addresses)
+            sigkill(launcher, 1)
+            address = launcher.respawn(1)
+            assert address == original[1]  # same host, same port
+            assert launcher.addresses == original
+            with ServerClient(*address) as client:
+                assert client.ping() == {"pong": True}
+
+    def test_respawn_kills_a_live_wedged_worker_first(self):
+        with ShardLauncher(1, startup_timeout=STARTUP) as launcher:
+            old_pid = launcher._procs[0].pid
+            address = launcher.respawn(0)  # worker is alive: SIGKILL + relaunch
+            assert launcher._procs[0].pid != old_pid
+            with ServerClient(*address) as client:
+                assert client.ping() == {"pong": True}
+
+    def test_poll_reports_exit(self):
+        with ShardLauncher(1, startup_timeout=STARTUP) as launcher:
+            assert launcher.poll(0) is None
+            sigkill(launcher, 0)
+            assert launcher.poll(0) is not None
+
+
+class TestSupervisedRecovery:
+    def test_sigkill_restart_reseed_exact_answers(self):
+        """The tentpole acceptance path: kill a worker under a replicated
+        read workload; the supervisor restarts it on the pinned port,
+        replays its replica, and exact reads resume on every replica."""
+        graph = figure2_graph()
+        expected = evaluate_rpq("Transfer*", graph)
+        launcher = ShardLauncher(2, startup_timeout=STARTUP)
+        supervisor = FleetSupervisor(
+            launcher,
+            heartbeat_interval=0.2,
+            miss_threshold=2,
+            backoff_base=0.0,
+        )
+        addresses = supervisor.start(spawn_thread=False)
+        try:
+            with ShardCoordinator(
+                addresses, supervisor=supervisor, breaker_cooldown=0.2
+            ) as coordinator:
+                supervisor.on_restart = coordinator.notify_restart
+                coordinator.replicate_graph("money", graph)
+                assert coordinator.evaluate_rpq("money", "Transfer*") == expected
+
+                sigkill(launcher, 0)
+                drive_until_healthy(supervisor)
+
+                kinds = [event["event"] for event in supervisor.events]
+                assert "restarting" in kinds and "restarted" in kinds
+                restarted = next(
+                    event for event in supervisor.events
+                    if event["event"] == "restarted"
+                )
+                assert restarted["shard"] == 0
+                # The replica was re-uploaded from the retained seed copy.
+                assert restarted["reseeded"] == ["money"]
+
+                # Exact answers from the reborn worker itself, not a cache:
+                # ask it directly on a fresh connection.
+                with ServerClient(*launcher.addresses[0]) as direct:
+                    result = direct.rpq("money", "Transfer*")
+                pairs = {tuple(pair) for pair in result["pairs"]}
+                assert pairs == expected
+                assert coordinator.evaluate_rpq("money", "Transfer*") == expected
+        finally:
+            supervisor.stop()
+
+    def test_partitioned_slices_reseed_per_shard(self):
+        """Each shard's partition slice is retained and replayed — the
+        reborn worker gets *its* slice, and scatter-gather is exact again."""
+        graph = figure2_graph()
+        expected = evaluate_rpq("Transfer*", graph)
+        launcher = ShardLauncher(2, startup_timeout=STARTUP)
+        supervisor = FleetSupervisor(
+            launcher,
+            heartbeat_interval=0.2,
+            miss_threshold=1,
+            backoff_base=0.0,
+        )
+        addresses = supervisor.start(spawn_thread=False)
+        try:
+            with ShardCoordinator(
+                addresses, supervisor=supervisor, breaker_cooldown=0.2
+            ) as coordinator:
+                supervisor.on_restart = coordinator.notify_restart
+                coordinator.partition_graph("money", graph)
+                assert coordinator.evaluate_rpq("money", "Transfer*") == expected
+                assert sorted(supervisor.seeds(0)) == ["money"]
+                assert sorted(supervisor.seeds(1)) == ["money"]
+
+                sigkill(launcher, 1)
+                drive_until_healthy(supervisor)
+
+                # Bust the coordinator answer cache with a fresh query so
+                # the scatter-gather really runs over the reborn shard.
+                assert coordinator.evaluate_rpq(
+                    "money", "Transfer.Transfer*"
+                ) == evaluate_rpq("Transfer.Transfer*", graph)
+        finally:
+            supervisor.stop()
+
+    def test_restart_budget_exhaustion_gives_up(self):
+        """A crash-looping worker burns its restart budget and is left
+        ``failed`` — the supervisor must not restart forever."""
+        launcher = ShardLauncher(1, startup_timeout=STARTUP)
+        supervisor = FleetSupervisor(
+            launcher,
+            heartbeat_interval=0.1,
+            miss_threshold=1,
+            max_restarts=2,
+            restart_window=300.0,  # nothing ages out during the test
+            backoff_base=0.0,
+        )
+        supervisor.start(spawn_thread=False)
+        try:
+            for _ in range(3):
+                sigkill(launcher, 0)
+                deadline = time.monotonic() + STARTUP
+                while time.monotonic() < deadline:
+                    state = supervisor.probe_once()[0]
+                    if state in (HEALTHY, FAILED):
+                        break
+                    time.sleep(0.05)
+                if state == FAILED:
+                    break
+            assert state == FAILED
+            kinds = [event["event"] for event in supervisor.events]
+            assert "gave_up" in kinds
+            assert kinds.count("restarting") == 2  # exactly the budget
+        finally:
+            supervisor.stop()
+
+    def test_externally_healed_worker_is_readopted(self):
+        """A shard past its budget that comes back by other means (here: a
+        manual respawn) is re-adopted and its grudge forgotten."""
+        launcher = ShardLauncher(1, startup_timeout=STARTUP)
+        supervisor = FleetSupervisor(
+            launcher,
+            heartbeat_interval=0.1,
+            miss_threshold=1,
+            max_restarts=1,
+            restart_window=300.0,
+            backoff_base=0.0,
+        )
+        supervisor.start(spawn_thread=False)
+        try:
+            # Burn the budget: kill, let it restart once, kill again.
+            sigkill(launcher, 0)
+            drive_until_healthy(supervisor)
+            sigkill(launcher, 0)
+            for _ in range(5):
+                if supervisor.probe_once()[0] == FAILED:
+                    break
+            assert supervisor.status()["shards"][0]["state"] == FAILED
+            launcher.respawn(0)  # the "operator" fixes it by hand
+            assert supervisor.probe_once()[0] == HEALTHY
+            assert any(
+                event["event"] == "readopted" for event in supervisor.events
+            )
+        finally:
+            supervisor.stop()
+
+    def test_unsupervised_coordinator_still_fails_typed(self):
+        """Without a supervisor the old contract holds: a dead replica set
+        surfaces as a typed shard_unavailable, never a wrong answer."""
+        graph = figure2_graph()
+        with ShardLauncher(1, startup_timeout=STARTUP) as launcher:
+            with ShardCoordinator(
+                launcher.addresses, breaker_threshold=1
+            ) as coordinator:
+                coordinator.replicate_graph("money", graph)
+                coordinator.rpq("money", "Transfer*")
+                sigkill(launcher, 0)
+                with pytest.raises(ShardUnavailableError):
+                    coordinator.rpq("money", "Transfer.Transfer")

@@ -1,0 +1,152 @@
+"""The ``health`` control op: the probe the fleet supervisor lives on.
+
+Health must be cheap, idempotent, admission-exempt (a saturated worker
+still answers its prober), and carry what restart verification needs: the
+catalog's graph names with their ``[generation, durable version]`` pairs.
+The client side pairs it with ``control_timeout`` — a wedged worker stalls
+a prober for the control timeout, never the full query deadline.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.graph.edge_labeled import EdgeLabeledGraph
+from repro.server.app import ServerThread
+from repro.server.client import ConnectionLost, ServerClient
+from repro.server.protocol import CONTROL_OPS, OPS
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServerThread() as running:
+        yield running
+
+
+@pytest.fixture()
+def client(harness):
+    with ServerClient(*harness.address) as connection:
+        yield connection
+
+
+def toy_graph():
+    graph = EdgeLabeledGraph()
+    graph.add_edge("e1", "x", "y", "a")
+    graph.add_edge("e2", "y", "z", "a")
+    return graph
+
+
+class TestHealthOp:
+    def test_registered_as_control_op(self):
+        assert "health" in OPS
+        assert "health" in CONTROL_OPS  # bypasses admission control
+
+    def test_body_shape(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["pid"] > 0
+        assert health["uptime_seconds"] >= 0
+        assert isinstance(health["graphs"], dict)
+        assert health["requests_total"] >= 0
+        assert health["in_flight"] >= 0
+
+    def test_reports_catalog_names_and_versions(self, client):
+        client.upload_graph("health-probe-graph", toy_graph())
+        graphs = client.health()["graphs"]
+        assert "health-probe-graph" in graphs
+        generation, version = graphs["health-probe-graph"]
+        assert generation >= 1
+        assert version >= 0
+        # The built-in figures are cataloged too.
+        assert "fig2" in graphs
+
+    def test_idempotent_and_cheap(self, client):
+        first = client.health()
+        second = client.health()
+        assert second["graphs"].keys() == first["graphs"].keys()
+        assert second["requests_total"] >= first["requests_total"]
+
+    def test_health_answers_while_slots_are_saturated(self, harness):
+        """Control ops bypass admission: a worker whose execution slots are
+        all held must still answer its health prober instantly."""
+        holders = [ServerClient(*harness.address) for _ in range(3)]
+        threads = [
+            threading.Thread(target=holder.sleep, args=(1.5,), daemon=True)
+            for holder in holders
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.2)  # let the sleeps take their slots
+            with ServerClient(*harness.address) as prober:
+                started = time.perf_counter()
+                health = prober.health()
+                elapsed = time.perf_counter() - started
+            assert health["status"] == "ok"
+            assert health["in_flight"] >= 1
+            assert elapsed < 1.0  # did not queue behind the sleeps
+        finally:
+            for thread in threads:
+                thread.join(timeout=5.0)
+            for holder in holders:
+                holder.close()
+
+
+class TestControlTimeout:
+    def test_control_ops_use_the_short_timeout(self):
+        """Against a socket that accepts but never answers, health fails in
+        ~control_timeout seconds — not the (long) query timeout."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            client = ServerClient(
+                *listener.getsockname(),
+                timeout=30.0,
+                control_timeout=0.3,
+            )
+            try:
+                started = time.perf_counter()
+                with pytest.raises(ConnectionLost):
+                    client.health()
+                elapsed = time.perf_counter() - started
+                assert elapsed < 5.0  # nowhere near the 30s query timeout
+                assert elapsed >= 0.2
+            finally:
+                client.close()
+        finally:
+            listener.close()
+
+    def test_query_ops_keep_the_query_timeout(self, harness):
+        """The control override must not leak: a query op issued after a
+        health call still runs under the full query timeout."""
+        with ServerClient(
+            *harness.address, timeout=30.0, control_timeout=0.3
+        ) as client:
+            client.health()
+            client.upload_graph("ct-graph", toy_graph())
+            # Well over the control timeout in wall-clock; succeeds because
+            # the socket timeout was restored after the health exchange.
+            result = client.sleep(0.6)
+            assert result["slept"] == pytest.approx(0.6, abs=0.2)
+
+    def test_control_timeout_none_disables_override(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            client = ServerClient(
+                *listener.getsockname(), timeout=0.4, control_timeout=None
+            )
+            try:
+                started = time.perf_counter()
+                with pytest.raises(ConnectionLost):
+                    client.health()
+                # Falls back to the (here: short) query timeout.
+                assert time.perf_counter() - started < 5.0
+            finally:
+                client.close()
+        finally:
+            listener.close()
